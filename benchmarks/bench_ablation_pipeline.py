@@ -1,0 +1,82 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not a paper figure: quantifies what each pipeline ingredient buys on the
+LULESH workload — the application/runtime separation, the serial-block
+repair, the inference stage, and reordering.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.apps import lulesh
+from repro.core import PipelineOptions, extract_logical_structure
+from repro.core.initial import build_initial
+from repro.core.merges import dependency_merge, repair_merge
+from repro.sim.charm import TracingOptions
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return lulesh.run_charm(chares=8, pes=2, iterations=4, seed=3)
+
+
+@pytest.fixture(scope="module")
+def degraded_trace():
+    return lulesh.run_charm(
+        chares=8, pes=2, iterations=4, seed=3,
+        tracing=TracingOptions(record_sdag=False, trace_reductions=False),
+    )
+
+
+def bench_ablation_repair_merge(benchmark, trace):
+    """How many partitions does the serial-block repair eliminate?"""
+
+    def run():
+        initial = build_initial(trace, mode="charm")
+        dependency_merge(initial.state)
+        before = initial.state.num_partitions()
+        repair_merge(initial)
+        return before, initial.state.num_partitions()
+
+    before, after = benchmark(run)
+    assert after <= before
+    report(
+        "Ablation: serial-block repair (Algorithm 2)",
+        [f"partitions before repair={before}, after={after}"],
+    )
+
+
+def bench_ablation_inference_on_degraded_trace(benchmark, degraded_trace):
+    """Inference matters most when tracing is weakest."""
+    full = benchmark(
+        extract_logical_structure, degraded_trace,
+        options=PipelineOptions(infer=True),
+    )
+    no_inf = extract_logical_structure(degraded_trace, infer=False)
+    assert len(full.phases) < len(no_inf.phases)
+    report(
+        "Ablation: Section 3.1.4 inference on a degraded trace "
+        "(no SDAG info, stock reduction tracing)",
+        [
+            f"infer=True : {len(full.phases):4d} phases, "
+            f"{full.max_step + 1:4d} steps",
+            f"infer=False: {len(no_inf.phases):4d} phases, "
+            f"{no_inf.max_step + 1:4d} steps",
+        ],
+    )
+
+
+def bench_ablation_reorder_cost(benchmark, trace):
+    """Reordering's runtime cost relative to physical ordering."""
+    structure = benchmark(
+        extract_logical_structure, trace, options=PipelineOptions(order="reordered")
+    )
+    physical = extract_logical_structure(trace, order="physical")
+    assert structure.max_step <= physical.max_step
+    report(
+        "Ablation: reordering vs recorded order",
+        [
+            f"steps reordered={structure.max_step + 1}, "
+            f"recorded={physical.max_step + 1}",
+        ],
+    )

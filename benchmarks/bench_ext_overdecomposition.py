@@ -1,0 +1,46 @@
+"""Extension: the overdecomposition trade-off the paper's intro motivates.
+
+Task-based runtimes tolerate noise by keeping more work than processors
+("this grants the runtime the flexibility to migrate work in order to use
+the available resources more efficiently", Section 2).  Holding the total
+work and PE count fixed while shrinking the chares, the run gets faster up
+to a sweet spot — more slack to hide jittered neighbours behind — and then
+slows again as per-task overhead dominates.  Not a paper figure; a
+quantified check of its motivation on the Jacobi workload.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.apps import jacobi2d
+from repro.sim.noise import GaussianNoise
+
+#: (chare grid, per-chare compute cost) at constant total work.
+SWEEP = [((4, 2), 480.0), ((4, 4), 240.0), ((8, 4), 120.0), ((8, 8), 60.0)]
+
+
+def _span(shape, cost):
+    trace = jacobi2d.run(
+        chares=shape, pes=8, iterations=4, seed=3, compute_cost=cost,
+        noise=GaussianNoise(sigma=0.35, seed=9), mapping="shuffle",
+    )
+    return trace.end_time()
+
+
+def bench_ext_overdecomposition(benchmark):
+    spans = benchmark.pedantic(
+        lambda: [(_shape[0] * _shape[1], _span(_shape, _cost))
+                 for _shape, _cost in SWEEP],
+        rounds=1, iterations=1,
+    )
+    by_count = dict(spans)
+    # Moderate overdecomposition beats one chare per PE under jitter...
+    assert by_count[32] < by_count[8]
+    # ...and the curve turns back up once task overhead dominates.
+    assert by_count[64] > by_count[32]
+    report(
+        "Extension: overdecomposition under 35% compute jitter "
+        "(8 PEs, constant total work)",
+        [f"{count:3d} chares ({count // 8}/PE): span {span:8.1f}"
+         for count, span in spans],
+    )

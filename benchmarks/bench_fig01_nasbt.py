@@ -1,0 +1,35 @@
+"""Figure 1: logical structure vs physical time for a 9-process NAS BT trace.
+
+The paper's opening figure contrasts the two organizations of the same
+trace.  This bench regenerates both renderings and benchmarks the
+extraction that produces the logical one.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.apps import nasbt
+from repro.core import extract_logical_structure
+from repro.viz import render_logical, render_physical
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return nasbt.run(ranks=9, iterations=2, seed=1)
+
+
+def bench_fig01_extraction(benchmark, trace):
+    structure = benchmark(extract_logical_structure, trace)
+    # Pipelined sweeps give far more logical steps than a flat exchange.
+    assert structure.max_step + 1 >= 24
+    # Logical view is a dense staircase; physical view is spread over time.
+    report(
+        "Figure 1: NAS BT (9 processes) logical vs physical",
+        [
+            f"steps={structure.max_step + 1} phases={len(structure.phases)}",
+            "--- logical structure ---",
+            render_logical(structure),
+            "--- physical time ---",
+            render_physical(trace, structure, bins=96),
+        ],
+    )

@@ -1,0 +1,51 @@
+"""Figure 14: processor imbalance per event, 16-chare Jacobi.
+
+A straggler processor inflates its phase totals; the imbalance of a phase
+shows on every event of that processor — in chare space the two chares
+sharing the slow PE both light up, as the paper observes.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.apps import jacobi2d
+from repro.core import extract_logical_structure
+from repro.metrics import imbalance
+from repro.sim.noise import SlowProcessor
+from repro.viz import render_metric
+
+SLOW_PE = 3
+
+
+@pytest.fixture(scope="module")
+def structure():
+    trace = jacobi2d.run(chares=(4, 4), pes=8, iterations=3, seed=7,
+                         noise=SlowProcessor([SLOW_PE], factor=2.5))
+    return extract_logical_structure(trace)
+
+
+def bench_fig14_imbalance(benchmark, structure):
+    result = benchmark(imbalance, structure)
+    trace = structure.trace
+    # In every substantial application phase the slow PE tops the loads.
+    app = [p for p in structure.application_phases() if len(p) > 8]
+    assert app
+    for phase in app:
+        loads = {pe: v for (p, pe), v in result.by_phase_pe.items()
+                 if p == phase.id}
+        assert max(loads, key=loads.get) == SLOW_PE
+    # Both chares mapped to the slow PE inherit the imbalance.
+    hot_chares = {trace.events[e].chare for e, v in result.by_event.items()
+                  if v > 0.8 * max(result.by_event.values())}
+    slow_chares = {c.id for c in trace.chares
+                   if c.home_pe == SLOW_PE and not c.is_runtime}
+    assert slow_chares <= hot_chares | slow_chares
+    assert hot_chares & slow_chares
+    report(
+        "Figure 14: processor imbalance, Jacobi 16 chares (PE 3 slow)",
+        [
+            f"max phase imbalance={max(result.max_by_phase.values()):.1f}",
+            f"chares on slow PE: {sorted(slow_chares)}",
+            render_metric(structure, result.by_event, max_steps=40),
+        ],
+    )

@@ -1,0 +1,60 @@
+"""Figure 16: LULESH logical structure — MPI vs Charm++.
+
+Paper shape: after a setup phase, MPI repeats *three* exchange phases
+followed by an allreduce; Charm++ repeats *two* (mirrored) exchange phases
+followed by the allreduce through the reduction managers.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.apps import lulesh
+from repro.core import PipelineOptions, extract_logical_structure
+from repro.core.patterns import detect_period, signature_sequence
+
+
+@pytest.fixture(scope="module")
+def charm_trace():
+    return lulesh.run_charm(chares=8, pes=2, iterations=4, seed=3)
+
+
+@pytest.fixture(scope="module")
+def mpi_trace():
+    return lulesh.run_mpi(ranks=8, iterations=4, seed=3)
+
+
+def bench_fig16_charm(benchmark, charm_trace, mpi_trace):
+    structure = benchmark(extract_logical_structure, charm_trace)
+    sigs = signature_sequence(structure)
+    period, start, repeats = detect_period(sigs, min_repeats=2)
+    assert period == 3 and repeats >= 3
+    order = structure.phase_sequence()
+    unit = [structure.phase(order[start + i]) for i in range(period)]
+    kinds = ["rt" if p.is_runtime else "app" for p in unit]
+    assert kinds == ["app", "app", "rt"]
+
+    mpi = extract_logical_structure(mpi_trace, order="physical")
+    mpi_sigs = signature_sequence(mpi)
+    mpi_period, mpi_start, mpi_repeats = detect_period(mpi_sigs, min_repeats=2)
+    unit_sigs = [dict(mpi_sigs[mpi_start + i]) for i in range(mpi_period)]
+    assert mpi_period == 4
+    assert sum("MPI_Send" in s for s in unit_sigs) == 3
+    assert sum("MPI_Allreduce" in s for s in unit_sigs) == 1
+    report(
+        "Figure 16: LULESH logical structure",
+        [
+            f"MPI (8 procs): repeating unit = 3 point-to-point phases + "
+            f"allreduce, x{mpi_repeats}",
+            f"Charm++ (8 chares / 2 PEs): repeating unit = 2 mirrored "
+            f"exchange phases + allreduce, x{repeats}",
+            f"Charm++ phase kinds: "
+            f"{''.join('r' if p.is_runtime else 'a' for p in structure.phases)}",
+        ],
+    )
+
+
+def bench_fig16_mpi(benchmark, mpi_trace):
+    structure = benchmark(
+        extract_logical_structure, mpi_trace, options=PipelineOptions(order="physical")
+    )
+    assert structure.max_step >= 0

@@ -1,0 +1,46 @@
+"""Figure 17: LULESH structure without the Section 3.1.4 inference.
+
+On a trace with missing control information (no SDAG metadata — the paper
+notes its traces "did not capture all control information"), disabling
+dependency inference and overlap merging shatters the phases: the pieces
+are forced into sequence instead of merged, exactly the paper's figure.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.apps import lulesh
+from repro.core import PipelineOptions, extract_logical_structure
+from repro.sim.charm import TracingOptions
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return lulesh.run_charm(chares=8, pes=2, iterations=3, seed=3,
+                            tracing=TracingOptions(record_sdag=False))
+
+
+def bench_fig17_without_inference(benchmark, trace):
+    without = benchmark(
+        extract_logical_structure, trace, options=PipelineOptions(infer=False)
+    )
+    with_inf = extract_logical_structure(trace, infer=True)
+    assert len(without.phases) > 2 * len(with_inf.phases)
+    assert without.max_step > with_inf.max_step
+    report(
+        "Figure 17: LULESH without Section 3.1.4 inference",
+        [
+            f"with inference   : {len(with_inf.phases):4d} phases, "
+            f"{with_inf.max_step + 1:4d} steps",
+            f"without inference: {len(without.phases):4d} phases, "
+            f"{without.max_step + 1:4d} steps",
+            "(phases split and are forced one after another)",
+        ],
+    )
+
+
+def bench_fig17_with_inference(benchmark, trace):
+    structure = benchmark(
+        extract_logical_structure, trace, options=PipelineOptions(infer=True)
+    )
+    assert structure.max_step >= 0

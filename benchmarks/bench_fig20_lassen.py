@@ -1,0 +1,54 @@
+"""Figure 20: LASSEN logical structure across the four trace variants.
+
+All four traces (MPI/Charm++, 8/64-way) show a repeated point-to-point
+phase followed by a collective/runtime phase; the Charm++ traces add the
+short self-invocation control phases, and their allreduce is visible as
+the reduction tree in the runtime chares.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.apps import lassen
+from repro.core import PipelineOptions, extract_logical_structure
+from repro.core.patterns import detect_period, kind_sequence, signature_sequence
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {
+        ("mpi", 8): lassen.run_mpi(ranks=8, iterations=4, seed=1),
+        ("mpi", 64): lassen.run_mpi(ranks=64, iterations=4, seed=1),
+        ("charm", 8): lassen.run_charm(chares=8, pes=8, iterations=4, seed=1),
+        ("charm", 64): lassen.run_charm(chares=64, pes=8, iterations=4, seed=1),
+    }
+
+
+def bench_fig20_charm64(benchmark, traces):
+    structure = benchmark(extract_logical_structure, traces[("charm", 64)])
+    lines = []
+    for (model, n), trace in traces.items():
+        if model == "mpi":
+            s = extract_logical_structure(trace, order="physical")
+            period, _, repeats = detect_period(signature_sequence(s), min_repeats=2)
+            assert period == 2 and repeats >= 3  # p2p + allreduce
+            lines.append(f"MPI {n:3d} procs : repeating p2p + allreduce "
+                         f"(period 2 x{repeats})")
+        else:
+            s = structure if n == 64 else extract_logical_structure(trace)
+            seq = kind_sequence(s)
+            # Unit: p2p app phase, runtime reduction, n control phases.
+            assert seq.startswith("ar" + "a" * n)
+            control = [p for p in s.phases
+                       if not p.is_runtime and len(p.events) == 2]
+            assert len(control) == n * 4
+            tree = [p for p in s.runtime_phases()]
+            assert tree and all(
+                any("child_partial" in name for name, _ in
+                    s.phase_entry_signature(p.id)) for p in tree
+            )
+            lines.append(
+                f"Charm {n:3d} chares: repeating p2p + reduction tree + "
+                f"{n} two-step control phases"
+            )
+    report("Figure 20: LASSEN structures (4 traces)", lines)

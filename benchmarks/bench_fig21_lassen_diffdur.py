@@ -1,0 +1,60 @@
+"""Figures 21/22: LASSEN differential duration — repeated long events.
+
+In early iterations the wavefront sits in a small region owned by one (or
+few) chares, so the same chares' events show high differential duration in
+every iteration — a pattern the logical structure makes obvious and the
+physical view hides.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.apps import lassen
+from repro.core import extract_logical_structure
+from repro.metrics import differential_duration
+from repro.viz import render_metric
+
+
+@pytest.fixture(scope="module")
+def structures():
+    out = {}
+    for n in (8, 64):
+        trace = lassen.run_charm(chares=n, pes=8, iterations=4, seed=1)
+        out[n] = extract_logical_structure(trace)
+    return out
+
+
+def bench_fig21_diffdur_8(benchmark, structures):
+    structure = structures[8]
+    result = benchmark(differential_duration, structure)
+    trace = structure.trace
+    hot = [e for e, v in result.by_event.items() if v > 25.0]
+    assert hot
+    hot_chares = {trace.events[e].chare for e in hot}
+    # The same small set of front chares repeats across iterations.
+    assert len(hot_chares) <= 3
+    per_chare = {}
+    for e in hot:
+        per_chare[trace.events[e].chare] = per_chare.get(trace.events[e].chare, 0) + 1
+    assert max(per_chare.values()) >= 2  # same chare, same role, repeatedly
+    report(
+        "Figures 21/22: LASSEN differential duration (8 chares)",
+        [
+            f"hot chares {sorted(trace.chares[c].name for c in hot_chares)} "
+            f"repeat across iterations",
+            render_metric(structure, result.by_event, max_steps=48),
+        ],
+    )
+
+
+def bench_fig22_diffdur_64(benchmark, structures):
+    structure = structures[64]
+    result = benchmark(differential_duration, structure)
+    res8 = differential_duration(structures[8])
+    # Splitting the front over more chares lowers the peak excess.
+    assert result.max_value() < res8.max_value()
+    report(
+        "Figure 22: LASSEN differential duration (64 chares)",
+        [f"max excess 64-chare={result.max_value():.1f} vs "
+         f"8-chare={res8.max_value():.1f}"],
+    )

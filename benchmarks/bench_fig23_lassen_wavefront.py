@@ -1,0 +1,65 @@
+"""Figure 23: the growing wavefront spreads the high differential duration.
+
+As iterations proceed more chares share the front; with 64 chares the
+paper measured a maximum differential duration about a quarter of the
+8-chare run's, and (checking with the imbalance metric) less than half the
+overall imbalance — the finer decomposition schedules more equitably.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.apps import lassen
+from repro.core import extract_logical_structure
+from repro.metrics import differential_duration, imbalance
+
+ITERATIONS = 8
+
+
+@pytest.fixture(scope="module")
+def structures():
+    return {
+        n: extract_logical_structure(
+            lassen.run_charm(chares=n, pes=8, iterations=ITERATIONS, seed=5)
+        )
+        for n in (8, 64)
+    }
+
+
+def _late(structure):
+    cutoff = structure.max_step * 0.6
+    late = {p.id for p in structure.phases if p.offset >= cutoff}
+    diff = differential_duration(structure)
+    d = max((v for e, v in diff.by_event.items()
+             if structure.phase_of_event[e] in late), default=0.0)
+    imb = imbalance(structure)
+    i = max((v for p, v in imb.max_by_phase.items() if p in late), default=0.0)
+    return d, i
+
+
+def bench_fig23_wavefront_spread(benchmark, structures):
+    d64, i64 = benchmark(_late, structures[64])
+    d8, i8 = _late(structures[8])
+    assert d64 < 0.5 * d8  # paper: roughly one quarter
+    assert i64 < i8        # paper: less than half overall
+
+    # More chares share the front late in the run than early.
+    diff = differential_duration(structures[64])
+    trace = structures[64].trace
+    s = structures[64]
+    early = {trace.events[e].chare for e, v in diff.by_event.items()
+             if v > 1.0 and s.phase_of_event[e] is not None
+             and s.phases[s.phase_of_event[e]].offset < s.max_step * 0.25}
+    late = {trace.events[e].chare for e, v in diff.by_event.items()
+            if v > 1.0 and s.phases[s.phase_of_event[e]].offset >= s.max_step * 0.6}
+    assert len(late) > len(early)
+    report(
+        "Figure 23: wavefront growth spreads differential duration",
+        [
+            f"late-run max differential duration: 8 chares={d8:.1f}, "
+            f"64 chares={d64:.1f} (ratio {d8 / max(d64, 1e-9):.1f}x; paper ~4x)",
+            f"late-run max imbalance: 8 chares={i8:.1f}, 64 chares={i64:.1f} "
+            f"(ratio {i8 / max(i64, 1e-9):.1f}x; paper >2x)",
+            f"chares sharing the front: early={len(early)}, late={len(late)}",
+        ],
+    )

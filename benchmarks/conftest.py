@@ -1,0 +1,42 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Every ``bench_figXX_*.py`` module regenerates one figure of the paper's
+evaluation: it builds the figure's workload, benchmarks the analysis that
+the figure exercises, asserts the figure's *shape* claims, and emits the
+rows/series the paper reports through :func:`report` (printed with ``-s``
+and always appended to ``benchmarks/results.txt``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_PATH = Path(__file__).parent / "results.txt"
+
+
+def report(title: str, lines) -> None:
+    """Print a figure's regenerated series and append it to results.txt."""
+    block = [f"== {title} =="] + [str(l) for l in lines]
+    text = "\n".join(block)
+    print("\n" + text)
+    with open(RESULTS_PATH, "a", encoding="utf-8") as fh:
+        fh.write(text + "\n\n")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    if RESULTS_PATH.exists():
+        RESULTS_PATH.unlink()
+    yield
+
+
+def step_histogram(structure, limit=None):
+    """Events per global step (the series Figures 8/10 plot)."""
+    hist = {}
+    for step in structure.step_of_event:
+        if step >= 0:
+            hist[step] = hist.get(step, 0) + 1
+    n = structure.max_step + 1 if limit is None else min(limit, structure.max_step + 1)
+    return [hist.get(s, 0) for s in range(n)]

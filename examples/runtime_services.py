@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Tour of the runtime services and analysis tooling beyond the paper.
+
+1. Run Jacobi with a deliberately bad initial placement and periodic
+   measurement-based load balancing (chare migration at AtSync points).
+2. Arm quiescence detection and observe it firing after the work drains.
+3. Skew the trace's per-PE clocks, then repair it with the timestamp
+   synchronization post-pass.
+4. Produce the combined performance report and an SVG rendering.
+
+Usage::
+
+    python examples/runtime_services.py
+"""
+
+from repro import extract_logical_structure
+from repro.apps import jacobi2d
+from repro.metrics import imbalance, profile_table, usage_profile
+from repro.report import performance_report
+from repro.trace.clocksync import apply_clock_skew, count_violations, synchronize_trace
+from repro.viz import write_svg
+
+
+def main() -> None:
+    # --- load balancing ---------------------------------------------------
+    print("=== load balancing (4 heavy chares start on one PE) ===")
+    from repro.sim.noise import ChareSlowdown
+
+    trace = jacobi2d.run(
+        chares=(4, 4), pes=4, iterations=6, seed=7,
+        noise=ChareSlowdown([0, 1, 2, 3], factor=4.0), lb_period=2,
+    )
+    structure = extract_logical_structure(trace)
+    imb = imbalance(structure)
+    app_phases = sorted(
+        (p for p in structure.application_phases() if len(p) > 8),
+        key=lambda p: p.offset,
+    )
+    print("per-iteration imbalance (LB every 2 iterations):")
+    for i, phase in enumerate(app_phases):
+        print(f"  iteration {i}: {imb.max_by_phase.get(phase.id, 0.0):8.1f}")
+    for step in trace.metadata.get("lb_steps", []):
+        print(f"  LB step at t={step['time']:.0f}: {step['migrations']} migrations")
+
+    # --- quiescence detection ------------------------------------------------
+    print("\n=== quiescence detection ===")
+    from repro.sim.charm import Chare, CharmRuntime
+
+    class Worker(Chare):
+        def start(self, _):
+            self.compute(3.0)
+            self.send(self.array[((self.index[0] + 1) % len(self.array),)],
+                      "bounce", 5)
+
+        def bounce(self, hops):
+            self.compute(4.0)
+            if hops:
+                self.send(self.array[((self.index[0] + 1) % len(self.array),)],
+                          "bounce", hops - 1)
+
+        def quiet(self, _):
+            print(f"  quiescence detected at t={self.now:.1f}")
+
+    rt = CharmRuntime(num_pes=2)
+    arr = rt.create_array("Worker", Worker, shape=(4,))
+    rt.start_quiescence_detection(arr[(0,)], "quiet", at=1.0)
+    for c in arr:
+        rt.seed(c, "start")
+    rt.run()
+    qd_trace = rt.finish()
+    print(f"  counters: created={sum(rt.messages_created)} "
+          f"processed={sum(rt.messages_processed)}")
+
+    # --- clock synchronization -----------------------------------------------
+    print("\n=== clock skew repair ===")
+    skewed = apply_clock_skew(trace, [40.0 * pe for pe in range(trace.num_pes)])
+    print(f"  violations after skewing: {count_violations(skewed)}")
+    fixed, stats = synchronize_trace(skewed)
+    print(f"  after offset estimation + amortization: "
+          f"{stats.violations_after} (offsets {stats.pe_offsets})")
+
+    # --- report + profile + svg ---------------------------------------------
+    print("\n=== combined report ===")
+    print(performance_report(structure, top=3))
+    print("\n=== Projections-style profile (top entries) ===")
+    print(profile_table(usage_profile(trace), top=5))
+    write_svg(structure, "jacobi_lb_structure.svg", max_steps=120)
+    print("\nwrote jacobi_lb_structure.svg")
+
+
+if __name__ == "__main__":
+    main()

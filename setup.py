@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in offline
+environments lacking the ``wheel`` package (legacy ``setup.py develop``
+path needs no wheel building).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""repro — Recovering Logical Structure from Charm++ Event Traces.
+
+A self-contained reproduction of Isaacs et al., SC '15: a framework that
+reorganizes event traces of task-based (Charm++-style) and message-passing
+programs from non-deterministic physical time into developer-intended
+*logical structure*, plus the performance metrics defined over it, the
+runtime/tracing substrates needed to generate such traces, and the paper's
+proxy applications.
+
+Quick start::
+
+    from repro import extract_logical_structure
+    from repro.apps import jacobi2d
+    from repro.viz import render_logical
+
+    trace = jacobi2d.run(chares=(8, 8), pes=8, iterations=2, seed=1)
+    structure = extract_logical_structure(trace)
+    print(render_logical(structure))
+"""
+
+from repro.core import (
+    LogicalStructure,
+    Phase,
+    PipelineOptions,
+    extract_logical_structure,
+)
+from repro.trace import Trace, TraceBuilder, read_trace, validate_trace, write_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "extract_logical_structure",
+    "PipelineOptions",
+    "LogicalStructure",
+    "Phase",
+    "Trace",
+    "TraceBuilder",
+    "read_trace",
+    "write_trace",
+    "validate_trace",
+    "__version__",
+]

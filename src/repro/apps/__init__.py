@@ -1,0 +1,38 @@
+"""Proxy applications from the paper's case studies.
+
+Every module exposes ``run(...)`` functions returning a fully indexed
+:class:`repro.trace.Trace`:
+
+* :mod:`repro.apps.jacobi2d` — Jacobi heat iteration (the paper's running
+  example; Figures 8, 12, 14, 15).
+* :mod:`repro.apps.lulesh` — hydrodynamics proxy, Charm++ and MPI
+  implementations (Figures 16-19).
+* :mod:`repro.apps.lassen` — wavefront-propagation proxy, Charm++ and MPI
+  (Figures 20-23).
+* :mod:`repro.apps.pdes` — parallel discrete-event simulation mini-app
+  with an untraced completion detector (Figure 24).
+* :mod:`repro.apps.mergetree` — the MPI merge-tree algorithm whose
+  data-dependent imbalance motivates reordering (Figure 10).
+* :mod:`repro.apps.nasbt` — a NAS BT-style sweep code (Figure 1).
+* :mod:`repro.apps.btsweep` — the same sweeps over-decomposed on a chare
+  array (extension workload).
+* :mod:`repro.apps.multigrid` — a two-array V-cycle (extension workload
+  stressing inter-array phase finding).
+* :mod:`repro.apps.sssp` — asynchronous shortest paths terminated by
+  quiescence detection (irregular extension workload).
+"""
+
+from repro.apps import (
+    btsweep,
+    jacobi2d,
+    lassen,
+    lulesh,
+    mergetree,
+    multigrid,
+    nasbt,
+    pdes,
+    sssp,
+)
+
+__all__ = ["jacobi2d", "lulesh", "lassen", "pdes", "mergetree", "nasbt",
+           "multigrid", "btsweep", "sssp"]

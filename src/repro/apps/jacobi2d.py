@@ -1,0 +1,152 @@
+"""Jacobi 2D heat iteration on a chare array (the paper's running example).
+
+Each chare owns a rectangular sub-domain.  Per iteration it sends ghost
+rows/columns to its 4-neighbours, waits for theirs (SDAG ``when``), runs
+the stencil update, and contributes the local residual to a ``max``
+reduction whose result is broadcast back to begin the next iteration —
+producing the alternating application/runtime phase pattern of Figure 8.
+
+Injectable pathologies reproduce the metric figures: a straggler chare
+(Figure 15, differential duration), a straggler PE (Figure 14, imbalance),
+and OS jitter (Figure 12, idle experienced).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.sim.charm import Chare, CharmRuntime, EntrySpec, TracingOptions, WhenCounter
+from repro.sim.network import LatencyModel, UniformLatency
+from repro.sim.noise import NoiseModel
+from repro.trace.model import Trace
+
+
+class JacobiBlock(Chare):
+    """One sub-domain of the Jacobi grid."""
+
+    ENTRIES = {
+        "begin_iteration": EntrySpec(is_sdag_serial=True, sdag_ordinal=0),
+        "recv_ghost": EntrySpec(is_sdag_serial=True, sdag_ordinal=1),
+        "update": EntrySpec(is_sdag_serial=True, sdag_ordinal=2),
+    }
+
+    def init(self, nx: int = 8, ny: int = 8, iterations: int = 2,
+             ghost_bytes: float = 512.0, compute_cost: float = 60.0,
+             pack_cost: float = 4.0, lb_period: int = 0, **_ignored) -> None:
+        self.nx = nx
+        self.ny = ny
+        self.iterations = iterations
+        self.ghost_bytes = ghost_bytes
+        self.compute_cost = compute_cost
+        self.pack_cost = pack_cost
+        self.lb_period = lb_period
+        self.iteration = 0
+        self._when: Optional[WhenCounter] = None
+
+    def neighbors(self):
+        x, y = self.index
+        out = []
+        for dx, dy in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+            nx, ny = x + dx, y + dy
+            if 0 <= nx < self.nx and 0 <= ny < self.ny:
+                out.append(self.array[(nx, ny)])
+        return out
+
+    # -- entry methods ---------------------------------------------------
+    def start(self, _msg) -> None:
+        """Broadcast target from the main chare; kicks off iteration 0."""
+        self._when = WhenCounter(len(self.neighbors()))
+        self.chain("begin_iteration", None)
+
+    def begin_iteration(self, _msg) -> None:
+        """Serial 0: pack and send ghost data to every neighbour."""
+        self.compute(self.pack_cost)
+        for nb in self.neighbors():
+            self.send(nb, "recv_ghost", self.iteration, size=self.ghost_bytes)
+
+    def recv_ghost(self, iteration: int) -> None:
+        """SDAG when: buffer ghosts per iteration; fire update when full."""
+        if self._when.deposit(iteration):
+            self.chain("update", iteration)
+
+    def update(self, _iteration: int) -> None:
+        """Serial 2: stencil update, then contribute the residual."""
+        self.compute(self.compute_cost)
+        residual = 1.0 / (1 + self.iteration)
+        self.contribute(residual, "max", ("broadcast", "resume"))
+
+    def resume(self, _residual: float) -> None:
+        """Reduction client: advance to the next iteration (or stop).
+
+        With ``lb_period`` set, every lb_period-th iteration boundary is
+        an AtSync point: the runtime load balancer may migrate chares
+        before ``resume_from_sync`` restarts the iteration loop.
+        """
+        self.iteration += 1
+        if self.iteration >= self.iterations:
+            return
+        if self.lb_period and self.iteration % self.lb_period == 0:
+            self.at_sync()
+        else:
+            self.chain("begin_iteration", None)
+
+    def resume_from_sync(self, _msg) -> None:
+        """Load-balancer client: continue after a possible migration."""
+        self.chain("begin_iteration", None)
+
+
+class JacobiMain(Chare):
+    """Main chare: starts the array with a single broadcast."""
+
+    def init(self, array=None, **_ignored) -> None:
+        self._array = array
+
+    def begin(self, _msg) -> None:
+        self.compute(2.0)
+        self._array.broadcast_from(self._ctx(), "start", None, size=16.0)
+
+
+def run(
+    chares: Tuple[int, int] = (8, 8),
+    pes: int = 8,
+    iterations: int = 2,
+    seed: int = 0,
+    ghost_bytes: float = 512.0,
+    compute_cost: float = 60.0,
+    latency: Optional[LatencyModel] = None,
+    noise: Optional[NoiseModel] = None,
+    tracing: Optional[TracingOptions] = None,
+    mapping: str = "block",
+    lb_period: int = 0,
+    balancer=None,
+) -> Trace:
+    """Simulate Jacobi 2D and return its trace.
+
+    Parameters mirror the paper's experiments: ``chares=(8, 8), pes=8`` is
+    the Figure 8 setting; ``(4, 4)`` with 8 PEs gives the 16-chare runs of
+    Figures 12-15.  Pass a noise model to inject stragglers or jitter.
+
+    ``lb_period=N`` inserts a measurement-based load-balancing step (with
+    chare migration) every N iterations; ``balancer`` selects the strategy
+    (default :class:`~repro.sim.charm.loadbalance.GreedyBalancer`).
+    """
+    nx, ny = chares
+    rt = CharmRuntime(
+        num_pes=pes,
+        latency=latency or UniformLatency(seed=seed, jitter=0.4),
+        noise=noise,
+        tracing=tracing,
+        metadata={"app": "jacobi2d", "chares": [nx, ny], "iterations": iterations},
+    )
+    if balancer is not None:
+        rt.set_balance_strategy(balancer)
+    arr = rt.create_array(
+        "Jacobi", JacobiBlock, shape=(nx, ny), mapping=mapping,
+        nx=nx, ny=ny, iterations=iterations,
+        ghost_bytes=ghost_bytes, compute_cost=compute_cost,
+        lb_period=lb_period,
+    )
+    main = rt.create_chare("Main", JacobiMain, pe=0, array=arr)
+    rt.seed(main.chare, "begin")
+    rt.run()
+    return rt.finish()

@@ -1,0 +1,256 @@
+"""LULESH: unstructured Lagrangian hydrodynamics proxy (Figures 16-19).
+
+The paper compares MPI and Charm++ implementations:
+
+* **MPI** — after a setup phase, every iteration runs *three* neighbour-
+  exchange phases (force, position, gradient) followed by an allreduce of
+  the time-step constraint.
+* **Charm++** — after setup, every iteration runs *two* ghost-exchange
+  phases (with mirrored communication patterns) followed by the allreduce
+  through the reduction managers.
+
+Both decompose a 3D domain into blocks with face neighbours.  The Charm++
+variant is also the workload of the scaling study (Figures 18/19), so its
+parameters accept large chare counts and iteration counts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Optional, Tuple
+
+from repro.sim.charm import Chare, CharmRuntime, EntrySpec, TracingOptions, WhenCounter
+from repro.sim.mpi import MpiSimulation, RankApi
+from repro.sim.network import LatencyModel, UniformLatency
+from repro.sim.noise import NoiseModel
+from repro.trace.model import Trace
+
+
+def _grid_shape(count: int) -> Tuple[int, int, int]:
+    """Near-cubic 3D factorization of ``count`` (exact)."""
+    best = (count, 1, 1)
+    best_score = float("inf")
+    for a in range(1, int(round(count ** (1 / 3))) + 2):
+        if count % a:
+            continue
+        rest = count // a
+        for b in range(a, int(math.isqrt(rest)) + 1):
+            if rest % b:
+                continue
+            c = rest // b
+            score = (c - a) + (c - b)
+            if score < best_score:
+                best_score = score
+                best = (a, b, c)
+    return best
+
+
+def _face_neighbors(index: Tuple[int, int, int], shape: Tuple[int, int, int]):
+    x, y, z = index
+    sx, sy, sz = shape
+    for dx, dy, dz in ((-1, 0, 0), (1, 0, 0), (0, -1, 0), (0, 1, 0),
+                       (0, 0, -1), (0, 0, 1)):
+        nx, ny, nz = x + dx, y + dy, z + dz
+        if 0 <= nx < sx and 0 <= ny < sy and 0 <= nz < sz:
+            yield (nx, ny, nz)
+
+
+# ---------------------------------------------------------------------------
+# Charm++ implementation
+# ---------------------------------------------------------------------------
+class LuleshChare(Chare):
+    """One 3D block of the Charm++ LULESH decomposition."""
+
+    ENTRIES = {
+        "begin_iteration": EntrySpec(is_sdag_serial=True, sdag_ordinal=0),
+        "recv_force": EntrySpec(is_sdag_serial=True, sdag_ordinal=1),
+        "stress": EntrySpec(is_sdag_serial=True, sdag_ordinal=2),
+        "recv_position": EntrySpec(is_sdag_serial=True, sdag_ordinal=3),
+        "dt_calc": EntrySpec(is_sdag_serial=True, sdag_ordinal=4),
+        "setup_exchange": EntrySpec(is_sdag_serial=True, sdag_ordinal=5),
+        "recv_setup": EntrySpec(is_sdag_serial=True, sdag_ordinal=6),
+    }
+
+    def init(self, iterations: int = 2,
+             ghost_bytes: float = 2048.0, compute_cost: float = 120.0,
+             **_ignored) -> None:
+        self.iterations = iterations
+        self.ghost_bytes = ghost_bytes
+        self.compute_cost = compute_cost
+        self.iteration = 0
+        self._neighbors: List = []
+        self._setup_when: Optional[WhenCounter] = None
+        self._force_when: Optional[WhenCounter] = None
+        self._pos_when: Optional[WhenCounter] = None
+
+    def _resolve_neighbors(self):
+        self._neighbors = [
+            self.array[idx] for idx in _face_neighbors(self.index, self.array.shape)
+        ]
+        degree = len(self._neighbors)
+        self._setup_when = WhenCounter(degree)
+        self._force_when = WhenCounter(degree)
+        self._pos_when = WhenCounter(degree)
+
+    # -- setup phase -------------------------------------------------------
+    def start(self, _msg) -> None:
+        """Problem setup: initialize state and exchange domain metadata."""
+        self._resolve_neighbors()
+        self.chain("setup_exchange", None)
+
+    def setup_exchange(self, _msg) -> None:
+        self.compute(self.compute_cost * 0.5)
+        for nb in self._neighbors:
+            self.send(nb, "recv_setup", None, size=self.ghost_bytes)
+
+    def recv_setup(self, _msg) -> None:
+        if self._setup_when.deposit("setup"):
+            self.contribute(0.0, "max", ("broadcast", "setup_done"))
+
+    def setup_done(self, _value: float) -> None:
+        """Setup reduction client: begin the first iteration."""
+        if self.iterations > 0:
+            self.chain("begin_iteration", None)
+
+    # -- iteration ---------------------------------------------------------
+    def begin_iteration(self, _msg) -> None:
+        """Serial 0: compute nodal forces, exchange force ghosts."""
+        self.compute(self.compute_cost)
+        for nb in self._neighbors:
+            self.send(nb, "recv_force", self.iteration, size=self.ghost_bytes)
+
+    def recv_force(self, iteration: int) -> None:
+        if self._force_when.deposit(iteration):
+            self.chain("stress", iteration)
+
+    def stress(self, _iteration: int) -> None:
+        """Serial 2: stress/hourglass update, exchange position ghosts.
+
+        The communication pattern mirrors the force exchange (reversed
+        neighbour order), matching the paper's "mirrored" description.
+        """
+        self.compute(self.compute_cost)
+        for nb in reversed(self._neighbors):
+            self.send(nb, "recv_position", self.iteration, size=self.ghost_bytes)
+
+    def recv_position(self, iteration: int) -> None:
+        if self._pos_when.deposit(iteration):
+            self.chain("dt_calc", iteration)
+
+    def dt_calc(self, _iteration: int) -> None:
+        """Serial 4: local time-step constraint into a min-reduction."""
+        self.compute(self.compute_cost * 0.4)
+        dt = 1.0 / (2 + self.iteration)
+        self.contribute(dt, "min", ("broadcast", "resume"))
+
+    def resume(self, _value: float) -> None:
+        """dt reduction client: advance to the next iteration (or stop)."""
+        self.iteration += 1
+        if self.iteration < self.iterations:
+            self.chain("begin_iteration", None)
+
+
+class LuleshMain(Chare):
+    """Main chare: broadcasts the start signal."""
+
+    def init(self, array=None, **_ignored) -> None:
+        self._array = array
+
+    def begin(self, _msg) -> None:
+        self.compute(5.0)
+        self._array.broadcast_from(self._ctx(), "start", None, size=32.0)
+
+
+def run_charm(
+    chares: int = 8,
+    pes: int = 2,
+    iterations: int = 2,
+    seed: int = 0,
+    ghost_bytes: float = 2048.0,
+    compute_cost: float = 120.0,
+    latency: Optional[LatencyModel] = None,
+    noise: Optional[NoiseModel] = None,
+    tracing: Optional[TracingOptions] = None,
+) -> Trace:
+    """Simulate Charm++ LULESH; ``chares`` must factor into a 3D grid."""
+    shape = _grid_shape(chares)
+    rt = CharmRuntime(
+        num_pes=pes,
+        latency=latency or UniformLatency(seed=seed, jitter=0.3),
+        noise=noise,
+        tracing=tracing,
+        metadata={"app": "lulesh", "model": "charm", "chares": chares,
+                  "iterations": iterations},
+    )
+    arr = rt.create_array(
+        "Domain", LuleshChare, shape=shape, iterations=iterations,
+        ghost_bytes=ghost_bytes, compute_cost=compute_cost,
+    )
+    main = rt.create_chare("Main", LuleshMain, pe=0, array=arr)
+    rt.seed(main.chare, "begin")
+    rt.run()
+    return rt.finish()
+
+
+# ---------------------------------------------------------------------------
+# MPI implementation
+# ---------------------------------------------------------------------------
+def _mpi_rank_fn(shape: Tuple[int, int, int], iterations: int,
+                 ghost_bytes: float, compute_cost: float):
+    sx, sy, sz = shape
+
+    def coords(rank: int) -> Tuple[int, int, int]:
+        return (rank // (sy * sz), (rank // sz) % sy, rank % sz)
+
+    def rank_of(idx: Tuple[int, int, int]) -> int:
+        return idx[0] * sy * sz + idx[1] * sz + idx[2]
+
+    def body(rank: int, comm: RankApi) -> Iterator:
+        me = coords(rank)
+        nbrs = [rank_of(n) for n in _face_neighbors(me, shape)]
+        # Setup phase: initial exchange + readiness allreduce.
+        yield comm.compute(compute_cost * 0.5)
+        for nb in nbrs:
+            yield comm.send(nb, tag=90_000, size=ghost_bytes)
+        for nb in nbrs:
+            yield comm.recv(nb, tag=90_000)
+        yield comm.allreduce(0.0, op="max")
+        for it in range(iterations):
+            # Three exchange phases per iteration (force, position,
+            # gradient), then the dt allreduce — the Figure 16 MPI shape.
+            # Like real LULESH, receives are posted up front (irecv) and
+            # completed with a Waitall after the sends go out.
+            for phase in range(3):
+                tag = it * 10 + phase
+                yield comm.compute(compute_cost)
+                requests = []
+                for nb in nbrs:
+                    requests.append((yield comm.irecv(nb, tag=tag)))
+                for nb in nbrs:
+                    yield comm.isend(nb, tag=tag, size=ghost_bytes)
+                yield comm.waitall(requests)
+            yield comm.compute(compute_cost * 0.4)
+            yield comm.allreduce(1.0 / (2 + it), op="min")
+
+    return body
+
+
+def run_mpi(
+    ranks: int = 8,
+    iterations: int = 2,
+    seed: int = 0,
+    ghost_bytes: float = 2048.0,
+    compute_cost: float = 120.0,
+    latency: Optional[LatencyModel] = None,
+    noise: Optional[NoiseModel] = None,
+) -> Trace:
+    """Simulate MPI LULESH; ``ranks`` must factor into a 3D grid."""
+    shape = _grid_shape(ranks)
+    sim = MpiSimulation(
+        num_ranks=ranks,
+        latency=latency or UniformLatency(seed=seed, jitter=0.3),
+        noise=noise,
+        metadata={"app": "lulesh", "chares": ranks, "iterations": iterations},
+    )
+    sim.run(_mpi_rank_fn(shape, iterations, ghost_bytes, compute_cost))
+    return sim.finish()

@@ -1,0 +1,90 @@
+"""Distributed merge-tree construction (MPI), Figure 10's workload.
+
+Each process extracts a local merge tree from its data block (compute cost
+is data dependent, so processes finish at very different times).  Trees
+are then combined up a binomial tree: a process with children
+``rank + 2^k`` waits for each child's tree with a Waitany-style receive
+and merges them *in arrival order* — the "early version of a merge tree
+algorithm" behaviour the paper studies — then sends its combined tree to
+its parent.
+
+Because merges happen in arrival order, data-dependent load imbalance
+scrambles the receive sequence: a deep child subtree can finish before a
+shallow one, so a logically-late message is received (and traced) before a
+logically-early one.  Under physical-time stepping, the early message is
+then forced to a much later step than its peers; the Section 3.2.1
+reordering restores the level-by-level parallel structure (Figure 10).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional
+
+from repro.sim.mpi import MpiSimulation, RankApi
+from repro.sim.network import LatencyModel, UniformLatency
+from repro.sim.noise import NoiseModel
+from repro.trace.model import Trace
+
+
+def children_of(rank: int, ranks: int) -> List[int]:
+    """Binomial-tree children of ``rank`` (e.g. 0 -> [1, 2, 4, 8, ...])."""
+    out = []
+    k = 0
+    while True:
+        bit = 1 << k
+        if rank & (bit - 1) or rank + bit >= ranks:
+            break
+        if rank & bit:
+            break
+        out.append(rank + bit)
+        k += 1
+    return [c for c in out if c < ranks]
+
+
+def parent_of(rank: int) -> int:
+    """Binomial-tree parent of ``rank`` (clear its lowest set bit)."""
+    return rank & (rank - 1) if rank else -1
+
+
+def run(
+    ranks: int = 64,
+    seed: int = 0,
+    base_cost: float = 40.0,
+    imbalance: float = 3.0,
+    merge_cost: float = 12.0,
+    tree_bytes: float = 4096.0,
+    latency: Optional[LatencyModel] = None,
+    noise: Optional[NoiseModel] = None,
+) -> Trace:
+    """Simulate the merge-tree algorithm; ``ranks`` must be a power of two.
+
+    ``imbalance`` scales the spread of the data-dependent local compute:
+    local cost is ``base_cost * (1 + imbalance * u)`` with ``u`` uniform
+    per rank.  The paper's trace used 1,024 processes.
+    """
+    if ranks < 2 or ranks & (ranks - 1):
+        raise ValueError("ranks must be a power of two >= 2")
+    rng = random.Random(seed)
+    local_cost = [base_cost * (1.0 + imbalance * rng.random()) for _ in range(ranks)]
+
+    def body(rank: int, comm: RankApi) -> Iterator:
+        yield comm.compute(local_cost[rank])
+        kids = children_of(rank, ranks)
+        merged = 1
+        if kids:
+            # Waitany loop: children's trees merge in arrival order.
+            received = yield comm.recv_merge(kids, tag=0, cost_per_unit=merge_cost)
+            merged += sum(size for _src, size in received)
+        if rank:
+            yield comm.send(parent_of(rank), tag=0, size=tree_bytes * merged,
+                            payload=merged)
+
+    sim = MpiSimulation(
+        num_ranks=ranks,
+        latency=latency or UniformLatency(seed=seed, jitter=0.5),
+        noise=noise,
+        metadata={"app": "mergetree", "ranks": ranks},
+    )
+    sim.run(body)
+    return sim.finish()

@@ -1,0 +1,196 @@
+"""Two-level multigrid V-cycle on a pair of chare arrays.
+
+An extension workload beyond the paper's case studies: two *different*
+chare arrays interact — a fine grid smooths and restricts its residual to
+a coarse grid (4 fine blocks per coarse block), the coarse grid solves and
+prolongates the correction back, and the fine grid applies it and joins a
+residual reduction.  Per V-cycle the recovered logical structure shows the
+nested pattern
+
+    fine smooth/exchange -> restriction -> coarse exchange/solve ->
+    prolongation -> correction -> allreduce
+
+with the inter-array restriction/prolongation messages gluing the two
+arrays' phases together — a good stress test for the phase finding, which
+must keep the per-array exchanges separate while ordering them through
+the cross-array dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.sim.charm import Chare, CharmRuntime, EntrySpec, TracingOptions, WhenCounter
+from repro.sim.network import LatencyModel, UniformLatency
+from repro.sim.noise import NoiseModel
+from repro.trace.model import Trace
+
+
+def _neighbors(array, index: Tuple[int, int]) -> List:
+    sx, sy = array.shape
+    out = []
+    for dx, dy in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+        nx, ny = index[0] + dx, index[1] + dy
+        if 0 <= nx < sx and 0 <= ny < sy:
+            out.append(array[(nx, ny)])
+    return out
+
+
+class FineBlock(Chare):
+    """Fine-grid block: smooth, restrict, await correction, reduce."""
+
+    ENTRIES = {
+        "smooth": EntrySpec(is_sdag_serial=True, sdag_ordinal=0),
+        "recv_ghost": EntrySpec(is_sdag_serial=True, sdag_ordinal=1),
+        "restrict_residual": EntrySpec(is_sdag_serial=True, sdag_ordinal=2),
+        "recv_correction": EntrySpec(is_sdag_serial=True, sdag_ordinal=3),
+        "apply_correction": EntrySpec(is_sdag_serial=True, sdag_ordinal=4),
+    }
+
+    def init(self, cycles: int = 2, smooth_cost: float = 40.0,
+             ghost_bytes: float = 256.0, coarse=None, **_ignored) -> None:
+        self.cycles = cycles
+        self.smooth_cost = smooth_cost
+        self.ghost_bytes = ghost_bytes
+        self.coarse = coarse
+        self.cycle = 0
+        self._when: Optional[WhenCounter] = None
+
+    def start(self, _msg) -> None:
+        self._when = WhenCounter(len(_neighbors(self.array, self.index)))
+        self.chain("smooth", None)
+
+    def smooth(self, _msg) -> None:
+        """Serial 0: pre-smoothing sweep, then ghost exchange."""
+        self.compute(self.smooth_cost)
+        for nb in _neighbors(self.array, self.index):
+            self.send(nb, "recv_ghost", self.cycle, size=self.ghost_bytes)
+
+    def recv_ghost(self, cycle: int) -> None:
+        if self._when.deposit(("ghost", cycle)):
+            self.chain("restrict_residual", cycle)
+
+    def restrict_residual(self, cycle: int) -> None:
+        """Serial 2: restrict this block's residual to its coarse parent."""
+        self.compute(self.smooth_cost * 0.3)
+        parent = self.coarse[(self.index[0] // 2, self.index[1] // 2)]
+        self.send(parent, "recv_restriction", cycle, size=self.ghost_bytes / 2)
+
+    def recv_correction(self, cycle: int) -> None:
+        self.chain("apply_correction", cycle)
+
+    def apply_correction(self, _cycle: int) -> None:
+        """Serial 4: apply the coarse correction, contribute the residual."""
+        self.compute(self.smooth_cost * 0.5)
+        residual = 1.0 / (1 + self.cycle)
+        self.contribute(residual, "max", ("broadcast", "resume"))
+
+    def resume(self, _residual: float) -> None:
+        self.cycle += 1
+        if self.cycle < self.cycles:
+            self.chain("smooth", None)
+
+
+class CoarseBlock(Chare):
+    """Coarse-grid block: gather restrictions, solve, prolongate."""
+
+    ENTRIES = {
+        "recv_restriction": EntrySpec(is_sdag_serial=True, sdag_ordinal=0),
+        "solve": EntrySpec(is_sdag_serial=True, sdag_ordinal=1),
+        "recv_cghost": EntrySpec(is_sdag_serial=True, sdag_ordinal=2),
+        "prolongate": EntrySpec(is_sdag_serial=True, sdag_ordinal=3),
+    }
+
+    def init(self, solve_cost: float = 60.0, ghost_bytes: float = 256.0,
+             fine=None, **_ignored) -> None:
+        self.solve_cost = solve_cost
+        self.ghost_bytes = ghost_bytes
+        self.fine = fine
+        self._restrict_when = WhenCounter(4)
+        self._ghost_when: Optional[WhenCounter] = None
+
+    def recv_restriction(self, cycle: int) -> None:
+        """SDAG when: residuals from the four fine children."""
+        if self._restrict_when.deposit(cycle):
+            self.chain("solve", cycle)
+
+    def solve(self, cycle: int) -> None:
+        """Serial 1: coarse relaxation, exchanging coarse ghosts."""
+        if self._ghost_when is None:
+            self._ghost_when = WhenCounter(
+                max(1, len(_neighbors(self.array, self.index)))
+            )
+        self.compute(self.solve_cost)
+        nbrs = _neighbors(self.array, self.index)
+        if not nbrs:
+            # Single coarse block: no exchange, prolongate directly.
+            self.chain("prolongate", cycle)
+            return
+        for nb in nbrs:
+            self.send(nb, "recv_cghost", cycle, size=self.ghost_bytes)
+
+    def recv_cghost(self, cycle: int) -> None:
+        if self._ghost_when.deposit(cycle):
+            self.chain("prolongate", cycle)
+
+    def prolongate(self, cycle: int) -> None:
+        """Serial 3: push corrections back to the four fine children."""
+        self.compute(self.solve_cost * 0.4)
+        cx, cy = self.index
+        for dx in (0, 1):
+            for dy in (0, 1):
+                child = self.fine[(2 * cx + dx, 2 * cy + dy)]
+                self.send(child, "recv_correction", cycle,
+                          size=self.ghost_bytes / 2)
+
+
+class MultigridMain(Chare):
+    """Main chare: starts the fine array."""
+
+    def init(self, fine=None, **_ignored) -> None:
+        self._fine = fine
+
+    def begin(self, _msg) -> None:
+        self.compute(2.0)
+        self._fine.broadcast_from(self._ctx(), "start", None, size=16.0)
+
+
+def run(
+    fine: Tuple[int, int] = (4, 4),
+    pes: int = 4,
+    cycles: int = 2,
+    seed: int = 0,
+    smooth_cost: float = 40.0,
+    solve_cost: float = 60.0,
+    latency: Optional[LatencyModel] = None,
+    noise: Optional[NoiseModel] = None,
+    tracing: Optional[TracingOptions] = None,
+) -> Trace:
+    """Simulate the two-level V-cycle; fine dimensions must be even."""
+    fx, fy = fine
+    if fx % 2 or fy % 2:
+        raise ValueError("fine grid dimensions must be even")
+    rt = CharmRuntime(
+        num_pes=pes,
+        latency=latency or UniformLatency(seed=seed, jitter=0.3),
+        noise=noise,
+        tracing=tracing,
+        metadata={"app": "multigrid", "model": "charm",
+                  "fine": [fx, fy], "cycles": cycles},
+    )
+    fine_arr = rt.create_array(
+        "Fine", FineBlock, shape=(fx, fy), cycles=cycles,
+        smooth_cost=smooth_cost,
+    )
+    coarse_arr = rt.create_array(
+        "Coarse", CoarseBlock, shape=(fx // 2, fy // 2),
+        solve_cost=solve_cost,
+    )
+    for block in fine_arr:
+        block.coarse = coarse_arr
+    for block in coarse_arr:
+        block.fine = fine_arr
+    main = rt.create_chare("Main", MultigridMain, pe=0, fine=fine_arr)
+    rt.seed(main.chare, "begin")
+    rt.run()
+    return rt.finish()

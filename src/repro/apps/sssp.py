@@ -1,0 +1,126 @@
+"""Asynchronous single-source shortest paths (chare-based, QD-terminated).
+
+An *irregular* workload to complement the stencil proxies: the graph is
+partitioned over a chare array and distance relaxations travel as
+messages.  There is no iteration structure at all — messages beget
+messages until no improvement remains — so termination uses the runtime's
+quiescence detection, and the recovered logical structure shows one large
+data-dependent application phase polled by QD runtime phases (the PDES
+scenario of Figure 24, but with the detector dependencies *traced*).
+
+The graph itself comes from networkx (seeded `gnm` plus a path to keep it
+connected); the test suite checks the converged distances against
+``networkx.single_source_dijkstra_path_length``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.sim.charm import Chare, CharmRuntime, TracingOptions
+from repro.sim.network import LatencyModel, UniformLatency
+from repro.sim.noise import NoiseModel
+from repro.trace.model import Trace
+
+
+def make_graph(nodes: int, edges: int, seed: int) -> "nx.Graph":
+    """A connected weighted graph: random gnm plus a backbone path."""
+    rng = random.Random(seed)
+    graph = nx.gnm_random_graph(nodes, edges, seed=seed)
+    for i in range(nodes - 1):
+        graph.add_edge(i, i + 1)  # backbone keeps it connected
+    for u, v in graph.edges:
+        graph.edges[u, v]["weight"] = 1 + rng.randrange(9)
+    return graph
+
+
+class GraphPart(Chare):
+    """Owns the nodes with ``node % num_parts == index``."""
+
+    RELAX_COST = 2.0
+
+    def init(self, graph=None, num_parts: int = 1, **_ignored) -> None:
+        self.graph = graph
+        self.num_parts = num_parts
+        self.dist: Dict[int, float] = {}
+
+    def owner(self, node: int) -> Chare:
+        return self.array[(node % self.num_parts,)]
+
+    def relax(self, payload: Tuple[int, float]) -> None:
+        """Process one tentative distance; propagate improvements."""
+        node, dist = payload
+        best = self.dist.get(node)
+        if best is not None and best <= dist:
+            return
+        self.dist[node] = dist
+        self.compute(self.RELAX_COST)
+        for neighbor in self.graph[node]:
+            weight = self.graph.edges[node, neighbor]["weight"]
+            self.send(self.owner(neighbor), "relax",
+                      (neighbor, dist + weight), size=16.0)
+
+    def harvest(self, collector) -> None:
+        """After quiescence: report this partition's distances."""
+        self.compute(0.5)
+        self.send(collector, "collect", dict(self.dist), size=64.0)
+
+
+class Collector(Chare):
+    """Client of quiescence detection: gathers the final distances."""
+
+    def init(self, array=None, **_ignored) -> None:
+        self._array = array
+        self.distances: Dict[int, float] = {}
+        self._pending = 0
+
+    def quiesced(self, _msg) -> None:
+        """QD callback: the relaxation wave has drained — harvest."""
+        self.compute(1.0)
+        self._pending = len(self._array)
+        self._array.broadcast_from(self._ctx(), "harvest", self, size=16.0)
+
+    def collect(self, part_distances: Dict[int, float]) -> None:
+        self.distances.update(part_distances)
+        self._pending -= 1
+
+
+def run(
+    nodes: int = 60,
+    edges: int = 150,
+    parts: int = 8,
+    pes: int = 4,
+    source: int = 0,
+    seed: int = 0,
+    latency: Optional[LatencyModel] = None,
+    noise: Optional[NoiseModel] = None,
+    tracing: Optional[TracingOptions] = None,
+) -> Tuple[Trace, Dict[int, float]]:
+    """Run asynchronous SSSP; returns ``(trace, distances)``."""
+    graph = make_graph(nodes, edges, seed)
+    rt = CharmRuntime(
+        num_pes=pes,
+        latency=latency or UniformLatency(seed=seed, jitter=0.6),
+        noise=noise,
+        tracing=tracing,
+        metadata={"app": "sssp", "model": "charm", "nodes": nodes,
+                  "edges": graph.number_of_edges(), "parts": parts},
+    )
+    arr = rt.create_array("Part", GraphPart, shape=(parts,),
+                          graph=graph, num_parts=parts)
+    collector = rt.create_chare("Collector", Collector, pe=0, array=arr)
+    rt.start_quiescence_detection(collector.chare, "quiesced", at=5.0)
+    rt.seed(arr[(source % parts,)], "relax", (source, 0.0))
+    rt.run()
+    return rt.finish(), dict(collector.chare.distances)
+
+
+def reference_distances(nodes: int, edges: int, seed: int,
+                        source: int = 0) -> Dict[int, float]:
+    """Dijkstra ground truth for the same generated graph."""
+    graph = make_graph(nodes, edges, seed)
+    return dict(nx.single_source_dijkstra_path_length(
+        graph, source, weight="weight"))

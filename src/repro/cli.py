@@ -1,0 +1,353 @@
+"""Command-line interface.
+
+Usage (also available as ``python -m repro``)::
+
+    repro simulate jacobi2d --chares 8x8 --pes 8 --iterations 2 -o t.jsonl
+    repro analyze t.jsonl --render logical --metric diffdur
+    repro analyze t.jsonl --svg structure.svg --csv events.csv
+    repro validate t.jsonl
+    repro sync skewed.jsonl -o fixed.jsonl --min-latency 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.core import PipelineOptions, extract_logical_structure
+from repro.core.patterns import kind_sequence, repeating_unit
+from repro.trace import read_trace, validate_trace, write_trace
+from repro.trace.clocksync import count_violations, synchronize_trace
+from repro.trace.validate import TraceValidationError
+
+
+def _parse_chares(text: str):
+    if "x" in text:
+        parts = tuple(int(p) for p in text.split("x"))
+        return parts
+    return int(text)
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro import apps
+
+    name = args.app
+    kwargs = {"seed": args.seed}
+    if name == "jacobi2d":
+        shape = _parse_chares(args.chares or "8x8")
+        trace = apps.jacobi2d.run(chares=shape, pes=args.pes,
+                                  iterations=args.iterations, **kwargs)
+    elif name == "lulesh":
+        if args.model == "mpi":
+            trace = apps.lulesh.run_mpi(ranks=args.ranks,
+                                        iterations=args.iterations, **kwargs)
+        else:
+            trace = apps.lulesh.run_charm(chares=int(args.chares or 8),
+                                          pes=args.pes,
+                                          iterations=args.iterations, **kwargs)
+    elif name == "lassen":
+        if args.model == "mpi":
+            trace = apps.lassen.run_mpi(ranks=args.ranks,
+                                        iterations=args.iterations, **kwargs)
+        else:
+            trace = apps.lassen.run_charm(chares=int(args.chares or 8),
+                                          pes=args.pes,
+                                          iterations=args.iterations, **kwargs)
+    elif name == "pdes":
+        trace = apps.pdes.run(chares=int(args.chares or 16), pes=args.pes, **kwargs)
+    elif name == "mergetree":
+        trace = apps.mergetree.run(ranks=args.ranks, **kwargs)
+    elif name == "nasbt":
+        trace = apps.nasbt.run(ranks=args.ranks, iterations=args.iterations,
+                               **kwargs)
+    else:
+        print(f"unknown app {name!r}", file=sys.stderr)
+        return 2
+    write_trace(trace, args.output)
+    print(f"wrote {args.output}: {trace}")
+    return 0
+
+
+def _load(path: str):
+    return read_trace(path)
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    trace = _load(args.trace)
+    options = PipelineOptions(
+        mode=args.mode, order=args.order, infer=not args.no_infer,
+        tie_break=args.tie_break,
+    )
+    structure = extract_logical_structure(trace, options=options)
+
+    metric_map = None
+    if args.metric:
+        from repro import metrics as m
+
+        if args.metric == "diffdur":
+            metric_map = m.differential_duration(structure).by_event
+        elif args.metric == "idle":
+            metric_map = m.idle_experienced(structure).by_event
+        elif args.metric == "imbalance":
+            metric_map = m.imbalance(structure).by_event
+        elif args.metric == "lateness":
+            metric_map = m.lateness(structure)
+        else:
+            print(f"unknown metric {args.metric!r}", file=sys.stderr)
+            return 2
+
+    if args.json:
+        from repro.viz import structure_to_json
+
+        payload = {} if metric_map is None else {args.metric: metric_map}
+        print(structure_to_json(structure, payload or None))
+        return 0
+
+    print(structure.summary())
+    print(f"phase kinds: {kind_sequence(structure)}")
+    unit = repeating_unit(structure, min_repeats=2)
+    if unit:
+        print(f"repeating unit ({unit[0]['repeats']}x):")
+        for entry in unit:
+            sig = ", ".join(f"{n.split('::')[-1]}x{c}"
+                            for n, c in entry["signature"])
+            print(f"  [{entry['kind']:11s}] {sig}")
+
+    if args.render or metric_map is not None:
+        from repro.viz import render_logical, render_metric, render_physical
+
+        if metric_map is not None:
+            print(render_metric(structure, metric_map, max_steps=args.max_steps))
+        elif args.render == "physical":
+            print(render_physical(trace, structure))
+        else:
+            print(render_logical(structure, max_steps=args.max_steps))
+
+    if args.svg:
+        from repro.viz import write_svg
+
+        write_svg(structure, args.svg, metric=metric_map,
+                  max_steps=args.max_steps)
+        print(f"wrote {args.svg}")
+    if args.html:
+        from repro.viz import write_html
+
+        write_html(structure, args.html, metric=metric_map,
+                   metric_name=args.metric or "",
+                   title=f"Logical structure: {args.trace}")
+        print(f"wrote {args.html}")
+    if args.csv:
+        from repro.viz import write_csv
+
+        payload = {} if metric_map is None else {args.metric: metric_map}
+        write_csv(structure, args.csv, payload or None)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.metrics import profile_table, usage_profile
+
+    trace = _load(args.trace)
+    print(profile_table(usage_profile(trace), top=args.top))
+    return 0
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    from repro import metrics as m
+    from repro.viz import cluster_timelines, render_clustered
+
+    trace = _load(args.trace)
+    structure = extract_logical_structure(trace)
+    if args.metric == "idle":
+        metric = m.idle_experienced(structure).by_event
+    elif args.metric == "imbalance":
+        metric = m.imbalance(structure).by_event
+    else:
+        metric = m.differential_duration(structure).by_event
+    clusters = cluster_timelines(structure, metric, k=args.k)
+    print(render_clustered(structure, metric, clusters,
+                           max_steps=args.max_steps))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.report import performance_report
+
+    trace = _load(args.trace)
+    structure = extract_logical_structure(
+        trace, options=PipelineOptions(order=args.order)
+    )
+    print(performance_report(structure, top=args.top))
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    from repro.core.diff import diff_structures
+
+    left = extract_logical_structure(_load(args.left))
+    right = extract_logical_structure(_load(args.right))
+    diff = diff_structures(left, right)
+    print(f"similarity: {diff.similarity():.2f} "
+          f"({len(diff.matched)} matched, {len(diff.only_left)} only-left, "
+          f"{len(diff.only_right)} only-right)")
+    for d in diff.worst_regressions(args.top):
+        sig = ", ".join(n.split("::")[-1] for n, _ in d.signature)
+        print(f"  x{d.time_ratio:5.2f}  {d.time_left:9.1f} -> "
+              f"{d.time_right:9.1f}  [{sig}]")
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments import all_experiments, get, run_experiment
+
+    if args.list:
+        for exp in all_experiments():
+            print(f"{exp.id:10s} {exp.paper:20s} {exp.title}")
+        return 0
+    targets = ([get(i) for i in args.ids] if args.ids
+               else all_experiments())
+    failed = 0
+    for exp in targets:
+        report = run_experiment(exp)
+        print(report.summary())
+        if not report.passed:
+            failed += 1
+    print(f"\n{len(targets) - failed}/{len(targets)} experiments passed")
+    return 1 if failed else 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    trace = _load(args.trace)
+    try:
+        validate_trace(trace, check_pe_overlap=not args.allow_overlap)
+    except TraceValidationError as exc:
+        print(exc)
+        return 1
+    violations = count_violations(trace)
+    print(f"OK: {trace} ({violations} clock violations)")
+    return 0
+
+
+def cmd_sync(args: argparse.Namespace) -> int:
+    trace = _load(args.trace)
+    fixed, stats = synchronize_trace(trace, min_latency=args.min_latency)
+    write_trace(fixed, args.output)
+    print(json.dumps({
+        "violations_before": stats.violations_before,
+        "violations_after_offsets": stats.violations_after_offsets,
+        "violations_after": stats.violations_after,
+        "amortized_blocks": stats.amortized_blocks,
+        "pe_offsets": [round(o, 3) for o in stats.pe_offsets],
+    }, indent=1))
+    print(f"wrote {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Recover logical structure from Charm++/MPI event traces",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run a proxy app, write its trace")
+    sim.add_argument("app", choices=["jacobi2d", "lulesh", "lassen", "pdes",
+                                     "mergetree", "nasbt"])
+    sim.add_argument("-o", "--output", default="trace.jsonl")
+    sim.add_argument("--chares", default=None,
+                     help="chare count, or WxH for jacobi2d")
+    sim.add_argument("--ranks", type=int, default=8)
+    sim.add_argument("--pes", type=int, default=8)
+    sim.add_argument("--iterations", type=int, default=2)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--model", choices=["charm", "mpi"], default="charm")
+    sim.set_defaults(func=cmd_simulate)
+
+    ana = sub.add_parser("analyze", help="extract and inspect logical structure")
+    ana.add_argument("trace")
+    ana.add_argument("--order", choices=["reordered", "physical"],
+                     default="reordered")
+    ana.add_argument("--mode", choices=["auto", "charm", "mpi"], default="auto")
+    ana.add_argument("--no-infer", action="store_true",
+                     help="disable Section 3.1.4 inference (Figure 17 mode)")
+    ana.add_argument("--tie-break", choices=["chare_id", "index"],
+                     default="chare_id")
+    ana.add_argument("--render", choices=["logical", "physical"], default=None)
+    ana.add_argument("--metric",
+                     choices=["diffdur", "idle", "imbalance", "lateness"],
+                     default=None)
+    ana.add_argument("--max-steps", type=int, default=120)
+    ana.add_argument("--svg", default=None, help="write an SVG rendering")
+    ana.add_argument("--html", default=None,
+                     help="write a standalone HTML report")
+    ana.add_argument("--csv", default=None, help="write per-event rows")
+    ana.add_argument("--json", action="store_true",
+                     help="dump the full structure as JSON")
+    ana.set_defaults(func=cmd_analyze)
+
+    pro = sub.add_parser("profile", help="Projections-style usage profile")
+    pro.add_argument("trace")
+    pro.add_argument("--top", type=int, default=10)
+    pro.set_defaults(func=cmd_profile)
+
+    clu = sub.add_parser("cluster", help="cluster chare timelines by metric")
+    clu.add_argument("trace")
+    clu.add_argument("--metric", choices=["diffdur", "idle", "imbalance"],
+                     default="diffdur")
+    clu.add_argument("-k", type=int, default=4)
+    clu.add_argument("--max-steps", type=int, default=100)
+    clu.set_defaults(func=cmd_cluster)
+
+    rep = sub.add_parser("report", help="combined performance report")
+    rep.add_argument("trace")
+    rep.add_argument("--order", choices=["reordered", "physical"],
+                     default="reordered")
+    rep.add_argument("--top", type=int, default=5)
+    rep.set_defaults(func=cmd_report)
+
+    dif = sub.add_parser("diff", help="compare two traces' structures")
+    dif.add_argument("left")
+    dif.add_argument("right")
+    dif.add_argument("--top", type=int, default=5)
+    dif.set_defaults(func=cmd_diff)
+
+    exp = sub.add_parser("experiments",
+                         help="run the paper's experiments (scaled)")
+    exp.add_argument("ids", nargs="*",
+                     help="experiment ids (default: all); see --list")
+    exp.add_argument("--list", action="store_true")
+    exp.set_defaults(func=cmd_experiments)
+
+    val = sub.add_parser("validate", help="check trace structural invariants")
+    val.add_argument("trace")
+    val.add_argument("--allow-overlap", action="store_true")
+    val.set_defaults(func=cmd_validate)
+
+    syn = sub.add_parser("sync", help="repair cross-PE clock skew")
+    syn.add_argument("trace")
+    syn.add_argument("-o", "--output", default="synced.jsonl")
+    syn.add_argument("--min-latency", type=float, default=0.0)
+    syn.set_defaults(func=cmd_sync)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

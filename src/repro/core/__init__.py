@@ -1,0 +1,25 @@
+"""The paper's contribution: logical-structure recovery from event traces.
+
+The public entry point is :func:`repro.core.pipeline.extract_logical_structure`,
+which runs the two-stage algorithm of Section 3:
+
+1. *Phase finding* — partition dependency events into a DAG of phases
+   (:mod:`repro.core.initial`, :mod:`repro.core.merges`,
+   :mod:`repro.core.inference`).
+2. *Step assignment* — order events within each phase (optionally with the
+   idealized-replay reordering of Section 3.2.1, :mod:`repro.core.reorder`)
+   and assign global logical steps (:mod:`repro.core.stepping`).
+
+The result is a :class:`repro.core.structure.LogicalStructure`, consumed by
+:mod:`repro.metrics` and :mod:`repro.viz`.
+"""
+
+from repro.core.pipeline import PipelineOptions, extract_logical_structure
+from repro.core.structure import LogicalStructure, Phase
+
+__all__ = [
+    "PipelineOptions",
+    "extract_logical_structure",
+    "LogicalStructure",
+    "Phase",
+]

@@ -1,0 +1,154 @@
+"""Comparing logical structures across runs.
+
+The logical structure abstracts away physical-time noise, which makes it a
+natural basis for *run-to-run comparison*: two executions of the same
+program (different seeds, machines, or code versions) should produce the
+same phase skeleton, and differences in per-phase cost localize a
+regression to a phase the developer can name.  This module aligns two
+structures phase-by-phase (by entry-method signature sequence, using a
+longest-common-subsequence alignment) and reports structural and timing
+deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.patterns import signature_sequence
+from repro.core.structure import LogicalStructure
+from repro.metrics.duration import sub_block_durations
+
+
+@dataclass
+class PhaseDelta:
+    """One aligned phase pair (or an unmatched phase)."""
+
+    #: Phase ids in the two structures; None marks an unmatched phase.
+    left: Optional[int]
+    right: Optional[int]
+    signature: Tuple = ()
+    #: Steps the phase spans in each structure.
+    steps_left: int = 0
+    steps_right: int = 0
+    #: Total sub-block duration in each structure.
+    time_left: float = 0.0
+    time_right: float = 0.0
+
+    @property
+    def matched(self) -> bool:
+        return self.left is not None and self.right is not None
+
+    @property
+    def time_ratio(self) -> float:
+        """right/left duration ratio (inf when left is zero)."""
+        if self.time_left <= 0:
+            return float("inf") if self.time_right > 0 else 1.0
+        return self.time_right / self.time_left
+
+
+@dataclass
+class StructureDiff:
+    """Alignment of two logical structures."""
+
+    deltas: List[PhaseDelta] = field(default_factory=list)
+
+    @property
+    def matched(self) -> List[PhaseDelta]:
+        return [d for d in self.deltas if d.matched]
+
+    @property
+    def only_left(self) -> List[PhaseDelta]:
+        return [d for d in self.deltas if d.right is None]
+
+    @property
+    def only_right(self) -> List[PhaseDelta]:
+        return [d for d in self.deltas if d.left is None]
+
+    def similarity(self) -> float:
+        """Fraction of phases participating in the alignment (0..1)."""
+        if not self.deltas:
+            return 1.0
+        return 2 * len(self.matched) / (
+            2 * len(self.matched) + len(self.only_left) + len(self.only_right)
+        )
+
+    def worst_regressions(self, n: int = 5) -> List[PhaseDelta]:
+        """Matched phases with the largest right/left time growth."""
+        return sorted(self.matched, key=lambda d: -d.time_ratio)[:n]
+
+
+def _phase_times(structure: LogicalStructure) -> Dict[int, float]:
+    durations = sub_block_durations(structure)
+    out: Dict[int, float] = {}
+    for ev, dur in durations.items():
+        phase = structure.phase_of_event[ev]
+        if phase >= 0:
+            out[phase] = out.get(phase, 0.0) + dur
+    return out
+
+
+def diff_structures(left: LogicalStructure, right: LogicalStructure) -> StructureDiff:
+    """Align two structures by phase-signature LCS and report deltas.
+
+    Alignment compares the *set* of entry methods per phase rather than
+    exact event counts: scheduling noise can move a few events between
+    same-kind phases (e.g. a reduction forward landing in a different
+    manager block) without changing what the phase is.
+    """
+    lorder = left.phase_sequence()
+    rorder = right.phase_sequence()
+    lsigs = signature_sequence(left)
+    rsigs = signature_sequence(right)
+    lkeys = [tuple(sorted(name for name, _ in sig)) for sig in lsigs]
+    rkeys = [tuple(sorted(name for name, _ in sig)) for sig in rsigs]
+
+    # Longest common subsequence over signature keys.
+    n, m = len(lkeys), len(rkeys)
+    table = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(n - 1, -1, -1):
+        for j in range(m - 1, -1, -1):
+            if lkeys[i] == rkeys[j]:
+                table[i][j] = table[i + 1][j + 1] + 1
+            else:
+                table[i][j] = max(table[i + 1][j], table[i][j + 1])
+
+    ltime = _phase_times(left)
+    rtime = _phase_times(right)
+
+    def delta(li: Optional[int], ri: Optional[int]) -> PhaseDelta:
+        d = PhaseDelta(
+            left=lorder[li] if li is not None else None,
+            right=rorder[ri] if ri is not None else None,
+            signature=lsigs[li] if li is not None else rsigs[ri],
+        )
+        if li is not None:
+            phase = left.phase(lorder[li])
+            d.steps_left = phase.max_local_step + 1
+            d.time_left = ltime.get(phase.id, 0.0)
+        if ri is not None:
+            phase = right.phase(rorder[ri])
+            d.steps_right = phase.max_local_step + 1
+            d.time_right = rtime.get(phase.id, 0.0)
+        return d
+
+    diff = StructureDiff()
+    i = j = 0
+    while i < n and j < m:
+        if lkeys[i] == rkeys[j]:
+            diff.deltas.append(delta(i, j))
+            i += 1
+            j += 1
+        elif table[i + 1][j] >= table[i][j + 1]:
+            diff.deltas.append(delta(i, None))
+            i += 1
+        else:
+            diff.deltas.append(delta(None, j))
+            j += 1
+    while i < n:
+        diff.deltas.append(delta(i, None))
+        i += 1
+    while j < m:
+        diff.deltas.append(delta(None, j))
+        j += 1
+    return diff

@@ -1,0 +1,264 @@
+"""Initial partitions: serial blocks, absorption, and boundary splitting.
+
+Implements Section 3.1.1 plus the SDAG preprocessing of Section 2.1:
+
+* **Blocks.**  Executions are grouped into serial blocks.  An entry method
+  that ends exactly where an SDAG ``serial`` execution of the same chare
+  begins (the runtime schedules chained serials with no gap) is *absorbed*
+  into that serial's block.
+* **Pieces.**  Each block's dependency events are split into maximal runs
+  of application-related vs. runtime-related events (Figure 2).  Each run
+  is one initial partition.
+* **Edges.**  (1) matched remote invocations, (2) happened-before between
+  the split pieces of one block, (3) SDAG-inferred happened-before between
+  consecutive blocks of one chare whose serial ordinals are ``n`` and
+  ``n+1``.
+
+MPI mode follows Isaacs et al. [13]: every dependency event is its own
+initial partition and per-process program order supplies CHAIN edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.partition import EdgeKind, PartitionState
+from repro.trace.events import NO_ID, EventKind
+from repro.trace.model import Trace
+
+
+@dataclass
+class Block:
+    """A serial block: one execution plus any executions absorbed into it."""
+
+    id: int
+    chare: int
+    pe: int
+    executions: List[int]
+    events: List[int] = field(default_factory=list)
+    start: float = 0.0
+    end: float = 0.0
+    #: SDAG ordinal of the block's (last) serial entry; -1 when not SDAG.
+    sdag_ordinal: int = -1
+    #: Entry id of the block's defining (last) execution.
+    entry: int = -1
+    #: RECV event that triggered the block's first execution (NO_ID if untraced).
+    recv_event: int = NO_ID
+
+
+@dataclass
+class InitialStructure:
+    """Output of this stage, input to the merge pipeline."""
+
+    blocks: List[Block]
+    block_of_event: List[int]
+    block_of_exec: List[int]
+    state: PartitionState
+
+
+def build_blocks(trace: Trace, absorb_tolerance: float = 1e-9) -> Tuple[List[Block], List[int]]:
+    """Group executions into serial blocks with SDAG absorption.
+
+    Returns ``(blocks, block_of_exec)``.
+    """
+    block_of_exec = [-1] * len(trace.executions)
+    blocks: List[Block] = []
+    entries = trace.entries
+    for chare_id, exec_ids in trace.executions_by_chare.items():
+        current: List[int] = []
+        prev_end = None
+        prev_pe = None
+        prev_serial = False
+        for xid in exec_ids:
+            ex = trace.executions[xid]
+            # Absorption (Section 2.1): a plain entry method running right
+            # before a serial joins that serial's block.  Serial-to-serial
+            # adjacency is NOT absorbed — it becomes an SDAG happened-before
+            # edge instead, which keeps e.g. two back-to-back ghost-exchange
+            # phases separate (the Figure 16 Charm++ LULESH structure).
+            absorb = (
+                current
+                and not prev_serial
+                and entries[ex.entry].is_sdag_serial
+                and prev_pe == ex.pe
+                and abs(ex.start - prev_end) <= absorb_tolerance
+            )
+            if absorb:
+                current.append(xid)
+            else:
+                if current:
+                    blocks.append(_make_block(trace, len(blocks), current))
+                current = [xid]
+            prev_end = ex.end
+            prev_pe = ex.pe
+            prev_serial = entries[ex.entry].is_sdag_serial
+        if current:
+            blocks.append(_make_block(trace, len(blocks), current))
+    for block in blocks:
+        for xid in block.executions:
+            block_of_exec[xid] = block.id
+    return blocks, block_of_exec
+
+
+def _make_block(trace: Trace, block_id: int, exec_ids: List[int]) -> Block:
+    first = trace.executions[exec_ids[0]]
+    last = trace.executions[exec_ids[-1]]
+    events: List[int] = []
+    for xid in exec_ids:
+        events.extend(trace.events_of(xid))
+    events.sort(key=lambda e: (trace.events[e].time, e))
+    ordinal = -1
+    for xid in reversed(exec_ids):
+        entry = trace.entries[trace.executions[xid].entry]
+        if entry.is_sdag_serial:
+            ordinal = entry.sdag_ordinal
+            break
+    return Block(
+        id=block_id,
+        chare=first.chare,
+        pe=first.pe,
+        executions=list(exec_ids),
+        events=events,
+        start=first.start,
+        end=last.end,
+        sdag_ordinal=ordinal,
+        entry=last.entry,
+        recv_event=first.recv_event,
+    )
+
+
+def build_initial(trace: Trace, mode: str = "charm",
+                  absorb_tolerance: float = 1e-9,
+                  relaxed_chain: bool = False) -> InitialStructure:
+    """Construct initial partitions and their dependency edges.
+
+    ``mode`` is ``"charm"`` (task model: serial-block pieces, SDAG edges)
+    or ``"mpi"`` (message-passing model: one event per partition, strict
+    program-order CHAIN edges).
+
+    ``relaxed_chain`` applies only to MPI mode and implements the
+    reordering semantics of Section 3.2.1 at the partition level: sends
+    stay pinned after every event that precedes them, but a *matched*
+    receive is constrained only through its message — freeing it to be
+    stepped with its logical wave rather than its arrival position
+    (Figure 10).  Unmatched receives keep the program-order edge as a
+    fallback.
+    """
+    if mode not in ("charm", "mpi"):
+        raise ValueError(f"unknown mode {mode!r}")
+    blocks, block_of_exec = build_blocks(trace, absorb_tolerance)
+    block_of_event = [-1] * len(trace.events)
+    for block in blocks:
+        for ev in block.events:
+            block_of_event[ev] = block.id
+
+    init_events: List[List[int]] = []
+    init_runtime: List[bool] = []
+    init_block: List[int] = []
+    event_init = [-1] * len(trace.events)
+    edges: List[Tuple[int, int, EdgeKind]] = []
+
+    def new_partition(events: List[int], runtime: bool, block_id: int) -> int:
+        pid = len(init_events)
+        init_events.append(events)
+        init_runtime.append(runtime)
+        init_block.append(block_id)
+        for ev in events:
+            event_init[ev] = pid
+        return pid
+
+    runtime_related = trace.runtime_related_flags()
+
+    if mode == "charm":
+        for block in blocks:
+            prev_pid = -1
+            run: List[int] = []
+            run_rt = False
+            for ev in block.events:
+                ev_rt = runtime_related[ev]
+                if run and ev_rt != run_rt:
+                    pid = new_partition(run, run_rt, block.id)
+                    if prev_pid != -1:
+                        edges.append((prev_pid, pid, EdgeKind.BLOCK))
+                    prev_pid = pid
+                    run = []
+                run.append(ev)
+                run_rt = ev_rt
+            if run:
+                pid = new_partition(run, run_rt, block.id)
+                if prev_pid != -1:
+                    edges.append((prev_pid, pid, EdgeKind.BLOCK))
+    else:
+        for block in blocks:
+            prev_pid = -1
+            for ev in block.events:
+                pid = new_partition([ev], runtime_related[ev], block.id)
+                if prev_pid != -1:
+                    edges.append((prev_pid, pid, EdgeKind.CHAIN))
+                prev_pid = pid
+
+    # Per-chare cross-block edges.
+    blocks_by_chare: Dict[int, List[Block]] = {}
+    for block in blocks:
+        blocks_by_chare.setdefault(block.chare, []).append(block)
+    for chare_blocks in blocks_by_chare.values():
+        chare_blocks.sort(key=lambda b: (b.start, b.id))
+        if mode == "mpi":
+            # Message-passing model: physical per-process order is a
+            # control-flow order (Section 3.4).  Under relaxed chaining
+            # (reordered stepping), only sends are pinned to that order.
+            prev_with_events = None
+            for cur in chare_blocks:
+                if not cur.events:
+                    continue
+                if prev_with_events is not None:
+                    first = cur.events[0]
+                    pinned = trace.events[first].kind == EventKind.SEND
+                    if not pinned:
+                        mid = trace.message_by_recv[first]
+                        matched = (
+                            mid != NO_ID
+                            and trace.messages[mid].send_event != NO_ID
+                        )
+                        pinned = not matched
+                    if not relaxed_chain or pinned:
+                        edges.append(
+                            (
+                                event_init[prev_with_events.events[-1]],
+                                event_init[first],
+                                EdgeKind.CHAIN,
+                            )
+                        )
+                prev_with_events = cur
+            continue
+        # SDAG numbering heuristic (Section 2.1): an event of serial n
+        # observed (in true time) before an event of serial n+1 implies
+        # happened-before.  Every ordinal-(n+1) block after the *latest*
+        # ordinal-n block gets an edge from it — e.g. a serial that sends
+        # ghosts happened-before each of the `when` receives that follow.
+        last_by_ordinal = {}
+        for cur in chare_blocks:
+            if not cur.events:
+                continue
+            ordinal = cur.sdag_ordinal
+            if ordinal >= 1:
+                prev = last_by_ordinal.get(ordinal - 1)
+                if prev is not None:
+                    edges.append(
+                        (event_init[prev.events[-1]], event_init[cur.events[0]],
+                         EdgeKind.SDAG)
+                    )
+            if ordinal >= 0:
+                last_by_ordinal[ordinal] = cur
+
+    # Remote invocation edges between matched message endpoints.
+    for msg in trace.messages:
+        if msg.is_complete():
+            a = event_init[msg.send_event]
+            b = event_init[msg.recv_event]
+            if a != -1 and b != -1:
+                edges.append((a, b, EdgeKind.MESSAGE))
+
+    state = PartitionState(trace, init_events, init_runtime, init_block, event_init, edges)
+    return InitialStructure(blocks, block_of_event, block_of_exec, state)

@@ -1,0 +1,50 @@
+"""Leap computation.
+
+A partition's *leap* is its maximum distance from the beginning of the
+partition DAG (Section 3.1.4).  Leaps group partitions that could occupy
+the same span of logical time; the two DAG properties the paper enforces
+are stated over them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Set
+
+from repro.core.partition import PartitionState
+
+
+def compute_leaps(state: PartitionState) -> Dict[int, int]:
+    """Longest-path depth of every current partition (roots are leap 0).
+
+    Raises ``ValueError`` if the graph has a cycle — callers must cycle-
+    merge first.
+    """
+    succs, preds = state.adjacency()
+    indegree = {node: len(p) for node, p in preds.items()}
+    queue = deque(node for node, deg in indegree.items() if deg == 0)
+    leap = {node: 0 for node in queue}
+    seen = 0
+    while queue:
+        node = queue.popleft()
+        seen += 1
+        for succ in succs[node]:
+            cand = leap[node] + 1
+            if cand > leap.get(succ, -1):
+                leap[succ] = cand
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                queue.append(succ)
+    if seen != len(succs):
+        raise ValueError("partition graph contains a cycle; cycle-merge first")
+    return leap
+
+
+def leaps_to_levels(leap: Dict[int, int]) -> List[List[int]]:
+    """Invert a leap map into ordered level lists."""
+    if not leap:
+        return []
+    levels: List[List[int]] = [[] for _ in range(max(leap.values()) + 1)]
+    for node, k in leap.items():
+        levels[k].append(node)
+    return levels

@@ -1,0 +1,91 @@
+"""Phase-pattern detection over recovered logical structures.
+
+The paper's case studies argue structure quality by pointing at repeating
+phase patterns ("a repeating pattern of three phases followed by an
+allreduce", Section 6.1).  These helpers make such claims checkable in
+code: phases are fingerprinted by their entry-method signature and the
+linearized phase sequence is scanned for its dominant repetition period.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.structure import LogicalStructure
+
+
+def signature_sequence(structure: LogicalStructure) -> List[Tuple]:
+    """Entry signatures of phases in linearized (offset) order."""
+    return [
+        structure.phase_entry_signature(pid) for pid in structure.phase_sequence()
+    ]
+
+
+def kind_sequence(structure: LogicalStructure) -> str:
+    """Compact app/runtime phase string, e.g. ``"arararar"``.
+
+    ``a`` = application phase, ``r`` = runtime phase, in linearized order.
+    """
+    order = structure.phase_sequence()
+    return "".join("r" if structure.phase(p).is_runtime else "a" for p in order)
+
+
+def detect_period(
+    items: Sequence, min_repeats: int = 3, skip_prefix_max: Optional[int] = None
+) -> Tuple[int, int, int]:
+    """Find the dominant repetition ``(period, start, repeats)`` of a sequence.
+
+    Programs usually open with a setup prologue, so the scan tries every
+    start offset up to ``skip_prefix_max`` (default: half the sequence) and
+    every period, returning the combination covering the most items —
+    preferring smaller periods on ties.  ``(0, 0, 0)`` when nothing repeats
+    at least ``min_repeats`` times.
+    """
+    n = len(items)
+    if skip_prefix_max is None:
+        skip_prefix_max = n // 2
+    best = (0, 0, 0)
+    best_cover = 0
+    for start in range(0, skip_prefix_max + 1):
+        remaining = n - start
+        for period in range(1, remaining // max(1, min_repeats) + 1):
+            repeats = 1
+            while (
+                start + (repeats + 1) * period <= n
+                and items[start + repeats * period : start + (repeats + 1) * period]
+                == items[start : start + period]
+            ):
+                repeats += 1
+            if repeats >= min_repeats:
+                cover = repeats * period
+                if cover > best_cover or (cover == best_cover and period < best[0]):
+                    best = (period, start, repeats)
+                    best_cover = cover
+    return best
+
+
+def repeating_unit(structure: LogicalStructure, min_repeats: int = 3) -> List[Dict]:
+    """Describe the repeating phase unit of a structure.
+
+    Returns one dict per phase in the detected unit, with its kind,
+    signature, and span in steps; empty list when no repetition is found.
+    """
+    order = structure.phase_sequence()
+    sigs = signature_sequence(structure)
+    period, start, repeats = detect_period(sigs, min_repeats=min_repeats)
+    if period == 0:
+        return []
+    unit = []
+    for offset in range(period):
+        pid = order[start + offset]
+        phase = structure.phase(pid)
+        unit.append(
+            {
+                "kind": "runtime" if phase.is_runtime else "application",
+                "signature": sigs[start + offset],
+                "steps": phase.max_local_step + 1,
+                "chares": len(phase.chares),
+                "repeats": repeats,
+            }
+        )
+    return unit

@@ -1,0 +1,222 @@
+"""End-to-end logical-structure extraction (Sections 3.1 + 3.2).
+
+The pipeline mirrors the paper's stage order:
+
+1. initial partitions from serial blocks (3.1.1);
+2. inter-chare dependency merge + cycle merge (3.1.2, Algorithm 1);
+3. serial-block repair + cycle merge (3.1.3, Algorithm 2);
+4. orderability enforcement (3.1.4): source-order inference (Algorithm 3),
+   leap merge (Algorithm 4), app/runtime ordering, chare-path edges
+   (Algorithm 5) — skippable via ``infer=False`` for the Figure 17
+   ablation (overlaps are then forced into sequence instead of merged);
+5. per-phase event ordering — physical or idealized-replay reordered
+   (3.2.1) — and local step assignment (3.2);
+6. global offsets from the phase DAG.
+
+MPI-mode traces follow Isaacs et al. [13]: per-process program order
+provides the missing dependencies, so stage 4 is unnecessary (Section 3.4)
+and runs only when explicitly requested.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.initial import build_initial
+from repro.core.inference import (
+    enforce_chare_paths,
+    infer_source_dependencies,
+    leap_merge,
+    order_overlapping,
+)
+from repro.core.leaps import compute_leaps
+from repro.core.merges import cycle_merge, dependency_merge, repair_merge
+from repro.core.reorder import physical_order, reordered_order_mp, reordered_order_task
+from repro.core.stepping import assign_global_offsets, assign_local_steps
+from repro.core.structure import LogicalStructure, Phase
+from repro.trace.model import Trace
+
+
+@dataclass
+class PipelineOptions:
+    """Knobs of the extraction pipeline (the paper's ablation axes)."""
+
+    #: "charm" (task model), "mpi" (message passing), or "auto" — read the
+    #: trace metadata key ``model`` and default to "charm".
+    mode: str = "auto"
+    #: "reordered" (Section 3.2.1 idealized replay) or "physical".
+    order: str = "reordered"
+    #: Run the Section 3.1.4 inference/merging (Figure 17 ablates this).
+    infer: bool = True
+    #: Force DAG-property enforcement even in MPI mode.
+    enforce_properties: Optional[bool] = None
+    #: Tie-break for equal-w serial blocks: "chare_id" (paper default) or
+    #: "index" (topology-aware, by the invoking chare's array index).
+    tie_break: str = "chare_id"
+    #: Gap tolerance for absorbing an entry method into a following serial.
+    absorb_tolerance: float = 1e-9
+
+    def resolve_mode(self, trace: Trace) -> str:
+        if self.mode != "auto":
+            return self.mode
+        return "mpi" if trace.metadata.get("model") == "mpi" else "charm"
+
+
+@dataclass
+class PipelineStats:
+    """Per-stage timings and merge counts (drives Figures 18/19)."""
+
+    initial_partitions: int = 0
+    final_phases: int = 0
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    total_seconds: float = 0.0
+
+
+def extract_logical_structure(
+    trace: Trace,
+    options: Optional[PipelineOptions] = None,
+    stats: Optional[PipelineStats] = None,
+    **kwargs,
+) -> LogicalStructure:
+    """Recover the logical structure of ``trace``.
+
+    Keyword arguments are a shorthand for :class:`PipelineOptions` fields,
+    e.g. ``extract_logical_structure(trace, order="physical")``.  Pass a
+    :class:`PipelineStats` to collect per-stage timings.
+    """
+    opts = options or PipelineOptions(**kwargs)
+    if options is not None and kwargs:
+        raise TypeError("pass either options or keyword overrides, not both")
+    if opts.order not in ("reordered", "physical"):
+        raise ValueError(f"unknown order {opts.order!r}")
+    mode = opts.resolve_mode(trace)
+    stats = stats if stats is not None else PipelineStats()
+    t0 = _time.perf_counter()
+
+    def _stage(name: str, start: float) -> float:
+        now = _time.perf_counter()
+        stats.stage_seconds[name] = stats.stage_seconds.get(name, 0.0) + (now - start)
+        return now
+
+    # Stage 1: initial partitions.  Reordered MPI stepping relaxes the
+    # per-process chain so receives can float to their logical wave
+    # (Section 3.2.1, Figure 10).
+    t = t0
+    relaxed = mode == "mpi" and opts.order == "reordered"
+    initial = build_initial(
+        trace, mode=mode, absorb_tolerance=opts.absorb_tolerance,
+        relaxed_chain=relaxed,
+    )
+    state = initial.state
+    stats.initial_partitions = len(state.init_events)
+    t = _stage("initial", t)
+
+    # Stage 2: dependency merge (Algorithm 1).
+    dependency_merge(state)
+    t = _stage("dependency_merge", t)
+
+    # Stage 3: serial-block repair (Algorithm 2).
+    repair_merge(initial)
+    t = _stage("repair_merge", t)
+
+    # Stage 4: orderability (Section 3.1.4).  The strict message-passing
+    # chain makes every process a single path through the DAG, so
+    # enforcement is unnecessary (Section 3.4); the relaxed chain of
+    # reordered MPI mode reintroduces same-leap overlaps and needs it.
+    enforce = opts.enforce_properties
+    if enforce is None:
+        enforce = mode == "charm" or relaxed
+    if enforce:
+        if opts.infer:
+            infer_source_dependencies(state)
+            t = _stage("infer_sources", t)
+            leap_merge(state)
+            t = _stage("leap_merge", t)
+            order_overlapping(state, cross_class_only=True)
+            t = _stage("order_overlapping", t)
+        else:
+            order_overlapping(state, cross_class_only=False)
+            t = _stage("order_overlapping", t)
+        enforce_chare_paths(state)
+        t = _stage("chare_paths", t)
+
+    # Build the phase objects.
+    leaps = compute_leaps(state)
+    succs, preds = state.adjacency()
+    part_events = state.partition_events()
+    events = trace.events
+    roots = sorted(
+        part_events,
+        key=lambda r: (leaps[r], min((events[e].time for e in part_events[r]),
+                                     default=0.0), r),
+    )
+    phase_index = {root: i for i, root in enumerate(roots)}
+    phases: List[Phase] = []
+    for root in roots:
+        evs = part_events[root]
+        phases.append(
+            Phase(
+                id=phase_index[root],
+                events=evs,
+                chares={events[e].chare for e in evs},
+                is_runtime=state.is_runtime(root),
+                leap=leaps[root],
+                preds={phase_index[q] for q in preds[root]},
+                succs={phase_index[q] for q in succs[root]},
+            )
+        )
+    stats.final_phases = len(phases)
+    t = _stage("build_phases", t)
+
+    # Stage 5: per-phase ordering + local steps.
+    phase_of_event = [-1] * len(events)
+    local_step = [-1] * len(events)
+    chare_orders: Dict[Tuple[int, int], List[int]] = {}
+    max_local: Dict[int, int] = {}
+    for phase in phases:
+        for ev in phase.events:
+            phase_of_event[ev] = phase.id
+        if opts.order == "physical":
+            orders = physical_order(trace, phase.events)
+        elif mode == "mpi":
+            orders = reordered_order_mp(trace, phase.events, initial.block_of_event)
+        else:
+            orders = reordered_order_task(
+                trace, phase.events, initial.block_of_event,
+                tie_break=opts.tie_break,
+            )
+        for chare, order in orders.items():
+            chare_orders[(phase.id, chare)] = order
+        steps, max_s = assign_local_steps(trace, phase.events, orders)
+        for ev, s in steps.items():
+            local_step[ev] = s
+        phase.max_local_step = max_s
+        max_local[phase.id] = max_s
+    t = _stage("local_steps", t)
+
+    # Stage 6: global offsets.
+    offsets = assign_global_offsets(
+        [p.id for p in phases], {p.id: p.preds for p in phases}, max_local
+    )
+    step_of_event = [-1] * len(events)
+    for phase in phases:
+        phase.offset = offsets[phase.id]
+        for ev in phase.events:
+            step_of_event[ev] = phase.offset + local_step[ev]
+    t = _stage("global_steps", t)
+
+    stats.total_seconds = _time.perf_counter() - t0
+    return LogicalStructure(
+        trace=trace,
+        phases=phases,
+        phase_of_event=phase_of_event,
+        step_of_event=step_of_event,
+        local_step_of_event=local_step,
+        chare_orders=chare_orders,
+        blocks=initial.blocks,
+        block_of_event=initial.block_of_event,
+        block_of_exec=initial.block_of_exec,
+        options=opts,
+    )

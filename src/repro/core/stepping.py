@@ -1,0 +1,140 @@
+"""Section 3.2: logical step assignment.
+
+Within each phase, events receive *local* steps: initial events are step 0
+and every other event is one past the maximum of its happened-before
+predecessors — the previous event in its chare's (possibly reordered)
+order, and its matching send when it is a receive.  Local steps are then
+offset by the phase DAG so that a phase starts after all its predecessors,
+yielding *global* steps.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.trace.events import NO_ID, EventKind
+from repro.trace.model import Trace
+
+
+def assign_local_steps(
+    trace: Trace,
+    phase_events: Sequence[int],
+    chare_orders: Dict[int, List[int]],
+) -> Tuple[Dict[int, int], int]:
+    """Assign local steps within one phase.
+
+    Returns ``(step per event, max step)``.  Dependencies are the previous
+    event in the chare order and, for receives, the matching in-phase send
+    (a receive lands at least one step after its send).
+
+    Reordering is heuristic; if a pathological order induces a dependency
+    cycle, the remaining events fall back to physical-time processing with
+    the unsatisfied dependencies ignored — the paper acknowledges such
+    pathological cases exist (Section 3.2.1).
+    """
+    in_phase = set(phase_events)
+    events = trace.events
+    prev_on_chare: Dict[int, int] = {}
+    next_on_chare: Dict[int, int] = {}
+    for order in chare_orders.values():
+        for a, b in zip(order, order[1:]):
+            prev_on_chare[b] = a
+            next_on_chare[a] = b
+
+    def send_of(ev: int) -> int:
+        if events[ev].kind != EventKind.RECV:
+            return NO_ID
+        mid = trace.message_by_recv[ev]
+        if mid == NO_ID:
+            return NO_ID
+        send = trace.messages[mid].send_event
+        return send if send != NO_ID and send in in_phase else NO_ID
+
+    # Kahn's algorithm over the two dependency families.
+    indegree: Dict[int, int] = {}
+    dependents: Dict[int, List[int]] = {}
+    for ev in phase_events:
+        deg = 0
+        if ev in prev_on_chare:
+            deg += 1
+            dependents.setdefault(prev_on_chare[ev], []).append(ev)
+        send = send_of(ev)
+        if send != NO_ID:
+            deg += 1
+            dependents.setdefault(send, []).append(ev)
+        indegree[ev] = deg
+
+    step: Dict[int, int] = {}
+    queue = deque(ev for ev in phase_events if indegree[ev] == 0)
+    while queue:
+        ev = queue.popleft()
+        deps = []
+        if ev in prev_on_chare and prev_on_chare[ev] in step:
+            deps.append(step[prev_on_chare[ev]])
+        send = send_of(ev)
+        if send != NO_ID and send in step:
+            deps.append(step[send])
+        step[ev] = max(deps) + 1 if deps else 0
+        for dep in dependents.get(ev, ()):
+            indegree[dep] -= 1
+            if indegree[dep] == 0:
+                queue.append(dep)
+
+    if len(step) != len(in_phase):
+        # Cycle fallback: process leftovers in physical-time order using
+        # whatever dependency steps are already known.
+        leftovers = sorted(
+            (ev for ev in phase_events if ev not in step),
+            key=lambda e: (events[e].time, e),
+        )
+        for ev in leftovers:
+            deps = []
+            prev = prev_on_chare.get(ev)
+            if prev is not None and prev in step:
+                deps.append(step[prev])
+            send = send_of(ev)
+            if send != NO_ID and send in step:
+                deps.append(step[send])
+            step[ev] = max(deps) + 1 if deps else 0
+
+    max_step = max(step.values()) if step else -1
+    return step, max_step
+
+
+def assign_global_offsets(
+    phase_ids: Sequence[int],
+    preds: Dict[int, Set[int]],
+    max_local: Dict[int, int],
+) -> Dict[int, int]:
+    """Offset each phase past all of its phase-DAG predecessors.
+
+    ``offset(P) = max over preds Q of (offset(Q) + max_local(Q) + 1)``;
+    phases without predecessors start at 0.  Empty phases (max_local = -1)
+    consume no steps.
+    """
+    succs: Dict[int, List[int]] = {p: [] for p in phase_ids}
+    indegree: Dict[int, int] = {p: 0 for p in phase_ids}
+    for p in phase_ids:
+        for q in preds[p]:
+            succs[q].append(p)
+            indegree[p] += 1
+    offset: Dict[int, int] = {}
+    queue = deque(p for p in phase_ids if indegree[p] == 0)
+    seen = 0
+    for p in queue:
+        offset[p] = 0
+    while queue:
+        p = queue.popleft()
+        seen += 1
+        for s in succs[p]:
+            cand = offset[p] + max_local[p] + 1
+            if cand > offset.get(s, 0):
+                offset[s] = cand
+            indegree[s] -= 1
+            if indegree[s] == 0:
+                queue.append(s)
+                offset.setdefault(s, 0)
+    if seen != len(phase_ids):
+        raise ValueError("phase DAG contains a cycle")
+    return offset

@@ -1,0 +1,145 @@
+"""The :class:`LogicalStructure` result object.
+
+Bundles the phase DAG, per-event phase membership and logical steps, the
+per-phase per-chare event orders, and the serial-block decomposition.
+Everything downstream — metrics, rendering, pattern detection — reads from
+this object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.initial import Block
+from repro.trace.model import Trace
+
+
+@dataclass
+class Phase:
+    """One phase of the recovered logical structure."""
+
+    id: int
+    events: List[int]
+    chares: Set[int]
+    is_runtime: bool
+    leap: int
+    preds: Set[int] = field(default_factory=set)
+    succs: Set[int] = field(default_factory=set)
+    #: Global step of the phase's local step 0.
+    offset: int = 0
+    #: Largest local step inside the phase (-1 when the phase is empty).
+    max_local_step: int = -1
+
+    @property
+    def max_global_step(self) -> int:
+        """Largest global step occupied by the phase."""
+        return self.offset + self.max_local_step
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class LogicalStructure:
+    """Recovered logical structure of a trace (phases × logical steps)."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        phases: List[Phase],
+        phase_of_event: List[int],
+        step_of_event: List[int],
+        local_step_of_event: List[int],
+        chare_orders: Dict[Tuple[int, int], List[int]],
+        blocks: List[Block],
+        block_of_event: List[int],
+        block_of_exec: List[int],
+        options=None,
+    ):
+        self.trace = trace
+        self.phases = phases
+        self.phase_of_event = phase_of_event
+        self.step_of_event = step_of_event
+        self.local_step_of_event = local_step_of_event
+        self.chare_orders = chare_orders
+        self.blocks = blocks
+        self.block_of_event = block_of_event
+        self.block_of_exec = block_of_exec
+        self.options = options
+
+    # ------------------------------------------------------------------
+    @property
+    def max_step(self) -> int:
+        """Largest global step in the structure (-1 when empty)."""
+        return max((p.max_global_step for p in self.phases), default=-1)
+
+    def phase(self, phase_id: int) -> Phase:
+        """Phase by id."""
+        return self.phases[phase_id]
+
+    def application_phases(self) -> List[Phase]:
+        """Phases whose dependencies are purely between application chares."""
+        return [p for p in self.phases if not p.is_runtime]
+
+    def runtime_phases(self) -> List[Phase]:
+        """Phases involving runtime chares or app/runtime dependencies."""
+        return [p for p in self.phases if p.is_runtime]
+
+    def chare_timeline(self, chare: int) -> List[Tuple[int, int]]:
+        """``(global step, event id)`` pairs of one chare, by step."""
+        out = []
+        for ev in range(len(self.trace.events)):
+            if self.trace.events[ev].chare == chare and self.step_of_event[ev] >= 0:
+                out.append((self.step_of_event[ev], ev))
+        out.sort()
+        return out
+
+    def events_at_step(self, step: int) -> List[int]:
+        """All events assigned the given global step."""
+        return [ev for ev, s in enumerate(self.step_of_event) if s == step]
+
+    def phase_sequence(self) -> List[int]:
+        """Phase ids ordered by (offset, leap, id) — a linearized overview."""
+        return [p.id for p in sorted(self.phases, key=lambda p: (p.offset, p.leap, p.id))]
+
+    def phase_entry_signature(self, phase_id: int) -> Tuple[Tuple[str, int], ...]:
+        """Multiset of entry-method names in a phase, as sorted pairs.
+
+        Signatures identify repeating phase patterns across iterations
+        (used to check the Figure 16/20 structure claims).
+        """
+        counts: Dict[str, int] = {}
+        for ev in self.phases[phase_id].events:
+            rec = self.trace.events[ev]
+            if rec.execution >= 0:
+                name = self.trace.entry(self.trace.executions[rec.execution].entry).name
+                counts[name] = counts.get(name, 0) + 1
+        return tuple(sorted(counts.items()))
+
+    def steps_by_chare(self) -> Dict[int, Dict[int, int]]:
+        """Map chare -> {global step -> event id} (for rendering)."""
+        out: Dict[int, Dict[int, int]] = {}
+        for ev, step in enumerate(self.step_of_event):
+            if step < 0:
+                continue
+            chare = self.trace.events[ev].chare
+            out.setdefault(chare, {})[step] = ev
+        return out
+
+    def summary(self) -> Dict[str, object]:
+        """Compact description used by examples and experiment logs."""
+        return {
+            "phases": len(self.phases),
+            "application_phases": len(self.application_phases()),
+            "runtime_phases": len(self.runtime_phases()),
+            "max_step": self.max_step,
+            "events": sum(len(p) for p in self.phases),
+            "leaps": max((p.leap for p in self.phases), default=-1) + 1,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.summary()
+        return (
+            f"LogicalStructure(phases={s['phases']}, steps={s['max_step'] + 1}, "
+            f"events={s['events']})"
+        )

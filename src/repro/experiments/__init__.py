@@ -1,0 +1,34 @@
+"""Programmatic registry of the paper's experiments.
+
+`pytest benchmarks/` regenerates every figure with timing; this package
+exposes the same experiments as plain library calls for scripted use —
+``repro experiments --list`` / ``repro experiments fig16`` from the CLI,
+or::
+
+    from repro.experiments import get, run_experiment
+    report = run_experiment(get("fig16"))
+    print(report.summary())
+
+Each experiment is a workload factory plus a list of *claims* (the shape
+assertions EXPERIMENTS.md records); running one returns which claims held.
+"""
+
+from repro.experiments.registry import (
+    Claim,
+    Experiment,
+    ExperimentReport,
+    all_experiments,
+    get,
+    run_all,
+    run_experiment,
+)
+
+__all__ = [
+    "Claim",
+    "Experiment",
+    "ExperimentReport",
+    "all_experiments",
+    "get",
+    "run_all",
+    "run_experiment",
+]

@@ -1,0 +1,408 @@
+"""Experiment definitions and the runner.
+
+Experiments here are sized for interactive use (seconds each); the
+benchmark suite runs the larger configurations with timing.  Every claim
+is a named predicate over the experiment's artifacts, so a report lists
+exactly which of the paper's shape statements held.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core import extract_logical_structure
+from repro.core.patterns import detect_period, kind_sequence, signature_sequence
+
+
+@dataclass
+class Claim:
+    """One checkable statement about an experiment's artifacts."""
+
+    description: str
+    check: Callable[[Dict[str, Any]], bool]
+
+
+@dataclass
+class Experiment:
+    """A workload factory plus the paper's claims about its result."""
+
+    id: str
+    title: str
+    paper: str  # where in the paper the claim lives
+    build: Callable[[], Dict[str, Any]]
+    claims: List[Claim] = field(default_factory=list)
+
+
+@dataclass
+class ExperimentReport:
+    """Outcome of running one experiment."""
+
+    id: str
+    title: str
+    seconds: float = 0.0
+    results: List[tuple] = field(default_factory=list)  # (description, ok)
+    error: Optional[str] = None
+
+    @property
+    def passed(self) -> bool:
+        return self.error is None and all(ok for _d, ok in self.results)
+
+    def summary(self) -> str:
+        lines = [f"[{self.id}] {self.title} ({self.seconds:.1f}s)"]
+        if self.error:
+            lines.append(f"  ERROR: {self.error}")
+        for description, ok in self.results:
+            lines.append(f"  {'PASS' if ok else 'FAIL'}  {description}")
+        return "\n".join(lines)
+
+
+_REGISTRY: Dict[str, Experiment] = {}
+
+
+def _register(experiment: Experiment) -> Experiment:
+    _REGISTRY[experiment.id] = experiment
+    return experiment
+
+
+def all_experiments() -> List[Experiment]:
+    """All registered experiments, in id order."""
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def get(experiment_id: str) -> Experiment:
+    """Look up one experiment by id (e.g. ``"fig16"``)."""
+    if experiment_id not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
+    return _REGISTRY[experiment_id]
+
+
+def run_experiment(experiment: Experiment) -> ExperimentReport:
+    """Build the experiment's artifacts and evaluate every claim."""
+    report = ExperimentReport(id=experiment.id, title=experiment.title)
+    start = time.perf_counter()
+    try:
+        artifacts = experiment.build()
+        for claim in experiment.claims:
+            try:
+                ok = bool(claim.check(artifacts))
+            except Exception as exc:  # a broken claim is a failed claim
+                ok = False
+                report.results.append(
+                    (f"{claim.description} (raised {type(exc).__name__})", ok)
+                )
+                continue
+            report.results.append((claim.description, ok))
+    except Exception as exc:
+        report.error = f"{type(exc).__name__}: {exc}"
+    report.seconds = time.perf_counter() - start
+    return report
+
+
+def run_all() -> List[ExperimentReport]:
+    """Run every registered experiment."""
+    return [run_experiment(e) for e in all_experiments()]
+
+
+# ---------------------------------------------------------------------------
+# Experiment definitions (interactive scale)
+# ---------------------------------------------------------------------------
+def _build_fig01():
+    from repro.apps import nasbt
+
+    trace = nasbt.run(ranks=9, iterations=2, seed=1)
+    return {"trace": trace, "structure": extract_logical_structure(trace)}
+
+
+_register(Experiment(
+    id="fig01",
+    title="NAS BT: logical structure vs physical time",
+    paper="Figure 1",
+    build=_build_fig01,
+    claims=[
+        Claim("pipelined sweeps give a deep logical schedule (>= 24 steps)",
+              lambda a: a["structure"].max_step + 1 >= 24),
+        Claim("sweep phases span whole rows of processes",
+              lambda a: any(len(p.chares) >= 3 for p in a["structure"].phases)),
+    ],
+))
+
+
+def _build_fig08():
+    from repro.apps import jacobi2d
+
+    trace = jacobi2d.run(chares=(8, 8), pes=8, iterations=2, seed=1)
+    return {
+        "trace": trace,
+        "reordered": extract_logical_structure(trace, order="reordered"),
+        "physical": extract_logical_structure(trace, order="physical"),
+    }
+
+
+_register(Experiment(
+    id="fig08",
+    title="Jacobi 2D: recorded vs reordered step assignment",
+    paper="Figure 8",
+    build=_build_fig08,
+    claims=[
+        Claim("alternating application/runtime phases (arar)",
+              lambda a: kind_sequence(a["reordered"]) == "arar"),
+        Claim("reordering is at least as compact as recorded order",
+              lambda a: a["reordered"].max_step <= a["physical"].max_step),
+    ],
+))
+
+
+def _build_fig10():
+    from repro.apps import mergetree
+
+    trace = mergetree.run(ranks=256, seed=2, imbalance=5.0)
+    re = extract_logical_structure(trace, order="reordered")
+    ph = extract_logical_structure(trace, order="physical")
+
+    def at(structure, step):
+        return sum(1 for s in structure.step_of_event if s == step)
+
+    return {"trace": trace, "reordered": re, "physical": ph, "at": at}
+
+
+_register(Experiment(
+    id="fig10",
+    title="Merge tree: reordering restores the parallel ladder",
+    paper="Figure 10",
+    build=_build_fig10,
+    claims=[
+        Claim("reordered step 0 holds every leaf send",
+              lambda a: a["at"](a["reordered"], 0) == a["trace"].num_pes // 2),
+        Claim("physical order loses initial parallelism or stretches",
+              lambda a: a["at"](a["physical"], 0) < a["trace"].num_pes // 2
+              or a["physical"].max_step > a["reordered"].max_step),
+    ],
+))
+
+
+def _build_fig1x_metrics():
+    from repro.apps import jacobi2d
+    from repro.metrics import differential_duration, idle_experienced, imbalance
+    from repro.sim.noise import ChareSlowdown, ComposedNoise, SlowProcessor
+
+    trace = jacobi2d.run(
+        chares=(4, 4), pes=8, iterations=3, seed=7,
+        noise=ComposedNoise(ChareSlowdown([6], factor=4.0),
+                            SlowProcessor([5], factor=1.6)),
+    )
+    structure = extract_logical_structure(trace)
+    return {
+        "trace": trace,
+        "structure": structure,
+        "idle": idle_experienced(structure),
+        "diff": differential_duration(structure),
+        "imb": imbalance(structure),
+    }
+
+
+_register(Experiment(
+    id="fig12-15",
+    title="Jacobi metrics: idle experienced, differential duration, imbalance",
+    paper="Figures 12/14/15",
+    build=_build_fig1x_metrics,
+    claims=[
+        Claim("reduction waits surface as idle experienced",
+              lambda a: a["idle"].total() > 0),
+        Claim("differential duration isolates the slow chare",
+              lambda a: a["trace"].events[a["diff"].max_event()].chare == 6),
+        Claim("per-phase imbalance is zero on the least-loaded PE",
+              lambda a: min(
+                  v for (_p, _pe), v in a["imb"].by_phase_pe.items()) == 0.0),
+    ],
+))
+
+
+def _build_fig16():
+    from repro.apps import lulesh
+
+    charm = lulesh.run_charm(chares=8, pes=2, iterations=3, seed=3)
+    mpi = lulesh.run_mpi(ranks=8, iterations=3, seed=3)
+    return {
+        "charm": extract_logical_structure(charm),
+        "mpi": extract_logical_structure(mpi, order="physical"),
+    }
+
+
+def _charm_unit_is(a, kinds):
+    s = a["charm"]
+    sigs = signature_sequence(s)
+    period, start, repeats = detect_period(sigs, min_repeats=2)
+    if period != len(kinds) or repeats < 2:
+        return False
+    order = s.phase_sequence()
+    unit = [s.phase(order[start + i]) for i in range(period)]
+    return ["r" if p.is_runtime else "a" for p in unit] == kinds
+
+
+_register(Experiment(
+    id="fig16",
+    title="LULESH: Charm++ 2 phases + allreduce vs MPI 3 phases + allreduce",
+    paper="Figure 16",
+    build=_build_fig16,
+    claims=[
+        Claim("Charm++ repeats two application phases plus an allreduce",
+              lambda a: _charm_unit_is(a, ["a", "a", "r"])),
+        Claim("MPI repeats three p2p phases plus an allreduce",
+              lambda a: detect_period(signature_sequence(a["mpi"]),
+                                      min_repeats=2)[0] == 4),
+    ],
+))
+
+
+def _build_fig17():
+    from repro.apps import lulesh
+    from repro.sim.charm import TracingOptions
+
+    trace = lulesh.run_charm(chares=8, pes=2, iterations=3, seed=3,
+                             tracing=TracingOptions(record_sdag=False))
+    return {
+        "with": extract_logical_structure(trace, infer=True),
+        "without": extract_logical_structure(trace, infer=False),
+    }
+
+
+_register(Experiment(
+    id="fig17",
+    title="LULESH: structure shatters without Section 3.1.4 inference",
+    paper="Figure 17",
+    build=_build_fig17,
+    claims=[
+        Claim("phases split by > 2x without inference",
+              lambda a: len(a["without"].phases) > 2 * len(a["with"].phases)),
+        Claim("the schedule stretches without inference",
+              lambda a: a["without"].max_step > a["with"].max_step),
+    ],
+))
+
+
+def _build_fig20():
+    from repro.apps import lassen
+
+    charm = lassen.run_charm(chares=8, pes=8, iterations=4, seed=1)
+    mpi = lassen.run_mpi(ranks=8, iterations=4, seed=1)
+    return {
+        "charm": extract_logical_structure(charm),
+        "mpi": extract_logical_structure(mpi, order="physical"),
+    }
+
+
+_register(Experiment(
+    id="fig20",
+    title="LASSEN: p2p + allreduce repetition; Charm++ control phases",
+    paper="Figure 20",
+    build=_build_fig20,
+    claims=[
+        Claim("MPI repeats p2p + allreduce (period 2)",
+              lambda a: detect_period(signature_sequence(a["mpi"]),
+                                      min_repeats=2)[0] == 2),
+        Claim("Charm++ shows the per-chare two-step control phases",
+              lambda a: sum(1 for p in a["charm"].phases
+                            if not p.is_runtime and len(p.events) == 2) == 8 * 4),
+    ],
+))
+
+
+def _build_fig23():
+    from repro.apps import lassen
+    from repro.metrics import differential_duration, imbalance
+
+    out = {}
+    for n in (8, 64):
+        trace = lassen.run_charm(chares=n, pes=8, iterations=8, seed=5)
+        s = extract_logical_structure(trace)
+        cutoff = s.max_step * 0.6
+        late = {p.id for p in s.phases if p.offset >= cutoff}
+        diff = differential_duration(s)
+        d = max((v for e, v in diff.by_event.items()
+                 if s.phase_of_event[e] in late), default=0.0)
+        imb = imbalance(s)
+        i = max((v for p, v in imb.max_by_phase.items() if p in late),
+                default=0.0)
+        out[n] = (d, i)
+    return {"metrics": out}
+
+
+_register(Experiment(
+    id="fig23",
+    title="LASSEN: over-decomposition spreads the wavefront's work",
+    paper="Figures 21-23",
+    build=_build_fig23,
+    claims=[
+        Claim("64-chare late differential duration < half of 8-chare",
+              lambda a: a["metrics"][64][0] < 0.5 * a["metrics"][8][0]),
+        Claim("64-chare late imbalance below 8-chare",
+              lambda a: a["metrics"][64][1] < a["metrics"][8][1]),
+    ],
+))
+
+
+def _build_fig24():
+    from repro.apps import pdes
+
+    untraced = pdes.run(chares=16, pes=4, seed=1)
+    traced = pdes.run(chares=16, pes=4, seed=1, traced_completion=True)
+    return {
+        "untraced": extract_logical_structure(untraced),
+        "traced": extract_logical_structure(traced),
+    }
+
+
+def _steps_overlap(structure):
+    app = {structure.step_of_event[e]
+           for p in structure.application_phases() for e in p.events}
+    rt = {structure.step_of_event[e]
+          for p in structure.runtime_phases() for e in p.events}
+    return bool(app & rt)
+
+
+_register(Experiment(
+    id="fig24",
+    title="PDES: untraced completion detector floats concurrently",
+    paper="Figure 24",
+    build=_build_fig24,
+    claims=[
+        Claim("untraced detector shares global steps with the simulation",
+              lambda a: _steps_overlap(a["untraced"])),
+        Claim("tracing the call sequences the detector after the simulation",
+              lambda a: max(a["traced"].runtime_phases(), key=len).offset
+              > max(a["traced"].application_phases(), key=len).offset),
+    ],
+))
+
+
+def _build_scaling():
+    from repro.apps import lulesh
+    from repro.core.pipeline import PipelineStats
+
+    seconds = {}
+    events = {}
+    for iters in (8, 16, 32):
+        trace = lulesh.run_charm(chares=64, pes=8, iterations=iters, seed=3)
+        stats = PipelineStats()
+        extract_logical_structure(trace, stats=stats)
+        seconds[iters] = stats.total_seconds
+        events[iters] = len(trace.events)
+    return {"seconds": seconds, "events": events}
+
+
+_register(Experiment(
+    id="fig18-19",
+    title="Extraction-time scaling with iterations",
+    paper="Figures 18/19 (scaled sweep)",
+    build=_build_scaling,
+    claims=[
+        Claim("time grows with trace size",
+              lambda a: a["seconds"][32] > a["seconds"][8]),
+        Claim("growth is near-proportional (< 3x per 4x events)",
+              lambda a: (a["seconds"][32] / a["seconds"][8])
+              < 3.0 * (a["events"][32] / a["events"][8])),
+    ],
+))

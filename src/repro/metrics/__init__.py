@@ -1,0 +1,44 @@
+"""Performance metrics over the logical structure (Section 4).
+
+Traditional lateness assumes statically scheduled tasks; in task-based
+runtimes the schedule is non-deterministic, so the paper instead measures
+*efficient processor use*:
+
+* :func:`idle_experienced` — idle time propagated forward to the serial
+  blocks that were waiting on dependencies predating the idle span.
+* :func:`differential_duration` — excess of each event-delimited sub-block
+  over the shortest sub-block at the same logical step.
+* :func:`imbalance` — per-phase spread of per-processor busy time.
+* :func:`lateness` — the traditional baseline, for comparison.
+"""
+
+from repro.metrics.critical_path import CriticalPath, critical_path
+from repro.metrics.duration import (
+    DifferentialDuration,
+    differential_duration,
+    sub_block_durations,
+)
+from repro.metrics.idle import IdleExperienced, idle_experienced
+from repro.metrics.imbalance import ImbalanceResult, imbalance
+from repro.metrics.lateness import lateness
+from repro.metrics.profile import (
+    UsageProfile,
+    profile_table,
+    usage_profile,
+)
+
+__all__ = [
+    "CriticalPath",
+    "critical_path",
+    "IdleExperienced",
+    "idle_experienced",
+    "DifferentialDuration",
+    "differential_duration",
+    "sub_block_durations",
+    "ImbalanceResult",
+    "imbalance",
+    "lateness",
+    "UsageProfile",
+    "usage_profile",
+    "profile_table",
+]

@@ -1,0 +1,102 @@
+"""Critical-path extraction over the trace dependency graph.
+
+An extension beyond the paper's metric set: the *critical path* is the
+dependency chain (within-block order plus message edges) with the largest
+total sub-block duration.  Shortening anything off the path cannot speed
+the run up, so the per-chare/per-entry attribution of path time is a
+natural companion to the paper's phase-local metrics — differential
+duration says "this task is slower than peers", the critical path says
+"and it gates the whole execution".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.structure import LogicalStructure
+from repro.metrics.duration import sub_block_durations
+from repro.trace.events import NO_ID, EventKind
+
+
+@dataclass
+class CriticalPath:
+    """The heaviest dependency chain through the trace."""
+
+    #: Event ids along the path, in dependency order.
+    events: List[int] = field(default_factory=list)
+    #: Total sub-block duration accumulated along the path.
+    length: float = 0.0
+    #: Path time attributed per chare id.
+    by_chare: Dict[int, float] = field(default_factory=dict)
+    #: Path time attributed per entry-method name.
+    by_entry: Dict[str, float] = field(default_factory=dict)
+
+    def share_of(self, total: float) -> float:
+        """Fraction of ``total`` time the path accounts for."""
+        return self.length / total if total > 0 else 0.0
+
+
+def critical_path(structure: LogicalStructure) -> CriticalPath:
+    """Compute the critical path of the structure's trace.
+
+    Dynamic programming over the event DAG: each event's distance is its
+    sub-block duration plus the largest distance among its dependencies —
+    the previous event on its chare (chares execute serially, and this
+    also carries the untraced control flow of chained SDAG serials), and
+    its matching send when it is a receive.  Both edge families point
+    strictly forward in physical time, so a single pass in time order
+    suffices.
+    """
+    trace = structure.trace
+    durations = sub_block_durations(structure)
+
+    prev_on_chare: Dict[int, int] = {}
+    last_on_chare: Dict[int, int] = {}
+    for ev in sorted(durations, key=lambda e: (trace.events[e].time, e)):
+        chare = trace.events[ev].chare
+        if chare in last_on_chare:
+            prev_on_chare[ev] = last_on_chare[chare]
+        last_on_chare[chare] = ev
+
+    order = sorted(durations, key=lambda e: (trace.events[e].time, e))
+    dist: Dict[int, float] = {}
+    pred: Dict[int, int] = {}
+    for ev in order:
+        best = 0.0
+        best_pred = NO_ID
+        prev = prev_on_chare.get(ev)
+        if prev is not None and prev in dist and dist[prev] > best:
+            best = dist[prev]
+            best_pred = prev
+        if trace.events[ev].kind == EventKind.RECV:
+            mid = trace.message_by_recv[ev]
+            if mid != NO_ID:
+                send = trace.messages[mid].send_event
+                if send != NO_ID and send in dist and dist[send] > best:
+                    best = dist[send]
+                    best_pred = send
+        dist[ev] = best + durations[ev]
+        if best_pred != NO_ID:
+            pred[ev] = best_pred
+
+    result = CriticalPath()
+    if not dist:
+        return result
+    tail = max(dist, key=lambda e: dist[e])
+    result.length = dist[tail]
+    path: List[int] = []
+    cursor: Optional[int] = tail
+    while cursor is not None:
+        path.append(cursor)
+        cursor = pred.get(cursor)
+    path.reverse()
+    result.events = path
+
+    for ev in path:
+        rec = trace.events[ev]
+        result.by_chare[rec.chare] = result.by_chare.get(rec.chare, 0.0) + durations[ev]
+        if rec.execution >= 0:
+            name = trace.entry(trace.executions[rec.execution].entry).name
+            result.by_entry[name] = result.by_entry.get(name, 0.0) + durations[ev]
+    return result

@@ -1,0 +1,81 @@
+"""Sub-block durations and the *differential duration* metric (Section 4).
+
+Dependency events divide each serial block into event-delimited units of
+computation (Figure 13): the sub-block of event *e* spans from the previous
+event in the block (or the block start) to *e*.  Leftover time after the
+last event goes to the block-starting event when it was recorded, else to
+the last event.  Computations at the same logical step of the same phase
+are assumed comparable, so *differential duration* is each sub-block's
+excess over the shortest sub-block at its (phase, step).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.structure import LogicalStructure
+from repro.trace.events import NO_ID
+from repro.trace.model import Trace
+
+
+def sub_block_durations(structure: LogicalStructure) -> Dict[int, float]:
+    """Duration of the sub-block each dependency event delimits."""
+    trace = structure.trace
+    durations: Dict[int, float] = {}
+    for block in structure.blocks:
+        if not block.events:
+            continue
+        prev_time = block.start
+        for ev in block.events:
+            t = trace.events[ev].time
+            durations[ev] = t - prev_time
+            prev_time = t
+        leftover = block.end - prev_time
+        if leftover > 0:
+            # Assign leftover to the block-starting event if recorded,
+            # otherwise to the last event (Figure 13).
+            anchor = block.recv_event if block.recv_event != NO_ID else block.events[-1]
+            durations[anchor] = durations.get(anchor, 0.0) + leftover
+    return durations
+
+
+@dataclass
+class DifferentialDuration:
+    """Differential duration per event, with the group minima retained."""
+
+    by_event: Dict[int, float] = field(default_factory=dict)
+    durations: Dict[int, float] = field(default_factory=dict)
+    #: Minimum sub-block duration per (phase, global step) group.
+    group_min: Dict[Tuple[int, int], float] = field(default_factory=dict)
+
+    def max_event(self) -> int:
+        """Event id with the largest differential duration (-1 if empty)."""
+        if not self.by_event:
+            return -1
+        return max(self.by_event, key=lambda e: self.by_event[e])
+
+    def max_value(self) -> float:
+        """Largest differential duration (0 if empty)."""
+        return max(self.by_event.values(), default=0.0)
+
+
+def differential_duration(structure: LogicalStructure) -> DifferentialDuration:
+    """Excess sub-block time relative to peers at the same logical step."""
+    durations = sub_block_durations(structure)
+    result = DifferentialDuration(durations=durations)
+
+    groups: Dict[Tuple[int, int], List[int]] = {}
+    for ev, dur in durations.items():
+        step = structure.step_of_event[ev]
+        phase = structure.phase_of_event[ev]
+        if step < 0 or phase < 0:
+            continue
+        groups.setdefault((phase, step), []).append(ev)
+
+    for key, evs in groups.items():
+        lo = min(durations[e] for e in evs)
+        result.group_min[key] = lo
+        for e in evs:
+            result.by_event[e] = durations[e] - lo
+    return result

@@ -1,0 +1,103 @@
+"""The *idle experienced* metric (Section 4, Figure 11).
+
+A recorded idle span on a processor is charged to the serial block that
+runs directly after it, and then propagated forward: each subsequent block
+on the processor whose triggering dependency (the send matching its
+invocation) started *before the idle span ended* was also effectively
+waiting through the idle, so it experiences it too.  Propagation stops at
+the first block whose dependency arose after the idle ended (or whose
+dependency is unknown).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.structure import LogicalStructure
+from repro.trace.events import NO_ID
+from repro.trace.model import Trace
+
+
+@dataclass
+class IdleExperienced:
+    """Result of the idle-experienced computation.
+
+    ``by_block`` maps serial-block id to accumulated idle seconds;
+    ``by_event`` anchors the same values on each block's first dependency
+    event (the natural place to color in a logical-structure view).
+    """
+
+    by_block: Dict[int, float] = field(default_factory=dict)
+    by_event: Dict[int, float] = field(default_factory=dict)
+
+    def total(self) -> float:
+        """Sum of idle experienced across all blocks."""
+        return sum(self.by_block.values())
+
+    def max_block(self) -> Optional[int]:
+        """Block id with the largest idle experienced, or None."""
+        if not self.by_block:
+            return None
+        return max(self.by_block, key=lambda b: self.by_block[b])
+
+
+def idle_experienced(structure: LogicalStructure) -> IdleExperienced:
+    """Compute idle experienced over the structure's serial blocks."""
+    trace = structure.trace
+    blocks = structure.blocks
+    result = IdleExperienced()
+
+    blocks_by_pe: Dict[int, List[int]] = {}
+    for block in blocks:
+        blocks_by_pe.setdefault(block.pe, []).append(block.id)
+    starts_by_pe: Dict[int, List[float]] = {}
+    for pe, ids in blocks_by_pe.items():
+        ids.sort(key=lambda b: (blocks[b].start, b))
+        starts_by_pe[pe] = [blocks[b].start for b in ids]
+
+    for pe, idles in trace.idles_by_pe.items():
+        ids = blocks_by_pe.get(pe)
+        if not ids:
+            continue
+        starts = starts_by_pe[pe]
+        for idle in idles:
+            span = idle.duration()
+            if span <= 0:
+                continue
+            pos = bisect_left(starts, idle.end)
+            first = True
+            while pos < len(ids):
+                block = blocks[ids[pos]]
+                if first:
+                    _charge(result, trace, block, span)
+                    first = False
+                else:
+                    dep_start = _dependency_start(trace, block)
+                    if dep_start is None or dep_start >= idle.end:
+                        break
+                    _charge(result, trace, block, span)
+                pos += 1
+    return result
+
+
+def _dependency_start(trace: Trace, block) -> Optional[float]:
+    """Time the block's triggering dependency was initiated, if traced."""
+    recv = block.recv_event
+    if recv == NO_ID:
+        return None
+    mid = trace.message_by_recv[recv]
+    if mid == NO_ID:
+        return None
+    send = trace.messages[mid].send_event
+    if send == NO_ID:
+        return None
+    return trace.events[send].time
+
+
+def _charge(result: IdleExperienced, trace: Trace, block, span: float) -> None:
+    result.by_block[block.id] = result.by_block.get(block.id, 0.0) + span
+    if block.events:
+        first = block.events[0]
+        result.by_event[first] = result.by_event.get(first, 0.0) + span

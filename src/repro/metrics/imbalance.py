@@ -1,0 +1,69 @@
+"""The per-phase *imbalance* metric (Section 4, Figure 14).
+
+For each phase, sum each participating processor's sub-block durations;
+the phase's imbalance is the spread between the most and least loaded
+processors, and each processor's imbalance is its excess over the least
+loaded one.  Values are mapped back to events so the spread can be
+inspected in both processor and chare space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.core.structure import LogicalStructure
+from repro.metrics.duration import sub_block_durations
+
+
+@dataclass
+class ImbalanceResult:
+    """Imbalance per (phase, pe), per phase, and anchored per event."""
+
+    #: Busy time per (phase id, pe).
+    load: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    #: Excess over the minimally loaded PE, per (phase id, pe).
+    by_phase_pe: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    #: max - min load per phase id.
+    max_by_phase: Dict[int, float] = field(default_factory=dict)
+    #: Each event inherits the imbalance of its (phase, pe).
+    by_event: Dict[int, float] = field(default_factory=dict)
+
+    def worst_phase(self) -> int:
+        """Phase id with the largest imbalance (-1 if empty)."""
+        if not self.max_by_phase:
+            return -1
+        return max(self.max_by_phase, key=lambda p: self.max_by_phase[p])
+
+
+def imbalance(structure: LogicalStructure) -> ImbalanceResult:
+    """Compute computation imbalance at the phase level."""
+    trace = structure.trace
+    durations = sub_block_durations(structure)
+    result = ImbalanceResult()
+
+    for ev, dur in durations.items():
+        phase = structure.phase_of_event[ev]
+        if phase < 0:
+            continue
+        pe = trace.events[ev].pe
+        key = (phase, pe)
+        result.load[key] = result.load.get(key, 0.0) + dur
+
+    per_phase: Dict[int, Dict[int, float]] = {}
+    for (phase, pe), load in result.load.items():
+        per_phase.setdefault(phase, {})[pe] = load
+    for phase, loads in per_phase.items():
+        lo = min(loads.values())
+        hi = max(loads.values())
+        result.max_by_phase[phase] = hi - lo
+        for pe, load in loads.items():
+            result.by_phase_pe[(phase, pe)] = load - lo
+
+    for ev in durations:
+        phase = structure.phase_of_event[ev]
+        if phase < 0:
+            continue
+        pe = trace.events[ev].pe
+        result.by_event[ev] = result.by_phase_pe[(phase, pe)]
+    return result

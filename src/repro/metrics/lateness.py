@@ -1,0 +1,31 @@
+"""Traditional *lateness*, the baseline the paper argues against.
+
+Lateness compares completion times of events sharing a logical step: an
+event is late by its delay behind the earliest peer at the same global
+step.  This is meaningful in bulk-synchronous message-passing programs but
+misleading for task-based runtimes, where same-step tasks are not expected
+to execute simultaneously (Section 4) — which is why the paper introduces
+idle-experienced / differential-duration / imbalance instead.  Provided
+for comparison studies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.structure import LogicalStructure
+
+
+def lateness(structure: LogicalStructure) -> Dict[int, float]:
+    """Delay of each event behind the earliest event at its global step."""
+    trace = structure.trace
+    by_step: Dict[int, List[int]] = {}
+    for ev, step in enumerate(structure.step_of_event):
+        if step >= 0:
+            by_step.setdefault(step, []).append(ev)
+    out: Dict[int, float] = {}
+    for evs in by_step.values():
+        earliest = min(trace.events[e].time for e in evs)
+        for e in evs:
+            out[e] = trace.events[e].time - earliest
+    return out

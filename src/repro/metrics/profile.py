@@ -1,0 +1,104 @@
+"""Aggregate usage profiles (Projections-style summaries).
+
+The paper positions its logical-time metrics against Projections' profile
+views (Section 8); this module provides those baseline aggregations so the
+two perspectives can be compared on the same trace: per-entry-method time
+and invocation counts, and per-PE utilization (busy / idle / overhead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.trace.model import Trace
+
+
+@dataclass
+class EntryProfile:
+    """Aggregate cost of one entry method."""
+
+    name: str
+    calls: int = 0
+    total_time: float = 0.0
+    max_time: float = 0.0
+
+    @property
+    def mean_time(self) -> float:
+        return self.total_time / self.calls if self.calls else 0.0
+
+
+@dataclass
+class PeUtilization:
+    """Busy/idle accounting for one processor."""
+
+    pe: int
+    busy: float = 0.0
+    idle: float = 0.0
+    #: Time in runtime-chare executions (scheduler/reduction overhead).
+    overhead: float = 0.0
+    span: float = 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Application-busy fraction of the PE's observed span."""
+        return (self.busy - self.overhead) / self.span if self.span > 0 else 0.0
+
+
+@dataclass
+class UsageProfile:
+    """Full profile of a trace."""
+
+    entries: Dict[str, EntryProfile] = field(default_factory=dict)
+    pes: List[PeUtilization] = field(default_factory=list)
+
+    def top_entries(self, n: int = 10) -> List[EntryProfile]:
+        """Entry methods by total time, descending."""
+        return sorted(self.entries.values(), key=lambda e: -e.total_time)[:n]
+
+
+def usage_profile(trace: Trace) -> UsageProfile:
+    """Compute per-entry and per-PE aggregates of a trace."""
+    profile = UsageProfile()
+    span = trace.end_time()
+    for ex in trace.executions:
+        name = trace.entry(ex.entry).name
+        ep = profile.entries.get(name)
+        if ep is None:
+            ep = profile.entries[name] = EntryProfile(name)
+        duration = ex.duration()
+        ep.calls += 1
+        ep.total_time += duration
+        ep.max_time = max(ep.max_time, duration)
+
+    for pe in range(trace.num_pes):
+        util = PeUtilization(pe=pe, span=span)
+        for xid in trace.executions_by_pe.get(pe, ()):
+            ex = trace.executions[xid]
+            util.busy += ex.duration()
+            if trace.is_runtime_chare(ex.chare):
+                util.overhead += ex.duration()
+        for idle in trace.idles_by_pe.get(pe, ()):
+            util.idle += idle.duration()
+        profile.pes.append(util)
+    return profile
+
+
+def profile_table(profile: UsageProfile, top: int = 10) -> str:
+    """Render the profile as an aligned text table."""
+    lines = [f"{'entry method':40s} {'calls':>7s} {'total':>10s} "
+             f"{'mean':>8s} {'max':>8s}"]
+    for ep in profile.top_entries(top):
+        lines.append(
+            f"{ep.name[:40]:40s} {ep.calls:7d} {ep.total_time:10.1f} "
+            f"{ep.mean_time:8.2f} {ep.max_time:8.2f}"
+        )
+    lines.append("")
+    lines.append(f"{'PE':>4s} {'busy':>10s} {'overhead':>10s} {'idle':>10s} "
+                 f"{'util%':>6s}")
+    for util in profile.pes:
+        lines.append(
+            f"{util.pe:4d} {util.busy:10.1f} {util.overhead:10.1f} "
+            f"{util.idle:10.1f} {100 * util.utilization:6.1f}"
+        )
+    return "\n".join(lines)

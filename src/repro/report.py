@@ -1,0 +1,107 @@
+"""Combined performance reports over a logical structure.
+
+Pulls the Section 4 metrics, the critical path, and the phase-pattern
+summary into a single plain-text report — the "where do I look first"
+artifact a developer would want from a trace.  Used by the CLI
+(``repro analyze --report`` / ``repro report``) and the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.patterns import kind_sequence, repeating_unit
+from repro.core.structure import LogicalStructure
+from repro.metrics import (
+    critical_path,
+    differential_duration,
+    idle_experienced,
+    imbalance,
+    sub_block_durations,
+)
+
+
+def _fmt_entry(name: str) -> str:
+    return name.split("::")[-1]
+
+
+def performance_report(structure: LogicalStructure, top: int = 5) -> str:
+    """Render a plain-text performance report for a structure."""
+    trace = structure.trace
+    lines: List[str] = []
+    s = structure.summary()
+    lines.append("== trace ==")
+    lines.append(
+        f"{len(trace.chares)} chares ({len(trace.runtime_chares())} runtime) "
+        f"on {trace.num_pes} PEs; {len(trace.executions)} executions, "
+        f"{len(trace.events)} dependency events, span {trace.end_time():.1f}"
+    )
+
+    lines.append("")
+    lines.append("== logical structure ==")
+    lines.append(
+        f"{s['phases']} phases ({s['runtime_phases']} runtime), "
+        f"{s['max_step'] + 1} logical steps, {s['leaps']} leaps"
+    )
+    lines.append(f"phase kinds: {kind_sequence(structure)}")
+    unit = repeating_unit(structure, min_repeats=2)
+    if unit:
+        lines.append(f"repeating unit (x{unit[0]['repeats']}):")
+        for entry in unit:
+            sig = ", ".join(f"{_fmt_entry(n)}x{c}" for n, c in entry["signature"])
+            lines.append(f"  [{entry['kind']:11s}] {sig}")
+
+    durations = sub_block_durations(structure)
+    total_busy = sum(durations.values())
+
+    lines.append("")
+    lines.append("== critical path ==")
+    path = critical_path(structure)
+    lines.append(
+        f"length {path.length:.1f} ({100 * path.share_of(total_busy):.0f}% of "
+        f"total busy time), {len(path.events)} events"
+    )
+    for entry, t in sorted(path.by_entry.items(), key=lambda kv: -kv[1])[:top]:
+        lines.append(f"  {t:10.1f}  {_fmt_entry(entry)}")
+
+    lines.append("")
+    lines.append("== differential duration (slow vs same-step peers) ==")
+    diff = differential_duration(structure)
+    ranked = sorted(diff.by_event.items(), key=lambda kv: -kv[1])[:top]
+    for ev, value in ranked:
+        if value <= 0:
+            break
+        rec = trace.events[ev]
+        lines.append(
+            f"  +{value:9.1f}  {trace.chares[rec.chare].name} "
+            f"step {structure.step_of_event[ev]}"
+        )
+
+    lines.append("")
+    lines.append("== idle experienced ==")
+    idle = idle_experienced(structure)
+    lines.append(f"total {idle.total():.1f} across {len(idle.by_block)} blocks")
+    worst_block = idle.max_block()
+    if worst_block is not None:
+        block = structure.blocks[worst_block]
+        lines.append(
+            f"  worst: {idle.by_block[worst_block]:.1f} on "
+            f"{trace.chares[block.chare].name} (PE {block.pe})"
+        )
+
+    lines.append("")
+    lines.append("== imbalance ==")
+    imb = imbalance(structure)
+    if imb.max_by_phase:
+        worst = imb.worst_phase()
+        lines.append(
+            f"worst phase {worst}: spread {imb.max_by_phase[worst]:.1f} "
+            f"between most- and least-loaded PEs"
+        )
+        loads = sorted(
+            ((pe, v) for (p, pe), v in imb.by_phase_pe.items() if p == worst),
+            key=lambda kv: -kv[1],
+        )[:top]
+        for pe, v in loads:
+            lines.append(f"  PE {pe:3d}: +{v:.1f}")
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Execution substrates: discrete-event simulators that emit traces.
+
+The paper traced real Charm++ and MPI applications on an InfiniBand
+cluster.  This package replaces that testbed with two simulators built on a
+common discrete-event core:
+
+* :mod:`repro.sim.charm` — a message-driven chare runtime with per-PE
+  scheduling queues, chare arrays, broadcasts, spanning-tree reductions
+  through per-PE ``CkReductionMgr`` runtime chares, SDAG-style serial
+  sections, and a configurable tracing module (Section 5 of the paper).
+* :mod:`repro.sim.mpi` — a rank/coroutine simulator for process-centric
+  message-passing programs with point-to-point matching and collectives,
+  traced in the style of Score-P (one region per call, collective
+  internals unrecorded).
+
+Both emit :class:`repro.trace.Trace` objects, which is all the analysis in
+:mod:`repro.core` consumes — so the substitution of simulator for testbed
+preserves the behaviour under study.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.network import (
+    ConstantLatency,
+    GammaLatency,
+    LatencyModel,
+    UniformLatency,
+)
+from repro.sim.noise import (
+    ChareSlowdown,
+    ComposedNoise,
+    GaussianNoise,
+    NoNoise,
+    NoiseModel,
+    PeriodicJitter,
+    SlowProcessor,
+)
+
+__all__ = [
+    "Simulator",
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "GammaLatency",
+    "NoiseModel",
+    "NoNoise",
+    "GaussianNoise",
+    "PeriodicJitter",
+    "SlowProcessor",
+    "ChareSlowdown",
+    "ComposedNoise",
+]

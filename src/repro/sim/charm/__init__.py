@@ -1,0 +1,39 @@
+"""A message-driven chare runtime simulator in the style of Charm++.
+
+Implements the execution semantics the paper depends on (Section 2.1):
+
+* chares and indexed chare arrays, mapped to PEs;
+* entry methods scheduled by per-PE message queues, run to completion;
+* broadcasts over arrays;
+* reductions through per-PE ``CkReductionMgr`` runtime chares that gather
+  local contributions and combine partials up a spanning tree of PEs;
+* SDAG-style serial sections chained after ``when`` triggers (the chaining
+  control flow is runtime-internal and *not* traced, which is exactly the
+  missing-dependency situation the analysis heuristics recover);
+* a tracing module recording entry begin/end, messaging events, and idle
+  intervals, with the Section 5 extension (process-local reduction events)
+  switchable on and off.
+"""
+
+from repro.sim.charm.chare import Chare, EntrySpec
+from repro.sim.charm.loadbalance import (
+    GreedyBalancer,
+    NullBalancer,
+    RefineBalancer,
+)
+from repro.sim.charm.runtime import ArrayHandle, ChareHandle, CharmRuntime
+from repro.sim.charm.sdag import WhenCounter
+from repro.sim.charm.tracing import TracingOptions
+
+__all__ = [
+    "Chare",
+    "EntrySpec",
+    "CharmRuntime",
+    "ArrayHandle",
+    "ChareHandle",
+    "WhenCounter",
+    "TracingOptions",
+    "GreedyBalancer",
+    "NullBalancer",
+    "RefineBalancer",
+]

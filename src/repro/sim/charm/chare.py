@@ -1,0 +1,131 @@
+"""Chare base class and entry-method metadata.
+
+Application code subclasses :class:`Chare`; each public method invoked via
+a message is an *entry method*.  Metadata (SDAG serial flags and ordinals,
+Section 2.1) is declared in the ``ENTRIES`` class attribute and lands in
+the trace's entry-method registry, where the analysis's serial-numbering
+heuristic reads it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class EntrySpec:
+    """Static metadata for one entry method.
+
+    ``sdag_ordinal`` is the parsing-order number the Charm++ compiler gives
+    generated ``serial`` entry methods; consecutive ordinals observed
+    back-to-back on a chare let the analysis infer happened-before edges.
+    """
+
+    is_sdag_serial: bool = False
+    sdag_ordinal: int = -1
+
+
+class Chare:
+    """Base class for simulated chares.
+
+    Entry methods are ordinary Python methods; inside one, the helpers
+    below advance the simulated clock and emit messages.  All helpers must
+    be called only while the chare is executing (the runtime enforces it).
+    """
+
+    #: Per-class entry metadata; methods not listed get a default spec.
+    ENTRIES: Dict[str, EntrySpec] = {}
+
+    #: Runtime chares (reduction managers, completion detectors) override.
+    IS_RUNTIME = False
+
+    def __init__(self, runtime: Any, trace_id: int, pe: int,
+                 index: Tuple[int, ...] = (), array: Optional[Any] = None):
+        self.runtime = runtime
+        self.trace_id = trace_id
+        self.pe = pe
+        self.index = index
+        self.array = array
+        self._reduction_seq: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def init(self, **kwargs: Any) -> None:
+        """Hook called once at creation with the app's keyword arguments."""
+
+    @classmethod
+    def entry_spec(cls, name: str) -> EntrySpec:
+        """Metadata for entry method ``name`` (default spec if undeclared)."""
+        return cls.ENTRIES.get(name, EntrySpec())
+
+    # -- helpers usable inside entry methods ----------------------------
+    def _ctx(self):
+        ctx = self.runtime.current
+        if ctx is None or ctx.chare is not self:
+            raise RuntimeError(
+                f"{type(self).__name__}.{'_ctx'}: helper called outside an "
+                "entry method of this chare"
+            )
+        return ctx
+
+    @property
+    def now(self) -> float:
+        """Current simulated time inside the executing block."""
+        return self._ctx().clock
+
+    def compute(self, cost: float) -> None:
+        """Burn ``cost`` time units of computation (noise model applied)."""
+        self._ctx().compute(cost)
+
+    def send(self, target: "Chare", entry: str, payload: Any = None,
+             size: float = 8.0, traced: bool = True,
+             priority: int = 0) -> None:
+        """Invoke ``entry`` on ``target`` via a message.
+
+        ``traced=False`` models control flow the tracing framework cannot
+        record (e.g. the PDES completion-detector call of Figure 24): the
+        message is delivered but leaves no send/recv records.
+
+        ``priority`` orders the destination PE's scheduling queue (lower
+        first, Charm++ convention): a source of execution-order
+        non-determinism the logical structure untangles.
+        """
+        self._ctx().send_one(target, entry, payload, size, traced, priority)
+
+    def contribute(self, value: Any, op: str, target: Any, size: float = 8.0) -> None:
+        """Contribute to a reduction over this chare's array (Section 5).
+
+        ``target`` is either ``("broadcast", entry_name)`` — deliver the
+        result to every element of the array — or ``("send", chare, entry)``
+        for a single client (typically the main chare).
+        """
+        if self.array is None:
+            raise RuntimeError("contribute() requires the chare to belong to an array")
+        ctx = self._ctx()
+        seq = self._reduction_seq.get(self.array.array_id, 0)
+        self._reduction_seq[self.array.array_id] = seq + 1
+        self.runtime._contribute(ctx, self.array, seq, value, op, target, size)
+
+    def at_sync(self) -> None:
+        """Reach a load-balancing sync point (Charm++ ``AtSync``).
+
+        When every element of this chare's array has called ``at_sync``,
+        the runtime's load balancer redistributes the chares by measured
+        load and delivers ``resume_from_sync`` to each element.  The chare
+        must define a ``resume_from_sync`` entry method.
+        """
+        if self.array is None:
+            raise RuntimeError("at_sync() requires the chare to belong to an array")
+        self.runtime._at_sync(self._ctx(), self)
+
+    def chain(self, entry: str, payload: Any = None) -> None:
+        """Run ``entry`` as an SDAG serial block immediately after this one.
+
+        The chained block executes on the same PE with no gap and *no traced
+        invocation* — the control dependency lives inside the runtime, which
+        is why the analysis needs the serial-ordinal heuristic to recover it.
+        """
+        self._ctx().chain(entry, payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(id={self.trace_id}, index={self.index}, pe={self.pe})"

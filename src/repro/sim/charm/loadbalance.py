@@ -1,0 +1,140 @@
+"""Measurement-based load balancing with chare migration.
+
+The paper's future work calls for analyses that "show lifetime and
+migration between processors"; this module adds the runtime side: chares
+accumulate measured compute load, and at an AtSync point (every element of
+an array calling :meth:`~repro.sim.charm.chare.Chare.at_sync`) a central
+``CkLoadBalancer`` runtime chare collects the loads, computes a new
+mapping with a pluggable strategy, migrates the chares, and resumes them
+via ``resume_from_sync`` — all visible in the trace as a runtime phase
+between the application phases, like a Charm++ LB step.
+
+Migration is modelled as instantaneous at the sync point (all elements are
+quiescent there); in-flight messages follow the chare to its new PE, as
+Charm++'s message forwarding would arrange.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Protocol, Sequence, Tuple
+
+from repro.sim.charm.chare import Chare
+
+
+class BalanceStrategy(Protocol):
+    """Computes a new chare->PE mapping from measured loads."""
+
+    def remap(self, loads: Dict[int, float], current: Dict[int, int],
+              num_pes: int) -> Dict[int, int]:
+        """Return the new PE for every chare id in ``loads``."""
+        ...
+
+
+class GreedyBalancer:
+    """Classic greedy LB: heaviest chares first onto the lightest PE."""
+
+    def remap(self, loads: Dict[int, float], current: Dict[int, int],
+              num_pes: int) -> Dict[int, int]:
+        pe_load = [0.0] * num_pes
+        mapping: Dict[int, int] = {}
+        for chare in sorted(loads, key=lambda c: -loads[c]):
+            pe = min(range(num_pes), key=lambda p: pe_load[p])
+            mapping[chare] = pe
+            pe_load[pe] += loads[chare]
+        return mapping
+
+
+class NullBalancer:
+    """Keeps the current mapping (baseline for LB ablations)."""
+
+    def remap(self, loads: Dict[int, float], current: Dict[int, int],
+              num_pes: int) -> Dict[int, int]:
+        return dict(current)
+
+
+class RefineBalancer:
+    """Refinement LB (Charm++ ``RefineLB`` analogue): minimal migrations.
+
+    Instead of remapping everything like :class:`GreedyBalancer`, chares
+    move off overloaded PEs onto the least-loaded one only until every PE
+    is within ``tolerance`` of the average — trading balance quality for
+    migration cost, the classic refinement/greedy trade-off.
+    """
+
+    def __init__(self, tolerance: float = 1.05):
+        if tolerance < 1.0:
+            raise ValueError("tolerance must be >= 1.0")
+        self.tolerance = tolerance
+
+    def remap(self, loads: Dict[int, float], current: Dict[int, int],
+              num_pes: int) -> Dict[int, int]:
+        mapping = dict(current)
+        pe_load = [0.0] * num_pes
+        pe_chares: Dict[int, list] = {p: [] for p in range(num_pes)}
+        for chare, pe in mapping.items():
+            pe_load[pe] += loads[chare]
+            pe_chares[pe].append(chare)
+        average = sum(pe_load) / num_pes if num_pes else 0.0
+        threshold = average * self.tolerance
+        # Repeatedly move the lightest movable chare off the heaviest PE.
+        for _ in range(len(mapping)):
+            heavy = max(range(num_pes), key=lambda p: pe_load[p])
+            if pe_load[heavy] <= threshold or not pe_chares[heavy]:
+                break
+            light = min(range(num_pes), key=lambda p: pe_load[p])
+            candidates = sorted(pe_chares[heavy], key=lambda c: loads[c])
+            moved = None
+            for chare in candidates:
+                if pe_load[light] + loads[chare] < pe_load[heavy]:
+                    moved = chare
+                    break
+            if moved is None:
+                break
+            pe_chares[heavy].remove(moved)
+            pe_chares[light].append(moved)
+            pe_load[heavy] -= loads[moved]
+            pe_load[light] += loads[moved]
+            mapping[moved] = light
+        return mapping
+
+
+class LoadBalancerChare(Chare):
+    """The central runtime chare orchestrating an LB step."""
+
+    IS_RUNTIME = True
+
+    #: Bookkeeping cost per received sync message and per migration.
+    SYNC_COST = 0.4
+    MIGRATE_COST = 1.0
+
+    def init(self, strategy: Any = None, **_ignored) -> None:
+        self.strategy = strategy or GreedyBalancer()
+        self._waiting: Dict[int, List[Tuple[Chare, float]]] = {}
+
+    def sync(self, payload) -> None:
+        """One array element reached its AtSync point."""
+        chare, load, array_id, expected = payload
+        self.compute(self.SYNC_COST)
+        bucket = self._waiting.setdefault(array_id, [])
+        bucket.append((chare, load))
+        if len(bucket) < expected:
+            return
+        del self._waiting[array_id]
+        loads = {c.trace_id: l for c, l in bucket}
+        current = {c.trace_id: c.pe for c, _ in bucket}
+        mapping = self.strategy.remap(loads, current, self.runtime.num_pes)
+        migrations = 0
+        by_id = {c.trace_id: c for c, _ in bucket}
+        for chare_id, new_pe in mapping.items():
+            target = by_id[chare_id]
+            if target.pe != new_pe:
+                self.runtime._migrate(target, new_pe)
+                migrations += 1
+        self.compute(self.MIGRATE_COST * max(1, migrations))
+        self.runtime.tracer.builder.metadata.setdefault("lb_steps", []).append(
+            {"migrations": migrations, "time": self.now}
+        )
+        for chare, _load in bucket:
+            # Resume is runtime-internal control flow: like the SDAG
+            # chains, it is delivered but not traced as a message.
+            self.send(chare, "resume_from_sync", None, size=8.0, traced=False)

@@ -1,0 +1,92 @@
+"""Quiescence detection (the Charm++ ``CkStartQD`` analogue).
+
+Quiescence holds when every sent message has been processed and no PE is
+executing.  The detector uses the classic two-wave counting scheme: a
+per-PE ``CkQdMgr`` runtime chare reports its (created, processed) counters
+up a spanning tree; the root compares the global sums across two
+consecutive waves — equal and unchanged means no message can still be in
+flight — and then notifies the client chare.
+
+The detector's tree messages are explicit inter-PE messages and are traced
+(like the reduction tree), so QD shows up in the recovered logical
+structure as repeated runtime phases polling alongside the application —
+a good stress case for the app/runtime phase separation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.sim.charm.chare import Chare
+
+
+class QdManager(Chare):
+    """Per-PE quiescence-detection manager."""
+
+    IS_RUNTIME = True
+
+    POLL_COST = 0.3
+    #: Delay between the end of a failed wave and the next poll.
+    REPOLL_DELAY = 25.0
+
+    def init(self, managers=None, client=None, client_entry: str = "",
+             **_ignored) -> None:
+        self.managers = managers
+        self.client = client
+        self.client_entry = client_entry
+        self._reports: Dict[int, Tuple[int, int]] = {}
+        self._expected = 0
+        self._last_totals: Optional[Tuple[int, int]] = None
+        self._done = False
+
+    # -- root side ---------------------------------------------------------
+    def _send_uncounted(self, target: Chare, entry: str, payload=None,
+                        size: float = 8.0) -> None:
+        """QD control messages are traced but excluded from the counters
+        (counting them would grow the totals every wave, so two waves
+        could never match)."""
+        self._ctx().send_one(target, entry, payload, size, True,
+                             priority=0, counted=False)
+
+    def start_wave(self, _msg) -> None:
+        """Root: ask every manager (self included) for its counters."""
+        if self._done:
+            return
+        self.compute(self.POLL_COST)
+        self._reports = {}
+        self._expected = len(self.managers)
+        for mgr in self.managers:
+            self._send_uncounted(mgr, "poll")
+
+    def report(self, payload) -> None:
+        """Root: accumulate one PE's counter report."""
+        pe, created, processed = payload
+        self.compute(self.POLL_COST)
+        self._reports[pe] = (created, processed)
+        if len(self._reports) < self._expected or self._done:
+            return
+        created = sum(c for c, _ in self._reports.values())
+        processed = sum(p for _, p in self._reports.values())
+        totals = (created, processed)
+        if created == processed and totals == self._last_totals:
+            # Two identical balanced waves: the system is quiescent.
+            self._done = True
+            if self.client is not None:
+                self._send_uncounted(self.client, self.client_entry)
+            return
+        self._last_totals = totals
+        # Not yet quiet: another wave after a delay (an untraced internal
+        # self-wakeup, like a scheduler timer — excluded from the counters,
+        # or the totals would grow each wave and never stabilize).
+        self.runtime.seed(self, "start_wave",
+                          at=self.runtime.sim.now + self.REPOLL_DELAY,
+                          counted=False)
+
+    # -- per-PE side --------------------------------------------------------
+    def poll(self, _msg) -> None:
+        """Any manager: report this PE's counters to the root."""
+        self.compute(self.POLL_COST)
+        created = self.runtime.messages_created[self.pe]
+        processed = self.runtime.messages_processed[self.pe]
+        self._send_uncounted(self.managers[0], "report",
+                             (self.pe, created, processed), size=16.0)

@@ -1,0 +1,162 @@
+"""Reductions over chare arrays via per-PE ``CkReductionMgr`` chares.
+
+Follows Section 5 of the paper: each element calls ``contribute``; the
+contribution travels as a *process-local* message to the reduction manager
+chare on its PE; once a manager has gathered all local contributions and
+all partials from its children in a spanning tree over the participating
+PEs, it forwards a partial to its parent (an explicit inter-processor
+message, always traced); the root delivers the result to the client —
+either a broadcast to the array or a point send (e.g. to the main chare).
+
+Whether the *local* legs are traced is governed by
+:attr:`~repro.sim.charm.tracing.TracingOptions.trace_reductions`; the
+inter-PE tree messages are traced regardless, matching stock Charm++.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.sim.charm.chare import Chare, EntrySpec
+
+
+@dataclass
+class ReduceMsg:
+    """Payload of reduction control messages."""
+
+    array_id: int
+    seq: int
+    value: Any
+    op: str
+    target: Any
+    size: float = 8.0
+
+
+def combine(op: str, a: Any, b: Any) -> Any:
+    """Combine two reduction partials under ``op``."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if op == "sum":
+        return a + b
+    if op == "max":
+        return max(a, b)
+    if op == "min":
+        return min(a, b)
+    if op == "nop":
+        return None
+    raise ValueError(f"unknown reduction op {op!r}")
+
+
+def contribute(runtime: Any, ctx: Any, array: Any, seq: int, value: Any,
+               op: str, target: Any, size: float) -> None:
+    """Route one element's contribution to its PE's reduction manager."""
+    mgrs = runtime.reduction_managers()
+    mgr = mgrs[ctx.pe]
+    traced = runtime.tracer.options.trace_reductions
+    msg = ReduceMsg(array.array_id, seq, value, op, target, size)
+    ctx.send_one(mgr, "contribute_local", msg, size, traced)
+
+
+class _RedState:
+    __slots__ = ("value", "local_count", "child_count", "op", "target", "size")
+
+    def __init__(self) -> None:
+        self.value: Any = None
+        self.local_count = 0
+        self.child_count = 0
+        self.op = "sum"
+        self.target: Any = None
+        self.size = 8.0
+
+
+class ReductionManager(Chare):
+    """The per-PE runtime chare that gathers and forwards contributions."""
+
+    IS_RUNTIME = True
+
+    #: Per-message bookkeeping cost inside the manager.
+    LOCAL_COST = 0.3
+    COMBINE_COST = 0.5
+
+    ENTRIES: Dict[str, EntrySpec] = {}
+
+    def init(self, **kwargs: Any) -> None:
+        self._states: Dict[Tuple[int, int], _RedState] = {}
+
+    # -- entry methods ---------------------------------------------------
+    def contribute_local(self, msg: ReduceMsg) -> None:
+        """Receive one local element's contribution."""
+        self.compute(self.LOCAL_COST)
+        st = self._accumulate(msg)
+        st.local_count += 1
+        self._check_ready(msg.array_id, msg.seq)
+
+    def child_partial(self, msg: ReduceMsg) -> None:
+        """Receive a combined partial from a child PE in the spanning tree."""
+        self.compute(self.COMBINE_COST)
+        st = self._accumulate(msg)
+        st.child_count += 1
+        self._check_ready(msg.array_id, msg.seq)
+
+    # -- internals ---------------------------------------------------------
+    def _accumulate(self, msg: ReduceMsg) -> _RedState:
+        key = (msg.array_id, msg.seq)
+        st = self._states.get(key)
+        if st is None:
+            st = self._states[key] = _RedState()
+            st.op = msg.op
+            st.target = msg.target
+            st.size = msg.size
+        st.value = combine(st.op, st.value, msg.value)
+        return st
+
+    def _tree(self, array_id: int) -> Tuple[List[int], int]:
+        handle = self._array_handle(array_id)
+        pes = handle.participating_pes
+        return pes, pes.index(self.pe)
+
+    def _array_handle(self, array_id: int) -> Any:
+        if array_id < 0:
+            return self.runtime._sections[array_id]
+        for handle in self.runtime._arrays:
+            if handle.array_id == array_id:
+                return handle
+        raise KeyError(f"no array with id {array_id}")
+
+    def _check_ready(self, array_id: int, seq: int) -> None:
+        key = (array_id, seq)
+        st = self._states[key]
+        handle = self._array_handle(array_id)
+        expected_local = handle.elements_per_pe.get(self.pe, 0)
+        pes, pos = self._tree(array_id)
+        n_children = sum(1 for c in (2 * pos + 1, 2 * pos + 2) if c < len(pes))
+        if st.local_count < expected_local or st.child_count < n_children:
+            return
+        del self._states[key]
+        if pos > 0:
+            parent_pe = pes[(pos - 1) // 2]
+            parent = self.runtime.reduction_managers()[parent_pe]
+            fwd = ReduceMsg(array_id, seq, st.value, st.op, st.target, st.size)
+            # Inter-processor reduction messages are explicit and always traced.
+            self.send(parent, "child_partial", fwd, size=st.size, traced=True)
+        else:
+            self._deliver(handle, st)
+
+    def _deliver(self, handle: Any, st: _RedState) -> None:
+        target = st.target
+        if target is None:
+            return
+        kind = target[0]
+        if kind == "broadcast":
+            _, entry = target
+            self.runtime._broadcast(
+                self._ctx(), list(handle.elements.values()), entry, st.value, st.size
+            )
+        elif kind == "send":
+            _, client, entry = target
+            self.send(client, entry, st.value, size=st.size, traced=True)
+        else:
+            raise ValueError(f"unknown reduction target {target!r}")

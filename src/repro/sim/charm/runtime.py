@@ -1,0 +1,516 @@
+"""The simulated Charm++ runtime: PE scheduling, messaging, arrays.
+
+Execution model (Section 2.1 of the paper): each PE owns a queue of
+delivered messages; when the PE is free, the runtime dequeues the earliest
+arrival and runs the corresponding entry method to completion.  Sends made
+during a block are stamped at the block's internal clock and delivered
+after a network-model latency.  SDAG serial blocks chained with
+:meth:`~repro.sim.charm.chare.Chare.chain` run immediately after their
+trigger on the same PE, with no traced invocation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.sim.charm.chare import Chare, EntrySpec
+from repro.sim.charm.tracing import CharmTracer, TracingOptions
+from repro.sim.engine import Simulator
+from repro.sim.network import ConstantLatency, LatencyModel
+from repro.sim.noise import NoiseModel, NoNoise
+from repro.trace.events import NO_ID
+from repro.trace.model import Trace
+
+
+@dataclass
+class Envelope:
+    """A message in flight (or queued) toward a chare's entry method."""
+
+    dest: Chare
+    entry: str
+    payload: Any
+    size: float
+    message_id: int  # trace message id, NO_ID when untraced
+    #: Queue priority: lower values dequeue first (Charm++ convention).
+    priority: int = 0
+    #: Whether the message participates in quiescence-detection counting
+    #: (QD's own control messages must not, or totals never stabilize).
+    counted: bool = True
+
+
+class _PEState:
+    __slots__ = ("queue", "busy", "idle_since", "seq")
+
+    def __init__(self) -> None:
+        self.queue: List[Tuple[float, int, Envelope]] = []
+        self.busy = False
+        self.idle_since: Optional[float] = 0.0  # PEs start idle at t=0
+        self.seq = itertools.count()
+
+
+class ExecutionContext:
+    """State of the currently running serial block."""
+
+    def __init__(self, runtime: "CharmRuntime", chare: Chare, pe: int,
+                 start: float, exec_id: int):
+        self.runtime = runtime
+        self.chare = chare
+        self.pe = pe
+        self.clock = start
+        self.exec_id = exec_id
+        self.chained: List[Tuple[str, Any]] = []
+
+    def compute(self, cost: float) -> None:
+        if cost < 0:
+            raise ValueError(f"negative compute cost {cost}")
+        actual = self.runtime.noise.perturb(self.pe, self.chare.trace_id, cost)
+        self.clock += actual
+        # Measured load feeds the load balancer (Charm++ LB database).
+        loads = self.runtime.chare_load
+        loads[self.chare.trace_id] = loads.get(self.chare.trace_id, 0.0) + actual
+
+    def send_one(self, target: Chare, entry: str, payload: Any,
+                 size: float, traced: bool, priority: int = 0,
+                 counted: bool = True) -> None:
+        self.runtime._send_one(self, target, entry, payload, size, traced,
+                               priority, counted)
+
+    def chain(self, entry: str, payload: Any) -> None:
+        self.chained.append((entry, payload))
+
+
+class ArrayHandle:
+    """A chare array: indexed elements plus broadcast/reduction metadata."""
+
+    def __init__(self, runtime: "CharmRuntime", array_id: int, name: str,
+                 shape: Tuple[int, ...]):
+        self.runtime = runtime
+        self.array_id = array_id
+        self.name = name
+        self.shape = shape
+        self.elements: Dict[Tuple[int, ...], Chare] = {}
+        #: Number of elements per PE, filled as elements are created.
+        self.elements_per_pe: Dict[int, int] = {}
+
+    def __getitem__(self, index) -> Chare:
+        if not isinstance(index, tuple):
+            index = (index,)
+        return self.elements[index]
+
+    def __iter__(self):
+        return iter(self.elements.values())
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    @property
+    def participating_pes(self) -> List[int]:
+        """Sorted PEs hosting at least one element (reduction-tree nodes)."""
+        return sorted(self.elements_per_pe)
+
+    def broadcast_from(self, sender_ctx: ExecutionContext, entry: str,
+                       payload: Any = None, size: float = 8.0) -> None:
+        """Broadcast ``entry`` to every element (one send event, N messages)."""
+        self.runtime._broadcast(sender_ctx, list(self.elements.values()), entry,
+                                payload, size)
+
+    def section(self, indices) -> "SectionHandle":
+        """Create a section (subset proxy) over the given element indices.
+
+        Sections support multicast and section reductions; see
+        :mod:`repro.sim.charm.sections`.
+        """
+        from repro.sim.charm.sections import SectionHandle
+
+        section_id = self.runtime._new_section_id()
+        handle = SectionHandle(self, indices, section_id)
+        self.runtime._sections[section_id] = handle
+        return handle
+
+
+class ChareHandle:
+    """Wrapper for a singleton chare (e.g. the main chare)."""
+
+    def __init__(self, chare: Chare):
+        self.chare = chare
+
+
+class CharmRuntime:
+    """Top-level simulator facade.
+
+    Typical use::
+
+        rt = CharmRuntime(num_pes=8, seed=1)
+        arr = rt.create_array("Jacobi", JacobiChare, shape=(8, 8), block=...)
+        main = rt.create_chare("Main", MainChare, pe=0, array=arr)
+        rt.seed(main.chare, "start")
+        rt.run()
+        trace = rt.finish()
+    """
+
+    def __init__(
+        self,
+        num_pes: int,
+        latency: Optional[LatencyModel] = None,
+        noise: Optional[NoiseModel] = None,
+        tracing: Optional[TracingOptions] = None,
+        task_overhead: float = 0.5,
+        sched_gap: float = 0.05,
+        metadata: Optional[Dict[str, object]] = None,
+    ):
+        if num_pes <= 0:
+            raise ValueError("num_pes must be positive")
+        if sched_gap <= 0:
+            raise ValueError(
+                "sched_gap must be positive: back-to-back queue pops with "
+                "zero gap are indistinguishable from chained SDAG serials"
+            )
+        self.num_pes = num_pes
+        self.sim = Simulator()
+        self.latency: LatencyModel = latency or ConstantLatency()
+        self.noise: NoiseModel = noise or NoNoise()
+        self.tracer = CharmTracer(num_pes, tracing, metadata)
+        self.task_overhead = task_overhead
+        self.sched_gap = sched_gap
+        self.current: Optional[ExecutionContext] = None
+        self._pes = [_PEState() for _ in range(num_pes)]
+        self._chares: List[Chare] = []
+        self._arrays: List[ArrayHandle] = []
+        # Reduction managers: one runtime chare per PE (created lazily so
+        # traces of reduction-free apps contain no runtime chares).
+        self._reduction_mgrs: Optional[List[Chare]] = None
+        #: Accumulated measured compute per chare (the LB database).
+        self.chare_load: Dict[int, float] = {}
+        self._load_balancer: Optional[Chare] = None
+        self._balance_strategy = None
+        self.migrations = 0
+        #: Per-PE message counters feeding quiescence detection.
+        self.messages_created = [0] * num_pes
+        self.messages_processed = [0] * num_pes
+        self._qd_managers: Optional[List[Chare]] = None
+        #: Array sections, keyed by their synthetic (negative) ids.
+        self._sections: Dict[int, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Object creation
+    # ------------------------------------------------------------------
+    def create_array(
+        self,
+        name: str,
+        cls: Type[Chare],
+        shape: Tuple[int, ...],
+        mapping: str = "block",
+        **init_kwargs: Any,
+    ) -> ArrayHandle:
+        """Create a chare array of ``cls`` with one element per index.
+
+        ``mapping`` assigns elements to PEs: ``"block"`` (contiguous runs of
+        the linearized index space), ``"round_robin"``, ``"hashed"``
+        (deterministic scatter, like Charm++'s default array map; per-PE
+        counts may differ by a few), or ``"shuffle"`` (deterministic
+        scatter with exactly balanced per-PE counts).
+        """
+        if not isinstance(shape, tuple):
+            shape = (shape,)
+        array_id = self.tracer.register_array(name, shape)
+        handle = ArrayHandle(self, array_id, name, shape)
+        indices = list(_iter_indices(shape))
+        count = len(indices)
+        if mapping == "shuffle":
+            import random as _random
+
+            order = list(range(count))
+            _random.Random(0xC4A12).shuffle(order)
+            shuffle_pe = [0] * count
+            for position, linear in enumerate(order):
+                shuffle_pe[linear] = position % self.num_pes
+        for linear, index in enumerate(indices):
+            if mapping == "block":
+                pe = linear * self.num_pes // count
+            elif mapping == "round_robin":
+                pe = linear % self.num_pes
+            elif mapping == "hashed":
+                pe = ((linear * 2654435761) >> 8) % self.num_pes
+            elif mapping == "shuffle":
+                pe = shuffle_pe[linear]
+            else:
+                raise ValueError(f"unknown mapping {mapping!r}")
+            label = f"{name}{list(index)}"
+            trace_id = self.tracer.register_chare(
+                label, array_id=array_id, index=index,
+                is_runtime=cls.IS_RUNTIME, home_pe=pe,
+            )
+            chare = cls(self, trace_id, pe, index=index, array=handle)
+            chare.init(**init_kwargs)
+            self._register(chare)
+            handle.elements[index] = chare
+            handle.elements_per_pe[pe] = handle.elements_per_pe.get(pe, 0) + 1
+        self._arrays.append(handle)
+        return handle
+
+    def create_chare(self, name: str, cls: Type[Chare], pe: int = 0,
+                     **init_kwargs: Any) -> ChareHandle:
+        """Create a singleton chare pinned to ``pe``."""
+        trace_id = self.tracer.register_chare(
+            name, is_runtime=cls.IS_RUNTIME, home_pe=pe
+        )
+        chare = cls(self, trace_id, pe)
+        chare.init(**init_kwargs)
+        self._register(chare)
+        return ChareHandle(chare)
+
+    def _register(self, chare: Chare) -> None:
+        self._chares.append(chare)
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def seed(self, target: Chare, entry: str, payload: Any = None,
+             at: float = 0.0, counted: bool = True) -> None:
+        """Inject a start-up message (untraced, like program launch)."""
+        env = Envelope(target, entry, payload, 0.0, NO_ID, counted=counted)
+        if counted:
+            self.messages_created[target.pe] += 1
+        self.sim.schedule(at, lambda env=env: self._on_arrival(env))
+
+    def _send_one(self, ctx: ExecutionContext, target: Chare, entry: str,
+                  payload: Any, size: float, traced: bool,
+                  priority: int = 0, counted: bool = True) -> None:
+        message_id = NO_ID
+        if traced and self.tracer.options.enabled:
+            send_ev = self.tracer.record_send(ctx.chare.trace_id, ctx.pe,
+                                              ctx.clock, ctx.exec_id)
+            message_id = self.tracer.record_message(send_ev)
+        if counted:
+            self.messages_created[ctx.pe] += 1
+        delay = self.latency.latency(ctx.pe, target.pe, size)
+        env = Envelope(target, entry, payload, size, message_id, priority,
+                       counted)
+        self.sim.schedule(ctx.clock + delay, lambda env=env: self._on_arrival(env))
+
+    def _broadcast(self, ctx: ExecutionContext, targets: Sequence[Chare],
+                   entry: str, payload: Any, size: float) -> None:
+        send_ev = NO_ID
+        if self.tracer.options.enabled:
+            send_ev = self.tracer.record_send(ctx.chare.trace_id, ctx.pe,
+                                              ctx.clock, ctx.exec_id)
+        for target in targets:
+            message_id = NO_ID
+            if send_ev != NO_ID:
+                message_id = self.tracer.record_message(send_ev)
+            self.messages_created[ctx.pe] += 1
+            delay = self.latency.latency(ctx.pe, target.pe, size)
+            env = Envelope(target, entry, payload, size, message_id)
+            self.sim.schedule(ctx.clock + delay, lambda env=env: self._on_arrival(env))
+
+    # ------------------------------------------------------------------
+    # Reductions (delegated to repro.sim.charm.reduction)
+    # ------------------------------------------------------------------
+    def _contribute(self, ctx: ExecutionContext, array: ArrayHandle, seq: int,
+                    value: Any, op: str, target: Any, size: float) -> None:
+        from repro.sim.charm.reduction import contribute as _contribute_impl
+
+        _contribute_impl(self, ctx, array, seq, value, op, target, size)
+
+    def _new_section_id(self) -> int:
+        # Negative ids keep sections disjoint from real array ids in the
+        # reduction managers' state keys.
+        return -(len(self._sections) + 1)
+
+    def _contribute_section(self, ctx: ExecutionContext, section, seq: int,
+                            value: Any, op: str, target: Any,
+                            size: float) -> None:
+        from repro.sim.charm.reduction import contribute as _contribute_impl
+
+        _contribute_impl(self, ctx, section, seq, value, op, target, size)
+
+    def reduction_managers(self) -> List[Chare]:
+        """The per-PE ``CkReductionMgr`` runtime chares (created on demand)."""
+        if self._reduction_mgrs is None:
+            from repro.sim.charm.reduction import ReductionManager
+
+            mgrs = []
+            for pe in range(self.num_pes):
+                trace_id = self.tracer.register_chare(
+                    f"CkReductionMgr[{pe}]", is_runtime=True, home_pe=pe
+                )
+                mgr = ReductionManager(self, trace_id, pe)
+                mgr.init()
+                self._register(mgr)
+                mgrs.append(mgr)
+            self._reduction_mgrs = mgrs
+        return self._reduction_mgrs
+
+    # ------------------------------------------------------------------
+    # Load balancing (delegated to repro.sim.charm.loadbalance)
+    # ------------------------------------------------------------------
+    def set_balance_strategy(self, strategy) -> None:
+        """Choose the LB strategy before the first AtSync point."""
+        if self._load_balancer is not None:
+            raise RuntimeError("load balancer already created")
+        self._balance_strategy = strategy
+
+    def load_balancer(self) -> Chare:
+        """The central ``CkLoadBalancer`` runtime chare (created on demand)."""
+        if self._load_balancer is None:
+            from repro.sim.charm.loadbalance import LoadBalancerChare
+
+            trace_id = self.tracer.register_chare(
+                "CkLoadBalancer", is_runtime=True, home_pe=0
+            )
+            lb = LoadBalancerChare(self, trace_id, 0)
+            lb.init(strategy=self._balance_strategy)
+            self._register(lb)
+            self._load_balancer = lb
+        return self._load_balancer
+
+    def _at_sync(self, ctx: ExecutionContext, chare: Chare) -> None:
+        load = self.chare_load.pop(chare.trace_id, 0.0)
+        payload = (chare, load, chare.array.array_id, len(chare.array))
+        ctx.send_one(self.load_balancer(), "sync", payload, 16.0, True)
+
+    def _migrate(self, chare: Chare, new_pe: int) -> None:
+        """Move a quiescent chare to another PE (LB sync points only)."""
+        old_pe = chare.pe
+        if old_pe == new_pe:
+            return
+        chare.pe = new_pe
+        if chare.array is not None:
+            per_pe = chare.array.elements_per_pe
+            per_pe[old_pe] -= 1
+            if per_pe[old_pe] == 0:
+                del per_pe[old_pe]
+            per_pe[new_pe] = per_pe.get(new_pe, 0) + 1
+        self.migrations += 1
+
+    def start_quiescence_detection(self, client: Optional[Chare],
+                                   client_entry: str = "",
+                                   at: float = 0.0) -> List[Chare]:
+        """Arm quiescence detection (Charm++ ``CkStartQD`` analogue).
+
+        Creates one ``CkQdMgr`` runtime chare per PE and starts polling at
+        time ``at``; when two consecutive waves observe identical balanced
+        message counters, ``client_entry`` is invoked on ``client``.
+        """
+        from repro.sim.charm.quiescence import QdManager
+
+        if self._qd_managers is not None:
+            raise RuntimeError("quiescence detection already started")
+        managers: List[Chare] = []
+        for pe in range(self.num_pes):
+            trace_id = self.tracer.register_chare(
+                f"CkQdMgr[{pe}]", is_runtime=True, home_pe=pe
+            )
+            mgr = QdManager(self, trace_id, pe)
+            self._register(mgr)
+            managers.append(mgr)
+        for mgr in managers:
+            mgr.init(managers=managers, client=client, client_entry=client_entry)
+        self._qd_managers = managers
+        self.seed(managers[0], "start_wave", at=at, counted=False)
+        return managers
+
+    # ------------------------------------------------------------------
+    # PE scheduling
+    # ------------------------------------------------------------------
+    def _on_arrival(self, env: Envelope) -> None:
+        pe = env.dest.pe
+        state = self._pes[pe]
+        # The scheduler dequeues by priority, then arrival order — the
+        # "queuing policy of the runtime" the paper lists among the
+        # non-deterministic factors reordering compensates for.
+        heapq.heappush(state.queue,
+                       ((env.priority, self.sim.now, next(state.seq)), 0, env))
+        if not state.busy:
+            self._begin_block(pe)
+
+    def _begin_block(self, pe: int) -> None:
+        state = self._pes[pe]
+        _arrival, _seq, env = heapq.heappop(state.queue)
+        now = self.sim.now
+        if env.dest.pe != pe:
+            # The chare migrated after this message was enqueued: forward
+            # it to the new home (Charm++ message forwarding).
+            delay = self.latency.latency(pe, env.dest.pe, env.size)
+            self.sim.schedule(now + delay, lambda env=env: self._on_arrival(env))
+            if state.queue:
+                state.busy = True
+                self.sim.schedule(now + self.sched_gap,
+                                  lambda pe=pe: self._begin_block(pe))
+            else:
+                state.busy = False
+                if state.idle_since is None:
+                    state.idle_since = now
+            return
+        if state.idle_since is not None and now > state.idle_since:
+            self.tracer.record_idle(pe, state.idle_since, now)
+        state.idle_since = None
+        state.busy = True
+        if env.counted:
+            self.messages_processed[pe] += 1
+        end = self._run_block(pe, env.dest, env.entry, env.payload, now,
+                              env.message_id)
+        self.sim.schedule(end, lambda pe=pe: self._finish_block(pe))
+
+    def _run_block(self, pe: int, chare: Chare, entry: str, payload: Any,
+                   start: float, message_id: int) -> float:
+        """Execute one serial block plus any chained serials; returns end."""
+        spec = type(chare).entry_spec(entry)
+        entry_id = self.tracer.register_entry(
+            type(chare).__name__, entry,
+            is_sdag_serial=spec.is_sdag_serial, sdag_ordinal=spec.sdag_ordinal,
+        )
+        exec_id = self.tracer.begin_execution(chare.trace_id, entry_id, pe, start)
+        ctx = ExecutionContext(self, chare, pe, start, exec_id)
+        if message_id != NO_ID:
+            self.tracer.record_recv(chare.trace_id, pe, start, exec_id, message_id)
+        prev = self.current
+        self.current = ctx
+        try:
+            getattr(chare, entry)(payload)
+        finally:
+            self.current = prev
+        end = ctx.clock + self.task_overhead
+        self.tracer.end_execution(exec_id, end)
+        t = end
+        for chained_entry, chained_payload in ctx.chained:
+            t = self._run_block(pe, chare, chained_entry, chained_payload, t, NO_ID)
+        return t
+
+    def _finish_block(self, pe: int) -> None:
+        state = self._pes[pe]
+        if state.queue:
+            # Keep the PE marked busy across the scheduler gap; the gap
+            # separates distinct queue pops in time so that only runtime-
+            # chained SDAG serials are truly gap-free (absorption relies
+            # on this distinction).
+            self.sim.schedule(self.sim.now + self.sched_gap,
+                              lambda pe=pe: self._begin_block(pe))
+        else:
+            state.busy = False
+            state.idle_since = self.sim.now
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> None:
+        """Run the simulation to quiescence (or to time ``until``)."""
+        self.sim.run(until=until)
+
+    def finish(self) -> Trace:
+        """Build the trace.  Trailing idle intervals are dropped — they have
+        no following event and carry no analytical information."""
+        return self.tracer.build()
+
+
+def _iter_indices(shape: Tuple[int, ...]):
+    if len(shape) == 1:
+        for i in range(shape[0]):
+            yield (i,)
+    else:
+        for i in range(shape[0]):
+            for rest in _iter_indices(shape[1:]):
+                yield (i,) + rest

@@ -1,0 +1,44 @@
+"""Structured Dagger (SDAG) helpers.
+
+Real SDAG compiles ``when`` clauses into buffering state machines inside
+generated entry methods.  :class:`WhenCounter` provides the same pattern
+for simulated chares: deposit messages under a key (typically the iteration
+number, mirroring SDAG reference numbers) and learn when the dependency
+count is met — at which point the app chains its serial block.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List
+
+
+class WhenCounter:
+    """Buffers messages per key until an expected count is reached.
+
+    Messages for a *future* key (e.g. a fast neighbour already sending
+    ghost data for the next iteration) buffer independently, exactly like
+    SDAG reference-number matching.
+    """
+
+    def __init__(self, expected: int):
+        if expected <= 0:
+            raise ValueError("expected count must be positive")
+        self.expected = expected
+        self._buffers: Dict[Hashable, List[Any]] = {}
+
+    def deposit(self, key: Hashable, msg: Any = None) -> bool:
+        """Add ``msg`` under ``key``; True when the count for ``key`` is met.
+
+        The buffer for a completed key is discarded, so the same key can be
+        reused (though apps normally advance the key each iteration).
+        """
+        buf = self._buffers.setdefault(key, [])
+        buf.append(msg)
+        if len(buf) >= self.expected:
+            del self._buffers[key]
+            return True
+        return False
+
+    def pending(self, key: Hashable) -> int:
+        """Number of messages buffered so far under ``key``."""
+        return len(self._buffers.get(key, ()))

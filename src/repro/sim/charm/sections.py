@@ -1,0 +1,109 @@
+"""Array sections: multicast and reduction over a subset of an array.
+
+Charm++ lets applications carve *sections* out of a chare array (e.g. one
+row of a 2D decomposition) and treat them like small arrays: a multicast
+delivers one logical send to every member, and a section reduction gathers
+contributions from exactly the members.  Sections matter to trace analysis
+because their collectives create phases spanning a *subset* of the chares —
+the DAG properties must hold per chare, not per array.
+
+Section reductions reuse the per-PE :class:`~repro.sim.charm.reduction.
+ReductionManager` machinery with a section-scoped participant count.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.charm.chare import Chare
+from repro.sim.charm.reduction import ReduceMsg, combine
+
+
+class SectionHandle:
+    """A named subset of a chare array."""
+
+    def __init__(self, array, indices: Sequence[Tuple[int, ...]],
+                 section_id: int):
+        self.array = array
+        self.runtime = array.runtime
+        self.section_id = section_id
+        self.members: List[Chare] = []
+        seen = set()
+        for index in indices:
+            if not isinstance(index, tuple):
+                index = (index,)
+            if index in seen:
+                raise ValueError(f"duplicate section member {index}")
+            seen.add(index)
+            self.members.append(array[index])
+        if not self.members:
+            raise ValueError("a section needs at least one member")
+        #: Members per PE (the section reduction's expected local counts).
+        self.members_per_pe: Dict[int, int] = {}
+        self._recount()
+        self._reduction_seq: Dict[int, int] = {}
+
+    def _recount(self) -> None:
+        self.members_per_pe = {}
+        for member in self.members:
+            self.members_per_pe[member.pe] = (
+                self.members_per_pe.get(member.pe, 0) + 1
+            )
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __iter__(self):
+        return iter(self.members)
+
+    def __contains__(self, chare: Chare) -> bool:
+        return chare in self.members
+
+    @property
+    def participating_pes(self) -> List[int]:
+        """Sorted PEs hosting members (recomputed: members can migrate)."""
+        self._recount()
+        return sorted(self.members_per_pe)
+
+    @property
+    def elements_per_pe(self) -> Dict[int, int]:
+        # Duck-typed like ArrayHandle so ReductionManager can use either.
+        self._recount()
+        return self.members_per_pe
+
+    @property
+    def elements(self) -> Dict[Tuple[int, ...], Chare]:
+        return {m.index: m for m in self.members}
+
+    @property
+    def array_id(self) -> int:
+        # Section reductions key manager state by a synthetic id distinct
+        # from any real array (and any other section).
+        return self.section_id
+
+    # ------------------------------------------------------------------
+    def multicast_from(self, sender_ctx, entry: str, payload: Any = None,
+                       size: float = 8.0) -> None:
+        """Deliver ``entry`` to every member (one send event, N messages)."""
+        self.runtime._broadcast(sender_ctx, list(self.members), entry,
+                                payload, size)
+
+    def contribute(self, chare: Chare, value: Any, op: str, target: Any,
+                   size: float = 8.0) -> None:
+        """Section reduction: ``chare`` (a member) contributes ``value``.
+
+        ``target`` follows the array-reduction convention:
+        ``("broadcast", entry)`` multicasts the result to the section,
+        ``("send", chare, entry)`` delivers it to a single client.
+        """
+        if chare not in self.members:
+            raise ValueError(
+                f"{chare!r} is not a member of this section"
+            )
+        ctx = chare._ctx()
+        # Sequence numbers are per member: every member contributes once
+        # per reduction round, so its own count identifies the round.
+        seq = self._reduction_seq.get(chare.trace_id, 0)
+        self._reduction_seq[chare.trace_id] = seq + 1
+        self.runtime._contribute_section(ctx, self, seq, value, op, target,
+                                         size)

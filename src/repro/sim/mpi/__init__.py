@@ -1,0 +1,16 @@
+"""Process-centric message-passing (MPI-style) simulator.
+
+Ranks are Python generators yielding communication operations; the engine
+matches sends to receives (non-overtaking, per (src, dst, tag) order) and
+advances per-rank virtual clocks.  Tracing follows the Score-P convention
+the paper relied on: every MPI call is one traced region containing a
+single dependency event, and collective internals are *not* recorded —
+each rank's collective call is abstracted into one send/recv pair matched
+ring-wise across the participants, which the analysis's cycle merge
+collapses into a single phase spanning two logical steps (matching the
+paper's rendering of MPI allreduce, Section 6.2).
+"""
+
+from repro.sim.mpi.runtime import MpiSimulation, RankApi
+
+__all__ = ["MpiSimulation", "RankApi"]

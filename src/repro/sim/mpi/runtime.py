@@ -1,0 +1,675 @@
+"""Rank-coroutine MPI simulator.
+
+Each rank runs a generator of operations produced through its
+:class:`RankApi`.  The engine is a virtual-time worklist simulator: ranks
+only interact through explicit matches (point-to-point messages and
+collectives), so no global event heap is needed — a blocked rank's clock
+jumps to ``max(call time, dependency availability)`` when its match
+appears, and recv-side wait time is recorded as an idle interval.
+
+Supported operations::
+
+    yield comm.compute(dt)                       # burn CPU time
+    yield comm.send(dst, tag=0, size=8, payload=x)
+    payload = yield comm.recv(src, tag=0)
+    result  = yield comm.allreduce(value, op="max", size=8)
+    yield comm.barrier()
+
+Wildcard receives (``MPI_ANY_SOURCE``) are intentionally unsupported: a
+virtual-time engine cannot match them deterministically, and none of the
+paper's proxy apps need them.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from repro.sim.network import ConstantLatency, LatencyModel
+from repro.sim.noise import NoiseModel, NoNoise
+from repro.trace.events import EventKind, NO_ID
+from repro.trace.model import Trace, TraceBuilder
+from repro.sim.charm.reduction import combine
+
+
+# --------------------------------------------------------------------------
+# Operation objects yielded by rank generators
+# --------------------------------------------------------------------------
+@dataclass
+class _Compute:
+    dt: float
+
+
+@dataclass
+class _Send:
+    dst: int
+    tag: int
+    size: float
+    payload: Any
+
+
+@dataclass
+class _Recv:
+    src: int
+    tag: int
+
+
+@dataclass
+class _RecvAny:
+    sources: Tuple[int, ...]
+    tag: int
+
+
+@dataclass
+class _RecvMerge:
+    sources: Tuple[int, ...]
+    tag: int
+    cost_per_unit: float
+
+
+@dataclass(frozen=True)
+class Request:
+    """Handle returned by nonblocking operations, completed by waitall."""
+
+    kind: str  # "send" | "recv"
+    src: int
+    tag: int
+    serial: int
+
+
+@dataclass
+class _IRecv:
+    src: int
+    tag: int
+
+
+@dataclass
+class _Waitall:
+    requests: Tuple[Request, ...]
+
+
+@dataclass
+class _Collective:
+    kind: str  # "allreduce" | "barrier" | "reduce" | "bcast"
+    value: Any
+    op: str
+    size: float
+    root: int = 0
+
+
+class RankApi:
+    """Factory of operation objects for one rank's generator."""
+
+    def __init__(self, rank: int, num_ranks: int):
+        self.rank = rank
+        self.num_ranks = num_ranks
+
+    def compute(self, dt: float) -> _Compute:
+        """Spend ``dt`` time units computing (noise model applies)."""
+        return _Compute(dt)
+
+    def send(self, dst: int, tag: int = 0, size: float = 8.0,
+             payload: Any = None) -> _Send:
+        """Eager send to ``dst``; completes after the call overhead."""
+        if not (0 <= dst < self.num_ranks):
+            raise ValueError(f"send: bad destination rank {dst}")
+        if dst == self.rank:
+            raise ValueError("send to self is not supported")
+        return _Send(dst, tag, size, payload)
+
+    def recv(self, src: int, tag: int = 0) -> _Recv:
+        """Blocking receive from ``src``; yields the message payload."""
+        if not (0 <= src < self.num_ranks):
+            raise ValueError(f"recv: bad source rank {src}")
+        return _Recv(src, tag)
+
+    def recv_any(self, sources, tag: int = 0) -> _RecvAny:
+        """Waitany-style receive: matches whichever of ``sources`` arrives
+        first; yields ``(src, payload)``.
+
+        This models the MPI_ANY_SOURCE / MPI_Waitany processing pattern of
+        the paper's merge-tree case study, where irregular arrival order
+        scrambles the receive sequence (Figure 10).  Matching picks the
+        earliest known arrival among in-flight candidates; with monotonic
+        sender clocks this coincides with true arrival order.
+        """
+        sources = tuple(sources)
+        if not sources:
+            raise ValueError("recv_any: empty source set")
+        for src in sources:
+            if not (0 <= src < self.num_ranks):
+                raise ValueError(f"recv_any: bad source rank {src}")
+        return _RecvAny(sources, tag)
+
+    def recv_merge(self, sources, tag: int = 0,
+                   cost_per_unit: float = 0.0) -> _RecvMerge:
+        """Waitany loop: receive one message from *each* source, processing
+        them strictly in arrival order; yields ``[(src, payload), ...]``.
+
+        After each receive, ``cost_per_unit * payload`` compute time is
+        charged (``payload`` must then be numeric) — modelling e.g. merging
+        a child's tree before servicing the next arrival, exactly the
+        irregular-receive-order pattern of the paper's merge-tree case
+        study (Figure 10).  Unlike :meth:`recv_any`, arrival order is exact:
+        the engine waits until every source's message is in flight before
+        replaying them.
+        """
+        sources = tuple(sources)
+        if not sources:
+            raise ValueError("recv_merge: empty source set")
+        for src in sources:
+            if not (0 <= src < self.num_ranks):
+                raise ValueError(f"recv_merge: bad source rank {src}")
+        return _RecvMerge(sources, tag, cost_per_unit)
+
+    def isend(self, dst: int, tag: int = 0, size: float = 8.0,
+              payload: Any = None) -> _Send:
+        """Nonblocking send.
+
+        Sends in this simulator are eager (they complete after the call
+        overhead), so ``isend`` is operationally ``send``; it exists so
+        ported MPI code keeps its shape.  No request bookkeeping is
+        needed — there is nothing left to wait for.
+        """
+        return self.send(dst, tag, size, payload)
+
+    def irecv(self, src: int, tag: int = 0) -> _IRecv:
+        """Nonblocking receive: yields a :class:`Request` immediately.
+
+        The message is matched when :meth:`waitall` is called; posting
+        several irecvs and waiting on them completes them in *arrival*
+        order, like a Waitall with out-of-order progress.
+        """
+        if not (0 <= src < self.num_ranks):
+            raise ValueError(f"irecv: bad source rank {src}")
+        return _IRecv(src, tag)
+
+    def waitall(self, requests) -> _Waitall:
+        """Complete a set of irecv requests; yields {request: payload}."""
+        requests = tuple(requests)
+        for req in requests:
+            if not isinstance(req, Request):
+                raise TypeError(f"waitall expects Request handles, got {req!r}")
+        return _Waitall(requests)
+
+    def allreduce(self, value: Any = None, op: str = "max",
+                  size: float = 8.0) -> _Collective:
+        """Blocking allreduce; yields the reduced value."""
+        return _Collective("allreduce", value, op, size)
+
+    def barrier(self) -> _Collective:
+        """Blocking barrier (an allreduce of nothing)."""
+        return _Collective("barrier", None, "nop", 1.0)
+
+    def reduce(self, value: Any = None, op: str = "sum", root: int = 0,
+               size: float = 8.0) -> _Collective:
+        """Rooted reduction; the root yields the combined value, others None."""
+        if not (0 <= root < self.num_ranks):
+            raise ValueError(f"reduce: bad root rank {root}")
+        return _Collective("reduce", value, op, size, root)
+
+    def bcast(self, value: Any = None, root: int = 0,
+              size: float = 8.0) -> _Collective:
+        """Rooted broadcast; every rank yields the root's value."""
+        if not (0 <= root < self.num_ranks):
+            raise ValueError(f"bcast: bad root rank {root}")
+        return _Collective("bcast", value, "bcast", size, root)
+
+
+@dataclass
+class _InFlight:
+    arrival: float
+    payload: Any
+
+
+class _RankState:
+    __slots__ = ("gen", "clock", "blocked", "coll_count", "api", "chare_id",
+                 "req_serial")
+
+    def __init__(self, gen: Generator, api: RankApi, chare_id: int):
+        self.gen = gen
+        self.clock = 0.0
+        self.blocked: Optional[object] = None  # the op we are waiting on
+        self.coll_count = 0
+        self.api = api
+        self.chare_id = chare_id
+        self.req_serial = 0
+
+
+class _CollState:
+    __slots__ = ("arrived", "value", "op", "size", "call_times")
+
+    def __init__(self, n: int):
+        self.arrived = 0
+        self.value: Any = None
+        self.op = "nop"
+        self.size = 8.0
+        self.call_times: List[float] = [0.0] * n
+
+
+class MpiSimulation:
+    """Runs a message-passing program and produces a trace.
+
+    Parameters
+    ----------
+    num_ranks:
+        Number of processes; each becomes one application chare pinned to
+        its own PE in the trace.
+    latency, noise:
+        Network and compute-perturbation models (see :mod:`repro.sim`).
+    call_overhead:
+        Fixed cost of every MPI call (the traced region's minimum width).
+    """
+
+    def __init__(
+        self,
+        num_ranks: int,
+        latency: Optional[LatencyModel] = None,
+        noise: Optional[NoiseModel] = None,
+        call_overhead: float = 0.3,
+        metadata: Optional[Dict[str, object]] = None,
+    ):
+        if num_ranks <= 0:
+            raise ValueError("num_ranks must be positive")
+        self.num_ranks = num_ranks
+        self.latency: LatencyModel = latency or ConstantLatency()
+        self.noise: NoiseModel = noise or NoNoise()
+        self.call_overhead = call_overhead
+        meta = dict(metadata or {})
+        meta.setdefault("model", "mpi")
+        self.builder = TraceBuilder(num_pes=num_ranks, metadata=meta)
+        self._entry_ids: Dict[str, int] = {}
+        self._ranks: List[_RankState] = []
+        # (src, dst, tag) -> FIFO of in-flight messages (non-overtaking).
+        self._mailboxes: Dict[Tuple[int, int, int], deque] = {}
+        self._collectives: Dict[int, _CollState] = {}
+        self._finished = 0
+
+    # ------------------------------------------------------------------
+    def _entry(self, name: str) -> int:
+        if name not in self._entry_ids:
+            self._entry_ids[name] = self.builder.add_entry(name, chare_type="MPI")
+        return self._entry_ids[name]
+
+    # ------------------------------------------------------------------
+    def run(self, rank_fn: Callable[[int, RankApi], Generator]) -> None:
+        """Execute ``rank_fn`` on every rank to completion.
+
+        Raises ``RuntimeError`` on deadlock (all unfinished ranks blocked
+        with no matching message or collective ever coming).
+        """
+        for rank in range(self.num_ranks):
+            api = RankApi(rank, self.num_ranks)
+            chare_id = self.builder.add_chare(
+                f"rank{rank}", is_runtime=False, home_pe=rank
+            )
+            gen = rank_fn(rank, api)
+            self._ranks.append(_RankState(gen, api, chare_id))
+
+        worklist = deque(range(self.num_ranks))
+        queued = set(worklist)
+        progressed = True
+        while worklist:
+            rank = worklist.popleft()
+            queued.discard(rank)
+            newly_runnable = self._advance(rank)
+            for r in newly_runnable:
+                if r not in queued:
+                    worklist.append(r)
+                    queued.add(r)
+        unfinished = [i for i, st in enumerate(self._ranks) if st.gen is not None]
+        if unfinished:
+            details = ", ".join(
+                f"rank {i} blocked on {type(self._ranks[i].blocked).__name__}"
+                for i in unfinished[:8]
+            )
+            raise RuntimeError(f"MPI simulation deadlocked: {details}")
+
+    # ------------------------------------------------------------------
+    def _advance(self, rank: int) -> List[int]:
+        """Run one rank until it blocks or finishes; returns unblocked peers."""
+        st = self._ranks[rank]
+        if st.gen is None:
+            return []
+        unblocked: List[int] = []
+        send_value: Any = None
+        while True:
+            # A blocked rank re-entered here has already had its op completed
+            # by whoever unblocked it (completion stored in st.blocked slot).
+            try:
+                op = st.gen.send(send_value)
+            except StopIteration:
+                st.gen = None
+                return unblocked
+            send_value = None
+
+            if isinstance(op, _Compute):
+                st.clock += self.noise.perturb(rank, st.chare_id, op.dt)
+            elif isinstance(op, _Send):
+                self._do_send(rank, st, op, unblocked)
+            elif isinstance(op, _Recv):
+                done, send_value = self._try_recv(rank, st, op)
+                if not done:
+                    st.blocked = op
+                    return unblocked
+            elif isinstance(op, _RecvAny):
+                done, send_value = self._try_recv_any(rank, st, op)
+                if not done:
+                    st.blocked = op
+                    return unblocked
+            elif isinstance(op, _RecvMerge):
+                done, send_value = self._try_recv_merge(rank, st, op)
+                if not done:
+                    st.blocked = op
+                    return unblocked
+            elif isinstance(op, _IRecv):
+                st.req_serial += 1
+                send_value = Request("recv", op.src, op.tag, st.req_serial)
+            elif isinstance(op, _Waitall):
+                done, send_value = self._try_waitall(rank, st, op)
+                if not done:
+                    st.blocked = op
+                    return unblocked
+            elif isinstance(op, _Collective):
+                done, send_value = self._join_collective(rank, st, op, unblocked)
+                if not done:
+                    st.blocked = op
+                    return unblocked
+            else:
+                raise TypeError(f"rank {rank} yielded unknown operation {op!r}")
+
+    # -- point-to-point -----------------------------------------------------
+    def _do_send(self, rank: int, st: _RankState, op: _Send,
+                 unblocked: List[int]) -> None:
+        start = st.clock
+        exec_id = self.builder.add_execution(
+            st.chare_id, self._entry("MPI_Send"), rank, start, start + self.call_overhead
+        )
+        send_ev = self.builder.add_event(EventKind.SEND, st.chare_id, rank, start, exec_id)
+        arrival = start + self.latency.latency(rank, op.dst, op.size)
+        key = (rank, op.dst, op.tag)
+        box = self._mailboxes.setdefault(key, deque())
+        box.append((_InFlight(arrival, op.payload), send_ev))
+        st.clock = start + self.call_overhead
+        dst_state = self._ranks[op.dst]
+        blocked_op = dst_state.blocked
+        if isinstance(blocked_op, _Recv):
+            if blocked_op.src == rank and blocked_op.tag == op.tag:
+                done, value = self._try_recv(op.dst, dst_state, blocked_op)
+                if done:
+                    dst_state.blocked = None
+                    self._resume_with(op.dst, value, unblocked)
+        elif isinstance(blocked_op, _RecvAny):
+            if rank in blocked_op.sources and blocked_op.tag == op.tag:
+                done, value = self._try_recv_any(op.dst, dst_state, blocked_op)
+                if done:
+                    dst_state.blocked = None
+                    self._resume_with(op.dst, value, unblocked)
+        elif isinstance(blocked_op, _RecvMerge):
+            if rank in blocked_op.sources and blocked_op.tag == op.tag:
+                done, value = self._try_recv_merge(op.dst, dst_state, blocked_op)
+                if done:
+                    dst_state.blocked = None
+                    self._resume_with(op.dst, value, unblocked)
+        elif isinstance(blocked_op, _Waitall):
+            if any(r.src == rank and r.tag == op.tag
+                   for r in blocked_op.requests):
+                done, value = self._try_waitall(op.dst, dst_state, blocked_op)
+                if done:
+                    dst_state.blocked = None
+                    self._resume_with(op.dst, value, unblocked)
+
+    def _resume_with(self, rank: int, value: Any, unblocked: List[int]) -> None:
+        """Queue ``rank`` for re-advancement, feeding ``value`` to its recv.
+
+        We cannot re-enter generators reentrantly here, so the value is
+        delivered through a one-shot pending slot consumed by _advance.
+        """
+        st = self._ranks[rank]
+        # Wrap the generator so its next pull returns the pending value.
+        original_gen = st.gen
+
+        class _Primed:
+            def __init__(self, gen, first):
+                self._gen = gen
+                self._first = first
+                self._used = False
+
+            def send(self, val):
+                if not self._used:
+                    self._used = True
+                    return self._gen.send(self._first)
+                return self._gen.send(val)
+
+        st.gen = _Primed(original_gen, value)  # type: ignore[assignment]
+        unblocked.append(rank)
+
+    def _try_recv(self, rank: int, st: _RankState, op: _Recv) -> Tuple[bool, Any]:
+        key = (op.src, rank, op.tag)
+        box = self._mailboxes.get(key)
+        if not box:
+            return False, None
+        inflight, _send_ev = box.popleft()
+        call_time = st.clock
+        complete = max(call_time, inflight.arrival)
+        if complete > call_time:
+            # Wait time inside the receive — recorded as processor idle,
+            # which drives the idle-experienced metric.
+            self.builder.add_idle(rank, call_time, complete)
+        end = complete + self.call_overhead
+        exec_id = self.builder.add_execution(
+            st.chare_id, self._entry("MPI_Recv"), rank, call_time, end
+        )
+        recv_ev = self.builder.add_event(
+            EventKind.RECV, st.chare_id, rank, complete, exec_id
+        )
+        self.builder.add_message(send_event=_send_ev, recv_event=recv_ev)
+        self.builder.set_execution_recv(exec_id, recv_ev)
+        st.clock = end
+        return True, inflight.payload
+
+    def _try_recv_any(self, rank: int, st: _RankState,
+                      op: _RecvAny) -> Tuple[bool, Any]:
+        """Complete a Waitany receive with the earliest-arriving candidate."""
+        best_src = None
+        best_arrival = float("inf")
+        for src in op.sources:
+            box = self._mailboxes.get((src, rank, op.tag))
+            if box and box[0][0].arrival < best_arrival:
+                best_arrival = box[0][0].arrival
+                best_src = src
+        if best_src is None:
+            return False, None
+        done, payload = self._try_recv(rank, st, _Recv(best_src, op.tag))
+        assert done
+        return True, (best_src, payload)
+
+    def _try_recv_merge(self, rank: int, st: _RankState,
+                        op: _RecvMerge) -> Tuple[bool, Any]:
+        """Complete a merge-receive once every source's message is known.
+
+        Messages are replayed strictly in (virtual) arrival order with the
+        per-message merge cost interleaved — exactly how a Waitany loop
+        would have executed them.
+        """
+        pending = []
+        for src in op.sources:
+            box = self._mailboxes.get((src, rank, op.tag))
+            if not box:
+                return False, None
+            pending.append((box[0][0].arrival, src))
+        pending.sort()
+        results = []
+        for _arrival, src in pending:
+            _done, payload = self._try_recv(rank, st, _Recv(src, op.tag))
+            if op.cost_per_unit:
+                st.clock += self.noise.perturb(
+                    rank, st.chare_id, op.cost_per_unit * payload
+                )
+            results.append((src, payload))
+        return True, results
+
+    def _try_waitall(self, rank: int, st: _RankState,
+                     op: _Waitall) -> Tuple[bool, Any]:
+        """Complete posted irecvs once all their messages are in flight.
+
+        Messages are consumed in arrival order across the requests (the
+        progress engine completes whichever lands first); within one
+        (src, tag) channel, FIFO matching pairs the k-th posted request
+        with the k-th message, preserving MPI non-overtaking.
+        """
+        needed: Dict[Tuple[int, int], int] = {}
+        for req in op.requests:
+            needed[(req.src, req.tag)] = needed.get((req.src, req.tag), 0) + 1
+        for (src, tag), count in needed.items():
+            box = self._mailboxes.get((src, rank, tag))
+            if not box or len(box) < count:
+                return False, None
+        # Per-channel queues of pending requests, in posted order.
+        pending: Dict[Tuple[int, int], List[Request]] = {}
+        for req in sorted(op.requests, key=lambda r: r.serial):
+            pending.setdefault((req.src, req.tag), []).append(req)
+        results: Dict[Request, Any] = {}
+        remaining = dict(needed)
+        while remaining:
+            # Pop whichever channel's head message arrived first.
+            best_key = None
+            best_arrival = float("inf")
+            for (src, tag), count in remaining.items():
+                box = self._mailboxes[(src, rank, tag)]
+                if box[0][0].arrival < best_arrival:
+                    best_arrival = box[0][0].arrival
+                    best_key = (src, tag)
+            src, tag = best_key
+            _done, payload = self._try_recv(rank, st, _Recv(src, tag))
+            results[pending[best_key].pop(0)] = payload
+            remaining[best_key] -= 1
+            if not remaining[best_key]:
+                del remaining[best_key]
+        return True, results
+
+    # -- collectives ---------------------------------------------------------
+    def _join_collective(self, rank: int, st: _RankState, op: _Collective,
+                         unblocked: List[int]) -> Tuple[bool, Any]:
+        index = st.coll_count
+        coll = self._collectives.get(index)
+        if coll is None:
+            coll = self._collectives[index] = _CollState(self.num_ranks)
+            coll.op = op.op
+            coll.size = op.size
+        if op.kind == "bcast":
+            if rank == op.root:
+                coll.value = op.value
+        else:
+            coll.value = combine(op.op, coll.value, op.value)
+        coll.call_times[rank] = st.clock
+        coll.arrived += 1
+        st.coll_count += 1
+        if coll.arrived < self.num_ranks:
+            return False, None
+
+        del self._collectives[index]
+        if op.kind == "bcast":
+            result = self._finish_bcast(op, coll)
+        else:
+            # allreduce, barrier, and reduce all trace as one synchronizing
+            # unit: the paper notes MPI collectives "are represented as
+            # single calls" with none of the internal dependencies recorded,
+            # and the ring matching reproduces exactly that single-phase,
+            # two-step abstraction.
+            result = self._finish_symmetric(op, coll)
+
+        # Resume every other participant (the caller resumes via return).
+        for r in range(self.num_ranks):
+            if r != rank and isinstance(self._ranks[r].blocked, _Collective):
+                self._ranks[r].blocked = None
+                value = result if op.kind != "reduce" or r == op.root else None
+                self._resume_with(r, value, unblocked)
+        if op.kind == "reduce" and rank != op.root:
+            return True, None
+        return True, result
+
+    def _coll_hop(self, size: float) -> Tuple[int, float]:
+        depth = max(1, math.ceil(math.log2(self.num_ranks)))
+        hop = self.latency.latency(0, min(1, self.num_ranks - 1), size)
+        return depth, hop
+
+    def _finish_symmetric(self, op: _Collective, coll: _CollState) -> Any:
+        """Allreduce/barrier: every rank sends and receives; ring matching
+        merges all participants into one phase spanning two logical steps
+        (the paper's rendering of MPI allreduce)."""
+        entry_name = {
+            "allreduce": "MPI_Allreduce",
+            "barrier": "MPI_Barrier",
+            "reduce": "MPI_Reduce",
+        }[op.kind]
+        depth, hop = self._coll_hop(op.size)
+        complete = max(coll.call_times) + depth * hop
+        send_events = []
+        for r in range(self.num_ranks):
+            send_events.append(self.builder.add_event(
+                EventKind.SEND, self._ranks[r].chare_id, r, coll.call_times[r]
+            ))
+        for r in range(self.num_ranks):
+            rst = self._ranks[r]
+            call = coll.call_times[r]
+            if complete > call:
+                self.builder.add_idle(r, call, complete)
+            end = complete + self.call_overhead
+            exec_id = self.builder.add_execution(
+                rst.chare_id, self._entry(entry_name), r, call, end
+            )
+            self.builder.set_event_execution(send_events[r], exec_id)
+            recv_ev = self.builder.add_event(
+                EventKind.RECV, rst.chare_id, r, complete, exec_id
+            )
+            self.builder.set_execution_recv(exec_id, recv_ev)
+            self.builder.add_message(
+                send_event=send_events[(r - 1) % self.num_ranks],
+                recv_event=recv_ev,
+            )
+            rst.clock = end
+        return coll.value
+
+    def _finish_bcast(self, op: _Collective, coll: _CollState) -> Any:
+        """Rooted broadcast: one send event at the root fans out."""
+        depth, hop = self._coll_hop(op.size)
+        root = op.root
+        root_state = self._ranks[root]
+        root_call = coll.call_times[root]
+        root_end = root_call + self.call_overhead
+        root_exec = self.builder.add_execution(
+            root_state.chare_id, self._entry("MPI_Bcast"), root,
+            root_call, root_end
+        )
+        send_ev = self.builder.add_event(
+            EventKind.SEND, root_state.chare_id, root, root_call, root_exec
+        )
+        root_state.clock = root_end
+        for r in range(self.num_ranks):
+            if r == root:
+                continue
+            rst = self._ranks[r]
+            call = coll.call_times[r]
+            arrival = root_call + depth * hop
+            complete = max(call, arrival)
+            if complete > call:
+                self.builder.add_idle(r, call, complete)
+            end = complete + self.call_overhead
+            exec_id = self.builder.add_execution(
+                rst.chare_id, self._entry("MPI_Bcast"), r, call, end
+            )
+            recv_ev = self.builder.add_event(
+                EventKind.RECV, rst.chare_id, r, complete, exec_id
+            )
+            self.builder.add_message(send_event=send_ev, recv_event=recv_ev)
+            self.builder.set_execution_recv(exec_id, recv_ev)
+            rst.clock = end
+        return coll.value
+
+    # ------------------------------------------------------------------
+    def finish(self) -> Trace:
+        """Build the trace."""
+        return self.builder.build()

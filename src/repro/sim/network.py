@@ -1,0 +1,100 @@
+"""Message latency models.
+
+The paper's experiments ran over InfiniBand; what matters to the analysis
+is that message travel times vary enough to scramble the physical delivery
+order (Section 3.2.1: physical order "is the result of non-deterministic
+factors, affected by imbalance in computation, travel time over the
+network, and queuing policy of the runtime").  These models supply that
+variation deterministically from a seed.
+
+All latencies are in the simulator's abstract time unit; the application
+models in :mod:`repro.apps` treat one unit as one microsecond.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol
+
+
+class LatencyModel(Protocol):
+    """Computes the travel time of one message."""
+
+    def latency(self, src_pe: int, dst_pe: int, size: float) -> float:
+        """Return the delay between send call and delivery availability."""
+        ...
+
+
+class ConstantLatency:
+    """Fixed base latency plus linear bandwidth term.
+
+    ``local`` is used when ``src_pe == dst_pe`` (in-memory delivery through
+    the scheduler queue).
+    """
+
+    def __init__(self, base: float = 2.0, per_byte: float = 0.001, local: float = 0.2):
+        if base < 0 or per_byte < 0 or local < 0:
+            raise ValueError("latency parameters must be non-negative")
+        self.base = base
+        self.per_byte = per_byte
+        self.local = local
+
+    def latency(self, src_pe: int, dst_pe: int, size: float) -> float:
+        if src_pe == dst_pe:
+            return self.local + self.per_byte * size * 0.1
+        return self.base + self.per_byte * size
+
+
+class UniformLatency:
+    """Constant model perturbed by a uniform multiplicative factor.
+
+    ``jitter=0.5`` means each message takes between 1x and 1.5x the base
+    model's time.  Seeded, so reproducible.
+    """
+
+    def __init__(
+        self,
+        base: float = 2.0,
+        per_byte: float = 0.001,
+        local: float = 0.2,
+        jitter: float = 0.5,
+        seed: int = 0,
+    ):
+        if jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        self._inner = ConstantLatency(base, per_byte, local)
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+
+    def latency(self, src_pe: int, dst_pe: int, size: float) -> float:
+        return self._inner.latency(src_pe, dst_pe, size) * (
+            1.0 + self._rng.random() * self.jitter
+        )
+
+
+class GammaLatency:
+    """Heavy-tailed latency: base plus a gamma-distributed surcharge.
+
+    Occasional slow messages are the classic cause of out-of-order
+    delivery, the exact pathology reordering (Figure 10) compensates for.
+    """
+
+    def __init__(
+        self,
+        base: float = 2.0,
+        per_byte: float = 0.001,
+        local: float = 0.2,
+        shape: float = 2.0,
+        scale: float = 1.0,
+        seed: int = 0,
+    ):
+        if shape <= 0 or scale < 0:
+            raise ValueError("gamma shape must be > 0 and scale >= 0")
+        self._inner = ConstantLatency(base, per_byte, local)
+        self.shape = shape
+        self.scale = scale
+        self._rng = random.Random(seed)
+
+    def latency(self, src_pe: int, dst_pe: int, size: float) -> float:
+        extra = self._rng.gammavariate(self.shape, self.scale) if self.scale > 0 else 0.0
+        return self._inner.latency(src_pe, dst_pe, size) + extra

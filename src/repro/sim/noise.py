@@ -1,0 +1,113 @@
+"""Computation-time noise models.
+
+Entry-method compute costs pass through a noise model before being applied,
+letting experiments inject the performance pathologies the paper's metrics
+are designed to surface: OS jitter (idle experienced), a straggler PE
+(imbalance, Figure 14), or a straggler chare (differential duration,
+Figure 15).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol, Sequence
+
+
+class NoiseModel(Protocol):
+    """Perturbs a nominal compute duration."""
+
+    def perturb(self, pe: int, chare: int, duration: float) -> float:
+        """Return the actual duration of a compute span."""
+        ...
+
+
+class NoNoise:
+    """Identity model: compute costs are exact."""
+
+    def perturb(self, pe: int, chare: int, duration: float) -> float:
+        return duration
+
+
+class GaussianNoise:
+    """Multiplicative Gaussian noise, truncated to stay positive.
+
+    ``sigma`` is the relative standard deviation (0.05 = 5% variation).
+    """
+
+    def __init__(self, sigma: float = 0.05, seed: int = 0):
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.sigma = sigma
+        self._rng = random.Random(seed)
+
+    def perturb(self, pe: int, chare: int, duration: float) -> float:
+        factor = max(0.01, self._rng.gauss(1.0, self.sigma))
+        return duration * factor
+
+
+class PeriodicJitter:
+    """OS-noise style interruptions: a compute span crossing a jitter window
+    on its PE is extended by the window's cost.
+
+    Windows repeat every ``period`` time units, staggered per PE so that
+    interruptions hit different PEs at different times (the scenario
+    task-based runtimes tolerate well, per the paper's motivation).
+    """
+
+    def __init__(self, period: float = 5000.0, cost: float = 200.0, stagger: float = 700.0):
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.period = period
+        self.cost = cost
+        self.stagger = stagger
+        # Tracks per-PE virtual time so jitter windows land deterministically.
+        self._elapsed: dict = {}
+
+    def perturb(self, pe: int, chare: int, duration: float) -> float:
+        start = self._elapsed.get(pe, (pe * self.stagger) % self.period)
+        end = start + duration
+        hits = int(end // self.period) - int(start // self.period)
+        self._elapsed[pe] = end % (self.period * 1e6)
+        return duration + hits * self.cost
+
+
+class SlowProcessor:
+    """One or more PEs run slower by a constant factor (straggler node)."""
+
+    def __init__(self, slow_pes: Sequence[int], factor: float = 2.0):
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        self.slow_pes = frozenset(slow_pes)
+        self.factor = factor
+
+    def perturb(self, pe: int, chare: int, duration: float) -> float:
+        return duration * self.factor if pe in self.slow_pes else duration
+
+
+class ChareSlowdown:
+    """One or more chares take longer per task (data-dependent hot spot).
+
+    This reproduces the Figure 15 scenario: one chare's compute block is
+    significantly longer than its peers at the same logical step.
+    """
+
+    def __init__(self, slow_chares: Sequence[int], factor: float = 3.0):
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        self.slow_chares = frozenset(slow_chares)
+        self.factor = factor
+
+    def perturb(self, pe: int, chare: int, duration: float) -> float:
+        return duration * self.factor if chare in self.slow_chares else duration
+
+
+class ComposedNoise:
+    """Applies several noise models in sequence."""
+
+    def __init__(self, *models: NoiseModel):
+        self.models = models
+
+    def perturb(self, pe: int, chare: int, duration: float) -> float:
+        for model in self.models:
+            duration = model.perturb(pe, chare, duration)
+        return duration

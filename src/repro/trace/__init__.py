@@ -1,0 +1,44 @@
+"""Trace data model, I/O, and validation.
+
+This package defines the event-trace representation consumed by the
+logical-structure algorithms in :mod:`repro.core`.  It mirrors the data the
+paper's modified Charm++ tracing framework records (Section 5): entry-method
+executions with begin/end times, the remote-invocation messages between
+them, idle intervals per processor, and the chare/entry-method registries
+needed to classify events as application or runtime and to recognise
+Structured Dagger (SDAG) serial methods.
+"""
+
+from repro.trace.events import (
+    Chare,
+    ChareArray,
+    DepEvent,
+    EntryMethod,
+    EventKind,
+    Execution,
+    IdleInterval,
+    Message,
+    NO_ID,
+)
+from repro.trace.model import Trace, TraceBuilder
+from repro.trace.reader import read_trace
+from repro.trace.validate import TraceValidationError, validate_trace
+from repro.trace.writer import write_trace
+
+__all__ = [
+    "Chare",
+    "ChareArray",
+    "DepEvent",
+    "EntryMethod",
+    "EventKind",
+    "Execution",
+    "IdleInterval",
+    "Message",
+    "NO_ID",
+    "Trace",
+    "TraceBuilder",
+    "TraceValidationError",
+    "read_trace",
+    "validate_trace",
+    "write_trace",
+]

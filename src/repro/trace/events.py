@@ -1,0 +1,177 @@
+"""Core record types for event traces.
+
+The model follows the terminology of the paper:
+
+* A *chare* is a migratable parallel object that owns data and executes
+  tasks.  Chares are either *application* chares (user code) or *runtime*
+  chares (e.g. a per-processor ``CkReductionMgr``).  Processes in an MPI
+  trace are modelled as one application chare per rank, pinned to its PE.
+* An *entry method* is a task definition.  SDAG ``serial`` sections are
+  compiled into generic entry methods carrying an ordinal related to their
+  parsing order; the ordinal drives the happened-before inference of
+  Section 2.1.
+* An :class:`Execution` is one run-to-completion invocation of an entry
+  method on a chare — a *serial block* in the paper's vocabulary.
+* A :class:`DepEvent` is a dependency event inside a serial block: a SEND
+  (remote method invocation call) or a RECV (the delivery that started the
+  block, or an explicit receive in message-passing traces).
+* A :class:`Message` pairs a SEND event with a RECV event.  Either endpoint
+  may be :data:`NO_ID` when the runtime did not trace it — exactly the
+  situation the paper's inference heuristics (Section 3.1.4) compensate for.
+
+All record types are flat, slotted dataclasses keyed by dense integer ids so
+that large traces (the paper analyses runs up to 13.8k chares) stay cheap to
+store and iterate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Optional, Tuple
+
+#: Sentinel id meaning "not recorded in the trace".
+NO_ID = -1
+
+
+class EventKind(IntEnum):
+    """Kind of a dependency event."""
+
+    SEND = 0
+    RECV = 1
+
+
+@dataclass(frozen=True)
+class EntryMethod:
+    """A task definition (entry method of a chare type).
+
+    Parameters
+    ----------
+    id:
+        Dense integer id, unique within a trace.
+    name:
+        Human-readable name, e.g. ``"Jacobi::recvGhost"``.
+    chare_type:
+        Name of the chare type declaring this method.
+    is_sdag_serial:
+        True when the method is a compiler-generated SDAG ``serial``
+        section.  Such methods participate in the serial-numbering
+        happened-before inference.
+    sdag_ordinal:
+        Parsing-order number of the serial section (``-1`` when not SDAG).
+        Serial sections with consecutive ordinals observed back-to-back on
+        a chare are inferred to be ordered (Section 2.1).
+    """
+
+    id: int
+    name: str
+    chare_type: str = ""
+    is_sdag_serial: bool = False
+    sdag_ordinal: int = -1
+
+
+@dataclass(frozen=True)
+class ChareArray:
+    """An indexed collection of chares (Section 2.1).
+
+    Arrays matter to the analysis because broadcasts and reductions are
+    expressed over them, and because the paper's extended trace format
+    records a chare-array id with each application event (Section 5).
+    """
+
+    id: int
+    name: str
+    shape: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class Chare:
+    """A unit of data/task encapsulation — one timeline in logical views.
+
+    Application chares group tasks by the sub-domain they encapsulate;
+    runtime chares (``is_runtime=True``) are grouped by their parent
+    process, per Section 2: "we group application-level tasks by their
+    parent chares, but group all runtime tasks by their parent process."
+    """
+
+    id: int
+    name: str
+    array_id: int = NO_ID
+    index: Tuple[int, ...] = ()
+    is_runtime: bool = False
+    home_pe: int = 0
+
+
+@dataclass
+class Execution:
+    """One run-to-completion execution of an entry method: a serial block.
+
+    ``recv_event`` is the id of the RECV dependency event whose delivery
+    started this block, or :data:`NO_ID` when the invocation was not traced
+    (e.g. program start, or runtime-internal control flow that the tracing
+    framework does not record).
+    """
+
+    id: int
+    chare: int
+    entry: int
+    pe: int
+    start: float
+    end: float
+    recv_event: int = NO_ID
+
+    def duration(self) -> float:
+        """Wall-clock span of the block."""
+        return self.end - self.start
+
+
+@dataclass
+class DepEvent:
+    """A dependency event (send or receive) inside a serial block.
+
+    Events are the atoms of the logical structure: the ordering algorithm
+    assigns each one a logical step.  ``execution`` is :data:`NO_ID` only
+    for synthetic traces used in unit tests.
+    """
+
+    id: int
+    kind: EventKind
+    chare: int
+    pe: int
+    time: float
+    execution: int = NO_ID
+
+
+@dataclass
+class Message:
+    """A matched send/receive pair (remote method invocation).
+
+    Broadcasts are fanned out into one message per recipient, all sharing
+    the same SEND event; the resulting extra partition-graph edges are
+    merged away by the dependency merge, as the paper notes in its
+    complexity discussion (Section 3.3).
+    """
+
+    id: int
+    send_event: int = NO_ID
+    recv_event: int = NO_ID
+
+    def is_complete(self) -> bool:
+        """True when both endpoints were recorded."""
+        return self.send_event != NO_ID and self.recv_event != NO_ID
+
+
+@dataclass(frozen=True)
+class IdleInterval:
+    """A span during which a processor's scheduler had no work.
+
+    These drive the *idle experienced* metric (Section 4).
+    """
+
+    pe: int
+    start: float
+    end: float
+
+    def duration(self) -> float:
+        """Length of the idle span."""
+        return self.end - self.start

@@ -1,0 +1,93 @@
+"""Trace subsetting: time windows and chare selections.
+
+Large traces are analyzed piecewise (the paper's complexity section
+suggests out-of-core operation as future work); these helpers carve a
+consistent sub-trace:
+
+* executions outside the selection are dropped along with their events;
+* messages keep their receive side when it survives — a send that was cut
+  away leaves the receive *untraced*, exactly the missing-dependency shape
+  the Section 3.1.4 inference handles, so sliced traces remain analyzable;
+* idle intervals are clipped to time windows.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Set
+
+from repro.trace.events import NO_ID
+from repro.trace.model import Trace, TraceBuilder
+
+
+def slice_time(trace: Trace, start: float, end: float) -> Trace:
+    """Keep executions that overlap the window ``[start, end]``."""
+    if end < start:
+        raise ValueError("end must be >= start")
+    return _subset(
+        trace,
+        lambda ex: ex.end >= start and ex.start <= end,
+        idle_clip=(start, end),
+    )
+
+
+def filter_chares(trace: Trace, chares: Iterable[int]) -> Trace:
+    """Keep executions belonging to the given chare ids."""
+    selected = set(chares)
+    for c in selected:
+        if not (0 <= c < len(trace.chares)):
+            raise ValueError(f"unknown chare id {c}")
+    return _subset(trace, lambda ex: ex.chare in selected)
+
+
+def filter_application(trace: Trace) -> Trace:
+    """Drop runtime chares' executions (the developers'-eye sub-trace)."""
+    return _subset(trace, lambda ex: not trace.is_runtime_chare(ex.chare))
+
+
+def _subset(trace: Trace, keep, idle_clip=None) -> Trace:
+    b = TraceBuilder(num_pes=trace.num_pes, metadata=dict(trace.metadata))
+    # Registries are copied wholesale (ids stay stable for chares/entries;
+    # dropping unused registry rows would complicate cross-references for
+    # no memory win at these scales).
+    for entry in trace.entries:
+        b.add_entry(entry.name, entry.chare_type, entry.is_sdag_serial,
+                    entry.sdag_ordinal)
+    for arr in trace.arrays:
+        b.add_array(arr.name, arr.shape)
+    for chare in trace.chares:
+        b.add_chare(chare.name, chare.array_id, chare.index,
+                    chare.is_runtime, chare.home_pe)
+
+    exec_map = {}
+    for ex in trace.executions:
+        if keep(ex):
+            exec_map[ex.id] = b.add_execution(
+                ex.chare, ex.entry, ex.pe, ex.start, ex.end
+            )
+    event_map = {}
+    for ev in trace.events:
+        if ev.execution in exec_map:
+            event_map[ev.id] = b.add_event(
+                ev.kind, ev.chare, ev.pe, ev.time, exec_map[ev.execution]
+            )
+    for msg in trace.messages:
+        recv = event_map.get(msg.recv_event)
+        if recv is None:
+            continue  # a message is anchored by its receive
+        send = event_map.get(msg.send_event, NO_ID)
+        b.add_message(send_event=send, recv_event=recv)
+    # Re-link execution recv events.
+    for old_id, new_id in exec_map.items():
+        old_recv = trace.executions[old_id].recv_event
+        if old_recv != NO_ID and old_recv in event_map:
+            b.set_execution_recv(new_id, event_map[old_recv])
+
+    for idle in trace.idles:
+        if idle_clip is None:
+            b.add_idle(idle.pe, idle.start, idle.end)
+        else:
+            lo = max(idle.start, idle_clip[0])
+            hi = min(idle.end, idle_clip[1])
+            if hi > lo:
+                b.add_idle(idle.pe, lo, hi)
+    return b.build()

@@ -1,0 +1,322 @@
+"""Charm++ Projections-style log import/export.
+
+The paper's traces came from the Charm++ tracing framework, whose on-disk
+form is the Projections format: one ``<name>.sts`` summary file plus one
+``<name>.<pe>.log`` event file per processor.  This module reads and
+writes a documented subset of that format so traces can be exchanged with
+Projections-adjacent tooling:
+
+``.sts`` lines (whitespace separated)::
+
+    VERSION <v>
+    MACHINE <name>
+    PROCESSORS <P>
+    TOTAL_CHARES <C>            # chare *types*
+    TOTAL_EPS <E>               # entry methods
+    CHARE <id> <name> <ndims>
+    ENTRY CHARE <id> <name> <chare-type-id> <msg-idx>
+    END
+
+``.log`` records (first token selects the type; times are integer ticks)::
+
+    1 <mtype> <entry> <time> <event> <pe>                      # CREATION (send)
+    2 <mtype> <entry> <time> <event> <srcpe> <mlen> <recvtime>
+      <d0> <d1> <d2> <d3>                                      # BEGIN_PROCESSING
+    3 <mtype> <entry> <time> <event> <pe>                      # END_PROCESSING
+    6 <time>                                                   # BEGIN_IDLE
+    7 <time>                                                   # END_IDLE
+
+Conventions of the subset:
+
+* sends are matched to receives by ``(src pe, event id)``, as in real
+  Projections logs; ``event == -1`` marks an untraced invocation;
+* entry methods named ``*_serial_<n>`` are SDAG serials with ordinal
+  ``n`` (the compiler-generated naming the paper's heuristic keys on);
+* chare types whose name starts with ``Ck`` are runtime chares (the
+  grouping rule of Section 2);
+* timestamps are integer ticks of ``1 / time_scale`` simulator units
+  (Projections uses microseconds; the default scale of 100 keeps two
+  decimal places of the simulator clock).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.trace.events import NO_ID, EventKind
+from repro.trace.model import Trace, TraceBuilder
+
+_SERIAL_RE = re.compile(r"_serial_(\d+)$")
+
+CREATION = 1
+BEGIN_PROCESSING = 2
+END_PROCESSING = 3
+BEGIN_IDLE = 6
+END_IDLE = 7
+
+
+# ---------------------------------------------------------------------------
+# Writing
+# ---------------------------------------------------------------------------
+def write_projections(trace: Trace, basename, time_scale: float = 100.0) -> List[str]:
+    """Write ``trace`` as ``<basename>.sts`` + ``<basename>.<pe>.log``.
+
+    Returns the list of files written.  Entry/chare-type naming is
+    normalized to the subset's conventions (SDAG ordinals become
+    ``_serial_<n>`` suffixes; runtime chare types get a ``Ck`` prefix).
+    """
+    base = Path(basename)
+    written: List[str] = []
+
+    # Chare types: one per array plus one per singleton chare.
+    type_of_chare: Dict[int, int] = {}
+    type_names: List[Tuple[str, int]] = []  # (name, ndims)
+    type_index: Dict[str, int] = {}
+    for chare in trace.chares:
+        if chare.array_id != NO_ID:
+            name = trace.arrays[chare.array_id].name
+            ndims = max(1, len(chare.index))
+        else:
+            # Per-PE singleton instances of one type carry a trailing
+            # "[pe]" in their label; the *type* drops it (the reader keys
+            # dimensionless chares by PE, like real Projections groups).
+            name = re.sub(r"\[\d+\]$", "", chare.name)
+            ndims = 0
+        if chare.is_runtime and not name.startswith("Ck"):
+            name = "Ck" + name
+        if name not in type_index:
+            type_index[name] = len(type_names)
+            type_names.append((name, ndims))
+        type_of_chare[chare.id] = type_index[name]
+
+    def entry_name(entry) -> str:
+        name = entry.name.split("::")[-1]
+        name = re.sub(r"\W", "_", name)
+        if entry.is_sdag_serial and entry.sdag_ordinal >= 0:
+            name = f"{name}_serial_{entry.sdag_ordinal}"
+        return name
+
+    sts_path = base.with_suffix(".sts")
+    with open(sts_path, "w", encoding="utf-8") as fh:
+        fh.write("VERSION 9.0\nMACHINE repro-sim\n")
+        fh.write(f"PROCESSORS {trace.num_pes}\n")
+        fh.write(f"TOTAL_CHARES {len(type_names)}\n")
+        fh.write(f"TOTAL_EPS {len(trace.entries)}\n")
+        for tid, (name, ndims) in enumerate(type_names):
+            fh.write(f"CHARE {tid} {name} {ndims}\n")
+        for entry in trace.entries:
+            # Associate each entry with the chare type of any execution
+            # using it (0 if never executed).
+            tid = 0
+            for ex in trace.executions:
+                if ex.entry == entry.id:
+                    tid = type_of_chare[ex.chare]
+                    break
+            fh.write(f"ENTRY CHARE {entry.id} {entry_name(entry)} {tid} 0\n")
+        fh.write("END\n")
+    written.append(str(sts_path))
+
+    def tick(t: float) -> int:
+        return int(round(t * time_scale))
+
+    # Message event ids: the trace message id; receive side needs the
+    # sender's PE.
+    send_pe: Dict[int, int] = {}
+    for msg in trace.messages:
+        if msg.send_event != NO_ID:
+            send_pe[msg.id] = trace.events[msg.send_event].pe
+
+    # Emit records per PE in true sequential order: executions are
+    # non-overlapping per PE, so walking them in start order (interleaving
+    # idle intervals, which sit between blocks) gives a well-nested log.
+    for pe in range(trace.num_pes):
+        lines: List[str] = []
+        idles = list(trace.idles_by_pe.get(pe, ()))
+        idle_pos = 0
+        for xid in trace.executions_by_pe.get(pe, ()):
+            ex = trace.executions[xid]
+            while idle_pos < len(idles) and idles[idle_pos].start <= ex.start:
+                iv = idles[idle_pos]
+                lines.append(f"{BEGIN_IDLE} {tick(iv.start)}")
+                lines.append(f"{END_IDLE} {tick(iv.end)}")
+                idle_pos += 1
+            entry = ex.entry
+            if ex.recv_event != NO_ID:
+                mid = trace.message_by_recv[ex.recv_event]
+                event_id = mid
+                src = send_pe.get(mid, ex.pe)
+            else:
+                event_id = -1
+                src = ex.pe
+            chare = trace.chares[ex.chare]
+            dims = list(chare.index) + [0, 0, 0, 0]
+            lines.append(
+                f"{BEGIN_PROCESSING} 0 {entry} {tick(ex.start)} {event_id} "
+                f"{src} 0 {tick(ex.start)} {dims[0]} {dims[1]} {dims[2]} {dims[3]}"
+            )
+            for evid in trace.events_of(ex.id):
+                ev = trace.events[evid]
+                if ev.kind != EventKind.SEND:
+                    continue
+                for mid in trace.messages_by_send[evid]:
+                    lines.append(
+                        f"{CREATION} 0 {entry} {tick(ev.time)} {mid} {ex.pe}"
+                    )
+            lines.append(
+                f"{END_PROCESSING} 0 {entry} {tick(ex.end)} {event_id} {ex.pe}"
+            )
+        for iv in idles[idle_pos:]:
+            lines.append(f"{BEGIN_IDLE} {tick(iv.start)}")
+            lines.append(f"{END_IDLE} {tick(iv.end)}")
+
+        log_path = Path(f"{base}.{pe}.log")
+        with open(log_path, "w", encoding="utf-8") as fh:
+            fh.write(f"PROJECTIONS-RECORD {len(lines)}\n")
+            for line in lines:
+                fh.write(line + "\n")
+        written.append(str(log_path))
+    return written
+
+
+# ---------------------------------------------------------------------------
+# Reading
+# ---------------------------------------------------------------------------
+class ProjectionsFormatError(ValueError):
+    """Raised on malformed Projections-subset input."""
+
+
+def read_projections(sts_path, time_scale: float = 100.0) -> Trace:
+    """Read a Projections-subset trace given its ``.sts`` path."""
+    sts_path = Path(sts_path)
+    num_pes = 0
+    chare_types: Dict[int, Tuple[str, int]] = {}
+    entries: Dict[int, Tuple[str, int]] = {}
+    with open(sts_path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            parts = line.split()
+            if not parts:
+                continue
+            tag = parts[0]
+            if tag == "PROCESSORS":
+                num_pes = int(parts[1])
+            elif tag == "CHARE":
+                chare_types[int(parts[1])] = (parts[2], int(parts[3]))
+            elif tag == "ENTRY":
+                # ENTRY CHARE <id> <name> <type> <msg>
+                entries[int(parts[2])] = (parts[3], int(parts[4]))
+            elif tag == "END":
+                break
+    if num_pes <= 0:
+        raise ProjectionsFormatError("missing or invalid PROCESSORS line")
+
+    b = TraceBuilder(num_pes=num_pes, metadata={"source": "projections"})
+    entry_ids: Dict[int, int] = {}
+    for eid in sorted(entries):
+        name, tid = entries[eid]
+        m = _SERIAL_RE.search(name)
+        tname = chare_types.get(tid, ("?", 0))[0]
+        entry_ids[eid] = b.add_entry(
+            f"{tname}::{name}", chare_type=tname,
+            is_sdag_serial=m is not None,
+            sdag_ordinal=int(m.group(1)) if m else -1,
+        )
+
+    array_ids: Dict[int, int] = {}
+    chare_ids: Dict[Tuple[int, Tuple[int, ...], int], int] = {}
+
+    def chare_for(tid: int, dims: Tuple[int, ...], pe: int) -> int:
+        tname, ndims = chare_types.get(tid, (f"type{tid}", 0))
+        index = dims[:ndims]
+        key = (tid, index, pe if ndims == 0 else -1)
+        if key not in chare_ids:
+            if ndims > 0 and tid not in array_ids:
+                array_ids[tid] = b.add_array(tname, ())
+            label = f"{tname}{list(index)}" if ndims else f"{tname}[{pe}]"
+            chare_ids[key] = b.add_chare(
+                label,
+                array_id=array_ids.get(tid, NO_ID),
+                index=index,
+                is_runtime=tname.startswith("Ck"),
+                home_pe=pe,
+            )
+        return chare_ids[key]
+
+    # First pass: collect all records per PE.
+    sends: Dict[Tuple[int, int], int] = {}  # (pe, event id) -> send event
+    pending_recvs: List[Tuple[int, int, int]] = []  # (recv event, src pe, event id)
+
+    base = str(sts_path)[: -len(".sts")]
+    for pe in range(num_pes):
+        log_path = Path(f"{base}.{pe}.log")
+        if not log_path.exists():
+            raise ProjectionsFormatError(f"missing log file {log_path}")
+        open_exec: Optional[int] = None
+        open_chare: Optional[int] = None
+        idle_start: Optional[float] = None
+        with open(log_path, "r", encoding="utf-8") as fh:
+            first = True
+            for line in fh:
+                if first:
+                    first = False
+                    if line.startswith("PROJECTIONS"):
+                        continue
+                parts = line.split()
+                if not parts:
+                    continue
+                rtype = int(parts[0])
+                if rtype == BEGIN_PROCESSING:
+                    entry = int(parts[2])
+                    time = int(parts[3]) / time_scale
+                    event_id = int(parts[4])
+                    src = int(parts[5])
+                    dims = tuple(int(d) for d in parts[8:12])
+                    tid = entries.get(entry, ("?", 0))[1]
+                    chare = chare_for(tid, dims, pe)
+                    open_exec = b.add_execution(
+                        chare, entry_ids[entry], pe, time, time
+                    )
+                    open_chare = chare
+                    if event_id >= 0:
+                        recv_ev = b.add_event(EventKind.RECV, chare, pe, time,
+                                              open_exec)
+                        b.set_execution_recv(open_exec, recv_ev)
+                        pending_recvs.append((recv_ev, src, event_id))
+                elif rtype == END_PROCESSING:
+                    time = int(parts[3]) / time_scale
+                    if open_exec is None:
+                        raise ProjectionsFormatError(
+                            f"{log_path}: END_PROCESSING without BEGIN"
+                        )
+                    b.set_execution_end(open_exec, time)
+                    open_exec = None
+                    open_chare = None
+                elif rtype == CREATION:
+                    time = int(parts[3]) / time_scale
+                    event_id = int(parts[4])
+                    if open_exec is None or open_chare is None:
+                        # Creation outside processing (runtime internals):
+                        # skipped, like untraced control flow.
+                        continue
+                    send_ev = b.add_event(EventKind.SEND, open_chare, pe,
+                                          time, open_exec)
+                    sends[(pe, event_id)] = send_ev
+                elif rtype == BEGIN_IDLE:
+                    idle_start = int(parts[1]) / time_scale
+                elif rtype == END_IDLE:
+                    if idle_start is not None:
+                        b.add_idle(pe, idle_start, int(parts[1]) / time_scale)
+                        idle_start = None
+                else:
+                    raise ProjectionsFormatError(
+                        f"{log_path}: unknown record type {rtype}"
+                    )
+
+    # Second pass: match receives to sends by (src pe, event id).  A send
+    # may fan out to several receives (broadcast fan-out keeps one event
+    # id per message in our writer, but foreign logs may reuse ids).
+    for recv_ev, src, event_id in pending_recvs:
+        send_ev = sends.get((src, event_id), NO_ID)
+        b.add_message(send_event=send_ev, recv_event=recv_ev)
+    return b.build()

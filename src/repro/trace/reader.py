@@ -1,0 +1,111 @@
+"""Deserialize traces written by :mod:`repro.trace.writer`.
+
+Records may appear in any order after the header; ids are authoritative and
+must be dense (0..n-1 per record type), which is what the writer emits.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Dict, List, Union
+
+from repro.trace.events import (
+    Chare,
+    ChareArray,
+    DepEvent,
+    EntryMethod,
+    EventKind,
+    Execution,
+    IdleInterval,
+    Message,
+)
+from repro.trace.model import Trace
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file is malformed."""
+
+
+def read_trace(path: Union[str, Path, IO[str]]) -> Trace:
+    """Read a trace from ``path`` (a filesystem path or open text stream)."""
+    if hasattr(path, "read"):
+        return _read_stream(path)  # type: ignore[arg-type]
+    with open(path, "r", encoding="utf-8") as fh:
+        return _read_stream(fh)
+
+
+def _read_stream(fh: IO[str]) -> Trace:
+    header = None
+    entries: Dict[int, EntryMethod] = {}
+    arrays: Dict[int, ChareArray] = {}
+    chares: Dict[int, Chare] = {}
+    executions: Dict[int, Execution] = {}
+    events: Dict[int, DepEvent] = {}
+    messages: Dict[int, Message] = {}
+    idles: List[IdleInterval] = []
+
+    for lineno, line in enumerate(fh, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(f"line {lineno}: invalid JSON: {exc}") from exc
+        kind = rec.get("t")
+        if kind == "header":
+            header = rec
+        elif kind == "entry":
+            entries[rec["id"]] = EntryMethod(
+                rec["id"], rec["name"], rec.get("ct", ""), rec.get("sdag", False), rec.get("ord", -1)
+            )
+        elif kind == "array":
+            arrays[rec["id"]] = ChareArray(rec["id"], rec["name"], tuple(rec.get("shape", ())))
+        elif kind == "chare":
+            chares[rec["id"]] = Chare(
+                rec["id"],
+                rec["name"],
+                rec.get("arr", -1),
+                tuple(rec.get("idx", ())),
+                rec.get("rt", False),
+                rec.get("pe", 0),
+            )
+        elif kind == "exec":
+            executions[rec["id"]] = Execution(
+                rec["id"], rec["c"], rec["e"], rec["pe"], rec["s"], rec["x"], rec.get("rv", -1)
+            )
+        elif kind == "event":
+            events[rec["id"]] = DepEvent(
+                rec["id"], EventKind(rec["k"]), rec["c"], rec["pe"], rec["tm"], rec.get("ex", -1)
+            )
+        elif kind == "msg":
+            messages[rec["id"]] = Message(rec["id"], rec.get("s", -1), rec.get("r", -1))
+        elif kind == "idle":
+            idles.append(IdleInterval(rec["pe"], rec["s"], rec["x"]))
+        else:
+            raise TraceFormatError(f"line {lineno}: unknown record type {kind!r}")
+
+    if header is None:
+        raise TraceFormatError("missing header record")
+
+    return Trace(
+        chares=_densify(chares, "chare"),
+        entries=_densify(entries, "entry"),
+        arrays=_densify(arrays, "array"),
+        executions=_densify(executions, "exec"),
+        events=_densify(events, "event"),
+        messages=_densify(messages, "msg"),
+        idles=idles,
+        num_pes=header["num_pes"],
+        metadata=header.get("metadata", {}),
+    )
+
+
+def _densify(records: Dict[int, object], label: str) -> list:
+    out = []
+    for i in range(len(records)):
+        if i not in records:
+            raise TraceFormatError(f"{label} ids are not dense: missing id {i}")
+        out.append(records[i])
+    return out

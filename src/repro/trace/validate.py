@@ -1,0 +1,119 @@
+"""Structural consistency checks for traces.
+
+Simulators call :func:`validate_trace` on their output in tests; the
+analysis pipeline may call it defensively on externally supplied traces.
+The checks encode the physical realizability constraints the algorithms
+rely on: well-formed ids, events inside their blocks' time spans, receives
+not preceding their sends, and non-overlapping execution on each PE.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.trace.events import NO_ID, EventKind
+from repro.trace.model import Trace
+
+
+class TraceValidationError(AssertionError):
+    """Raised when a trace violates a structural invariant."""
+
+
+def validate_trace(trace: Trace, check_pe_overlap: bool = True) -> None:
+    """Raise :class:`TraceValidationError` on the first violated invariant.
+
+    Parameters
+    ----------
+    trace:
+        The trace to check.
+    check_pe_overlap:
+        When True (default), assert that no two executions overlap on the
+        same PE.  Synthetic unit-test traces sometimes skip this.
+    """
+    problems: List[str] = []
+
+    n_chares = len(trace.chares)
+    n_entries = len(trace.entries)
+    n_events = len(trace.events)
+    n_execs = len(trace.executions)
+
+    for ex in trace.executions:
+        if not (0 <= ex.chare < n_chares):
+            problems.append(f"exec {ex.id}: bad chare id {ex.chare}")
+        if not (0 <= ex.entry < n_entries):
+            problems.append(f"exec {ex.id}: bad entry id {ex.entry}")
+        if ex.end < ex.start:
+            problems.append(f"exec {ex.id}: end {ex.end} < start {ex.start}")
+        if ex.recv_event != NO_ID:
+            ev = trace.events[ex.recv_event]
+            if ev.kind != EventKind.RECV:
+                problems.append(f"exec {ex.id}: recv_event {ex.recv_event} is not a RECV")
+            if ev.execution != ex.id:
+                problems.append(
+                    f"exec {ex.id}: recv_event {ex.recv_event} belongs to exec {ev.execution}"
+                )
+
+    for ev in trace.events:
+        if not (0 <= ev.chare < n_chares):
+            problems.append(f"event {ev.id}: bad chare id {ev.chare}")
+        if ev.execution != NO_ID:
+            ex = trace.executions[ev.execution]
+            if ev.chare != ex.chare:
+                problems.append(
+                    f"event {ev.id}: chare {ev.chare} != owning exec chare {ex.chare}"
+                )
+            # Events must fall within their serial block's time span (with
+            # equality allowed at the boundaries).
+            if not (ex.start - 1e-9 <= ev.time <= ex.end + 1e-9):
+                problems.append(
+                    f"event {ev.id}: time {ev.time} outside exec {ex.id} span "
+                    f"[{ex.start}, {ex.end}]"
+                )
+
+    seen_recv = set()
+    for msg in trace.messages:
+        if msg.send_event != NO_ID and not (0 <= msg.send_event < n_events):
+            problems.append(f"msg {msg.id}: bad send event {msg.send_event}")
+        if msg.recv_event != NO_ID and not (0 <= msg.recv_event < n_events):
+            problems.append(f"msg {msg.id}: bad recv event {msg.recv_event}")
+        if msg.is_complete():
+            send = trace.events[msg.send_event]
+            recv = trace.events[msg.recv_event]
+            if send.kind != EventKind.SEND:
+                problems.append(f"msg {msg.id}: send endpoint is not a SEND event")
+            if recv.kind != EventKind.RECV:
+                problems.append(f"msg {msg.id}: recv endpoint is not a RECV event")
+            if recv.time < send.time - 1e-9:
+                problems.append(
+                    f"msg {msg.id}: recv time {recv.time} precedes send time {send.time}"
+                )
+        if msg.recv_event != NO_ID:
+            if msg.recv_event in seen_recv:
+                problems.append(f"msg {msg.id}: recv event {msg.recv_event} reused")
+            seen_recv.add(msg.recv_event)
+
+    for idle in trace.idles:
+        if idle.end < idle.start:
+            problems.append(f"idle on pe {idle.pe}: end < start")
+        if not (0 <= idle.pe < trace.num_pes):
+            problems.append(f"idle: bad pe {idle.pe}")
+
+    if check_pe_overlap:
+        for pe, xids in trace.executions_by_pe.items():
+            prev_end = float("-inf")
+            prev_id = None
+            for xid in xids:
+                ex = trace.executions[xid]
+                if ex.start < prev_end - 1e-9:
+                    problems.append(
+                        f"pe {pe}: exec {xid} (start {ex.start}) overlaps exec "
+                        f"{prev_id} (end {prev_end})"
+                    )
+                if ex.end > prev_end:
+                    prev_end = ex.end
+                    prev_id = xid
+
+    if problems:
+        preview = "\n  ".join(problems[:20])
+        more = "" if len(problems) <= 20 else f"\n  ... and {len(problems) - 20} more"
+        raise TraceValidationError(f"trace validation failed:\n  {preview}{more}")

@@ -1,0 +1,111 @@
+"""Serialize traces to a line-delimited JSON log format.
+
+The format intentionally resembles a flattened Charm++ Projections log:
+one record per line, each a JSON object tagged with ``"t"`` (record type).
+A header line carries trace-wide metadata.  The format is self-contained —
+:func:`repro.trace.reader.read_trace` reconstructs an identical
+:class:`~repro.trace.model.Trace`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Union
+
+from repro.trace.model import Trace
+
+FORMAT_VERSION = 1
+
+
+def write_trace(trace: Trace, path: Union[str, Path, IO[str]]) -> None:
+    """Write ``trace`` to ``path`` (a filesystem path or open text stream)."""
+    if hasattr(path, "write"):
+        _write_stream(trace, path)  # type: ignore[arg-type]
+    else:
+        with open(path, "w", encoding="utf-8") as fh:
+            _write_stream(trace, fh)
+
+
+def _write_stream(trace: Trace, fh: IO[str]) -> None:
+    header = {
+        "t": "header",
+        "version": FORMAT_VERSION,
+        "num_pes": trace.num_pes,
+        "metadata": trace.metadata,
+    }
+    fh.write(json.dumps(header) + "\n")
+    for entry in trace.entries:
+        fh.write(
+            json.dumps(
+                {
+                    "t": "entry",
+                    "id": entry.id,
+                    "name": entry.name,
+                    "ct": entry.chare_type,
+                    "sdag": entry.is_sdag_serial,
+                    "ord": entry.sdag_ordinal,
+                }
+            )
+            + "\n"
+        )
+    for arr in trace.arrays:
+        fh.write(
+            json.dumps({"t": "array", "id": arr.id, "name": arr.name, "shape": list(arr.shape)})
+            + "\n"
+        )
+    for chare in trace.chares:
+        fh.write(
+            json.dumps(
+                {
+                    "t": "chare",
+                    "id": chare.id,
+                    "name": chare.name,
+                    "arr": chare.array_id,
+                    "idx": list(chare.index),
+                    "rt": chare.is_runtime,
+                    "pe": chare.home_pe,
+                }
+            )
+            + "\n"
+        )
+    for ex in trace.executions:
+        fh.write(
+            json.dumps(
+                {
+                    "t": "exec",
+                    "id": ex.id,
+                    "c": ex.chare,
+                    "e": ex.entry,
+                    "pe": ex.pe,
+                    "s": ex.start,
+                    "x": ex.end,
+                    "rv": ex.recv_event,
+                }
+            )
+            + "\n"
+        )
+    for ev in trace.events:
+        fh.write(
+            json.dumps(
+                {
+                    "t": "event",
+                    "id": ev.id,
+                    "k": int(ev.kind),
+                    "c": ev.chare,
+                    "pe": ev.pe,
+                    "tm": ev.time,
+                    "ex": ev.execution,
+                }
+            )
+            + "\n"
+        )
+    for msg in trace.messages:
+        fh.write(
+            json.dumps({"t": "msg", "id": msg.id, "s": msg.send_event, "r": msg.recv_event})
+            + "\n"
+        )
+    for idle in trace.idles:
+        fh.write(
+            json.dumps({"t": "idle", "pe": idle.pe, "s": idle.start, "x": idle.end}) + "\n"
+        )

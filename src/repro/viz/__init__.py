@@ -1,0 +1,36 @@
+"""Text renderers and exporters for logical structures.
+
+The paper's figures were drawn with Ravel; here the same information —
+chares × logical steps colored by phase or metric, and chares × physical
+time — is rendered as character grids (:mod:`repro.viz.ascii`) and as
+JSON/CSV for external plotting (:mod:`repro.viz.export`).
+"""
+
+from repro.viz.ascii import (
+    render_logical,
+    render_metric,
+    render_physical,
+    render_physical_pe,
+)
+from repro.viz.cluster import TimelineClusters, cluster_timelines, render_clustered
+from repro.viz.export import structure_to_json, structure_to_rows, write_csv
+from repro.viz.html import render_html, write_html
+from repro.viz.svg import render_physical_svg, render_svg, write_svg
+
+__all__ = [
+    "render_logical",
+    "render_metric",
+    "render_physical",
+    "render_physical_pe",
+    "render_svg",
+    "render_physical_svg",
+    "write_svg",
+    "render_html",
+    "write_html",
+    "structure_to_json",
+    "structure_to_rows",
+    "write_csv",
+    "TimelineClusters",
+    "cluster_timelines",
+    "render_clustered",
+]

@@ -1,0 +1,170 @@
+"""Character-grid renderings of traces and logical structures.
+
+Layout follows the paper's convention: one row per chare, application
+chares on top (sorted by array then index), runtime chares grouped at the
+bottom; columns are logical steps (or physical-time bins).  Cells show the
+phase of the event occupying that (chare, step) — letters/digits cycling
+by phase id — or a metric intensity from ``.`` (zero) to ``9`` (maximum).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.structure import LogicalStructure
+from repro.trace.model import Trace
+
+_PHASE_GLYPHS = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+
+
+def _chare_rows(trace: Trace, chares: Optional[Sequence[int]] = None) -> List[int]:
+    """Row order: application chares first (by array/index), runtime last."""
+    ids = list(chares) if chares is not None else [c.id for c in trace.chares]
+    app = [c for c in ids if not trace.chares[c].is_runtime]
+    rt = [c for c in ids if trace.chares[c].is_runtime]
+    app.sort(key=lambda c: (trace.chares[c].array_id, trace.chares[c].index, c))
+    rt.sort(key=lambda c: (trace.chares[c].home_pe, c))
+    return app + rt
+
+
+def _row_label(trace: Trace, chare: int, width: int = 14) -> str:
+    name = trace.chares[chare].name
+    if len(name) > width:
+        name = name[: width - 1] + "~"
+    return name.rjust(width)
+
+
+def render_logical(
+    structure: LogicalStructure,
+    chares: Optional[Sequence[int]] = None,
+    max_steps: Optional[int] = None,
+) -> str:
+    """Render chares × logical steps, cells keyed by phase id."""
+    trace = structure.trace
+    rows = _chare_rows(trace, chares)
+    last = structure.max_step if max_steps is None else min(structure.max_step, max_steps - 1)
+    grid = structure.steps_by_chare()
+    lines = []
+    for chare in rows:
+        cells = []
+        row = grid.get(chare, {})
+        for step in range(last + 1):
+            ev = row.get(step)
+            if ev is None:
+                cells.append(" ")
+            else:
+                phase = structure.phase_of_event[ev]
+                cells.append(_PHASE_GLYPHS[phase % len(_PHASE_GLYPHS)])
+        lines.append(f"{_row_label(trace, chare)} |{''.join(cells)}|")
+    return "\n".join(lines)
+
+
+def render_metric(
+    structure: LogicalStructure,
+    metric: Mapping[int, float],
+    chares: Optional[Sequence[int]] = None,
+    max_steps: Optional[int] = None,
+) -> str:
+    """Render chares × logical steps with metric intensity per event.
+
+    ``.`` marks an event with zero (or missing) metric value; digits 1-9
+    scale linearly to the metric's maximum.
+    """
+    trace = structure.trace
+    rows = _chare_rows(trace, chares)
+    last = structure.max_step if max_steps is None else min(structure.max_step, max_steps - 1)
+    grid = structure.steps_by_chare()
+    peak = max((v for v in metric.values() if v > 0), default=0.0)
+    lines = []
+    for chare in rows:
+        cells = []
+        row = grid.get(chare, {})
+        for step in range(last + 1):
+            ev = row.get(step)
+            if ev is None:
+                cells.append(" ")
+                continue
+            value = metric.get(ev, 0.0)
+            if value <= 0 or peak <= 0:
+                cells.append(".")
+            else:
+                cells.append(str(max(1, min(9, round(9 * value / peak)))))
+        lines.append(f"{_row_label(trace, chare)} |{''.join(cells)}|")
+    return "\n".join(lines)
+
+
+def render_physical_pe(
+    trace: Trace,
+    structure: Optional[LogicalStructure] = None,
+    bins: int = 100,
+) -> str:
+    """Render PEs × physical-time bins (the classic Projections view).
+
+    Cells show the phase glyph of the execution covering the bin (``#``
+    without a structure); ``-`` marks recorded idle time.
+    """
+    end = trace.end_time()
+    if end <= 0:
+        return ""
+    width = end / bins
+    lines = []
+    for pe in range(trace.num_pes):
+        cells = [" "] * bins
+        for idle in trace.idles_by_pe.get(pe, ()):
+            lo = min(bins - 1, int(idle.start / width))
+            hi = min(bins - 1, int(max(idle.start, idle.end - 1e-12) / width))
+            for b in range(lo, hi + 1):
+                cells[b] = "-"
+        for xid in trace.executions_by_pe.get(pe, ()):
+            ex = trace.executions[xid]
+            glyph = "#"
+            if structure is not None:
+                phase = -1
+                for ev in trace.events_of(xid):
+                    phase = structure.phase_of_event[ev]
+                    if phase >= 0:
+                        break
+                glyph = _PHASE_GLYPHS[phase % len(_PHASE_GLYPHS)] if phase >= 0 else "#"
+            lo = min(bins - 1, int(ex.start / width))
+            hi = min(bins - 1, int(max(ex.start, ex.end - 1e-12) / width))
+            for b in range(lo, hi + 1):
+                cells[b] = glyph
+        lines.append(f"{('PE ' + str(pe)).rjust(14)} |{''.join(cells)}|")
+    return "\n".join(lines)
+
+
+def render_physical(
+    trace: Trace,
+    structure: Optional[LogicalStructure] = None,
+    bins: int = 100,
+    chares: Optional[Sequence[int]] = None,
+) -> str:
+    """Render chares × physical-time bins.
+
+    Cells show the phase (when a structure is given) of the execution
+    covering the bin, ``#`` without a structure, and ``-`` for idle gaps.
+    """
+    rows = _chare_rows(trace, chares)
+    end = trace.end_time()
+    if end <= 0:
+        return ""
+    width = end / bins
+    lines = []
+    for chare in rows:
+        cells = [" "] * bins
+        for xid in trace.executions_by_chare.get(chare, ()):
+            ex = trace.executions[xid]
+            glyph = "#"
+            if structure is not None:
+                phase = -1
+                for ev in trace.events_of(xid):
+                    phase = structure.phase_of_event[ev]
+                    if phase >= 0:
+                        break
+                glyph = _PHASE_GLYPHS[phase % len(_PHASE_GLYPHS)] if phase >= 0 else "#"
+            lo = min(bins - 1, int(ex.start / width))
+            hi = min(bins - 1, int(max(ex.start, ex.end - 1e-12) / width))
+            for b in range(lo, hi + 1):
+                cells[b] = glyph
+        lines.append(f"{_row_label(trace, chare)} |{''.join(cells)}|")
+    return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""Clustering chare timelines for scalable views.
+
+The paper's future work asks for "new visualization techniques … that
+scale to large numbers of parallel tasks".  Ravel's answer (and ours) is
+clustering: chare timelines with similar metric behaviour collapse into
+one representative row.  Timelines are embedded as per-logical-step metric
+vectors and grouped with a small k-medoids — medoids are real chares, so
+the rendered representative is an actual timeline, not an average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.structure import LogicalStructure
+from repro.viz.ascii import render_metric
+
+
+@dataclass
+class TimelineClusters:
+    """Result of clustering chare timelines."""
+
+    #: chare id -> cluster index
+    assignment: Dict[int, int] = field(default_factory=dict)
+    #: medoid chare id per cluster
+    medoids: List[int] = field(default_factory=list)
+
+    def members(self, cluster: int) -> List[int]:
+        """Chares assigned to one cluster."""
+        return sorted(c for c, k in self.assignment.items() if k == cluster)
+
+    @property
+    def k(self) -> int:
+        return len(self.medoids)
+
+
+def _embed(structure: LogicalStructure, metric: Mapping[int, float],
+           chares: Sequence[int]) -> np.ndarray:
+    """Per-chare vectors of metric values over global steps."""
+    steps = structure.max_step + 1
+    matrix = np.zeros((len(chares), steps))
+    index = {c: i for i, c in enumerate(chares)}
+    trace = structure.trace
+    for ev, step in enumerate(structure.step_of_event):
+        if step < 0:
+            continue
+        chare = trace.events[ev].chare
+        row = index.get(chare)
+        if row is not None:
+            matrix[row, step] += metric.get(ev, 0.0)
+    return matrix
+
+
+def cluster_timelines(
+    structure: LogicalStructure,
+    metric: Mapping[int, float],
+    k: int = 4,
+    chares: Optional[Sequence[int]] = None,
+    rounds: int = 8,
+    seed: int = 0,
+) -> TimelineClusters:
+    """Group chare timelines into ``k`` clusters by metric similarity.
+
+    Defaults to application chares only.  Uses k-medoids with greedy
+    farthest-point initialization; deterministic for a given seed.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    trace = structure.trace
+    if chares is None:
+        chares = trace.application_chares()
+    chares = list(chares)
+    if not chares:
+        return TimelineClusters()
+    k = min(k, len(chares))
+
+    matrix = _embed(structure, metric, chares)
+    # Pairwise Euclidean distances.
+    sq = np.sum(matrix ** 2, axis=1)
+    dist = np.sqrt(np.maximum(sq[:, None] + sq[None, :] - 2 * matrix @ matrix.T, 0.0))
+
+    rng = np.random.default_rng(seed)
+    medoids = [int(rng.integers(len(chares)))]
+    while len(medoids) < k:
+        # Farthest point from the current medoid set.
+        d = dist[:, medoids].min(axis=1)
+        medoids.append(int(np.argmax(d)))
+
+    assign = np.argmin(dist[:, medoids], axis=1)
+    for _ in range(rounds):
+        changed = False
+        for ci in range(k):
+            members = np.where(assign == ci)[0]
+            if len(members) == 0:
+                continue
+            within = dist[np.ix_(members, members)].sum(axis=1)
+            best = int(members[int(np.argmin(within))])
+            if best != medoids[ci]:
+                medoids[ci] = best
+                changed = True
+        new_assign = np.argmin(dist[:, medoids], axis=1)
+        if not changed and np.array_equal(new_assign, assign):
+            break
+        assign = new_assign
+
+    result = TimelineClusters(medoids=[chares[m] for m in medoids])
+    for i, chare in enumerate(chares):
+        result.assignment[chare] = int(assign[i])
+    return result
+
+
+def render_clustered(
+    structure: LogicalStructure,
+    metric: Mapping[int, float],
+    clusters: TimelineClusters,
+    max_steps: Optional[int] = None,
+) -> str:
+    """Render one representative (medoid) row per cluster, with counts."""
+    lines: List[str] = []
+    for ci, medoid in enumerate(clusters.medoids):
+        count = len(clusters.members(ci))
+        header = f"cluster {ci}: {count} chares, medoid " \
+                 f"{structure.trace.chares[medoid].name}"
+        lines.append(header)
+        lines.append(render_metric(structure, metric, chares=[medoid],
+                                   max_steps=max_steps))
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Structured exports of logical structures for external tooling."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Union
+
+from repro.core.structure import LogicalStructure
+
+
+def structure_to_rows(
+    structure: LogicalStructure,
+    metrics: Optional[Dict[str, Mapping[int, float]]] = None,
+) -> List[Dict[str, object]]:
+    """One row per stepped event: identity, placement, optional metrics."""
+    trace = structure.trace
+    metrics = metrics or {}
+    rows: List[Dict[str, object]] = []
+    for ev, step in enumerate(structure.step_of_event):
+        if step < 0:
+            continue
+        rec = trace.events[ev]
+        entry = ""
+        if rec.execution >= 0:
+            entry = trace.entry(trace.executions[rec.execution].entry).name
+        row: Dict[str, object] = {
+            "event": ev,
+            "kind": rec.kind.name,
+            "chare": rec.chare,
+            "chare_name": trace.chares[rec.chare].name,
+            "is_runtime": trace.chares[rec.chare].is_runtime,
+            "pe": rec.pe,
+            "time": rec.time,
+            "entry": entry,
+            "phase": structure.phase_of_event[ev],
+            "step": step,
+            "local_step": structure.local_step_of_event[ev],
+        }
+        for name, mapping in metrics.items():
+            row[name] = mapping.get(ev, 0.0)
+        rows.append(row)
+    rows.sort(key=lambda r: (r["step"], r["chare"]))
+    return rows
+
+
+def structure_to_json(
+    structure: LogicalStructure,
+    metrics: Optional[Dict[str, Mapping[int, float]]] = None,
+) -> str:
+    """JSON document: summary, phase DAG, and per-event placement rows."""
+    doc = {
+        "summary": structure.summary(),
+        "phases": [
+            {
+                "id": p.id,
+                "leap": p.leap,
+                "is_runtime": p.is_runtime,
+                "offset": p.offset,
+                "max_local_step": p.max_local_step,
+                "events": len(p.events),
+                "chares": sorted(p.chares),
+                "preds": sorted(p.preds),
+                "succs": sorted(p.succs),
+            }
+            for p in structure.phases
+        ],
+        "events": structure_to_rows(structure, metrics),
+    }
+    return json.dumps(doc, indent=1)
+
+
+def write_csv(
+    structure: LogicalStructure,
+    path: Union[str, Path],
+    metrics: Optional[Dict[str, Mapping[int, float]]] = None,
+) -> None:
+    """Write the per-event rows as CSV."""
+    rows = structure_to_rows(structure, metrics)
+    if not rows:
+        Path(path).write_text("")
+        return
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(rows)

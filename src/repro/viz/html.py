@@ -1,0 +1,86 @@
+"""Self-contained HTML reports (no external assets or scripts).
+
+Bundles the summary, the combined performance report, the Projections-style
+profile, and the SVG rendering of the logical structure into one file that
+opens in any browser — the shareable artifact of an analysis session.
+"""
+
+from __future__ import annotations
+
+from html import escape
+from typing import Mapping, Optional
+
+from repro.core.structure import LogicalStructure
+from repro.viz.svg import render_physical_svg, render_svg
+
+_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2em;
+       max-width: 1200px; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em; }
+pre { background: #f6f6f4; padding: 1em; overflow-x: auto;
+      font-size: 12px; line-height: 1.35; }
+.summary td { padding: 2px 14px 2px 0; }
+.svgwrap { overflow-x: auto; border: 1px solid #ddd; padding: 4px; }
+"""
+
+
+def render_html(
+    structure: LogicalStructure,
+    title: str = "Logical structure report",
+    metric: Optional[Mapping[int, float]] = None,
+    metric_name: str = "",
+    max_steps: Optional[int] = 200,
+    include_report: bool = True,
+    include_profile: bool = True,
+) -> str:
+    """Render a standalone HTML document for a structure."""
+    parts = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        f"<title>{escape(title)}</title>",
+        f"<style>{_STYLE}</style></head><body>",
+        f"<h1>{escape(title)}</h1>",
+    ]
+
+    summary = structure.summary()
+    parts.append("<h2>Summary</h2><table class='summary'>")
+    for key, value in summary.items():
+        parts.append(
+            f"<tr><td>{escape(str(key))}</td><td>{escape(str(value))}</td></tr>"
+        )
+    parts.append("</table>")
+
+    parts.append("<h2>Logical structure"
+                 + (f" — colored by {escape(metric_name)}" if metric else "")
+                 + "</h2>")
+    parts.append("<div class='svgwrap'>")
+    parts.append(render_svg(structure, metric=metric, max_steps=max_steps))
+    parts.append("</div>")
+
+    parts.append("<h2>Physical time (per PE)</h2>")
+    parts.append("<div class='svgwrap'>")
+    parts.append(render_physical_svg(structure))
+    parts.append("</div>")
+
+    if include_report:
+        from repro.report import performance_report
+
+        parts.append("<h2>Performance report</h2>")
+        parts.append(f"<pre>{escape(performance_report(structure))}</pre>")
+
+    if include_profile:
+        from repro.metrics import profile_table, usage_profile
+
+        parts.append("<h2>Usage profile</h2>")
+        parts.append(
+            f"<pre>{escape(profile_table(usage_profile(structure.trace)))}</pre>"
+        )
+
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def write_html(structure: LogicalStructure, path, **kwargs) -> None:
+    """Render and write an HTML report file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render_html(structure, **kwargs))

@@ -1,0 +1,199 @@
+"""SVG renderings of logical structures (Ravel-style, dependency arrows
+included).
+
+Produces self-contained SVG documents with one lane per chare (application
+chares on top, runtime chares grouped below a separator, as in the paper's
+figures), one box per dependency event placed at its logical step, colored
+by phase or by metric intensity, and optional message lines between
+matched send/receive pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.structure import LogicalStructure
+from repro.trace.events import NO_ID
+
+#: Categorical phase palette (cycled); chosen for adjacent contrast.
+_PALETTE = [
+    "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#b07aa1",
+    "#76b7b2", "#edc948", "#ff9da7", "#9c755f", "#bab0ac",
+]
+
+_CELL_W = 14
+_CELL_H = 12
+_PAD_X = 120
+_PAD_Y = 24
+
+
+def _rows(structure: LogicalStructure) -> List[int]:
+    trace = structure.trace
+    app = [c.id for c in trace.chares if not c.is_runtime]
+    rt = [c.id for c in trace.chares if c.is_runtime]
+    app.sort(key=lambda c: (trace.chares[c].array_id, trace.chares[c].index, c))
+    rt.sort(key=lambda c: (trace.chares[c].home_pe, c))
+    return app + rt
+
+
+def _esc(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;"))
+
+
+def render_svg(
+    structure: LogicalStructure,
+    metric: Optional[Mapping[int, float]] = None,
+    max_steps: Optional[int] = None,
+    show_messages: bool = True,
+    title: str = "",
+) -> str:
+    """Render the logical structure as an SVG document string.
+
+    Without ``metric``, events are colored by phase; with it, by a
+    white-to-red intensity ramp over the metric values.
+    """
+    trace = structure.trace
+    rows = _rows(structure)
+    row_of = {chare: i for i, chare in enumerate(rows)}
+    n_app = sum(1 for c in rows if not trace.chares[c].is_runtime)
+    last_step = structure.max_step if max_steps is None else min(
+        structure.max_step, max_steps - 1)
+
+    width = _PAD_X + (last_step + 1) * _CELL_W + 20
+    height = _PAD_Y + len(rows) * _CELL_H + 20
+    peak = 0.0
+    if metric:
+        peak = max((v for v in metric.values() if v > 0), default=0.0)
+
+    out: List[str] = []
+    out.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="monospace" font-size="9">'
+    )
+    out.append(f'<rect width="{width}" height="{height}" fill="white"/>')
+    if title:
+        out.append(f'<text x="{_PAD_X}" y="14" font-size="11">{_esc(title)}</text>')
+
+    def cell_xy(chare: int, step: int):
+        return (_PAD_X + step * _CELL_W, _PAD_Y + row_of[chare] * _CELL_H)
+
+    # Row labels and the application/runtime separator.
+    for chare in rows:
+        x, y = 4, _PAD_Y + row_of[chare] * _CELL_H + _CELL_H - 3
+        out.append(f'<text x="{x}" y="{y}">{_esc(trace.chares[chare].name[:16])}</text>')
+    if 0 < n_app < len(rows):
+        y = _PAD_Y + n_app * _CELL_H - 1
+        out.append(
+            f'<line x1="0" y1="{y}" x2="{width}" y2="{y}" '
+            f'stroke="#444" stroke-dasharray="4,3"/>'
+        )
+
+    # Message lines go underneath the event boxes.
+    placed: Dict[int, tuple] = {}
+    for ev, step in enumerate(structure.step_of_event):
+        if 0 <= step <= last_step:
+            placed[ev] = cell_xy(trace.events[ev].chare, step)
+    if show_messages:
+        for msg in trace.messages:
+            if not msg.is_complete():
+                continue
+            a = placed.get(msg.send_event)
+            b = placed.get(msg.recv_event)
+            if a is None or b is None:
+                continue
+            x1 = a[0] + _CELL_W * 0.75
+            y1 = a[1] + _CELL_H * 0.5
+            x2 = b[0] + _CELL_W * 0.25
+            y2 = b[1] + _CELL_H * 0.5
+            out.append(
+                f'<line x1="{x1:.0f}" y1="{y1:.0f}" x2="{x2:.0f}" '
+                f'y2="{y2:.0f}" stroke="#999" stroke-width="0.5"/>'
+            )
+
+    # Event boxes.
+    for ev, (x, y) in placed.items():
+        if metric is not None:
+            value = metric.get(ev, 0.0)
+            if peak > 0 and value > 0:
+                frac = min(1.0, value / peak)
+                r = 255
+                g = int(235 * (1 - frac))
+                b = int(220 * (1 - frac))
+                fill = f"rgb({r},{g},{b})"
+            else:
+                fill = "#eeeeee"
+        else:
+            phase = structure.phase_of_event[ev]
+            fill = _PALETTE[phase % len(_PALETTE)]
+        out.append(
+            f'<rect x="{x + 1}" y="{y + 1}" width="{_CELL_W - 2}" '
+            f'height="{_CELL_H - 2}" fill="{fill}" stroke="#333" '
+            f'stroke-width="0.4"><title>event {ev} step '
+            f'{structure.step_of_event[ev]} phase '
+            f'{structure.phase_of_event[ev]}</title></rect>'
+        )
+
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+def render_physical_svg(
+    structure: LogicalStructure,
+    width_px: int = 900,
+    title: str = "",
+) -> str:
+    """Per-PE Gantt chart in physical time, colored by phase.
+
+    The companion to :func:`render_svg`: the same events on the paper's
+    *bottom* axis (Figure 1), showing the interleaving and idle gaps the
+    logical view abstracts away.
+    """
+    trace = structure.trace
+    end = trace.end_time()
+    if end <= 0:
+        return '<svg xmlns="http://www.w3.org/2000/svg" width="10" height="10"/>'
+    scale = (width_px - _PAD_X - 20) / end
+    height = _PAD_Y + trace.num_pes * _CELL_H + 20
+    out: List[str] = []
+    out.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width_px}" '
+        f'height="{height}" font-family="monospace" font-size="9">'
+    )
+    out.append(f'<rect width="{width_px}" height="{height}" fill="white"/>')
+    if title:
+        out.append(f'<text x="{_PAD_X}" y="14" font-size="11">{_esc(title)}</text>')
+    for pe in range(trace.num_pes):
+        y = _PAD_Y + pe * _CELL_H
+        out.append(f'<text x="4" y="{y + _CELL_H - 3}">PE {pe}</text>')
+        for idle in trace.idles_by_pe.get(pe, ()):
+            x = _PAD_X + idle.start * scale
+            w = max(0.5, idle.duration() * scale)
+            out.append(
+                f'<rect x="{x:.1f}" y="{y + _CELL_H * 0.35:.1f}" '
+                f'width="{w:.1f}" height="{_CELL_H * 0.3:.1f}" fill="#222"/>'
+            )
+        for xid in trace.executions_by_pe.get(pe, ()):
+            ex = trace.executions[xid]
+            phase = -1
+            for ev in trace.events_of(xid):
+                phase = structure.phase_of_event[ev]
+                if phase >= 0:
+                    break
+            fill = _PALETTE[phase % len(_PALETTE)] if phase >= 0 else "#cccccc"
+            x = _PAD_X + ex.start * scale
+            w = max(0.6, ex.duration() * scale)
+            name = _esc(trace.entry(ex.entry).name)
+            out.append(
+                f'<rect x="{x:.1f}" y="{y + 1}" width="{w:.1f}" '
+                f'height="{_CELL_H - 2}" fill="{fill}" stroke="#333" '
+                f'stroke-width="0.3"><title>{name} '
+                f'[{ex.start:.1f}, {ex.end:.1f}] phase {phase}</title></rect>'
+            )
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+def write_svg(structure: LogicalStructure, path, **kwargs) -> None:
+    """Render and write an SVG file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render_svg(structure, **kwargs))

@@ -1,0 +1,53 @@
+"""Shared fixtures: app traces are expensive, so they are session-scoped."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import jacobi2d, lassen, lulesh, mergetree, nasbt, pdes
+from repro.core import extract_logical_structure
+
+
+@pytest.fixture(scope="session")
+def jacobi_trace():
+    return jacobi2d.run(chares=(4, 4), pes=8, iterations=3, seed=7)
+
+
+@pytest.fixture(scope="session")
+def jacobi_structure(jacobi_trace):
+    return extract_logical_structure(jacobi_trace)
+
+
+@pytest.fixture(scope="session")
+def lulesh_charm_trace():
+    return lulesh.run_charm(chares=8, pes=2, iterations=3, seed=3)
+
+
+@pytest.fixture(scope="session")
+def lulesh_mpi_trace():
+    return lulesh.run_mpi(ranks=8, iterations=3, seed=3)
+
+
+@pytest.fixture(scope="session")
+def lassen_charm_trace():
+    return lassen.run_charm(chares=8, pes=8, iterations=4, seed=1)
+
+
+@pytest.fixture(scope="session")
+def lassen_mpi_trace():
+    return lassen.run_mpi(ranks=8, iterations=4, seed=1)
+
+
+@pytest.fixture(scope="session")
+def pdes_trace():
+    return pdes.run(chares=16, pes=4, seed=1)
+
+
+@pytest.fixture(scope="session")
+def mergetree_trace():
+    return mergetree.run(ranks=64, seed=2, imbalance=5.0)
+
+
+@pytest.fixture(scope="session")
+def nasbt_trace():
+    return nasbt.run(ranks=9, iterations=2, seed=1)

@@ -1,0 +1,84 @@
+"""Test helpers: compact construction of synthetic traces.
+
+``SyntheticTrace`` wraps :class:`repro.trace.TraceBuilder` with a
+block-oriented API so unit tests can transcribe the paper's illustrative
+figures (rings, split blocks, idle scenarios) in a few lines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.trace.events import NO_ID, EventKind
+from repro.trace.model import Trace, TraceBuilder
+
+
+class SyntheticTrace:
+    """Builds traces from (chare, entry, time-span, events) block specs."""
+
+    def __init__(self, num_pes: int = 2, metadata: Optional[dict] = None):
+        self.builder = TraceBuilder(num_pes=num_pes, metadata=metadata)
+        self._entries: Dict[Tuple[str, bool, int], int] = {}
+        self._pending_sends: Dict[str, int] = {}
+
+    # -- registries ------------------------------------------------------
+    def chare(self, name: str, pe: int = 0, is_runtime: bool = False,
+              array_id: int = NO_ID, index: Tuple[int, ...] = ()) -> int:
+        """Add a chare; returns its id."""
+        return self.builder.add_chare(name, array_id, index, is_runtime, pe)
+
+    def array(self, name: str, shape: Tuple[int, ...] = ()) -> int:
+        """Add a chare array; returns its id."""
+        return self.builder.add_array(name, shape)
+
+    def _entry(self, name: str, sdag: bool, ordinal: int) -> int:
+        key = (name, sdag, ordinal)
+        if key not in self._entries:
+            self._entries[key] = self.builder.add_entry(
+                name, is_sdag_serial=sdag, sdag_ordinal=ordinal
+            )
+        return self._entries[key]
+
+    # -- blocks ------------------------------------------------------------
+    def block(
+        self,
+        chare: int,
+        entry: str,
+        pe: int,
+        start: float,
+        end: float,
+        events: Optional[List[Tuple[str, str, float]]] = None,
+        sdag: bool = False,
+        ordinal: int = -1,
+    ) -> int:
+        """Add one execution with its dependency events.
+
+        ``events`` is a list of ``(kind, label, time)``: kind is ``"send"``
+        or ``"recv"``; matching endpoints share a label — a ``send`` opens
+        the label, the ``recv`` closes it.  A recv label never opened
+        produces an *untraced* receive (message with missing send).
+        Returns the execution id.
+        """
+        entry_id = self._entry(entry, sdag, ordinal)
+        exec_id = self.builder.add_execution(chare, entry_id, pe, start, end)
+        for kind, label, time in events or ():
+            if kind == "send":
+                ev = self.builder.add_event(EventKind.SEND, chare, pe, time, exec_id)
+                self._pending_sends[label] = ev
+            elif kind == "recv":
+                ev = self.builder.add_event(EventKind.RECV, chare, pe, time, exec_id)
+                send_ev = self._pending_sends.pop(label, NO_ID)
+                mid = self.builder.add_message(send_event=send_ev, recv_event=ev)
+                if self.builder._executions[exec_id].recv_event == NO_ID:
+                    self.builder.set_execution_recv(exec_id, ev)
+            else:
+                raise ValueError(f"unknown event kind {kind!r}")
+        return exec_id
+
+    def idle(self, pe: int, start: float, end: float) -> None:
+        """Record an idle interval."""
+        self.builder.add_idle(pe, start, end)
+
+    def build(self) -> Trace:
+        """Finalize the trace."""
+        return self.builder.build()

@@ -1,0 +1,249 @@
+"""Proxy applications: trace validity and the paper's structure claims."""
+
+import pytest
+
+from repro.apps import jacobi2d, lassen, lulesh, mergetree, nasbt, pdes
+from repro.core import extract_logical_structure
+from repro.core.patterns import detect_period, kind_sequence, signature_sequence
+from repro.sim.charm import TracingOptions
+from repro.trace import validate_trace
+
+
+# -- validity ---------------------------------------------------------------
+def test_all_charm_traces_validate(jacobi_trace, lulesh_charm_trace,
+                                   lassen_charm_trace, pdes_trace):
+    for trace in (jacobi_trace, lulesh_charm_trace, lassen_charm_trace, pdes_trace):
+        validate_trace(trace)
+
+
+def test_all_mpi_traces_validate(lulesh_mpi_trace, lassen_mpi_trace,
+                                 mergetree_trace, nasbt_trace):
+    for trace in (lulesh_mpi_trace, lassen_mpi_trace, mergetree_trace, nasbt_trace):
+        validate_trace(trace, check_pe_overlap=False)
+
+
+# -- Jacobi (Figure 8) --------------------------------------------------------
+def test_jacobi_alternating_phases(jacobi_structure):
+    assert kind_sequence(jacobi_structure) == "ararar"
+
+
+def test_jacobi_runtime_phases_contain_reduction(jacobi_structure):
+    for phase in jacobi_structure.runtime_phases():
+        names = dict(jacobi_structure.phase_entry_signature(phase.id))
+        assert any("contribute_local" in n for n in names)
+
+
+def test_jacobi_reordering_compacts_steps(jacobi_trace):
+    """Figure 8: reordered step assignment is at least as compact as the
+    recorded-order assignment."""
+    re = extract_logical_structure(jacobi_trace, order="reordered")
+    ph = extract_logical_structure(jacobi_trace, order="physical")
+    assert re.max_step <= ph.max_step
+
+
+def test_jacobi_interior_chares_have_four_neighbors(jacobi_trace):
+    # 4x4 grid: the 4 interior chares send 4 ghosts per iteration.
+    sends_per_chare = {}
+    for ev in jacobi_trace.events:
+        if ev.kind.name == "SEND":
+            sends_per_chare[ev.chare] = sends_per_chare.get(ev.chare, 0) + 1
+    counts = sorted(sends_per_chare.values(), reverse=True)
+    assert max(counts) >= 12  # 4 neighbours x 3 iterations (+ contribute)
+
+
+# -- LULESH (Figures 16/17) ---------------------------------------------------
+def test_fig16_lulesh_charm_two_phases_plus_allreduce(lulesh_charm_trace):
+    structure = extract_logical_structure(lulesh_charm_trace)
+    sigs = signature_sequence(structure)
+    period, start, repeats = detect_period(sigs, min_repeats=2)
+    assert period == 3 and repeats >= 2
+    order = structure.phase_sequence()
+    unit = [structure.phase(order[start + i]) for i in range(period)]
+    kinds = ["runtime" if p.is_runtime else "application" for p in unit]
+    assert kinds == ["application", "application", "runtime"]
+
+
+def test_fig16_lulesh_mpi_three_phases_plus_allreduce(lulesh_mpi_trace):
+    # The paper computes MPI structures with the Isaacs et al. algorithm
+    # unmodified, i.e. without reordering (Section 6).
+    structure = extract_logical_structure(lulesh_mpi_trace, order="physical")
+    sigs = signature_sequence(structure)
+    period, start, repeats = detect_period(sigs, min_repeats=2)
+    assert period == 4 and repeats >= 2
+    order = structure.phase_sequence()
+    unit_sigs = [dict(sigs[start + i]) for i in range(period)]
+    p2p = [s for s in unit_sigs if "MPI_Send" in s]
+    coll = [s for s in unit_sigs if "MPI_Allreduce" in s]
+    assert len(p2p) == 3 and len(coll) == 1
+
+
+def test_fig16_lulesh_setup_phase_first(lulesh_charm_trace):
+    structure = extract_logical_structure(lulesh_charm_trace)
+    first = structure.phase(structure.phase_sequence()[0])
+    names = dict(structure.phase_entry_signature(first.id))
+    assert any("setup" in n for n in names)
+
+
+def test_fig17_without_inference_structure_shatters():
+    trace = lulesh.run_charm(chares=8, pes=2, iterations=3, seed=3,
+                             tracing=TracingOptions(record_sdag=False))
+    with_inf = extract_logical_structure(trace, infer=True)
+    without = extract_logical_structure(trace, infer=False)
+    # Without Section 3.1.4, phases split and are forced in sequence.
+    assert len(without.phases) > 2 * len(with_inf.phases)
+    assert without.max_step > with_inf.max_step
+
+
+# -- LASSEN (Figures 20-23) -----------------------------------------------------
+def test_fig20_lassen_charm_pattern(lassen_charm_trace):
+    structure = extract_logical_structure(lassen_charm_trace)
+    seq = kind_sequence(structure)
+    # Repeating: big p2p app phase, runtime allreduce, 8 tiny control
+    # phases ("additional two-step phases", one per chare).
+    assert seq.startswith("ar" + "a" * 8)
+    control = [p for p in structure.phases
+               if not p.is_runtime and len(p.events) == 2]
+    assert len(control) == 8 * 4  # per chare per iteration
+    assert all(p.max_local_step == 1 for p in control)  # two steps
+
+
+def test_fig20_lassen_mpi_pattern(lassen_mpi_trace):
+    structure = extract_logical_structure(lassen_mpi_trace, order="physical")
+    sigs = signature_sequence(structure)
+    period, _start, repeats = detect_period(sigs, min_repeats=2)
+    assert period == 2 and repeats >= 3  # p2p phase + allreduce
+
+
+def test_fig21_lassen_differential_duration_repeats_on_front_chares(
+        lassen_charm_trace):
+    from repro.metrics import differential_duration
+
+    structure = extract_logical_structure(lassen_charm_trace)
+    result = differential_duration(structure)
+    trace = structure.trace
+    # The chares crossed by the wavefront have the dominant excess; they
+    # repeat across iterations (same chare, same role).
+    hot = [e for e, v in result.by_event.items() if v > 50.0]
+    assert hot
+    hot_chares = {trace.events[e].chare for e in hot}
+    front = {c.id for c in trace.chares
+             if c.index and (c.index[0] + c.index[1]) <= 2 and not c.is_runtime}
+    assert hot_chares <= front
+
+
+def _late_phase_metrics(structure):
+    """Max differential duration and imbalance over the last iterations,
+    where the paper makes its Figure 23 comparison ("many iterations
+    later", once the wavefront has grown)."""
+    from repro.metrics import differential_duration, imbalance
+
+    cutoff = structure.max_step * 0.6
+    late = {p.id for p in structure.phases if p.offset >= cutoff}
+    diff = differential_duration(structure)
+    d = max((v for e, v in diff.by_event.items()
+             if structure.phase_of_event[e] in late), default=0.0)
+    imb = imbalance(structure)
+    i = max((v for p, v in imb.max_by_phase.items() if p in late), default=0.0)
+    return d, i
+
+
+def test_fig23_finer_decomposition_spreads_work():
+    """64 chares split the grown front into smaller pieces: much lower
+    differential duration (the paper saw ~1/4) and lower imbalance."""
+    t8 = lassen.run_charm(chares=8, pes=8, iterations=8, seed=5)
+    t64 = lassen.run_charm(chares=64, pes=8, iterations=8, seed=5)
+    d8, i8 = _late_phase_metrics(extract_logical_structure(t8))
+    d64, i64 = _late_phase_metrics(extract_logical_structure(t64))
+    assert d64 < 0.5 * d8
+    assert i64 < i8
+
+
+# -- PDES (Figure 24) ----------------------------------------------------------
+def test_fig24_untraced_completion_detector_floats(pdes_trace):
+    structure = extract_logical_structure(pdes_trace)
+    app = structure.application_phases()
+    rt = structure.runtime_phases()
+    assert app and rt
+    # The detector phase shares a leap with the simulation phase: nothing
+    # structurally prevents both from covering the same global steps.
+    sim_leaps = {p.leap for p in app}
+    det_leaps = {p.leap for p in rt}
+    assert sim_leaps & det_leaps
+    sim_steps = {structure.step_of_event[e] for p in app for e in p.events}
+    det_steps = {structure.step_of_event[e] for p in rt for e in p.events}
+    assert sim_steps & det_steps
+
+
+def test_fig24_traced_completion_detector_orders():
+    """Tracing the detector call (the paper's Section 7.1 recommendation)
+    sequences the aggregation after the bulk of the simulation."""
+    trace = pdes.run(chares=16, pes=4, seed=1, traced_completion=True)
+    structure = extract_logical_structure(trace)
+    app = structure.application_phases()
+    rt = structure.runtime_phases()
+    assert app and rt
+    biggest_app = max(app, key=len)
+    biggest_rt = max(rt, key=len)
+    assert biggest_rt.offset > biggest_app.offset
+
+
+# -- merge tree (Figure 10) ------------------------------------------------------
+def test_fig10_physical_ragged_reordered_regular(mergetree_trace):
+    ph = extract_logical_structure(mergetree_trace, order="physical")
+    re = extract_logical_structure(mergetree_trace, order="reordered")
+
+    def events_at(structure, step):
+        return sum(1 for s in structure.step_of_event if s == step)
+
+    n = mergetree_trace.num_pes
+    # Reordering recovers the full parallelism of the initial steps: all
+    # n/2 leaf sends at step 0 and their receives at step 1.
+    assert events_at(re, 0) == n // 2
+    assert events_at(re, 1) == n // 2
+    # Physical order loses some of it (irregular receive order).
+    assert events_at(ph, 0) < n // 2 or ph.max_step > re.max_step
+
+
+def test_mergetree_rejects_non_power_of_two():
+    with pytest.raises(ValueError, match="power of two"):
+        mergetree.run(ranks=48)
+
+
+# -- NAS BT (Figure 1) -----------------------------------------------------------
+def test_nasbt_pipeline_structure(nasbt_trace):
+    structure = extract_logical_structure(nasbt_trace)
+    # Sweeps pipeline: strictly more logical steps than a flat exchange;
+    # the x-sweep phase spans a full row (3 processes in sequence).
+    assert structure.max_step + 1 >= 24
+    assert any(len(p.chares) >= 3 for p in structure.phases)
+
+
+def test_nasbt_rejects_non_square():
+    with pytest.raises(ValueError, match="square"):
+        nasbt.run(ranks=8)
+
+
+# -- misc app parameters ---------------------------------------------------------
+def test_lulesh_grid_shape_factorization():
+    from repro.apps.lulesh import _grid_shape
+
+    assert _grid_shape(8) == (2, 2, 2)
+    assert _grid_shape(27) == (3, 3, 3)
+    assert sorted(_grid_shape(12)) == [2, 2, 3]
+
+
+def test_lassen_grid2d():
+    from repro.apps.lassen import _grid2d
+
+    assert sorted(_grid2d(8)) == [2, 4]
+    assert _grid2d(64) == (8, 8)
+
+
+def test_mergetree_binomial_helpers():
+    from repro.apps.mergetree import children_of, parent_of
+
+    assert children_of(0, 8) == [1, 2, 4]
+    assert children_of(4, 8) == [5, 6]
+    assert children_of(1, 8) == []
+    assert parent_of(6) == 4
+    assert parent_of(1) == 0

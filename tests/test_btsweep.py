@@ -1,0 +1,78 @@
+"""Over-decomposed BT-style sweep workload."""
+
+import pytest
+
+from repro.apps import btsweep
+from repro.core import extract_logical_structure
+from repro.trace import validate_trace
+from repro.trace.events import EventKind
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return btsweep.run(tiles=(6, 6), pes=6, iterations=2, seed=1)
+
+
+@pytest.fixture(scope="module")
+def structure(trace):
+    return extract_logical_structure(trace)
+
+
+def test_trace_valid(trace):
+    validate_trace(trace)
+
+
+def test_every_tile_solves_each_iteration(trace):
+    xruns = [x for x in trace.executions
+             if trace.entry(x.entry).name.endswith("xrun")]
+    yruns = [x for x in trace.executions
+             if trace.entry(x.entry).name.endswith("yrun")]
+    assert len(xruns) == 36 * 2
+    assert len(yruns) == 36 * 2
+
+
+def test_x_wavefront_steps_increase_along_row(trace, structure):
+    """The pipelined sweep shows as a staircase: logical steps of a row's
+    xrun sends grow with the tile's column."""
+    by_col = {}
+    for ev in trace.events:
+        if ev.kind != EventKind.SEND:
+            continue
+        ex = trace.executions[ev.execution]
+        if not trace.entry(ex.entry).name.endswith("xrun"):
+            continue
+        chare = trace.chares[ev.chare]
+        if chare.index[1] != 0:
+            continue  # one row suffices
+        step = structure.step_of_event[ev.id]
+        by_col.setdefault(chare.index[0], []).append(step)
+    cols = sorted(by_col)
+    assert len(cols) >= 5
+    firsts = [min(by_col[c]) for c in cols]
+    assert firsts == sorted(firsts)
+    assert firsts[-1] > firsts[0]
+
+
+def test_sweep_depth_in_leaps(structure):
+    # Two pipelined dimensions x two iterations give a deep phase DAG.
+    assert max(p.leap for p in structure.phases) >= 10
+
+
+def test_reduction_per_iteration(trace):
+    resumes = [x for x in trace.executions
+               if trace.entry(x.entry).name.endswith("resume")]
+    assert len(resumes) == 36 * 2
+
+
+def test_y_requires_own_x(trace):
+    """No tile's yrun begins before its xrun finished (same iteration)."""
+    per_chare = {}
+    for x in trace.executions:
+        name = trace.entry(x.entry).name
+        if name.endswith(("xrun", "yrun")):
+            per_chare.setdefault(x.chare, []).append((x.start, name[-4:]))
+    for chare, rows in per_chare.items():
+        rows.sort()
+        kinds = [k for _, k in rows]
+        # Alternating xrun / yrun per iteration.
+        assert kinds == ["xrun", "yrun"] * (len(kinds) // 2)

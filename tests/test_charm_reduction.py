@@ -1,0 +1,134 @@
+"""Reduction manager behaviour (Section 5)."""
+
+import pytest
+
+from repro.sim.charm import Chare, CharmRuntime, TracingOptions
+from repro.sim.charm.reduction import combine
+from repro.trace import validate_trace
+from repro.trace.events import NO_ID
+
+
+class Reducer(Chare):
+    RESULTS = []
+
+    def go(self, op):
+        self.compute(1.0)
+        value = float(self.index[0] + 1)
+        self.contribute(value, op, ("send", self.array[(0,)], "result"))
+
+    def go_bcast(self, op):
+        self.compute(1.0)
+        self.contribute(float(self.index[0] + 1), op, ("broadcast", "result"))
+
+    def result(self, value):
+        Reducer.RESULTS.append((self.index[0], value))
+
+
+def _run(op, count=6, pes=3, entry="go", tracing=None):
+    Reducer.RESULTS = []
+    rt = CharmRuntime(num_pes=pes, tracing=tracing)
+    arr = rt.create_array("Red", Reducer, shape=(count,))
+    for c in arr:
+        rt.seed(c, entry, op)
+    rt.run()
+    return rt.finish()
+
+
+def test_sum_reduction_to_single_client():
+    _run("sum")
+    assert Reducer.RESULTS == [(0, 21.0)]
+
+
+def test_max_and_min():
+    _run("max")
+    assert Reducer.RESULTS == [(0, 6.0)]
+    _run("min")
+    assert Reducer.RESULTS == [(0, 1.0)]
+
+
+def test_broadcast_target_reaches_every_element():
+    _run("sum", entry="go_bcast")
+    assert sorted(Reducer.RESULTS) == [(i, 21.0) for i in range(6)]
+
+
+def test_reduction_trace_has_managers_and_tree():
+    trace = _run("sum", count=8, pes=4)
+    validate_trace(trace)
+    mgrs = [c for c in trace.chares if "CkReductionMgr" in c.name]
+    assert len(mgrs) == 4
+    assert all(c.is_runtime for c in mgrs)
+    names = {trace.entry(x.entry).name for x in trace.executions}
+    assert "ReductionManager::contribute_local" in names
+    assert "ReductionManager::child_partial" in names
+    # Tree over 4 PEs: PE1 and PE2 forward to PE0, PE3 to PE1 = 3 partials.
+    partials = [x for x in trace.executions
+                if trace.entry(x.entry).name.endswith("child_partial")]
+    assert len(partials) == 3
+
+
+def test_enhanced_tracing_records_local_contributions():
+    trace = _run("sum", count=4, pes=2,
+                 tracing=TracingOptions(trace_reductions=True))
+    locals_ = [x for x in trace.executions
+               if trace.entry(x.entry).name.endswith("contribute_local")]
+    assert locals_ and all(x.recv_event != NO_ID for x in locals_)
+
+
+def test_stock_tracing_omits_local_contributions():
+    """Without the Section 5 extension, manager executions appear but
+    their triggering dependencies are missing."""
+    trace = _run("sum", count=4, pes=2,
+                 tracing=TracingOptions(trace_reductions=False))
+    locals_ = [x for x in trace.executions
+               if trace.entry(x.entry).name.endswith("contribute_local")]
+    assert locals_ and all(x.recv_event == NO_ID for x in locals_)
+    # Inter-processor tree messages stay traced.
+    partials = [x for x in trace.executions
+                if trace.entry(x.entry).name.endswith("child_partial")]
+    assert partials and all(x.recv_event != NO_ID for x in partials)
+
+
+def test_consecutive_reductions_use_sequence_numbers():
+    class Repeat(Chare):
+        RESULTS = []
+
+        def go(self, _):
+            self.contribute(1.0, "sum", ("broadcast", "again"))
+
+        def again(self, total):
+            Repeat.RESULTS.append(total)
+            if len(Repeat.RESULTS) < 8:  # 2 rounds x 4 elements
+                self.contribute(2.0, "sum", ("broadcast", "done"))
+
+        def done(self, total):
+            Repeat.RESULTS.append(total)
+
+    rt = CharmRuntime(num_pes=2)
+    arr = rt.create_array("Rep", Repeat, shape=(4,))
+    for c in arr:
+        rt.seed(c, "go")
+    rt.run()
+    assert Repeat.RESULTS[:4] == [4.0] * 4
+    assert Repeat.RESULTS[4:] == [8.0] * 4
+
+
+def test_combine_ops():
+    assert combine("sum", 2, 3) == 5
+    assert combine("max", 2, 3) == 3
+    assert combine("min", 2, 3) == 2
+    assert combine("sum", None, 3) == 3
+    assert combine("nop", 1, 2) is None
+    with pytest.raises(ValueError):
+        combine("xor", 1, 2)
+
+
+def test_contribute_requires_array():
+    class Lone(Chare):
+        def go(self, _):
+            self.contribute(1.0, "sum", None)
+
+    rt = CharmRuntime(num_pes=1)
+    lone = rt.create_chare("Lone", Lone)
+    rt.seed(lone.chare, "go")
+    with pytest.raises(RuntimeError, match="array"):
+        rt.run()

@@ -1,0 +1,217 @@
+"""Behavioural tests of the Charm++ runtime simulator."""
+
+import pytest
+
+from repro.sim.charm import Chare, CharmRuntime, EntrySpec, TracingOptions
+from repro.sim.network import ConstantLatency
+from repro.trace import validate_trace
+from repro.trace.events import NO_ID, EventKind
+
+
+class Echo(Chare):
+    ENTRIES = {"pong": EntrySpec(is_sdag_serial=True, sdag_ordinal=0)}
+
+    def init(self, **kw):
+        self.got = []
+
+    def ping(self, payload):
+        self.compute(3.0)
+        peer = self.array[((self.index[0] + 1) % len(self.array),)]
+        self.send(peer, "pong", payload, size=32)
+
+    def pong(self, payload):
+        self.got.append(payload)
+        self.compute(1.0)
+
+
+def _run_echo(**kw):
+    rt = CharmRuntime(num_pes=2, latency=ConstantLatency(), **kw)
+    arr = rt.create_array("Echo", Echo, shape=(4,))
+    rt.seed(arr[(0,)], "ping", "hello")
+    rt.run()
+    return rt, arr
+
+
+def test_message_delivery_and_trace():
+    rt, arr = _run_echo()
+    assert arr[(1,)].got == ["hello"]
+    trace = rt.finish()
+    validate_trace(trace)
+    assert len(trace.executions) == 2
+    send = [e for e in trace.events if e.kind == EventKind.SEND]
+    recv = [e for e in trace.events if e.kind == EventKind.RECV]
+    assert len(send) == 1 and len(recv) == 1
+    assert recv[0].time > send[0].time
+
+
+def test_seed_is_untraced():
+    rt, arr = _run_echo()
+    trace = rt.finish()
+    ping_exec = trace.executions[0]
+    assert ping_exec.recv_event == NO_ID
+
+
+def test_block_mapping_contiguous():
+    rt = CharmRuntime(num_pes=4)
+    arr = rt.create_array("Echo", Echo, shape=(8,))
+    pes = [arr[(i,)].pe for i in range(8)]
+    assert pes == [0, 0, 1, 1, 2, 2, 3, 3]
+
+
+def test_round_robin_mapping():
+    rt = CharmRuntime(num_pes=3)
+    arr = rt.create_array("Echo", Echo, shape=(6,), mapping="round_robin")
+    pes = [arr[(i,)].pe for i in range(6)]
+    assert pes == [0, 1, 2, 0, 1, 2]
+
+
+def test_unknown_mapping_rejected():
+    rt = CharmRuntime(num_pes=2)
+    with pytest.raises(ValueError, match="mapping"):
+        rt.create_array("Echo", Echo, shape=(4,), mapping="hilbert")
+
+
+def test_2d_array_indexing():
+    rt = CharmRuntime(num_pes=2)
+    arr = rt.create_array("Echo", Echo, shape=(2, 3))
+    assert len(arr) == 6
+    assert arr[(1, 2)].index == (1, 2)
+    assert {c.index for c in arr} == {(i, j) for i in range(2) for j in range(3)}
+
+
+def test_idle_intervals_recorded():
+    rt = CharmRuntime(num_pes=2, latency=ConstantLatency())
+    arr = rt.create_array("Echo", Echo, shape=(4,))
+    # Chare 1 (PE 0) pings chare 2 (PE 1): PE 1 idles from t=0 until the
+    # message arrives.
+    rt.seed(arr[(1,)], "ping", "x")
+    rt.run()
+    trace = rt.finish()
+    pe1_idles = [iv for iv in trace.idles if iv.pe == 1]
+    assert pe1_idles and pe1_idles[0].start == 0.0
+    assert pe1_idles[0].end > 3.0  # covers the sender's compute time
+
+
+def test_helper_outside_entry_method_raises():
+    rt = CharmRuntime(num_pes=1)
+    arr = rt.create_array("Echo", Echo, shape=(1,))
+    with pytest.raises(RuntimeError, match="outside an entry method"):
+        arr[(0,)].compute(1.0)
+
+
+def test_untraced_send_leaves_no_records():
+    class Quiet(Chare):
+        def go(self, _):
+            self.send(self.array[(1,)], "land", None, traced=False)
+
+        def land(self, _):
+            self.compute(1.0)
+
+    rt = CharmRuntime(num_pes=1)
+    arr = rt.create_array("Quiet", Quiet, shape=(2,))
+    rt.seed(arr[(0,)], "go")
+    rt.run()
+    trace = rt.finish()
+    assert len(trace.executions) == 2  # both ran
+    assert trace.events == [] and trace.messages == []
+
+
+def test_chained_serial_runs_immediately_same_pe():
+    class Chainer(Chare):
+        ENTRIES = {"second": EntrySpec(is_sdag_serial=True, sdag_ordinal=0)}
+
+        def first(self, _):
+            self.compute(2.0)
+            self.chain("second", None)
+
+        def second(self, _):
+            self.compute(1.0)
+
+    rt = CharmRuntime(num_pes=1)
+    arr = rt.create_array("Chainer", Chainer, shape=(1,))
+    rt.seed(arr[(0,)], "first")
+    rt.run()
+    trace = rt.finish()
+    first, second = trace.executions
+    assert second.start == pytest.approx(first.end)
+    assert second.recv_event == NO_ID
+
+
+def test_queue_pops_have_scheduler_gap():
+    class Sink(Chare):
+        def go(self, _):
+            for target in self.array:
+                if target is not self:
+                    self.send(target, "hit", None)
+                    self.send(target, "hit", None)
+
+        def hit(self, _):
+            self.compute(1.0)
+
+    rt = CharmRuntime(num_pes=1, sched_gap=0.25)
+    arr = rt.create_array("Sink", Sink, shape=(2,))
+    rt.seed(arr[(0,)], "go")
+    rt.run()
+    trace = rt.finish()
+    hits = [x for x in trace.executions
+            if trace.entry(x.entry).name.endswith("hit")]
+    assert len(hits) == 2
+    gap = hits[1].start - hits[0].end
+    assert gap == pytest.approx(0.25)
+
+
+def test_zero_sched_gap_rejected():
+    with pytest.raises(ValueError, match="sched_gap"):
+        CharmRuntime(num_pes=1, sched_gap=0.0)
+
+
+def test_tracing_disabled_produces_empty_event_log():
+    rt, arr = _run_echo(tracing=TracingOptions(enabled=False))
+    trace = rt.finish()
+    # Executions are still recorded (they exist), but no messaging events.
+    assert trace.events == []
+
+
+def test_broadcast_single_send_event_many_messages():
+    class Bcaster(Chare):
+        def go(self, _):
+            self.array.broadcast_from(self._ctx(), "hit", None)
+
+        def hit(self, _):
+            self.compute(0.5)
+
+    rt = CharmRuntime(num_pes=2)
+    arr = rt.create_array("Bcaster", Bcaster, shape=(4,))
+    rt.seed(arr[(0,)], "go")
+    rt.run()
+    trace = rt.finish()
+    sends = [e for e in trace.events if e.kind == EventKind.SEND]
+    assert len(sends) == 1
+    assert len(trace.messages_by_send[sends[0].id]) == 4
+    validate_trace(trace)
+
+
+def test_priority_messages_jump_queue():
+    """Lower priority value dequeues first, regardless of arrival order."""
+
+    class Prio(Chare):
+        ORDER = []
+
+        def go(self, _):
+            sink = self.array[(1,)]
+            self.send(sink, "hit", "late-low-prio", priority=5)
+            self.send(sink, "hit", "urgent", priority=-1)
+            self.send(sink, "hit", "normal", priority=0)
+
+        def hit(self, tag):
+            Prio.ORDER.append(tag)
+            self.compute(1.0)
+
+    Prio.ORDER = []
+    rt = CharmRuntime(num_pes=1, latency=ConstantLatency())
+    arr = rt.create_array("Prio", Prio, shape=(2,))
+    rt.seed(arr[(0,)], "go")
+    rt.run()
+    assert Prio.ORDER == ["urgent", "normal", "late-low-prio"]
+    trace = rt.finish()
+    validate_trace(trace)

@@ -1,0 +1,113 @@
+"""CLI smoke tests (in-process via repro.cli.main)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.trace import read_trace
+from repro.trace.clocksync import apply_clock_skew
+from repro.trace import write_trace
+
+
+@pytest.fixture()
+def trace_file(tmp_path):
+    path = tmp_path / "t.jsonl"
+    rc = main(["simulate", "jacobi2d", "--chares", "4x4", "--pes", "4",
+               "--iterations", "2", "--seed", "1", "-o", str(path)])
+    assert rc == 0
+    return path
+
+
+def test_simulate_writes_loadable_trace(trace_file):
+    trace = read_trace(trace_file)
+    assert trace.num_pes == 4
+    assert len(trace.events) > 0
+
+
+def test_simulate_each_app(tmp_path):
+    for app, extra in [
+        ("lulesh", ["--chares", "8", "--pes", "2"]),
+        ("lulesh", ["--model", "mpi", "--ranks", "8"]),
+        ("lassen", ["--chares", "8"]),
+        ("pdes", ["--chares", "8", "--pes", "2"]),
+        ("mergetree", ["--ranks", "16"]),
+        ("nasbt", ["--ranks", "4"]),
+    ]:
+        out = tmp_path / f"{app}_{len(extra)}.jsonl"
+        rc = main(["simulate", app, "--iterations", "2", "-o", str(out)] + extra)
+        assert rc == 0
+        assert read_trace(out).events
+
+
+def test_validate_ok(trace_file, capsys):
+    assert main(["validate", str(trace_file)]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_validate_catches_skew(trace_file, tmp_path, capsys):
+    trace = read_trace(trace_file)
+    skewed = apply_clock_skew(trace, [300.0, 0.0, 0.0, 0.0])
+    bad = tmp_path / "bad.jsonl"
+    write_trace(skewed, bad)
+    assert main(["validate", str(bad)]) == 1
+
+
+def test_analyze_summary_and_render(trace_file, capsys):
+    assert main(["analyze", str(trace_file), "--render", "logical"]) == 0
+    out = capsys.readouterr().out
+    assert "phase kinds: arar" in out
+    assert "Jacobi[0, 0]" in out
+
+
+def test_analyze_json(trace_file, capsys):
+    assert main(["analyze", str(trace_file), "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["summary"]["phases"] == 4
+
+
+def test_analyze_metric_and_exports(trace_file, tmp_path, capsys):
+    svg = tmp_path / "s.svg"
+    csv = tmp_path / "e.csv"
+    rc = main(["analyze", str(trace_file), "--metric", "diffdur",
+               "--svg", str(svg), "--csv", str(csv)])
+    assert rc == 0
+    assert svg.read_text().startswith("<svg")
+    header = csv.read_text().splitlines()[0]
+    assert "diffdur" in header
+
+
+def test_analyze_no_infer_flag(trace_file, capsys):
+    assert main(["analyze", str(trace_file), "--no-infer"]) == 0
+
+
+def test_sync_roundtrip(trace_file, tmp_path, capsys):
+    trace = read_trace(trace_file)
+    skewed = apply_clock_skew(trace, [0.0, 200.0, 0.0, 100.0])
+    bad = tmp_path / "bad.jsonl"
+    write_trace(skewed, bad)
+    fixed = tmp_path / "fixed.jsonl"
+    assert main(["sync", str(bad), "-o", str(fixed)]) == 0
+    assert main(["validate", str(fixed)]) == 0
+
+
+def test_cli_profile(trace_file, capsys):
+    assert main(["profile", str(trace_file)]) == 0
+    out = capsys.readouterr().out
+    assert "entry method" in out and "util%" in out
+
+
+def test_cli_cluster(trace_file, capsys):
+    assert main(["cluster", str(trace_file), "-k", "2"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("cluster ") == 2
+
+
+def test_cli_html_export(trace_file, tmp_path):
+    html = tmp_path / "out.html"
+    rc = main(["analyze", str(trace_file), "--metric", "imbalance",
+               "--html", str(html)])
+    assert rc == 0
+    text = html.read_text()
+    assert text.startswith("<!DOCTYPE html>")
+    assert "<svg" in text and "Performance report" in text

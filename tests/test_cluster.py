@@ -1,0 +1,68 @@
+"""Timeline clustering."""
+
+import pytest
+
+from repro.apps import jacobi2d
+from repro.core import extract_logical_structure
+from repro.metrics import differential_duration
+from repro.sim.noise import ChareSlowdown
+from repro.viz import cluster_timelines, render_clustered
+
+
+@pytest.fixture(scope="module")
+def straggler_setup():
+    trace = jacobi2d.run(chares=(4, 4), pes=8, iterations=3, seed=7,
+                         noise=ChareSlowdown([6], factor=4.0))
+    structure = extract_logical_structure(trace)
+    metric = differential_duration(structure).by_event
+    return structure, metric
+
+
+def test_straggler_isolated(straggler_setup):
+    structure, metric = straggler_setup
+    clusters = cluster_timelines(structure, metric, k=3, seed=0)
+    lone = [ci for ci in range(clusters.k) if clusters.members(ci) == [6]]
+    assert lone, "the slow chare must form its own cluster"
+
+
+def test_partition_is_total_and_disjoint(straggler_setup):
+    structure, metric = straggler_setup
+    clusters = cluster_timelines(structure, metric, k=3)
+    app = structure.trace.application_chares()
+    assert sorted(clusters.assignment) == sorted(app)
+    for ci in range(clusters.k):
+        assert clusters.medoids[ci] in clusters.members(ci)
+
+
+def test_k_capped_at_population(straggler_setup):
+    structure, metric = straggler_setup
+    clusters = cluster_timelines(structure, metric, k=100)
+    assert clusters.k == len(structure.trace.application_chares())
+
+
+def test_deterministic(straggler_setup):
+    structure, metric = straggler_setup
+    a = cluster_timelines(structure, metric, k=3, seed=1)
+    b = cluster_timelines(structure, metric, k=3, seed=1)
+    assert a.assignment == b.assignment and a.medoids == b.medoids
+
+
+def test_render_clustered(straggler_setup):
+    structure, metric = straggler_setup
+    clusters = cluster_timelines(structure, metric, k=3)
+    text = render_clustered(structure, metric, clusters, max_steps=30)
+    assert text.count("cluster ") == 3
+    assert "medoid" in text
+
+
+def test_bad_k_rejected(straggler_setup):
+    structure, metric = straggler_setup
+    with pytest.raises(ValueError):
+        cluster_timelines(structure, metric, k=0)
+
+
+def test_explicit_chare_subset(straggler_setup):
+    structure, metric = straggler_setup
+    subset = [0, 1, 2, 6]
+    clusters = cluster_timelines(structure, metric, k=2, chares=subset)
+    assert sorted(clusters.assignment) == subset

@@ -1,0 +1,80 @@
+"""Critical-path extraction."""
+
+import pytest
+
+from repro.core import extract_logical_structure
+from repro.metrics import critical_path, sub_block_durations
+from repro.metrics.critical_path import CriticalPath
+from repro.apps import jacobi2d
+from repro.sim.noise import ChareSlowdown
+from repro.trace.events import EventKind, NO_ID
+from tests.helpers import SyntheticTrace
+
+
+def test_path_on_linear_chain():
+    st = SyntheticTrace(num_pes=1)
+    a, b = st.chare("A"), st.chare("B")
+    st.block(a, "w", 0, 0.0, 10.0, [("send", "m", 10.0)])
+    st.block(b, "r", 0, 12.0, 20.0, [("recv", "m", 12.0), ("send", "n", 20.0)])
+    st.block(a, "r2", 0, 22.0, 30.0, [("recv", "n", 22.0)])
+    trace = st.build()
+    structure = extract_logical_structure(trace)
+    path = critical_path(structure)
+    # The whole chain is the path; its length is the sum of all sub-blocks.
+    durations = sub_block_durations(structure)
+    assert path.length == pytest.approx(sum(durations.values()))
+    assert len(path.events) == len(trace.events)
+
+
+def test_path_picks_heavier_branch():
+    st = SyntheticTrace(num_pes=2)
+    src = st.chare("S", pe=0)
+    fast = st.chare("F", pe=1)
+    slow = st.chare("L", pe=1)
+    st.block(src, "w", 0, 0.0, 1.0, [("send", "f", 0.5), ("send", "l", 1.0)])
+    st.block(fast, "rf", 1, 2.0, 3.0, [("recv", "f", 2.0)])
+    st.block(slow, "rl", 1, 3.0, 50.0, [("recv", "l", 3.0)])
+    trace = st.build()
+    structure = extract_logical_structure(trace)
+    path = critical_path(structure)
+    assert trace.events[path.events[-1]].chare == slow
+
+
+def test_path_is_dependency_connected(jacobi_structure):
+    path = critical_path(jacobi_structure)
+    trace = jacobi_structure.trace
+    assert path.events
+    for a, b in zip(path.events, path.events[1:]):
+        # Consecutive path events: serialized on one chare, or a message.
+        same_chare = trace.events[a].chare == trace.events[b].chare
+        msg_edge = False
+        if trace.events[b].kind == EventKind.RECV:
+            mid = trace.message_by_recv[b]
+            if mid != NO_ID and trace.messages[mid].send_event == a:
+                msg_edge = True
+        assert same_chare or msg_edge
+        assert trace.events[a].time <= trace.events[b].time
+
+
+def test_attribution_sums_to_length(jacobi_structure):
+    path = critical_path(jacobi_structure)
+    assert sum(path.by_chare.values()) == pytest.approx(path.length)
+    assert sum(path.by_entry.values()) == pytest.approx(path.length)
+
+
+def test_straggler_dominates_path():
+    slow = 6
+    trace = jacobi2d.run(chares=(4, 4), pes=8, iterations=3, seed=7,
+                         noise=ChareSlowdown([slow], factor=6.0))
+    structure = extract_logical_structure(trace)
+    path = critical_path(structure)
+    assert max(path.by_chare, key=lambda c: path.by_chare[c]) == slow
+
+
+def test_empty_structure():
+    st = SyntheticTrace(num_pes=1)
+    st.chare("A")
+    structure = extract_logical_structure(st.build())
+    path = critical_path(structure)
+    assert path.events == [] and path.length == 0.0
+    assert CriticalPath().share_of(0.0) == 0.0

@@ -1,0 +1,56 @@
+"""Reproducibility: identical seeds give identical traces.
+
+The simulators exist to study controlled non-determinism; that only works
+if the control is airtight — every run is a pure function of its seed.
+"""
+
+import io
+
+from repro.apps import jacobi2d, lassen, lulesh, mergetree, pdes
+from repro.core import extract_logical_structure
+from repro.trace import write_trace
+
+
+def _serialize(trace) -> str:
+    buf = io.StringIO()
+    write_trace(trace, buf)
+    return buf.getvalue()
+
+
+def test_charm_trace_is_seed_deterministic():
+    a = jacobi2d.run(chares=(4, 4), pes=4, iterations=2, seed=11)
+    b = jacobi2d.run(chares=(4, 4), pes=4, iterations=2, seed=11)
+    assert _serialize(a) == _serialize(b)
+
+
+def test_mpi_trace_is_seed_deterministic():
+    a = mergetree.run(ranks=32, seed=5)
+    b = mergetree.run(ranks=32, seed=5)
+    assert _serialize(a) == _serialize(b)
+
+
+def test_different_seeds_differ_in_timing_not_shape():
+    a = lulesh.run_charm(chares=8, pes=2, iterations=2, seed=1)
+    b = lulesh.run_charm(chares=8, pes=2, iterations=2, seed=2)
+    assert _serialize(a) != _serialize(b)
+    assert len(a.executions) == len(b.executions)
+    assert len(a.messages) == len(b.messages)
+
+
+def test_extraction_is_deterministic():
+    trace = lassen.run_charm(chares=8, pes=8, iterations=3, seed=4)
+    a = extract_logical_structure(trace)
+    b = extract_logical_structure(trace)
+    assert a.step_of_event == b.step_of_event
+    assert a.phase_of_event == b.phase_of_event
+    assert [sorted(p.events) for p in a.phases] == [sorted(p.events) for p in b.phases]
+
+
+def test_pdes_rng_isolated_from_global_state():
+    import random
+
+    random.seed(123)
+    a = pdes.run(chares=8, pes=2, seed=9)
+    random.seed(456)
+    b = pdes.run(chares=8, pes=2, seed=9)
+    assert _serialize(a) == _serialize(b)

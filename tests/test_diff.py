@@ -1,0 +1,68 @@
+"""Structure diffing across runs."""
+
+import pytest
+
+from repro.apps import jacobi2d, lulesh
+from repro.core import extract_logical_structure
+from repro.core.diff import diff_structures
+from repro.sim.noise import ChareSlowdown
+
+
+def _structure(seed, iterations=3, noise=None):
+    return extract_logical_structure(
+        jacobi2d.run(chares=(4, 4), pes=8, iterations=iterations,
+                     seed=seed, noise=noise)
+    )
+
+
+def test_identical_runs_align_perfectly():
+    a = _structure(seed=1)
+    b = _structure(seed=1)
+    diff = diff_structures(a, b)
+    assert diff.similarity() == 1.0
+    assert not diff.only_left and not diff.only_right
+    for d in diff.matched:
+        assert d.time_ratio == pytest.approx(1.0)
+
+
+def test_different_seeds_same_skeleton():
+    """Physical noise differs, the phase skeleton does not."""
+    diff = diff_structures(_structure(seed=1), _structure(seed=99))
+    assert diff.similarity() == 1.0
+    for d in diff.matched:
+        assert 0.5 < d.time_ratio < 2.0
+
+
+def test_regression_localized_to_phase():
+    base = _structure(seed=1)
+    slow = _structure(seed=1, noise=ChareSlowdown([5], factor=5.0))
+    diff = diff_structures(base, slow)
+    assert diff.similarity() == 1.0
+    worst = diff.worst_regressions(1)[0]
+    # The stencil compute precedes the contribute event, so its sub-block
+    # (and hence the regression) lands in the phase holding the update
+    # blocks' contribute events.
+    names = dict(worst.signature)
+    assert any("update" in n for n in names)
+    assert worst.time_ratio > 1.2
+    # The pure ghost-exchange phases are much less affected.
+    exchange = [d for d in diff.matched
+                if any("begin_iteration" in n for n, _ in d.signature)]
+    assert exchange
+    assert all(d.time_ratio < worst.time_ratio for d in exchange)
+
+
+def test_extra_iterations_show_as_unmatched():
+    short = _structure(seed=1, iterations=2)
+    long = _structure(seed=1, iterations=4)
+    diff = diff_structures(short, long)
+    assert not diff.only_left
+    assert len(diff.only_right) == 4  # two extra iterations x (app + rt)
+    assert 0 < diff.similarity() < 1
+
+
+def test_different_apps_low_similarity():
+    a = _structure(seed=1)
+    b = extract_logical_structure(lulesh.run_charm(chares=8, pes=2,
+                                                   iterations=3, seed=1))
+    assert diff_structures(a, b).similarity() < 0.3

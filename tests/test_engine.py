@@ -1,0 +1,85 @@
+"""Unit tests for the discrete-event core."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+def test_time_order_execution():
+    sim = Simulator()
+    log = []
+    sim.schedule(5.0, lambda: log.append("b"))
+    sim.schedule(1.0, lambda: log.append("a"))
+    sim.schedule(9.0, lambda: log.append("c"))
+    sim.run()
+    assert log == ["a", "b", "c"]
+    assert sim.now == 9.0
+
+
+def test_equal_times_fire_in_insertion_order():
+    sim = Simulator()
+    log = []
+    for i in range(5):
+        sim.schedule(1.0, lambda i=i: log.append(i))
+    sim.run()
+    assert log == [0, 1, 2, 3, 4]
+
+
+def test_callbacks_can_schedule_more():
+    sim = Simulator()
+    log = []
+
+    def chain(n):
+        log.append(n)
+        if n < 3:
+            sim.schedule_after(1.0, lambda: chain(n + 1))
+
+    sim.schedule(0.0, lambda: chain(0))
+    sim.run()
+    assert log == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_scheduling_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError, match="before current time"):
+        sim.schedule(1.0, lambda: None)
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError, match="negative"):
+        sim.schedule_after(-1.0, lambda: None)
+
+
+def test_run_until_stops_early():
+    sim = Simulator()
+    log = []
+    sim.schedule(1.0, lambda: log.append(1))
+    sim.schedule(10.0, lambda: log.append(10))
+    sim.run(until=5.0)
+    assert log == [1]
+    assert sim.pending() == 1
+    sim.run()
+    assert log == [1, 10]
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule_after(1.0, forever)
+
+    sim.schedule(0.0, forever)
+    with pytest.raises(RuntimeError, match="runaway"):
+        sim.run(max_events=100)
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(4):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_processed == 4

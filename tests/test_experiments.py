@@ -1,0 +1,78 @@
+"""Experiment registry and runner."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import (
+    Claim,
+    Experiment,
+    all_experiments,
+    get,
+    run_experiment,
+)
+
+
+def test_registry_covers_every_figure():
+    ids = {e.id for e in all_experiments()}
+    assert ids == {"fig01", "fig08", "fig10", "fig12-15", "fig16", "fig17",
+                   "fig18-19", "fig20", "fig23", "fig24"}
+
+
+def test_get_unknown_raises():
+    with pytest.raises(KeyError, match="unknown experiment"):
+        get("fig99")
+
+
+def test_run_small_experiments_pass():
+    for exp_id in ("fig08", "fig16", "fig24"):
+        report = run_experiment(get(exp_id))
+        assert report.passed, report.summary()
+        assert report.results
+        assert report.seconds > 0
+
+
+def test_failing_claim_reported():
+    exp = Experiment(
+        id="synthetic", title="always fails", paper="-",
+        build=lambda: {"x": 1},
+        claims=[Claim("x is two", lambda a: a["x"] == 2),
+                Claim("x is one", lambda a: a["x"] == 1)],
+    )
+    report = run_experiment(exp)
+    assert not report.passed
+    assert report.results == [("x is two", False), ("x is one", True)]
+    assert "FAIL" in report.summary()
+
+
+def test_raising_claim_is_a_failure():
+    exp = Experiment(
+        id="synthetic", title="raises", paper="-",
+        build=lambda: {},
+        claims=[Claim("boom", lambda a: a["missing"])],
+    )
+    report = run_experiment(exp)
+    assert not report.passed
+    assert "KeyError" in report.results[0][0]
+
+
+def test_broken_build_reported():
+    exp = Experiment(
+        id="synthetic", title="bad build", paper="-",
+        build=lambda: 1 / 0,
+        claims=[],
+    )
+    report = run_experiment(exp)
+    assert not report.passed
+    assert "ZeroDivisionError" in report.error
+
+
+def test_cli_list(capsys):
+    assert main(["experiments", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig16" in out and "fig24" in out
+
+
+def test_cli_run_selected(capsys):
+    assert main(["experiments", "fig08"]) == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out and "1/1 experiments passed" in out

@@ -1,0 +1,94 @@
+"""Trace subsetting and usage profiles."""
+
+import pytest
+
+from repro.core import extract_logical_structure
+from repro.metrics import profile_table, usage_profile
+from repro.trace import validate_trace
+from repro.trace.events import NO_ID
+from repro.trace.filter import filter_application, filter_chares, slice_time
+
+
+# -- slicing ------------------------------------------------------------------
+def test_slice_time_keeps_window(jacobi_trace):
+    mid = jacobi_trace.end_time() / 2
+    part = slice_time(jacobi_trace, 0.0, mid)
+    validate_trace(part)
+    assert 0 < len(part.executions) < len(jacobi_trace.executions)
+    assert all(ex.start <= mid for ex in part.executions)
+    assert all(iv.end <= mid + 1e-9 for iv in part.idles)
+
+
+def test_slice_halves_cover_everything(jacobi_trace):
+    mid = jacobi_trace.end_time() / 2
+    first = slice_time(jacobi_trace, 0.0, mid)
+    second = slice_time(jacobi_trace, mid, jacobi_trace.end_time())
+    # Executions straddling the cut appear in both halves; none vanish.
+    assert len(first.executions) + len(second.executions) >= len(
+        jacobi_trace.executions
+    )
+
+
+def test_sliced_trace_still_analyzable(jacobi_trace):
+    mid = jacobi_trace.end_time() / 2
+    part = slice_time(jacobi_trace, 0.0, mid)
+    structure = extract_logical_structure(part)
+    assert structure.max_step >= 0
+    assert sum(len(p) for p in structure.phases) == len(part.events)
+
+
+def test_cut_sends_leave_untraced_receives(jacobi_trace):
+    late = slice_time(jacobi_trace, jacobi_trace.end_time() / 2,
+                      jacobi_trace.end_time())
+    halves = [m for m in late.messages if m.send_event == NO_ID]
+    assert halves  # messages from the first half arrive untraced
+
+
+def test_filter_chares(jacobi_trace):
+    keep = jacobi_trace.application_chares()[:4]
+    part = filter_chares(jacobi_trace, keep)
+    assert {ex.chare for ex in part.executions} <= set(keep)
+    with pytest.raises(ValueError, match="unknown chare"):
+        filter_chares(jacobi_trace, [9999])
+
+
+def test_filter_application_drops_runtime(jacobi_trace):
+    part = filter_application(jacobi_trace)
+    assert all(not part.is_runtime_chare(ex.chare) for ex in part.executions)
+    structure = extract_logical_structure(part)
+    assert structure.runtime_phases() == []
+
+
+def test_bad_window_rejected(jacobi_trace):
+    with pytest.raises(ValueError, match=">= start"):
+        slice_time(jacobi_trace, 10.0, 5.0)
+
+
+# -- profile ---------------------------------------------------------------------
+def test_profile_counts(jacobi_trace):
+    profile = usage_profile(jacobi_trace)
+    update = profile.entries["JacobiBlock::update"]
+    assert update.calls == 16 * 3  # 16 chares x 3 iterations
+    assert update.mean_time == pytest.approx(update.total_time / update.calls)
+    assert update.max_time >= update.mean_time
+
+
+def test_profile_totals_match_trace(jacobi_trace):
+    profile = usage_profile(jacobi_trace)
+    total = sum(ep.total_time for ep in profile.entries.values())
+    by_exec = sum(ex.duration() for ex in jacobi_trace.executions)
+    assert total == pytest.approx(by_exec)
+
+
+def test_pe_utilization_bounds(jacobi_trace):
+    profile = usage_profile(jacobi_trace)
+    assert len(profile.pes) == jacobi_trace.num_pes
+    for util in profile.pes:
+        assert 0.0 <= util.utilization <= 1.0
+        assert util.overhead <= util.busy
+
+
+def test_profile_table_renders(jacobi_trace):
+    text = profile_table(usage_profile(jacobi_trace))
+    assert "JacobiBlock::update" in text
+    assert "util%" in text

@@ -1,0 +1,170 @@
+"""Section 3.1.4: source inference, leap merge, ordering, chare paths."""
+
+from repro.core.inference import (
+    enforce_chare_paths,
+    infer_source_dependencies,
+    leap_merge,
+    order_overlapping,
+    partition_initial_events,
+)
+from repro.core.initial import build_initial
+from repro.core.leaps import compute_leaps
+from repro.core.merges import dependency_merge
+from repro.core.partition import EdgeKind
+from tests.helpers import SyntheticTrace
+
+
+def _disconnected_rounds(rounds=3, chares=3):
+    """Each chare starts a partition per round; no messages connect the
+    rounds — the situation where control flowed through the runtime."""
+    st = SyntheticTrace(num_pes=1)
+    ids = [st.chare(f"C{i}") for i in range(chares)]
+    for r in range(rounds):
+        for i, c in enumerate(ids):
+            peer = ids[(i + 1) % chares]
+            st.block(c, f"round", 0, r * 10.0 + i, r * 10.0 + i + 0.4,
+                     [("send", f"m{r}_{i}", r * 10.0 + i)])
+            st.block(peer, f"recv", 0, r * 10.0 + i + 5, r * 10.0 + i + 5.4,
+                     [("recv", f"m{r}_{i}", r * 10.0 + i + 5)])
+    trace = st.build()
+    initial = build_initial(trace, mode="charm")
+    dependency_merge(initial.state)
+    return initial.state
+
+
+def test_partition_initial_events_first_per_chare():
+    state = _disconnected_rounds(rounds=1)
+    init = partition_initial_events(state)
+    for root, by_chare in init.items():
+        events = state.partition_events()[root]
+        for chare, ev in by_chare.items():
+            earlier = [e for e in events
+                       if state.trace.events[e].chare == chare
+                       and state.trace.events[e].time < state.trace.events[ev].time]
+            assert not earlier
+
+
+def test_fig5_source_inference_orders_rounds():
+    """Figure 5(a-b): physical order of partition-starting sends per chare
+    becomes happened-before edges between the rounds."""
+    state = _disconnected_rounds(rounds=3)
+    assert max(compute_leaps(state).values()) == 0  # fully concurrent
+    infer_source_dependencies(state)
+    leaps = compute_leaps(state)
+    assert max(leaps.values()) == 2  # rounds now sequence
+
+
+def test_fig5c_leap_merge_unifies_overlapping():
+    """Figure 5(c): same-leap partitions with overlapping chares merge."""
+    state = _disconnected_rounds(rounds=3)
+    infer_source_dependencies(state)
+    before = state.num_partitions()
+    leap_merge(state)
+    after = state.num_partitions()
+    assert after <= before
+    # One phase per round.
+    assert after == 3
+    # Property 1 holds: no chare overlap within a leap.
+    leaps = compute_leaps(state)
+    chares = state.partition_chares()
+    by_leap = {}
+    for root, k in leaps.items():
+        for c in chares[root]:
+            assert (k, c) not in by_leap
+            by_leap[(k, c)] = root
+
+
+def test_order_overlapping_app_runtime_by_time():
+    st = SyntheticTrace(num_pes=1)
+    a = st.chare("A")
+    mgr = st.chare("Mgr", is_runtime=True)
+    # Two unconnected partitions sharing chare A: one app, one runtime.
+    st.block(a, "app_work", 0, 0.0, 1.0, [("send", "x", 0.5)])
+    st.block(a, "rt_touch", 0, 5.0, 6.0, [("send", "y", 5.5)])
+    st.block(a, "sink", 0, 7.0, 8.0, [("recv", "x", 7.0)])
+    st.block(mgr, "m", 0, 9.0, 10.0, [("recv", "y", 9.0)])
+    trace = st.build()
+    initial = build_initial(trace, mode="charm")
+    state = initial.state
+    dependency_merge(state)
+    leaps = compute_leaps(state)
+    assert len(set(leaps.values())) == 1  # overlapping at leap 0
+    order_overlapping(state, cross_class_only=True)
+    leaps = compute_leaps(state)
+    # Now ordered: the earlier (app) partition precedes the runtime one.
+    roots = state.roots()
+    app = [r for r in roots if not state.is_runtime(r)][0]
+    rt = [r for r in roots if state.is_runtime(r)][0]
+    assert leaps[app] < leaps[rt]
+
+
+def test_order_overlapping_all_when_inference_disabled():
+    """The Figure 17 mode: overlaps are sequenced by physical time; where
+    the pairwise orders conflict (a cycle), the partitions merge — the
+    paper's "inability to order suggests we should merge" principle."""
+    state = _disconnected_rounds(rounds=2)
+    order_overlapping(state, cross_class_only=False)
+    # Within each round the three pair-partitions conflict cyclically and
+    # merge; the two rounds are sequenced.
+    assert state.num_partitions() == 2
+    leaps = compute_leaps(state)
+    chares = state.partition_chares()
+    seen = set()
+    for root, k in leaps.items():
+        for c in chares[root]:
+            assert (k, c) not in seen
+            seen.add((k, c))
+
+
+def test_fig6_enforce_chare_paths_adds_edge():
+    """Figure 6: phase X's successors must span its chares; the gray chare
+    reappearing in phase S two leaps later gets an X->S edge."""
+    st = SyntheticTrace(num_pes=1)
+    gray = st.chare("gray")
+    blue = st.chare("blue")
+    # Four hand-wired partitions (receives untraced so messages don't
+    # merge them): X{gray,blue} -> Q{blue} -> S{gray,blue}.
+    st.block(gray, "x", 0, 0.0, 1.0, [("send", "gx", 0.0)])
+    st.block(blue, "x", 0, 1.5, 2.0, [("recv", "gx", 1.5)])
+    st.block(blue, "q", 0, 3.0, 3.5, [("recv", "uq", 3.0)])
+    st.block(blue, "s", 0, 4.0, 5.0, [("recv", "us", 4.0)])
+    st.block(gray, "s", 0, 4.0, 5.0, [("recv", "ug", 4.5)])
+    trace = st.build()
+    initial = build_initial(trace, mode="charm")
+    state = initial.state
+    dependency_merge(state)
+    roots = state.roots()
+    chares = state.partition_chares()
+    x = next(r for r in roots if chares[r] == {gray, blue})
+    q = next(r for r in roots if chares[r] == {blue}
+             and 3.0 <= state.trace.events[state.partition_events()[r][0]].time < 4.0)
+    s_blue = next(r for r in roots if chares[r] == {blue} and r != q
+                  and state.trace.events[state.partition_events()[r][0]].time >= 4.0)
+    s_gray = next(r for r in roots if chares[r] == {gray} and r != x)
+    state.add_edge(x, q, EdgeKind.INFERRED)
+    state.add_edge(q, s_blue, EdgeKind.INFERRED)
+    state.add_edge(q, s_gray, EdgeKind.INFERRED)
+
+    succs_before, _ = state.adjacency()
+    covered = set()
+    for child in succs_before[x]:
+        covered |= chares[child]
+    assert gray not in covered  # X's direct successors miss gray
+
+    added = enforce_chare_paths(state)
+    assert added >= 1
+    succs_after, _ = state.adjacency()
+    covered = set()
+    for child in succs_after[x]:
+        covered |= chares[child]
+    assert gray in covered
+
+
+def test_enforce_chare_paths_no_op_when_covered():
+    state = _disconnected_rounds(rounds=2)
+    infer_source_dependencies(state)
+    leap_merge(state)
+    order_overlapping(state, cross_class_only=True)
+    first = enforce_chare_paths(state)
+    again = enforce_chare_paths(state)
+    assert again == 0 or again <= first

@@ -1,0 +1,166 @@
+"""Initial partitioning: blocks, absorption, splitting, and edges."""
+
+import pytest
+
+from repro.core.initial import build_blocks, build_initial
+from repro.core.partition import EdgeKind
+from tests.helpers import SyntheticTrace
+
+
+def test_plain_entry_absorbed_into_following_serial():
+    st = SyntheticTrace(num_pes=1)
+    a = st.chare("A")
+    st.block(a, "plain", 0, 0.0, 1.0)
+    st.block(a, "serial1", 0, 1.0, 2.0, sdag=True, ordinal=1)
+    trace = st.build()
+    blocks, block_of_exec = build_blocks(trace)
+    assert len(blocks) == 1
+    assert block_of_exec == [0, 0]
+    assert blocks[0].sdag_ordinal == 1
+
+
+def test_serial_before_serial_not_absorbed():
+    """Serial-to-serial adjacency must stay an edge, not a merge —
+    otherwise back-to-back exchange phases glue together (Section 2.1)."""
+    st = SyntheticTrace(num_pes=1)
+    a = st.chare("A")
+    st.block(a, "when1", 0, 0.0, 1.0, sdag=True, ordinal=1)
+    st.block(a, "serial2", 0, 1.0, 2.0, sdag=True, ordinal=2)
+    trace = st.build()
+    blocks, _ = build_blocks(trace)
+    assert len(blocks) == 2
+
+
+def test_gap_prevents_absorption():
+    st = SyntheticTrace(num_pes=1)
+    a = st.chare("A")
+    st.block(a, "plain", 0, 0.0, 1.0)
+    st.block(a, "serial1", 0, 1.5, 2.0, sdag=True, ordinal=1)
+    trace = st.build()
+    blocks, _ = build_blocks(trace)
+    assert len(blocks) == 2
+
+
+def test_pe_change_prevents_absorption():
+    st = SyntheticTrace(num_pes=2)
+    a = st.chare("A")
+    st.block(a, "plain", 0, 0.0, 1.0)
+    st.block(a, "serial1", 1, 1.0, 2.0, sdag=True, ordinal=1)
+    trace = st.build()
+    blocks, _ = build_blocks(trace)
+    assert len(blocks) == 2
+
+
+def test_block_split_at_runtime_boundary_fig2():
+    """Figure 2: app events then runtime events in one serial block give
+    two initial partitions joined by a BLOCK edge."""
+    st = SyntheticTrace(num_pes=1)
+    a = st.chare("A")
+    b = st.chare("B")
+    mgr = st.chare("Mgr", is_runtime=True)
+    st.block(a, "work", 0, 0.0, 4.0, [
+        ("send", "app1", 1.0),
+        ("send", "app2", 1.5),
+        ("send", "rt1", 2.0),
+    ])
+    st.block(b, "recv", 0, 5.0, 6.0, [("recv", "app1", 5.0), ("recv", "app2", 5.5)])
+    st.block(mgr, "collect", 0, 6.0, 7.0, [("recv", "rt1", 6.0)])
+    trace = st.build()
+    initial = build_initial(trace, mode="charm")
+    state = initial.state
+    # Block of chare A split into app piece (2 events) and runtime piece.
+    a_pieces = [i for i, bid in enumerate(state.init_block)
+                if initial.blocks[bid].chare == a]
+    assert len(a_pieces) == 2
+    sizes = sorted(len(state.init_events[p]) for p in a_pieces)
+    assert sizes == [1, 2]
+    flags = sorted(state.init_runtime[p] for p in a_pieces)
+    assert flags == [False, True]
+    block_edges = [e for e in state.edges if e[2] == EdgeKind.BLOCK]
+    assert len(block_edges) == 1
+
+
+def test_sdag_edges_from_latest_lower_ordinal():
+    """Every ordinal-(n+1) block after the latest ordinal-n block gets a
+    happened-before edge from it."""
+    st = SyntheticTrace(num_pes=1)
+    a = st.chare("A")
+    b = st.chare("B")
+    st.block(a, "s0", 0, 0.0, 1.0, [("send", "x", 0.5)], sdag=True, ordinal=0)
+    st.block(a, "w1a", 0, 2.0, 3.0, [("recv", "q1", 2.0)], sdag=True, ordinal=1)
+    st.block(a, "w1b", 0, 3.5, 4.0, [("recv", "q2", 3.5)], sdag=True, ordinal=1)
+    st.block(b, "peer", 0, 0.0, 2.0, [
+        ("send", "q1", 0.5), ("send", "q2", 1.0), ("recv", "x", 1.5)])
+    trace = st.build()
+    initial = build_initial(trace, mode="charm")
+    sdag = [e for e in initial.state.edges if e[2] == EdgeKind.SDAG]
+    # s0 -> w1a and s0 -> w1b.
+    assert len(sdag) == 2
+
+
+def test_mpi_mode_one_event_per_partition_with_chain():
+    st = SyntheticTrace(num_pes=2)
+    r0 = st.chare("r0", pe=0)
+    r1 = st.chare("r1", pe=1)
+    st.block(r0, "MPI_Send", 0, 0.0, 1.0, [("send", "m", 0.0)])
+    st.block(r0, "MPI_Recv", 0, 2.0, 3.0, [("recv", "n", 2.5)])
+    st.block(r1, "MPI_Recv", 1, 2.0, 3.0, [("recv", "m", 2.5)])
+    st.block(r1, "MPI_Send", 1, 0.0, 1.0, [("send", "n", 0.0)])
+    trace = st.build()
+    initial = build_initial(trace, mode="mpi")
+    state = initial.state
+    assert len(state.init_events) == 4
+    assert all(len(evs) == 1 for evs in state.init_events)
+    chains = [e for e in state.edges if e[2] == EdgeKind.CHAIN]
+    assert len(chains) == 2  # one per process
+
+
+def test_mpi_relaxed_chain_skips_matched_recvs():
+    st = SyntheticTrace(num_pes=2)
+    r0 = st.chare("r0", pe=0)
+    r1 = st.chare("r1", pe=1)
+    st.block(r1, "MPI_Send", 1, 0.0, 1.0, [("send", "a", 0.0)])
+    st.block(r1, "MPI_Send", 1, 1.0, 2.0, [("send", "b", 1.0)])
+    st.block(r0, "MPI_Recv", 0, 2.0, 3.0, [("recv", "a", 2.5)])
+    st.block(r0, "MPI_Recv", 0, 3.0, 4.0, [("recv", "b", 3.5)])
+    st.block(r0, "MPI_Send", 0, 4.0, 5.0, [("send", "c", 4.0)])
+    st.block(r1, "MPI_Recv", 1, 5.0, 6.0, [("recv", "c", 5.5)])
+    trace = st.build()
+    strict = build_initial(trace, mode="mpi", relaxed_chain=False)
+    relaxed = build_initial(trace, mode="mpi", relaxed_chain=True)
+    strict_chains = [e for e in strict.state.edges if e[2] == EdgeKind.CHAIN]
+    relaxed_chains = [e for e in relaxed.state.edges if e[2] == EdgeKind.CHAIN]
+    # Strict: recv->recv, recv->send on r0; send->send, send->recv on r1.
+    assert len(strict_chains) == 4
+    # Relaxed: only edges into sends survive (recv->send, send->send);
+    # matched receives float.
+    assert len(relaxed_chains) == 2
+
+
+def test_mpi_relaxed_chain_keeps_unmatched_recv_pinned():
+    st = SyntheticTrace(num_pes=1)
+    r0 = st.chare("r0", pe=0)
+    st.block(r0, "MPI_Send", 0, 0.0, 1.0, [("send", "out", 0.0)])
+    st.block(r0, "MPI_Recv", 0, 2.0, 3.0, [("recv", "untraced", 2.5)])
+    trace = st.build()
+    relaxed = build_initial(trace, mode="mpi", relaxed_chain=True)
+    chains = [e for e in relaxed.state.edges if e[2] == EdgeKind.CHAIN]
+    assert len(chains) == 1
+
+
+def test_unknown_mode_rejected():
+    st = SyntheticTrace()
+    with pytest.raises(ValueError, match="mode"):
+        build_initial(st.build(), mode="spark")
+
+
+def test_message_edges_created_for_complete_messages():
+    st = SyntheticTrace(num_pes=1)
+    a = st.chare("A")
+    b = st.chare("B")
+    st.block(a, "w", 0, 0.0, 1.0, [("send", "m", 0.5)])
+    st.block(b, "r", 0, 2.0, 3.0, [("recv", "m", 2.0), ("recv", "ghost", 2.5)])
+    trace = st.build()
+    initial = build_initial(trace, mode="charm")
+    msgs = [e for e in initial.state.edges if e[2] == EdgeKind.MESSAGE]
+    assert len(msgs) == 1  # the unmatched recv contributes no edge

@@ -1,0 +1,67 @@
+"""Leap (longest-path depth) computation."""
+
+import pytest
+
+from repro.core.initial import build_initial
+from repro.core.leaps import compute_leaps, leaps_to_levels
+from repro.core.partition import EdgeKind
+from tests.helpers import SyntheticTrace
+
+
+def _chain_of(n):
+    st = SyntheticTrace(num_pes=1)
+    chares = [st.chare(f"C{i}") for i in range(n)]
+    for i, c in enumerate(chares):
+        st.block(c, "w", 0, i * 1.0, i + 0.5, [("send", f"x{i}", i * 1.0)])
+    trace = st.build()
+    return build_initial(trace, mode="charm").state
+
+
+def test_isolated_partitions_all_leap_zero():
+    state = _chain_of(4)
+    leaps = compute_leaps(state)
+    assert set(leaps.values()) == {0}
+
+
+def test_chain_leaps_increase():
+    state = _chain_of(4)
+    for i in range(3):
+        state.add_edge(i, i + 1, EdgeKind.INFERRED)
+    leaps = compute_leaps(state)
+    assert [leaps[i] for i in range(4)] == [0, 1, 2, 3]
+
+
+def test_leap_is_longest_path_not_shortest():
+    state = _chain_of(4)
+    # Diamond with a long side: 0->1->2->3 and 0->3.
+    state.add_edge(0, 1, EdgeKind.INFERRED)
+    state.add_edge(1, 2, EdgeKind.INFERRED)
+    state.add_edge(2, 3, EdgeKind.INFERRED)
+    state.add_edge(0, 3, EdgeKind.INFERRED)
+    leaps = compute_leaps(state)
+    assert leaps[3] == 3
+
+
+def test_cycle_raises():
+    state = _chain_of(2)
+    state.add_edge(0, 1, EdgeKind.INFERRED)
+    state.add_edge(1, 0, EdgeKind.INFERRED)
+    with pytest.raises(ValueError, match="cycle"):
+        compute_leaps(state)
+
+
+def test_leaps_to_levels_roundtrip():
+    state = _chain_of(5)
+    state.add_edge(0, 1, EdgeKind.INFERRED)
+    state.add_edge(2, 1, EdgeKind.INFERRED)
+    state.add_edge(1, 3, EdgeKind.INFERRED)
+    leaps = compute_leaps(state)
+    levels = leaps_to_levels(leaps)
+    assert sorted(levels[0]) == [0, 2, 4]
+    assert levels[1] == [1]
+    assert levels[2] == [3]
+    assert sum(len(lv) for lv in levels) == 5
+
+
+def test_empty_graph():
+    assert leaps_to_levels({}) == []

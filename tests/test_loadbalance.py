@@ -1,0 +1,173 @@
+"""Chare migration and measurement-based load balancing."""
+
+import pytest
+
+from repro.apps import jacobi2d
+from repro.core import extract_logical_structure
+from repro.metrics import imbalance
+from repro.sim.charm import (
+    Chare,
+    CharmRuntime,
+    GreedyBalancer,
+    NullBalancer,
+)
+from repro.sim.noise import ChareSlowdown
+from repro.trace import validate_trace
+
+
+def _hot_corner_run(lb_period, balancer=None, iterations=6):
+    """Block mapping puts the four heavy chares (the first grid row) on
+    PE 0 — the worst case a balancer should fix."""
+    return jacobi2d.run(
+        chares=(4, 4), pes=4, iterations=iterations, seed=7,
+        noise=ChareSlowdown([0, 1, 2, 3], factor=4.0),
+        lb_period=lb_period, balancer=balancer,
+    )
+
+
+def test_greedy_balancer_remap_spreads_load():
+    strategy = GreedyBalancer()
+    loads = {0: 100.0, 1: 90.0, 2: 10.0, 3: 5.0}
+    mapping = strategy.remap(loads, {c: 0 for c in loads}, num_pes=2)
+    assert mapping[0] != mapping[1]  # the two heavy chares split
+
+
+def test_null_balancer_keeps_mapping():
+    strategy = NullBalancer()
+    current = {0: 1, 1: 0}
+    assert strategy.remap({0: 5.0, 1: 1.0}, current, 2) == current
+
+
+def test_migration_recorded_and_trace_valid():
+    trace = _hot_corner_run(lb_period=2)
+    validate_trace(trace)
+    steps = trace.metadata.get("lb_steps")
+    assert steps and steps[0]["migrations"] > 0
+    # The load balancer appears as a runtime chare.
+    assert any(c.name == "CkLoadBalancer" for c in trace.chares)
+
+
+def test_load_balancing_reduces_imbalance():
+    trace = _hot_corner_run(lb_period=2)
+    structure = extract_logical_structure(trace)
+    imb = imbalance(structure)
+    app = sorted(
+        (p for p in structure.application_phases() if len(p) > 8),
+        key=lambda p: p.offset,
+    )
+    before = imb.max_by_phase[app[0].id]
+    after = imb.max_by_phase[app[-1].id]
+    assert after < before / 2
+
+
+def test_null_balancer_leaves_imbalance():
+    trace = _hot_corner_run(lb_period=2, balancer=NullBalancer())
+    structure = extract_logical_structure(trace)
+    imb = imbalance(structure)
+    app = sorted(
+        (p for p in structure.application_phases() if len(p) > 8),
+        key=lambda p: p.offset,
+    )
+    before = imb.max_by_phase[app[0].id]
+    after = imb.max_by_phase[app[-1].id]
+    assert after > before / 2
+    assert trace.metadata["lb_steps"][0]["migrations"] == 0
+
+
+def test_lb_speeds_up_imbalanced_run():
+    balanced = _hot_corner_run(lb_period=2)
+    unbalanced = _hot_corner_run(lb_period=0)
+    assert balanced.end_time() < unbalanced.end_time()
+
+
+def test_migrated_chares_execute_on_new_pes():
+    trace = _hot_corner_run(lb_period=2)
+    moved = 0
+    for chare in trace.chares:
+        if chare.is_runtime:
+            continue
+        pes = {trace.executions[x].pe for x in trace.executions_by_chare[chare.id]}
+        if len(pes) > 1:
+            moved += 1
+    assert moved > 0
+
+
+def test_reductions_follow_migrated_chares():
+    """elements_per_pe must track migration or reductions would hang."""
+    trace = _hot_corner_run(lb_period=2, iterations=8)
+    # The run completed all 8 iterations: 8 reduction broadcasts reached
+    # every chare (resume executions).
+    resumes = [x for x in trace.executions
+               if trace.entry(x.entry).name.endswith("resume")]
+    assert len(resumes) == 16 * 8
+
+
+def test_at_sync_requires_array():
+    class Lone(Chare):
+        def go(self, _):
+            self.at_sync()
+
+    rt = CharmRuntime(num_pes=1)
+    lone = rt.create_chare("Lone", Lone)
+    rt.seed(lone.chare, "go")
+    with pytest.raises(RuntimeError, match="array"):
+        rt.run()
+
+
+def test_structure_analysis_handles_migrated_trace():
+    trace = _hot_corner_run(lb_period=2)
+    structure = extract_logical_structure(trace)
+    # Per-chare step uniqueness survives migration (chare timelines are
+    # what matters, not PE timelines).
+    seen = set()
+    for ev, step in enumerate(structure.step_of_event):
+        if step < 0:
+            continue
+        key = (trace.events[ev].chare, step)
+        assert key not in seen
+        seen.add(key)
+
+
+def test_refine_balancer_moves_fewer_chares():
+    from repro.sim.charm import RefineBalancer
+
+    greedy_trace = _hot_corner_run(lb_period=2)
+    refine_trace = _hot_corner_run(lb_period=2, balancer=RefineBalancer())
+    greedy_moves = sum(s["migrations"] for s in greedy_trace.metadata["lb_steps"])
+    refine_moves = sum(s["migrations"] for s in refine_trace.metadata["lb_steps"])
+    assert 0 < refine_moves < greedy_moves
+
+
+def test_refine_balancer_still_reduces_imbalance():
+    from repro.sim.charm import RefineBalancer
+
+    trace = _hot_corner_run(lb_period=2, balancer=RefineBalancer())
+    structure = extract_logical_structure(trace)
+    imb = imbalance(structure)
+    app = sorted(
+        (p for p in structure.application_phases() if len(p) > 8),
+        key=lambda p: p.offset,
+    )
+    before = imb.max_by_phase[app[0].id]
+    after = imb.max_by_phase[app[-1].id]
+    assert after < before / 2
+
+
+def test_refine_balancer_validates_tolerance():
+    from repro.sim.charm import RefineBalancer
+
+    with pytest.raises(ValueError):
+        RefineBalancer(tolerance=0.5)
+
+
+def test_refine_remap_respects_threshold():
+    from repro.sim.charm import RefineBalancer
+
+    strategy = RefineBalancer(tolerance=1.1)
+    loads = {0: 50.0, 1: 40.0, 2: 5.0, 3: 5.0}
+    current = {0: 0, 1: 0, 2: 0, 3: 1}
+    mapping = strategy.remap(loads, current, num_pes=2)
+    pe_load = [0.0, 0.0]
+    for chare, pe in mapping.items():
+        pe_load[pe] += loads[chare]
+    assert max(pe_load) <= 1.1 * (sum(loads.values()) / 2) + 1e-9

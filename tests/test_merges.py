@@ -1,0 +1,151 @@
+"""Dependency merge, cycle merge, and serial-block repair (Algorithms 1-2)."""
+
+from repro.core.initial import build_initial
+from repro.core.merges import cycle_merge, dependency_merge, repair_merge
+from repro.core.partition import EdgeKind
+from tests.helpers import SyntheticTrace
+
+
+def _ring_trace(n=4):
+    """Figure 3: each chare invokes recvResult on its neighbour."""
+    st = SyntheticTrace(num_pes=1)
+    chares = [st.chare(f"C{i}") for i in range(n)]
+    for i, c in enumerate(chares):
+        st.block(c, "serial_0", 0, i * 1.0, i * 1.0 + 0.5,
+                 [("send", f"m{i}", i * 1.0)], sdag=True, ordinal=0)
+    for i, c in enumerate(chares):
+        src = (i - 1) % n
+        st.block(c, "recvResult", 0, 10.0 + i, 10.5 + i,
+                 [("recv", f"m{src}", 10.0 + i)], sdag=True, ordinal=1)
+    return st.build()
+
+
+def test_fig3_ring_dependency_and_cycle_merge():
+    """The ring of invocations collapses into a single phase (Figure 3d)."""
+    trace = _ring_trace()
+    initial = build_initial(trace, mode="charm")
+    state = initial.state
+    assert state.num_partitions() == 8
+    dependency_merge(state)
+    assert state.num_partitions() == 1
+
+
+def test_dependency_merge_without_cycle_keeps_chain():
+    """A linear pipeline merges endpoint pairs but stays multiple phases."""
+    st = SyntheticTrace(num_pes=1)
+    a, b, c = st.chare("A"), st.chare("B"), st.chare("C")
+    st.block(a, "s", 0, 0.0, 1.0, [("send", "ab", 0.5)])
+    st.block(b, "r", 0, 2.0, 4.0, [("recv", "ab", 2.0), ("send", "bc", 3.0)])
+    st.block(c, "r2", 0, 5.0, 6.0, [("recv", "bc", 5.0)])
+    trace = st.build()
+    initial = build_initial(trace, mode="charm")
+    state = initial.state
+    dependency_merge(state)
+    # A+B's recv merge; B's send and C merge; but B's block keeps all its
+    # events in one piece, so everything is transitively one partition.
+    assert state.num_partitions() == 1
+
+
+def test_dependency_merge_does_not_cross_app_runtime():
+    """A contribute-style call into a runtime chare stays an edge."""
+    st = SyntheticTrace(num_pes=1)
+    a = st.chare("A")
+    b = st.chare("B")
+    mgr = st.chare("Mgr", is_runtime=True)
+    st.block(a, "w", 0, 0.0, 2.0, [("send", "app", 0.5), ("send", "rt", 1.0)])
+    st.block(b, "r", 0, 3.0, 4.0, [("recv", "app", 3.0)])
+    st.block(mgr, "c", 0, 3.0, 4.0, [("recv", "rt", 3.0)])
+    trace = st.build()
+    initial = build_initial(trace, mode="charm")
+    state = initial.state
+    dependency_merge(state)
+    # App partition (A's app piece + B) and runtime partition (A's rt
+    # piece + Mgr) remain distinct.
+    assert state.num_partitions() == 2
+    roots = state.roots()
+    flags = sorted(state.is_runtime(r) for r in roots)
+    assert flags == [False, True]
+
+
+def test_cycle_merge_contracts_scc_only():
+    st = SyntheticTrace(num_pes=1)
+    chares = [st.chare(f"C{i}") for i in range(3)]
+    blocks = []
+    for i, c in enumerate(chares):
+        blocks.append(st.block(c, "w", 0, i * 1.0, i * 1.0 + 0.5,
+                               [("send", f"x{i}", i * 1.0)]))
+    trace = st.build()
+    initial = build_initial(trace, mode="charm")
+    state = initial.state
+    # Construct a 2-cycle between partitions 0 and 1; partition 2 dangles.
+    state.add_edge(0, 1, EdgeKind.INFERRED)
+    state.add_edge(1, 0, EdgeKind.INFERRED)
+    state.add_edge(1, 2, EdgeKind.INFERRED)
+    eliminated = cycle_merge(state)
+    assert eliminated == 1
+    assert state.num_partitions() == 2
+
+
+def test_cycle_merge_noop_on_dag():
+    trace = _ring_trace()
+    initial = build_initial(trace, mode="charm")
+    assert cycle_merge(initial.state) == 0
+
+
+def test_repair_merge_preserves_sandwich_split():
+    """A block split app|runtime|app keeps three phases: rejoining the
+    outer app pieces would force a cycle through the runtime piece and
+    wrongly collapse the runtime phase into the application phase."""
+    st = SyntheticTrace(num_pes=1)
+    a = st.chare("A")
+    b = st.chare("B")
+    c = st.chare("C")
+    mgr = st.chare("Mgr", is_runtime=True)
+    st.block(a, "w", 0, 0.0, 4.0, [
+        ("send", "to_b", 1.0),
+        ("send", "to_mgr", 2.0),
+        ("send", "to_c", 3.0),
+    ])
+    st.block(b, "rb", 0, 5.0, 6.0, [("recv", "to_b", 5.0)])
+    st.block(mgr, "rm", 0, 5.0, 6.0, [("recv", "to_mgr", 5.0)])
+    st.block(c, "rc", 0, 7.0, 8.0, [("recv", "to_c", 7.0)])
+    trace = st.build()
+    initial = build_initial(trace, mode="charm")
+    state = initial.state
+    assert state.num_partitions() == 6  # 3 pieces of A + 3 receivers
+    dependency_merge(state)
+    # {A1+B}, {A2+Mgr}, {A3+C} = 3 partitions.
+    assert state.num_partitions() == 3
+    repair_merge(initial)
+    assert state.num_partitions() == 3
+
+
+def test_repair_merge_groups_successors_by_entry_fig4():
+    """Figure 4: runtime phase followed per-chare by the same serial entry
+    -> those application partitions merge even without messages."""
+    st = SyntheticTrace(num_pes=1)
+    mgr = st.chare("Mgr", is_runtime=True)
+    chares = [st.chare(f"C{i}") for i in range(3)]
+    # Manager broadcasts a result to each chare (runtime-related recvs).
+    st.block(mgr, "deliver", 0, 0.0, 1.0,
+             [("send", f"d{i}", 0.5) for i in range(3)])
+    # Each chare: a block whose recv is runtime-related and whose local
+    # sends go... nowhere shared — only the entry type links them.
+    for i, c in enumerate(chares):
+        st.block(c, "resume", 0, 2.0 + i, 3.0 + i,
+                 [("recv", f"d{i}", 2.0 + i), ("send", f"self{i}", 2.5 + i)],
+                 sdag=True, ordinal=0)
+    for i, c in enumerate(chares):
+        st.block(c, "next", 0, 6.0 + i, 7.0 + i,
+                 [("recv", f"self{i}", 6.0 + i)], sdag=True, ordinal=1)
+    trace = st.build()
+    initial = build_initial(trace, mode="charm")
+    state = initial.state
+    dependency_merge(state)
+    before = state.num_partitions()
+    repair_merge(initial)
+    after = state.num_partitions()
+    assert after < before
+    # All three chares' app phases are now one partition plus the runtime
+    # partition: exactly two.
+    assert after == 2

@@ -1,0 +1,91 @@
+"""Sub-block division (Figure 13) and differential duration."""
+
+import pytest
+
+from repro.core import extract_logical_structure
+from repro.metrics import differential_duration, sub_block_durations
+from repro.sim.noise import ChareSlowdown
+from repro.apps import jacobi2d
+from tests.helpers import SyntheticTrace
+
+
+def _fig13_structure(with_recv: bool):
+    st = SyntheticTrace(num_pes=1)
+    a = st.chare("A")
+    if with_recv:
+        b = st.chare("B", pe=0)
+        st.block(b, "starter", 0, 0.0, 1.0, [("send", "in", 0.5)])
+        # Block [10, 20]: recv at 10, sends at 13 and 16, leftover 4 -> recv.
+        st.block(a, "work", 0, 10.0, 20.0, [
+            ("recv", "in", 10.0), ("send", "s1", 13.0), ("send", "s2", 16.0)])
+    else:
+        # No recorded start event: leftover goes to the last event.
+        st.block(a, "work", 0, 10.0, 20.0, [
+            ("send", "s1", 13.0), ("send", "s2", 16.0)])
+    trace = st.build()
+    return extract_logical_structure(trace)
+
+
+def test_fig13_sub_blocks_with_recorded_start():
+    structure = _fig13_structure(with_recv=True)
+    durations = sub_block_durations(structure)
+    trace = structure.trace
+    by_time = {trace.events[e].time: d for e, d in durations.items()
+               if trace.events[e].chare == 1 or trace.events[e].time >= 10.0}
+    # recv at 10: [10,10] plus leftover [16,20] = 4.
+    assert by_time[10.0] == pytest.approx(4.0)
+    assert by_time[13.0] == pytest.approx(3.0)
+    assert by_time[16.0] == pytest.approx(3.0)
+
+
+def test_fig13_leftover_to_last_event_without_start():
+    structure = _fig13_structure(with_recv=False)
+    durations = sub_block_durations(structure)
+    trace = structure.trace
+    by_time = {trace.events[e].time: d for e, d in durations.items()}
+    assert by_time[13.0] == pytest.approx(3.0)   # block start 10 -> 13
+    assert by_time[16.0] == pytest.approx(3.0 + 4.0)  # own span + leftover
+
+
+def test_durations_total_equals_block_span():
+    structure = _fig13_structure(with_recv=True)
+    durations = sub_block_durations(structure)
+    trace = structure.trace
+    work_block = next(b for b in structure.blocks
+                      if len(b.events) == 3)
+    total = sum(durations[e] for e in work_block.events)
+    assert total == pytest.approx(work_block.end - work_block.start)
+
+
+def test_differential_duration_zero_for_uniform_peers(jacobi_structure):
+    """Without injected noise, same-step updates cost the same; the
+    minimum at each step is zero by construction."""
+    result = differential_duration(jacobi_structure)
+    assert result.by_event
+    assert min(result.by_event.values()) == pytest.approx(0.0)
+    # Every (phase, step) group contains at least one zero.
+    zeros = {k for k in result.group_min}
+    for key in zeros:
+        group_events = [e for e in result.by_event
+                        if (jacobi_structure.phase_of_event[e],
+                            jacobi_structure.step_of_event[e]) == key]
+        assert any(result.by_event[e] == pytest.approx(0.0) for e in group_events)
+
+
+def test_differential_duration_detects_slow_chare():
+    """Figure 15: one straggler chare shows high differential duration at
+    its update events every iteration."""
+    slow = 6  # a chare trace-id inside the array (main chare is created last)
+    trace = jacobi2d.run(chares=(4, 4), pes=8, iterations=3, seed=7,
+                         noise=ChareSlowdown([slow], factor=4.0))
+    structure = extract_logical_structure(trace)
+    result = differential_duration(structure)
+    worst = result.max_event()
+    assert trace.events[worst].chare == slow
+    # The straggler dominates: its excess is the compute-cost difference.
+    assert result.by_event[worst] > 100.0
+
+
+def test_differential_duration_nonnegative(jacobi_structure):
+    result = differential_duration(jacobi_structure)
+    assert all(v >= 0 for v in result.by_event.values())

@@ -1,0 +1,91 @@
+"""Idle experienced (Section 4, Figure 11)."""
+
+import pytest
+
+from repro.core import extract_logical_structure
+from repro.metrics import idle_experienced
+from tests.helpers import SyntheticTrace
+
+
+def _fig11_structure():
+    """Three serial blocks after an idle span on one PE:
+
+    * block X runs directly after the idle -> experiences it;
+    * block Y's dependency (its send) started before the idle ended ->
+      experiences it;
+    * block Z's dependency started after the idle ended -> does not, and
+      propagation stops there.
+    """
+    st = SyntheticTrace(num_pes=2)
+    main = st.chare("M", pe=0)
+    other = st.chare("O", pe=1)
+    # Sends from PE 1 at various times.
+    st.block(other, "src", 1, 0.0, 30.0, [
+        ("send", "to_x", 1.0),
+        ("send", "to_y", 8.0),    # before idle end (10.0)
+        ("send", "to_z", 25.0),   # after idle end
+        ("send", "to_w", 5.0),    # before idle end, but behind Z
+    ])
+    st.idle(0, 4.0, 10.0)
+    st.block(main, "X", 0, 10.0, 12.0, [("recv", "to_x", 10.0)])
+    st.block(main, "Y", 0, 13.0, 15.0, [("recv", "to_y", 13.0)])
+    st.block(main, "Z", 0, 27.0, 29.0, [("recv", "to_z", 27.0)])
+    st.block(main, "W", 0, 30.0, 31.0, [("recv", "to_w", 30.0)])
+    trace = st.build()
+    return extract_logical_structure(trace)
+
+
+def test_fig11_first_block_always_charged():
+    result = idle_experienced(_fig11_structure())
+    structure = _fig11_structure()
+    names = {b.id: structure.trace.entry(
+        structure.trace.executions[b.executions[0]].entry).name
+        for b in structure.blocks}
+    charged = {names[b] for b in result.by_block}
+    assert "X" in charged
+
+
+def test_fig11_propagates_to_waiting_dependency():
+    structure = _fig11_structure()
+    result = idle_experienced(structure)
+    names = {b.id: structure.trace.entry(
+        structure.trace.executions[b.executions[0]].entry).name
+        for b in structure.blocks}
+    charged = {names[b] for b in result.by_block}
+    assert "Y" in charged      # send at t=8 < idle end 10
+    assert "Z" not in charged  # send at t=25 > idle end
+    assert "W" not in charged  # propagation stopped at Z
+
+
+def test_charge_amount_is_idle_duration():
+    structure = _fig11_structure()
+    result = idle_experienced(structure)
+    assert all(v == pytest.approx(6.0) for v in result.by_block.values())
+    assert result.total() == pytest.approx(12.0)  # X and Y
+
+
+def test_by_event_anchors_on_first_event():
+    structure = _fig11_structure()
+    result = idle_experienced(structure)
+    for ev, val in result.by_event.items():
+        assert val > 0
+        block = structure.blocks[structure.block_of_event[ev]]
+        assert block.events[0] == ev
+
+
+def test_no_idle_no_metric(jacobi_structure):
+    result = idle_experienced(jacobi_structure)
+    # Jacobi has real idles (reduction waits), so the metric is non-empty
+    # and every charged block follows an idle interval on its PE.
+    trace = jacobi_structure.trace
+    for block_id, value in result.by_block.items():
+        block = jacobi_structure.blocks[block_id]
+        idles = trace.idles_by_pe[block.pe]
+        assert any(iv.end <= block.start + 1e-9 for iv in idles)
+        assert value > 0
+
+
+def test_max_block_helper():
+    structure = _fig11_structure()
+    result = idle_experienced(structure)
+    assert result.by_block[result.max_block()] == max(result.by_block.values())

@@ -1,0 +1,55 @@
+"""Per-phase processor imbalance (Section 4, Figure 14)."""
+
+import pytest
+
+from repro.core import extract_logical_structure
+from repro.metrics import imbalance
+from repro.apps import jacobi2d
+from repro.sim.noise import SlowProcessor
+
+
+def test_imbalance_nonnegative_and_zero_for_min(jacobi_structure):
+    result = imbalance(jacobi_structure)
+    assert all(v >= 0 for v in result.by_phase_pe.values())
+    # Per phase, the minimally loaded PE has imbalance exactly 0.
+    phases = {p for p, _pe in result.by_phase_pe}
+    for phase in phases:
+        values = [v for (p, _pe), v in result.by_phase_pe.items() if p == phase]
+        assert min(values) == pytest.approx(0.0)
+
+
+def test_max_by_phase_is_spread(jacobi_structure):
+    result = imbalance(jacobi_structure)
+    for phase, spread in result.max_by_phase.items():
+        values = [v for (p, _pe), v in result.by_phase_pe.items() if p == phase]
+        assert spread == pytest.approx(max(values))
+
+
+def test_slow_processor_dominates_imbalance():
+    """Figure 14: a straggler PE shows up as the imbalanced processor in
+    the compute phases."""
+    trace = jacobi2d.run(chares=(4, 4), pes=4, iterations=3, seed=7,
+                         noise=SlowProcessor([2], factor=3.0))
+    structure = extract_logical_structure(trace)
+    result = imbalance(structure)
+    # In the application phases, PE 2 carries the worst imbalance.
+    app_phases = [p.id for p in structure.application_phases() if len(p) > 8]
+    assert app_phases
+    for phase in app_phases:
+        loads = {pe: v for (p, pe), v in result.by_phase_pe.items() if p == phase}
+        assert max(loads, key=loads.get) == 2
+
+
+def test_by_event_matches_phase_pe(jacobi_structure):
+    result = imbalance(jacobi_structure)
+    trace = jacobi_structure.trace
+    for ev, value in list(result.by_event.items())[:200]:
+        phase = jacobi_structure.phase_of_event[ev]
+        pe = trace.events[ev].pe
+        assert value == result.by_phase_pe[(phase, pe)]
+
+
+def test_worst_phase_helper(jacobi_structure):
+    result = imbalance(jacobi_structure)
+    worst = result.worst_phase()
+    assert result.max_by_phase[worst] == max(result.max_by_phase.values())

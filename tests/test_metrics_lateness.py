@@ -1,0 +1,29 @@
+"""Traditional lateness baseline."""
+
+import pytest
+
+from repro.metrics import lateness
+
+
+def test_lateness_nonnegative_and_zero_min_per_step(jacobi_structure):
+    late = lateness(jacobi_structure)
+    assert late
+    assert all(v >= 0 for v in late.values())
+    by_step = {}
+    for ev, v in late.items():
+        by_step.setdefault(jacobi_structure.step_of_event[ev], []).append(v)
+    for values in by_step.values():
+        assert min(values) == pytest.approx(0.0)
+
+
+def test_lateness_measures_time_spread(jacobi_structure):
+    late = lateness(jacobi_structure)
+    trace = jacobi_structure.trace
+    by_step = {}
+    for ev, v in late.items():
+        by_step.setdefault(jacobi_structure.step_of_event[ev], []).append((ev, v))
+    for step, pairs in by_step.items():
+        times = [trace.events[e].time for e, _ in pairs]
+        lo = min(times)
+        for ev, v in pairs:
+            assert v == pytest.approx(trace.events[ev].time - lo)

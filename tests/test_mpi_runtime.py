@@ -1,0 +1,343 @@
+"""Behavioural tests of the MPI rank simulator."""
+
+import pytest
+
+from repro.sim.mpi import MpiSimulation
+from repro.trace import validate_trace
+from repro.trace.events import EventKind
+
+
+def _run(fn, n=2, **kw):
+    sim = MpiSimulation(num_ranks=n, **kw)
+    sim.run(fn)
+    return sim.finish()
+
+
+def test_send_recv_payload():
+    got = {}
+
+    def body(rank, comm):
+        if rank == 0:
+            yield comm.compute(5.0)
+            yield comm.send(1, tag=7, size=64, payload={"x": 3})
+        else:
+            got[rank] = yield comm.recv(0, tag=7)
+
+    _run(body)
+    assert got == {1: {"x": 3}}
+
+
+def test_recv_blocks_until_arrival_and_records_wait():
+    def body(rank, comm):
+        if rank == 0:
+            yield comm.compute(100.0)
+            yield comm.send(1, tag=0)
+        else:
+            yield comm.recv(0, tag=0)
+
+    trace = _run(body)
+    recv = [e for e in trace.events if e.kind == EventKind.RECV][0]
+    send = [e for e in trace.events if e.kind == EventKind.SEND][0]
+    assert recv.time > send.time >= 100.0
+    # The receiver's wait appears as an idle interval on its PE.
+    assert any(iv.pe == 1 and iv.duration() > 50 for iv in trace.idles)
+
+
+def test_messages_non_overtaking_per_tag():
+    order = []
+
+    def body(rank, comm):
+        if rank == 0:
+            yield comm.send(1, tag=0, payload="first")
+            yield comm.send(1, tag=0, payload="second")
+        else:
+            order.append((yield comm.recv(0, tag=0)))
+            order.append((yield comm.recv(0, tag=0)))
+
+    _run(body)
+    assert order == ["first", "second"]
+
+
+def test_tags_match_independently():
+    got = {}
+
+    def body(rank, comm):
+        if rank == 0:
+            yield comm.send(1, tag=1, payload="one")
+            yield comm.send(1, tag=2, payload="two")
+        else:
+            got["two"] = yield comm.recv(0, tag=2)
+            got["one"] = yield comm.recv(0, tag=1)
+
+    _run(body)
+    assert got == {"one": "one", "two": "two"}
+
+
+def test_allreduce_value_and_trace_shape():
+    results = {}
+
+    def body(rank, comm):
+        yield comm.compute(float(rank) * 10)
+        results[rank] = yield comm.allreduce(float(rank), op="sum")
+
+    trace = _run(body, n=4)
+    assert results == {r: 6.0 for r in range(4)}
+    colls = [x for x in trace.executions
+             if trace.entry(x.entry).name == "MPI_Allreduce"]
+    assert len(colls) == 4
+    # All ranks complete the collective at the same time.
+    ends = {x.end for x in colls}
+    assert len(ends) == 1
+    # Ring matching: every collective message is complete.
+    validate_trace(trace, check_pe_overlap=False)
+
+
+def test_barrier_synchronizes():
+    def body(rank, comm):
+        yield comm.compute(float(rank) * 50)
+        yield comm.barrier()
+
+    trace = _run(body, n=3)
+    bars = [x for x in trace.executions
+            if trace.entry(x.entry).name == "MPI_Barrier"]
+    assert len({x.end for x in bars}) == 1
+
+
+def test_consecutive_collectives_match_by_count():
+    seen = []
+
+    def body(rank, comm):
+        a = yield comm.allreduce(rank, op="max")
+        b = yield comm.allreduce(rank, op="min")
+        if rank == 0:
+            seen.extend([a, b])
+
+    _run(body, n=3)
+    assert seen == [2, 0]
+
+
+def test_recv_merge_arrival_order_and_cost():
+    order = {}
+
+    def body(rank, comm):
+        if rank == 0:
+            got = yield comm.recv_merge([1, 2], tag=0, cost_per_unit=1.0)
+            order[0] = [src for src, _ in got]
+        elif rank == 1:
+            yield comm.compute(500.0)  # rank 1 sends late
+            yield comm.send(0, tag=0, payload=5)
+        else:
+            yield comm.compute(10.0)
+            yield comm.send(0, tag=0, payload=3)
+
+    trace = _run(body, n=3)
+    assert order[0] == [2, 1]  # arrival order, not rank order
+    recvs = [e for e in trace.events if e.kind == EventKind.RECV]
+    assert len(recvs) == 2
+    # Merge cost interleaves: second recv happens after first + cost.
+    times = sorted(e.time for e in recvs)
+    assert times[1] - times[0] >= 3.0
+
+
+def test_deadlock_detected():
+    def body(rank, comm):
+        yield comm.recv(1 - rank, tag=0)
+
+    sim = MpiSimulation(num_ranks=2)
+    with pytest.raises(RuntimeError, match="deadlock"):
+        sim.run(body)
+
+
+def test_self_send_rejected():
+    def body(rank, comm):
+        yield comm.send(rank, tag=0)
+
+    sim = MpiSimulation(num_ranks=1)
+    with pytest.raises(ValueError, match="self"):
+        sim.run(body)
+
+
+def test_bad_ranks_rejected():
+    def body(rank, comm):
+        yield comm.send(99, tag=0)
+
+    with pytest.raises(ValueError, match="destination"):
+        MpiSimulation(num_ranks=2).run(body)
+
+    def body2(rank, comm):
+        yield comm.recv_merge([], tag=0)
+
+    with pytest.raises(ValueError, match="empty"):
+        MpiSimulation(num_ranks=2).run(body2)
+
+
+def test_trace_marks_mpi_model():
+    def body(rank, comm):
+        yield comm.compute(1.0)
+
+    trace = _run(body)
+    assert trace.metadata["model"] == "mpi"
+    assert all(not c.is_runtime for c in trace.chares)
+    assert [c.home_pe for c in trace.chares] == [0, 1]
+
+
+def test_isend_irecv_waitall():
+    got = {}
+
+    def body(rank, comm):
+        if rank == 0:
+            reqs = []
+            for src in (1, 2):
+                reqs.append((yield comm.irecv(src, tag=0)))
+            results = yield comm.waitall(reqs)
+            got["payloads"] = sorted(results.values())
+        else:
+            yield comm.compute(10.0 * rank)
+            yield comm.isend(0, tag=0, payload=f"from{rank}")
+
+    trace = _run(body, n=3)
+    assert got["payloads"] == ["from1", "from2"]
+    recvs = [e for e in trace.events if e.kind == EventKind.RECV]
+    assert len(recvs) == 2
+
+
+def test_waitall_completes_in_arrival_order():
+    order = {}
+
+    def body(rank, comm):
+        if rank == 0:
+            r1 = yield comm.irecv(1, tag=0)
+            r2 = yield comm.irecv(2, tag=0)
+            results = yield comm.waitall([r1, r2])
+            order["results"] = results
+        elif rank == 1:
+            yield comm.compute(500.0)  # rank 1 arrives last
+            yield comm.send(0, tag=0, payload="slow")
+        else:
+            yield comm.send(0, tag=0, payload="fast")
+
+    trace = _run(body, n=3)
+    # Both completed; the recv events are ordered by arrival in the trace.
+    recvs = sorted(
+        (e for e in trace.events if e.kind == EventKind.RECV),
+        key=lambda e: e.time,
+    )
+    srcs = []
+    for e in recvs:
+        mid = trace.message_by_recv[e.id]
+        srcs.append(trace.events[trace.messages[mid].send_event].chare)
+    assert srcs == [2, 1]  # fast sender's message received first
+
+
+def test_waitall_fifo_within_channel():
+    got = {}
+
+    def body(rank, comm):
+        if rank == 0:
+            r1 = yield comm.irecv(1, tag=0)
+            r2 = yield comm.irecv(1, tag=0)
+            results = yield comm.waitall([r1, r2])
+            got[r1.serial] = results[r1]
+            got[r2.serial] = results[r2]
+        else:
+            yield comm.send(0, tag=0, payload="first")
+            yield comm.send(0, tag=0, payload="second")
+
+    _run(body, n=2)
+    serials = sorted(got)
+    assert got[serials[0]] == "first"
+    assert got[serials[1]] == "second"
+
+
+def test_waitall_rejects_non_requests():
+    def body(rank, comm):
+        yield comm.waitall(["nope"])
+
+    with pytest.raises(TypeError, match="Request"):
+        MpiSimulation(num_ranks=1).run(body)
+
+
+def test_reduce_root_gets_value():
+    got = {}
+
+    def body(rank, comm):
+        yield comm.compute(5.0 * rank)
+        got[rank] = yield comm.reduce(float(rank + 1), op="sum", root=2)
+
+    trace = _run(body, n=4)
+    assert got[2] == 10.0
+    assert got[0] is None and got[1] is None and got[3] is None
+    # Traced as a single synchronizing unit: one region per rank, all
+    # completing together (the paper's single-call collective abstraction).
+    reduces = [x for x in trace.executions
+               if trace.entry(x.entry).name == "MPI_Reduce"]
+    assert len(reduces) == 4
+    assert len({x.end for x in reduces}) == 1
+    validate_trace(trace, check_pe_overlap=False)
+
+
+def test_bcast_delivers_root_value():
+    got = {}
+
+    def body(rank, comm):
+        yield comm.compute(3.0 * rank)
+        got[rank] = yield comm.bcast("payload" if rank == 1 else None, root=1)
+
+    trace = _run(body, n=4)
+    assert got == {r: "payload" for r in range(4)}
+    sends = [e for e in trace.events if e.kind == EventKind.SEND]
+    assert len(sends) == 1  # one fan-out send event at the root
+    assert len(trace.messages_by_send[sends[0].id]) == 3
+    validate_trace(trace, check_pe_overlap=False)
+
+
+def test_rooted_collectives_form_single_phase():
+    from repro.core import extract_logical_structure
+
+    def body(rank, comm):
+        yield comm.compute(4.0 + rank)
+        yield comm.reduce(1.0, op="sum", root=0)
+        yield comm.compute(4.0)
+        yield comm.bcast(rank == 0 and "go" or None, root=0)
+
+    trace = _run(body, n=4)
+    structure = extract_logical_structure(trace, order="physical")
+    sigs = [dict(structure.phase_entry_signature(p.id)) for p in structure.phases]
+    reduce_phases = [s for s in sigs if any("Reduce" in n for n in s)]
+    bcast_phases = [s for s in sigs if any("Bcast" in n for n in s)]
+    assert len(reduce_phases) == 1  # each collective is one phase
+    assert len(bcast_phases) == 1
+
+
+def test_bad_root_rejected():
+    def body(rank, comm):
+        yield comm.reduce(1.0, root=9)
+
+    with pytest.raises(ValueError, match="root"):
+        MpiSimulation(num_ranks=2).run(body)
+
+
+def test_recv_any_matches_one_of_several():
+    got = {}
+
+    def body(rank, comm):
+        if rank == 0:
+            first = yield comm.recv_any([1, 2], tag=0)
+            second = yield comm.recv_any([1, 2], tag=0)
+            got["order"] = [first[0], second[0]]
+            got["payloads"] = sorted([first[1], second[1]])
+        else:
+            yield comm.compute(10.0 * rank)
+            yield comm.send(0, tag=0, payload=f"p{rank}")
+
+    _run(body, n=3)
+    assert sorted(got["order"]) == [1, 2]
+    assert got["payloads"] == ["p1", "p2"]
+
+
+def test_recv_any_validates_sources():
+    def body(rank, comm):
+        yield comm.recv_any([], tag=0)
+
+    with pytest.raises(ValueError, match="empty"):
+        MpiSimulation(num_ranks=1).run(body)

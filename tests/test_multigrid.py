@@ -1,0 +1,69 @@
+"""Multigrid two-array workload: inter-array phase structure."""
+
+import pytest
+
+from repro.apps import multigrid
+from repro.core import extract_logical_structure
+from repro.core.patterns import detect_period, signature_sequence
+from repro.trace import validate_trace
+
+
+@pytest.fixture(scope="module")
+def structure():
+    trace = multigrid.run(fine=(4, 4), pes=4, cycles=3, seed=1)
+    validate_trace(trace)
+    return extract_logical_structure(trace)
+
+
+def test_vcycle_repeats(structure):
+    sigs = signature_sequence(structure)
+    period, _start, repeats = detect_period(sigs, min_repeats=2)
+    assert period == 5 and repeats >= 2  # 4 app stages + reduction
+
+
+def test_vcycle_stage_order(structure):
+    order = structure.phase_sequence()
+    names = [
+        {n.split("::")[-1] for n, _ in structure.phase_entry_signature(p)}
+        for p in order
+    ]
+    # Cycle 2 (away from the prologue): smooth -> restrict -> solve ->
+    # prolongate -> reduce.
+    stages = names[5:10]
+    assert "smooth" in stages[0]
+    assert "restrict_residual" in stages[1]
+    assert "solve" in stages[2]
+    assert "prolongate" in stages[3]
+    assert "contribute_local" in stages[4]
+
+
+def test_arrays_stay_separate_phases(structure):
+    """Fine exchange phases contain no coarse chares and vice versa."""
+    trace = structure.trace
+    fine = {c.id for c in trace.chares if c.name.startswith("Fine")}
+    coarse = {c.id for c in trace.chares if c.name.startswith("Coarse")}
+    assert fine and coarse
+    for pid in structure.phase_sequence():
+        names = {n.split("::")[-1] for n, _ in structure.phase_entry_signature(pid)}
+        chares = structure.phase(pid).chares
+        if names == {"recv_cghost", "solve"}:
+            assert chares <= coarse
+        if names == {"smooth", "recv_ghost"}:
+            assert chares <= fine
+
+
+def test_cross_array_phases_bridge(structure):
+    """Restriction/prolongation phases span both arrays."""
+    trace = structure.trace
+    fine = {c.id for c in trace.chares if c.name.startswith("Fine")}
+    coarse = {c.id for c in trace.chares if c.name.startswith("Coarse")}
+    bridges = 0
+    for phase in structure.phases:
+        if phase.chares & fine and phase.chares & coarse:
+            bridges += 1
+    assert bridges >= 6  # restriction + prolongation per cycle
+
+
+def test_odd_fine_grid_rejected():
+    with pytest.raises(ValueError, match="even"):
+        multigrid.run(fine=(3, 4))

@@ -1,0 +1,100 @@
+"""Latency and noise model behaviour."""
+
+import pytest
+
+from repro.sim.network import ConstantLatency, GammaLatency, UniformLatency
+from repro.sim.noise import (
+    ChareSlowdown,
+    ComposedNoise,
+    GaussianNoise,
+    NoNoise,
+    PeriodicJitter,
+    SlowProcessor,
+)
+
+
+# -- latency ----------------------------------------------------------------
+def test_constant_latency_local_vs_remote():
+    model = ConstantLatency(base=2.0, per_byte=0.01, local=0.1)
+    assert model.latency(0, 1, 100) == pytest.approx(3.0)
+    assert model.latency(0, 0, 100) < model.latency(0, 1, 100)
+
+
+def test_constant_latency_rejects_negative():
+    with pytest.raises(ValueError):
+        ConstantLatency(base=-1.0)
+
+
+def test_uniform_latency_bounded_and_seeded():
+    a = UniformLatency(base=2.0, per_byte=0.0, jitter=0.5, seed=42)
+    b = UniformLatency(base=2.0, per_byte=0.0, jitter=0.5, seed=42)
+    xs = [a.latency(0, 1, 8) for _ in range(100)]
+    ys = [b.latency(0, 1, 8) for _ in range(100)]
+    assert xs == ys  # deterministic given seed
+    assert all(2.0 <= x <= 3.0 for x in xs)
+    assert len(set(xs)) > 1  # actually varies
+
+
+def test_gamma_latency_heavy_tail_positive():
+    model = GammaLatency(base=1.0, per_byte=0.0, shape=2.0, scale=3.0, seed=0)
+    xs = [model.latency(0, 1, 8) for _ in range(200)]
+    assert all(x >= 1.0 for x in xs)
+    assert max(xs) > 5.0  # tail exists
+
+
+def test_gamma_zero_scale_is_deterministic():
+    model = GammaLatency(base=1.0, per_byte=0.0, scale=0.0)
+    assert model.latency(0, 1, 8) == pytest.approx(1.0)
+
+
+# -- noise --------------------------------------------------------------------
+def test_no_noise_identity():
+    assert NoNoise().perturb(0, 0, 7.5) == 7.5
+
+
+def test_gaussian_noise_stays_positive_and_seeded():
+    a = GaussianNoise(sigma=0.5, seed=1)
+    b = GaussianNoise(sigma=0.5, seed=1)
+    xs = [a.perturb(0, 0, 10.0) for _ in range(100)]
+    assert xs == [b.perturb(0, 0, 10.0) for _ in range(100)]
+    assert all(x > 0 for x in xs)
+
+
+def test_slow_processor_only_affects_listed_pes():
+    model = SlowProcessor([2], factor=3.0)
+    assert model.perturb(2, 0, 10.0) == 30.0
+    assert model.perturb(1, 0, 10.0) == 10.0
+
+
+def test_chare_slowdown_only_affects_listed_chares():
+    model = ChareSlowdown([5], factor=2.0)
+    assert model.perturb(0, 5, 4.0) == 8.0
+    assert model.perturb(0, 4, 4.0) == 4.0
+
+
+def test_periodic_jitter_adds_cost_on_window_crossings():
+    model = PeriodicJitter(period=100.0, cost=10.0, stagger=0.0)
+    # A span crossing one window boundary pays one jitter cost.
+    total = model.perturb(0, 0, 150.0)
+    assert total == pytest.approx(160.0)
+    # A short span inside a window pays nothing.
+    assert model.perturb(0, 0, 10.0) == pytest.approx(10.0)
+
+
+def test_composed_noise_applies_in_sequence():
+    model = ComposedNoise(SlowProcessor([0], 2.0), ChareSlowdown([1], 3.0))
+    assert model.perturb(0, 1, 5.0) == 30.0
+    assert model.perturb(1, 0, 5.0) == 5.0
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        GaussianNoise(sigma=-0.1)
+    with pytest.raises(ValueError):
+        SlowProcessor([0], factor=0.0)
+    with pytest.raises(ValueError):
+        PeriodicJitter(period=0.0)
+    with pytest.raises(ValueError):
+        UniformLatency(jitter=-1.0)
+    with pytest.raises(ValueError):
+        GammaLatency(shape=0.0)

@@ -1,0 +1,48 @@
+"""Phase-pattern detection utilities."""
+
+from repro.core import extract_logical_structure
+from repro.core.patterns import (
+    detect_period,
+    kind_sequence,
+    repeating_unit,
+    signature_sequence,
+)
+
+
+def test_detect_period_simple():
+    assert detect_period(list("abab" * 3), min_repeats=3)[0] == 2
+
+
+def test_detect_period_with_prologue():
+    items = list("xy") + list("abc" * 4)
+    period, start, repeats = detect_period(items, min_repeats=3)
+    assert (period, start) == (3, 2)
+    assert repeats == 4
+
+
+def test_detect_period_none():
+    assert detect_period(list("abcdefgh"), min_repeats=3) == (0, 0, 0)
+
+
+def test_detect_period_prefers_smallest_on_tie():
+    period, _, _ = detect_period(list("aaaaaaaa"), min_repeats=3)
+    assert period == 1
+
+
+def test_kind_sequence_alternates_for_jacobi(jacobi_structure):
+    seq = kind_sequence(jacobi_structure)
+    assert seq == "ar" * 3  # 3 iterations: app exchange + runtime reduction
+
+
+def test_signature_sequence_matches_phases(jacobi_structure):
+    sigs = signature_sequence(jacobi_structure)
+    assert len(sigs) == len(jacobi_structure.phases)
+    # Iterations 1 and 2 share identical application signatures.
+    assert sigs[2] == sigs[4]
+
+
+def test_repeating_unit_jacobi(jacobi_structure):
+    unit = repeating_unit(jacobi_structure, min_repeats=2)
+    assert unit
+    kinds = [u["kind"] for u in unit]
+    assert "application" in kinds and "runtime" in kinds

@@ -1,0 +1,84 @@
+"""Projections-format round trip and error handling."""
+
+import pytest
+
+from repro.core import extract_logical_structure
+from repro.core.patterns import kind_sequence
+from repro.trace.projections import (
+    ProjectionsFormatError,
+    read_projections,
+    write_projections,
+)
+
+
+@pytest.fixture()
+def roundtripped(tmp_path, jacobi_trace):
+    files = write_projections(jacobi_trace, tmp_path / "jac")
+    assert len(files) == 1 + jacobi_trace.num_pes
+    return read_projections(tmp_path / "jac.sts")
+
+
+def test_counts_preserved(jacobi_trace, roundtripped):
+    back = roundtripped
+    assert back.num_pes == jacobi_trace.num_pes
+    assert len(back.executions) == len(jacobi_trace.executions)
+    # Application chares and runtime chares survive with their classes.
+    assert len(back.application_chares()) == len(jacobi_trace.application_chares())
+    assert len(back.runtime_chares()) == len(jacobi_trace.runtime_chares())
+
+
+def test_messages_rematched(jacobi_trace, roundtripped):
+    orig_complete = sum(m.is_complete() for m in jacobi_trace.messages)
+    back_complete = sum(m.is_complete() for m in roundtripped.messages)
+    assert back_complete == orig_complete
+
+
+def test_sdag_metadata_survives(jacobi_trace, roundtripped):
+    orig = {e.sdag_ordinal for e in jacobi_trace.entries if e.is_sdag_serial}
+    back = {e.sdag_ordinal for e in roundtripped.entries if e.is_sdag_serial}
+    assert back == orig
+
+
+def test_idle_preserved(jacobi_trace, roundtripped):
+    assert len(roundtripped.idles) == len(jacobi_trace.idles)
+
+
+def test_same_logical_structure(jacobi_trace, roundtripped):
+    original = kind_sequence(extract_logical_structure(jacobi_trace))
+    back = kind_sequence(extract_logical_structure(roundtripped))
+    assert back == original
+
+
+def test_untraced_invocations_survive(tmp_path, pdes_trace):
+    files = write_projections(pdes_trace, tmp_path / "pdes")
+    back = read_projections(tmp_path / "pdes.sts")
+    orig_untraced = sum(1 for x in pdes_trace.executions if x.recv_event < 0)
+    back_untraced = sum(1 for x in back.executions if x.recv_event < 0)
+    assert back_untraced == orig_untraced
+    # The Figure 24 concurrency survives the format.
+    structure = extract_logical_structure(back)
+    app = structure.application_phases()
+    rt = structure.runtime_phases()
+    assert {p.leap for p in app} & {p.leap for p in rt}
+
+
+def test_missing_log_rejected(tmp_path, jacobi_trace):
+    write_projections(jacobi_trace, tmp_path / "jac")
+    (tmp_path / "jac.3.log").unlink()
+    with pytest.raises(ProjectionsFormatError, match="missing log"):
+        read_projections(tmp_path / "jac.sts")
+
+
+def test_bad_sts_rejected(tmp_path):
+    sts = tmp_path / "bad.sts"
+    sts.write_text("MACHINE x\nEND\n")
+    with pytest.raises(ProjectionsFormatError, match="PROCESSORS"):
+        read_projections(sts)
+
+
+def test_unknown_record_rejected(tmp_path, jacobi_trace):
+    write_projections(jacobi_trace, tmp_path / "jac")
+    log = tmp_path / "jac.0.log"
+    log.write_text(log.read_text() + "42 1 2 3\n")
+    with pytest.raises(ProjectionsFormatError, match="unknown record"):
+        read_projections(tmp_path / "jac.sts")

@@ -1,0 +1,199 @@
+"""Property-based tests (hypothesis) on core data structures and the
+pipeline's invariants over randomly generated—but physically valid—traces."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import extract_logical_structure
+from repro.core.partition import DisjointSets
+from repro.core.patterns import detect_period
+from repro.core.stepping import assign_global_offsets
+from repro.sim.charm import WhenCounter
+from repro.trace.events import EventKind, NO_ID
+from repro.trace.model import TraceBuilder
+from repro.trace.validate import validate_trace
+
+
+# ---------------------------------------------------------------------------
+# DisjointSets
+# ---------------------------------------------------------------------------
+@given(st.integers(2, 50), st.lists(st.tuples(st.integers(0, 49), st.integers(0, 49))))
+def test_dsu_find_consistent_with_unions(n, pairs):
+    dsu = DisjointSets(n)
+    reference = {i: {i} for i in range(n)}
+    for a, b in pairs:
+        a, b = a % n, b % n
+        ra = next(k for k, v in reference.items() if a in v)
+        rb = next(k for k, v in reference.items() if b in v)
+        merged = dsu.union(a, b)
+        assert merged == (ra != rb)
+        if ra != rb:
+            reference[ra] |= reference.pop(rb)
+    for group in reference.values():
+        roots = {dsu.find(x) for x in group}
+        assert len(roots) == 1
+    assert dsu.count == len(reference)
+
+
+@given(st.integers(1, 100))
+def test_dsu_initial_state(n):
+    dsu = DisjointSets(n)
+    assert dsu.count == n
+    assert all(dsu.find(i) == i for i in range(n))
+
+
+# ---------------------------------------------------------------------------
+# WhenCounter
+# ---------------------------------------------------------------------------
+@given(st.integers(1, 10), st.lists(st.integers(0, 4), max_size=80))
+def test_when_counter_fires_every_expected(expected, keys):
+    w = WhenCounter(expected)
+    fired = {}
+    counts = {}
+    for key in keys:
+        counts[key] = counts.get(key, 0) + 1
+        if w.deposit(key):
+            fired[key] = fired.get(key, 0) + 1
+    for key, total in counts.items():
+        assert fired.get(key, 0) == total // expected
+
+
+# ---------------------------------------------------------------------------
+# detect_period
+# ---------------------------------------------------------------------------
+@given(st.lists(st.integers(0, 3), min_size=1, max_size=6),
+       st.integers(3, 6),
+       st.lists(st.integers(0, 3), max_size=4))
+def test_detect_period_finds_planted_repetition(unit, repeats, prologue):
+    items = prologue + unit * repeats
+    period, start, found = detect_period(items, min_repeats=3,
+                                         skip_prefix_max=len(prologue))
+    assert period > 0
+    # The detected repetition must be genuine.
+    assert items[start:start + period] * found == items[start:start + period * found]
+    # And must cover at least as much as the planted one.
+    assert period * found >= len(unit) * repeats - len(unit)
+
+
+# ---------------------------------------------------------------------------
+# Global offsets
+# ---------------------------------------------------------------------------
+@given(st.integers(1, 30), st.data())
+def test_offsets_respect_random_dags(n, data):
+    preds = {}
+    max_local = {}
+    for i in range(n):
+        k = data.draw(st.integers(0, min(i, 3)))
+        preds[i] = set(data.draw(st.lists(
+            st.integers(0, i - 1), min_size=k, max_size=k, unique=True))) if i else set()
+        max_local[i] = data.draw(st.integers(-1, 5))
+    offsets = assign_global_offsets(list(range(n)), preds, max_local)
+    for i in range(n):
+        for q in preds[i]:
+            assert offsets[i] >= offsets[q] + max_local[q] + 1
+
+
+# ---------------------------------------------------------------------------
+# Random-trace pipeline invariants
+# ---------------------------------------------------------------------------
+def _random_trace(seed: int, n_chares: int, n_rounds: int,
+                  drop_prob: float) -> "Trace":
+    """Generate a physically valid chare trace: per-PE non-overlapping
+    blocks in causal order, with some invocations untraced (drop_prob)."""
+    rng = random.Random(seed)
+    n_pes = max(1, n_chares // 2)
+    b = TraceBuilder(num_pes=n_pes)
+    chares = []
+    for i in range(n_chares):
+        runtime = rng.random() < 0.2
+        chares.append(b.add_chare(f"C{i}", is_runtime=runtime, home_pe=i % n_pes))
+    entry = b.add_entry("act", is_sdag_serial=rng.random() < 0.5, sdag_ordinal=0)
+    pe_clock = [0.0] * n_pes
+    # messages in flight: (arrival, dest chare, message id or NO_ID)
+    inflight = []
+    for i, c in enumerate(chares):
+        pe = i % n_pes
+        start = pe_clock[pe]
+        x = b.add_execution(c, entry, pe, start, start + 1.0)
+        ev = b.add_event(EventKind.SEND, c, pe, start + 0.5, x)
+        mid = b.add_message(send_event=ev) if rng.random() > drop_prob else NO_ID
+        dest = rng.randrange(n_chares)
+        inflight.append([start + 2.0 + rng.random(), dest, mid])
+        pe_clock[pe] = start + 1.0 + 0.1
+    for _ in range(n_rounds):
+        if not inflight:
+            break
+        inflight.sort()
+        arrival, dest, mid = inflight.pop(0)
+        pe = dest % n_pes
+        start = max(arrival, pe_clock[pe])
+        if pe_clock[pe] < start:
+            b.add_idle(pe, pe_clock[pe], start)
+        end = start + 0.5 + rng.random()
+        x = b.add_execution(chares[dest], entry, pe, start, end)
+        if mid != NO_ID:
+            rev = b.add_event(EventKind.RECV, chares[dest], pe, start, x)
+            b._messages[mid].recv_event = rev
+            b.set_execution_recv(x, rev)
+        if rng.random() < 0.7:
+            t = start + (end - start) * 0.5
+            ev = b.add_event(EventKind.SEND, chares[dest], pe, t, x)
+            new_mid = b.add_message(send_event=ev) if rng.random() > drop_prob else NO_ID
+            inflight.append([end + 1.0 + rng.random(), rng.randrange(n_chares), new_mid])
+        pe_clock[pe] = end + 0.1
+    return b.build()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n_chares=st.integers(2, 10),
+    n_rounds=st.integers(0, 40),
+    drop_prob=st.floats(0.0, 0.6),
+    order=st.sampled_from(["reordered", "physical"]),
+)
+def test_pipeline_invariants_on_random_traces(seed, n_chares, n_rounds,
+                                              drop_prob, order):
+    trace = _random_trace(seed, n_chares, n_rounds, drop_prob)
+    validate_trace(trace)
+    structure = extract_logical_structure(trace, order=order)
+
+    # Conservation: every dependency event appears in exactly one phase.
+    assert sum(len(p) for p in structure.phases) == len(trace.events)
+
+    # Per-chare global-step uniqueness.
+    seen = set()
+    for ev, step in enumerate(structure.step_of_event):
+        assert step >= 0
+        key = (trace.events[ev].chare, step)
+        assert key not in seen
+        seen.add(key)
+
+    # Receives strictly after sends.
+    for msg in trace.messages:
+        if msg.is_complete():
+            assert (structure.step_of_event[msg.recv_event]
+                    > structure.step_of_event[msg.send_event])
+
+    # Phase DAG acyclicity is implied by offsets having been computed;
+    # also check leap exclusivity (DAG property 1).
+    seen_leap = set()
+    for phase in structure.phases:
+        for c in phase.chares:
+            key = (phase.leap, c)
+            assert key not in seen_leap
+            seen_leap.add(key)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_reordering_is_permutation_of_physical(seed):
+    trace = _random_trace(seed, 6, 30, 0.2)
+    re = extract_logical_structure(trace, order="reordered")
+    ph = extract_logical_structure(trace, order="physical")
+    # Same partitioning; ordering only permutes events within chares.
+    assert sorted(map(len, re.phases)) == sorted(map(len, ph.phases))
+    for (pid, chare), order in re.chare_orders.items():
+        assert sorted(order) == sorted(ph.chare_orders[(pid, chare)])

@@ -1,0 +1,78 @@
+"""Property-based tests for the extension subsystems."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import extract_logical_structure
+from repro.trace import validate_trace
+from repro.trace.clocksync import (
+    apply_clock_skew,
+    count_violations,
+    synchronize_trace,
+)
+from repro.trace.filter import filter_chares, slice_time
+from repro.trace.projections import read_projections, write_projections
+from tests.test_properties import _random_trace
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    offsets=st.lists(st.floats(-200.0, 200.0), min_size=5, max_size=5),
+)
+def test_synchronize_always_repairs(seed, offsets):
+    trace = _random_trace(seed, 8, 30, 0.1)
+    skewed = apply_clock_skew(trace, offsets[: trace.num_pes]
+                              + [0.0] * max(0, trace.num_pes - len(offsets)))
+    fixed, stats = synchronize_trace(skewed)
+    assert stats.violations_after == 0
+    assert count_violations(fixed) == 0
+    # Repair never loses records.
+    assert len(fixed.events) == len(trace.events)
+    assert len(fixed.executions) == len(trace.executions)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    lo=st.floats(0.0, 0.5),
+    width=st.floats(0.1, 1.0),
+)
+def test_slice_is_consistent_subtrace(seed, lo, width):
+    trace = _random_trace(seed, 6, 25, 0.2)
+    end = trace.end_time() or 1.0
+    part = slice_time(trace, lo * end, min(end, (lo + width) * end))
+    validate_trace(part)
+    # Kept executions are a subset (by coordinates).
+    orig = {(ex.chare, ex.pe, ex.start, ex.end) for ex in trace.executions}
+    assert all((ex.chare, ex.pe, ex.start, ex.end) in orig
+               for ex in part.executions)
+    # The slice stays analyzable.
+    structure = extract_logical_structure(part)
+    assert sum(len(p) for p in structure.phases) == len(part.events)
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 10_000), pick=st.integers(1, 5))
+def test_filter_chares_subset(seed, pick):
+    trace = _random_trace(seed, 8, 25, 0.2)
+    keep = list(range(min(pick, len(trace.chares))))
+    part = filter_chares(trace, keep)
+    assert {ex.chare for ex in part.executions} <= set(keep)
+    validate_trace(part)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_projections_roundtrip_random_traces(seed, tmp_path_factory):
+    trace = _random_trace(seed, 6, 25, 0.3)
+    base = tmp_path_factory.mktemp("proj") / "trace"
+    write_projections(trace, base)
+    back = read_projections(str(base) + ".sts")
+    assert back.num_pes == trace.num_pes
+    assert len(back.executions) == len(trace.executions)
+    assert (sum(m.is_complete() for m in back.messages)
+            == sum(m.is_complete() for m in trace.messages))
+    validate_trace(back, check_pe_overlap=False)

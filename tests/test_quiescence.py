@@ -1,0 +1,90 @@
+"""Quiescence detection service."""
+
+import pytest
+
+from repro.core import extract_logical_structure
+from repro.sim.charm import Chare, CharmRuntime
+from repro.trace import validate_trace
+
+
+class Worker(Chare):
+    """Bounces messages around for a while, then goes quiet."""
+
+    DONE_AT = {}
+
+    def init(self, hops=6, **_):
+        self.hops = hops
+
+    def start(self, _):
+        self.compute(3.0)
+        peer = self.array[((self.index[0] + 1) % len(self.array),)]
+        self.send(peer, "bounce", self.hops)
+
+    def bounce(self, hops):
+        self.compute(5.0)
+        if hops > 0:
+            peer = self.array[((self.index[0] + 1) % len(self.array),)]
+            self.send(peer, "bounce", hops - 1)
+
+    def quiet(self, _):
+        Worker.DONE_AT[self.index] = self.now
+
+
+def _run(hops=6, pes=2, workers=4):
+    Worker.DONE_AT = {}
+    rt = CharmRuntime(num_pes=pes)
+    arr = rt.create_array("Worker", Worker, shape=(workers,), hops=hops)
+    rt.start_quiescence_detection(arr[(0,)], "quiet", at=1.0)
+    for c in arr:
+        rt.seed(c, "start")
+    rt.run()
+    return rt, rt.finish()
+
+
+def test_quiescence_fires_after_all_work():
+    rt, trace = _run(hops=6)
+    assert Worker.DONE_AT  # the client was notified
+    validate_trace(trace)
+    # Notification comes after the last application message was processed.
+    last_app = max(
+        ex.end for ex in trace.executions
+        if trace.entry(ex.entry).name.startswith("Worker::bounce")
+    )
+    assert list(Worker.DONE_AT.values())[0] >= last_app
+
+
+def test_counters_balanced_at_end():
+    rt, _trace = _run(hops=4)
+    assert sum(rt.messages_created) == sum(rt.messages_processed)
+
+
+def test_qd_managers_are_runtime_chares():
+    _rt, trace = _run(hops=3)
+    mgrs = [c for c in trace.chares if c.name.startswith("CkQdMgr")]
+    assert len(mgrs) == 2
+    assert all(c.is_runtime for c in mgrs)
+
+
+def test_qd_phases_visible_and_separate():
+    _rt, trace = _run(hops=8, pes=4, workers=8)
+    structure = extract_logical_structure(trace)
+    qd_phases = [
+        p for p in structure.runtime_phases()
+        if any("QdManager" in n for n, _ in structure.phase_entry_signature(p.id))
+    ]
+    assert qd_phases
+    # QD never absorbs application work: the only application events in
+    # its phases are the final client notification ("quiet").
+    for p in qd_phases:
+        for ev in p.events:
+            if not trace.is_runtime_chare(trace.events[ev].chare):
+                ex = trace.executions[trace.events[ev].execution]
+                assert trace.entry(ex.entry).name.endswith("quiet")
+
+
+def test_double_start_rejected():
+    rt = CharmRuntime(num_pes=1)
+    arr = rt.create_array("Worker", Worker, shape=(1,))
+    rt.start_quiescence_detection(arr[(0,)], "quiet")
+    with pytest.raises(RuntimeError, match="already started"):
+        rt.start_quiescence_detection(arr[(0,)], "quiet")

@@ -1,0 +1,23 @@
+"""The README's code examples must actually run."""
+
+import re
+from pathlib import Path
+
+README = Path(__file__).parent.parent / "README.md"
+
+
+def test_quickstart_snippet_executes(capsys):
+    text = README.read_text()
+    blocks = re.findall(r"```python\n(.*?)```", text, re.DOTALL)
+    assert blocks, "README lost its python quickstart"
+    namespace = {}
+    exec(compile(blocks[0], "<README quickstart>", "exec"), namespace)
+    out = capsys.readouterr().out
+    assert "phases" in out  # the summary printed
+
+
+def test_readme_mentions_every_deliverable():
+    text = README.read_text()
+    for needle in ("DESIGN.md", "EXPERIMENTS.md", "docs/ALGORITHM.md",
+                   "pytest benchmarks/ --benchmark-only", "repro experiments"):
+        assert needle in text

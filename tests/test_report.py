@@ -1,0 +1,39 @@
+"""Performance report rendering and the report/diff CLI commands."""
+
+import pytest
+
+from repro.cli import main
+from repro.report import performance_report
+from repro.trace import write_trace
+
+
+def test_report_sections_present(jacobi_structure):
+    text = performance_report(jacobi_structure)
+    for section in ("== trace ==", "== logical structure ==",
+                    "== critical path ==", "== differential duration",
+                    "== idle experienced ==", "== imbalance =="):
+        assert section in text
+    assert "phase kinds: ararar" in text
+
+
+def test_report_critical_path_spans_iterations(jacobi_structure):
+    text = performance_report(jacobi_structure)
+    # The update compute dominates the path across all 3 iterations.
+    line = next(l for l in text.splitlines() if l.strip().endswith("update"))
+    assert float(line.split()[0]) > 150.0
+
+
+def test_cli_report(tmp_path, jacobi_trace, capsys):
+    path = tmp_path / "t.jsonl"
+    write_trace(jacobi_trace, path)
+    assert main(["report", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "== critical path ==" in out
+
+
+def test_cli_diff(tmp_path, jacobi_trace, capsys):
+    path = tmp_path / "t.jsonl"
+    write_trace(jacobi_trace, path)
+    assert main(["diff", str(path), str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "similarity: 1.00" in out

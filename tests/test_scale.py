@@ -1,0 +1,48 @@
+"""Medium-scale smoke tests: the invariants hold beyond toy sizes."""
+
+import pytest
+
+from repro.apps import lulesh, mergetree
+from repro.core import extract_logical_structure
+from repro.core.pipeline import PipelineStats
+
+
+@pytest.fixture(scope="module")
+def big_mergetree():
+    trace = mergetree.run(ranks=1024, seed=2, imbalance=5.0)
+    return trace, extract_logical_structure(trace)
+
+
+def test_mergetree_1024_invariants(big_mergetree):
+    trace, structure = big_mergetree
+    assert sum(len(p) for p in structure.phases) == len(trace.events)
+    seen = set()
+    for ev, step in enumerate(structure.step_of_event):
+        key = (trace.events[ev].chare, step)
+        assert key not in seen
+        seen.add(key)
+    for msg in trace.messages:
+        if msg.is_complete():
+            assert (structure.step_of_event[msg.recv_event]
+                    > structure.step_of_event[msg.send_event])
+
+
+def test_mergetree_1024_ladder(big_mergetree):
+    _trace, structure = big_mergetree
+    at0 = sum(1 for s in structure.step_of_event if s == 0)
+    assert at0 == 512  # all leaf sends at step 0
+
+
+def test_lulesh_512_chares_extracts_consistently():
+    trace = lulesh.run_charm(chares=512, pes=8, iterations=2, seed=3)
+    stats = PipelineStats()
+    structure = extract_logical_structure(trace, stats=stats)
+    # Setup (2) + 2 iterations x (2 exchange + 1 reduction), allowing the
+    # occasional split the paper also observes.
+    assert 8 <= len(structure.phases) <= 14
+    assert stats.initial_partitions > 5000
+    seen = set()
+    for ev, step in enumerate(structure.step_of_event):
+        key = (trace.events[ev].chare, step)
+        assert key not in seen
+        seen.add(key)

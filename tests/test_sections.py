@@ -1,0 +1,156 @@
+"""Array sections: multicast and section reductions."""
+
+import pytest
+
+from repro.core import extract_logical_structure
+from repro.sim.charm import Chare, CharmRuntime
+from repro.trace import validate_trace
+from repro.trace.events import EventKind
+
+
+class Grid(Chare):
+    """Members of `row_section` sum (column index + 1) to a single client."""
+
+    RESULTS = []
+
+    def init(self, **kw):
+        self.row_section = None
+
+    def go(self, section):
+        section.multicast_from(self._ctx(), "row_work", None, size=32)
+
+    def row_work(self, _msg):
+        self.compute(2.0)
+        self.row_section.contribute(
+            self, float(self.index[1] + 1), "sum",
+            ("send", self.array[(0, 0)], "row_done"),
+        )
+
+    def row_done(self, total):
+        Grid.RESULTS.append(total)
+
+
+class BcastGrid(Chare):
+    """Like Grid, but the section reduction broadcasts to the section."""
+
+    RESULTS = []
+
+    def init(self, **kw):
+        self.row_section = None
+
+    def go(self, section):
+        section.multicast_from(self._ctx(), "row_work", None, size=32)
+
+    def row_work(self, _msg):
+        self.compute(1.0)
+        self.row_section.contribute(self, 1.0, "sum",
+                                    ("broadcast", "bcast_back"))
+
+    def bcast_back(self, total):
+        BcastGrid.RESULTS.append((self.index, total))
+
+
+def _grid(cls=Grid, pes=3, shape=(3, 3)):
+    cls.RESULTS = []
+    rt = CharmRuntime(num_pes=pes)
+    arr = rt.create_array("Grid", cls, shape=shape)
+    return rt, arr
+
+
+def _wire(arr, section):
+    for c in arr:
+        c.row_section = section
+
+
+def test_multicast_reaches_only_members():
+    rt, arr = _grid()
+    row0 = arr.section([(0, j) for j in range(3)])
+    _wire(arr, row0)
+    rt.seed(arr[(0, 0)], "go", row0)
+    rt.run()
+    trace = rt.finish()
+    validate_trace(trace)
+    workers = {trace.chares[x.chare].name for x in trace.executions
+               if trace.entry(x.entry).name.endswith("row_work")}
+    assert workers == {"Grid[0, 0]", "Grid[0, 1]", "Grid[0, 2]"}
+
+
+def test_multicast_single_send_event():
+    rt, arr = _grid()
+    row0 = arr.section([(0, j) for j in range(3)])
+    _wire(arr, row0)
+    rt.seed(arr[(0, 0)], "go", row0)
+    rt.run()
+    trace = rt.finish()
+    go_exec = next(x for x in trace.executions
+                   if trace.entry(x.entry).name.endswith("go"))
+    sends = [e for e in trace.events_of(go_exec.id)
+             if trace.events[e].kind == EventKind.SEND]
+    assert len(sends) == 1
+    assert len(trace.messages_by_send[sends[0]]) == 3
+
+
+def test_section_reduction_value():
+    rt, arr = _grid()
+    row0 = arr.section([(0, j) for j in range(3)])
+    _wire(arr, row0)
+    rt.seed(arr[(0, 0)], "go", row0)
+    rt.run()
+    assert Grid.RESULTS == [6.0]  # 1 + 2 + 3
+
+
+def test_section_reduction_broadcast_target():
+    rt, arr = _grid(cls=BcastGrid)
+    row1 = arr.section([(1, j) for j in range(3)])
+    _wire(arr, row1)
+    rt.seed(arr[(1, 0)], "go", row1)
+    rt.run()
+    got = sorted(BcastGrid.RESULTS)
+    assert got == [((1, 0), 3.0), ((1, 1), 3.0), ((1, 2), 3.0)]
+
+
+def test_two_sections_reduce_independently():
+    rt, arr = _grid(pes=2, shape=(2, 4))
+    top = arr.section([(0, j) for j in range(4)])
+    bottom = arr.section([(1, j) for j in range(4)])
+    for c in arr:
+        c.row_section = top if c.index[0] == 0 else bottom
+    rt.seed(arr[(0, 0)], "go", top)
+    rt.seed(arr[(1, 0)], "go", bottom)
+    rt.run()
+    # Each row sums 1+2+3+4 = 10, delivered to (0, 0) twice.
+    assert sorted(Grid.RESULTS) == [10.0, 10.0]
+
+
+def test_section_member_validation():
+    rt, arr = _grid()
+    row0 = arr.section([(0, 0), (0, 1)])
+    with pytest.raises(ValueError, match="not a member"):
+        row0.contribute(arr[(2, 2)], 1.0, "sum", None)
+
+
+def test_duplicate_members_rejected():
+    rt, arr = _grid()
+    with pytest.raises(ValueError, match="duplicate"):
+        arr.section([(0, 0), (0, 0)])
+
+
+def test_empty_section_rejected():
+    rt, arr = _grid()
+    with pytest.raises(ValueError, match="at least one"):
+        arr.section([])
+
+
+def test_section_phase_spans_only_members():
+    rt, arr = _grid(pes=3, shape=(3, 3))
+    row2 = arr.section([(2, j) for j in range(3)])
+    _wire(arr, row2)
+    rt.seed(arr[(2, 0)], "go", row2)
+    rt.run()
+    trace = rt.finish()
+    structure = extract_logical_structure(trace)
+    members = {arr[(2, j)].trace_id for j in range(3)}
+    for phase in structure.application_phases():
+        app_chares = {c for c in phase.chares
+                      if not trace.is_runtime_chare(c)}
+        assert app_chares <= members

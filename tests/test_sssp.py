@@ -1,0 +1,65 @@
+"""Asynchronous SSSP: correctness against networkx, structure shape."""
+
+import pytest
+
+from repro.apps import sssp
+from repro.core import extract_logical_structure
+from repro.trace import validate_trace
+
+
+@pytest.fixture(scope="module")
+def result():
+    return sssp.run(nodes=60, edges=150, parts=8, pes=4, seed=3)
+
+
+def test_distances_match_dijkstra(result):
+    trace, distances = result
+    reference = sssp.reference_distances(60, 150, seed=3)
+    assert distances == pytest.approx(reference)
+
+
+def test_trace_valid(result):
+    trace, _ = result
+    validate_trace(trace)
+
+
+def test_structure_is_one_irregular_phase_plus_runtime(result):
+    trace, _ = result
+    structure = extract_logical_structure(trace)
+    app = structure.application_phases()
+    # The relaxation wave has no internal barriers: one dominant phase.
+    biggest = max(app, key=len)
+    relax_events = sum(
+        1 for ev in range(len(trace.events))
+        if trace.events[ev].execution >= 0
+        and trace.entry(
+            trace.executions[trace.events[ev].execution].entry
+        ).name.endswith("relax")
+    )
+    assert len(biggest) >= 0.9 * relax_events
+    # QD appears as runtime phases.
+    assert any(
+        any("QdManager" in n for n, _ in structure.phase_entry_signature(p.id))
+        for p in structure.runtime_phases()
+    )
+
+
+def test_harvest_follows_quiescence(result):
+    trace, _ = result
+    last_relax = max(x.end for x in trace.executions
+                     if trace.entry(x.entry).name.endswith("relax"))
+    first_harvest = min(x.start for x in trace.executions
+                        if trace.entry(x.entry).name.endswith("harvest"))
+    assert first_harvest > last_relax
+
+
+def test_different_seed_different_graph():
+    _, d3 = sssp.run(nodes=40, edges=90, parts=4, pes=2, seed=3)
+    _, d4 = sssp.run(nodes=40, edges=90, parts=4, pes=2, seed=4)
+    assert d3 != d4
+    assert d4 == pytest.approx(sssp.reference_distances(40, 90, seed=4))
+
+
+def test_every_node_reached(result):
+    _, distances = result
+    assert sorted(distances) == list(range(60))

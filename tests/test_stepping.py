@@ -1,0 +1,100 @@
+"""Local step assignment and global phase offsets (Section 3.2)."""
+
+import pytest
+
+from repro.core.stepping import assign_global_offsets, assign_local_steps
+from tests.helpers import SyntheticTrace
+
+
+def _phase_trace():
+    st = SyntheticTrace(num_pes=1)
+    a = st.chare("A")
+    b = st.chare("B")
+    st.block(a, "w", 0, 0.0, 2.0, [("send", "m1", 0.5), ("send", "m2", 1.0)])
+    st.block(b, "r", 0, 3.0, 5.0, [("recv", "m1", 3.0), ("recv", "m2", 4.0),
+                                   ("send", "m3", 4.5)])
+    st.block(a, "r2", 0, 6.0, 7.0, [("recv", "m3", 6.0)])
+    return st.build(), a, b
+
+
+def test_initial_sources_at_step_zero():
+    trace, a, b = _phase_trace()
+    events = list(range(len(trace.events)))
+    orders = {a: [0, 1, 5], b: [2, 3, 4]}
+    steps, max_s = assign_local_steps(trace, events, orders)
+    assert steps[0] == 0  # first send
+
+
+def test_receive_at_least_one_after_send():
+    trace, a, b = _phase_trace()
+    events = list(range(len(trace.events)))
+    orders = {a: [0, 1, 5], b: [2, 3, 4]}
+    steps, _ = assign_local_steps(trace, events, orders)
+    # m1: send ev0 -> recv ev2; m2: ev1 -> ev3; m3: ev4 -> ev5.
+    assert steps[2] >= steps[0] + 1
+    assert steps[3] >= steps[1] + 1
+    assert steps[5] >= steps[4] + 1
+
+
+def test_per_chare_steps_strictly_increase():
+    trace, a, b = _phase_trace()
+    events = list(range(len(trace.events)))
+    orders = {a: [0, 1, 5], b: [2, 3, 4]}
+    steps, _ = assign_local_steps(trace, events, orders)
+    for order in orders.values():
+        vals = [steps[e] for e in order]
+        assert vals == sorted(vals)
+        assert len(set(vals)) == len(vals)
+
+
+def test_partial_phase_ignores_external_messages():
+    trace, a, b = _phase_trace()
+    # Only B's events in the phase: its receives' sends are external, so
+    # the first receive is an initial event at step 0.
+    events = [2, 3, 4]
+    steps, max_s = assign_local_steps(trace, events, {b: [2, 3, 4]})
+    assert steps[2] == 0
+    assert max_s == 2
+
+
+def test_cycle_fallback_assigns_everything():
+    """A pathological chare order (receive placed before its send's
+    predecessor) must still terminate with all events stepped."""
+    trace, a, b = _phase_trace()
+    events = list(range(len(trace.events)))
+    # Put ev5 (recv of m3) before ev0/ev1 on A: creates a cycle with B.
+    orders = {a: [5, 0, 1], b: [2, 3, 4]}
+    steps, _ = assign_local_steps(trace, events, orders)
+    assert len(steps) == 6
+
+
+def test_global_offsets_chain():
+    offsets = assign_global_offsets(
+        [0, 1, 2],
+        {0: set(), 1: {0}, 2: {1}},
+        {0: 3, 1: 1, 2: 2},
+    )
+    assert offsets == {0: 0, 1: 4, 2: 6}
+
+
+def test_global_offsets_max_over_preds():
+    offsets = assign_global_offsets(
+        [0, 1, 2],
+        {0: set(), 1: set(), 2: {0, 1}},
+        {0: 5, 1: 1, 2: 0},
+    )
+    assert offsets[2] == 6  # bound by the longer predecessor
+
+
+def test_global_offsets_empty_phase_consumes_nothing():
+    offsets = assign_global_offsets(
+        [0, 1],
+        {0: set(), 1: {0}},
+        {0: -1, 1: 2},
+    )
+    assert offsets == {0: 0, 1: 0}
+
+
+def test_global_offsets_cycle_rejected():
+    with pytest.raises(ValueError, match="cycle"):
+        assign_global_offsets([0, 1], {0: {1}, 1: {0}}, {0: 0, 1: 0})

@@ -1,0 +1,72 @@
+"""SVG rendering."""
+
+import re
+
+from repro.metrics import differential_duration
+from repro.viz import render_svg, write_svg
+
+
+def test_svg_well_formed(jacobi_structure):
+    doc = render_svg(jacobi_structure, title="jacobi")
+    assert doc.startswith("<svg") and doc.endswith("</svg>")
+    assert doc.count("<rect") >= sum(
+        1 for s in jacobi_structure.step_of_event if s >= 0
+    )
+    assert "jacobi" in doc
+
+
+def test_svg_one_box_per_stepped_event(jacobi_structure):
+    doc = render_svg(jacobi_structure, show_messages=False)
+    boxes = re.findall(r'<rect [^>]*stroke="#333"', doc)
+    stepped = sum(1 for s in jacobi_structure.step_of_event if s >= 0)
+    assert len(boxes) == stepped
+
+
+def test_svg_message_lines_present(jacobi_structure):
+    with_msgs = render_svg(jacobi_structure, show_messages=True)
+    without = render_svg(jacobi_structure, show_messages=False)
+    assert with_msgs.count("<line") > without.count("<line")
+
+
+def test_svg_metric_mode_uses_ramp(jacobi_structure):
+    metric = differential_duration(jacobi_structure).by_event
+    doc = render_svg(jacobi_structure, metric=metric)
+    assert "rgb(" in doc or "#eeeeee" in doc
+
+
+def test_svg_max_steps_truncates(jacobi_structure):
+    small = render_svg(jacobi_structure, max_steps=5, show_messages=False)
+    full = render_svg(jacobi_structure, show_messages=False)
+    assert small.count("<rect") < full.count("<rect")
+
+
+def test_write_svg(tmp_path, jacobi_structure):
+    path = tmp_path / "out.svg"
+    write_svg(jacobi_structure, path)
+    assert path.read_text().startswith("<svg")
+
+
+def test_svg_escapes_names(jacobi_structure):
+    doc = render_svg(jacobi_structure, title="a<b>&c")
+    assert "a&lt;b&gt;&amp;c" in doc
+
+
+def test_physical_svg(jacobi_structure):
+    from repro.viz import render_physical_svg
+
+    doc = render_physical_svg(jacobi_structure, title="phys")
+    assert doc.startswith("<svg") and doc.endswith("</svg>")
+    # One lane label per PE and idle bars present.
+    assert doc.count(">PE ") == jacobi_structure.trace.num_pes
+    assert 'fill="#222"' in doc
+
+
+def test_physical_svg_empty_trace():
+    from repro.core import extract_logical_structure
+    from repro.viz import render_physical_svg
+    from tests.helpers import SyntheticTrace
+
+    st = SyntheticTrace(num_pes=1)
+    st.chare("A")
+    structure = extract_logical_structure(st.build())
+    assert "<svg" in render_physical_svg(structure)

@@ -1,0 +1,116 @@
+"""Unit tests for the trace data model and its derived indexes."""
+
+import pytest
+
+from repro.trace.events import NO_ID, EventKind
+from repro.trace.model import TraceBuilder
+from tests.helpers import SyntheticTrace
+
+
+def _two_chare_trace():
+    st = SyntheticTrace(num_pes=2)
+    a = st.chare("A", pe=0)
+    b = st.chare("B", pe=1)
+    mgr = st.chare("Mgr", pe=0, is_runtime=True)
+    st.block(a, "work", 0, 0.0, 5.0, [("send", "m1", 1.0), ("send", "r1", 2.0)])
+    st.block(b, "work", 1, 6.0, 8.0, [("recv", "m1", 6.0)])
+    st.block(mgr, "collect", 0, 7.0, 9.0, [("recv", "r1", 7.0)])
+    return st.build(), a, b, mgr
+
+
+def test_events_by_execution_sorted_by_time():
+    trace, a, b, mgr = _two_chare_trace()
+    evs = trace.events_of(0)
+    times = [trace.events[e].time for e in evs]
+    assert times == sorted(times)
+    assert len(evs) == 2
+
+
+def test_message_indexes():
+    trace, a, b, mgr = _two_chare_trace()
+    for msg in trace.messages:
+        assert msg.is_complete()
+        assert trace.message_by_recv[msg.recv_event] == msg.id
+        assert msg.id in trace.messages_by_send[msg.send_event]
+
+
+def test_partner_chares_send_and_recv():
+    trace, a, b, mgr = _two_chare_trace()
+    send_to_b = trace.events_of(0)[0]
+    assert trace.partner_chares(send_to_b) == [b]
+    recv_on_b = trace.events_of(1)[0]
+    assert trace.partner_chares(recv_on_b) == [a]
+
+
+def test_runtime_related_classification():
+    trace, a, b, mgr = _two_chare_trace()
+    send_to_b, send_to_mgr = trace.events_of(0)
+    assert not trace.event_is_runtime_related(send_to_b)
+    assert trace.event_is_runtime_related(send_to_mgr)
+    recv_on_mgr = trace.events_of(2)[0]
+    assert trace.event_is_runtime_related(recv_on_mgr)
+
+
+def test_chare_partitioning_helpers():
+    trace, a, b, mgr = _two_chare_trace()
+    assert set(trace.application_chares()) == {a, b}
+    assert trace.runtime_chares() == [mgr]
+    assert trace.is_runtime_chare(mgr)
+    assert not trace.is_runtime_chare(a)
+
+
+def test_end_time_and_executions_by_pe():
+    trace, *_ = _two_chare_trace()
+    assert trace.end_time() == pytest.approx(9.0)
+    assert len(trace.executions_by_pe[0]) == 2
+    assert len(trace.executions_by_pe[1]) == 1
+
+
+def test_executions_by_chare_time_ordered():
+    st = SyntheticTrace(num_pes=1)
+    a = st.chare("A")
+    st.block(a, "late", 0, 10.0, 11.0)
+    st.block(a, "early", 0, 0.0, 1.0)
+    trace = st.build()
+    names = [trace.entry(trace.executions[x].entry).name
+             for x in trace.executions_by_chare[a]]
+    assert names == ["early", "late"]
+
+
+def test_unmatched_recv_has_no_partner():
+    st = SyntheticTrace(num_pes=1)
+    a = st.chare("A")
+    st.block(a, "work", 0, 0.0, 1.0, [("recv", "never_sent", 0.0)])
+    trace = st.build()
+    ev = trace.events_of(0)[0]
+    assert trace.partner_chares(ev) == []
+    mid = trace.message_by_recv[ev]
+    assert not trace.messages[mid].is_complete()
+
+
+def test_builder_broadcast_shares_send_event():
+    b = TraceBuilder(num_pes=1)
+    c = b.add_chare("A")
+    e = b.add_entry("go")
+    x = b.add_execution(c, e, 0, 0.0, 1.0)
+    send = b.add_event(EventKind.SEND, c, 0, 0.5, x)
+    m1 = b.add_message(send_event=send)
+    m2 = b.add_message(send_event=send)
+    trace = b.build()
+    assert trace.messages_by_send[send] == [m1, m2]
+
+
+def test_idles_sorted_per_pe():
+    st = SyntheticTrace(num_pes=1)
+    st.chare("A")
+    st.idle(0, 5.0, 6.0)
+    st.idle(0, 1.0, 2.0)
+    trace = st.build()
+    starts = [iv.start for iv in trace.idles_by_pe[0]]
+    assert starts == [1.0, 5.0]
+
+
+def test_zero_length_idle_dropped():
+    b = TraceBuilder(num_pes=1)
+    b.add_idle(0, 3.0, 3.0)
+    assert b.build().idles == []

@@ -1,0 +1,102 @@
+"""Each structural invariant of validate_trace fires on the right input."""
+
+import pytest
+
+from repro.trace.events import EventKind
+from repro.trace.model import TraceBuilder
+from repro.trace.validate import TraceValidationError, validate_trace
+
+
+def _base():
+    b = TraceBuilder(num_pes=2)
+    c = b.add_chare("A")
+    e = b.add_entry("go")
+    return b, c, e
+
+
+def test_valid_trace_passes(jacobi_trace):
+    validate_trace(jacobi_trace)
+
+
+def test_exec_end_before_start():
+    b, c, e = _base()
+    b.add_execution(c, e, 0, 5.0, 1.0)
+    with pytest.raises(TraceValidationError, match="end"):
+        validate_trace(b.build())
+
+
+def test_event_outside_execution_span():
+    b, c, e = _base()
+    x = b.add_execution(c, e, 0, 0.0, 1.0)
+    b.add_event(EventKind.SEND, c, 0, 9.0, x)
+    with pytest.raises(TraceValidationError, match="outside"):
+        validate_trace(b.build())
+
+
+def test_event_chare_mismatch():
+    b, c, e = _base()
+    other = b.add_chare("B")
+    x = b.add_execution(c, e, 0, 0.0, 1.0)
+    b.add_event(EventKind.SEND, other, 0, 0.5, x)
+    with pytest.raises(TraceValidationError, match="chare"):
+        validate_trace(b.build())
+
+
+def test_recv_before_send_rejected():
+    b, c, e = _base()
+    other = b.add_chare("B", home_pe=1)
+    x1 = b.add_execution(c, e, 0, 5.0, 6.0)
+    send = b.add_event(EventKind.SEND, c, 0, 5.5, x1)
+    x2 = b.add_execution(other, e, 1, 0.0, 1.0)
+    recv = b.add_event(EventKind.RECV, other, 1, 0.5, x2)
+    b.add_message(send_event=send, recv_event=recv)
+    with pytest.raises(TraceValidationError, match="precedes"):
+        validate_trace(b.build())
+
+
+def test_reused_recv_event_rejected():
+    b, c, e = _base()
+    x = b.add_execution(c, e, 0, 0.0, 1.0)
+    recv = b.add_event(EventKind.RECV, c, 0, 0.5, x)
+    b.add_message(recv_event=recv)
+    b.add_message(recv_event=recv)
+    with pytest.raises(TraceValidationError, match="reused"):
+        validate_trace(b.build())
+
+
+def test_message_endpoint_kind_checked():
+    b, c, e = _base()
+    x = b.add_execution(c, e, 0, 0.0, 2.0)
+    ev1 = b.add_event(EventKind.RECV, c, 0, 0.5, x)
+    ev2 = b.add_event(EventKind.RECV, c, 0, 1.0, x)
+    b.add_message(send_event=ev1, recv_event=ev2)
+    with pytest.raises(TraceValidationError, match="not a SEND"):
+        validate_trace(b.build())
+
+
+def test_pe_overlap_detected():
+    b, c, e = _base()
+    other = b.add_chare("B")
+    b.add_execution(c, e, 0, 0.0, 10.0)
+    b.add_execution(other, e, 0, 5.0, 6.0)
+    with pytest.raises(TraceValidationError, match="overlaps"):
+        validate_trace(b.build())
+    validate_trace(b.build(), check_pe_overlap=False)
+
+
+def test_bad_idle_pe_rejected():
+    b, c, e = _base()
+    b.add_idle(7, 0.0, 1.0)
+    with pytest.raises(TraceValidationError, match="bad pe"):
+        validate_trace(b.build())
+
+
+def test_recv_event_exec_linkage_checked():
+    b, c, e = _base()
+    x1 = b.add_execution(c, e, 0, 0.0, 1.0)
+    x2 = b.add_execution(c, e, 0, 2.0, 3.0)
+    recv = b.add_event(EventKind.RECV, c, 0, 0.5, x1)
+    b.add_message(recv_event=recv)
+    b.set_execution_recv(x2, recv)
+    with pytest.raises(TraceValidationError, match="belongs to exec"):
+        validate_trace(b.build())

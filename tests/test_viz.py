@@ -1,0 +1,105 @@
+"""ASCII rendering and structured export."""
+
+import csv
+import json
+
+from repro.metrics import differential_duration
+from repro.viz import (
+    render_logical,
+    render_metric,
+    render_physical,
+    structure_to_json,
+    structure_to_rows,
+    write_csv,
+)
+
+
+def test_render_logical_dimensions(jacobi_structure):
+    out = render_logical(jacobi_structure)
+    lines = out.splitlines()
+    assert len(lines) == len(jacobi_structure.trace.chares)
+    widths = {len(l) for l in lines}
+    assert len(widths) == 1  # rectangular grid
+    # Grid width covers all steps.
+    assert lines[0].endswith("|")
+
+
+def test_render_logical_runtime_rows_last(jacobi_structure):
+    out = render_logical(jacobi_structure)
+    lines = out.splitlines()
+    trace = jacobi_structure.trace
+    n_rt = len(trace.runtime_chares())
+    assert n_rt > 0
+    for line in lines[-n_rt:]:
+        assert "CkReductionMgr" in line or "Main" not in line
+
+
+def test_render_logical_max_steps_truncates(jacobi_structure):
+    out = render_logical(jacobi_structure, max_steps=5)
+    label_width = out.splitlines()[0].index("|")
+    assert all(len(l) <= label_width + 7 for l in out.splitlines())
+
+
+def test_render_metric_symbols(jacobi_structure):
+    metric = differential_duration(jacobi_structure).by_event
+    out = render_metric(jacobi_structure, metric)
+    body = "".join(l.split("|", 1)[1] for l in out.splitlines())
+    assert set(body) <= set(" .|0123456789")
+
+
+def test_render_physical_shows_executions(jacobi_trace, jacobi_structure):
+    out = render_physical(jacobi_trace, jacobi_structure, bins=60)
+    assert out
+    # Without a structure, executions show as '#'.
+    plain = render_physical(jacobi_trace, bins=60)
+    assert "#" in plain
+
+
+def test_structure_rows_complete(jacobi_structure):
+    rows = structure_to_rows(jacobi_structure)
+    stepped = sum(1 for s in jacobi_structure.step_of_event if s >= 0)
+    assert len(rows) == stepped
+    assert all(r["step"] >= 0 for r in rows)
+    steps = [r["step"] for r in rows]
+    assert steps == sorted(steps)
+
+
+def test_structure_json_parses(jacobi_structure):
+    doc = json.loads(structure_to_json(jacobi_structure))
+    assert doc["summary"]["phases"] == len(jacobi_structure.phases)
+    assert len(doc["phases"]) == len(jacobi_structure.phases)
+    assert doc["events"]
+
+
+def test_json_includes_metrics(jacobi_structure):
+    metric = differential_duration(jacobi_structure).by_event
+    doc = json.loads(structure_to_json(jacobi_structure, {"diff": metric}))
+    assert all("diff" in row for row in doc["events"])
+
+
+def test_write_csv(tmp_path, jacobi_structure):
+    path = tmp_path / "out.csv"
+    write_csv(jacobi_structure, path)
+    with open(path) as fh:
+        rows = list(csv.DictReader(fh))
+    assert rows and "step" in rows[0]
+
+
+def test_render_physical_pe(jacobi_trace, jacobi_structure):
+    from repro.viz import render_physical_pe
+
+    out = render_physical_pe(jacobi_trace, jacobi_structure, bins=60)
+    lines = out.splitlines()
+    assert len(lines) == jacobi_trace.num_pes
+    assert lines[0].strip().startswith("PE 0")
+    body = "".join(l.split("|", 1)[1] for l in lines)
+    assert "-" in body  # idle shows up
+
+
+def test_render_html(jacobi_structure):
+    from repro.viz import render_html
+
+    doc = render_html(jacobi_structure, title="t<42>")
+    assert doc.startswith("<!DOCTYPE html>")
+    assert "t&lt;42&gt;" in doc
+    assert "Usage profile" in doc
