@@ -1,0 +1,61 @@
+"""Verification overhead on the Figure 1 NAS BT workload.
+
+Benchmarks the extraction pipeline bare against the same pipeline with
+strict verification enabled (``PipelineOptions(verify=True)``: stage
+postconditions plus the full invariant suite on the result), and reports
+the relative overhead.  The invariant layer is meant to be cheap enough
+to leave on in tests and tooling; this bench quantifies the claim.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.core import PipelineOptions, extract_logical_structure
+
+from repro.apps import nasbt
+
+
+@pytest.fixture(scope="module")
+def trace():
+    # The fig01 workload: 9 ranks, 2 iterations of the BT sweep.
+    return nasbt.run(ranks=9, iterations=2, seed=1)
+
+
+def _timed(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_verify_baseline(benchmark, trace):
+    structure = benchmark(extract_logical_structure, trace)
+    assert structure.max_step >= 0
+
+
+def bench_verify_strict(benchmark, trace):
+    options = PipelineOptions(verify=True)
+
+    def run():
+        return extract_logical_structure(trace, options=options)
+
+    structure = benchmark(run)
+    assert structure.max_step >= 0
+
+    base = _timed(lambda: extract_logical_structure(trace))
+    strict = _timed(run)
+    overhead = strict / base if base > 0 else float("inf")
+    report(
+        "Verification overhead: NAS BT (9 processes, fig01 workload)",
+        [
+            f"baseline_s={base:.4f}",
+            f"strict_s={strict:.4f}",
+            f"overhead_x={overhead:.2f}",
+        ],
+    )
+    # Strict verification must stay within a small constant factor.
+    assert overhead < 10.0

@@ -6,6 +6,7 @@ Usage (also available as ``python -m repro``)::
     repro analyze t.jsonl --render logical --metric diffdur
     repro analyze t.jsonl --svg structure.svg --csv events.csv
     repro validate t.jsonl
+    repro verify t.jsonl --differential --json
     repro sync skewed.jsonl -o fixed.jsonl --min-latency 0.5
 """
 
@@ -231,6 +232,68 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.report import verification_report
+    from repro.trace.validate import collect_trace_problems
+    from repro.verify import StageRecorder, check_structure, run_differential
+
+    trace = _load(args.trace)
+    violations = collect_trace_problems(trace)
+
+    structure = None
+    recorder = None
+    differential = None
+    if not violations:
+        if args.differential:
+            differential = run_differential(trace)
+            violations = differential.all_violations()
+        else:
+            recorder = StageRecorder()
+            options = PipelineOptions(
+                mode=args.mode, order=args.order, infer=not args.no_infer,
+                tie_break=args.tie_break, hooks=recorder,
+            )
+            structure = extract_logical_structure(trace, options=options)
+            violations = check_structure(structure)
+    else:
+        print("trace-level validation failed; skipping structure extraction",
+              file=sys.stderr)
+
+    payload = verification_report(
+        trace, violations, structure=structure,
+        stages=recorder.records if recorder else None,
+        differential=differential,
+    )
+    if args.json:
+        print(json.dumps(payload, indent=1))
+    else:
+        if recorder is not None and args.stages:
+            print(f"{'stage':18s} {'ms':>8s} {'parts':>7s} {'merges':>7s}")
+            for r in recorder.records:
+                parts = "" if r.partitions < 0 else str(r.partitions)
+                merges = "" if r.merges < 0 else str(r.merges)
+                print(f"{r.stage:18s} {r.seconds * 1e3:8.2f} {parts:>7s} "
+                      f"{merges:>7s}")
+        if differential is not None:
+            for result in differential.results:
+                mark = "ok" if result.ok else "FAIL"
+                print(f"variant {result.name:24s} {mark}  "
+                      f"phases={len(result.structure.phases)} "
+                      f"steps={result.structure.max_step + 1}")
+        if violations:
+            names = ", ".join(payload["invariants_violated"])
+            print(f"FAIL: {len(violations)} violation(s) of: {names}")
+            for v in violations[:20]:
+                print(f"  [{v.invariant}] {v.message}")
+            if len(violations) > 20:
+                print(f"  ... and {len(violations) - 20} more")
+        else:
+            checked = ("all variants" if differential is not None
+                       else "all invariants")
+            print(f"OK: {checked} hold on {trace}")
+    return 1 if violations else 0
+
+
 def cmd_sync(args: argparse.Namespace) -> int:
     trace = _load(args.trace)
     fixed, stats = synchronize_trace(trace, min_latency=args.min_latency)
@@ -325,6 +388,25 @@ def build_parser() -> argparse.ArgumentParser:
     val.add_argument("trace")
     val.add_argument("--allow-overlap", action="store_true")
     val.set_defaults(func=cmd_validate)
+
+    ver = sub.add_parser(
+        "verify",
+        help="verify the paper's structural invariants on a trace's structure",
+    )
+    ver.add_argument("trace")
+    ver.add_argument("--order", choices=["reordered", "physical"],
+                     default="reordered")
+    ver.add_argument("--mode", choices=["auto", "charm", "mpi"], default="auto")
+    ver.add_argument("--no-infer", action="store_true")
+    ver.add_argument("--tie-break", choices=["chare_id", "index"],
+                     default="chare_id")
+    ver.add_argument("--differential", action="store_true",
+                     help="run the full option-variant matrix and cross-checks")
+    ver.add_argument("--stages", action="store_true",
+                     help="print the per-stage timing/merge table")
+    ver.add_argument("--json", action="store_true",
+                     help="emit the machine-readable report")
+    ver.set_defaults(func=cmd_verify)
 
     syn = sub.add_parser("sync", help="repair cross-PE clock skew")
     syn.add_argument("trace")

@@ -207,10 +207,14 @@ def enforce_chare_paths(state: PartitionState) -> int:
     """Algorithm 5: make each partition's successors span its chares.
 
     Works backwards through the leaps, tracking for each chare the nearest
-    later leap where it appears; partitions whose direct successors miss
-    some of their chares get edges to the partitions holding those chares
-    in the nearest such leap (Figure 6).  Added edges always point from a
-    lower leap to a strictly higher one, so no cycles can arise.
+    later leap where it appears; a partition must have a direct edge to
+    the partition holding each of its chares *at that nearest leap*
+    (Figure 6).  A successor at a further leap does not count: only the
+    nearest-leap link chains every chare's partitions into the single path
+    through the DAG that makes per-chare step uniqueness hold — accepting
+    a further successor would let the skipped partition's steps overlap
+    the current one's.  Added edges always point from a lower leap to a
+    strictly higher one, so no cycles can arise.
     """
     leaps = compute_leaps(state)
     levels = leaps_to_levels(leaps)
@@ -220,23 +224,30 @@ def enforce_chare_paths(state: PartitionState) -> int:
     last_map: Dict[int, int] = {}  # chare -> nearest later leap containing it
     for k in range(len(levels) - 1, -1, -1):
         for p in levels[k]:
-            covered: Set[int] = set()
+            # Chares that reappear, grouped by the leap they reappear at.
+            needed: Dict[int, Set[int]] = {}
+            for c in chares[p]:
+                nxt = last_map.get(c)
+                if nxt is not None:
+                    needed.setdefault(nxt, set()).add(c)
+            if not needed:
+                continue
             for child in succs[p]:
-                covered |= chares[child]
-            missing = chares[p] - covered
-            if missing:
-                found_leaps = sorted({last_map[c] for c in missing if c in last_map})
-                for leap_idx in found_leaps:
-                    if not missing:
-                        break
-                    found: Set[int] = set()
-                    for q in levels[leap_idx]:
-                        overlap = missing & chares[q]
-                        if overlap:
-                            state.add_edge(p, q, EdgeKind.INFERRED)
-                            added += 1
-                            found |= overlap
-                    missing -= found
+                want = needed.get(leaps[child])
+                if want:
+                    want -= chares[child]
+            for leap_idx in sorted(needed):
+                missing = needed[leap_idx]
+                if not missing:
+                    continue
+                for q in levels[leap_idx]:
+                    overlap = missing & chares[q]
+                    if overlap:
+                        state.add_edge(p, q, EdgeKind.INFERRED)
+                        added += 1
+                        missing -= overlap
+                        if not missing:
+                            break
         for p in levels[k]:
             for c in chares[p]:
                 last_map[c] = k

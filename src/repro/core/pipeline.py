@@ -57,6 +57,14 @@ class PipelineOptions:
     tie_break: str = "chare_id"
     #: Gap tolerance for absorbing an entry method into a following serial.
     absorb_tolerance: float = 1e-9
+    #: Stage instrumentation: an object with an ``on_stage`` method (see
+    #: :class:`repro.verify.stagehooks.PipelineHooks`) called after every
+    #: stage with the live intermediate state.
+    hooks: Optional[object] = None
+    #: Strict mode: install a :class:`repro.verify.stagehooks.StrictVerifier`
+    #: that asserts stage postconditions and runs the full invariant suite
+    #: on the result, raising ``InvariantViolationError`` on any failure.
+    verify: bool = False
 
     def resolve_mode(self, trace: Trace) -> str:
         if self.mode != "auto":
@@ -95,9 +103,26 @@ def extract_logical_structure(
     stats = stats if stats is not None else PipelineStats()
     t0 = _time.perf_counter()
 
-    def _stage(name: str, start: float) -> float:
+    hook_list = [opts.hooks] if opts.hooks is not None else []
+    if opts.verify:
+        # Imported lazily: repro.verify builds on this module.
+        from repro.verify.stagehooks import StrictVerifier
+
+        hook_list.append(StrictVerifier())
+
+    current_state = [None]  # set once stage 1 has built the partition state
+
+    def _stage(name: str, start: float, structure: Optional[LogicalStructure] = None) -> float:
         now = _time.perf_counter()
-        stats.stage_seconds[name] = stats.stage_seconds.get(name, 0.0) + (now - start)
+        seconds = now - start
+        stats.stage_seconds[name] = stats.stage_seconds.get(name, 0.0) + seconds
+        for hook in hook_list:
+            hook.on_stage(
+                name,
+                state=current_state[0] if structure is None else None,
+                structure=structure,
+                seconds=seconds,
+            )
         return now
 
     # Stage 1: initial partitions.  Reordered MPI stepping relaxes the
@@ -110,6 +135,7 @@ def extract_logical_structure(
         relaxed_chain=relaxed,
     )
     state = initial.state
+    current_state[0] = state
     stats.initial_partitions = len(state.init_events)
     t = _stage("initial", t)
 
@@ -207,8 +233,7 @@ def extract_logical_structure(
             step_of_event[ev] = phase.offset + local_step[ev]
     t = _stage("global_steps", t)
 
-    stats.total_seconds = _time.perf_counter() - t0
-    return LogicalStructure(
+    structure = LogicalStructure(
         trace=trace,
         phases=phases,
         phase_of_event=phase_of_event,
@@ -220,3 +245,6 @@ def extract_logical_structure(
         block_of_exec=initial.block_of_exec,
         options=opts,
     )
+    t = _stage("finalize", t, structure=structure)
+    stats.total_seconds = _time.perf_counter() - t0
+    return structure

@@ -1,14 +1,19 @@
-"""Combined performance reports over a logical structure.
+"""Combined performance and verification reports over a logical structure.
 
 Pulls the Section 4 metrics, the critical path, and the phase-pattern
 summary into a single plain-text report — the "where do I look first"
 artifact a developer would want from a trace.  Used by the CLI
 (``repro analyze --report`` / ``repro report``) and the examples.
+
+:func:`verification_report` is the machine-readable counterpart for
+``repro verify``: trace-level and structure-level violations, per-stage
+timings/merge counts, and the differential matrix, as one JSON-friendly
+dict keyed by stable invariant names.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.patterns import kind_sequence, repeating_unit
 from repro.core.structure import LogicalStructure
@@ -19,6 +24,8 @@ from repro.metrics import (
     imbalance,
     sub_block_durations,
 )
+from repro.trace.model import Trace
+from repro.trace.validate import Violation
 
 
 def _fmt_entry(name: str) -> str:
@@ -105,3 +112,49 @@ def performance_report(structure: LogicalStructure, top: int = 5) -> str:
         for pe, v in loads:
             lines.append(f"  PE {pe:3d}: +{v:.1f}")
     return "\n".join(lines)
+
+
+def verification_report(
+    trace: Trace,
+    violations: Sequence[Violation],
+    structure: Optional[LogicalStructure] = None,
+    stages: Optional[Sequence] = None,
+    differential: Optional[object] = None,
+) -> Dict[str, object]:
+    """Machine-readable verification result (``repro verify --json``).
+
+    Parameters
+    ----------
+    trace:
+        The trace that was verified.
+    violations:
+        Trace- and structure-level :class:`Violation` records (empty when
+        everything holds).
+    structure:
+        The extracted structure, for the summary block (single-run mode).
+    stages:
+        :class:`repro.verify.stagehooks.StageRecord` rows from the
+        instrumented run.
+    differential:
+        A :class:`repro.verify.differential.DifferentialReport` when the
+        full variant matrix was run.
+    """
+    payload: Dict[str, object] = {
+        "ok": not violations and (differential is None or differential.ok),
+        "trace": {
+            "chares": len(trace.chares),
+            "executions": len(trace.executions),
+            "events": len(trace.events),
+            "messages": len(trace.messages),
+            "pes": trace.num_pes,
+        },
+        "violations": [v.to_dict() for v in violations],
+        "invariants_violated": sorted({v.invariant for v in violations}),
+    }
+    if structure is not None:
+        payload["structure"] = structure.summary()
+    if stages is not None:
+        payload["stages"] = [r.to_dict() for r in stages]
+    if differential is not None:
+        payload["differential"] = differential.to_dict()
+    return payload

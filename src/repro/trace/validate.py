@@ -1,102 +1,211 @@
-"""Structural consistency checks for traces.
+"""Structural consistency checks for traces, and the shared error types
+used by every verification layer in the system.
 
 Simulators call :func:`validate_trace` on their output in tests; the
 analysis pipeline may call it defensively on externally supplied traces.
 The checks encode the physical realizability constraints the algorithms
 rely on: well-formed ids, events inside their blocks' time spans, receives
 not preceding their sends, and non-overlapping execution on each PE.
+
+The structural-invariant layer (:mod:`repro.verify`) reports through the
+same :class:`Violation` records and :class:`VerificationError` base so a
+trace-level problem and a structure-level problem look identical to
+tooling (``repro verify``, CI reports).
 """
 
 from __future__ import annotations
 
-from typing import List
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
 
 from repro.trace.events import NO_ID, EventKind
 from repro.trace.model import Trace
 
+#: How many violations an error message previews before eliding.
+PREVIEW_LIMIT = 20
 
-class TraceValidationError(AssertionError):
-    """Raised when a trace violates a structural invariant."""
 
-
-def validate_trace(trace: Trace, check_pe_overlap: bool = True) -> None:
-    """Raise :class:`TraceValidationError` on the first violated invariant.
+@dataclass(frozen=True)
+class Violation:
+    """One violated invariant, machine-readable.
 
     Parameters
     ----------
-    trace:
-        The trace to check.
-    check_pe_overlap:
-        When True (default), assert that no two executions overlap on the
-        same PE.  Synthetic unit-test traces sometimes skip this.
+    invariant:
+        Stable kebab-case name of the invariant ("recv-after-send",
+        "dag-acyclic", ...).  Tests and reports key on this.
+    message:
+        Human-readable description naming the offending records.
+    subjects:
+        Ids of the offending records (event/phase/execution ids —
+        whatever the invariant is about), for programmatic consumers.
     """
-    problems: List[str] = []
+
+    invariant: str
+    message: str
+    subjects: Tuple[int, ...] = ()
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for JSON reports."""
+        return {
+            "invariant": self.invariant,
+            "message": self.message,
+            "subjects": list(self.subjects),
+        }
+
+
+class VerificationError(AssertionError):
+    """Base of all verification failures; carries structured violations."""
+
+    def __init__(self, header: str, violations: Sequence[Violation]):
+        self.violations: List[Violation] = list(violations)
+        preview = "\n  ".join(v.message for v in self.violations[:PREVIEW_LIMIT])
+        more = (
+            ""
+            if len(self.violations) <= PREVIEW_LIMIT
+            else f"\n  ... and {len(self.violations) - PREVIEW_LIMIT} more"
+        )
+        super().__init__(f"{header}:\n  {preview}{more}")
+
+    def invariants(self) -> List[str]:
+        """Distinct violated invariant names, in first-seen order."""
+        seen: List[str] = []
+        for v in self.violations:
+            if v.invariant not in seen:
+                seen.append(v.invariant)
+        return seen
+
+
+class TraceValidationError(VerificationError):
+    """Raised when a trace violates a structural invariant."""
+
+
+def collect_trace_problems(
+    trace: Trace, check_pe_overlap: bool = True
+) -> List[Violation]:
+    """All violated trace invariants, as structured records.
+
+    :func:`validate_trace` wraps this; callers that want a report rather
+    than an exception (``repro verify --json``) use it directly.
+    """
+    problems: List[Violation] = []
+
+    def problem(invariant: str, message: str, *subjects: int) -> None:
+        problems.append(Violation(invariant, message, tuple(subjects)))
 
     n_chares = len(trace.chares)
     n_entries = len(trace.entries)
     n_events = len(trace.events)
-    n_execs = len(trace.executions)
 
     for ex in trace.executions:
         if not (0 <= ex.chare < n_chares):
-            problems.append(f"exec {ex.id}: bad chare id {ex.chare}")
+            problem("exec-ids", f"exec {ex.id}: bad chare id {ex.chare}", ex.id)
         if not (0 <= ex.entry < n_entries):
-            problems.append(f"exec {ex.id}: bad entry id {ex.entry}")
+            problem("exec-ids", f"exec {ex.id}: bad entry id {ex.entry}", ex.id)
         if ex.end < ex.start:
-            problems.append(f"exec {ex.id}: end {ex.end} < start {ex.start}")
+            problem(
+                "exec-span",
+                f"exec {ex.id}: end {ex.end} < start {ex.start}",
+                ex.id,
+            )
         if ex.recv_event != NO_ID:
+            if not (0 <= ex.recv_event < n_events):
+                problem(
+                    "exec-recv",
+                    f"exec {ex.id}: bad recv_event id {ex.recv_event}",
+                    ex.id,
+                )
+                continue
             ev = trace.events[ex.recv_event]
             if ev.kind != EventKind.RECV:
-                problems.append(f"exec {ex.id}: recv_event {ex.recv_event} is not a RECV")
+                problem(
+                    "exec-recv",
+                    f"exec {ex.id}: recv_event {ex.recv_event} is not a RECV",
+                    ex.id,
+                    ex.recv_event,
+                )
             if ev.execution != ex.id:
-                problems.append(
-                    f"exec {ex.id}: recv_event {ex.recv_event} belongs to exec {ev.execution}"
+                problem(
+                    "exec-recv",
+                    f"exec {ex.id}: recv_event {ex.recv_event} belongs to "
+                    f"exec {ev.execution}",
+                    ex.id,
+                    ex.recv_event,
                 )
 
     for ev in trace.events:
         if not (0 <= ev.chare < n_chares):
-            problems.append(f"event {ev.id}: bad chare id {ev.chare}")
+            problem("event-ids", f"event {ev.id}: bad chare id {ev.chare}", ev.id)
+            continue
         if ev.execution != NO_ID:
             ex = trace.executions[ev.execution]
             if ev.chare != ex.chare:
-                problems.append(
-                    f"event {ev.id}: chare {ev.chare} != owning exec chare {ex.chare}"
+                problem(
+                    "event-chare",
+                    f"event {ev.id}: chare {ev.chare} != owning exec chare "
+                    f"{ex.chare}",
+                    ev.id,
                 )
             # Events must fall within their serial block's time span (with
             # equality allowed at the boundaries).
             if not (ex.start - 1e-9 <= ev.time <= ex.end + 1e-9):
-                problems.append(
+                problem(
+                    "event-span",
                     f"event {ev.id}: time {ev.time} outside exec {ex.id} span "
-                    f"[{ex.start}, {ex.end}]"
+                    f"[{ex.start}, {ex.end}]",
+                    ev.id,
+                    ex.id,
                 )
 
     seen_recv = set()
     for msg in trace.messages:
         if msg.send_event != NO_ID and not (0 <= msg.send_event < n_events):
-            problems.append(f"msg {msg.id}: bad send event {msg.send_event}")
+            problem("message-ids", f"msg {msg.id}: bad send event {msg.send_event}",
+                    msg.id)
+            continue
         if msg.recv_event != NO_ID and not (0 <= msg.recv_event < n_events):
-            problems.append(f"msg {msg.id}: bad recv event {msg.recv_event}")
+            problem("message-ids", f"msg {msg.id}: bad recv event {msg.recv_event}",
+                    msg.id)
+            continue
         if msg.is_complete():
             send = trace.events[msg.send_event]
             recv = trace.events[msg.recv_event]
             if send.kind != EventKind.SEND:
-                problems.append(f"msg {msg.id}: send endpoint is not a SEND event")
+                problem(
+                    "message-endpoints",
+                    f"msg {msg.id}: send endpoint is not a SEND event",
+                    msg.id,
+                    msg.send_event,
+                )
             if recv.kind != EventKind.RECV:
-                problems.append(f"msg {msg.id}: recv endpoint is not a RECV event")
+                problem(
+                    "message-endpoints",
+                    f"msg {msg.id}: recv endpoint is not a RECV event",
+                    msg.id,
+                    msg.recv_event,
+                )
             if recv.time < send.time - 1e-9:
-                problems.append(
-                    f"msg {msg.id}: recv time {recv.time} precedes send time {send.time}"
+                problem(
+                    "recv-after-send",
+                    f"msg {msg.id}: recv time {recv.time} precedes send time "
+                    f"{send.time}",
+                    msg.id,
                 )
         if msg.recv_event != NO_ID:
             if msg.recv_event in seen_recv:
-                problems.append(f"msg {msg.id}: recv event {msg.recv_event} reused")
+                problem(
+                    "recv-unique",
+                    f"msg {msg.id}: recv event {msg.recv_event} reused",
+                    msg.id,
+                    msg.recv_event,
+                )
             seen_recv.add(msg.recv_event)
 
     for idle in trace.idles:
         if idle.end < idle.start:
-            problems.append(f"idle on pe {idle.pe}: end < start")
-        if not (0 <= idle.pe < trace.num_pes):
-            problems.append(f"idle: bad pe {idle.pe}")
+            problem("idle-span", f"idle on pe {idle.pe}: end < start", idle.pe)
+        if not (0 <= idle.pe < max(trace.num_pes, 1)):
+            problem("idle-span", f"idle: bad pe {idle.pe}", idle.pe)
 
     if check_pe_overlap:
         for pe, xids in trace.executions_by_pe.items():
@@ -105,15 +214,30 @@ def validate_trace(trace: Trace, check_pe_overlap: bool = True) -> None:
             for xid in xids:
                 ex = trace.executions[xid]
                 if ex.start < prev_end - 1e-9:
-                    problems.append(
+                    problem(
+                        "pe-overlap",
                         f"pe {pe}: exec {xid} (start {ex.start}) overlaps exec "
-                        f"{prev_id} (end {prev_end})"
+                        f"{prev_id} (end {prev_end})",
+                        xid,
                     )
                 if ex.end > prev_end:
                     prev_end = ex.end
                     prev_id = xid
 
+    return problems
+
+
+def validate_trace(trace: Trace, check_pe_overlap: bool = True) -> None:
+    """Raise :class:`TraceValidationError` listing every violated invariant.
+
+    Parameters
+    ----------
+    trace:
+        The trace to check.  Empty and single-event traces are valid.
+    check_pe_overlap:
+        When True (default), assert that no two executions overlap on the
+        same PE.  Synthetic unit-test traces sometimes skip this.
+    """
+    problems = collect_trace_problems(trace, check_pe_overlap=check_pe_overlap)
     if problems:
-        preview = "\n  ".join(problems[:20])
-        more = "" if len(problems) <= 20 else f"\n  ... and {len(problems) - 20} more"
-        raise TraceValidationError(f"trace validation failed:\n  {preview}{more}")
+        raise TraceValidationError("trace validation failed", problems)

@@ -1,0 +1,73 @@
+"""Structural-invariant verification of recovered logical structures.
+
+The pipeline's correctness argument rests on invariants the paper states
+but the code historically never checked at runtime: the phase DAG is
+acyclic, partitions in one leap do not overlap in chares (P1, Section
+3.1.4), each partition's successors span its chares (P2), global steps
+respect happened-before along message and serial-block edges, and the
+Section 3.2.1 reordering obeys its clock laws.  This package makes those
+checks cheap and always available:
+
+* :mod:`repro.verify.invariants` — named checkers over a
+  :class:`~repro.core.structure.LogicalStructure`, each returning
+  structured :class:`~repro.trace.validate.Violation` records;
+* :mod:`repro.verify.stagehooks` — a hook protocol the pipeline calls
+  after every stage (timings, partition counts, optional strict
+  mid-pipeline checks);
+* :mod:`repro.verify.differential` — run the pipeline under variant
+  options (reordered vs physical, infer on/off, tie-break variants) and
+  assert the invariants plus the cross-variant facts the paper
+  guarantees.
+
+``verify_structure(structure)`` raises
+:class:`~repro.verify.invariants.InvariantViolationError` on the first
+pass that finds problems; ``check_structure`` returns the violation list
+for report-oriented callers.
+"""
+
+from repro.verify.differential import (
+    DifferentialReport,
+    VariantResult,
+    default_variants,
+    run_differential,
+)
+from repro.verify.invariants import (
+    ALL_CHECKERS,
+    InvariantViolationError,
+    check_chare_step_uniqueness,
+    check_dag_acyclic,
+    check_leap_consistency,
+    check_p1_leap_disjoint,
+    check_p2_successor_cover,
+    check_partition_totality,
+    check_reorder_clocks,
+    check_step_monotonicity,
+    check_step_offsets,
+    check_structure,
+    verify_structure,
+)
+from repro.verify.stagehooks import PipelineHooks, StageRecord, StageRecorder, StrictVerifier
+
+__all__ = [
+    "ALL_CHECKERS",
+    "DifferentialReport",
+    "InvariantViolationError",
+    "PipelineHooks",
+    "StageRecord",
+    "StageRecorder",
+    "StrictVerifier",
+    "VariantResult",
+    "check_chare_step_uniqueness",
+    "check_dag_acyclic",
+    "check_leap_consistency",
+    "check_p1_leap_disjoint",
+    "check_p2_successor_cover",
+    "check_partition_totality",
+    "check_reorder_clocks",
+    "check_step_monotonicity",
+    "check_step_offsets",
+    "check_structure",
+    "default_variants",
+    "run_differential",
+    "verify_structure",
+]

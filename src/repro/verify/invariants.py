@@ -1,0 +1,486 @@
+"""Named structural-invariant checkers over a :class:`LogicalStructure`.
+
+Each checker returns a list of :class:`~repro.trace.validate.Violation`
+records (empty = invariant holds) keyed by a stable invariant name:
+
+==========================  ====================================================
+``dag-acyclic``             the phase DAG has no cycles (and preds/succs mirror)
+``p1-leap-disjoint``        P1: phases in one leap do not overlap in chares
+``p2-successor-cover``      P2: successors span a phase's chares (chares that
+                            never reappear at a later leap are exempt)
+``leap-consistency``        stored leaps equal the DAG's longest-path depths
+``partition-totality``      every in-block event lies in exactly one phase
+``step-happened-before``    global steps increase along every message edge and
+                            serial-block edge (relaxed-MPI receives exempt)
+``step-offset``             step = phase offset + local step; offsets clear all
+                            predecessor phases
+``chare-step-unique``       no two events of one chare share a global step
+``reorder-clocks``          the Section 3.2.1 idealized clock obeys its laws:
+                            a receive gets w(send)+1; sends count up within a
+                            serial block
+==========================  ====================================================
+
+The checkers read only the public fields of the structure, so tests can
+corrupt a structure and assert the right checker fires (mutation-style
+verification of the verifier itself).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.reorder import _assign_w
+from repro.core.structure import LogicalStructure
+from repro.trace.events import NO_ID, EventKind
+from repro.trace.validate import VerificationError, Violation
+
+
+class InvariantViolationError(VerificationError):
+    """Raised when a recovered structure violates a paper invariant."""
+
+
+def _resolved_mode(structure: LogicalStructure) -> str:
+    """The trace model the structure was extracted under."""
+    opts = structure.options
+    if opts is not None and getattr(opts, "mode", "auto") != "auto":
+        return opts.mode
+    if structure.trace.metadata.get("model") == "mpi":
+        return "mpi"
+    return "charm"
+
+
+def _resolved_order(structure: LogicalStructure) -> str:
+    opts = structure.options
+    return getattr(opts, "order", "reordered") if opts is not None else "reordered"
+
+
+# ---------------------------------------------------------------------------
+# DAG shape
+# ---------------------------------------------------------------------------
+def check_dag_acyclic(structure: LogicalStructure) -> List[Violation]:
+    """The phase DAG must be acyclic and its preds/succs views mirrored."""
+    out: List[Violation] = []
+    phases = structure.phases
+    ids = {p.id for p in phases}
+    for p in phases:
+        for q in p.succs:
+            if q not in ids:
+                out.append(Violation(
+                    "dag-acyclic",
+                    f"phase {p.id}: successor {q} is not a phase id",
+                    (p.id, q),
+                ))
+            elif p.id not in phases[q].preds:
+                out.append(Violation(
+                    "dag-acyclic",
+                    f"phase {p.id} lists successor {q} but {q} does not list "
+                    f"{p.id} as predecessor",
+                    (p.id, q),
+                ))
+        for q in p.preds:
+            if q in ids and p.id not in phases[q].succs:
+                out.append(Violation(
+                    "dag-acyclic",
+                    f"phase {p.id} lists predecessor {q} but {q} does not list "
+                    f"{p.id} as successor",
+                    (p.id, q),
+                ))
+    if out:
+        return out
+
+    indegree = {p.id: len(p.preds) for p in phases}
+    queue = deque(pid for pid, deg in indegree.items() if deg == 0)
+    seen = 0
+    while queue:
+        pid = queue.popleft()
+        seen += 1
+        for q in phases[pid].succs:
+            indegree[q] -= 1
+            if indegree[q] == 0:
+                queue.append(q)
+    if seen != len(phases):
+        stuck = sorted(pid for pid, deg in indegree.items() if deg > 0)
+        out.append(Violation(
+            "dag-acyclic",
+            f"phase DAG contains a cycle through phases {stuck[:10]}"
+            + ("..." if len(stuck) > 10 else ""),
+            tuple(stuck[:10]),
+        ))
+    return out
+
+
+def check_leap_consistency(structure: LogicalStructure) -> List[Violation]:
+    """Stored phase leaps must equal longest-path depth in the phase DAG."""
+    if check_dag_acyclic(structure):
+        # Depths are undefined on a cyclic graph; the acyclicity checker
+        # already reports the underlying problem.
+        return []
+    phases = structure.phases
+    depth: Dict[int, int] = {}
+    indegree = {p.id: len(p.preds) for p in phases}
+    queue = deque(pid for pid, deg in indegree.items() if deg == 0)
+    for pid in queue:
+        depth[pid] = 0
+    while queue:
+        pid = queue.popleft()
+        for q in phases[pid].succs:
+            depth[q] = max(depth.get(q, 0), depth[pid] + 1)
+            indegree[q] -= 1
+            if indegree[q] == 0:
+                queue.append(q)
+    out: List[Violation] = []
+    for p in phases:
+        if p.leap != depth.get(p.id, 0):
+            out.append(Violation(
+                "leap-consistency",
+                f"phase {p.id}: stored leap {p.leap} != DAG depth "
+                f"{depth.get(p.id, 0)}",
+                (p.id,),
+            ))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# P1 / P2 (Section 3.1.4)
+# ---------------------------------------------------------------------------
+def check_p1_leap_disjoint(structure: LogicalStructure) -> List[Violation]:
+    """P1: no chare may have events in two phases of the same leap."""
+    out: List[Violation] = []
+    owner: Dict[Tuple[int, int], int] = {}
+    for p in structure.phases:
+        for c in p.chares:
+            key = (p.leap, c)
+            other = owner.setdefault(key, p.id)
+            if other != p.id:
+                out.append(Violation(
+                    "p1-leap-disjoint",
+                    f"leap {p.leap}: chare {c} appears in phases {other} "
+                    f"and {p.id}",
+                    (other, p.id, c),
+                ))
+    return out
+
+
+def check_p2_successor_cover(structure: LogicalStructure) -> List[Violation]:
+    """P2: a phase's successors must span its chares.
+
+    Exemption (Section 3.1.4): a chare that never reappears at a later
+    leap needs no successor — its path through the DAG simply ends.
+    """
+    phases = structure.phases
+    last_leap_of_chare: Dict[int, int] = {}
+    for p in phases:
+        for c in p.chares:
+            last_leap_of_chare[c] = max(last_leap_of_chare.get(c, -1), p.leap)
+    out: List[Violation] = []
+    for p in phases:
+        covered: Set[int] = set()
+        for q in p.succs:
+            covered |= phases[q].chares
+        for c in sorted(p.chares - covered):
+            if last_leap_of_chare.get(c, -1) > p.leap:
+                out.append(Violation(
+                    "p2-successor-cover",
+                    f"phase {p.id} (leap {p.leap}): chare {c} reappears at leap "
+                    f"{last_leap_of_chare[c]} but no direct successor holds it",
+                    (p.id, c),
+                ))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Event/phase partition totality
+# ---------------------------------------------------------------------------
+def check_partition_totality(structure: LogicalStructure) -> List[Violation]:
+    """Every event inside a serial block lies in exactly one phase."""
+    out: List[Violation] = []
+    trace = structure.trace
+    n_events = len(trace.events)
+    seen_in = [-1] * n_events
+    for p in structure.phases:
+        for ev in p.events:
+            if not (0 <= ev < n_events):
+                out.append(Violation(
+                    "partition-totality",
+                    f"phase {p.id}: bad event id {ev}",
+                    (p.id, ev),
+                ))
+                continue
+            if seen_in[ev] != -1:
+                out.append(Violation(
+                    "partition-totality",
+                    f"event {ev} appears in phases {seen_in[ev]} and {p.id}",
+                    (seen_in[ev], p.id, ev),
+                ))
+            seen_in[ev] = p.id
+            if structure.phase_of_event[ev] != p.id:
+                out.append(Violation(
+                    "partition-totality",
+                    f"event {ev}: phase_of_event says "
+                    f"{structure.phase_of_event[ev]} but it lies in phase {p.id}",
+                    (p.id, ev),
+                ))
+            if trace.events[ev].chare not in p.chares:
+                out.append(Violation(
+                    "partition-totality",
+                    f"phase {p.id}: event {ev}'s chare "
+                    f"{trace.events[ev].chare} missing from phase chare set",
+                    (p.id, ev),
+                ))
+    for ev in range(n_events):
+        in_block = structure.block_of_event[ev] != -1
+        if in_block and seen_in[ev] == -1:
+            out.append(Violation(
+                "partition-totality",
+                f"event {ev} belongs to block {structure.block_of_event[ev]} "
+                f"but to no phase",
+                (ev,),
+            ))
+        if not in_block and seen_in[ev] != -1:
+            out.append(Violation(
+                "partition-totality",
+                f"event {ev} is outside every block but lies in phase "
+                f"{seen_in[ev]}",
+                (seen_in[ev], ev),
+            ))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Step laws
+# ---------------------------------------------------------------------------
+def _relaxed_recvs(structure: LogicalStructure) -> Set[int]:
+    """Events free to float under relaxed-MPI reordering (Section 3.2.1).
+
+    In reordered MPI mode a *matched* receive is constrained only through
+    its message, so it may step before earlier events of its own block
+    (Figure 10).  Everywhere else the block order is binding.
+    """
+    if _resolved_mode(structure) != "mpi" or _resolved_order(structure) != "reordered":
+        return set()
+    trace = structure.trace
+    free: Set[int] = set()
+    for ev in range(len(trace.events)):
+        if trace.events[ev].kind != EventKind.RECV:
+            continue
+        mid = trace.message_by_recv[ev]
+        if mid != NO_ID and trace.messages[mid].send_event != NO_ID:
+            free.add(ev)
+    return free
+
+
+def check_step_monotonicity(structure: LogicalStructure) -> List[Violation]:
+    """Global steps must respect happened-before.
+
+    * Along every complete message: ``step(recv) > step(send)``.
+    * Along every serial block: consecutive events (in the block's
+      physical order) take strictly increasing steps — except pairs
+      involving a matched receive under relaxed-MPI reordering, which the
+      paper deliberately lets float to its logical wave.
+    """
+    out: List[Violation] = []
+    trace = structure.trace
+    step = structure.step_of_event
+
+    for msg in trace.messages:
+        if not msg.is_complete():
+            continue
+        s, r = msg.send_event, msg.recv_event
+        if step[s] < 0 or step[r] < 0:
+            continue  # unpartitioned endpoints are partition-totality's problem
+        if step[r] <= step[s]:
+            out.append(Violation(
+                "step-happened-before",
+                f"msg {msg.id}: recv event {r} at step {step[r]} does not "
+                f"follow send event {s} at step {step[s]}",
+                (msg.id, s, r),
+            ))
+
+    floating = _relaxed_recvs(structure)
+    for block in structure.blocks:
+        for a, b in zip(block.events, block.events[1:]):
+            if step[a] < 0 or step[b] < 0:
+                continue
+            if a in floating or b in floating:
+                continue
+            if step[b] <= step[a]:
+                out.append(Violation(
+                    "step-happened-before",
+                    f"block {block.id}: event {b} at step {step[b]} does not "
+                    f"follow earlier block event {a} at step {step[a]}",
+                    (block.id, a, b),
+                ))
+    return out
+
+
+def check_step_offsets(structure: LogicalStructure) -> List[Violation]:
+    """Steps decompose through phase offsets, and offsets clear all preds."""
+    out: List[Violation] = []
+    phases = structure.phases
+    for p in phases:
+        for q in p.preds:
+            if not (0 <= q < len(phases)) or phases[q].max_local_step < 0:
+                continue
+            need = phases[q].offset + phases[q].max_local_step + 1
+            if p.offset < need:
+                out.append(Violation(
+                    "step-offset",
+                    f"phase {p.id}: offset {p.offset} does not clear "
+                    f"predecessor {q} (needs >= {need})",
+                    (p.id, q),
+                ))
+        local_max = -1
+        for ev in p.events:
+            local = structure.local_step_of_event[ev]
+            local_max = max(local_max, local)
+            if local < 0:
+                out.append(Violation(
+                    "step-offset",
+                    f"phase {p.id}: event {ev} has no local step",
+                    (p.id, ev),
+                ))
+            elif structure.step_of_event[ev] != p.offset + local:
+                out.append(Violation(
+                    "step-offset",
+                    f"event {ev}: global step {structure.step_of_event[ev]} != "
+                    f"phase {p.id} offset {p.offset} + local step {local}",
+                    (p.id, ev),
+                ))
+        if p.events and p.max_local_step != local_max:
+            out.append(Violation(
+                "step-offset",
+                f"phase {p.id}: max_local_step {p.max_local_step} != observed "
+                f"maximum {local_max}",
+                (p.id,),
+            ))
+    return out
+
+
+def check_chare_step_uniqueness(structure: LogicalStructure) -> List[Violation]:
+    """The paper's end guarantee: one event per chare per global step."""
+    out: List[Violation] = []
+    owner: Dict[Tuple[int, int], int] = {}
+    events = structure.trace.events
+    for ev, step in enumerate(structure.step_of_event):
+        if step < 0:
+            continue
+        key = (events[ev].chare, step)
+        other = owner.setdefault(key, ev)
+        if other != ev:
+            out.append(Violation(
+                "chare-step-unique",
+                f"chare {events[ev].chare}: events {other} and {ev} both at "
+                f"global step {step}",
+                (other, ev),
+            ))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Reorder clock laws (Section 3.2.1)
+# ---------------------------------------------------------------------------
+def check_reorder_clocks(
+    structure: LogicalStructure,
+    w_override: Optional[Dict[int, Dict[int, int]]] = None,
+) -> List[Violation]:
+    """The idealized clock of each phase obeys the Section 3.2.1 laws.
+
+    * **Receive law** — a receive whose matching send lies earlier in the
+      same phase gets ``w = w(send) + 1``.
+    * **Count-up law** — every other event counts up from the latest
+      event of its serial block (initial events get 0).
+
+    Applies only to reordered structures (physical order has no clock).
+    ``w_override`` maps phase id -> {event -> w} and substitutes for the
+    recomputed clock; mutation tests use it to corrupt the clock and
+    assert detection.
+    """
+    if w_override is None and _resolved_order(structure) != "reordered":
+        return []
+    out: List[Violation] = []
+    trace = structure.trace
+    events = trace.events
+    for phase in structure.phases:
+        in_phase = set(phase.events)
+        if w_override is not None:
+            w = w_override.get(phase.id)
+            if w is None:
+                continue
+        else:
+            w = _assign_w(trace, phase.events, in_phase, structure.block_of_event)
+        ordered = sorted(phase.events, key=lambda e: (events[e].time, e))
+        last_in_block: Dict[int, int] = {}
+        seen: Set[int] = set()
+        for ev in ordered:
+            if ev not in w:
+                out.append(Violation(
+                    "reorder-clocks",
+                    f"phase {phase.id}: event {ev} has no clock value",
+                    (phase.id, ev),
+                ))
+                continue
+            block = structure.block_of_event[ev]
+            expected: Optional[int] = None
+            if events[ev].kind == EventKind.RECV:
+                mid = trace.message_by_recv[ev]
+                send = trace.messages[mid].send_event if mid != NO_ID else NO_ID
+                if send != NO_ID and send in in_phase and send in seen:
+                    expected = w[send] + 1
+            if expected is None:
+                expected = last_in_block.get(block, -1) + 1
+            if w[ev] != expected:
+                out.append(Violation(
+                    "reorder-clocks",
+                    f"phase {phase.id}: event {ev} has w={w[ev]}, clock laws "
+                    f"require {expected}",
+                    (phase.id, ev),
+                ))
+            last_in_block[block] = w[ev]
+            seen.add(ev)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+Checker = Callable[[LogicalStructure], List[Violation]]
+
+#: All checkers in report order, keyed by invariant name.
+ALL_CHECKERS: Dict[str, Checker] = {
+    "dag-acyclic": check_dag_acyclic,
+    "leap-consistency": check_leap_consistency,
+    "p1-leap-disjoint": check_p1_leap_disjoint,
+    "p2-successor-cover": check_p2_successor_cover,
+    "partition-totality": check_partition_totality,
+    "step-happened-before": check_step_monotonicity,
+    "step-offset": check_step_offsets,
+    "chare-step-unique": check_chare_step_uniqueness,
+    "reorder-clocks": check_reorder_clocks,
+}
+
+
+def check_structure(
+    structure: LogicalStructure,
+    checkers: Optional[Sequence[str]] = None,
+) -> List[Violation]:
+    """Run the named checkers (default: all) and collect every violation."""
+    names = list(ALL_CHECKERS) if checkers is None else list(checkers)
+    out: List[Violation] = []
+    for name in names:
+        try:
+            checker = ALL_CHECKERS[name]
+        except KeyError:
+            raise ValueError(f"unknown invariant checker {name!r}") from None
+        out.extend(checker(structure))
+    return out
+
+
+def verify_structure(
+    structure: LogicalStructure,
+    checkers: Optional[Sequence[str]] = None,
+) -> None:
+    """Raise :class:`InvariantViolationError` if any invariant is violated."""
+    violations = check_structure(structure, checkers)
+    if violations:
+        raise InvariantViolationError("structure verification failed", violations)

@@ -1,0 +1,168 @@
+"""Per-stage pipeline instrumentation.
+
+:func:`repro.core.pipeline.extract_logical_structure` announces the end of
+every stage to the hook object carried by
+:class:`~repro.core.pipeline.PipelineOptions`.  A hook sees the stage
+name, the elapsed seconds, and the live intermediate state — the mutable
+:class:`~repro.core.partition.PartitionState` while phases are being
+found, the finished :class:`~repro.core.structure.LogicalStructure` at
+the end — so it can record per-stage metrics or run invariant checks
+mid-flight without the pipeline knowing which.
+
+Three ready-made hooks:
+
+* :class:`PipelineHooks` — the no-op protocol base;
+* :class:`StageRecorder` — collects :class:`StageRecord` rows (timings,
+  partition/merge counts), the data behind ``repro verify --json``;
+* :class:`StrictVerifier` — a recorder that additionally asserts the
+  stage postconditions (graph acyclic after every merge stage, event
+  coverage stable) and runs the full invariant suite on the final
+  structure.  This is what ``PipelineOptions(verify=True)`` installs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.leaps import compute_leaps
+from repro.core.partition import PartitionState
+from repro.core.structure import LogicalStructure
+from repro.trace.validate import Violation
+from repro.verify.invariants import InvariantViolationError, verify_structure
+
+#: Stages that end with (or cannot introduce) a cycle merge: the partition
+#: graph must be a DAG when they finish.  After "initial" cycles are
+#: legitimate (Figure 3's ring) so it is deliberately absent.
+ACYCLIC_AFTER = frozenset({
+    "dependency_merge",
+    "repair_merge",
+    "infer_sources",
+    "leap_merge",
+    "order_overlapping",
+    "chare_paths",
+})
+
+
+@dataclass
+class StageRecord:
+    """One pipeline stage as observed by a hook."""
+
+    stage: str
+    seconds: float
+    #: Live partition count after the stage (-1 once phases are built).
+    partitions: int = -1
+    #: Partitions eliminated by merging during the stage (-1 if unknown).
+    merges: int = -1
+
+    def to_dict(self) -> dict:
+        return {
+            "stage": self.stage,
+            "seconds": self.seconds,
+            "partitions": self.partitions,
+            "merges": self.merges,
+        }
+
+
+class PipelineHooks:
+    """Protocol base: the pipeline calls :meth:`on_stage` after each stage.
+
+    Exactly one of ``state`` and ``structure`` is set: ``state`` during
+    phase finding, ``structure`` for the final "finalize" announcement.
+    Subclasses override :meth:`on_stage`; raising from it aborts the
+    pipeline (that is how :class:`StrictVerifier` fails fast).
+    """
+
+    def on_stage(
+        self,
+        stage: str,
+        *,
+        state: Optional[PartitionState] = None,
+        structure: Optional[LogicalStructure] = None,
+        seconds: float = 0.0,
+    ) -> None:
+        """Called by the pipeline after every stage."""
+
+
+class StageRecorder(PipelineHooks):
+    """Records a :class:`StageRecord` per stage, plus derived merge counts."""
+
+    def __init__(self) -> None:
+        self.records: List[StageRecord] = []
+        self._last_partitions: Optional[int] = None
+
+    def on_stage(
+        self,
+        stage: str,
+        *,
+        state: Optional[PartitionState] = None,
+        structure: Optional[LogicalStructure] = None,
+        seconds: float = 0.0,
+    ) -> None:
+        partitions = state.num_partitions() if state is not None else -1
+        merges = -1
+        if state is not None:
+            if self._last_partitions is not None:
+                merges = self._last_partitions - partitions
+            self._last_partitions = partitions
+        self.records.append(StageRecord(stage, seconds, partitions, merges))
+
+    def by_stage(self) -> Dict[str, StageRecord]:
+        """Latest record per stage name."""
+        return {r.stage: r for r in self.records}
+
+    def to_dict(self) -> dict:
+        return {"stages": [r.to_dict() for r in self.records]}
+
+
+class StrictVerifier(StageRecorder):
+    """A recorder that also enforces stage postconditions.
+
+    * After every stage in :data:`ACYCLIC_AFTER` the partition graph must
+      be a DAG (these stages end with a cycle merge, or add only
+      leap-increasing edges).
+    * Event coverage must never change mid-pipeline: merging moves events
+      between partitions but never drops them.
+    * The final structure must pass the full invariant suite
+      (:func:`repro.verify.invariants.verify_structure`).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._covered_events: Optional[int] = None
+
+    def on_stage(
+        self,
+        stage: str,
+        *,
+        state: Optional[PartitionState] = None,
+        structure: Optional[LogicalStructure] = None,
+        seconds: float = 0.0,
+    ) -> None:
+        super().on_stage(stage, state=state, structure=structure, seconds=seconds)
+        if state is not None:
+            if stage in ACYCLIC_AFTER:
+                try:
+                    compute_leaps(state)
+                except ValueError:
+                    raise InvariantViolationError(
+                        f"strict verification failed after stage {stage!r}",
+                        [Violation(
+                            "stage-acyclic",
+                            f"partition graph is cyclic after stage {stage!r}",
+                        )],
+                    ) from None
+            covered = sum(len(evs) for evs in state.init_events)
+            if self._covered_events is None:
+                self._covered_events = covered
+            elif covered != self._covered_events:
+                raise InvariantViolationError(
+                    f"strict verification failed after stage {stage!r}",
+                    [Violation(
+                        "stage-event-coverage",
+                        f"stage {stage!r} changed the number of partitioned "
+                        f"events from {self._covered_events} to {covered}",
+                    )],
+                )
+        if structure is not None:
+            verify_structure(structure)

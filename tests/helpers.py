@@ -3,10 +3,15 @@
 ``SyntheticTrace`` wraps :class:`repro.trace.TraceBuilder` with a
 block-oriented API so unit tests can transcribe the paper's illustrative
 figures (rings, split blocks, idle scenarios) in a few lines.
+
+``random_trace`` generates seeded, physically valid traces of arbitrary
+shape (charm task trees or MPI neighbour exchanges, with optional runtime
+chares and timing noise) for the property-based invariant suite.
 """
 
 from __future__ import annotations
 
+import random
 from typing import Dict, List, Optional, Tuple
 
 from repro.trace.events import NO_ID, EventKind
@@ -82,3 +87,185 @@ class SyntheticTrace:
     def build(self) -> Trace:
         """Finalize the trace."""
         return self.builder.build()
+
+
+def random_trace(
+    seed: int = 0,
+    chares: int = 6,
+    pes: int = 2,
+    rounds: int = 3,
+    mode: str = "charm",
+    noise: float = 0.0,
+    fanout: int = 2,
+    runtime: bool = False,
+) -> Trace:
+    """Seeded, physically valid random trace for property tests.
+
+    ``charm`` mode simulates an event-driven run: each round opens
+    depth-limited message trees over the application chares; every
+    delivery becomes an execution on the destination chare's PE (per-PE
+    clocks keep executions disjoint, deliveries never precede their
+    sends).  With ``runtime=True`` the rounds are chained through a
+    runtime "main" chare — leaves report completion, main triggers the
+    next round — which keeps the rounds as distinct phases in the
+    recovered DAG (application/runtime message endpoints are edges, not
+    merges).  ``mpi`` mode emits a round-based ring exchange (compute
+    block with sends, then an exchange block receiving from both
+    neighbours) and tags the trace metadata with ``{"model": "mpi"}``.
+    ``noise`` jitters durations and latencies multiplicatively.
+    """
+    rng = random.Random(seed)
+    if mode == "mpi":
+        return _random_mpi_trace(rng, chares, pes, rounds, noise)
+    if mode != "charm":
+        raise ValueError(f"unknown mode {mode!r}")
+
+    import heapq
+
+    tr = SyntheticTrace(num_pes=pes, metadata={"model": "charm", "seed": seed})
+    chare_ids = [tr.chare(f"C[{i}]", pe=i % pes) for i in range(chares)]
+    chare_pe = {cid: i % pes for i, cid in enumerate(chare_ids)}
+    main = -1
+    if runtime:
+        main = tr.chare("CkMain", pe=0, is_runtime=True)
+        chare_pe[main] = 0
+    clocks = [0.0] * pes
+    entries = ["work", "step", "reduce"]
+    max_depth = 3
+
+    def jitter(x: float) -> float:
+        if noise <= 0:
+            return x
+        return max(1e-3, x * (1.0 + rng.uniform(-noise, noise)))
+
+    seq = 0
+    label_counter = 0
+    t_boot = 0.0
+    # (label, send_time) completion messages awaiting the next main block
+    pending_done: List[Tuple[str, float]] = []
+    for _ in range(max(rounds, 1)):
+        # (deliver_time, seq, label, dest_chare, depth); seq breaks ties
+        queue: List[Tuple[float, int, str, int, int]] = []
+        budget = chares * 6
+        if runtime:
+            # Main receives last round's completions, triggers this round.
+            start = max(
+                [clocks[0], t_boot] + [t + jitter(0.3) for _, t in pending_done]
+            )
+            dur = jitter(1.5)
+            evs: List[Tuple[str, str, float]] = []
+            for k, (lab, _) in enumerate(pending_done):
+                evs.append(("recv", lab,
+                            start + dur * (0.02 + 0.4 * (k + 1) / (len(pending_done) + 1))))
+            pending_done = []
+            roots = rng.sample(chare_ids, 1 + rng.randrange(max(1, min(fanout, chares))))
+            for root in roots:
+                label = f"m{label_counter}"
+                label_counter += 1
+                st = start + dur * rng.uniform(0.5, 0.95)
+                evs.append(("send", label, st))
+                heapq.heappush(queue, (st + jitter(0.5), seq, label, root, 1))
+                seq += 1
+            evs.sort(key=lambda e: e[2])
+            tr.block(main, "trigger", 0, start, start + dur, evs)
+            clocks[0] = start + dur
+            t_boot = start + dur
+        else:
+            root = rng.choice(chare_ids)
+            pe = chare_pe[root]
+            start = max(clocks[pe], t_boot)
+            dur = jitter(2.0)
+            evs = []
+            for _ in range(1 + rng.randrange(max(1, fanout))):
+                label = f"m{label_counter}"
+                label_counter += 1
+                st = start + dur * rng.uniform(0.1, 0.9)
+                evs.append(("send", label, st))
+                heapq.heappush(queue, (st + jitter(0.5), seq, label,
+                                       rng.choice(chare_ids), 1))
+                seq += 1
+            evs.sort(key=lambda e: e[2])
+            tr.block(root, rng.choice(entries), pe, start, start + dur, evs)
+            clocks[pe] = start + dur
+            t_boot = start + dur + jitter(1.0)
+
+        while queue:
+            deliver, _, label, dest, depth = heapq.heappop(queue)
+            pe = chare_pe[dest]
+            start = max(clocks[pe], deliver)
+            dur = jitter(1.0)
+            evs = [("recv", label, start + dur * 0.01)]
+            children = 0
+            if depth < max_depth and budget > 0:
+                for _ in range(rng.randrange(fanout + 1)):
+                    lab = f"m{label_counter}"
+                    label_counter += 1
+                    st = start + dur * rng.uniform(0.2, 0.9)
+                    evs.append(("send", lab, st))
+                    heapq.heappush(queue, (st + jitter(0.5), seq, lab,
+                                           rng.choice(chare_ids), depth + 1))
+                    seq += 1
+                    budget -= 1
+                    children += 1
+            if runtime and children == 0:
+                # Leaf: report completion to main for round chaining.
+                lab = f"m{label_counter}"
+                label_counter += 1
+                evs.append(("send", lab, start + dur * 0.95))
+                pending_done.append((lab, start + dur * 0.95))
+            evs.sort(key=lambda e: e[2])
+            tr.block(dest, rng.choice(entries), pe, start, start + dur, evs)
+            clocks[pe] = start + dur
+    return tr.build()
+
+
+def _random_mpi_trace(
+    rng: "random.Random", ranks: int, pes: int, rounds: int, noise: float
+) -> Trace:
+    """Round-based ring exchange over ``ranks`` MPI processes."""
+    tr = SyntheticTrace(num_pes=pes, metadata={"model": "mpi"})
+    ids = [tr.chare(f"rank{i}", pe=i % pes) for i in range(ranks)]
+    clocks = [0.0] * pes
+
+    def jitter(x: float) -> float:
+        if noise <= 0:
+            return x
+        return max(1e-3, x * (1.0 + rng.uniform(-noise, noise)))
+
+    for r in range(rounds):
+        send_time: Dict[str, float] = {}
+        for i, cid in enumerate(ids):
+            pe = i % pes
+            start = clocks[pe]
+            dur = jitter(2.0)
+            evs: List[Tuple[str, str, float]] = []
+            for off, tag in ((1, "R"), (-1, "L")):
+                j = (i + off) % ranks
+                if j == i:
+                    continue
+                label = f"r{r}_{i}_{j}_{tag}"
+                st = start + dur * rng.uniform(0.3, 0.9)
+                evs.append(("send", label, st))
+                send_time[label] = st
+            evs.sort(key=lambda e: e[2])
+            tr.block(cid, "compute", pe, start, start + dur, evs)
+            clocks[pe] = start + dur
+        for i, cid in enumerate(ids):
+            pe = i % pes
+            incoming: List[Tuple[str, float]] = []
+            for off, tag in ((-1, "R"), (1, "L")):
+                j = (i + off) % ranks
+                if j == i:
+                    continue
+                label = f"r{r}_{j}_{i}_{tag}"
+                if label in send_time:
+                    incoming.append((label, send_time[label]))
+            start = max([clocks[pe]] + [t + 1e-3 for _, t in incoming])
+            dur = jitter(1.0)
+            evs = [
+                ("recv", lab, start + dur * (0.1 + 0.3 * k))
+                for k, (lab, _) in enumerate(incoming)
+            ]
+            tr.block(cid, "exchange", pe, start, start + dur, evs)
+            clocks[pe] = start + dur
+    return tr.build()

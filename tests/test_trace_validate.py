@@ -2,9 +2,15 @@
 
 import pytest
 
+from repro.core.pipeline import extract_logical_structure
 from repro.trace.events import EventKind
 from repro.trace.model import TraceBuilder
-from repro.trace.validate import TraceValidationError, validate_trace
+from repro.trace.validate import (
+    TraceValidationError,
+    collect_trace_problems,
+    validate_trace,
+)
+from repro.verify import check_structure
 
 
 def _base():
@@ -100,3 +106,88 @@ def test_recv_event_exec_linkage_checked():
     b.set_execution_recv(x2, recv)
     with pytest.raises(TraceValidationError, match="belongs to exec"):
         validate_trace(b.build())
+
+
+# ---------------------------------------------------------------------------
+# Edge cases: degenerate but legal traces must validate and verify cleanly
+# ---------------------------------------------------------------------------
+def test_empty_trace_validates():
+    trace = TraceBuilder(num_pes=1).build()
+    assert collect_trace_problems(trace) == []
+    validate_trace(trace)
+    structure = extract_logical_structure(trace)
+    assert structure.phases == []
+    assert check_structure(structure) == []
+
+
+def test_zero_pe_trace_tolerates_pe_zero_idle():
+    # num_pes=0 is degenerate; pe 0 is still accepted (clamped to 1 PE)
+    # but anything beyond that is a bad id.
+    b = TraceBuilder(num_pes=0)
+    b.add_idle(0, 0.0, 1.0)
+    validate_trace(b.build())
+    b2 = TraceBuilder(num_pes=0)
+    b2.add_idle(5, 0.0, 1.0)
+    with pytest.raises(TraceValidationError, match="bad pe"):
+        validate_trace(b2.build())
+
+
+def test_single_event_trace_validates():
+    b, c, e = _base()
+    x = b.add_execution(c, e, 0, 0.0, 1.0)
+    b.add_event(EventKind.SEND, c, 0, 0.5, x)
+    trace = b.build()
+    assert collect_trace_problems(trace) == []
+    structure = extract_logical_structure(trace)
+    assert len(structure.phases) == 1
+    assert structure.max_step == 0
+    assert check_structure(structure) == []
+
+
+def test_out_of_range_event_chare_does_not_crash():
+    # Reported as a bad id, without indexing past the chare table.
+    b, c, e = _base()
+    x = b.add_execution(c, e, 0, 0.0, 1.0)
+    b.add_event(EventKind.SEND, 99, 0, 0.5, x)
+    problems = collect_trace_problems(b.build())
+    assert any(p.invariant == "event-ids" for p in problems)
+
+
+def test_out_of_range_message_endpoint_does_not_crash():
+    # The builder indexes endpoints at build time, so corruption can only
+    # arrive post-construction (e.g. a buggy transform); the validator
+    # must flag it instead of crashing on the lookup.
+    b, c, e = _base()
+    x = b.add_execution(c, e, 0, 0.0, 2.0)
+    send = b.add_event(EventKind.SEND, c, 0, 0.5, x)
+    recv = b.add_event(EventKind.RECV, c, 0, 1.0, x)
+    b.add_message(send_event=send, recv_event=recv)
+    trace = b.build()
+    trace.messages[0].send_event = 12345
+    problems = collect_trace_problems(trace)
+    assert any(p.invariant == "message-ids" for p in problems)
+
+
+def test_chare_never_reappearing_is_p2_exempt():
+    # B acts only at the start; its phase legitimately has no successor
+    # holding B — the P2 exemption, not a violation.
+    b = TraceBuilder(num_pes=2)
+    e = b.add_entry("go")
+    ca = b.add_chare("A")
+    cb = b.add_chare("B", home_pe=1)
+    xb = b.add_execution(cb, e, 1, 0.0, 1.0)
+    send = b.add_event(EventKind.SEND, cb, 1, 0.5, xb)
+    xa1 = b.add_execution(ca, e, 0, 2.0, 3.0)
+    recv = b.add_event(EventKind.RECV, ca, 0, 2.1, xa1)
+    b.add_message(send_event=send, recv_event=recv)
+    s2 = b.add_event(EventKind.SEND, ca, 0, 2.5, xa1)
+    xa2 = b.add_execution(ca, e, 0, 4.0, 5.0)
+    r2 = b.add_event(EventKind.RECV, ca, 0, 4.1, xa2)
+    b.add_message(send_event=s2, recv_event=r2)
+    trace = b.build()
+    validate_trace(trace)
+    structure = extract_logical_structure(trace)
+    assert check_structure(structure) == []
+    # B really does disappear after its first (and only) phase
+    b_phases = [p for p in structure.phases if cb in p.chares]
+    assert len(b_phases) == 1

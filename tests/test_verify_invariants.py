@@ -1,0 +1,257 @@
+"""Mutation tests for the invariant checkers (``repro.verify``).
+
+Each test corrupts one aspect of a clean :class:`LogicalStructure` and
+asserts that exactly the targeted checker reports it, by its stable
+invariant name.  This demonstrates every checker live — a checker that
+never fires on a corruption it claims to guard against is a tautology.
+"""
+
+import copy
+
+import pytest
+
+from tests.helpers import random_trace
+from repro.core.pipeline import extract_logical_structure
+from repro.core.reorder import _assign_w
+from repro.verify import (
+    ALL_CHECKERS,
+    InvariantViolationError,
+    check_chare_step_uniqueness,
+    check_dag_acyclic,
+    check_leap_consistency,
+    check_p1_leap_disjoint,
+    check_p2_successor_cover,
+    check_partition_totality,
+    check_reorder_clocks,
+    check_step_monotonicity,
+    check_step_offsets,
+    check_structure,
+    verify_structure,
+)
+
+pytestmark = pytest.mark.verify
+
+EXPECTED_NAMES = {
+    "dag-acyclic",
+    "leap-consistency",
+    "p1-leap-disjoint",
+    "p2-successor-cover",
+    "partition-totality",
+    "step-happened-before",
+    "step-offset",
+    "chare-step-unique",
+    "reorder-clocks",
+}
+
+
+@pytest.fixture(scope="module")
+def clean():
+    trace = random_trace(seed=11, chares=6, pes=3, rounds=3, fanout=2,
+                         runtime=True)
+    return extract_logical_structure(trace)
+
+
+@pytest.fixture()
+def mutant(clean):
+    return copy.deepcopy(clean)
+
+
+def only(violations, name):
+    assert violations, f"expected {name} violations, got none"
+    assert {v.invariant for v in violations} == {name}
+    return violations
+
+
+def test_registry_is_complete():
+    assert set(ALL_CHECKERS) == EXPECTED_NAMES
+
+
+def test_clean_structure_passes_every_checker(clean):
+    assert check_structure(clean) == []
+    verify_structure(clean)  # must not raise
+    # the fixture is non-trivial enough to exercise the checkers
+    assert len(clean.phases) >= 2
+    assert any(p.succs for p in clean.phases)
+
+
+def test_dag_cycle_detected(mutant):
+    a = next(p for p in mutant.phases if p.succs)
+    b = mutant.phases[next(iter(a.succs))]
+    # close the loop b -> a (mirrors kept consistent: pure cycle, no
+    # mirror violation — Kahn's algorithm must find it)
+    b.succs.add(a.id)
+    a.preds.add(b.id)
+    vs = only(check_dag_acyclic(mutant), "dag-acyclic")
+    flagged = set()
+    for v in vs:
+        flagged.update(v.subjects)
+    assert {a.id, b.id} <= flagged
+
+
+def test_broken_succ_pred_mirror_detected(mutant):
+    a = next(p for p in mutant.phases if p.succs)
+    q = next(iter(a.succs))
+    mutant.phases[q].preds.discard(a.id)
+    only(check_dag_acyclic(mutant), "dag-acyclic")
+
+
+def test_leap_mismatch_detected(mutant):
+    p = max(mutant.phases, key=lambda p: p.leap)
+    p.leap += 5
+    vs = only(check_leap_consistency(mutant), "leap-consistency")
+    assert any(p.id in v.subjects for v in vs)
+
+
+def test_p1_chare_overlap_detected(mutant):
+    a, b = mutant.phases[0], mutant.phases[-1]
+    assert a.id != b.id
+    b.leap = a.leap
+    b.chares.add(next(iter(a.chares)))
+    only(check_p1_leap_disjoint(mutant), "p1-leap-disjoint")
+
+
+def test_p2_missing_successor_detected(mutant):
+    last_leap = {}
+    for p in mutant.phases:
+        for c in p.chares:
+            last_leap[c] = max(last_leap.get(c, -1), p.leap)
+    p = next(
+        p for p in mutant.phases
+        if any(last_leap[c] > p.leap for c in p.chares)
+    )
+    for q in p.succs:
+        mutant.phases[q].preds.discard(p.id)
+    p.succs.clear()
+    vs = only(check_p2_successor_cover(mutant), "p2-successor-cover")
+    assert any(p.id in v.subjects for v in vs)
+
+
+def test_p2_exempts_chare_that_never_reappears(clean):
+    # every final phase of a chare lacks that chare in its successors and
+    # the clean structure still passes: the exemption is live
+    last_leap = {}
+    for p in clean.phases:
+        for c in p.chares:
+            last_leap[c] = max(last_leap.get(c, -1), p.leap)
+    finals = [
+        (p, c)
+        for p in clean.phases
+        for c in p.chares
+        if last_leap[c] == p.leap
+    ]
+    assert finals  # exemption actually exercised
+    assert check_p2_successor_cover(clean) == []
+
+
+def test_partition_duplicate_event_detected(mutant):
+    a = next(p for p in mutant.phases if p.events)
+    b = next(p for p in mutant.phases if p.id != a.id)
+    b.events.append(a.events[0])
+    only(check_partition_totality(mutant), "partition-totality")
+
+
+def test_partition_dropped_event_detected(mutant):
+    p = next(p for p in mutant.phases if p.events)
+    ev = p.events.pop()
+    vs = only(check_partition_totality(mutant), "partition-totality")
+    assert any(ev in v.subjects for v in vs)
+
+
+def test_message_step_inversion_detected(mutant):
+    step = mutant.step_of_event
+    msg = next(
+        m for m in mutant.trace.messages
+        if m.is_complete() and step[m.send_event] >= 0 and step[m.recv_event] >= 0
+    )
+    step[msg.recv_event] = step[msg.send_event]
+    vs = check_step_monotonicity(mutant)
+    assert any(
+        v.invariant == "step-happened-before" and msg.id in v.subjects
+        for v in vs
+    )
+
+
+def test_block_step_inversion_detected(mutant):
+    step = mutant.step_of_event
+    block = next(
+        b for b in mutant.blocks
+        if len(b.events) >= 2 and all(step[e] >= 0 for e in b.events)
+    )
+    a, b = block.events[0], block.events[1]
+    step[b] = step[a] - 1
+    vs = check_step_monotonicity(mutant)
+    assert any(
+        v.invariant == "step-happened-before" and block.id in v.subjects
+        for v in vs
+    )
+
+
+def test_offset_corruption_detected(mutant):
+    p = next(p for p in mutant.phases if p.events)
+    p.offset += 1  # steps no longer equal offset + local step
+    only(check_step_offsets(mutant), "step-offset")
+
+
+def test_chare_step_collision_detected(mutant):
+    step = mutant.step_of_event
+    events = mutant.trace.events
+    by_chare = {}
+    pair = None
+    for ev in range(len(events)):
+        if step[ev] < 0:
+            continue
+        c = events[ev].chare
+        if c in by_chare and step[by_chare[c]] != step[ev]:
+            pair = (by_chare[c], ev)
+            break
+        by_chare.setdefault(c, ev)
+    assert pair is not None
+    step[pair[1]] = step[pair[0]]
+    vs = only(check_chare_step_uniqueness(mutant), "chare-step-unique")
+    assert any(set(pair) <= set(v.subjects) for v in vs)
+
+
+def test_reorder_clock_corruption_detected(clean):
+    phase = max(clean.phases, key=lambda p: len(p.events))
+    assert len(phase.events) >= 2
+    w = _assign_w(
+        clean.trace, phase.events, set(phase.events), clean.block_of_event
+    )
+    assert check_reorder_clocks(clean, w_override={phase.id: dict(w)}) == []
+    victim = phase.events[-1]
+    w[victim] += 7
+    vs = only(
+        check_reorder_clocks(clean, w_override={phase.id: w}),
+        "reorder-clocks",
+    )
+    assert any(victim in v.subjects for v in vs)
+
+
+def test_reorder_clock_missing_value_detected(clean):
+    phase = max(clean.phases, key=lambda p: len(p.events))
+    w = _assign_w(
+        clean.trace, phase.events, set(phase.events), clean.block_of_event
+    )
+    w.pop(phase.events[0])
+    vs = only(
+        check_reorder_clocks(clean, w_override={phase.id: w}),
+        "reorder-clocks",
+    )
+    assert any("no clock value" in v.message for v in vs)
+
+
+def test_verify_structure_raises_with_named_invariants(mutant):
+    a = next(p for p in mutant.phases if p.succs)
+    b = mutant.phases[next(iter(a.succs))]
+    b.succs.add(a.id)
+    a.preds.add(b.id)
+    with pytest.raises(InvariantViolationError) as exc:
+        verify_structure(mutant)
+    assert "dag-acyclic" in exc.value.invariants()
+    assert exc.value.violations
+
+
+def test_checker_subset_selection(clean):
+    assert check_structure(clean, checkers=["dag-acyclic"]) == []
+    with pytest.raises(ValueError):
+        check_structure(clean, checkers=["no-such-invariant"])
