@@ -1,0 +1,216 @@
+"""Machine-readable pipeline benchmark: BENCH_pipeline.json.
+
+The ``bench_fig*.py`` modules regenerate the paper's figures under
+pytest-benchmark for humans; this script produces the JSON record the
+repo commits and CI/tests validate: the Figure 18 iteration-scaling and
+Figure 19 chare-scaling series (per-stage seconds from
+:class:`~repro.core.pipeline.PipelineStats`, backend, phase counts) plus
+a python-vs-columnar A/B at the largest Figure 19 size, asserting the
+two backends produce bit-identical step assignments.
+
+Standalone on purpose — no pytest import — so it runs anywhere::
+
+    python benchmarks/bench_json.py            # full sweep (~1 min)
+    python benchmarks/bench_json.py --quick    # seconds; smoke/tests
+
+The output conforms to ``benchmarks/bench_schema.json``; the script
+validates it before writing (see :func:`validate_schema`, a minimal
+JSON-Schema checker covering type/properties/required/items).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.apps import lulesh  # noqa: E402
+from repro.core.columnar import HAVE_NUMPY  # noqa: E402
+from repro.core.pipeline import (  # noqa: E402
+    PipelineOptions,
+    PipelineStats,
+    extract_logical_structure,
+)
+
+SCHEMA_PATH = Path(__file__).parent / "bench_schema.json"
+DEFAULT_OUTPUT = Path(__file__).parent / "BENCH_pipeline.json"
+
+ITERATIONS_FULL = [8, 16, 32, 64]
+ITERATIONS_QUICK = [2, 4]
+CHARES_FULL = [64, 216, 512]
+CHARES_QUICK = [8, 27]
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "boolean": bool,
+    "number": (int, float),
+}
+
+
+def validate_schema(instance, schema: dict, path: str = "$") -> None:
+    """Minimal JSON-Schema validation: type / properties / required / items.
+
+    Raises :class:`ValueError` naming the offending path.  Enough schema
+    to pin the benchmark record's shape without a jsonschema dependency.
+    """
+    expected = schema.get("type")
+    if expected is not None:
+        pytype = _TYPES[expected]
+        ok = isinstance(instance, pytype)
+        if ok and expected in ("integer", "number") and isinstance(instance, bool):
+            ok = False
+        if not ok:
+            raise ValueError(
+                f"{path}: expected {expected}, got {type(instance).__name__}"
+            )
+    for name in schema.get("required", ()):
+        if name not in instance:
+            raise ValueError(f"{path}: missing required property {name!r}")
+    for name, subschema in schema.get("properties", {}).items():
+        if isinstance(instance, dict) and name in instance:
+            validate_schema(instance[name], subschema, f"{path}.{name}")
+    items = schema.get("items")
+    if items is not None and isinstance(instance, list):
+        for i, element in enumerate(instance):
+            validate_schema(element, items, f"{path}[{i}]")
+
+
+def _timed_extract(trace, options: PipelineOptions):
+    """One pipeline run; returns (structure, stats, wall_seconds)."""
+    stats = PipelineStats()
+    t0 = time.perf_counter()
+    structure = extract_logical_structure(trace, options=options, stats=stats)
+    return structure, stats, time.perf_counter() - t0
+
+
+def _row(stats: PipelineStats, structure, seconds: float) -> dict:
+    return {
+        "events": len(structure.trace.events),
+        "phases": len(structure.phases),
+        "backend": stats.backend,
+        "total_seconds": round(seconds, 6),
+        "stage_seconds": {k: round(v, 6)
+                          for k, v in stats.stage_seconds.items()},
+    }
+
+
+def run_benchmarks(quick: bool = False, verbose: bool = True) -> dict:
+    """Run both sweeps and the backend A/B; return the JSON record."""
+    opts = PipelineOptions()
+    iterations = ITERATIONS_QUICK if quick else ITERATIONS_FULL
+    chare_counts = CHARES_QUICK if quick else CHARES_FULL
+    rounds = 1 if quick else 3
+
+    def say(msg: str) -> None:
+        if verbose:
+            print(msg, file=sys.stderr)
+
+    fig18: List[dict] = []
+    for iters in iterations:
+        trace = lulesh.run_charm(chares=64 if not quick else 8, pes=8,
+                                 iterations=iters, seed=3)
+        structure, stats, seconds = _timed_extract(trace, opts)
+        fig18.append({"iterations": iters, **_row(stats, structure, seconds)})
+        say(f"fig18 {iters:3d} iters: {seconds:6.2f}s "
+            f"({len(trace.events)} events)")
+
+    fig19: List[dict] = []
+    traces = {}
+    for chares in chare_counts:
+        traces[chares] = lulesh.run_charm(chares=chares, pes=8,
+                                          iterations=8 if not quick else 2,
+                                          seed=3)
+        structure, stats, seconds = _timed_extract(traces[chares], opts)
+        fig19.append({"chares": chares, **_row(stats, structure, seconds)})
+        say(f"fig19 {chares:4d} chares: {seconds:6.2f}s "
+            f"({len(traces[chares].events)} events)")
+
+    # A/B at the largest chare count: best-of-N wall time per backend and
+    # a bit-identity check on the assignments the backends must agree on.
+    largest = chare_counts[-1]
+    ab_trace = traces[largest]
+    timings = {}
+    structures = {}
+    backends = ["python"] + (["columnar"] if HAVE_NUMPY else [])
+    for backend in backends:
+        backend_opts = PipelineOptions(backend=backend)
+        best = None
+        for _ in range(rounds):
+            structure, _, seconds = _timed_extract(ab_trace, backend_opts)
+            best = seconds if best is None else min(best, seconds)
+        timings[backend] = best
+        structures[backend] = structure
+        say(f"A/B {backend:8s} @ {largest} chares: best of {rounds} = "
+            f"{best:6.2f}s")
+
+    if HAVE_NUMPY:
+        identical = (
+            structures["python"].step_of_event
+            == structures["columnar"].step_of_event
+            and structures["python"].phase_of_event
+            == structures["columnar"].phase_of_event
+        )
+        speedup = timings["python"] / timings["columnar"]
+    else:
+        identical = True  # vacuous: only one backend exists to compare
+        speedup = 1.0
+    say(f"A/B speedup: {speedup:.2f}x, identical={identical}")
+
+    record = {
+        "schema_version": 1,
+        "quick": quick,
+        "numpy": HAVE_NUMPY,
+        "fig18_iteration_scaling": fig18,
+        "fig19_chare_scaling": fig19,
+        "backend_ab": {
+            "chares": largest,
+            "events": len(ab_trace.events),
+            "python_seconds": round(timings["python"], 6),
+            "columnar_seconds": round(
+                timings.get("columnar", timings["python"]), 6),
+            "speedup": round(speedup, 4),
+            "identical": identical,
+        },
+    }
+    return record
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the extraction pipeline; write "
+                    "BENCH_pipeline.json",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny workloads for smoke tests")
+    parser.add_argument("--output", default=str(DEFAULT_OUTPUT),
+                        help="where to write the JSON record")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    record = run_benchmarks(quick=args.quick, verbose=not args.quiet)
+    schema = json.loads(SCHEMA_PATH.read_text())
+    validate_schema(record, schema)
+    if not record["backend_ab"]["identical"]:
+        print("ERROR: backends disagree on step/phase assignments",
+              file=sys.stderr)
+        return 1
+
+    out = Path(args.output)
+    out.write_text(json.dumps(record, indent=1) + "\n")
+    if not args.quiet:
+        print(f"wrote {out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

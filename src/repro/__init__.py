@@ -9,33 +9,51 @@ proxy applications.
 
 Quick start::
 
-    from repro import extract_logical_structure
+    from repro.api import extract
     from repro.apps import jacobi2d
     from repro.viz import render_logical
 
     trace = jacobi2d.run(chares=(8, 8), pes=8, iterations=2, seed=1)
-    structure = extract_logical_structure(trace)
+    structure = extract(trace, order="reordered", backend="auto")
     print(render_logical(structure))
+
+:mod:`repro.api` is the stable facade — every public name (pipeline,
+trace I/O, verification, batch extraction) re-exported flat; the names
+below are mirrored here for convenience.
 """
 
-from repro.core import (
+from repro.api import (
+    BatchExtractor,
     LogicalStructure,
     Phase,
     PipelineOptions,
+    PipelineStats,
+    Trace,
+    TraceBuilder,
+    extract,
     extract_logical_structure,
+    read_trace,
+    run_differential,
+    validate_trace,
+    verify_structure,
+    write_trace,
 )
-from repro.trace import Trace, TraceBuilder, read_trace, validate_trace, write_trace
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BatchExtractor",
+    "extract",
     "extract_logical_structure",
     "PipelineOptions",
+    "PipelineStats",
     "LogicalStructure",
     "Phase",
     "Trace",
     "TraceBuilder",
     "read_trace",
+    "run_differential",
+    "verify_structure",
     "write_trace",
     "validate_trace",
     "__version__",

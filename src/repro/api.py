@@ -1,0 +1,100 @@
+"""The stable public API of the reproduction, in one flat namespace.
+
+Everything a script needs to go from a trace on disk to a verified
+:class:`~repro.core.structure.LogicalStructure` imports from here::
+
+    from repro.api import extract, PipelineOptions
+
+    structure = extract("trace.json", order="reordered", backend="auto")
+    print(structure.summary())
+
+The facade is intentionally thin: each name is re-exported from the
+subsystem that owns it (``repro.core`` for the pipeline, ``repro.trace``
+for I/O, ``repro.verify`` for checking, ``repro.batch`` for campaigns).
+Internals may move between submodules across versions; the names listed
+in ``__all__`` here are the compatibility surface.
+
+:func:`extract` is the preferred entry point — it accepts a path or an
+in-memory :class:`~repro.trace.model.Trace`, an optional
+:class:`PipelineOptions`, and keyword overrides applied on top of it,
+so callers never juggle the options-vs-kwargs duality that
+:func:`extract_logical_structure` keeps for backward compatibility.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.batch import (
+    BatchExtractor,
+    BatchReport,
+    BatchResult,
+    StructureCache,
+    trace_digest,
+)
+from repro.core.pipeline import (
+    PipelineOptions,
+    PipelineStats,
+    extract_logical_structure,
+)
+from repro.core.structure import LogicalStructure, Phase
+from repro.trace.model import Trace, TraceBuilder
+from repro.trace.reader import read_trace
+from repro.trace.validate import validate_trace
+from repro.trace.writer import write_trace
+from repro.verify import (
+    StageHook,
+    StageRecorder,
+    StrictVerifier,
+    check_structure,
+    run_differential,
+    verify_structure,
+)
+
+__all__ = [
+    "BatchExtractor",
+    "BatchReport",
+    "BatchResult",
+    "LogicalStructure",
+    "Phase",
+    "PipelineOptions",
+    "PipelineStats",
+    "StageHook",
+    "StageRecorder",
+    "StrictVerifier",
+    "StructureCache",
+    "Trace",
+    "TraceBuilder",
+    "check_structure",
+    "extract",
+    "extract_logical_structure",
+    "read_trace",
+    "run_differential",
+    "trace_digest",
+    "validate_trace",
+    "verify_structure",
+    "write_trace",
+]
+
+
+def extract(
+    source: Union[str, Path, Trace],
+    options: Optional[PipelineOptions] = None,
+    *,
+    stats: Optional[PipelineStats] = None,
+    **overrides,
+) -> LogicalStructure:
+    """Extract logical structure from a trace path or Trace object.
+
+    ``options`` supplies the baseline (defaults if omitted) and
+    ``overrides`` are field overrides applied on top via
+    :meth:`PipelineOptions.with_overrides`, so both styles — a shared
+    options object, quick one-off keywords, or a mix — go through one
+    unambiguous path.  Unknown override names raise :class:`TypeError`.
+    """
+    opts = (options if options is not None else PipelineOptions())
+    if overrides:
+        opts = opts.with_overrides(**overrides)
+    trace = read_trace(source) if isinstance(source, (str, Path)) else source
+    return extract_logical_structure(trace, options=opts, stats=stats)

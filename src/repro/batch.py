@@ -1,0 +1,312 @@
+"""Parallel batch extraction with a content-keyed structure cache.
+
+The paper's studies extract structure from whole campaigns of traces
+(nine proxy apps × option ablations × scaling sweeps); doing that one
+trace at a time in one process leaves both cores and prior work on the
+table.  This module adds the batch driver behind ``repro batch``:
+
+* :func:`trace_digest` — a content key for a trace: the sha256 of the
+  file bytes for on-disk sources, or of the struct-packed record fields
+  for in-memory :class:`~repro.trace.model.Trace` objects.
+* :class:`StructureCache` — maps ``(trace digest, resolved options)`` to
+  the extraction summary, in memory and optionally persisted as JSON
+  files in a cache directory so repeated campaign runs skip clean work.
+* :class:`BatchExtractor` — fans sources across a
+  :class:`~concurrent.futures.ProcessPoolExecutor`, captures per-trace
+  timing and failures (one bad trace never aborts the batch), and
+  returns results in input order regardless of completion order.
+
+Summaries, not structures, are cached: the cache answers "what did this
+trace extract to" (phase/step counts, timings) for campaign bookkeeping;
+callers that need the full :class:`~repro.core.structure.LogicalStructure`
+re-extract.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import struct
+import time as _time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.pipeline import (
+    PipelineOptions,
+    PipelineStats,
+    extract_logical_structure,
+)
+from repro.core.structure import LogicalStructure
+from repro.trace.model import Trace
+from repro.trace.reader import read_trace
+
+TraceSource = Union[str, Path, Trace]
+
+
+def trace_digest(source: TraceSource) -> str:
+    """Content key of a trace source (sha256 hex digest).
+
+    Path sources hash the raw file bytes; in-memory traces hash the
+    struct-packed fields of every record that can influence extraction
+    (events, messages, executions, entries, chares, metadata).
+    """
+    h = hashlib.sha256()
+    if isinstance(source, (str, Path)):
+        with open(source, "rb") as fh:
+            for chunk in iter(lambda: fh.read(1 << 20), b""):
+                h.update(chunk)
+        return h.hexdigest()
+    trace = source
+    h.update(struct.pack(
+        "<5q", len(trace.events), len(trace.messages),
+        len(trace.executions), len(trace.chares), len(trace.entries),
+    ))
+    for e in trace.events:
+        h.update(struct.pack("<4qd", int(e.kind), e.chare, e.pe,
+                             e.execution, e.time))
+    for m in trace.messages:
+        h.update(struct.pack("<2q", m.send_event, m.recv_event))
+    for x in trace.executions:
+        h.update(struct.pack("<4q2d", x.chare, x.entry, x.pe,
+                             x.recv_event, x.start, x.end))
+    for c in trace.chares:
+        h.update(struct.pack("<2q?", c.id, c.array_id, c.is_runtime))
+        h.update(struct.pack(f"<{len(c.index)}q", *c.index))
+    for ent in trace.entries:
+        h.update(struct.pack("<q?q", ent.id, ent.is_sdag_serial,
+                             ent.sdag_ordinal))
+    h.update(repr(sorted(trace.metadata.items())).encode())
+    return h.hexdigest()
+
+
+def options_token(options: PipelineOptions) -> str:
+    """Canonical string of the extraction-relevant option fields.
+
+    Hooks and the verify switch instrument the run without changing the
+    result, so they are excluded; ``backend`` is resolved so "auto" keys
+    the same as the backend it picks (both produce bit-identical output,
+    but the token records what actually ran).
+    """
+    fields = {
+        f.name: getattr(options, f.name)
+        for f in dataclasses.fields(options)
+        if f.name not in ("hooks", "verify")
+    }
+    fields["backend"] = options.resolve_backend()
+    return repr(sorted(fields.items()))
+
+
+class StructureCache:
+    """Maps (trace digest, resolved options) to an extraction summary.
+
+    In-memory always; with ``directory`` set, each entry is also written
+    as ``<key>.json`` so later processes (and later campaign runs) reuse
+    it.  Corrupt or unreadable cache files count as misses.
+    """
+
+    def __init__(self, directory: Optional[Union[str, Path]] = None):
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._memory: Dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, digest: str, options: PipelineOptions) -> str:
+        return hashlib.sha256(
+            (digest + "\n" + options_token(options)).encode()
+        ).hexdigest()
+
+    def get(self, key: str) -> Optional[dict]:
+        summary = self._memory.get(key)
+        if summary is None and self.directory is not None:
+            path = self.directory / f"{key}.json"
+            if path.exists():
+                try:
+                    summary = json.loads(path.read_text())
+                except (OSError, ValueError):
+                    summary = None
+                if summary is not None:
+                    self._memory[key] = summary
+        if summary is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return summary
+
+    def put(self, key: str, summary: dict) -> None:
+        self._memory[key] = summary
+        if self.directory is not None:
+            path = self.directory / f"{key}.json"
+            path.write_text(json.dumps(summary, sort_keys=True))
+
+
+def structure_summary(structure: LogicalStructure,
+                      stats: PipelineStats) -> dict:
+    """The cached/reported extract of one pipeline run."""
+    return {
+        "phases": len(structure.phases),
+        "events": len(structure.trace.events),
+        "stepped_events": sum(1 for s in structure.step_of_event if s >= 0),
+        "max_step": structure.max_step,
+        "leaps": max((p.leap for p in structure.phases), default=-1) + 1,
+        "backend": stats.backend,
+        "stage_seconds": dict(stats.stage_seconds),
+        "total_seconds": stats.total_seconds,
+    }
+
+
+def _worker_options(options: PipelineOptions) -> dict:
+    """Options as a plain field dict (hooks are process-local: dropped)."""
+    fields = {
+        f.name: getattr(options, f.name)
+        for f in dataclasses.fields(options)
+        if f.name not in ("hooks",)
+    }
+    return fields
+
+
+def _extract_one(source: TraceSource, option_fields: dict):
+    """Top-level worker: extract one trace, never raise.
+
+    Returns ``(ok, summary, error, seconds)``; runs in the pool workers
+    (hence module-level and picklable-argument-only) and serially.
+    """
+    t0 = _time.perf_counter()
+    try:
+        opts = PipelineOptions(**option_fields)
+        trace = (read_trace(source)
+                 if isinstance(source, (str, Path)) else source)
+        stats = PipelineStats()
+        structure = extract_logical_structure(trace, opts, stats=stats)
+        summary = structure_summary(structure, stats)
+        return True, summary, "", _time.perf_counter() - t0
+    except Exception as exc:  # worker isolation: report, don't propagate
+        error = f"{type(exc).__name__}: {exc}"
+        return False, {}, error, _time.perf_counter() - t0
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one source in a batch run."""
+
+    source: str
+    ok: bool
+    seconds: float = 0.0
+    summary: dict = field(default_factory=dict)
+    error: str = ""
+    cached: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "source": self.source,
+            "ok": self.ok,
+            "seconds": self.seconds,
+            "summary": self.summary,
+            "error": self.error,
+            "cached": self.cached,
+        }
+
+
+@dataclass
+class BatchReport:
+    """All results of one batch run, in input order."""
+
+    results: List[BatchResult]
+    total_seconds: float = 0.0
+    jobs: int = 1
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    @property
+    def failures(self) -> List[BatchResult]:
+        return [r for r in self.results if not r.ok]
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "jobs": self.jobs,
+            "total_seconds": self.total_seconds,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "results": [r.to_dict() for r in self.results],
+        }
+
+
+class BatchExtractor:
+    """Extract many traces, in parallel, with per-trace failure capture.
+
+    ``jobs`` ≤ 1 runs serially in-process (deterministic debugging path);
+    larger values fan out across a process pool.  Either way results come
+    back in input order and are bit-identical to serial runs — workers
+    run the same pipeline on the same options.
+    """
+
+    def __init__(self, options: Optional[PipelineOptions] = None,
+                 jobs: int = 1, cache: Optional[StructureCache] = None):
+        self.options = options if options is not None else PipelineOptions()
+        self.jobs = max(1, int(jobs))
+        self.cache = cache
+
+    def run(self, sources: Sequence[TraceSource]) -> BatchReport:
+        t0 = _time.perf_counter()
+        sources = list(sources)
+        results: List[Optional[BatchResult]] = [None] * len(sources)
+        pending: List[int] = []  # indexes that need an actual extraction
+        keys: Dict[int, str] = {}
+
+        for i, source in enumerate(sources):
+            label = (str(source) if isinstance(source, (str, Path))
+                     else f"<trace {getattr(source, 'name', i)}>")
+            if self.cache is not None:
+                try:
+                    key = self.cache.key(trace_digest(source), self.options)
+                except Exception as exc:  # unreadable source: a failure row
+                    results[i] = BatchResult(
+                        label, False, 0.0, {},
+                        f"{type(exc).__name__}: {exc}", False,
+                    )
+                    continue
+                keys[i] = key
+                summary = self.cache.get(key)
+                if summary is not None:
+                    results[i] = BatchResult(label, True, 0.0, summary, "", True)
+                    continue
+            pending.append(i)
+
+        option_fields = _worker_options(self.options)
+        if self.jobs > 1 and len(pending) > 1:
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                futures = {
+                    i: pool.submit(_extract_one, sources[i], option_fields)
+                    for i in pending
+                }
+                outcomes = {i: f.result() for i, f in futures.items()}
+        else:
+            outcomes = {
+                i: _extract_one(sources[i], option_fields) for i in pending
+            }
+
+        for i in pending:
+            ok, summary, error, seconds = outcomes[i]
+            label = (str(sources[i]) if isinstance(sources[i], (str, Path))
+                     else f"<trace {getattr(sources[i], 'name', i)}>")
+            results[i] = BatchResult(label, ok, seconds, summary, error, False)
+            if ok and self.cache is not None and i in keys:
+                self.cache.put(keys[i], summary)
+
+        report = BatchReport(
+            results=[r for r in results if r is not None],
+            total_seconds=_time.perf_counter() - t0,
+            jobs=self.jobs,
+            cache_hits=self.cache.hits if self.cache is not None else 0,
+            cache_misses=self.cache.misses if self.cache is not None else 0,
+        )
+        return report

@@ -31,6 +31,37 @@ def _parse_chares(text: str):
     return int(text)
 
 
+def add_pipeline_options(parser: argparse.ArgumentParser) -> None:
+    """Install the shared extraction-pipeline flags on ``parser``.
+
+    Every subcommand that runs the pipeline (analyze, report, diff,
+    verify, batch) takes the same knobs; this is the one place they are
+    declared so help text and defaults cannot drift apart.
+    """
+    parser.add_argument("--order", choices=["reordered", "physical"],
+                        default="reordered")
+    parser.add_argument("--mode", choices=["auto", "charm", "mpi"],
+                        default="auto")
+    parser.add_argument("--infer", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="Section 3.1.4 inference (--no-infer for "
+                             "Figure 17 mode)")
+    parser.add_argument("--tie-break", choices=["chare_id", "index"],
+                        default="chare_id")
+    parser.add_argument("--backend", choices=["auto", "python", "columnar"],
+                        default="auto",
+                        help="pipeline kernels: columnar (NumPy) or pure "
+                             "python; auto picks columnar when available")
+
+
+def pipeline_options_from_args(args: argparse.Namespace) -> PipelineOptions:
+    """Build :class:`PipelineOptions` from :func:`add_pipeline_options` args."""
+    return PipelineOptions(
+        mode=args.mode, order=args.order, infer=args.infer,
+        tie_break=args.tie_break, backend=args.backend,
+    )
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     from repro import apps
 
@@ -77,10 +108,7 @@ def _load(path: str):
 
 def cmd_analyze(args: argparse.Namespace) -> int:
     trace = _load(args.trace)
-    options = PipelineOptions(
-        mode=args.mode, order=args.order, infer=not args.no_infer,
-        tie_break=args.tie_break,
-    )
+    options = pipeline_options_from_args(args)
     structure = extract_logical_structure(trace, options=options)
 
     metric_map = None
@@ -179,7 +207,7 @@ def cmd_report(args: argparse.Namespace) -> int:
 
     trace = _load(args.trace)
     structure = extract_logical_structure(
-        trace, options=PipelineOptions(order=args.order)
+        trace, options=pipeline_options_from_args(args)
     )
     print(performance_report(structure, top=args.top))
     return 0
@@ -188,8 +216,9 @@ def cmd_report(args: argparse.Namespace) -> int:
 def cmd_diff(args: argparse.Namespace) -> int:
     from repro.core.diff import diff_structures
 
-    left = extract_logical_structure(_load(args.left))
-    right = extract_logical_structure(_load(args.right))
+    options = pipeline_options_from_args(args)
+    left = extract_logical_structure(_load(args.left), options=options)
+    right = extract_logical_structure(_load(args.right), options=options)
     diff = diff_structures(left, right)
     print(f"similarity: {diff.similarity():.2f} "
           f"({len(diff.matched)} matched, {len(diff.only_left)} only-left, "
@@ -249,9 +278,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
             violations = differential.all_violations()
         else:
             recorder = StageRecorder()
-            options = PipelineOptions(
-                mode=args.mode, order=args.order, infer=not args.no_infer,
-                tie_break=args.tie_break, hooks=recorder,
+            options = pipeline_options_from_args(args).with_overrides(
+                hooks=recorder
             )
             structure = extract_logical_structure(trace, options=options)
             violations = check_structure(structure)
@@ -294,6 +322,34 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 1 if violations else 0
 
 
+def cmd_batch(args: argparse.Namespace) -> int:
+    from repro.batch import BatchExtractor, StructureCache
+
+    cache = (StructureCache(args.cache_dir)
+             if args.cache_dir is not None else None)
+    extractor = BatchExtractor(
+        options=pipeline_options_from_args(args),
+        jobs=args.jobs, cache=cache,
+    )
+    report = extractor.run(args.traces)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=1))
+    else:
+        for r in report.results:
+            if r.ok:
+                tag = "cached" if r.cached else f"{r.seconds * 1e3:7.1f}ms"
+                print(f"ok   {r.source:40s} {tag:>10s} "
+                      f"phases={r.summary.get('phases', '?')} "
+                      f"steps={int(r.summary.get('max_step', -1)) + 1}")
+            else:
+                print(f"FAIL {r.source:40s} {r.error}")
+        done = sum(1 for r in report.results if r.ok)
+        print(f"{done}/{len(report.results)} traces extracted "
+              f"({report.cache_hits} cached) in {report.total_seconds:.2f}s "
+              f"with {report.jobs} job(s)")
+    return 0 if report.ok else 1
+
+
 def cmd_sync(args: argparse.Namespace) -> int:
     trace = _load(args.trace)
     fixed, stats = synchronize_trace(trace, min_latency=args.min_latency)
@@ -331,13 +387,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     ana = sub.add_parser("analyze", help="extract and inspect logical structure")
     ana.add_argument("trace")
-    ana.add_argument("--order", choices=["reordered", "physical"],
-                     default="reordered")
-    ana.add_argument("--mode", choices=["auto", "charm", "mpi"], default="auto")
-    ana.add_argument("--no-infer", action="store_true",
-                     help="disable Section 3.1.4 inference (Figure 17 mode)")
-    ana.add_argument("--tie-break", choices=["chare_id", "index"],
-                     default="chare_id")
+    add_pipeline_options(ana)
     ana.add_argument("--render", choices=["logical", "physical"], default=None)
     ana.add_argument("--metric",
                      choices=["diffdur", "idle", "imbalance", "lateness"],
@@ -366,16 +416,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     rep = sub.add_parser("report", help="combined performance report")
     rep.add_argument("trace")
-    rep.add_argument("--order", choices=["reordered", "physical"],
-                     default="reordered")
+    add_pipeline_options(rep)
     rep.add_argument("--top", type=int, default=5)
     rep.set_defaults(func=cmd_report)
 
     dif = sub.add_parser("diff", help="compare two traces' structures")
     dif.add_argument("left")
     dif.add_argument("right")
+    add_pipeline_options(dif)
     dif.add_argument("--top", type=int, default=5)
     dif.set_defaults(func=cmd_diff)
+
+    bat = sub.add_parser(
+        "batch",
+        help="extract many traces in parallel with a structure cache",
+    )
+    bat.add_argument("traces", nargs="+", help="trace files to extract")
+    add_pipeline_options(bat)
+    bat.add_argument("--jobs", type=int, default=1,
+                     help="worker processes (1 = serial)")
+    bat.add_argument("--cache-dir", default=None,
+                     help="persist per-trace summaries keyed by content "
+                          "digest + options; clean reruns are skipped")
+    bat.add_argument("--json", action="store_true",
+                     help="emit the machine-readable batch report")
+    bat.set_defaults(func=cmd_batch)
 
     exp = sub.add_parser("experiments",
                          help="run the paper's experiments (scaled)")
@@ -394,12 +459,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="verify the paper's structural invariants on a trace's structure",
     )
     ver.add_argument("trace")
-    ver.add_argument("--order", choices=["reordered", "physical"],
-                     default="reordered")
-    ver.add_argument("--mode", choices=["auto", "charm", "mpi"], default="auto")
-    ver.add_argument("--no-infer", action="store_true")
-    ver.add_argument("--tie-break", choices=["chare_id", "index"],
-                     default="chare_id")
+    add_pipeline_options(ver)
     ver.add_argument("--differential", action="store_true",
                      help="run the full option-variant matrix and cross-checks")
     ver.add_argument("--stages", action="store_true",

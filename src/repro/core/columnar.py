@@ -1,0 +1,928 @@
+"""Columnar (NumPy) fast-path kernels for the extraction pipeline.
+
+The paper's scaling studies (Figures 18/19, up to 13.8k chares) stress
+per-event loops; this module replaces the hot ones with dense-array
+kernels while producing *bit-identical* results to the pure-Python code:
+
+* :class:`EventTable` / :class:`BlockTable` — dense int/float columns
+  (kind, chare, time, execution, message partner, block) derived once per
+  :class:`~repro.trace.model.Trace` and cached on it.
+* :func:`build_initial_columnar` — initial partitions via one global
+  ``lexsort`` over ``(block, time, id)`` plus vectorized run splitting,
+  instead of tens of thousands of tiny per-block sorts.
+* :class:`ColumnarPartitionState` — a :class:`PartitionState` whose
+  derived views (``roots_array``, ``adjacency``, ``partition_events``,
+  ``partition_chares``, ``members``) are computed with array kernels.
+* Stage-5/6 kernels — physical ordering (argsort per chare), the
+  reorder *w* clock (forest depth by pointer doubling), local-step
+  propagation (segmented running-max fixed point), leap computation and
+  global-offset application.
+
+Bit-identity is not incidental: downstream stages iterate dicts and sets
+whose *insertion order* influences union order in the DSU and therefore
+which partition id represents a merged phase.  Every view here replays
+the exact insertion sequence of its pure-Python counterpart
+(first-occurrence deduplication in the original scan order), which the
+differential harness (``repro.verify.differential``) cross-checks.
+
+The module imports cleanly without NumPy; :func:`resolve_backend` then
+maps ``"auto"`` to ``"python"``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+try:  # NumPy is a declared dependency, but the pure path must survive without it.
+    import numpy as np
+
+    HAVE_NUMPY = True
+except Exception:  # pragma: no cover - exercised only in numpy-less installs
+    np = None
+    HAVE_NUMPY = False
+
+from repro.core.initial import (
+    Block,
+    InitialStructure,
+    chare_chain_edges,
+)
+from repro.core.partition import EdgeKind, PartitionState
+from repro.core.reorder import MAX_KEY_DEPTH
+from repro.trace.events import EventKind
+from repro.trace.model import Trace
+
+#: Fixed-point rounds before :func:`local_steps_columnar` hands the phase
+#: back to the python Kahn implementation (deep message chains / cycles).
+MAX_STEP_ROUNDS = 80
+
+
+def resolve_backend(name: str) -> str:
+    """Map a ``PipelineOptions.backend`` value to a concrete backend."""
+    if name == "auto":
+        return "columnar" if HAVE_NUMPY else "python"
+    if name == "columnar":
+        if not HAVE_NUMPY:
+            raise RuntimeError("backend='columnar' requires numpy")
+        return "columnar"
+    if name == "python":
+        return "python"
+    raise ValueError(f"unknown backend {name!r}")
+
+
+class EventTable:
+    """Dense columns of the per-event record fields, cached per trace."""
+
+    __slots__ = ("n", "kind", "chare", "pe", "time", "execution",
+                 "partner_send", "msg_send", "msg_recv")
+
+    def __init__(self, trace: Trace):
+        events = trace.events
+        n = len(events)
+        self.n = n
+        self.kind = np.fromiter((int(e.kind) for e in events), np.int8, n)
+        self.chare = np.fromiter((e.chare for e in events), np.int64, n)
+        self.pe = np.fromiter((e.pe for e in events), np.int64, n)
+        self.time = np.fromiter((e.time for e in events), np.float64, n)
+        self.execution = np.fromiter((e.execution for e in events), np.int64, n)
+        msgs = trace.messages
+        m = len(msgs)
+        self.msg_send = np.fromiter((g.send_event for g in msgs), np.int64, m)
+        self.msg_recv = np.fromiter((g.recv_event for g in msgs), np.int64, m)
+        # partner_send[recv] composes message_by_recv with Message.send_event:
+        # like the index, a later message overwrites an earlier one, and a
+        # matched recv whose message lost its send endpoint stays -1.
+        partner = np.full(n, -1, np.int64)
+        has_recv = self.msg_recv >= 0
+        partner[self.msg_recv[has_recv]] = self.msg_send[has_recv]
+        self.partner_send = partner
+
+    @classmethod
+    def of(cls, trace: Trace) -> "EventTable":
+        table = getattr(trace, "_columnar_table", None)
+        if table is None:
+            table = cls(trace)
+            trace._columnar_table = table
+        return table
+
+
+class ExecTable:
+    """Dense columns of the per-execution record fields, cached per trace."""
+
+    __slots__ = ("n", "start", "end", "pe", "entry", "chare", "recv_event",
+                 "entry_serial", "entry_ordinal")
+
+    def __init__(self, trace: Trace):
+        ex = trace.executions
+        m = len(ex)
+        self.n = m
+        self.start = np.fromiter((e.start for e in ex), np.float64, m)
+        self.end = np.fromiter((e.end for e in ex), np.float64, m)
+        self.pe = np.fromiter((e.pe for e in ex), np.int64, m)
+        self.entry = np.fromiter((e.entry for e in ex), np.int64, m)
+        self.chare = np.fromiter((e.chare for e in ex), np.int64, m)
+        self.recv_event = np.fromiter((e.recv_event for e in ex), np.int64, m)
+        ents = trace.entries
+        k = len(ents)
+        self.entry_serial = np.fromiter(
+            (e.is_sdag_serial for e in ents), np.bool_, k
+        )
+        self.entry_ordinal = np.fromiter(
+            (e.sdag_ordinal for e in ents), np.int64, k
+        )
+
+    @classmethod
+    def of(cls, trace: Trace) -> "ExecTable":
+        table = getattr(trace, "_columnar_execs", None)
+        if table is None:
+            table = cls(trace)
+            trace._columnar_execs = table
+        return table
+
+
+class BlockTable:
+    """Dense per-event serial-block column for the stage-5 kernels."""
+
+    __slots__ = ("block_of_event", "n_blocks")
+
+    def __init__(self, block_of_event, n_blocks: int):
+        self.block_of_event = block_of_event
+        self.n_blocks = n_blocks
+
+
+def runtime_related_array(trace: Trace, table: EventTable):
+    """Vectorized :meth:`Trace.runtime_related_flags`."""
+    runtime_chare = np.fromiter(
+        (c.is_runtime for c in trace.chares), np.bool_, len(trace.chares)
+    )
+    flags = runtime_chare[table.chare] if table.n else np.zeros(0, np.bool_)
+    complete = (table.msg_send >= 0) & (table.msg_recv >= 0)
+    send = table.msg_send[complete]
+    recv = table.msg_recv[complete]
+    flags[recv[runtime_chare[table.chare[send]]]] = True
+    flags[send[runtime_chare[table.chare[recv]]]] = True
+    return flags
+
+
+class ColumnarPartitionState(PartitionState):
+    """Partition state with array-kernel derived views.
+
+    Only *views* change; the union-find, edge list, and every mutation
+    path are inherited, so the merge/inference stages run the same code
+    as the python backend and observe identical dict/set orders.
+    """
+
+    def __init__(self, trace, init_events, init_runtime, init_block, event_init,
+                 edges, table: Optional[EventTable] = None, event_init_arr=None):
+        super().__init__(trace, init_events, init_runtime, init_block,
+                         event_init, edges)
+        self.table = table if table is not None else EventTable.of(trace)
+        if event_init_arr is None:
+            event_init_arr = (
+                np.asarray(event_init, np.int64)
+                if event_init else np.empty(0, np.int64)
+            )
+        self.event_init_arr = event_init_arr
+        # Partitioned events flattened in (initial partition, time, id)
+        # order — exactly the concatenation order of ``init_events``.
+        evs = np.flatnonzero(event_init_arr >= 0)
+        init_of = event_init_arr[evs]
+        order = np.lexsort((evs, self.table.time[evs], init_of))
+        self._flat_events = evs[order]
+        self._flat_init = init_of[order]
+        self._flat_time = self.table.time[self._flat_events]
+        self._flat_chare = self.table.chare[self._flat_events]
+        self._init_block_arr = (
+            np.asarray(init_block, np.int64) if init_block else np.empty(0, np.int64)
+        )
+        self.block_table: Optional[BlockTable] = None
+        self._edge_src = np.empty(0, np.int64)
+        self._edge_dst = np.empty(0, np.int64)
+        self._edge_kind = np.empty(0, np.int64)
+        self._edge_count = 0
+
+    # -- array primitives ----------------------------------------------
+    def roots_np(self):
+        """Fully-rooted parent array via pointer jumping (no mutation)."""
+        parent = np.asarray(self.dsu.parent, np.int64)
+        while True:
+            grand = parent[parent]
+            if np.array_equal(grand, parent):
+                return parent
+            parent = grand
+
+    def edge_arrays(self):
+        """(src, dst, kind) columns of ``self.edges``, extended on demand."""
+        m = len(self.edges)
+        if m != self._edge_count:
+            new = self.edges[self._edge_count:]
+            k = len(new)
+            self._edge_src = np.concatenate(
+                [self._edge_src, np.fromiter((e[0] for e in new), np.int64, k)]
+            )
+            self._edge_dst = np.concatenate(
+                [self._edge_dst, np.fromiter((e[1] for e in new), np.int64, k)]
+            )
+            self._edge_kind = np.concatenate(
+                [self._edge_kind, np.fromiter((int(e[2]) for e in new), np.int64, k)]
+            )
+            self._edge_count = m
+        return self._edge_src, self._edge_dst, self._edge_kind
+
+    def _group_perm(self, roots):
+        """Unique roots + the permutation putting them in first-occurrence
+        (= smallest member initial id) order — the python dict key order."""
+        uniq, first = np.unique(roots, return_index=True)
+        return uniq, np.argsort(first)
+
+    # -- derived views (bit-identical overrides) ------------------------
+    def roots_array(self) -> List[int]:
+        return self.roots_np().tolist()
+
+    def roots(self) -> List[int]:
+        return np.unique(self.roots_np()).tolist()
+
+    def members(self) -> Dict[int, List[int]]:
+        roots = self.roots_np()
+        if not len(roots):
+            return {}
+        order = np.argsort(roots, kind="stable")
+        sorted_roots = roots[order]
+        starts = np.flatnonzero(np.r_[True, sorted_roots[1:] != sorted_roots[:-1]])
+        ends = np.r_[starts[1:], len(order)]
+        # Stable sort => the first element of each group is its smallest
+        # member id; groups ordered by it reproduce setdefault key order.
+        perm = np.argsort(order[starts])
+        order_list = order.tolist()
+        out: Dict[int, List[int]] = {}
+        for gi in perm.tolist():
+            s, e = int(starts[gi]), int(ends[gi])
+            out[int(sorted_roots[s])] = order_list[s:e]
+        return out
+
+    def partition_events(self) -> Dict[int, List[int]]:
+        roots = self.roots_np()
+        if not len(roots):
+            return {}
+        uniq, perm = self._group_perm(roots)
+        ev_root = roots[self._flat_init]
+        order = np.lexsort((self._flat_events, self._flat_time, ev_root))
+        r_sorted = ev_root[order]
+        e_sorted = self._flat_events[order].tolist()
+        starts = np.flatnonzero(np.r_[True, r_sorted[1:] != r_sorted[:-1]])
+        ends = np.r_[starts[1:], len(order)]
+        # Groups come out ascending by root value — the same order as
+        # ``uniq`` — so group i belongs to uniq[present[i]].
+        present = np.searchsorted(uniq, r_sorted[starts])
+        slices = {}
+        for gi, s, e in zip(present.tolist(), starts.tolist(), ends.tolist()):
+            slices[gi] = (s, e)
+        out: Dict[int, List[int]] = {}
+        for gi in perm.tolist():
+            se = slices.get(gi)
+            out[int(uniq[gi])] = e_sorted[se[0]:se[1]] if se else []
+        return out
+
+    def partition_chares(self) -> Dict[int, Set[int]]:
+        roots = self.roots_np()
+        if not len(roots):
+            return {}
+        uniq, perm = self._group_perm(roots)
+        out: Dict[int, Set[int]] = {int(uniq[gi]): set() for gi in perm.tolist()}
+        if len(self._flat_events):
+            ev_root = roots[self._flat_init]
+            n_chares = max(len(self.trace.chares), 1)
+            pair = ev_root * n_chares + self._flat_chare
+            _, first = np.unique(pair, return_index=True)
+            first.sort()  # chronological first occurrence per (root, chare)
+            for r, c in zip(ev_root[first].tolist(),
+                            self._flat_chare[first].tolist()):
+                out[r].add(c)
+        return out
+
+    def initial_events_by_chare(self) -> Dict[int, Dict[int, int]]:
+        """Vectorized ``inference.partition_initial_events``."""
+        roots = self.roots_np()
+        if not len(roots):
+            return {}
+        uniq, perm = self._group_perm(roots)
+        out: Dict[int, Dict[int, int]] = {int(uniq[gi]): {} for gi in perm.tolist()}
+        if len(self._flat_events):
+            ev_root = roots[self._flat_init]
+            order = np.lexsort((self._flat_events, self._flat_time, ev_root))
+            n_chares = max(len(self.trace.chares), 1)
+            pair = ev_root[order] * n_chares + self._flat_chare[order]
+            _, first = np.unique(pair, return_index=True)
+            first.sort()  # (root-grouped, time) order => per-root insertion order
+            sel = order[first]
+            for r, c, e in zip(ev_root[sel].tolist(),
+                               self._flat_chare[sel].tolist(),
+                               self._flat_events[sel].tolist()):
+                out[r][c] = e
+        return out
+
+    def adjacency(self) -> Tuple[Dict[int, Set[int]], Dict[int, Set[int]]]:
+        roots = self.roots_np()
+        roots_list = roots.tolist()
+        uniq = set(roots_list)
+        succs: Dict[int, Set[int]] = {r: set() for r in uniq}
+        preds: Dict[int, Set[int]] = {r: set() for r in succs}
+        src, dst, _kind = self.edge_arrays()
+        if len(src):
+            ra = roots[src]
+            rb = roots[dst]
+            keep = ra != rb
+            ra = ra[keep]
+            rb = rb[keep]
+            n = max(len(self.init_events), 1)
+            pair = ra * n + rb
+            _, first = np.unique(pair, return_index=True)
+            first.sort()  # first occurrence in edge order = insertion order
+            for a, b in zip(ra[first].tolist(), rb[first].tolist()):
+                succs[a].add(b)
+                preds[b].add(a)
+        return succs, preds
+
+    # -- merge-stage fast paths ----------------------------------------
+    def message_merge_candidates(self) -> List[Tuple[int, int]]:
+        """MESSAGE edges whose endpoints dependency_merge would union.
+
+        Valid because Algorithm 1 only performs same-class unions, so
+        partition classes are constant for the duration of the stage.
+        """
+        src, dst, kind = self.edge_arrays()
+        sel = kind == int(EdgeKind.MESSAGE)
+        if not sel.any():
+            return []
+        a = src[sel]
+        b = dst[sel]
+        roots = self.roots_np()
+        ra = roots[a]
+        rb = roots[b]
+        cls = np.asarray(self._root_runtime, np.bool_)
+        keep = (ra != rb) & (cls[ra] == cls[rb])
+        return list(zip(a[keep].tolist(), b[keep].tolist()))
+
+    def block_repair_candidates(self) -> List[Tuple[int, int]]:
+        """BLOCK edges within one serial block whose classes re-agree
+        (repair rule 1); same static-class argument as above."""
+        src, dst, kind = self.edge_arrays()
+        sel = kind == int(EdgeKind.BLOCK)
+        if not sel.any():
+            return []
+        a = src[sel]
+        b = dst[sel]
+        same_block = self._init_block_arr[a] == self._init_block_arr[b]
+        a = a[same_block]
+        b = b[same_block]
+        roots = self.roots_np()
+        ra = roots[a]
+        rb = roots[b]
+        cls = np.asarray(self._root_runtime, np.bool_)
+        keep = (ra != rb) & (cls[ra] == cls[rb])
+        return list(zip(a[keep].tolist(), b[keep].tolist()))
+
+    def structural_succ_columns(self, blocks: Sequence[Block]):
+        """(root(a), entry-of-b's-block, class(root(b)), root(b)) columns
+        for the BLOCK/SDAG edges with distinct roots (repair rule 2)."""
+        src, dst, kind = self.edge_arrays()
+        sel = (kind == int(EdgeKind.BLOCK)) | (kind == int(EdgeKind.SDAG))
+        if not sel.any():
+            return [], [], [], []
+        a = src[sel]
+        b = dst[sel]
+        roots = self.roots_np()
+        ra = roots[a]
+        rb = roots[b]
+        keep = ra != rb
+        ra = ra[keep]
+        rb = rb[keep]
+        b = b[keep]
+        entry_of_block = np.fromiter((blk.entry for blk in blocks), np.int64,
+                                     len(blocks))
+        entry = entry_of_block[self._init_block_arr[b]]
+        cls = np.asarray(self._root_runtime, np.bool_)[rb]
+        return ra.tolist(), entry.tolist(), cls.tolist(), rb.tolist()
+
+
+# ----------------------------------------------------------------------
+# Stage 1: initial partitions
+# ----------------------------------------------------------------------
+def _scan_serial_blocks_columnar(trace: Trace, absorb_tolerance: float,
+                                 xt: ExecTable):
+    """Vectorized :func:`repro.core.initial.scan_serial_blocks`.
+
+    The absorption decision depends only on the (previous, current)
+    execution pair — never on accumulated group state — so the per-chare
+    scan reduces to pairwise boundary predicates.  Returns
+    ``(groups, block_of_exec_arr, xid_arr, group_starts, serial_seq)``;
+    the differential harness cross-checks the grouping against the
+    python scan.
+    """
+    by_chare = trace.executions_by_chare
+    xids = [xid for lst in by_chare.values() for xid in lst]
+    total = len(xids)
+    if total == 0:
+        empty = np.empty(0, np.int64)
+        return [], np.full(xt.n, -1, np.int64), empty, empty, np.empty(0, np.bool_)
+    xid_arr = np.asarray(xids, np.int64)
+    lens = np.fromiter((len(lst) for lst in by_chare.values()), np.int64,
+                       len(by_chare))
+    chare_first = np.r_[0, np.cumsum(lens)[:-1]]
+    chare_first = chare_first[chare_first < total]
+    serial = xt.entry_serial[xt.entry[xid_arr]]
+    pe = xt.pe[xid_arr]
+    start = xt.start[xid_arr]
+    end = xt.end[xid_arr]
+    absorb = np.zeros(total, np.bool_)
+    absorb[1:] = (
+        (~serial[:-1]) & serial[1:] & (pe[1:] == pe[:-1])
+        & (np.abs(start[1:] - end[:-1]) <= absorb_tolerance)
+    )
+    absorb[chare_first] = False
+    starts = np.flatnonzero(~absorb)
+    ends = np.r_[starts[1:], total]
+    groups = [xids[s:e] for s, e in zip(starts.tolist(), ends.tolist())]
+    block_of_exec = np.full(xt.n, -1, np.int64)
+    block_of_exec[xid_arr] = np.cumsum(~absorb) - 1
+    return groups, block_of_exec, xid_arr, starts, serial
+
+
+def _make_blocks_columnar(trace: Trace, xt: ExecTable, groups, xid_arr,
+                          starts, serial_seq,
+                          events_of_block: Dict[int, List[int]]):
+    """Vectorized :func:`repro.core.initial._make_block` over all groups.
+
+    Returns ``(blocks, chare_arr, start_arr, ordinal_arr)`` — the per-block
+    metadata arrays feed :func:`_chain_edges_columnar`.
+    """
+    nb = len(groups)
+    empty = np.empty(0, np.int64)
+    if nb == 0:
+        return [], empty, np.empty(0, np.float64), empty
+    total = len(xid_arr)
+    ends = np.r_[starts[1:], total]
+    first_x = xid_arr[starts]
+    last_x = xid_arr[ends - 1]
+    # SDAG ordinal of the group's last serial execution (-1 when none).
+    ser_pos = np.where(serial_seq, np.arange(total, dtype=np.int64), -1)
+    last_ser = np.maximum.reduceat(ser_pos, starts)
+    ordinal = np.where(
+        last_ser >= 0,
+        xt.entry_ordinal[xt.entry[xid_arr[np.clip(last_ser, 0, None)]]],
+        -1,
+    )
+    chare_arr = xt.chare[first_x]
+    start_arr = xt.start[first_x]
+    chare_l = chare_arr.tolist()
+    pe_l = xt.pe[first_x].tolist()
+    start_l = start_arr.tolist()
+    end_l = xt.end[last_x].tolist()
+    entry_l = xt.entry[last_x].tolist()
+    recv_l = xt.recv_event[first_x].tolist()
+    ord_l = ordinal.tolist()
+    get = events_of_block.get
+    blocks: List[Block] = []
+    append = blocks.append
+    new = Block.__new__
+    for bid in range(nb):
+        # Bypassing the dataclass __init__ halves construction time for
+        # the tens of thousands of tiny blocks of a large trace.
+        b = new(Block)
+        b.__dict__ = {
+            "id": bid,
+            "chare": chare_l[bid],
+            "pe": pe_l[bid],
+            "executions": groups[bid],
+            "events": get(bid, []),
+            "start": start_l[bid],
+            "end": end_l[bid],
+            "sdag_ordinal": ord_l[bid],
+            "entry": entry_l[bid],
+            "recv_event": recv_l[bid],
+        }
+        append(b)
+    return blocks, chare_arr, start_arr, ordinal
+
+
+def _chain_edges_columnar(table: EventTable, mode: str, relaxed_chain: bool,
+                          edges, event_init_arr, b_chare, b_start, b_ordinal,
+                          present_ids, first_ev, last_ev) -> bool:
+    """Columnar :func:`repro.core.initial.chare_chain_edges`.
+
+    Valid only when blocks are already grouped by chare in (start, id)
+    order — always true for blocks built by this module, but verified;
+    returns False to request the shared python fallback otherwise.  The
+    per-chare scans are order-preserving, so the edges land in the same
+    sequence the python helper appends them.
+    """
+    if not len(b_chare):
+        return True
+    if np.any(b_chare[1:] < b_chare[:-1]):
+        return False
+    same = b_chare[1:] == b_chare[:-1]
+    if np.any(b_start[1:][same] < b_start[:-1][same]):
+        return False
+    # ``present_ids`` (blocks that own events) are ascending, so a single
+    # pass over them is the python helper's per-chare traversal.
+    chare_p = b_chare[present_ids].tolist()
+    ei_first = event_init_arr[first_ev].tolist()
+    ei_last = event_init_arr[last_ev].tolist()
+    append = edges.append
+    if mode == "mpi":
+        pinned = (
+            (table.kind[first_ev] == int(EventKind.SEND))
+            | (table.partner_send[first_ev] < 0)
+        ).tolist()
+        prev_ei = None
+        cur_chare = -1
+        for i, c in enumerate(chare_p):
+            if c != cur_chare:
+                cur_chare = c
+                prev_ei = None
+            if prev_ei is not None and (not relaxed_chain or pinned[i]):
+                append((prev_ei, ei_first[i], EdgeKind.CHAIN))
+            prev_ei = ei_last[i]
+        return True
+    ord_p = b_ordinal[present_ids].tolist()
+    last_by_ordinal: Dict[int, int] = {}
+    cur_chare = -1
+    for i, c in enumerate(chare_p):
+        if c != cur_chare:
+            cur_chare = c
+            last_by_ordinal = {}
+        o = ord_p[i]
+        if o >= 1:
+            prev = last_by_ordinal.get(o - 1)
+            if prev is not None:
+                append((prev, ei_first[i], EdgeKind.SDAG))
+        if o >= 0:
+            last_by_ordinal[o] = ei_last[i]
+    return True
+
+
+def _message_edges_columnar(table: EventTable, event_init_arr, edges) -> None:
+    """Vectorized :func:`repro.core.initial.message_edges` (same order)."""
+    complete = (table.msg_send >= 0) & (table.msg_recv >= 0)
+    if not complete.any():
+        return
+    a = event_init_arr[table.msg_send[complete]]
+    b = event_init_arr[table.msg_recv[complete]]
+    keep = (a != -1) & (b != -1)
+    kind = EdgeKind.MESSAGE
+    edges.extend(
+        (x, y, kind) for x, y in zip(a[keep].tolist(), b[keep].tolist())
+    )
+
+
+def build_initial_columnar(trace: Trace, mode: str = "charm",
+                           absorb_tolerance: float = 1e-9,
+                           relaxed_chain: bool = False) -> InitialStructure:
+    """Columnar :func:`repro.core.initial.build_initial`.
+
+    The absorption scan, block metadata, per-block event grouping,
+    runtime-flag computation and run splitting are vectorized; the
+    cross-block SDAG/CHAIN heuristics and message edges run the shared
+    python helpers.
+    """
+    if mode not in ("charm", "mpi"):
+        raise ValueError(f"unknown mode {mode!r}")
+    table = EventTable.of(trace)
+    xt = ExecTable.of(trace)
+    n = table.n
+
+    groups, block_of_exec_arr, xid_arr, gstarts, serial_seq = (
+        _scan_serial_blocks_columnar(trace, absorb_tolerance, xt)
+    )
+
+    boe = np.full(n, -1, np.int64)
+    if trace.executions and n:
+        has_exec = table.execution >= 0
+        boe[has_exec] = block_of_exec_arr[table.execution[has_exec]]
+
+    # One global (block, time, id) sort replaces the per-block sorts.
+    seq = np.lexsort((np.arange(n), table.time, boe))
+    seq = seq[boe[seq] >= 0]
+    block_seq = boe[seq]
+    seq_list = seq.tolist()
+    if len(seq):
+        bstarts = np.flatnonzero(np.r_[True, block_seq[1:] != block_seq[:-1]])
+        bends = np.r_[bstarts[1:], len(seq)]
+    else:
+        bstarts = bends = np.empty(0, np.int64)
+    events_of_block: Dict[int, List[int]] = {}
+    for s, e in zip(bstarts.tolist(), bends.tolist()):
+        events_of_block[int(block_seq[s])] = seq_list[s:e]
+    blocks, b_chare, b_start, b_ordinal = _make_blocks_columnar(
+        trace, xt, groups, xid_arr, gstarts, serial_seq, events_of_block
+    )
+
+    runtime_related = runtime_related_array(trace, table)
+    rt_seq = runtime_related[seq]
+    edges: List[Tuple[int, int, EdgeKind]] = []
+    if mode == "charm":
+        # Runs of constant runtime-relatedness within each block, in the
+        # same traversal order as the python loop (ascending block id,
+        # events in (time, id) order).
+        if len(seq):
+            newblock = np.r_[True, block_seq[1:] != block_seq[:-1]]
+            boundary = newblock.copy()
+            boundary[1:] |= rt_seq[1:] != rt_seq[:-1]
+        else:
+            newblock = boundary = np.empty(0, np.bool_)
+        pid_seq = np.cumsum(boundary) - 1
+        rstarts = np.flatnonzero(boundary)
+        rends = np.r_[rstarts[1:], len(seq)]
+        init_events = [seq_list[s:e]
+                       for s, e in zip(rstarts.tolist(), rends.tolist())]
+        init_runtime = rt_seq[rstarts].tolist()
+        init_block = block_seq[rstarts].tolist()
+        inner = np.flatnonzero(boundary & ~newblock)
+        for pid in pid_seq[inner].tolist():
+            edges.append((pid - 1, pid, EdgeKind.BLOCK))
+    else:
+        # MPI: every event is its own partition, chained within blocks.
+        pid_seq = np.arange(len(seq), dtype=np.int64)
+        init_events = [[e] for e in seq_list]
+        init_runtime = rt_seq.tolist()
+        init_block = block_seq.tolist()
+        if len(seq):
+            same = np.flatnonzero(np.r_[False, block_seq[1:] == block_seq[:-1]])
+        else:
+            same = np.empty(0, np.int64)
+        for pid in same.tolist():
+            edges.append((pid - 1, pid, EdgeKind.CHAIN))
+
+    event_init_arr = np.full(n, -1, np.int64)
+    event_init_arr[seq] = pid_seq
+    event_init = event_init_arr.tolist()
+
+    chained = _chain_edges_columnar(
+        table, mode, relaxed_chain, edges, event_init_arr,
+        b_chare, b_start, b_ordinal,
+        present_ids=block_seq[bstarts], first_ev=seq[bstarts],
+        last_ev=seq[bends - 1],
+    )
+    if not chained:  # ordering assumptions violated: shared python helper
+        chare_chain_edges(trace, blocks, event_init, mode, relaxed_chain, edges)
+    _message_edges_columnar(table, event_init_arr, edges)
+
+    state = ColumnarPartitionState(
+        trace, init_events, init_runtime, init_block, event_init, edges,
+        table=table, event_init_arr=event_init_arr,
+    )
+    state.block_table = BlockTable(boe, len(blocks))
+    return InitialStructure(blocks, boe.tolist(), block_of_exec_arr.tolist(),
+                            state)
+
+
+# ----------------------------------------------------------------------
+# Stage 5/6 kernels
+# ----------------------------------------------------------------------
+def sorted_phase_events(table: EventTable, phase_events: Sequence[int]):
+    """Phase events as an array sorted by (time, id)."""
+    evs = np.asarray(phase_events, np.int64)
+    if not len(evs):
+        return evs
+    return evs[np.lexsort((evs, table.time[evs]))]
+
+
+def physical_order_columnar(table: EventTable, ordered) -> Dict[int, List[int]]:
+    """Vectorized :func:`repro.core.reorder.physical_order`.
+
+    ``ordered`` must already be (time, id) sorted; keys appear in the
+    order each chare first occurs in it, matching the python dict.
+    """
+    if not len(ordered):
+        return {}
+    chare = table.chare[ordered]
+    order = np.argsort(chare, kind="stable")
+    sorted_chares = chare[order]
+    starts = np.flatnonzero(np.r_[True, sorted_chares[1:] != sorted_chares[:-1]])
+    ends = np.r_[starts[1:], len(order)]
+    events_sorted = ordered[order].tolist()
+    perm = np.argsort(order[starts])  # first-occurrence order
+    out: Dict[int, List[int]] = {}
+    for gi in perm.tolist():
+        s, e = int(starts[gi]), int(ends[gi])
+        out[int(sorted_chares[s])] = events_sorted[s:e]
+    return out
+
+
+def reorder_w(table: EventTable, ordered, block_of_event) -> Dict[int, int]:
+    """Vectorized :func:`repro.core.reorder._assign_w` (as a dict)."""
+    if not len(ordered):
+        return {}
+    depth = _w_depth(table, ordered, block_of_event)
+    return dict(zip(ordered.tolist(), depth.tolist()))
+
+
+def _w_depth(table: EventTable, ordered, block_of_event):
+    """The reorder w clock per position of ``ordered``.
+
+    The replay dependency of each event is unique — the matched in-phase
+    earlier send for a receive, else the previous event of its block —
+    so w is the depth of a forest, computed by pointer doubling.
+    """
+    n = len(ordered)
+    pos = np.arange(n, dtype=np.int64)
+    block = block_of_event[ordered]
+    prev = np.full(n, -1, np.int64)
+    order = np.argsort(block, kind="stable")
+    blocks_sorted = block[order]
+    same = np.flatnonzero(blocks_sorted[1:] == blocks_sorted[:-1])
+    prev[order[same + 1]] = order[same]
+    lookup = np.full(table.n, -1, np.int64)
+    lookup[ordered] = pos
+    partner = table.partner_send[ordered]
+    partner_pos = np.where(partner >= 0, lookup[np.clip(partner, 0, None)], -1)
+    use_send = (
+        (table.kind[ordered] == int(EventKind.RECV))
+        & (partner_pos >= 0)
+        & (partner_pos < pos)  # replicates the ``send in w`` replay check
+    )
+    parent = np.where(use_send, partner_pos, prev)
+    depth = (parent >= 0).astype(np.int64)
+    jump = parent.copy()
+    while True:
+        live = np.flatnonzero(jump >= 0)
+        if not len(live):
+            break
+        target = jump[live]
+        depth[live] += depth[target]
+        jump[live] = jump[target]
+    return depth
+
+
+def trigger_send_array(table: EventTable, ordered):
+    """Matched in-phase send per position of ``ordered`` (−1 when none)."""
+    lookup = np.full(table.n, -1, np.int64)
+    lookup[ordered] = np.arange(len(ordered))
+    partner = table.partner_send[ordered]
+    in_phase = np.where(partner >= 0, lookup[np.clip(partner, 0, None)], -1) >= 0
+    is_recv = table.kind[ordered] == int(EventKind.RECV)
+    return np.where(is_recv & in_phase, partner, -1)
+
+
+def trigger_sends(table: EventTable, ordered) -> Dict[int, int]:
+    """Matched in-phase send per phase event (−1 when none) as a dict.
+
+    Feeds ``reordered_order_task``'s trigger lookup without per-block
+    message chasing.
+    """
+    if not len(ordered):
+        return {}
+    send = trigger_send_array(table, ordered)
+    return dict(zip(ordered.tolist(), send.tolist()))
+
+
+def task_order_columnar(table: EventTable, ordered, block_of_event,
+                        inv_keys: List[Tuple]) -> Dict[int, List[int]]:
+    """Vectorized :func:`repro.core.reorder.reordered_order_task`.
+
+    Produces the same per-chare lists in the same dict order.
+    ``inv_keys[c]`` is the invoker tie-break tuple for chare ``c`` —
+    ``(chare.id,)`` for ``tie_break="chare_id"`` or the array index for
+    ``"index"`` — matching ``invoker_key``.  The recursive ``block_key``
+    tuple flattens into a chain walk: each hop appends the hopped-to
+    block's ``(w of first event, invoker key)`` pair, up to
+    :data:`~repro.core.reorder.MAX_KEY_DEPTH` hops.
+    """
+    n = len(ordered)
+    if n == 0:
+        return {}
+    depth = _w_depth(table, ordered, block_of_event)
+    trigger = trigger_send_array(table, ordered)
+    block = block_of_event[ordered]
+    order = np.argsort(block, kind="stable")
+    bsorted = block[order]
+    starts = np.flatnonzero(np.r_[True, bsorted[1:] != bsorted[:-1]])
+    ends = np.r_[starts[1:], n]
+    ev_sorted = ordered[order].tolist()  # per-block groups, (time, id) order
+    firstpos = order[starts]  # position in ``ordered`` of each block's first
+    g_block = bsorted[starts]
+    ng = len(g_block)
+    g_w = depth[firstpos]
+    g_send = trigger[firstpos]
+    valid = g_send >= 0
+    send_clip = np.clip(g_send, 0, None)
+    g_src = np.where(valid, block_of_event[send_clip], -1)
+    g_inv_chare = np.where(valid, table.chare[send_clip], -1)
+    # Next block of the key chain: the trigger sender's block when it is a
+    # different block (an in-phase send's block is always in the phase, so
+    # the python path's membership check is vacuous here).
+    src_gi = np.searchsorted(g_block, np.clip(g_src, int(g_block[0]), None))
+    nxt = np.where(valid & (g_src != g_block), src_gi, -1)
+
+    first_ev = ordered[firstpos]
+    g_time = table.time[first_ev].tolist()
+    g_chare = table.chare[first_ev].tolist()
+    w_l = g_w.tolist()
+    nxt_l = nxt.tolist()
+    block_l = g_block.tolist()
+    none_key = (-1,)
+    inv_l = [inv_keys[c] if c >= 0 else none_key
+             for c in g_inv_chare.tolist()]
+    keys: List[Tuple] = []
+    for gi in range(ng):
+        parts = [w_l[gi]]
+        parts.extend(inv_l[gi])
+        cur = gi
+        hops = 0
+        while hops < MAX_KEY_DEPTH and nxt_l[cur] >= 0:
+            cur = nxt_l[cur]
+            hops += 1
+            parts.append(w_l[cur])
+            parts.extend(inv_l[cur])
+        keys.append(tuple(parts))
+
+    # Chares keyed in block first-occurrence order — the insertion order
+    # of the python implementation's blocks_by_chare dict.
+    perm = np.argsort(firstpos).tolist()
+    blocks_by_chare: Dict[int, List[int]] = {}
+    for gi in perm:
+        blocks_by_chare.setdefault(g_chare[gi], []).append(gi)
+    starts_l = starts.tolist()
+    ends_l = ends.tolist()
+    out: Dict[int, List[int]] = {}
+    for chare, glist in blocks_by_chare.items():
+        glist.sort(key=lambda gi: (keys[gi], g_time[gi], block_l[gi]))
+        chunk: List[int] = []
+        for gi in glist:
+            chunk.extend(ev_sorted[starts_l[gi]:ends_l[gi]])
+        out[chare] = chunk
+    return out
+
+
+def local_steps_columnar(table: EventTable, chare_orders: Dict[int, List[int]]):
+    """Vectorized :func:`repro.core.stepping.assign_local_steps`.
+
+    Iterates chain relaxation (segmented running max over the per-chare
+    orders) and receive relaxation (``step[recv] >= step[send] + 1``) to
+    the least fixed point, which equals the Kahn longest path.  Returns
+    ``(events, steps, max_step)`` or ``None`` when the phase needs the
+    python fallback (suspected cycle or overly deep message chains).
+    """
+    lists = [lst for lst in chare_orders.values() if lst]
+    total = sum(len(lst) for lst in lists)
+    if total == 0:
+        return np.empty(0, np.int64), np.empty(0, np.int64), -1
+    concat = np.fromiter((ev for lst in lists for ev in lst), np.int64, total)
+    lens = np.fromiter((len(lst) for lst in lists), np.int64, len(lists))
+    seg = np.repeat(np.arange(len(lists), dtype=np.int64), lens)
+    pos = np.arange(total, dtype=np.int64)
+    lookup = np.full(table.n, -1, np.int64)
+    lookup[concat] = pos
+    partner = table.partner_send[concat]
+    valid = (table.kind[concat] == int(EventKind.RECV)) & (partner >= 0)
+    partner_pos = np.where(valid, lookup[np.clip(partner, 0, None)], -1)
+    recv_idx = np.flatnonzero(partner_pos >= 0)
+    send_idx = partner_pos[recv_idx]
+    # Segment isolation: per-segment offsets dominate the value range so a
+    # single global running max never leaks across chare orders.
+    base = seg * np.int64(2 * total + 4)
+    shift = base - pos
+    steps = np.zeros(total, np.int64)
+    for _ in range(MAX_STEP_ROUNDS):
+        relaxed = np.maximum.accumulate(steps + shift) - shift
+        if len(recv_idx):
+            np.maximum.at(relaxed, recv_idx, relaxed[send_idx] + 1)
+        if np.array_equal(relaxed, steps):
+            return concat, steps, int(steps.max())
+        steps = relaxed
+        if int(steps.max()) > total:
+            return None  # growing without bound: dependency cycle
+    return None
+
+
+def compute_leaps_columnar(state: ColumnarPartitionState) -> Dict[int, int]:
+    """Vectorized :func:`repro.core.leaps.compute_leaps`.
+
+    Longest-path depth by Bellman relaxation over the contracted unique
+    edges.  Values match the python Kahn pass; the dict *order* differs
+    (ascending root id), so use it only where consumers re-sort — the
+    pipeline's phase construction does.
+    """
+    roots = state.roots_np()
+    if not len(roots):
+        return {}
+    uniq, inverse = np.unique(roots, return_inverse=True)
+    k = len(uniq)
+    src, dst, _kind = state.edge_arrays()
+    if len(src):
+        es = inverse[src]
+        ed = inverse[dst]
+        keep = es != ed
+        enc = np.unique(es[keep] * np.int64(k) + ed[keep])
+        es = enc // k
+        ed = enc % k
+    else:
+        es = ed = np.empty(0, np.int64)
+    leap = np.zeros(k, np.int64)
+    for _ in range(k + 2):
+        relaxed = leap.copy()
+        if len(es):
+            np.maximum.at(relaxed, ed, leap[es] + 1)
+        if np.array_equal(relaxed, leap):
+            return dict(zip(uniq.tolist(), leap.tolist()))
+        leap = relaxed
+    raise ValueError("partition graph contains a cycle; cycle-merge first")

@@ -31,6 +31,9 @@ MAX_ROUNDS = 64
 
 def partition_initial_events(state: PartitionState) -> Dict[int, Dict[int, int]]:
     """First (earliest) event of each partition on each of its chares."""
+    fast = getattr(state, "initial_events_by_chare", None)
+    if fast is not None:
+        return fast()
     out: Dict[int, Dict[int, int]] = {}
     events = state.trace.events
     for root, evs in state.partition_events().items():

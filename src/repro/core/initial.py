@@ -21,7 +21,7 @@ initial partition and per-process program order supplies CHAIN edges.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.partition import EdgeKind, PartitionState
 from repro.trace.events import NO_ID, EventKind
@@ -57,13 +57,14 @@ class InitialStructure:
     state: PartitionState
 
 
-def build_blocks(trace: Trace, absorb_tolerance: float = 1e-9) -> Tuple[List[Block], List[int]]:
-    """Group executions into serial blocks with SDAG absorption.
+def scan_serial_blocks(trace: Trace, absorb_tolerance: float = 1e-9) -> List[List[int]]:
+    """Group execution ids into serial blocks (SDAG absorption only).
 
-    Returns ``(blocks, block_of_exec)``.
+    The grouping pass of :func:`build_blocks`, shared with the columnar
+    backend, which fills the per-block event lists vectorized instead of
+    through :func:`_make_block`.
     """
-    block_of_exec = [-1] * len(trace.executions)
-    blocks: List[Block] = []
+    groups: List[List[int]] = []
     entries = trace.entries
     for chare_id, exec_ids in trace.executions_by_chare.items():
         current: List[int] = []
@@ -88,26 +89,39 @@ def build_blocks(trace: Trace, absorb_tolerance: float = 1e-9) -> Tuple[List[Blo
                 current.append(xid)
             else:
                 if current:
-                    blocks.append(_make_block(trace, len(blocks), current))
+                    groups.append(current)
                 current = [xid]
             prev_end = ex.end
             prev_pe = ex.pe
             prev_serial = entries[ex.entry].is_sdag_serial
         if current:
-            blocks.append(_make_block(trace, len(blocks), current))
+            groups.append(current)
+    return groups
+
+
+def build_blocks(trace: Trace, absorb_tolerance: float = 1e-9) -> Tuple[List[Block], List[int]]:
+    """Group executions into serial blocks with SDAG absorption.
+
+    Returns ``(blocks, block_of_exec)``.
+    """
+    groups = scan_serial_blocks(trace, absorb_tolerance)
+    blocks = [_make_block(trace, bid, g) for bid, g in enumerate(groups)]
+    block_of_exec = [-1] * len(trace.executions)
     for block in blocks:
         for xid in block.executions:
             block_of_exec[xid] = block.id
     return blocks, block_of_exec
 
 
-def _make_block(trace: Trace, block_id: int, exec_ids: List[int]) -> Block:
+def _make_block(trace: Trace, block_id: int, exec_ids: List[int],
+                events: Optional[List[int]] = None) -> Block:
     first = trace.executions[exec_ids[0]]
     last = trace.executions[exec_ids[-1]]
-    events: List[int] = []
-    for xid in exec_ids:
-        events.extend(trace.events_of(xid))
-    events.sort(key=lambda e: (trace.events[e].time, e))
+    if events is None:
+        events = []
+        for xid in exec_ids:
+            events.extend(trace.events_of(xid))
+        events.sort(key=lambda e: (trace.events[e].time, e))
     ordinal = -1
     for xid in reversed(exec_ids):
         entry = trace.entries[trace.executions[xid].entry]
@@ -198,7 +212,26 @@ def build_initial(trace: Trace, mode: str = "charm",
                     edges.append((prev_pid, pid, EdgeKind.CHAIN))
                 prev_pid = pid
 
-    # Per-chare cross-block edges.
+    chare_chain_edges(trace, blocks, event_init, mode, relaxed_chain, edges)
+    message_edges(trace, event_init, edges)
+
+    state = PartitionState(trace, init_events, init_runtime, init_block, event_init, edges)
+    return InitialStructure(blocks, block_of_event, block_of_exec, state)
+
+
+def chare_chain_edges(
+    trace: Trace,
+    blocks: List[Block],
+    event_init: List[int],
+    mode: str,
+    relaxed_chain: bool,
+    edges: List[Tuple[int, int, EdgeKind]],
+) -> None:
+    """Per-chare cross-block edges (SDAG numbering / MPI program order).
+
+    Shared between the python and columnar backends so the two cannot
+    drift; appends to ``edges`` in place.
+    """
     blocks_by_chare: Dict[int, List[Block]] = {}
     for block in blocks:
         blocks_by_chare.setdefault(block.chare, []).append(block)
@@ -252,13 +285,16 @@ def build_initial(trace: Trace, mode: str = "charm",
             if ordinal >= 0:
                 last_by_ordinal[ordinal] = cur
 
-    # Remote invocation edges between matched message endpoints.
+
+def message_edges(
+    trace: Trace,
+    event_init: List[int],
+    edges: List[Tuple[int, int, EdgeKind]],
+) -> None:
+    """Remote invocation edges between matched message endpoints."""
     for msg in trace.messages:
         if msg.is_complete():
             a = event_init[msg.send_event]
             b = event_init[msg.recv_event]
             if a != -1 and b != -1:
                 edges.append((a, b, EdgeKind.MESSAGE))
-
-    state = PartitionState(trace, init_events, init_runtime, init_block, event_init, edges)
-    return InitialStructure(blocks, block_of_event, block_of_exec, state)

@@ -88,16 +88,25 @@ def dependency_merge(state: PartitionState) -> int:
     restores the DAG afterwards.
     """
     merged = 0
-    find = state.dsu.find
-    for a, b, kind in list(state.edges):
-        if kind != EdgeKind.MESSAGE:
-            continue
-        ra, rb = find(a), find(b)
-        if ra == rb:
-            continue
-        if state.is_runtime(ra) == state.is_runtime(rb):
-            if state.union(ra, rb):
+    candidates = getattr(state, "message_merge_candidates", None)
+    if candidates is not None:
+        # Columnar fast path: the same edges in the same order, with the
+        # root/class filter evaluated vectorized (classes are constant
+        # during this stage — only same-class unions happen here).
+        for a, b in candidates():
+            if state.union(a, b):
                 merged += 1
+    else:
+        find = state.dsu.find
+        for a, b, kind in list(state.edges):
+            if kind != EdgeKind.MESSAGE:
+                continue
+            ra, rb = find(a), find(b)
+            if ra == rb:
+                continue
+            if state.is_runtime(ra) == state.is_runtime(rb):
+                if state.union(ra, rb):
+                    merged += 1
     merged += cycle_merge(state)
     return merged
 
@@ -126,29 +135,42 @@ def repair_merge(initial: InitialStructure) -> int:
 
     # Rule 1: adjacent pieces of each block (the BLOCK edges record the
     # within-serial-block happened-before relationships).
-    for a, b, kind in state.edges:
-        if kind != EdgeKind.BLOCK:
-            continue
-        if state.init_block[a] != state.init_block[b]:
-            continue
-        ra, rb = find(a), find(b)
-        if ra != rb and state.is_runtime(ra) == state.is_runtime(rb):
-            if state.union(ra, rb):
+    rule1 = getattr(state, "block_repair_candidates", None)
+    if rule1 is not None:
+        for a, b in rule1():
+            if state.union(a, b):
                 merged += 1
+    else:
+        for a, b, kind in state.edges:
+            if kind != EdgeKind.BLOCK:
+                continue
+            if state.init_block[a] != state.init_block[b]:
+                continue
+            ra, rb = find(a), find(b)
+            if ra != rb and state.is_runtime(ra) == state.is_runtime(rb):
+                if state.union(ra, rb):
+                    merged += 1
 
     # Rule 2: group each partition's structural successors by the entry
     # method of the serial block the successor piece came from.
     succ_groups: Dict[Tuple[int, int, bool], List[int]] = {}
     blocks = initial.blocks
-    for a, b, kind in state.edges:
-        if kind not in (EdgeKind.BLOCK, EdgeKind.SDAG):
-            continue
-        ra, rb = find(a), find(b)
-        if ra == rb:
-            continue
-        entry = blocks[state.init_block[b]].entry
-        key = (ra, entry, state.is_runtime(rb))
-        succ_groups.setdefault(key, []).append(rb)
+    columns = getattr(state, "structural_succ_columns", None)
+    if columns is not None:
+        # Same keys in the same scan order; the root snapshot is taken
+        # after rule 1 and no unions happen during the scan.
+        for ra, entry, cls, rb in zip(*columns(blocks)):
+            succ_groups.setdefault((ra, entry, cls), []).append(rb)
+    else:
+        for a, b, kind in state.edges:
+            if kind not in (EdgeKind.BLOCK, EdgeKind.SDAG):
+                continue
+            ra, rb = find(a), find(b)
+            if ra == rb:
+                continue
+            entry = blocks[state.init_block[b]].entry
+            key = (ra, entry, state.is_runtime(rb))
+            succ_groups.setdefault(key, []).append(rb)
     for group in succ_groups.values():
         if len(group) < 2:
             continue

@@ -20,9 +20,14 @@ and runs only when explicitly requested.
 
 from __future__ import annotations
 
+import dataclasses
 import time as _time
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+if TYPE_CHECKING:  # repro.verify builds on this module; avoid the cycle.
+    from repro.verify.stagehooks import StageHook
 
 from repro.core.initial import build_initial
 from repro.core.inference import (
@@ -57,10 +62,16 @@ class PipelineOptions:
     tie_break: str = "chare_id"
     #: Gap tolerance for absorbing an entry method into a following serial.
     absorb_tolerance: float = 1e-9
-    #: Stage instrumentation: an object with an ``on_stage`` method (see
-    #: :class:`repro.verify.stagehooks.PipelineHooks`) called after every
-    #: stage with the live intermediate state.
-    hooks: Optional[object] = None
+    #: Kernel backend: "columnar" (NumPy array kernels), "python" (pure
+    #: reference implementation), or "auto" — columnar when NumPy is
+    #: available.  Both backends produce bit-identical structures; the
+    #: differential harness cross-checks them.
+    backend: str = "auto"
+    #: Stage instrumentation: one :class:`repro.verify.stagehooks.StageHook`
+    #: (an object with an ``on_stage(stage, *, state, structure, seconds)``
+    #: method) or a sequence of them, called after every stage with the
+    #: live intermediate state.
+    hooks: Union[None, "StageHook", Sequence["StageHook"]] = None
     #: Strict mode: install a :class:`repro.verify.stagehooks.StrictVerifier`
     #: that asserts stage postconditions and runs the full invariant suite
     #: on the result, raising ``InvariantViolationError`` on any failure.
@@ -71,6 +82,35 @@ class PipelineOptions:
             return self.mode
         return "mpi" if trace.metadata.get("model") == "mpi" else "charm"
 
+    def resolve_backend(self) -> str:
+        """Concrete backend for this run ("columnar" or "python")."""
+        from repro.core.columnar import resolve_backend
+
+        return resolve_backend(self.backend)
+
+    def with_overrides(self, **overrides) -> "PipelineOptions":
+        """A copy of these options with the given fields replaced.
+
+        The supported way to combine an options object with keyword
+        tweaks: ``opts.with_overrides(order="physical")``.  Unknown field
+        names raise ``TypeError``.
+        """
+        names = {f.name for f in dataclasses.fields(self)}
+        unknown = set(overrides) - names
+        if unknown:
+            raise TypeError(
+                f"unknown PipelineOptions field(s): {', '.join(sorted(unknown))}"
+            )
+        return dataclasses.replace(self, **overrides)
+
+    def hook_list(self) -> List["StageHook"]:
+        """``hooks`` normalized to a list (one hook, a sequence, or none)."""
+        if self.hooks is None:
+            return []
+        if isinstance(self.hooks, (list, tuple)):
+            return list(self.hooks)
+        return [self.hooks]
+
 
 @dataclass
 class PipelineStats:
@@ -80,6 +120,8 @@ class PipelineStats:
     final_phases: int = 0
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     total_seconds: float = 0.0
+    #: Concrete backend the run used ("columnar" or "python").
+    backend: str = ""
 
 
 def extract_logical_structure(
@@ -91,19 +133,34 @@ def extract_logical_structure(
     """Recover the logical structure of ``trace``.
 
     Keyword arguments are a shorthand for :class:`PipelineOptions` fields,
-    e.g. ``extract_logical_structure(trace, order="physical")``.  Pass a
-    :class:`PipelineStats` to collect per-stage timings.
+    e.g. ``extract_logical_structure(trace, order="physical")``.  When an
+    ``options`` object is also given, the keywords override its fields via
+    :meth:`PipelineOptions.with_overrides` (deprecated — call it
+    yourself).  Pass a :class:`PipelineStats` to collect per-stage
+    timings.
     """
-    opts = options or PipelineOptions(**kwargs)
     if options is not None and kwargs:
-        raise TypeError("pass either options or keyword overrides, not both")
+        warnings.warn(
+            "passing both options and keyword overrides to "
+            "extract_logical_structure is deprecated; use "
+            "options.with_overrides(**kwargs)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        opts = options.with_overrides(**kwargs)
+    elif options is not None:
+        opts = options
+    else:
+        opts = PipelineOptions(**kwargs)
     if opts.order not in ("reordered", "physical"):
         raise ValueError(f"unknown order {opts.order!r}")
     mode = opts.resolve_mode(trace)
+    backend = opts.resolve_backend()
     stats = stats if stats is not None else PipelineStats()
+    stats.backend = backend
     t0 = _time.perf_counter()
 
-    hook_list = [opts.hooks] if opts.hooks is not None else []
+    hook_list = opts.hook_list()
     if opts.verify:
         # Imported lazily: repro.verify builds on this module.
         from repro.verify.stagehooks import StrictVerifier
@@ -130,10 +187,19 @@ def extract_logical_structure(
     # (Section 3.2.1, Figure 10).
     t = t0
     relaxed = mode == "mpi" and opts.order == "reordered"
-    initial = build_initial(
-        trace, mode=mode, absorb_tolerance=opts.absorb_tolerance,
-        relaxed_chain=relaxed,
-    )
+    if backend == "columnar":
+        from repro.core import columnar as _col
+
+        initial = _col.build_initial_columnar(
+            trace, mode=mode, absorb_tolerance=opts.absorb_tolerance,
+            relaxed_chain=relaxed,
+        )
+    else:
+        _col = None
+        initial = build_initial(
+            trace, mode=mode, absorb_tolerance=opts.absorb_tolerance,
+            relaxed_chain=relaxed,
+        )
     state = initial.state
     current_state[0] = state
     stats.initial_partitions = len(state.init_events)
@@ -168,15 +234,24 @@ def extract_logical_structure(
         enforce_chare_paths(state)
         t = _stage("chare_paths", t)
 
-    # Build the phase objects.
-    leaps = compute_leaps(state)
+    # Build the phase objects.  The leap values feed a totally-ordered
+    # sort key, so the columnar kernel's different dict order is safe here
+    # (it is NOT safe inside the inference stages, which keep the python
+    # compute_leaps).
+    if _col is not None:
+        leaps = _col.compute_leaps_columnar(state)
+    else:
+        leaps = compute_leaps(state)
     succs, preds = state.adjacency()
     part_events = state.partition_events()
     events = trace.events
+    # partition_events lists are (time, id)-sorted: the first event holds
+    # the minimum time.
     roots = sorted(
         part_events,
-        key=lambda r: (leaps[r], min((events[e].time for e in part_events[r]),
-                                     default=0.0), r),
+        key=lambda r: (leaps[r],
+                       events[part_events[r][0]].time if part_events[r] else 0.0,
+                       r),
     )
     phase_index = {root: i for i, root in enumerate(roots)}
     phases: List[Phase] = []
@@ -197,40 +272,98 @@ def extract_logical_structure(
     t = _stage("build_phases", t)
 
     # Stage 5: per-phase ordering + local steps.
-    phase_of_event = [-1] * len(events)
-    local_step = [-1] * len(events)
     chare_orders: Dict[Tuple[int, int], List[int]] = {}
     max_local: Dict[int, int] = {}
-    for phase in phases:
-        for ev in phase.events:
-            phase_of_event[ev] = phase.id
-        if opts.order == "physical":
-            orders = physical_order(trace, phase.events)
-        elif mode == "mpi":
-            orders = reordered_order_mp(trace, phase.events, initial.block_of_event)
-        else:
-            orders = reordered_order_task(
-                trace, phase.events, initial.block_of_event,
-                tie_break=opts.tie_break,
-            )
-        for chare, order in orders.items():
-            chare_orders[(phase.id, chare)] = order
-        steps, max_s = assign_local_steps(trace, phase.events, orders)
-        for ev, s in steps.items():
-            local_step[ev] = s
-        phase.max_local_step = max_s
-        max_local[phase.id] = max_s
+    if _col is not None:
+        np = _col.np
+        table = _col.EventTable.of(trace)
+        block_table = getattr(state, "block_table", None)
+        boe_arr = (block_table.block_of_event if block_table is not None
+                   else np.asarray(initial.block_of_event, np.int64))
+        phase_arr = np.full(len(events), -1, np.int64)
+        local_arr = np.full(len(events), -1, np.int64)
+        if opts.order != "physical" and mode != "mpi":
+            if opts.tie_break not in ("chare_id", "index"):
+                raise ValueError(f"unknown tie_break {opts.tie_break!r}")
+            if opts.tie_break == "index":
+                inv_keys = [tuple(c.index) if c.index else (c.id,)
+                            for c in trace.chares]
+            else:
+                inv_keys = [(c.id,) for c in trace.chares]
+        for phase in phases:
+            ordered_np = _col.sorted_phase_events(table, phase.events)
+            if len(ordered_np):
+                phase_arr[ordered_np] = phase.id
+            if opts.order == "physical":
+                orders = _col.physical_order_columnar(table, ordered_np)
+            elif mode == "mpi":
+                orders = reordered_order_mp(
+                    trace, phase.events, initial.block_of_event,
+                    _ordered=ordered_np.tolist(),
+                )
+            else:
+                orders = _col.task_order_columnar(
+                    table, ordered_np, boe_arr, inv_keys
+                )
+            for chare, order in orders.items():
+                chare_orders[(phase.id, chare)] = order
+            result = _col.local_steps_columnar(table, orders)
+            if result is None:  # suspected cycle: python reference fallback
+                steps, max_s = assign_local_steps(trace, phase.events, orders)
+                for ev, s in steps.items():
+                    local_arr[ev] = s
+            else:
+                step_events, step_values, max_s = result
+                local_arr[step_events] = step_values
+            phase.max_local_step = max_s
+            max_local[phase.id] = max_s
+        phase_of_event = phase_arr.tolist()
+        local_step = local_arr.tolist()
+    else:
+        phase_of_event = [-1] * len(events)
+        local_step = [-1] * len(events)
+        for phase in phases:
+            for ev in phase.events:
+                phase_of_event[ev] = phase.id
+            if opts.order == "physical":
+                orders = physical_order(trace, phase.events)
+            elif mode == "mpi":
+                orders = reordered_order_mp(trace, phase.events,
+                                            initial.block_of_event)
+            else:
+                orders = reordered_order_task(
+                    trace, phase.events, initial.block_of_event,
+                    tie_break=opts.tie_break,
+                )
+            for chare, order in orders.items():
+                chare_orders[(phase.id, chare)] = order
+            steps, max_s = assign_local_steps(trace, phase.events, orders)
+            for ev, s in steps.items():
+                local_step[ev] = s
+            phase.max_local_step = max_s
+            max_local[phase.id] = max_s
     t = _stage("local_steps", t)
 
     # Stage 6: global offsets.
     offsets = assign_global_offsets(
         [p.id for p in phases], {p.id: p.preds for p in phases}, max_local
     )
-    step_of_event = [-1] * len(events)
     for phase in phases:
         phase.offset = offsets[phase.id]
-        for ev in phase.events:
-            step_of_event[ev] = phase.offset + local_step[ev]
+    if _col is not None and phases:
+        np = _col.np
+        offset_arr = np.fromiter((p.offset for p in phases), np.int64,
+                                 len(phases))
+        in_phase = phase_arr >= 0
+        step_arr = np.where(
+            in_phase, offset_arr[np.clip(phase_arr, 0, None)] + local_arr, -1
+        )
+        step_of_event = step_arr.tolist()
+    else:
+        step_of_event = [-1] * len(events)
+        for phase in phases:
+            for ev in phase.events:
+                step_of_event[ev] = phase.offset + local_step[ev]
     t = _stage("global_steps", t)
 
     structure = LogicalStructure(

@@ -80,6 +80,9 @@ def reordered_order_task(
     phase_events: Sequence[int],
     block_of_event: Sequence[int],
     tie_break: str = "chare_id",
+    _w: Optional[Dict[int, int]] = None,
+    _ordered: Optional[List[int]] = None,
+    _trigger: Optional[Dict[int, int]] = None,
 ) -> Dict[int, List[int]]:
     """Per-chare order for the task (Charm++) model: sort serial blocks.
 
@@ -88,21 +91,31 @@ def reordered_order_task(
     chare's array index, the topology-aware ordering the paper suggests
     for domain-decomposed applications ("an ordering that takes this data
     topology into account will likely be more intuitive").
+
+    ``_w``, ``_ordered`` and ``_trigger`` are bit-identical precomputed
+    inputs supplied by the columnar backend (``repro.core.columnar``):
+    the w clock, the (time, id)-sorted event list, and the matched
+    in-phase send per event.
     """
     if tie_break not in ("chare_id", "index"):
         raise ValueError(f"unknown tie_break {tie_break!r}")
     events = trace.events
     in_phase = set(phase_events)
-    w = _assign_w(trace, phase_events, in_phase, block_of_event)
+    if _ordered is None:
+        _ordered = sorted(phase_events, key=lambda e: (events[e].time, e))
+    w = _w if _w is not None else _assign_w(trace, phase_events, in_phase,
+                                            block_of_event)
 
     # Group the phase's events by serial block, preserving time order.
     block_events: Dict[int, List[int]] = {}
-    for ev in sorted(phase_events, key=lambda e: (events[e].time, e)):
+    for ev in _ordered:
         block_events.setdefault(block_of_event[ev], []).append(ev)
 
     def trigger_send(block_id: int) -> int:
         """The in-phase send that invoked this block's first event, if any."""
         first = block_events[block_id][0]
+        if _trigger is not None:
+            return _trigger[first]
         if events[first].kind != EventKind.RECV:
             return NO_ID
         mid = trace.message_by_recv[first]
@@ -163,18 +176,24 @@ def reordered_order_mp(
     trace: Trace,
     phase_events: Sequence[int],
     block_of_event: Sequence[int],
+    _ordered: Optional[List[int]] = None,
 ) -> Dict[int, List[int]]:
     """Per-process order for the message-passing model: pinned sends.
 
     ``w_send = 1 + max(w_receive | receive physically precedes send)``, so
     a stable sort by ``w`` keeps every send after the receives that came
     before it, while receives are free to reorder (Figure 9).
+
+    ``_ordered`` is the (time, id)-sorted event list when the caller
+    already has it (columnar backend); the send w depends on a running
+    max over earlier receives, so the clock itself stays a replay loop.
     """
     events = trace.events
     in_phase = set(phase_events)
     w: Dict[int, int] = {}
     max_recv_w: Dict[int, int] = {}  # chare -> max w over receives so far
-    ordered = sorted(phase_events, key=lambda e: (events[e].time, e))
+    ordered = (_ordered if _ordered is not None
+               else sorted(phase_events, key=lambda e: (events[e].time, e)))
     for ev in ordered:
         rec = events[ev]
         if rec.kind == EventKind.RECV:

@@ -46,13 +46,20 @@ from repro.verify.invariants import (
     check_structure,
     verify_structure,
 )
-from repro.verify.stagehooks import PipelineHooks, StageRecord, StageRecorder, StrictVerifier
+from repro.verify.stagehooks import (
+    PipelineHooks,
+    StageHook,
+    StageRecord,
+    StageRecorder,
+    StrictVerifier,
+)
 
 __all__ = [
     "ALL_CHECKERS",
     "DifferentialReport",
     "InvariantViolationError",
     "PipelineHooks",
+    "StageHook",
     "StageRecord",
     "StageRecorder",
     "StrictVerifier",

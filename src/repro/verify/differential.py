@@ -18,9 +18,11 @@ performance PRs run before and after touching the hot path.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.columnar import HAVE_NUMPY
 from repro.core.pipeline import PipelineOptions, PipelineStats, extract_logical_structure
 from repro.core.structure import LogicalStructure
 from repro.trace.model import Trace
@@ -85,17 +87,37 @@ class DifferentialReport:
         }
 
 
-def default_variants(tie_breaks: bool = True) -> List[Tuple[str, PipelineOptions]]:
-    """The standard matrix: order × infer, plus the tie-break variant."""
+def default_variants(
+    tie_breaks: bool = True, backends: bool = True
+) -> List[Tuple[str, PipelineOptions]]:
+    """The standard matrix: order × infer, plus tie-break and backend twins.
+
+    Base variants pin ``backend="python"`` — the reference implementation.
+    With ``backends=True`` (and NumPy available) columnar twins join the
+    matrix; Fact 3 then asserts they are *bit-identical* to their python
+    counterparts, not merely partition-equivalent.
+    """
     variants: List[Tuple[str, PipelineOptions]] = []
     for order in ("reordered", "physical"):
         for infer in (True, False):
             name = f"{order}/{'infer' if infer else 'noinfer'}"
-            variants.append((name, PipelineOptions(order=order, infer=infer)))
+            variants.append(
+                (name, PipelineOptions(order=order, infer=infer, backend="python"))
+            )
     if tie_breaks:
         variants.append(
             ("reordered/infer/index",
-             PipelineOptions(order="reordered", infer=True, tie_break="index"))
+             PipelineOptions(order="reordered", infer=True, tie_break="index",
+                             backend="python"))
+        )
+    if backends and HAVE_NUMPY:
+        variants.append(
+            ("reordered/infer/columnar",
+             PipelineOptions(order="reordered", infer=True, backend="columnar"))
+        )
+        variants.append(
+            ("physical/noinfer/columnar",
+             PipelineOptions(order="physical", infer=False, backend="columnar"))
         )
     return variants
 
@@ -165,6 +187,24 @@ def run_differential(
                 "differential-partitions",
                 f"variants {first.name} and {r.name} disagree on the phase "
                 f"event-partition ({len(sig_a)} vs {len(sig_b)} phases)",
+            ))
+
+    # Fact 3: the backend is a pure implementation detail — variants whose
+    # options differ only in it must assign bit-identical steps and phases.
+    twins: Dict[Tuple, VariantResult] = {}
+    for r in results:
+        base = dataclasses.replace(r.options, backend="python", hooks=None)
+        key = (base.mode, base.order, base.infer, base.enforce_properties,
+               base.tie_break, base.absorb_tolerance)
+        first = twins.setdefault(key, r)
+        if first is r:
+            continue
+        if (first.structure.step_of_event != r.structure.step_of_event
+                or first.structure.phase_of_event != r.structure.phase_of_event):
+            cross.append(Violation(
+                "differential-backend",
+                f"variants {first.name} and {r.name} differ only in backend "
+                "but disagree on step or phase assignments",
             ))
 
     return DifferentialReport(results, cross)

@@ -23,7 +23,7 @@ Three ready-made hooks:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Protocol, runtime_checkable
 
 from repro.core.leaps import compute_leaps
 from repro.core.partition import PartitionState
@@ -64,14 +64,31 @@ class StageRecord:
         }
 
 
-class PipelineHooks:
-    """Protocol base: the pipeline calls :meth:`on_stage` after each stage.
+@runtime_checkable
+class StageHook(Protocol):
+    """The structural type :class:`~repro.core.pipeline.PipelineOptions`
+    accepts in ``hooks`` — anything with this ``on_stage`` signature
+    (one hook or a sequence of them).
 
     Exactly one of ``state`` and ``structure`` is set: ``state`` during
     phase finding, ``structure`` for the final "finalize" announcement.
-    Subclasses override :meth:`on_stage`; raising from it aborts the
-    pipeline (that is how :class:`StrictVerifier` fails fast).
+    Raising from :meth:`on_stage` aborts the pipeline (that is how
+    :class:`StrictVerifier` fails fast).
     """
+
+    def on_stage(
+        self,
+        stage: str,
+        *,
+        state: Optional[PartitionState] = None,
+        structure: Optional[LogicalStructure] = None,
+        seconds: float = 0.0,
+    ) -> None:
+        """Called by the pipeline after every stage."""
+
+
+class PipelineHooks:
+    """No-op :class:`StageHook` base; subclasses override :meth:`on_stage`."""
 
     def on_stage(
         self,

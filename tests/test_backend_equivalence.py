@@ -1,0 +1,78 @@
+"""The columnar backend is a pure implementation detail.
+
+For every bundled proxy app, extracting with ``backend="python"`` and
+``backend="columnar"`` must assign bit-identical steps and phases — not
+merely equivalent partitions.  The columnar kernels go out of their way
+to replay the python implementation's insertion and tie-break orders;
+this is the test that holds them to it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import PipelineOptions, extract
+from repro.apps import (
+    btsweep,
+    jacobi2d,
+    lassen,
+    lulesh,
+    mergetree,
+    multigrid,
+    nasbt,
+    pdes,
+    sssp,
+)
+from repro.core.columnar import HAVE_NUMPY
+
+pytestmark = pytest.mark.skipif(not HAVE_NUMPY, reason="NumPy not available")
+
+APPS = {
+    "jacobi2d": lambda: jacobi2d.run(chares=(4, 4), pes=4, iterations=2, seed=7),
+    "lulesh": lambda: lulesh.run_charm(chares=8, pes=4, iterations=2, seed=3),
+    "lassen": lambda: lassen.run_charm(chares=8, pes=4, iterations=3, seed=1),
+    "pdes": lambda: pdes.run(chares=8, pes=4, seed=5),
+    "mergetree": lambda: mergetree.run(ranks=8, seed=2),
+    "nasbt": lambda: nasbt.run(ranks=9, iterations=2, seed=4),
+    "btsweep": lambda: btsweep.run(tiles=(3, 3), pes=4, iterations=2, seed=6),
+    "multigrid": lambda: multigrid.run(fine=(8, 8), pes=4, cycles=2, seed=8),
+    "sssp": lambda: sssp.run(nodes=40, edges=120, parts=8, pes=4, seed=9)[0],
+}
+
+
+@pytest.mark.parametrize("app", sorted(APPS))
+def test_backends_bit_identical(app):
+    trace = APPS[app]()
+    py = extract(trace, PipelineOptions(backend="python"))
+    col = extract(trace, PipelineOptions(backend="columnar"))
+    assert py.step_of_event == col.step_of_event
+    assert py.phase_of_event == col.phase_of_event
+    assert py.local_step_of_event == col.local_step_of_event
+
+
+@pytest.mark.parametrize("app", ["lulesh", "lassen"])
+def test_backends_bit_identical_mpi(app):
+    run = lulesh.run_mpi if app == "lulesh" else lassen.run_mpi
+    trace = run(ranks=8, iterations=2, seed=3)
+    py = extract(trace, PipelineOptions(backend="python"))
+    col = extract(trace, PipelineOptions(backend="columnar"))
+    assert py.step_of_event == col.step_of_event
+    assert py.phase_of_event == col.phase_of_event
+
+
+@pytest.mark.parametrize("overrides", [
+    {"order": "physical"},
+    {"infer": False},
+    {"tie_break": "index"},
+])
+def test_backends_bit_identical_under_options(overrides):
+    trace = APPS["jacobi2d"]()
+    py = extract(trace, PipelineOptions(backend="python"), **overrides)
+    col = extract(trace, PipelineOptions(backend="columnar"), **overrides)
+    assert py.step_of_event == col.step_of_event
+    assert py.phase_of_event == col.phase_of_event
+
+
+def test_auto_backend_selects_columnar(jacobi_trace):
+    structure = extract(jacobi_trace, PipelineOptions(backend="auto"))
+    assert structure.options.resolve_backend() == "columnar"

@@ -1,0 +1,107 @@
+"""Batch extraction driver: cache keying, worker isolation, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    BatchExtractor,
+    PipelineOptions,
+    StructureCache,
+    trace_digest,
+    write_trace,
+)
+from repro.apps import jacobi2d, pdes
+
+
+@pytest.fixture(scope="module")
+def trace_files(tmp_path_factory):
+    root = tmp_path_factory.mktemp("traces")
+    paths = []
+    for name, trace in [
+        ("jacobi", jacobi2d.run(chares=(4, 4), pes=4, iterations=2, seed=1)),
+        ("pdes", pdes.run(chares=8, pes=4, seed=2)),
+    ]:
+        path = root / f"{name}.jsonl"
+        write_trace(trace, path)
+        paths.append(str(path))
+    return paths
+
+
+def test_digest_content_keyed(trace_files, tmp_path):
+    d1 = trace_digest(trace_files[0])
+    assert d1 == trace_digest(trace_files[0])
+    assert d1 != trace_digest(trace_files[1])
+    # The key is the bytes, not the path.
+    copy = tmp_path / "renamed.jsonl"
+    copy.write_bytes(open(trace_files[0], "rb").read())
+    assert trace_digest(str(copy)) == d1
+
+
+def test_cache_hit_and_miss_on_option_change(trace_files):
+    cache = StructureCache()
+    opts = PipelineOptions()
+    report = BatchExtractor(opts, cache=cache).run(trace_files)
+    assert report.ok
+    assert all(not r.cached for r in report.results)
+
+    again = BatchExtractor(opts, cache=cache).run(trace_files)
+    assert again.ok
+    assert all(r.cached for r in again.results)
+    assert again.results[0].summary == report.results[0].summary
+
+    # Any option change must miss: same traces, different pipeline.
+    changed = BatchExtractor(
+        PipelineOptions(order="physical"), cache=cache
+    ).run(trace_files)
+    assert changed.ok
+    assert all(not r.cached for r in changed.results)
+
+
+def test_cache_persists_across_extractors(trace_files, tmp_path):
+    cache_dir = tmp_path / "cache"
+    first = BatchExtractor(
+        cache=StructureCache(cache_dir)
+    ).run(trace_files)
+    assert first.ok and first.cache_hits == 0
+    # A brand-new cache object over the same directory reuses the files.
+    second = BatchExtractor(
+        cache=StructureCache(cache_dir)
+    ).run(trace_files)
+    assert second.ok
+    assert all(r.cached for r in second.results)
+
+
+def test_worker_failure_isolated(trace_files, tmp_path):
+    bogus = tmp_path / "not_a_trace.jsonl"
+    bogus.write_text("this is not a trace\n")
+    missing = str(tmp_path / "missing.jsonl")
+    sources = [trace_files[0], str(bogus), missing, trace_files[1]]
+    report = BatchExtractor().run(sources)
+    assert not report.ok
+    assert [r.ok for r in report.results] == [True, False, False, True]
+    assert all(r.error for r in report.failures)
+    # Failures are captured per trace; good traces still extracted.
+    assert report.results[0].summary["phases"] > 0
+
+
+def test_parallel_matches_serial(trace_files):
+    serial = BatchExtractor(jobs=1).run(trace_files)
+    parallel = BatchExtractor(jobs=2).run(trace_files)
+    assert serial.ok and parallel.ok
+    for s, p in zip(serial.results, parallel.results):
+        assert s.source == p.source
+        assert {k: v for k, v in s.summary.items()
+                if not k.endswith("seconds")} == \
+               {k: v for k, v in p.summary.items()
+                if not k.endswith("seconds")}
+
+
+def test_in_memory_traces_accepted():
+    trace = jacobi2d.run(chares=(4, 4), pes=4, iterations=2, seed=1)
+    cache = StructureCache()
+    report = BatchExtractor(cache=cache).run([trace])
+    assert report.ok
+    assert trace_digest(trace) == trace_digest(trace)
+    again = BatchExtractor(cache=cache).run([trace])
+    assert again.results[0].cached

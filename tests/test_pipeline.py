@@ -101,11 +101,17 @@ def test_bad_order_rejected(jacobi_trace):
         extract_logical_structure(jacobi_trace, order="alphabetical")
 
 
-def test_options_and_kwargs_exclusive(jacobi_trace):
-    with pytest.raises(TypeError):
-        extract_logical_structure(
+def test_options_plus_kwargs_deprecated_but_applied(jacobi_trace):
+    with pytest.warns(DeprecationWarning):
+        structure = extract_logical_structure(
             jacobi_trace, options=PipelineOptions(), order="physical"
         )
+    assert structure.options.order == "physical"
+
+
+def test_unknown_kwarg_rejected(jacobi_trace):
+    with pytest.raises(TypeError, match="no_such_option"):
+        extract_logical_structure(jacobi_trace, no_such_option=True)
 
 
 def test_stats_collected(jacobi_trace):

@@ -60,16 +60,28 @@ def test_app_passes_differential_verification(app):
 
 
 def test_variant_matrix_shape():
-    variants = default_variants()
-    names = [name for name, _ in variants]
-    assert names == [
+    from repro.core.columnar import HAVE_NUMPY
+
+    base = [
         "reordered/infer",
         "reordered/noinfer",
         "physical/infer",
         "physical/noinfer",
         "reordered/infer/index",
     ]
-    assert [name for name, _ in default_variants(tie_breaks=False)] == names[:4]
+    backend_twins = (
+        ["reordered/infer/columnar", "physical/noinfer/columnar"]
+        if HAVE_NUMPY else []
+    )
+    names = [name for name, _ in default_variants()]
+    assert names == base + backend_twins
+    assert [name for name, _ in default_variants(backends=False)] == base
+    assert [name for name, _ in
+            default_variants(tie_breaks=False, backends=False)] == base[:4]
+    # Base variants pin the reference backend; twins request columnar.
+    for name, options in default_variants():
+        expected = "columnar" if name.endswith("/columnar") else "python"
+        assert options.backend == expected, name
 
 
 def test_report_is_machine_readable():
