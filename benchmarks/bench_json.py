@@ -166,6 +166,22 @@ def run_benchmarks(quick: bool = False, verbose: bool = True) -> dict:
         speedup = 1.0
     say(f"A/B speedup: {speedup:.2f}x, identical={identical}")
 
+    # Repair overhead: the warn-mode defect scan is the per-trace cost a
+    # campaign pays for ingestion hardening on clean inputs (fix mode on
+    # a clean trace runs the identical detect-only path).
+    ro_timings = {}
+    for repair in ("off", "warn"):
+        repair_opts = PipelineOptions(repair=repair)
+        best = None
+        for _ in range(rounds):
+            _, _, seconds = _timed_extract(ab_trace, repair_opts)
+            best = seconds if best is None else min(best, seconds)
+        ro_timings[repair] = best
+    ro_overhead = (ro_timings["warn"] / ro_timings["off"]
+                   if ro_timings["off"] > 0 else 1.0)
+    say(f"repair overhead @ {largest} chares: off={ro_timings['off']:.2f}s "
+        f"warn={ro_timings['warn']:.2f}s ({ro_overhead:.2f}x)")
+
     record = {
         "schema_version": 1,
         "quick": quick,
@@ -180,6 +196,13 @@ def run_benchmarks(quick: bool = False, verbose: bool = True) -> dict:
                 timings.get("columnar", timings["python"]), 6),
             "speedup": round(speedup, 4),
             "identical": identical,
+        },
+        "repair_overhead": {
+            "chares": largest,
+            "events": len(ab_trace.events),
+            "off_seconds": round(ro_timings["off"], 6),
+            "warn_seconds": round(ro_timings["warn"], 6),
+            "overhead": round(ro_overhead, 4),
         },
     }
     return record

@@ -39,8 +39,15 @@ from repro.core.pipeline import (
     extract_logical_structure,
 )
 from repro.core.structure import LogicalStructure, Phase
+from repro.trace.faults import (
+    FAULT_KINDS,
+    fault_corpus,
+    inject_fault,
+    inject_faults,
+)
 from repro.trace.model import Trace, TraceBuilder
 from repro.trace.reader import read_trace
+from repro.trace.repair import RepairReport, detect_defects, repair_trace
 from repro.trace.validate import validate_trace
 from repro.trace.writer import write_trace
 from repro.verify import (
@@ -56,10 +63,12 @@ __all__ = [
     "BatchExtractor",
     "BatchReport",
     "BatchResult",
+    "FAULT_KINDS",
     "LogicalStructure",
     "Phase",
     "PipelineOptions",
     "PipelineStats",
+    "RepairReport",
     "StageHook",
     "StageRecorder",
     "StrictVerifier",
@@ -67,9 +76,14 @@ __all__ = [
     "Trace",
     "TraceBuilder",
     "check_structure",
+    "detect_defects",
     "extract",
     "extract_logical_structure",
+    "fault_corpus",
+    "inject_fault",
+    "inject_faults",
     "read_trace",
+    "repair_trace",
     "run_differential",
     "trace_digest",
     "validate_trace",

@@ -11,15 +11,20 @@ table.  This module adds the batch driver behind ``repro batch``:
 * :class:`StructureCache` — maps ``(trace digest, resolved options)`` to
   the extraction summary, in memory and optionally persisted as JSON
   files in a cache directory so repeated campaign runs skip clean work.
-* :class:`BatchExtractor` — fans sources across a
-  :class:`~concurrent.futures.ProcessPoolExecutor`, captures per-trace
-  timing and failures (one bad trace never aborts the batch), and
-  returns results in input order regardless of completion order.
+  Persistent entries are written atomically (temp file + ``os.replace``)
+  so a killed or concurrent run can never leave a torn entry behind.
+* :class:`BatchExtractor` — fans sources across worker processes,
+  captures per-trace timing and failures (one bad trace never aborts the
+  batch), and returns results in input order regardless of completion
+  order.  Each worker runs under an optional wall-clock ``timeout`` with
+  ``retries``/exponential-backoff; a worker that hangs is killed and a
+  worker that dies (OOM kill, segfault) marks its trace failed instead
+  of stalling the batch.
 
 Summaries, not structures, are cached: the cache answers "what did this
-trace extract to" (phase/step counts, timings) for campaign bookkeeping;
-callers that need the full :class:`~repro.core.structure.LogicalStructure`
-re-extract.
+trace extract to" (phase/step counts, timings, repair report) for
+campaign bookkeeping; callers that need the full
+:class:`~repro.core.structure.LogicalStructure` re-extract.
 """
 
 from __future__ import annotations
@@ -27,12 +32,16 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import multiprocessing as _mp
+import os
 import struct
 import time as _time
-from concurrent.futures import ProcessPoolExecutor
+import uuid
+from collections import deque
 from dataclasses import dataclass, field
+from multiprocessing import connection as _mp_connection
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.pipeline import (
     PipelineOptions,
@@ -40,18 +49,34 @@ from repro.core.pipeline import (
     extract_logical_structure,
 )
 from repro.core.structure import LogicalStructure
+from repro.trace.events import NO_ID
 from repro.trace.model import Trace
 from repro.trace.reader import read_trace
 
 TraceSource = Union[str, Path, Trace]
 
 
+def _int(value) -> int:
+    """Hashable integer form of an id-ish field (None → a sentinel)."""
+    return -(1 << 40) if value is None else int(value)
+
+
+def _update_str(h, text: Optional[str]) -> None:
+    """Hash a string field unambiguously (length-prefixed utf-8)."""
+    data = ("" if text is None else text).encode("utf-8", "replace")
+    h.update(struct.pack("<q", len(data)))
+    h.update(data)
+
+
 def trace_digest(source: TraceSource) -> str:
     """Content key of a trace source (sha256 hex digest).
 
-    Path sources hash the raw file bytes; in-memory traces hash the
-    struct-packed fields of every record that can influence extraction
-    (events, messages, executions, entries, chares, metadata).
+    Path sources hash the raw file bytes; in-memory traces hash every
+    extraction-relevant field of every record — events, messages,
+    executions, idle intervals, the chare/entry/array registries
+    (including names, ``home_pe``, shapes), ``num_pes``, and metadata.
+    Two traces differing in any field the pipeline or its metrics can
+    observe must never collide on one key.
     """
     h = hashlib.sha256()
     if isinstance(source, (str, Path)):
@@ -61,23 +86,34 @@ def trace_digest(source: TraceSource) -> str:
         return h.hexdigest()
     trace = source
     h.update(struct.pack(
-        "<5q", len(trace.events), len(trace.messages),
+        "<8q", len(trace.events), len(trace.messages),
         len(trace.executions), len(trace.chares), len(trace.entries),
+        len(trace.arrays), len(trace.idles), _int(trace.num_pes),
     ))
     for e in trace.events:
-        h.update(struct.pack("<4qd", int(e.kind), e.chare, e.pe,
-                             e.execution, e.time))
+        h.update(struct.pack("<4qd", _int(e.kind), _int(e.chare),
+                             _int(e.pe), _int(e.execution), e.time))
     for m in trace.messages:
-        h.update(struct.pack("<2q", m.send_event, m.recv_event))
+        h.update(struct.pack("<2q", _int(m.send_event), _int(m.recv_event)))
     for x in trace.executions:
-        h.update(struct.pack("<4q2d", x.chare, x.entry, x.pe,
-                             x.recv_event, x.start, x.end))
+        h.update(struct.pack("<4q2d", _int(x.chare), _int(x.entry),
+                             _int(x.pe), _int(x.recv_event), x.start, x.end))
     for c in trace.chares:
-        h.update(struct.pack("<2q?", c.id, c.array_id, c.is_runtime))
+        h.update(struct.pack("<3q?", _int(c.id), _int(c.array_id),
+                             _int(c.home_pe), bool(c.is_runtime)))
         h.update(struct.pack(f"<{len(c.index)}q", *c.index))
+        _update_str(h, c.name)
     for ent in trace.entries:
-        h.update(struct.pack("<q?q", ent.id, ent.is_sdag_serial,
-                             ent.sdag_ordinal))
+        h.update(struct.pack("<q?q", _int(ent.id), bool(ent.is_sdag_serial),
+                             _int(ent.sdag_ordinal)))
+        _update_str(h, ent.name)
+        _update_str(h, ent.chare_type)
+    for arr in trace.arrays:
+        h.update(struct.pack(f"<2q{len(arr.shape)}q", _int(arr.id),
+                             len(arr.shape), *arr.shape))
+        _update_str(h, arr.name)
+    for idle in trace.idles:
+        h.update(struct.pack("<q2d", _int(idle.pe), idle.start, idle.end))
     h.update(repr(sorted(trace.metadata.items())).encode())
     return h.hexdigest()
 
@@ -88,7 +124,8 @@ def options_token(options: PipelineOptions) -> str:
     Hooks and the verify switch instrument the run without changing the
     result, so they are excluded; ``backend`` is resolved so "auto" keys
     the same as the backend it picks (both produce bit-identical output,
-    but the token records what actually ran).
+    but the token records what actually ran).  ``repair`` changes the
+    result and is therefore part of the token.
     """
     fields = {
         f.name: getattr(options, f.name)
@@ -104,7 +141,11 @@ class StructureCache:
 
     In-memory always; with ``directory`` set, each entry is also written
     as ``<key>.json`` so later processes (and later campaign runs) reuse
-    it.  Corrupt or unreadable cache files count as misses.
+    it.  Writes go to a temp file in the cache directory and are moved
+    into place with :func:`os.replace`, so readers only ever see absent
+    or complete entries — never a torn one, even with concurrent writers
+    or a run killed mid-write.  Corrupt or unreadable cache files count
+    as misses.
     """
 
     def __init__(self, directory: Optional[Union[str, Path]] = None):
@@ -141,13 +182,25 @@ class StructureCache:
         self._memory[key] = summary
         if self.directory is not None:
             path = self.directory / f"{key}.json"
-            path.write_text(json.dumps(summary, sort_keys=True))
+            # Unique temp name per write: concurrent writers (threads or
+            # processes) must never share one, or a replace can race a
+            # half-written file into place.
+            tmp = self.directory / f".{key}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
+            try:
+                tmp.write_text(json.dumps(summary, sort_keys=True))
+                os.replace(tmp, path)
+            finally:
+                if tmp.exists():  # replace failed midway: don't litter
+                    try:
+                        tmp.unlink()
+                    except OSError:
+                        pass
 
 
 def structure_summary(structure: LogicalStructure,
                       stats: PipelineStats) -> dict:
     """The cached/reported extract of one pipeline run."""
-    return {
+    summary = {
         "phases": len(structure.phases),
         "events": len(structure.trace.events),
         "stepped_events": sum(1 for s in structure.step_of_event if s >= 0),
@@ -157,6 +210,9 @@ def structure_summary(structure: LogicalStructure,
         "stage_seconds": dict(stats.stage_seconds),
         "total_seconds": stats.total_seconds,
     }
+    if stats.repair is not None:
+        summary["repair"] = stats.repair
+    return summary
 
 
 def _worker_options(options: PipelineOptions) -> dict:
@@ -189,6 +245,17 @@ def _extract_one(source: TraceSource, option_fields: dict):
         return False, {}, error, _time.perf_counter() - t0
 
 
+def _pipe_worker(conn, source: TraceSource, option_fields: dict) -> None:
+    """Child-process entry: run :func:`_extract_one`, ship the outcome."""
+    try:
+        conn.send(_extract_one(source, option_fields))
+    except Exception:
+        # The parent treats a silent exit as a crash; nothing else to do.
+        pass
+    finally:
+        conn.close()
+
+
 @dataclass
 class BatchResult:
     """Outcome of one source in a batch run."""
@@ -199,6 +266,10 @@ class BatchResult:
     summary: dict = field(default_factory=dict)
     error: str = ""
     cached: bool = False
+    #: Extraction attempts consumed (1 unless timeouts/crashes retried).
+    attempts: int = 1
+    #: True when the final attempt was killed for exceeding the timeout.
+    timed_out: bool = False
 
     def to_dict(self) -> dict:
         return {
@@ -208,6 +279,8 @@ class BatchResult:
             "summary": self.summary,
             "error": self.error,
             "cached": self.cached,
+            "attempts": self.attempts,
+            "timed_out": self.timed_out,
         }
 
 
@@ -229,6 +302,10 @@ class BatchReport:
     def failures(self) -> List[BatchResult]:
         return [r for r in self.results if not r.ok]
 
+    @property
+    def timeouts(self) -> List[BatchResult]:
+        return [r for r in self.results if r.timed_out]
+
     def to_dict(self) -> dict:
         return {
             "ok": self.ok,
@@ -236,6 +313,7 @@ class BatchReport:
             "total_seconds": self.total_seconds,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "timeouts": len(self.timeouts),
             "results": [r.to_dict() for r in self.results],
         }
 
@@ -244,16 +322,137 @@ class BatchExtractor:
     """Extract many traces, in parallel, with per-trace failure capture.
 
     ``jobs`` ≤ 1 runs serially in-process (deterministic debugging path);
-    larger values fan out across a process pool.  Either way results come
-    back in input order and are bit-identical to serial runs — workers
-    run the same pipeline on the same options.
+    larger values fan out across worker processes.  Either way results
+    come back in input order and are bit-identical to serial runs —
+    workers run the same pipeline on the same options.
+
+    ``timeout`` (seconds of wall clock per attempt) bounds each worker;
+    an attempt that exceeds it is killed.  Killed or crashed attempts are
+    retried up to ``retries`` times with exponential backoff
+    (``backoff * 2**attempt`` seconds between attempts) before the trace
+    is reported as a failure row.  Setting a timeout forces the
+    process-based path even for ``jobs=1`` — killing a hung extraction
+    requires a separate process.
     """
 
     def __init__(self, options: Optional[PipelineOptions] = None,
-                 jobs: int = 1, cache: Optional[StructureCache] = None):
+                 jobs: int = 1, cache: Optional[StructureCache] = None,
+                 timeout: Optional[float] = None, retries: int = 0,
+                 backoff: float = 0.5):
         self.options = options if options is not None else PipelineOptions()
         self.jobs = max(1, int(jobs))
         self.cache = cache
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = max(0.0, float(backoff))
+
+    # ------------------------------------------------------------------
+    # Process scheduler: timeouts, retries, crash containment
+    # ------------------------------------------------------------------
+    def _run_processes(self, sources: List[TraceSource],
+                       pending: List[int], option_fields: dict) -> Dict[int, tuple]:
+        """Run pending extractions in worker processes.
+
+        Maintains up to ``jobs`` live workers, each with its own result
+        pipe and deadline.  Returns ``{index: (ok, summary, error,
+        seconds, timed_out, attempts)}``.
+        """
+        ctx = _mp.get_context()
+        waiting: Deque[Tuple[int, int]] = deque((i, 0) for i in pending)
+        delayed: List[Tuple[float, int, int]] = []  # (not_before, idx, attempt)
+        active: Dict[object, Tuple[int, int, Optional[float], object, float]] = {}
+        outcomes: Dict[int, tuple] = {}
+
+        def finish(i: int, attempt: int, ok: bool, summary: dict,
+                   error: str, seconds: float, timed_out: bool) -> None:
+            outcomes[i] = (ok, summary, error, seconds, timed_out, attempt + 1)
+
+        def retry_or_fail(i: int, attempt: int, error: str,
+                          seconds: float, timed_out: bool) -> None:
+            if attempt < self.retries:
+                not_before = _time.monotonic() + self.backoff * (2 ** attempt)
+                delayed.append((not_before, i, attempt + 1))
+            else:
+                finish(i, attempt, False, {}, error, seconds, timed_out)
+
+        def reap(proc, parent) -> None:
+            proc.join()
+            parent.close()
+            del active[proc]
+
+        while waiting or delayed or active:
+            now = _time.monotonic()
+            for item in [d for d in delayed if d[0] <= now]:
+                delayed.remove(item)
+                waiting.append((item[1], item[2]))
+
+            while waiting and len(active) < self.jobs:
+                i, attempt = waiting.popleft()
+                parent, child = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_pipe_worker,
+                    args=(child, sources[i], option_fields),
+                    daemon=True,
+                )
+                try:
+                    proc.start()
+                except Exception as exc:  # unpicklable source, fork failure
+                    parent.close()
+                    child.close()
+                    finish(i, attempt, False, {},
+                           f"{type(exc).__name__}: {exc}", 0.0, False)
+                    continue
+                child.close()
+                started = _time.monotonic()
+                deadline = (None if self.timeout is None
+                            else started + self.timeout)
+                active[proc] = (i, attempt, deadline, parent, started)
+
+            if not active:
+                if delayed:  # backing off: sleep until the nearest retry
+                    pause = min(d[0] for d in delayed) - _time.monotonic()
+                    if pause > 0:
+                        _time.sleep(min(pause, 0.05))
+                continue
+
+            _mp_connection.wait([rec[3] for rec in active.values()],
+                                timeout=0.05)
+            for proc in list(active):
+                i, attempt, deadline, parent, started = active[proc]
+                elapsed = _time.monotonic() - started
+                alive = proc.is_alive()
+                outcome = None
+                if parent.poll():  # result arrived (maybe just before death)
+                    try:
+                        outcome = parent.recv()
+                    except (EOFError, OSError):
+                        outcome = None
+                if outcome is not None:
+                    reap(proc, parent)
+                    ok, summary, error, seconds = outcome
+                    finish(i, attempt, ok, summary, error, seconds, False)
+                elif not alive:
+                    code = proc.exitcode
+                    reap(proc, parent)
+                    retry_or_fail(
+                        i, attempt,
+                        f"WorkerCrash: worker exited with code {code} "
+                        f"before returning a result", elapsed, False)
+                elif deadline is not None and _time.monotonic() > deadline:
+                    proc.terminate()
+                    proc.join(1.0)
+                    if proc.is_alive():
+                        proc.kill()
+                        proc.join()
+                    parent.close()
+                    del active[proc]
+                    retry_or_fail(
+                        i, attempt,
+                        f"Timeout: attempt {attempt + 1} exceeded "
+                        f"{self.timeout:g}s wall clock", elapsed, True)
+        return outcomes
 
     def run(self, sources: Sequence[TraceSource]) -> BatchReport:
         t0 = _time.perf_counter()
@@ -282,23 +481,22 @@ class BatchExtractor:
             pending.append(i)
 
         option_fields = _worker_options(self.options)
-        if self.jobs > 1 and len(pending) > 1:
-            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                futures = {
-                    i: pool.submit(_extract_one, sources[i], option_fields)
-                    for i in pending
-                }
-                outcomes = {i: f.result() for i, f in futures.items()}
+        use_processes = (self.timeout is not None
+                         or (self.jobs > 1 and len(pending) > 1))
+        if use_processes:
+            outcomes = self._run_processes(sources, pending, option_fields)
         else:
             outcomes = {
-                i: _extract_one(sources[i], option_fields) for i in pending
+                i: _extract_one(sources[i], option_fields) + (False, 1)
+                for i in pending
             }
 
         for i in pending:
-            ok, summary, error, seconds = outcomes[i]
+            ok, summary, error, seconds, timed_out, attempts = outcomes[i]
             label = (str(sources[i]) if isinstance(sources[i], (str, Path))
                      else f"<trace {getattr(sources[i], 'name', i)}>")
-            results[i] = BatchResult(label, ok, seconds, summary, error, False)
+            results[i] = BatchResult(label, ok, seconds, summary, error,
+                                     False, attempts, timed_out)
             if ok and self.cache is not None and i in keys:
                 self.cache.put(keys[i], summary)
 

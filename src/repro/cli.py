@@ -17,7 +17,7 @@ import json
 import sys
 from typing import List, Optional
 
-from repro.core import PipelineOptions, extract_logical_structure
+from repro.core import PipelineOptions, PipelineStats, extract_logical_structure
 from repro.core.patterns import kind_sequence, repeating_unit
 from repro.trace import read_trace, validate_trace, write_trace
 from repro.trace.clocksync import count_violations, synchronize_trace
@@ -52,6 +52,10 @@ def add_pipeline_options(parser: argparse.ArgumentParser) -> None:
                         default="auto",
                         help="pipeline kernels: columnar (NumPy) or pure "
                              "python; auto picks columnar when available")
+    parser.add_argument("--repair", choices=["off", "warn", "fix"],
+                        default="off",
+                        help="pre-extraction trace repair: warn reports "
+                             "defects, fix repairs what is safely repairable")
 
 
 def pipeline_options_from_args(args: argparse.Namespace) -> PipelineOptions:
@@ -59,6 +63,7 @@ def pipeline_options_from_args(args: argparse.Namespace) -> PipelineOptions:
     return PipelineOptions(
         mode=args.mode, order=args.order, infer=args.infer,
         tie_break=args.tie_break, backend=args.backend,
+        repair=args.repair,
     )
 
 
@@ -109,7 +114,8 @@ def _load(path: str):
 def cmd_analyze(args: argparse.Namespace) -> int:
     trace = _load(args.trace)
     options = pipeline_options_from_args(args)
-    structure = extract_logical_structure(trace, options=options)
+    stats = PipelineStats()
+    structure = extract_logical_structure(trace, options=options, stats=stats)
 
     metric_map = None
     if args.metric:
@@ -131,10 +137,17 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         from repro.viz import structure_to_json
 
         payload = {} if metric_map is None else {args.metric: metric_map}
-        print(structure_to_json(structure, payload or None))
+        doc = json.loads(structure_to_json(structure, payload or None))
+        if stats.repair is not None:
+            doc["repair"] = stats.repair
+        print(json.dumps(doc, indent=1))
         return 0
 
     print(structure.summary())
+    if stats.repair is not None:
+        from repro.trace.repair import RepairReport
+
+        print(f"repair: {RepairReport.from_dict(stats.repair).summary()}")
     print(f"phase kinds: {kind_sequence(structure)}")
     unit = repeating_unit(structure, min_repeats=2)
     if unit:
@@ -330,24 +343,91 @@ def cmd_batch(args: argparse.Namespace) -> int:
     extractor = BatchExtractor(
         options=pipeline_options_from_args(args),
         jobs=args.jobs, cache=cache,
+        timeout=args.timeout, retries=args.retries, backoff=args.backoff,
     )
     report = extractor.run(args.traces)
     if args.json:
         print(json.dumps(report.to_dict(), indent=1))
     else:
         for r in report.results:
+            retried = f" ({r.attempts} attempts)" if r.attempts > 1 else ""
             if r.ok:
                 tag = "cached" if r.cached else f"{r.seconds * 1e3:7.1f}ms"
-                print(f"ok   {r.source:40s} {tag:>10s} "
-                      f"phases={r.summary.get('phases', '?')} "
-                      f"steps={int(r.summary.get('max_step', -1)) + 1}")
+                line = (f"ok   {r.source:40s} {tag:>10s} "
+                        f"phases={r.summary.get('phases', '?')} "
+                        f"steps={int(r.summary.get('max_step', -1)) + 1}"
+                        f"{retried}")
+                repair = r.summary.get("repair")
+                if repair and not repair.get("clean", True):
+                    line += f" repair={_repair_tag(repair)}"
+                print(line)
             else:
-                print(f"FAIL {r.source:40s} {r.error}")
+                print(f"FAIL {r.source:40s} {r.error}{retried}")
         done = sum(1 for r in report.results if r.ok)
+        timeouts = len(report.timeouts)
+        timed = f", {timeouts} timed out" if timeouts else ""
         print(f"{done}/{len(report.results)} traces extracted "
-              f"({report.cache_hits} cached) in {report.total_seconds:.2f}s "
-              f"with {report.jobs} job(s)")
+              f"({report.cache_hits} cached{timed}) in "
+              f"{report.total_seconds:.2f}s with {report.jobs} job(s)")
     return 0 if report.ok else 1
+
+
+def _repair_tag(repair: dict) -> str:
+    """Compact per-row repair annotation for batch table output."""
+    detected = sum(repair.get("detected", {}).values())
+    residual = sum(repair.get("residual", {}).values())
+    if repair.get("mode") == "warn":
+        return f"{detected} defect(s) detected"
+    return f"{detected} detected/{residual} residual"
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    from repro.trace.faults import FAULT_KINDS, fault_corpus, inject_faults
+    from repro.trace.repair import detect_defects
+
+    trace = _load(args.trace)
+    report: dict = {"source": args.trace, "seed": args.seed,
+                    "severity": args.severity, "variants": {}}
+
+    if args.corpus is not None:
+        from pathlib import Path
+
+        out_dir = Path(args.corpus)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        stem = Path(args.trace).stem
+        kinds = args.kind or list(FAULT_KINDS)
+        for kind, bad in fault_corpus(trace, kinds, seed=args.seed,
+                                      severity=args.severity).items():
+            path = out_dir / f"{stem}.{kind}.jsonl"
+            write_trace(bad, path)
+            report["variants"][kind] = {
+                "output": str(path),
+                "defects": detect_defects(bad),
+            }
+            if not args.json:
+                print(f"wrote {path}: {bad}")
+    else:
+        if not args.kind:
+            print("faults: provide --kind (repeatable) or --corpus DIR",
+                  file=sys.stderr)
+            return 2
+        bad = inject_faults(trace, args.kind, seed=args.seed,
+                            severity=args.severity)
+        write_trace(bad, args.output)
+        report["variants"]["+".join(args.kind)] = {
+            "output": args.output,
+            "defects": detect_defects(bad),
+        }
+        if not args.json:
+            print(f"wrote {args.output}: {bad}")
+
+    if args.json:
+        print(json.dumps(report, indent=1))
+    elif not args.corpus:
+        defects = next(iter(report["variants"].values()))["defects"]
+        det = ", ".join(f"{k}={v}" for k, v in sorted(defects.items()))
+        print(f"defects: [{det or 'none detected'}]")
+    return 0
 
 
 def cmd_sync(args: argparse.Namespace) -> int:
@@ -440,7 +520,36 @@ def build_parser() -> argparse.ArgumentParser:
                           "digest + options; clean reruns are skipped")
     bat.add_argument("--json", action="store_true",
                      help="emit the machine-readable batch report")
+    bat.add_argument("--timeout", type=float, default=None,
+                     help="per-trace wall-clock seconds; a worker exceeding "
+                          "it is killed (forces process workers)")
+    bat.add_argument("--retries", type=int, default=0,
+                     help="re-run a timed-out/crashed trace up to N times")
+    bat.add_argument("--backoff", type=float, default=0.5,
+                     help="base seconds between retries (doubles per attempt)")
     bat.set_defaults(func=cmd_batch)
+
+    flt = sub.add_parser(
+        "faults",
+        help="derive corrupted trace variants for robustness testing",
+    )
+    flt.add_argument("trace")
+    flt.add_argument("--kind", action="append", default=None,
+                     choices=["truncate", "drop_messages", "dup_messages",
+                              "orphan_recv", "negative_duration",
+                              "clock_skew"],
+                     help="fault to inject (repeat to compound; "
+                          "default with --corpus: all kinds)")
+    flt.add_argument("-o", "--output", default="faulted.jsonl",
+                     help="output path for single-variant mode")
+    flt.add_argument("--corpus", default=None, metavar="DIR",
+                     help="write one variant per kind into DIR")
+    flt.add_argument("--seed", type=int, default=0)
+    flt.add_argument("--severity", type=float, default=0.25,
+                     help="damage fraction in [0, 1]")
+    flt.add_argument("--json", action="store_true",
+                     help="emit variant paths and detected-defect counts")
+    flt.set_defaults(func=cmd_faults)
 
     exp = sub.add_parser("experiments",
                          help="run the paper's experiments (scaled)")

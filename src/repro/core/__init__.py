@@ -14,11 +14,16 @@ The result is a :class:`repro.core.structure.LogicalStructure`, consumed by
 :mod:`repro.metrics` and :mod:`repro.viz`.
 """
 
-from repro.core.pipeline import PipelineOptions, extract_logical_structure
+from repro.core.pipeline import (
+    PipelineOptions,
+    PipelineStats,
+    extract_logical_structure,
+)
 from repro.core.structure import LogicalStructure, Phase
 
 __all__ = [
     "PipelineOptions",
+    "PipelineStats",
     "extract_logical_structure",
     "LogicalStructure",
     "Phase",

@@ -76,6 +76,13 @@ class PipelineOptions:
     #: that asserts stage postconditions and runs the full invariant suite
     #: on the result, raising ``InvariantViolationError`` on any failure.
     verify: bool = False
+    #: Ingestion hardening (:mod:`repro.trace.repair`): "off" trusts the
+    #: trace (historical behavior), "warn" detects defects and reports
+    #: them (RuntimeWarning + ``PipelineStats.repair``) without touching
+    #: the trace, "fix" repairs what is safely repairable and extracts
+    #: from the repaired trace.  Affects the result, so it is part of the
+    #: batch cache key.
+    repair: str = "off"
 
     def resolve_mode(self, trace: Trace) -> str:
         if self.mode != "auto":
@@ -122,6 +129,9 @@ class PipelineStats:
     total_seconds: float = 0.0
     #: Concrete backend the run used ("columnar" or "python").
     backend: str = ""
+    #: :meth:`repro.trace.repair.RepairReport.to_dict` of the ingestion
+    #: repair pass, or None when ``options.repair == "off"``.
+    repair: Optional[Dict[str, object]] = None
 
 
 def extract_logical_structure(
@@ -154,6 +164,8 @@ def extract_logical_structure(
         opts = PipelineOptions(**kwargs)
     if opts.order not in ("reordered", "physical"):
         raise ValueError(f"unknown order {opts.order!r}")
+    if opts.repair not in ("off", "warn", "fix"):
+        raise ValueError(f"unknown repair mode {opts.repair!r}")
     mode = opts.resolve_mode(trace)
     backend = opts.resolve_backend()
     stats = stats if stats is not None else PipelineStats()
@@ -182,10 +194,22 @@ def extract_logical_structure(
             )
         return now
 
+    # Stage 0: ingestion hardening (repro.trace.repair).  "warn" detects
+    # and reports; "fix" also extracts from the repaired trace.  Runs
+    # before anything reads the trace so every later stage (and the
+    # returned structure) sees the repaired records.
+    t = t0
+    if opts.repair != "off":
+        from repro.trace.repair import repair_trace, warn_on_defects
+
+        trace, repair_report = repair_trace(trace, mode=opts.repair)
+        stats.repair = repair_report.to_dict()
+        warn_on_defects(repair_report, stacklevel=3)
+        t = _stage("repair", t)
+
     # Stage 1: initial partitions.  Reordered MPI stepping relaxes the
     # per-process chain so receives can float to their logical wave
     # (Section 3.2.1, Figure 10).
-    t = t0
     relaxed = mode == "mpi" and opts.order == "reordered"
     if backend == "columnar":
         from repro.core import columnar as _col

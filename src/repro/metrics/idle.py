@@ -7,11 +7,17 @@ invocation) started *before the idle span ended* was also effectively
 waiting through the idle, so it experiences it too.  Propagation stops at
 the first block whose dependency arose after the idle ended (or whose
 dependency is unknown).
+
+"Directly after" means the first block starting at or after the idle's
+*start*: a block that begins inside the idle span (the tracer closes idle
+intervals at a grain coarser than block starts) is the block the idle was
+waiting on and must not be skipped — cutting at ``idle.end`` instead
+silently dropped those charges.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -66,7 +72,7 @@ def idle_experienced(structure: LogicalStructure) -> IdleExperienced:
             span = idle.duration()
             if span <= 0:
                 continue
-            pos = bisect_left(starts, idle.end)
+            pos = bisect_right(starts, idle.start)
             first = True
             while pos < len(ids):
                 block = blocks[ids[pos]]

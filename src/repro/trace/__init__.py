@@ -20,8 +20,20 @@ from repro.trace.events import (
     Message,
     NO_ID,
 )
+from repro.trace.faults import (
+    FAULT_KINDS,
+    fault_corpus,
+    inject_fault,
+    inject_faults,
+)
 from repro.trace.model import Trace, TraceBuilder
 from repro.trace.reader import read_trace
+from repro.trace.repair import (
+    RepairReport,
+    TraceRepairError,
+    detect_defects,
+    repair_trace,
+)
 from repro.trace.validate import TraceValidationError, validate_trace
 from repro.trace.writer import write_trace
 
@@ -32,13 +44,21 @@ __all__ = [
     "EntryMethod",
     "EventKind",
     "Execution",
+    "FAULT_KINDS",
     "IdleInterval",
     "Message",
     "NO_ID",
+    "RepairReport",
     "Trace",
     "TraceBuilder",
+    "TraceRepairError",
     "TraceValidationError",
+    "detect_defects",
+    "fault_corpus",
+    "inject_fault",
+    "inject_faults",
     "read_trace",
+    "repair_trace",
     "validate_trace",
     "write_trace",
 ]

@@ -1,0 +1,271 @@
+"""Fault injection: derive corrupted variants of any trace.
+
+Real campaign data is messy in ways the simulators never are — logs cut
+off mid-write, tracers drop or double-deliver message records, serial
+blocks lose their begin/end pairing, per-node clocks drift apart.  This
+module turns a well-formed :class:`~repro.trace.model.Trace` into a
+corrupted one exhibiting exactly one (or several) of those defects, so
+the repair layer (:mod:`repro.trace.repair`), the batch driver, and the
+test suite can exercise ingestion against realistic damage instead of
+hoping it never happens.
+
+Every injector is deterministic given ``seed`` and keeps the result
+*constructible*: record ids stay dense and message endpoints stay
+in-range (the :class:`Trace` index builder requires both), but the
+referential and physical invariants checked by
+:func:`repro.trace.validate.validate_trace` are deliberately broken.
+
+Fault kinds (:data:`FAULT_KINDS`):
+
+``truncate``
+    Cut the record stream at a time quantile: executions starting after
+    the cutoff vanish, as do their events; surviving executions whose
+    triggering RECV record was lost keep a *stale* ``recv_event`` id —
+    the dangling-reference shape of a log killed mid-write.
+``drop_messages``
+    Lose a fraction of message records; both endpoints become untraced
+    events (legal but structure-degrading — dependencies disappear).
+``dup_messages``
+    Double-deliver a fraction of complete messages, violating the
+    one-message-per-receive invariant (``recv-unique``).
+``orphan_recv``
+    Lose a fraction of execution records; their dependency events become
+    orphans (``execution == NO_ID``) — receives with no serial block.
+``negative_duration``
+    Corrupt a fraction of executions so ``end`` precedes ``start``
+    (a lost/garbled end record), leaving their events outside the span.
+``clock_skew``
+    Shift every PE's clock by a random offset proportional to the trace
+    span, producing receive-before-send violations across PEs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.trace.events import NO_ID, EventKind
+from repro.trace.model import Trace, TraceBuilder
+
+
+def _builder_with_registries(trace: Trace) -> TraceBuilder:
+    """A new builder carrying the trace's registries and metadata."""
+    b = TraceBuilder(num_pes=trace.num_pes, metadata=dict(trace.metadata))
+    for entry in trace.entries:
+        b.add_entry(entry.name, entry.chare_type, entry.is_sdag_serial,
+                    entry.sdag_ordinal)
+    for arr in trace.arrays:
+        b.add_array(arr.name, arr.shape)
+    for chare in trace.chares:
+        b.add_chare(chare.name, chare.array_id, chare.index,
+                    chare.is_runtime, chare.home_pe)
+    return b
+
+
+def _rebuild(
+    trace: Trace,
+    keep_exec: Callable[[int], bool] = lambda x: True,
+    keep_event: Callable[[int], bool] = lambda e: True,
+    keep_message: Callable[[int], bool] = lambda m: True,
+    exec_span: Optional[Dict[int, Tuple[float, float]]] = None,
+) -> Trace:
+    """Clone ``trace`` with records filtered and ids re-densified.
+
+    References to dropped records are remapped to :data:`NO_ID`.
+    Messages lose a dropped send endpoint (orphan receive) but are
+    dropped entirely when their receive endpoint is gone.
+    """
+    exec_span = exec_span or {}
+    b = _builder_with_registries(trace)
+
+    exec_map: Dict[int, int] = {}
+    for ex in trace.executions:
+        if not keep_exec(ex.id):
+            continue
+        start, end = exec_span.get(ex.id, (ex.start, ex.end))
+        exec_map[ex.id] = b.add_execution(ex.chare, ex.entry, ex.pe,
+                                          start, end, recv_event=NO_ID)
+
+    event_map: Dict[int, int] = {}
+    for ev in trace.events:
+        if not keep_event(ev.id):
+            continue
+        owner = exec_map.get(ev.execution, NO_ID)
+        event_map[ev.id] = b.add_event(ev.kind, ev.chare, ev.pe, ev.time,
+                                       owner)
+
+    for ex in trace.executions:
+        new_id = exec_map.get(ex.id)
+        if new_id is None or ex.recv_event == NO_ID:
+            continue
+        mapped = event_map.get(ex.recv_event)
+        if mapped is not None:
+            b.set_execution_recv(new_id, mapped)
+
+    for msg in trace.messages:
+        if not keep_message(msg.id):
+            continue
+        send = event_map.get(msg.send_event, NO_ID)
+        recv = event_map.get(msg.recv_event, NO_ID)
+        if msg.recv_event != NO_ID and recv == NO_ID:
+            continue  # the receive record is gone: nothing to anchor
+        if send == NO_ID and recv == NO_ID:
+            continue
+        b.add_message(send_event=send, recv_event=recv)
+
+    for idle in trace.idles:
+        b.add_idle(idle.pe, idle.start, idle.end)
+    return b.build()
+
+
+def _sample(rng: random.Random, ids: Sequence[int], severity: float) -> set:
+    """A random subset of ``ids``: ``severity`` fraction, at least one."""
+    if not ids:
+        return set()
+    k = max(1, int(round(len(ids) * min(max(severity, 0.0), 1.0))))
+    return set(rng.sample(list(ids), min(k, len(ids))))
+
+
+# ---------------------------------------------------------------------------
+# Injectors
+# ---------------------------------------------------------------------------
+def truncate(trace: Trace, rng: random.Random, severity: float) -> Trace:
+    """Cut the serialized record stream at a ``1 - severity`` fraction.
+
+    The on-disk format writes registries, then executions, events,
+    messages, and idles (:mod:`repro.trace.writer`); a log killed
+    mid-write keeps a prefix of that stream.  Record ids stay dense
+    (prefixes of id-ordered lists), but executions whose triggering RECV
+    record falls past the cut keep a *dangling* ``recv_event`` id, and
+    kept receives lose their message records — the reference damage the
+    repair layer exists to clean up.
+    """
+    n_x, n_e, n_m, n_i = (len(trace.executions), len(trace.events),
+                          len(trace.messages), len(trace.idles))
+    total = n_x + n_e + n_m + n_i
+    if total == 0:
+        return trace
+    keep = int(total * min(max(1.0 - severity, 0.0), 1.0))
+    keep = min(keep, total - 1)  # always lose at least the last record
+    k_x = min(n_x, keep)
+    k_e = min(n_e, max(0, keep - n_x))
+    k_m = min(n_m, max(0, keep - n_x - n_e))
+    k_i = max(0, keep - n_x - n_e - n_m)
+
+    b = _builder_with_registries(trace)
+    for ex in trace.executions[:k_x]:
+        # recv_event kept verbatim: ids >= k_e now dangle.
+        b.add_execution(ex.chare, ex.entry, ex.pe, ex.start, ex.end,
+                        recv_event=ex.recv_event)
+    for ev in trace.events[:k_e]:
+        b.add_event(ev.kind, ev.chare, ev.pe, ev.time, ev.execution)
+    for msg in trace.messages[:k_m]:
+        b.add_message(msg.send_event, msg.recv_event)
+    for idle in trace.idles[:k_i]:
+        b.add_idle(idle.pe, idle.start, idle.end)
+    return b.build()
+
+
+def drop_messages(trace: Trace, rng: random.Random, severity: float) -> Trace:
+    """Lose a fraction of message records (dependencies go untraced)."""
+    dropped = _sample(rng, [m.id for m in trace.messages], severity)
+    return _rebuild(trace, keep_message=lambda m: m not in dropped)
+
+
+def dup_messages(trace: Trace, rng: random.Random, severity: float) -> Trace:
+    """Double-deliver a fraction of complete messages (recv reuse)."""
+    complete = [m.id for m in trace.messages if m.is_complete()]
+    doubled = _sample(rng, complete, severity)
+    b = _builder_with_registries(trace)
+    # Nothing is dropped, so every id survives unchanged; replay the
+    # records verbatim plus one extra copy of each doubled message.
+    for ex in trace.executions:
+        b.add_execution(ex.chare, ex.entry, ex.pe, ex.start, ex.end,
+                        recv_event=ex.recv_event)
+    for ev in trace.events:
+        b.add_event(ev.kind, ev.chare, ev.pe, ev.time, ev.execution)
+    for msg in trace.messages:
+        b.add_message(msg.send_event, msg.recv_event)
+        if msg.id in doubled:
+            b.add_message(msg.send_event, msg.recv_event)
+    for idle in trace.idles:
+        b.add_idle(idle.pe, idle.start, idle.end)
+    return b.build()
+
+
+def orphan_recv(trace: Trace, rng: random.Random, severity: float) -> Trace:
+    """Lose a fraction of execution records, orphaning their events."""
+    if not trace.executions:
+        return trace
+    dropped = _sample(rng, [ex.id for ex in trace.executions], severity)
+    return _rebuild(trace, keep_exec=lambda x: x not in dropped)
+
+
+def negative_duration(trace: Trace, rng: random.Random,
+                      severity: float) -> Trace:
+    """Corrupt a fraction of executions so ``end`` precedes ``start``."""
+    positive = [ex.id for ex in trace.executions if ex.end > ex.start]
+    corrupted = _sample(rng, positive, severity)
+    spans = {
+        x: (trace.executions[x].start,
+            trace.executions[x].start
+            - (trace.executions[x].end - trace.executions[x].start))
+        for x in corrupted
+    }
+    return _rebuild(trace, exec_span=spans)
+
+
+def clock_skew(trace: Trace, rng: random.Random, severity: float) -> Trace:
+    """Shift each PE's clock by up to ``severity`` of the trace span."""
+    from repro.trace.clocksync import apply_clock_skew
+
+    span = max(trace.end_time(), 1.0)
+    offsets = [0.0] + [
+        rng.uniform(-1.0, 1.0) * severity * span
+        for _ in range(max(trace.num_pes - 1, 0))
+    ]
+    return apply_clock_skew(trace, offsets)
+
+
+#: Registry of injectors, keyed by the stable fault-kind name.
+FAULTS: Dict[str, Callable[[Trace, random.Random, float], Trace]] = {
+    "truncate": truncate,
+    "drop_messages": drop_messages,
+    "dup_messages": dup_messages,
+    "orphan_recv": orphan_recv,
+    "negative_duration": negative_duration,
+    "clock_skew": clock_skew,
+}
+
+#: Stable, ordered fault-kind names (the ``repro faults`` choices).
+FAULT_KINDS: Tuple[str, ...] = tuple(FAULTS)
+
+
+def inject_fault(trace: Trace, kind: str, seed: int = 0,
+                 severity: float = 0.25) -> Trace:
+    """Return a corrupted copy of ``trace`` exhibiting one fault kind."""
+    if kind not in FAULTS:
+        raise ValueError(
+            f"unknown fault kind {kind!r}; known: {', '.join(FAULT_KINDS)}"
+        )
+    # String seeding hashes via sha512 — stable across interpreter runs
+    # (tuple seeding would go through salted hash()).
+    rng = random.Random(f"{seed}:{kind}")
+    return FAULTS[kind](trace, rng, severity)
+
+
+def inject_faults(trace: Trace, kinds: Iterable[str], seed: int = 0,
+                  severity: float = 0.25) -> Trace:
+    """Apply several fault kinds in sequence (compound damage)."""
+    for kind in kinds:
+        trace = inject_fault(trace, kind, seed=seed, severity=severity)
+    return trace
+
+
+def fault_corpus(trace: Trace, kinds: Optional[Sequence[str]] = None,
+                 seed: int = 0, severity: float = 0.25) -> Dict[str, Trace]:
+    """One corrupted variant per fault kind — the standard test corpus."""
+    return {
+        kind: inject_fault(trace, kind, seed=seed, severity=severity)
+        for kind in (kinds if kinds is not None else FAULT_KINDS)
+    }

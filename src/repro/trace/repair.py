@@ -1,0 +1,350 @@
+"""Trace defect detection and repair (the ingestion-hardening pass).
+
+Extraction assumes the physical-realizability invariants that
+:func:`repro.trace.validate.validate_trace` checks; real traces break
+them (see :mod:`repro.trace.faults` for the taxonomy).  This module sits
+between ingestion and the pipeline:
+
+* :func:`detect_defects` counts every violated invariant plus the
+  defects the validator deliberately tolerates (orphan events);
+* :func:`repair_trace` applies the *safe* subset of repairs — resetting
+  dangling references, dropping orphans and duplicate deliveries,
+  clamping corrupted execution spans, re-synchronizing skewed clocks —
+  and reports everything it saw and did as a :class:`RepairReport`.
+
+Repair is conservative by design: an action is taken only when it cannot
+invent information (a dangling reference is provably wrong; a plausible
+but unmatched message is left alone).  Defects with no safe repair are
+surfaced in :attr:`RepairReport.residual` rather than guessed at.
+
+The pipeline runs this pass when ``PipelineOptions.repair`` is ``"warn"``
+(detect and report only) or ``"fix"`` (detect, repair, re-detect);
+``"off"`` preserves the historical garbage-in/garbage-out behavior.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.trace.events import NO_ID, EventKind
+from repro.trace.model import Trace, TraceBuilder
+from repro.trace.validate import Violation, collect_trace_problems
+
+#: Repair modes accepted by ``PipelineOptions.repair``.
+REPAIR_MODES = ("off", "warn", "fix")
+
+#: Detection → applied-repair rounds before giving up on convergence
+#: (each round can expose defects the previous one masked).
+MAX_ROUNDS = 4
+
+
+@dataclass
+class RepairReport:
+    """What the repair pass saw and did, as per-defect counts.
+
+    ``detected`` counts defects in the incoming trace by invariant name
+    (the validator's kebab-case names plus ``orphan-event``).
+    ``repaired`` counts applied repair actions by action name.
+    ``residual`` counts defects still present after repair (always empty
+    in ``warn`` mode, which repairs nothing; nonempty in ``fix`` mode
+    only when a defect has no safe repair).
+    """
+
+    mode: str = "off"
+    detected: Dict[str, int] = field(default_factory=dict)
+    repaired: Dict[str, int] = field(default_factory=dict)
+    residual: Dict[str, int] = field(default_factory=dict)
+    rounds: int = 0
+    changed: bool = False
+
+    @property
+    def clean(self) -> bool:
+        """True when the incoming trace had no detected defects."""
+        return not self.detected
+
+    def summary(self) -> str:
+        """One-line human-readable digest of the report."""
+        if self.clean:
+            return "clean trace: no defects detected"
+        det = ", ".join(f"{k}={v}" for k, v in sorted(self.detected.items()))
+        rep = ", ".join(f"{k}={v}" for k, v in sorted(self.repaired.items()))
+        res = ", ".join(f"{k}={v}" for k, v in sorted(self.residual.items()))
+        parts = [f"detected [{det}]"]
+        if rep:
+            parts.append(f"repaired [{rep}]")
+        if res:
+            parts.append(f"residual [{res}]")
+        return "; ".join(parts)
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "clean": self.clean,
+            "detected": dict(self.detected),
+            "repaired": dict(self.repaired),
+            "residual": dict(self.residual),
+            "rounds": self.rounds,
+            "changed": self.changed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RepairReport":
+        """Inverse of :meth:`to_dict` (derived keys are ignored)."""
+        return cls(
+            mode=data.get("mode", "off"),
+            detected=dict(data.get("detected", {})),
+            repaired=dict(data.get("repaired", {})),
+            residual=dict(data.get("residual", {})),
+            rounds=int(data.get("rounds", 0)),
+            changed=bool(data.get("changed", False)),
+        )
+
+
+class TraceRepairError(ValueError):
+    """Raised for unusable repair modes (not for unrepairable traces)."""
+
+
+def _orphan_events(trace: Trace) -> List[int]:
+    """Events detached from any execution, in a trace that has executions.
+
+    ``execution == NO_ID`` is legitimate only for the synthetic
+    execution-free traces unit tests build; when execution records exist,
+    a detached event means its owning record was lost.
+    """
+    if not trace.executions:
+        return []
+    return [ev.id for ev in trace.events if ev.execution == NO_ID]
+
+
+def detect_defects(trace: Trace) -> Dict[str, int]:
+    """Per-invariant defect counts (validator problems + orphan events)."""
+    counts: Dict[str, int] = {}
+    for violation in collect_trace_problems(trace):
+        counts[violation.invariant] = counts.get(violation.invariant, 0) + 1
+    orphans = _orphan_events(trace)
+    if orphans:
+        counts["orphan-event"] = len(orphans)
+    return counts
+
+
+# ---------------------------------------------------------------------------
+# The fix plan: one detection round's worth of safe repairs
+# ---------------------------------------------------------------------------
+@dataclass
+class _Plan:
+    drop_events: Set[int] = field(default_factory=set)
+    drop_messages: Set[int] = field(default_factory=set)
+    drop_execs: Set[int] = field(default_factory=set)
+    reset_recv: Set[int] = field(default_factory=set)  # execution ids
+    clamp_spans: Dict[int, Tuple[float, float]] = field(default_factory=dict)
+    drop_idles: bool = False
+    synchronize: bool = False
+
+    def structural(self) -> bool:
+        return bool(self.drop_events or self.drop_messages or self.drop_execs
+                    or self.reset_recv or self.clamp_spans or self.drop_idles)
+
+    def empty(self) -> bool:
+        return not (self.structural() or self.synchronize)
+
+
+def _build_plan(trace: Trace, problems: List[Violation],
+                actions: Dict[str, int]) -> _Plan:
+    """Map one round of detected problems to safe repair actions."""
+    plan = _Plan()
+
+    def act(name: str, n: int = 1) -> None:
+        actions[name] = actions.get(name, 0) + n
+
+    n_events = len(trace.events)
+    seen_recv: Set[int] = set()
+    for msg in trace.messages:
+        if msg.recv_event != NO_ID and 0 <= msg.recv_event < n_events:
+            if msg.recv_event in seen_recv:
+                plan.drop_messages.add(msg.id)
+                act("drop-duplicate-message")
+            seen_recv.add(msg.recv_event)
+
+    skew = 0
+    for v in problems:
+        if v.invariant in ("exec-recv",):
+            exec_id = v.subjects[0]
+            if exec_id not in plan.reset_recv:
+                plan.reset_recv.add(exec_id)
+                act("reset-dangling-recv")
+        elif v.invariant in ("exec-span", "event-span"):
+            # Clamp the execution span to cover its events (and never be
+            # negative); handled uniformly below via clamp_spans.
+            exec_id = v.subjects[0] if v.invariant == "exec-span" else v.subjects[1]
+            plan.clamp_spans.setdefault(exec_id, (0.0, 0.0))
+        elif v.invariant == "message-ids":
+            plan.drop_messages.add(v.subjects[0])
+            act("drop-bad-message")
+        elif v.invariant == "message-endpoints":
+            if v.subjects[0] not in plan.drop_messages:
+                plan.drop_messages.add(v.subjects[0])
+                act("drop-bad-message")
+        elif v.invariant == "recv-after-send":
+            skew += 1
+        elif v.invariant == "idle-span":
+            plan.drop_idles = True
+        elif v.invariant in ("event-ids", "event-chare"):
+            if v.subjects[0] not in plan.drop_events:
+                plan.drop_events.add(v.subjects[0])
+                act("drop-bad-event")
+        elif v.invariant == "exec-ids":
+            if v.subjects[0] not in plan.drop_execs:
+                plan.drop_execs.add(v.subjects[0])
+                act("drop-bad-exec")
+        # recv-unique handled by the duplicate scan; pe-overlap has no
+        # safe structural repair (synchronization may still remove it
+        # when it stems from skew).
+
+    for ev_id in _orphan_events(trace):
+        if ev_id not in plan.drop_events:
+            plan.drop_events.add(ev_id)
+            act("drop-orphan-event")
+
+    # Resolve the span clamps now that the full drop set is known.
+    resolved: Dict[int, Tuple[float, float]] = {}
+    for exec_id in plan.clamp_spans:
+        if exec_id in plan.drop_execs or not (0 <= exec_id < len(trace.executions)):
+            continue
+        ex = trace.executions[exec_id]
+        times = [trace.events[e].time for e in trace.events_of(exec_id)
+                 if e not in plan.drop_events]
+        lo = min([ex.start] + times)
+        hi = max([ex.start] + times + ([ex.end] if ex.end >= ex.start else []))
+        resolved[exec_id] = (lo, hi)
+        act("clamp-exec-span")
+    plan.clamp_spans = resolved
+
+    if skew and not plan.structural():
+        # Only synchronize once the structure is sound: offset estimation
+        # walks messages/executions and should see repaired records.
+        plan.synchronize = True
+        act("synchronize-clocks")
+    return plan
+
+
+def _apply_plan(trace: Trace, plan: _Plan) -> Trace:
+    """Rebuild the trace with the plan's drops/resets/clamps applied."""
+    b = TraceBuilder(num_pes=trace.num_pes, metadata=dict(trace.metadata))
+    for entry in trace.entries:
+        b.add_entry(entry.name, entry.chare_type, entry.is_sdag_serial,
+                    entry.sdag_ordinal)
+    for arr in trace.arrays:
+        b.add_array(arr.name, arr.shape)
+    for chare in trace.chares:
+        b.add_chare(chare.name, chare.array_id, chare.index,
+                    chare.is_runtime, chare.home_pe)
+
+    n_events = len(trace.events)
+    exec_map: Dict[int, int] = {}
+    for ex in trace.executions:
+        if ex.id in plan.drop_execs:
+            continue
+        start, end = plan.clamp_spans.get(ex.id, (ex.start, ex.end))
+        if end < start:  # no events to clamp to: collapse to a point
+            start, end = min(start, end), min(start, end)
+        exec_map[ex.id] = b.add_execution(ex.chare, ex.entry, ex.pe,
+                                          start, end, recv_event=NO_ID)
+
+    event_map: Dict[int, int] = {}
+    for ev in trace.events:
+        if ev.id in plan.drop_events:
+            continue
+        owner = exec_map.get(ev.execution, NO_ID)
+        if ev.execution != NO_ID and owner == NO_ID:
+            continue  # owning execution dropped: the event goes with it
+        event_map[ev.id] = b.add_event(ev.kind, ev.chare, ev.pe, ev.time,
+                                       owner)
+
+    for ex in trace.executions:
+        new_id = exec_map.get(ex.id)
+        if new_id is None or ex.id in plan.reset_recv:
+            continue
+        recv = ex.recv_event
+        if recv == NO_ID:
+            continue
+        mapped = event_map.get(recv) if 0 <= recv < n_events else None
+        if mapped is not None:
+            b.set_execution_recv(new_id, mapped)
+
+    for msg in trace.messages:
+        if msg.id in plan.drop_messages:
+            continue
+        send = (event_map.get(msg.send_event, NO_ID)
+                if 0 <= msg.send_event < n_events else NO_ID)
+        recv = (event_map.get(msg.recv_event, NO_ID)
+                if 0 <= msg.recv_event < n_events else NO_ID)
+        if msg.recv_event != NO_ID and recv == NO_ID:
+            continue
+        if send == NO_ID and recv == NO_ID:
+            continue
+        b.add_message(send_event=send, recv_event=recv)
+
+    if not plan.drop_idles:
+        for idle in trace.idles:
+            b.add_idle(idle.pe, idle.start, idle.end)
+    else:
+        for idle in trace.idles:
+            if idle.end > idle.start:
+                b.add_idle(idle.pe, idle.start, idle.end)
+    return b.build()
+
+
+def repair_trace(
+    trace: Trace, mode: str = "fix", max_rounds: int = MAX_ROUNDS
+) -> Tuple[Trace, RepairReport]:
+    """Detect (and in ``"fix"`` mode repair) trace defects.
+
+    Returns ``(trace, report)``.  ``"off"`` returns the input untouched
+    with an empty report; ``"warn"`` detects and reports but never
+    modifies; ``"fix"`` iterates detect→repair→re-detect until the trace
+    is clean or no safe action remains, then reports what is left as
+    :attr:`RepairReport.residual`.  A clean input is returned unchanged
+    (``report.changed`` is False) — repair never perturbs good traces.
+    """
+    if mode not in REPAIR_MODES:
+        raise TraceRepairError(
+            f"unknown repair mode {mode!r}; expected one of {REPAIR_MODES}"
+        )
+    report = RepairReport(mode=mode)
+    if mode == "off":
+        return trace, report
+
+    report.detected = detect_defects(trace)
+    if mode == "warn" or not report.detected:
+        return trace, report
+
+    current = trace
+    for _ in range(max_rounds):
+        problems = collect_trace_problems(current)
+        if not problems and not _orphan_events(current):
+            break
+        plan = _build_plan(current, problems, report.repaired)
+        if plan.empty():
+            break  # nothing safe left to do
+        report.rounds += 1
+        if plan.synchronize:
+            from repro.trace.clocksync import synchronize_trace
+
+            current, _ = synchronize_trace(current)
+        else:
+            current = _apply_plan(current, plan)
+        report.changed = True
+    report.residual = detect_defects(current)
+    return current, report
+
+
+def warn_on_defects(report: RepairReport, stacklevel: int = 2) -> None:
+    """Emit the standard ``RuntimeWarning`` for a dirty ``warn``-mode run."""
+    if not report.clean and report.mode == "warn":
+        warnings.warn(
+            f"trace defects detected (repair='warn'): {report.summary()}",
+            RuntimeWarning,
+            stacklevel=stacklevel,
+        )

@@ -18,6 +18,14 @@ from repro.trace.events import NO_ID, EventKind
 from repro.trace.model import Trace, TraceBuilder
 
 
+def structures_equal(a, b) -> bool:
+    """Bit-identical placement: every event in the same phase and step."""
+    return (a.step_of_event == b.step_of_event
+            and a.phase_of_event == b.phase_of_event
+            and a.local_step_of_event == b.local_step_of_event
+            and len(a.phases) == len(b.phases))
+
+
 class SyntheticTrace:
     """Builds traces from (chare, entry, time-span, events) block specs."""
 

@@ -48,6 +48,9 @@ def test_quick_record_contents(bench_record):
     for row in bench_record["fig19_chare_scaling"]:
         assert row["total_seconds"] >= 0
         assert row["stage_seconds"]
+    ro = bench_record["repair_overhead"]
+    assert ro["off_seconds"] > 0 and ro["warn_seconds"] > 0
+    assert ro["overhead"] > 0
 
 
 def test_validator_catches_shape_errors():

@@ -89,3 +89,40 @@ def test_max_block_helper():
     structure = _fig11_structure()
     result = idle_experienced(structure)
     assert result.by_block[result.max_block()] == max(result.by_block.values())
+
+
+def _inside_idle_structure():
+    """A block that *starts inside* the recorded idle span.
+
+    Tracers close idle intervals at a coarser grain than block starts, so
+    the block the idle was waiting on can begin before the interval's
+    recorded end.  That block is still "the serial block that runs
+    directly after" the idle (Section 4) and must receive the charge —
+    cutting the search at ``idle.end`` silently skipped it.
+    """
+    st = SyntheticTrace(num_pes=2)
+    main = st.chare("M", pe=0)
+    other = st.chare("O", pe=1)
+    st.block(other, "src", 1, 0.0, 20.0, [
+        ("send", "to_early", 0.5),
+        ("send", "to_a", 1.0),
+        ("send", "to_b", 18.0),
+    ])
+    st.block(main, "early", 0, 1.0, 3.0, [("recv", "to_early", 1.0)])
+    st.idle(0, 4.0, 10.0)
+    st.block(main, "A", 0, 6.0, 12.0, [("recv", "to_a", 6.0)])   # inside span
+    st.block(main, "B", 0, 19.0, 21.0, [("recv", "to_b", 19.0)])
+    return extract_logical_structure(st.build())
+
+
+def test_block_starting_inside_idle_span_is_charged():
+    structure = _inside_idle_structure()
+    result = idle_experienced(structure)
+    names = {b.id: structure.trace.entry(
+        structure.trace.executions[b.executions[0]].entry).name
+        for b in structure.blocks}
+    charged = {names[b] for b in result.by_block}
+    assert "A" in charged       # starts at 6.0 inside idle [4, 10]
+    assert "early" not in charged  # started before the idle began
+    assert "B" not in charged   # dependency sent after the idle ended
+    assert result.total() == pytest.approx(6.0)
