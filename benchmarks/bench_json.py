@@ -182,6 +182,46 @@ def run_benchmarks(quick: bool = False, verbose: bool = True) -> dict:
     say(f"repair overhead @ {largest} chares: off={ro_timings['off']:.2f}s "
         f"warn={ro_timings['warn']:.2f}s ({ro_overhead:.2f}x)")
 
+    # Resilience overhead: what the stage-graph executor costs on the
+    # fig19 workload.  "off" is the default configuration (on_error=
+    # "raise", no checkpoints — zero snapshotting); "checkpoint" writes
+    # atomic between-stage checkpoints to a scratch dir.  The acceptance
+    # target is checkpoint-off overhead within noise (executor_fraction:
+    # wall time not attributed to any stage body, i.e. the harness).
+    import shutil
+    import tempfile
+
+    res_timings = {}
+    executor_fraction = 0.0
+    for mode in ("off", "checkpoint"):
+        best = None
+        best_stats = None
+        for _ in range(rounds):
+            if mode == "checkpoint":
+                scratch = tempfile.mkdtemp(prefix="bench-ckpt-")
+                mode_opts = PipelineOptions(checkpoint_dir=scratch,
+                                            on_error="fallback")
+            else:
+                scratch = None
+                mode_opts = PipelineOptions()
+            try:
+                _, stats, seconds = _timed_extract(ab_trace, mode_opts)
+            finally:
+                if scratch is not None:
+                    shutil.rmtree(scratch, ignore_errors=True)
+            if best is None or seconds < best:
+                best, best_stats = seconds, stats
+        res_timings[mode] = best
+        if mode == "off" and best > 0:
+            staged = sum(best_stats.stage_seconds.values())
+            executor_fraction = max(0.0, (best - staged) / best)
+    res_overhead = (res_timings["checkpoint"] / res_timings["off"]
+                    if res_timings["off"] > 0 else 1.0)
+    say(f"resilience overhead @ {largest} chares: "
+        f"off={res_timings['off']:.2f}s "
+        f"checkpoint={res_timings['checkpoint']:.2f}s "
+        f"({res_overhead:.2f}x, executor {executor_fraction:.1%})")
+
     record = {
         "schema_version": 1,
         "quick": quick,
@@ -203,6 +243,14 @@ def run_benchmarks(quick: bool = False, verbose: bool = True) -> dict:
             "off_seconds": round(ro_timings["off"], 6),
             "warn_seconds": round(ro_timings["warn"], 6),
             "overhead": round(ro_overhead, 4),
+        },
+        "resilience_overhead": {
+            "chares": largest,
+            "events": len(ab_trace.events),
+            "off_seconds": round(res_timings["off"], 6),
+            "checkpoint_seconds": round(res_timings["checkpoint"], 6),
+            "overhead": round(res_overhead, 4),
+            "executor_fraction": round(executor_fraction, 4),
         },
     }
     return record

@@ -39,6 +39,12 @@ from repro.core.pipeline import (
     extract_logical_structure,
 )
 from repro.core.structure import LogicalStructure, Phase
+from repro.resilience import (
+    DegradationReport,
+    RunJournal,
+    StageOutcome,
+    read_journal,
+)
 from repro.trace.faults import (
     FAULT_KINDS,
     fault_corpus,
@@ -63,13 +69,16 @@ __all__ = [
     "BatchExtractor",
     "BatchReport",
     "BatchResult",
+    "DegradationReport",
     "FAULT_KINDS",
     "LogicalStructure",
     "Phase",
     "PipelineOptions",
     "PipelineStats",
     "RepairReport",
+    "RunJournal",
     "StageHook",
+    "StageOutcome",
     "StageRecorder",
     "StrictVerifier",
     "StructureCache",
@@ -82,6 +91,7 @@ __all__ = [
     "fault_corpus",
     "inject_fault",
     "inject_faults",
+    "read_journal",
     "read_trace",
     "repair_trace",
     "run_differential",

@@ -13,6 +13,12 @@ table.  This module adds the batch driver behind ``repro batch``:
   files in a cache directory so repeated campaign runs skip clean work.
   Persistent entries are written atomically (temp file + ``os.replace``)
   so a killed or concurrent run can never leave a torn entry behind.
+  Optional ``max_entries``/``max_bytes`` caps bound the cache with LRU
+  eviction (``repro cache --stats/--prune`` inspects and trims it).
+* :class:`~repro.resilience.journal.RunJournal` integration — with a
+  ``journal`` path the extractor appends one fsync'd JSON line per
+  finished trace, so ``repro batch --resume <journal>`` after a crash
+  (even ``kill -9``) skips completed traces and re-runs only the rest.
 * :class:`BatchExtractor` — fans sources across worker processes,
   captures per-trace timing and failures (one bad trace never aborts the
   batch), and returns results in input order regardless of completion
@@ -37,7 +43,7 @@ import os
 import struct
 import time as _time
 import uuid
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from multiprocessing import connection as _mp_connection
 from pathlib import Path
@@ -121,19 +127,16 @@ def trace_digest(source: TraceSource) -> str:
 def options_token(options: PipelineOptions) -> str:
     """Canonical string of the extraction-relevant option fields.
 
-    Hooks and the verify switch instrument the run without changing the
-    result, so they are excluded; ``backend`` is resolved so "auto" keys
-    the same as the backend it picks (both produce bit-identical output,
-    but the token records what actually ran).  ``repair`` changes the
-    result and is therefore part of the token.
+    Instrumentation and supervision fields (hooks, verify, checkpointing,
+    resource guards — :data:`repro.core.pipeline.NON_RESULT_FIELDS`) do
+    not change a successful result, so they are excluded; ``backend`` is
+    resolved so "auto" keys the same as the backend it picks (both
+    produce bit-identical output, but the token records what actually
+    ran).  ``repair`` changes the result and is therefore part of the
+    token.  This token keys the structure cache, pipeline checkpoints,
+    and batch run journals alike.
     """
-    fields = {
-        f.name: getattr(options, f.name)
-        for f in dataclasses.fields(options)
-        if f.name not in ("hooks", "verify")
-    }
-    fields["backend"] = options.resolve_backend()
-    return repr(sorted(fields.items()))
+    return options.result_token()
 
 
 class StructureCache:
@@ -146,15 +149,29 @@ class StructureCache:
     or complete entries — never a torn one, even with concurrent writers
     or a run killed mid-write.  Corrupt or unreadable cache files count
     as misses.
+
+    ``max_entries``/``max_bytes`` (None = unbounded) cap the cache:
+    least-recently-used entries are evicted on :meth:`put` (memory order
+    tracks gets and puts; on disk, file mtimes approximate recency — a
+    re-hit entry is touched so campaign-hot traces survive pruning).
     """
 
-    def __init__(self, directory: Optional[Union[str, Path]] = None):
+    def __init__(self, directory: Optional[Union[str, Path]] = None,
+                 max_entries: Optional[int] = None,
+                 max_bytes: Optional[int] = None):
         self.directory = Path(directory) if directory is not None else None
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
-        self._memory: Dict[str, dict] = {}
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None)")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1 (or None)")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._memory: "OrderedDict[str, dict]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def key(self, digest: str, options: PipelineOptions) -> str:
         return hashlib.sha256(
@@ -163,6 +180,13 @@ class StructureCache:
 
     def get(self, key: str) -> Optional[dict]:
         summary = self._memory.get(key)
+        if summary is not None:
+            self._memory.move_to_end(key)
+            if self.directory is not None:
+                try:  # keep disk recency in step with memory recency
+                    os.utime(self.directory / f"{key}.json")
+                except OSError:
+                    pass
         if summary is None and self.directory is not None:
             path = self.directory / f"{key}.json"
             if path.exists():
@@ -172,6 +196,10 @@ class StructureCache:
                     summary = None
                 if summary is not None:
                     self._memory[key] = summary
+                    try:  # mark recency so pruning spares hot entries
+                        os.utime(path)
+                    except OSError:
+                        pass
         if summary is None:
             self.misses += 1
         else:
@@ -180,6 +208,7 @@ class StructureCache:
 
     def put(self, key: str, summary: dict) -> None:
         self._memory[key] = summary
+        self._memory.move_to_end(key)
         if self.directory is not None:
             path = self.directory / f"{key}.json"
             # Unique temp name per write: concurrent writers (threads or
@@ -195,6 +224,91 @@ class StructureCache:
                         tmp.unlink()
                     except OSError:
                         pass
+        self._evict()
+
+    # ------------------------------------------------------------------
+    # Capacity management
+    # ------------------------------------------------------------------
+    def _entry_files(self) -> List[Path]:
+        """Persistent entry files, least recently used first."""
+        if self.directory is None:
+            return []
+        files = [p for p in self.directory.glob("*.json")]
+        files.sort(key=lambda p: (p.stat().st_mtime if p.exists() else 0.0,
+                                  p.name))
+        return files
+
+    def _evict(self) -> None:
+        if self.max_entries is not None:
+            while len(self._memory) > self.max_entries:
+                self._memory.popitem(last=False)
+        if self.directory is None:
+            return
+        removed = self.prune(self.max_entries, self.max_bytes)
+        self.evictions += removed
+
+    def stats(self) -> dict:
+        """Occupancy and hit-rate counters (``repro cache --stats``)."""
+        disk_entries = 0
+        disk_bytes = 0
+        if self.directory is not None:
+            for path in self.directory.glob("*.json"):
+                try:
+                    disk_bytes += path.stat().st_size
+                except OSError:
+                    continue
+                disk_entries += 1
+        return {
+            "directory": (str(self.directory)
+                          if self.directory is not None else None),
+            "memory_entries": len(self._memory),
+            "disk_entries": disk_entries,
+            "disk_bytes": disk_bytes,
+            "max_entries": self.max_entries,
+            "max_bytes": self.max_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def prune(self, max_entries: Optional[int] = None,
+              max_bytes: Optional[int] = None) -> int:
+        """Trim the persistent cache to the given caps (LRU by mtime).
+
+        Returns the number of entries removed.  ``None`` leaves that
+        axis uncapped; ``0`` is rejected (delete the directory to drop
+        everything).  :meth:`put` calls this with the cache's own caps.
+        """
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None)")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1 (or None)")
+        if self.directory is None:
+            return 0
+        files = self._entry_files()
+        sizes = {}
+        for path in files:
+            try:
+                sizes[path] = path.stat().st_size
+            except OSError:
+                sizes[path] = 0
+        total = sum(sizes.values())
+        count = len(files)
+        removed = 0
+        for path in files:  # oldest first
+            over_entries = max_entries is not None and count > max_entries
+            over_bytes = max_bytes is not None and total > max_bytes
+            if not over_entries and not over_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            self._memory.pop(path.stem, None)
+            count -= 1
+            total -= sizes[path]
+            removed += 1
+        return removed
 
 
 def structure_summary(structure: LogicalStructure,
@@ -212,6 +326,11 @@ def structure_summary(structure: LogicalStructure,
     }
     if stats.repair is not None:
         summary["repair"] = stats.repair
+    if stats.degradation is not None and stats.degradation.get("degraded"):
+        # A partial or fallback-path result: recorded in the row (and
+        # journal) for telemetry, and never cached — a later run under
+        # healthier conditions should get the chance to do better.
+        summary["degradation"] = stats.degradation
     return summary
 
 
@@ -270,6 +389,9 @@ class BatchResult:
     attempts: int = 1
     #: True when the final attempt was killed for exceeding the timeout.
     timed_out: bool = False
+    #: True when the result was replayed from a run journal (``--resume``)
+    #: instead of extracted in this run.
+    resumed: bool = False
 
     def to_dict(self) -> dict:
         return {
@@ -281,6 +403,7 @@ class BatchResult:
             "cached": self.cached,
             "attempts": self.attempts,
             "timed_out": self.timed_out,
+            "resumed": self.resumed,
         }
 
 
@@ -306,6 +429,10 @@ class BatchReport:
     def timeouts(self) -> List[BatchResult]:
         return [r for r in self.results if r.timed_out]
 
+    @property
+    def resumed(self) -> List[BatchResult]:
+        return [r for r in self.results if r.resumed]
+
     def to_dict(self) -> dict:
         return {
             "ok": self.ok,
@@ -314,6 +441,7 @@ class BatchReport:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "timeouts": len(self.timeouts),
+            "resumed": len(self.resumed),
             "results": [r.to_dict() for r in self.results],
         }
 
@@ -333,12 +461,21 @@ class BatchExtractor:
     is reported as a failure row.  Setting a timeout forces the
     process-based path even for ``jobs=1`` — killing a hung extraction
     requires a separate process.
+
+    ``journal`` names a :class:`~repro.resilience.journal.RunJournal`
+    file: every finished trace appends one durable line the moment its
+    outcome is known (not at the end of the run), so a batch killed at
+    any point — including ``kill -9`` of the scheduler — can be resumed
+    with ``resume=True``: traces with a "done" line are replayed as
+    ``resumed`` rows without re-extraction, everything else runs.
     """
 
     def __init__(self, options: Optional[PipelineOptions] = None,
                  jobs: int = 1, cache: Optional[StructureCache] = None,
                  timeout: Optional[float] = None, retries: int = 0,
-                 backoff: float = 0.5):
+                 backoff: float = 0.5,
+                 journal: Optional[Union[str, Path]] = None,
+                 resume: bool = False):
         self.options = options if options is not None else PipelineOptions()
         self.jobs = max(1, int(jobs))
         self.cache = cache
@@ -347,17 +484,24 @@ class BatchExtractor:
         self.timeout = timeout
         self.retries = max(0, int(retries))
         self.backoff = max(0.0, float(backoff))
+        if resume and journal is None:
+            raise ValueError("resume=True requires a journal path")
+        self.journal_path = Path(journal) if journal is not None else None
+        self.resume = bool(resume)
 
     # ------------------------------------------------------------------
     # Process scheduler: timeouts, retries, crash containment
     # ------------------------------------------------------------------
     def _run_processes(self, sources: List[TraceSource],
-                       pending: List[int], option_fields: dict) -> Dict[int, tuple]:
+                       pending: List[int], option_fields: dict,
+                       on_outcome=None) -> Dict[int, tuple]:
         """Run pending extractions in worker processes.
 
         Maintains up to ``jobs`` live workers, each with its own result
         pipe and deadline.  Returns ``{index: (ok, summary, error,
-        seconds, timed_out, attempts)}``.
+        seconds, timed_out, attempts)}``.  ``on_outcome(index, outcome)``
+        fires the moment a trace's final outcome is known — the journal
+        hook, so durability does not wait for the batch to finish.
         """
         ctx = _mp.get_context()
         waiting: Deque[Tuple[int, int]] = deque((i, 0) for i in pending)
@@ -368,6 +512,8 @@ class BatchExtractor:
         def finish(i: int, attempt: int, ok: bool, summary: dict,
                    error: str, seconds: float, timed_out: bool) -> None:
             outcomes[i] = (ok, summary, error, seconds, timed_out, attempt + 1)
+            if on_outcome is not None:
+                on_outcome(i, outcomes[i])
 
         def retry_or_fail(i: int, attempt: int, error: str,
                           seconds: float, timed_out: bool) -> None:
@@ -455,49 +601,97 @@ class BatchExtractor:
         return outcomes
 
     def run(self, sources: Sequence[TraceSource]) -> BatchReport:
+        from repro.resilience.journal import RunJournal
+
         t0 = _time.perf_counter()
         sources = list(sources)
+        labels = [
+            (str(s) if isinstance(s, (str, Path))
+             else f"<trace {getattr(s, 'name', i)}>")
+            for i, s in enumerate(sources)
+        ]
         results: List[Optional[BatchResult]] = [None] * len(sources)
         pending: List[int] = []  # indexes that need an actual extraction
         keys: Dict[int, str] = {}
+        digests: Dict[int, str] = {}
 
-        for i, source in enumerate(sources):
-            label = (str(source) if isinstance(source, (str, Path))
-                     else f"<trace {getattr(source, 'name', i)}>")
-            if self.cache is not None:
-                try:
-                    key = self.cache.key(trace_digest(source), self.options)
-                except Exception as exc:  # unreadable source: a failure row
-                    results[i] = BatchResult(
-                        label, False, 0.0, {},
-                        f"{type(exc).__name__}: {exc}", False,
-                    )
-                    continue
-                keys[i] = key
-                summary = self.cache.get(key)
-                if summary is not None:
-                    results[i] = BatchResult(label, True, 0.0, summary, "", True)
-                    continue
-            pending.append(i)
+        journal: Optional[RunJournal] = None
+        if self.journal_path is not None:
+            journal = RunJournal(self.journal_path,
+                                 options_token(self.options),
+                                 resume=self.resume)
+        try:
+            need_digest = self.cache is not None or journal is not None
+            for i, source in enumerate(sources):
+                if need_digest:
+                    try:
+                        digest = trace_digest(source)
+                    except Exception as exc:  # unreadable source: failure row
+                        results[i] = BatchResult(
+                            labels[i], False, 0.0, {},
+                            f"{type(exc).__name__}: {exc}", False,
+                        )
+                        continue
+                    digests[i] = digest
+                    if journal is not None and journal.is_done(digest):
+                        entry = journal.done_entry(digest) or {}
+                        results[i] = BatchResult(
+                            labels[i], True, 0.0,
+                            entry.get("summary", {}) or {}, "", False,
+                            int(entry.get("attempts", 1)),
+                            bool(entry.get("timed_out", False)),
+                            resumed=True,
+                        )
+                        continue
+                    if self.cache is not None:
+                        key = self.cache.key(digest, self.options)
+                        keys[i] = key
+                        summary = self.cache.get(key)
+                        if summary is not None:
+                            results[i] = BatchResult(labels[i], True, 0.0,
+                                                     summary, "", True)
+                            if journal is not None:
+                                journal.record_done(labels[i], digest, summary)
+                            continue
+                pending.append(i)
 
-        option_fields = _worker_options(self.options)
-        use_processes = (self.timeout is not None
-                         or (self.jobs > 1 and len(pending) > 1))
-        if use_processes:
-            outcomes = self._run_processes(sources, pending, option_fields)
-        else:
-            outcomes = {
-                i: _extract_one(sources[i], option_fields) + (False, 1)
-                for i in pending
-            }
+            def journal_outcome(i: int, outcome: tuple) -> None:
+                if journal is None:
+                    return
+                ok, summary, error, seconds, timed_out, attempts = outcome
+                digest = digests.get(i, "")
+                if not digest:
+                    return
+                if ok:
+                    journal.record_done(labels[i], digest, summary, seconds,
+                                        attempts, timed_out)
+                else:
+                    journal.record_fail(labels[i], digest, error, attempts,
+                                        timed_out)
+
+            option_fields = _worker_options(self.options)
+            use_processes = (self.timeout is not None
+                             or (self.jobs > 1 and len(pending) > 1))
+            if use_processes:
+                outcomes = self._run_processes(sources, pending,
+                                               option_fields,
+                                               on_outcome=journal_outcome)
+            else:
+                outcomes = {}
+                for i in pending:
+                    outcome = _extract_one(sources[i], option_fields) + (False, 1)
+                    outcomes[i] = outcome
+                    journal_outcome(i, outcome)
+        finally:
+            if journal is not None:
+                journal.close()
 
         for i in pending:
             ok, summary, error, seconds, timed_out, attempts = outcomes[i]
-            label = (str(sources[i]) if isinstance(sources[i], (str, Path))
-                     else f"<trace {getattr(sources[i], 'name', i)}>")
-            results[i] = BatchResult(label, ok, seconds, summary, error,
+            results[i] = BatchResult(labels[i], ok, seconds, summary, error,
                                      False, attempts, timed_out)
-            if ok and self.cache is not None and i in keys:
+            if (ok and self.cache is not None and i in keys
+                    and not summary.get("degradation", {}).get("degraded")):
                 self.cache.put(keys[i], summary)
 
         report = BatchReport(

@@ -31,6 +31,58 @@ def _parse_chares(text: str):
     return int(text)
 
 
+def _positive_float(text: str) -> float:
+    """argparse type: a strictly positive float with a clear error."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number, got {text!r}") from None
+    if value != value or value <= 0:  # NaN or non-positive
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number of seconds, got {text!r}")
+    return value
+
+
+def _non_negative_float(text: str) -> float:
+    """argparse type: a float >= 0 with a clear error."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number, got {text!r}") from None
+    if value != value or value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative number, got {text!r}")
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    """argparse type: an integer >= 0 with a clear error."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {text!r}")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: an integer >= 1 with a clear error."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}")
+    return value
+
+
 def add_pipeline_options(parser: argparse.ArgumentParser) -> None:
     """Install the shared extraction-pipeline flags on ``parser``.
 
@@ -56,6 +108,27 @@ def add_pipeline_options(parser: argparse.ArgumentParser) -> None:
                         default="off",
                         help="pre-extraction trace repair: warn reports "
                              "defects, fix repairs what is safely repairable")
+    parser.add_argument("--on-error", choices=["raise", "fallback", "degrade"],
+                        default="raise",
+                        help="stage-failure policy: raise (fail fast), "
+                             "fallback (try each stage's safe paths), degrade "
+                             "(also accept a partial result)")
+    parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="write atomic between-stage checkpoints to DIR; "
+                             "an interrupted run with the same trace+options "
+                             "resumes after its last completed stage")
+    parser.add_argument("--stage-deadline", type=_positive_float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock budget per stage; a breach "
+                             "soft-aborts the stage (handled per --on-error)")
+    parser.add_argument("--max-rss-mb", type=_positive_float, default=None,
+                        metavar="MIB",
+                        help="process RSS ceiling while a stage runs; a "
+                             "breach soft-aborts the stage")
+    parser.add_argument("--hook-errors", choices=["warn", "raise"],
+                        default="warn",
+                        help="user stage-hook exceptions: warn and continue "
+                             "(default) or abort extraction")
 
 
 def pipeline_options_from_args(args: argparse.Namespace) -> PipelineOptions:
@@ -64,6 +137,9 @@ def pipeline_options_from_args(args: argparse.Namespace) -> PipelineOptions:
         mode=args.mode, order=args.order, infer=args.infer,
         tie_break=args.tie_break, backend=args.backend,
         repair=args.repair,
+        on_error=args.on_error, checkpoint_dir=args.checkpoint_dir,
+        stage_deadline=args.stage_deadline, max_rss_mb=args.max_rss_mb,
+        hook_errors=args.hook_errors,
     )
 
 
@@ -140,6 +216,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         doc = json.loads(structure_to_json(structure, payload or None))
         if stats.repair is not None:
             doc["repair"] = stats.repair
+        if stats.degradation is not None:
+            doc["degradation"] = stats.degradation
         print(json.dumps(doc, indent=1))
         return 0
 
@@ -148,6 +226,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         from repro.trace.repair import RepairReport
 
         print(f"repair: {RepairReport.from_dict(stats.repair).summary()}")
+    if structure.degradation is not None and structure.degradation.degraded:
+        print(f"degraded: {structure.degradation.summary()}")
     print(f"phase kinds: {kind_sequence(structure)}")
     unit = repeating_unit(structure, min_repeats=2)
     if unit:
@@ -338,21 +418,36 @@ def cmd_verify(args: argparse.Namespace) -> int:
 def cmd_batch(args: argparse.Namespace) -> int:
     from repro.batch import BatchExtractor, StructureCache
 
+    if args.resume is not None and args.journal is not None:
+        print("batch: --resume already names the journal; "
+              "use one of --journal/--resume", file=sys.stderr)
+        return 2
+    journal = args.resume if args.resume is not None else args.journal
     cache = (StructureCache(args.cache_dir)
              if args.cache_dir is not None else None)
-    extractor = BatchExtractor(
-        options=pipeline_options_from_args(args),
-        jobs=args.jobs, cache=cache,
-        timeout=args.timeout, retries=args.retries, backoff=args.backoff,
-    )
-    report = extractor.run(args.traces)
+    try:
+        extractor = BatchExtractor(
+            options=pipeline_options_from_args(args),
+            jobs=args.jobs, cache=cache,
+            timeout=args.timeout, retries=args.retries, backoff=args.backoff,
+            journal=journal, resume=args.resume is not None,
+        )
+        report = extractor.run(args.traces)
+    except ValueError as exc:  # e.g. journal written under other options
+        print(f"batch: {exc}", file=sys.stderr)
+        return 2
     if args.json:
         print(json.dumps(report.to_dict(), indent=1))
     else:
         for r in report.results:
             retried = f" ({r.attempts} attempts)" if r.attempts > 1 else ""
             if r.ok:
-                tag = "cached" if r.cached else f"{r.seconds * 1e3:7.1f}ms"
+                if r.resumed:
+                    tag = "resumed"
+                elif r.cached:
+                    tag = "cached"
+                else:
+                    tag = f"{r.seconds * 1e3:7.1f}ms"
                 line = (f"ok   {r.source:40s} {tag:>10s} "
                         f"phases={r.summary.get('phases', '?')} "
                         f"steps={int(r.summary.get('max_step', -1)) + 1}"
@@ -360,16 +455,45 @@ def cmd_batch(args: argparse.Namespace) -> int:
                 repair = r.summary.get("repair")
                 if repair and not repair.get("clean", True):
                     line += f" repair={_repair_tag(repair)}"
+                degradation = r.summary.get("degradation")
+                if degradation and degradation.get("degraded"):
+                    stages = [s for s in degradation.get("stages", [])
+                              if s.get("status") in ("fallback", "skipped")]
+                    line += f" degraded={len(stages)} stage(s)"
                 print(line)
             else:
                 print(f"FAIL {r.source:40s} {r.error}{retried}")
         done = sum(1 for r in report.results if r.ok)
         timeouts = len(report.timeouts)
         timed = f", {timeouts} timed out" if timeouts else ""
+        resumed = len(report.resumed)
+        resumed_tag = f", {resumed} resumed" if resumed else ""
         print(f"{done}/{len(report.results)} traces extracted "
-              f"({report.cache_hits} cached{timed}) in "
+              f"({report.cache_hits} cached{resumed_tag}{timed}) in "
               f"{report.total_seconds:.2f}s with {report.jobs} job(s)")
     return 0 if report.ok else 1
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.batch import StructureCache
+
+    cache = StructureCache(args.dir)
+    if args.prune:
+        if args.max_entries is None and args.max_bytes is None:
+            print("cache: --prune needs --max-entries and/or --max-bytes",
+                  file=sys.stderr)
+            return 2
+        removed = cache.prune(args.max_entries, args.max_bytes)
+        print(f"pruned {removed} entr{'y' if removed == 1 else 'ies'} "
+              f"from {args.dir}")
+    stats = cache.stats()
+    if args.json:
+        print(json.dumps(stats, indent=1))
+    else:
+        print(f"cache {stats['directory']}: {stats['disk_entries']} "
+              f"entr{'y' if stats['disk_entries'] == 1 else 'ies'}, "
+              f"{stats['disk_bytes']} bytes")
+    return 0
 
 
 def _repair_tag(repair: dict) -> str:
@@ -520,14 +644,40 @@ def build_parser() -> argparse.ArgumentParser:
                           "digest + options; clean reruns are skipped")
     bat.add_argument("--json", action="store_true",
                      help="emit the machine-readable batch report")
-    bat.add_argument("--timeout", type=float, default=None,
-                     help="per-trace wall-clock seconds; a worker exceeding "
-                          "it is killed (forces process workers)")
-    bat.add_argument("--retries", type=int, default=0,
-                     help="re-run a timed-out/crashed trace up to N times")
-    bat.add_argument("--backoff", type=float, default=0.5,
+    bat.add_argument("--timeout", type=_positive_float, default=None,
+                     help="per-trace wall-clock seconds (a positive number); "
+                          "a worker exceeding it is killed (forces process "
+                          "workers)")
+    bat.add_argument("--retries", type=_non_negative_int, default=0,
+                     help="re-run a timed-out/crashed trace up to N times "
+                          "(a non-negative integer)")
+    bat.add_argument("--backoff", type=_non_negative_float, default=0.5,
                      help="base seconds between retries (doubles per attempt)")
+    bat.add_argument("--journal", default=None, metavar="FILE",
+                     help="append one durable JSON line per finished trace "
+                          "to FILE (crash-safe run journal)")
+    bat.add_argument("--resume", default=None, metavar="FILE",
+                     help="resume from journal FILE: traces it records as "
+                          "done are skipped, the rest run (and keep "
+                          "appending to it)")
     bat.set_defaults(func=cmd_batch)
+
+    cch = sub.add_parser(
+        "cache",
+        help="inspect or prune a batch structure-cache directory",
+    )
+    cch.add_argument("dir", help="cache directory (as given to --cache-dir)")
+    cch.add_argument("--stats", action="store_true",
+                     help="print occupancy (the default action)")
+    cch.add_argument("--prune", action="store_true",
+                     help="evict least-recently-used entries beyond the caps")
+    cch.add_argument("--max-entries", type=_positive_int, default=None,
+                     help="entry-count cap for --prune")
+    cch.add_argument("--max-bytes", type=_positive_int, default=None,
+                     help="total-size cap (bytes) for --prune")
+    cch.add_argument("--json", action="store_true",
+                     help="emit machine-readable stats")
+    cch.set_defaults(func=cmd_cache)
 
     flt = sub.add_parser(
         "faults",

@@ -16,6 +16,19 @@ The pipeline mirrors the paper's stage order:
 MPI-mode traces follow Isaacs et al. [13]: per-process program order
 provides the missing dependencies, so stage 4 is unnecessary (Section 3.4)
 and runs only when explicitly requested.
+
+Since the resilience rework the stages are a declarative graph
+(:class:`~repro.resilience.executor.StageSpec` list) run by the
+:class:`~repro.resilience.executor.ResilientExecutor` over a shared
+context dict.  Each stage declares its fallback ladder (columnar kernel
+failure → python reference; reorder failure → physical-time ordering),
+whether it is degradable (a failure past phase finding yields a partial
+result instead of losing the run), and the executor adds between-stage
+checkpoints (``checkpoint_dir``), per-stage resource guards
+(``stage_deadline`` / ``max_rss_mb``), and the
+:class:`~repro.resilience.report.DegradationReport` threaded through
+:class:`PipelineStats`.  With the default ``on_error="raise"`` the
+behavior — including every exception — is the historical one.
 """
 
 from __future__ import annotations
@@ -24,7 +37,7 @@ import dataclasses
 import time as _time
 import warnings
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 if TYPE_CHECKING:  # repro.verify builds on this module; avoid the cycle.
     from repro.verify.stagehooks import StageHook
@@ -41,7 +54,27 @@ from repro.core.merges import cycle_merge, dependency_merge, repair_merge
 from repro.core.reorder import physical_order, reordered_order_mp, reordered_order_task
 from repro.core.stepping import assign_global_offsets, assign_local_steps
 from repro.core.structure import LogicalStructure, Phase
+from repro.resilience.executor import (
+    ON_ERROR_MODES,
+    ResilientExecutor,
+    StageSpec,
+)
+from repro.resilience.guard import ResourceGuard
 from repro.trace.model import Trace
+
+#: Option fields that instrument or supervise the run without changing
+#: the extracted structure: excluded from cache/checkpoint keying.
+#: (``on_error`` modes only diverge on *failing* runs, whose results are
+#: never cached.)
+NON_RESULT_FIELDS = frozenset({
+    "hooks",
+    "verify",
+    "checkpoint_dir",
+    "hook_errors",
+    "on_error",
+    "stage_deadline",
+    "max_rss_mb",
+})
 
 
 @dataclass
@@ -83,6 +116,26 @@ class PipelineOptions:
     #: from the repaired trace.  Affects the result, so it is part of the
     #: batch cache key.
     repair: str = "off"
+    #: Stage-failure policy: "raise" (historical fail-fast), "fallback"
+    #: (walk each stage's safe-path ladder before giving up), or
+    #: "degrade" (additionally skip degradable stages past phase finding
+    #: and return a partial result with a DegradationReport).
+    on_error: str = "raise"
+    #: Directory for atomic between-stage checkpoints; an interrupted
+    #: run re-invoked with the same trace + options resumes after its
+    #: last completed stage.  None (default) disables checkpointing.
+    checkpoint_dir: Optional[str] = None
+    #: Wall-clock budget per stage in seconds; a stage exceeding it is
+    #: soft-aborted by the watchdog and handled per ``on_error``.
+    stage_deadline: Optional[float] = None
+    #: Process RSS ceiling in MiB sampled by the watchdog while a stage
+    #: runs; a breach soft-aborts the stage instead of riding into OOM.
+    max_rss_mb: Optional[float] = None
+    #: What to do when a user stage hook raises: "warn" (default) logs a
+    #: RuntimeWarning and continues, "raise" aborts extraction
+    #: (historical behavior).  ``InvariantViolationError`` from strict
+    #: verification always propagates regardless.
+    hook_errors: str = "warn"
 
     def resolve_mode(self, trace: Trace) -> str:
         if self.mode != "auto":
@@ -94,6 +147,22 @@ class PipelineOptions:
         from repro.core.columnar import resolve_backend
 
         return resolve_backend(self.backend)
+
+    def result_token(self) -> str:
+        """Canonical string of the result-affecting option fields.
+
+        Fields in :data:`NON_RESULT_FIELDS` instrument the run without
+        changing a successful result, so they are excluded; ``backend``
+        is resolved so "auto" keys the same as the backend it picks.
+        This is the options half of cache and checkpoint keys.
+        """
+        fields = {
+            f.name: getattr(self, f.name)
+            for f in dataclasses.fields(self)
+            if f.name not in NON_RESULT_FIELDS
+        }
+        fields["backend"] = self.resolve_backend()
+        return repr(sorted(fields.items()))
 
     def with_overrides(self, **overrides) -> "PipelineOptions":
         """A copy of these options with the given fields replaced.
@@ -132,6 +201,26 @@ class PipelineStats:
     #: :meth:`repro.trace.repair.RepairReport.to_dict` of the ingestion
     #: repair pass, or None when ``options.repair == "off"``.
     repair: Optional[Dict[str, object]] = None
+    #: :meth:`repro.resilience.report.DegradationReport.to_dict` of the
+    #: run — which stages fell back, degraded, resumed, or breached.
+    degradation: Optional[Dict[str, object]] = None
+    #: Checkpoint telemetry (dir, key, resumed stage count) when
+    #: ``options.checkpoint_dir`` is set.
+    checkpoint: Optional[Dict[str, object]] = None
+
+
+def _columnar():
+    from repro.core import columnar
+
+    return columnar
+
+
+def _checkpoint_key(trace: Trace, opts: PipelineOptions) -> str:
+    # Imported lazily: repro.batch builds on this module.
+    from repro.batch import trace_digest
+    from repro.resilience.checkpoint import checkpoint_key
+
+    return checkpoint_key(trace_digest(trace), opts.result_token())
 
 
 def extract_logical_structure(
@@ -166,6 +255,10 @@ def extract_logical_structure(
         raise ValueError(f"unknown order {opts.order!r}")
     if opts.repair not in ("off", "warn", "fix"):
         raise ValueError(f"unknown repair mode {opts.repair!r}")
+    if opts.on_error not in ON_ERROR_MODES:
+        raise ValueError(f"unknown on_error mode {opts.on_error!r}")
+    if opts.hook_errors not in ("raise", "warn"):
+        raise ValueError(f"unknown hook_errors mode {opts.hook_errors!r}")
     mode = opts.resolve_mode(trace)
     backend = opts.resolve_backend()
     stats = stats if stats is not None else PipelineStats()
@@ -178,230 +271,391 @@ def extract_logical_structure(
         from repro.verify.stagehooks import StrictVerifier
 
         hook_list.append(StrictVerifier())
+    from repro.verify.invariants import InvariantViolationError
 
-    current_state = [None]  # set once stage 1 has built the partition state
-
-    def _stage(name: str, start: float, structure: Optional[LogicalStructure] = None) -> float:
-        now = _time.perf_counter()
-        seconds = now - start
-        stats.stage_seconds[name] = stats.stage_seconds.get(name, 0.0) + seconds
-        for hook in hook_list:
-            hook.on_stage(
-                name,
-                state=current_state[0] if structure is None else None,
-                structure=structure,
-                seconds=seconds,
-            )
-        return now
-
-    # Stage 0: ingestion hardening (repro.trace.repair).  "warn" detects
-    # and reports; "fix" also extracts from the repaired trace.  Runs
-    # before anything reads the trace so every later stage (and the
-    # returned structure) sees the repaired records.
-    t = t0
-    if opts.repair != "off":
-        from repro.trace.repair import repair_trace, warn_on_defects
-
-        trace, repair_report = repair_trace(trace, mode=opts.repair)
-        stats.repair = repair_report.to_dict()
-        warn_on_defects(repair_report, stacklevel=3)
-        t = _stage("repair", t)
-
-    # Stage 1: initial partitions.  Reordered MPI stepping relaxes the
-    # per-process chain so receives can float to their logical wave
-    # (Section 3.2.1, Figure 10).
+    # Reordered MPI stepping relaxes the per-process chain so receives
+    # can float to their logical wave (Section 3.2.1, Figure 10).
     relaxed = mode == "mpi" and opts.order == "reordered"
-    if backend == "columnar":
-        from repro.core import columnar as _col
-
-        initial = _col.build_initial_columnar(
-            trace, mode=mode, absorb_tolerance=opts.absorb_tolerance,
-            relaxed_chain=relaxed,
-        )
-    else:
-        _col = None
-        initial = build_initial(
-            trace, mode=mode, absorb_tolerance=opts.absorb_tolerance,
-            relaxed_chain=relaxed,
-        )
-    state = initial.state
-    current_state[0] = state
-    stats.initial_partitions = len(state.init_events)
-    t = _stage("initial", t)
-
-    # Stage 2: dependency merge (Algorithm 1).
-    dependency_merge(state)
-    t = _stage("dependency_merge", t)
-
-    # Stage 3: serial-block repair (Algorithm 2).
-    repair_merge(initial)
-    t = _stage("repair_merge", t)
-
-    # Stage 4: orderability (Section 3.1.4).  The strict message-passing
-    # chain makes every process a single path through the DAG, so
-    # enforcement is unnecessary (Section 3.4); the relaxed chain of
-    # reordered MPI mode reintroduces same-leap overlaps and needs it.
+    # The strict message-passing chain makes every process a single path
+    # through the DAG, so enforcement is unnecessary (Section 3.4); the
+    # relaxed chain of reordered MPI mode reintroduces same-leap
+    # overlaps and needs it.
     enforce = opts.enforce_properties
     if enforce is None:
         enforce = mode == "charm" or relaxed
-    if enforce:
-        if opts.infer:
-            infer_source_dependencies(state)
-            t = _stage("infer_sources", t)
-            leap_merge(state)
-            t = _stage("leap_merge", t)
-            order_overlapping(state, cross_class_only=True)
-            t = _stage("order_overlapping", t)
-        else:
-            order_overlapping(state, cross_class_only=False)
-            t = _stage("order_overlapping", t)
-        enforce_chare_paths(state)
-        t = _stage("chare_paths", t)
 
-    # Build the phase objects.  The leap values feed a totally-ordered
-    # sort key, so the columnar kernel's different dict order is safe here
-    # (it is NOT safe inside the inference stages, which keep the python
-    # compute_leaps).
-    if _col is not None:
-        leaps = _col.compute_leaps_columnar(state)
-    else:
-        leaps = compute_leaps(state)
-    succs, preds = state.adjacency()
-    part_events = state.partition_events()
-    events = trace.events
-    # partition_events lists are (time, id)-sorted: the first event holds
-    # the minimum time.
-    roots = sorted(
-        part_events,
-        key=lambda r: (leaps[r],
-                       events[part_events[r][0]].time if part_events[r] else 0.0,
-                       r),
-    )
-    phase_index = {root: i for i, root in enumerate(roots)}
-    phases: List[Phase] = []
-    for root in roots:
-        evs = part_events[root]
-        phases.append(
-            Phase(
-                id=phase_index[root],
-                events=evs,
-                chares={events[e].chare for e in evs},
-                is_runtime=state.is_runtime(root),
-                leap=leaps[root],
-                preds={phase_index[q] for q in preds[root]},
-                succs={phase_index[q] for q in succs[root]},
+    # ------------------------------------------------------------------
+    # Stage bodies.  Each mutates the shared context dict; the context
+    # holds only picklable data (no modules, hooks, or options) so the
+    # executor can snapshot it for fallback restore and checkpoints.
+    # ------------------------------------------------------------------
+    def st_repair(ctx: dict) -> None:
+        from repro.trace.repair import repair_trace, warn_on_defects
+
+        repaired, report = repair_trace(ctx["trace"], mode=opts.repair)
+        ctx["trace"] = repaired
+        ctx["repair"] = report.to_dict()
+        warn_on_defects(report, stacklevel=3)
+
+    def _set_initial(ctx: dict, initial) -> None:
+        ctx["initial"] = initial
+        ctx["state"] = initial.state
+        ctx["initial_partitions"] = len(initial.state.init_events)
+
+    def st_initial(ctx: dict) -> None:
+        if ctx["use_columnar"]:
+            initial = _columnar().build_initial_columnar(
+                ctx["trace"], mode=mode,
+                absorb_tolerance=opts.absorb_tolerance,
+                relaxed_chain=relaxed,
             )
-        )
-    stats.final_phases = len(phases)
-    t = _stage("build_phases", t)
+        else:
+            initial = build_initial(
+                ctx["trace"], mode=mode,
+                absorb_tolerance=opts.absorb_tolerance,
+                relaxed_chain=relaxed,
+            )
+        _set_initial(ctx, initial)
 
-    # Stage 5: per-phase ordering + local steps.
-    chare_orders: Dict[Tuple[int, int], List[int]] = {}
-    max_local: Dict[int, int] = {}
-    if _col is not None:
-        np = _col.np
-        table = _col.EventTable.of(trace)
+    def st_initial_python(ctx: dict) -> None:
+        # Columnar kernels unusable for this trace: the whole run
+        # continues on the python reference implementation.
+        ctx["use_columnar"] = False
+        _set_initial(ctx, build_initial(
+            ctx["trace"], mode=mode, absorb_tolerance=opts.absorb_tolerance,
+            relaxed_chain=relaxed,
+        ))
+
+    def st_dependency_merge(ctx: dict) -> None:
+        dependency_merge(ctx["state"])
+
+    def st_repair_merge(ctx: dict) -> None:
+        repair_merge(ctx["initial"])
+
+    def st_infer_sources(ctx: dict) -> None:
+        infer_source_dependencies(ctx["state"])
+
+    def st_leap_merge(ctx: dict) -> None:
+        leap_merge(ctx["state"])
+
+    def st_order_overlapping(ctx: dict) -> None:
+        order_overlapping(ctx["state"], cross_class_only=opts.infer)
+
+    def st_chare_paths(ctx: dict) -> None:
+        enforce_chare_paths(ctx["state"])
+
+    def _build_phases(ctx: dict, use_columnar: bool) -> None:
+        state = ctx["state"]
+        events = ctx["trace"].events
+        # The leap values feed a totally-ordered sort key, so the
+        # columnar kernel's different dict order is safe here (it is NOT
+        # safe inside the inference stages, which keep the python
+        # compute_leaps).
+        if use_columnar:
+            leaps = _columnar().compute_leaps_columnar(state)
+        else:
+            leaps = compute_leaps(state)
+        succs, preds = state.adjacency()
+        part_events = state.partition_events()
+        # partition_events lists are (time, id)-sorted: the first event
+        # holds the minimum time.
+        roots = sorted(
+            part_events,
+            key=lambda r: (leaps[r],
+                           events[part_events[r][0]].time if part_events[r] else 0.0,
+                           r),
+        )
+        phase_index = {root: i for i, root in enumerate(roots)}
+        phases: List[Phase] = []
+        for root in roots:
+            evs = part_events[root]
+            phases.append(
+                Phase(
+                    id=phase_index[root],
+                    events=evs,
+                    chares={events[e].chare for e in evs},
+                    is_runtime=state.is_runtime(root),
+                    leap=leaps[root],
+                    preds={phase_index[q] for q in preds[root]},
+                    succs={phase_index[q] for q in succs[root]},
+                )
+            )
+        ctx["phases"] = phases
+        ctx["final_phases"] = len(phases)
+        # Defaults the step-assignment stages overwrite; a degraded run
+        # that skips them still returns a valid partial structure.
+        phase_of_event = [-1] * len(events)
+        for phase in phases:
+            for ev in phase.events:
+                phase_of_event[ev] = phase.id
+        ctx["phase_of_event"] = phase_of_event
+        ctx["local_step"] = [-1] * len(events)
+        ctx["step_of_event"] = [-1] * len(events)
+        ctx["chare_orders"] = {}
+
+    def st_build_phases(ctx: dict) -> None:
+        _build_phases(ctx, use_columnar=ctx["use_columnar"])
+
+    def st_build_phases_python(ctx: dict) -> None:
+        _build_phases(ctx, use_columnar=False)
+
+    def _local_steps_columnar(ctx: dict) -> None:
+        col = _columnar()
+        np = col.np
+        trace_, initial, state = ctx["trace"], ctx["initial"], ctx["state"]
+        table = col.EventTable.of(trace_)
         block_table = getattr(state, "block_table", None)
         boe_arr = (block_table.block_of_event if block_table is not None
                    else np.asarray(initial.block_of_event, np.int64))
-        phase_arr = np.full(len(events), -1, np.int64)
-        local_arr = np.full(len(events), -1, np.int64)
+        local_arr = np.full(len(trace_.events), -1, np.int64)
+        chare_orders: Dict[Tuple[int, int], List[int]] = {}
         if opts.order != "physical" and mode != "mpi":
             if opts.tie_break not in ("chare_id", "index"):
                 raise ValueError(f"unknown tie_break {opts.tie_break!r}")
             if opts.tie_break == "index":
                 inv_keys = [tuple(c.index) if c.index else (c.id,)
-                            for c in trace.chares]
+                            for c in trace_.chares]
             else:
-                inv_keys = [(c.id,) for c in trace.chares]
-        for phase in phases:
-            ordered_np = _col.sorted_phase_events(table, phase.events)
-            if len(ordered_np):
-                phase_arr[ordered_np] = phase.id
+                inv_keys = [(c.id,) for c in trace_.chares]
+        for phase in ctx["phases"]:
+            ordered_np = col.sorted_phase_events(table, phase.events)
             if opts.order == "physical":
-                orders = _col.physical_order_columnar(table, ordered_np)
+                orders = col.physical_order_columnar(table, ordered_np)
             elif mode == "mpi":
                 orders = reordered_order_mp(
-                    trace, phase.events, initial.block_of_event,
+                    trace_, phase.events, initial.block_of_event,
                     _ordered=ordered_np.tolist(),
                 )
             else:
-                orders = _col.task_order_columnar(
+                orders = col.task_order_columnar(
                     table, ordered_np, boe_arr, inv_keys
                 )
             for chare, order in orders.items():
                 chare_orders[(phase.id, chare)] = order
-            result = _col.local_steps_columnar(table, orders)
+            result = col.local_steps_columnar(table, orders)
             if result is None:  # suspected cycle: python reference fallback
-                steps, max_s = assign_local_steps(trace, phase.events, orders)
+                steps, max_s = assign_local_steps(trace_, phase.events, orders)
                 for ev, s in steps.items():
                     local_arr[ev] = s
             else:
                 step_events, step_values, max_s = result
                 local_arr[step_events] = step_values
             phase.max_local_step = max_s
-            max_local[phase.id] = max_s
-        phase_of_event = phase_arr.tolist()
-        local_step = local_arr.tolist()
-    else:
-        phase_of_event = [-1] * len(events)
-        local_step = [-1] * len(events)
-        for phase in phases:
-            for ev in phase.events:
-                phase_of_event[ev] = phase.id
-            if opts.order == "physical":
-                orders = physical_order(trace, phase.events)
+        ctx["local_step"] = local_arr.tolist()
+        ctx["local_arr"] = local_arr
+        ctx["chare_orders"] = chare_orders
+        ctx["local_steps_done"] = True
+
+    def _local_steps_python(ctx: dict, physical: bool) -> None:
+        trace_, initial = ctx["trace"], ctx["initial"]
+        local_step = [-1] * len(trace_.events)
+        chare_orders: Dict[Tuple[int, int], List[int]] = {}
+        for phase in ctx["phases"]:
+            if physical:
+                orders = physical_order(trace_, phase.events)
             elif mode == "mpi":
-                orders = reordered_order_mp(trace, phase.events,
+                orders = reordered_order_mp(trace_, phase.events,
                                             initial.block_of_event)
             else:
                 orders = reordered_order_task(
-                    trace, phase.events, initial.block_of_event,
+                    trace_, phase.events, initial.block_of_event,
                     tie_break=opts.tie_break,
                 )
             for chare, order in orders.items():
                 chare_orders[(phase.id, chare)] = order
-            steps, max_s = assign_local_steps(trace, phase.events, orders)
+            steps, max_s = assign_local_steps(trace_, phase.events, orders)
             for ev, s in steps.items():
                 local_step[ev] = s
             phase.max_local_step = max_s
-            max_local[phase.id] = max_s
-    t = _stage("local_steps", t)
+        ctx["local_step"] = local_step
+        ctx.pop("local_arr", None)
+        ctx["chare_orders"] = chare_orders
+        ctx["local_steps_done"] = True
 
-    # Stage 6: global offsets.
-    offsets = assign_global_offsets(
-        [p.id for p in phases], {p.id: p.preds for p in phases}, max_local
-    )
-    for phase in phases:
-        phase.offset = offsets[phase.id]
-    if _col is not None and phases:
-        np = _col.np
-        offset_arr = np.fromiter((p.offset for p in phases), np.int64,
-                                 len(phases))
-        in_phase = phase_arr >= 0
-        step_arr = np.where(
-            in_phase, offset_arr[np.clip(phase_arr, 0, None)] + local_arr, -1
+    def st_local_steps(ctx: dict) -> None:
+        if ctx["use_columnar"]:
+            _local_steps_columnar(ctx)
+        else:
+            _local_steps_python(ctx, physical=opts.order == "physical")
+
+    def st_local_steps_python(ctx: dict) -> None:
+        _local_steps_python(ctx, physical=opts.order == "physical")
+
+    def st_local_steps_physical(ctx: dict) -> None:
+        # Last-resort ordering: physical time needs no inference and no
+        # reorder fixed point, so it survives inputs the idealized
+        # replay cannot.
+        _local_steps_python(ctx, physical=True)
+
+    def _global_steps(ctx: dict, use_columnar: bool) -> None:
+        phases = ctx["phases"]
+        max_local = {p.id: p.max_local_step for p in phases}
+        offsets = assign_global_offsets(
+            [p.id for p in phases], {p.id: p.preds for p in phases}, max_local
         )
-        step_of_event = step_arr.tolist()
-    else:
-        step_of_event = [-1] * len(events)
         for phase in phases:
-            for ev in phase.events:
-                step_of_event[ev] = phase.offset + local_step[ev]
-    t = _stage("global_steps", t)
+            phase.offset = offsets[phase.id]
+        local_arr = ctx.get("local_arr")
+        if use_columnar and local_arr is not None and phases:
+            np = _columnar().np
+            offset_arr = np.fromiter((p.offset for p in phases), np.int64,
+                                     len(phases))
+            phase_arr = np.asarray(ctx["phase_of_event"], np.int64)
+            in_phase = phase_arr >= 0
+            step_arr = np.where(
+                in_phase, offset_arr[np.clip(phase_arr, 0, None)] + local_arr,
+                -1,
+            )
+            ctx["step_of_event"] = step_arr.tolist()
+        else:
+            step_of_event = [-1] * len(ctx["trace"].events)
+            local_step = ctx["local_step"]
+            for phase in phases:
+                for ev in phase.events:
+                    step_of_event[ev] = phase.offset + local_step[ev]
+            ctx["step_of_event"] = step_of_event
 
-    structure = LogicalStructure(
-        trace=trace,
-        phases=phases,
-        phase_of_event=phase_of_event,
-        step_of_event=step_of_event,
-        local_step_of_event=local_step,
-        chare_orders=chare_orders,
-        blocks=initial.blocks,
-        block_of_event=initial.block_of_event,
-        block_of_exec=initial.block_of_exec,
-        options=opts,
+    def st_global_steps(ctx: dict) -> None:
+        _global_steps(ctx, use_columnar=ctx["use_columnar"])
+
+    def st_global_steps_python(ctx: dict) -> None:
+        _global_steps(ctx, use_columnar=False)
+
+    def st_finalize(ctx: dict) -> None:
+        initial = ctx["initial"]
+        ctx["structure"] = LogicalStructure(
+            trace=ctx["trace"],
+            phases=ctx["phases"],
+            phase_of_event=ctx["phase_of_event"],
+            step_of_event=ctx["step_of_event"],
+            local_step_of_event=ctx["local_step"],
+            chare_orders=ctx["chare_orders"],
+            blocks=initial.blocks,
+            block_of_event=initial.block_of_event,
+            block_of_exec=initial.block_of_exec,
+            options=opts,
+        )
+
+    # ------------------------------------------------------------------
+    # The stage graph.  Fallback ladders implement the degradation
+    # matrix in docs/ROBUSTNESS.md; only the step-assignment stages are
+    # degradable (a failure before phases exist has nothing to salvage).
+    # ------------------------------------------------------------------
+    columnar_fallback = (
+        [("python_reference", st_initial_python)] if backend == "columnar"
+        else []
     )
-    t = _stage("finalize", t, structure=structure)
+    stages = [
+        StageSpec(
+            "repair", st_repair,
+            inputs=("trace",), outputs=("trace", "repair"),
+            enabled=lambda ctx: opts.repair != "off",
+        ),
+        StageSpec(
+            "initial", st_initial,
+            inputs=("trace",), outputs=("initial", "state"),
+            fallbacks=columnar_fallback,
+        ),
+        StageSpec("dependency_merge", st_dependency_merge,
+                  inputs=("state",), outputs=("state",)),
+        StageSpec("repair_merge", st_repair_merge,
+                  inputs=("initial",), outputs=("state",)),
+        StageSpec("infer_sources", st_infer_sources,
+                  inputs=("state",), outputs=("state",),
+                  enabled=lambda ctx: enforce and opts.infer),
+        StageSpec("leap_merge", st_leap_merge,
+                  inputs=("state",), outputs=("state",),
+                  enabled=lambda ctx: enforce and opts.infer),
+        StageSpec("order_overlapping", st_order_overlapping,
+                  inputs=("state",), outputs=("state",),
+                  enabled=lambda ctx: enforce),
+        StageSpec("chare_paths", st_chare_paths,
+                  inputs=("state",), outputs=("state",),
+                  enabled=lambda ctx: enforce),
+        StageSpec(
+            "build_phases", st_build_phases,
+            inputs=("state",), outputs=("phases", "phase_of_event"),
+            fallbacks=[("python_reference", st_build_phases_python)],
+        ),
+        StageSpec(
+            "local_steps", st_local_steps,
+            inputs=("phases",), outputs=("local_step", "chare_orders"),
+            fallbacks=[
+                ("python_reference", st_local_steps_python),
+                ("physical_order", st_local_steps_physical),
+            ],
+            degradable=True,
+        ),
+        StageSpec(
+            "global_steps", st_global_steps,
+            inputs=("phases", "local_step"), outputs=("step_of_event",),
+            fallbacks=[("python_reference", st_global_steps_python)],
+            degradable=True,
+            requires=("local_steps_done",),
+        ),
+        StageSpec("finalize", st_finalize,
+                  inputs=("phases",), outputs=("structure",)),
+    ]
+
+    def observer(stage: str, seconds: float, ctx: dict) -> None:
+        stats.stage_seconds[stage] = (
+            stats.stage_seconds.get(stage, 0.0) + seconds
+        )
+        structure = ctx.get("structure") if stage == "finalize" else None
+        state = None if structure is not None else ctx.get("state")
+        for hook in hook_list:
+            try:
+                hook.on_stage(stage, state=state, structure=structure,
+                              seconds=seconds)
+            except InvariantViolationError:
+                raise  # strict verification: the designed failure signal
+            except Exception as exc:
+                if opts.hook_errors == "raise":
+                    raise
+                warnings.warn(
+                    f"stage hook {type(hook).__name__} failed on stage "
+                    f"{stage!r}: {type(exc).__name__}: {exc} "
+                    f"(hook_errors='warn': continuing)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+
+    checkpoint_dir = opts.checkpoint_dir
+    key = ""
+    if checkpoint_dir is not None:
+        key = _checkpoint_key(trace, opts)
+
+    executor = ResilientExecutor(
+        stages,
+        on_error=opts.on_error,
+        guard=ResourceGuard(opts.stage_deadline, opts.max_rss_mb),
+        checkpoint_dir=(str(checkpoint_dir) if checkpoint_dir is not None
+                        else None),
+        checkpoint_key=key,
+        observer=observer,
+    )
+    ctx: Dict[str, object] = {
+        "trace": trace,
+        "use_columnar": backend == "columnar",
+    }
+    report = executor.run(ctx)
+
+    structure: LogicalStructure = ctx["structure"]
+    structure.degradation = report
+    stats.initial_partitions = ctx.get("initial_partitions", 0)
+    stats.final_phases = ctx.get("final_phases", 0)
+    stats.repair = ctx.get("repair")
+    for outcome in report.outcomes:
+        if outcome.status == "resumed":
+            stats.stage_seconds.setdefault(outcome.stage, outcome.seconds)
+    stats.degradation = report.to_dict()
+    if checkpoint_dir is not None:
+        stats.checkpoint = {
+            "dir": str(checkpoint_dir),
+            "key": key,
+            "resumed_stages": sum(
+                1 for o in report.outcomes if o.status == "resumed"
+            ),
+        }
     stats.total_seconds = _time.perf_counter() - t0
     return structure

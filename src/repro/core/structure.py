@@ -43,6 +43,12 @@ class Phase:
 class LogicalStructure:
     """Recovered logical structure of a trace (phases × logical steps)."""
 
+    #: :class:`repro.resilience.report.DegradationReport` of the run that
+    #: produced this structure (set by the pipeline; None on structures
+    #: built by hand).  ``structure.degradation.degraded`` is the quick
+    #: "is this a partial result" check.
+    degradation = None
+
     def __init__(
         self,
         trace: Trace,

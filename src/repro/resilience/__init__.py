@@ -1,0 +1,62 @@
+"""Supervisor-style resilience for the extraction pipeline.
+
+The paper's algorithm is a straight line of stages; production traffic
+needs that line to bend instead of break.  This package supplies the
+machinery, kept deliberately independent of the pipeline's algorithmic
+modules so either side can evolve alone:
+
+* :mod:`repro.resilience.executor` — the declarative stage graph and the
+  :class:`ResilientExecutor` that runs it with fallback ladders,
+  graceful degradation, and between-stage checkpoints;
+* :mod:`repro.resilience.guard` — per-stage wall-clock/RSS watchdog;
+* :mod:`repro.resilience.checkpoint` — atomic checkpoint files keyed by
+  (trace digest, result-affecting options);
+* :mod:`repro.resilience.journal` — the crash-safe batch run journal
+  behind ``repro batch --resume``;
+* :mod:`repro.resilience.report` — :class:`DegradationReport`, the
+  structured answer to "what did the executor have to do".
+
+See ``docs/ROBUSTNESS.md`` for the degradation matrix and the on-disk
+formats.
+"""
+
+from repro.resilience.checkpoint import (
+    checkpoint_key,
+    checkpoint_path,
+    discard_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.resilience.executor import (
+    ON_ERROR_MODES,
+    ResilientExecutor,
+    StageError,
+    StageSpec,
+)
+from repro.resilience.guard import (
+    ResourceGuard,
+    StageBreachError,
+    current_rss_mb,
+)
+from repro.resilience.journal import JournalState, RunJournal, read_journal
+from repro.resilience.report import DegradationReport, StageOutcome
+
+__all__ = [
+    "ON_ERROR_MODES",
+    "DegradationReport",
+    "JournalState",
+    "ResilientExecutor",
+    "ResourceGuard",
+    "RunJournal",
+    "StageBreachError",
+    "StageError",
+    "StageOutcome",
+    "StageSpec",
+    "checkpoint_key",
+    "checkpoint_path",
+    "current_rss_mb",
+    "discard_checkpoint",
+    "load_checkpoint",
+    "read_journal",
+    "save_checkpoint",
+]

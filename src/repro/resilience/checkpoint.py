@@ -1,0 +1,117 @@
+"""Atomic between-stage checkpoints for the extraction pipeline.
+
+A checkpoint is one file per (trace, options) pair under the caller's
+``checkpoint_dir``, rewritten after every completed stage and replaced
+atomically (temp file + fsync + ``os.replace``), so a killed run leaves
+either the previous complete snapshot or the new one — never a torn
+file.  Corrupt, unreadable, version-skewed, or key-mismatched files are
+treated as "no checkpoint" and the run starts from scratch.
+
+File format (``<key>.ckpt``): a pickle of::
+
+    {
+        "version": 1,
+        "key": <sha256 of trace digest + result-affecting options>,
+        "completed": [stage names, in execution order],
+        "outcomes": [StageOutcome dicts for the completed stages],
+        "ctx": {pipeline context: partition state, phases, arrays, ...},
+    }
+
+The context snapshot is pickled in a single dump, so object identity
+within it (the trace shared by the partition state and the block table)
+survives the round trip and a resumed run is bit-identical to an
+uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import uuid
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+CHECKPOINT_VERSION = 1
+CHECKPOINT_SUFFIX = ".ckpt"
+
+
+def checkpoint_key(trace_digest: str, options_token: str) -> str:
+    """Stable key naming one (trace, result-affecting options) pair."""
+    return hashlib.sha256(
+        (trace_digest + "\n" + options_token).encode()
+    ).hexdigest()
+
+
+def checkpoint_path(directory: Union[str, Path], key: str) -> Path:
+    return Path(directory) / f"{key}{CHECKPOINT_SUFFIX}"
+
+
+def save_checkpoint(directory: Union[str, Path], key: str,
+                    completed: List[str], outcomes: List[dict],
+                    ctx_pickle: bytes) -> Path:
+    """Atomically write the checkpoint for ``key``; returns its path.
+
+    ``ctx_pickle`` is the already-pickled context snapshot (the executor
+    pickles it anyway for fallback restore, so no double serialization).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = checkpoint_path(directory, key)
+    header = {
+        "version": CHECKPOINT_VERSION,
+        "key": key,
+        "completed": list(completed),
+        "outcomes": list(outcomes),
+    }
+    tmp = directory / f".{key}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
+    try:
+        with open(tmp, "wb") as fh:
+            pickle.dump(header, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            fh.write(ctx_pickle)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # replace failed midway: don't litter
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+    return path
+
+
+def load_checkpoint(directory: Union[str, Path],
+                    key: str) -> Optional[Tuple[List[str], List[dict], dict]]:
+    """Load the checkpoint for ``key``; None when absent or unusable.
+
+    Returns ``(completed stage names, outcome dicts, restored ctx)``.
+    Any defect — missing file, truncation, pickle corruption, version or
+    key mismatch — reads as "no checkpoint"; resumability must never
+    turn into a new failure mode.
+    """
+    path = checkpoint_path(directory, key)
+    try:
+        with open(path, "rb") as fh:
+            header = pickle.load(fh)
+            if (not isinstance(header, dict)
+                    or header.get("version") != CHECKPOINT_VERSION
+                    or header.get("key") != key):
+                return None
+            ctx = pickle.load(fh)
+        if not isinstance(ctx, dict):
+            return None
+        return list(header["completed"]), list(header["outcomes"]), ctx
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError, KeyError, ValueError):
+        return None
+
+
+def discard_checkpoint(directory: Union[str, Path], key: str) -> bool:
+    """Remove the checkpoint for ``key``; True if one existed."""
+    path = checkpoint_path(directory, key)
+    try:
+        path.unlink()
+        return True
+    except OSError:
+        return False

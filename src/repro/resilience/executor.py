@@ -1,0 +1,227 @@
+"""The resilient stage executor.
+
+:class:`ResilientExecutor` runs a declarative list of
+:class:`StageSpec` over a mutable context dict — the pipeline's
+intermediate state — and owns everything the stages should not know
+about:
+
+* **Fallbacks.**  Each stage may declare an ordered ladder of fallback
+  implementations (columnar kernel → python reference → physical-time
+  ordering).  When a primary path raises, the context is restored from
+  the pre-stage snapshot and the next path runs; the stage's outcome
+  records which path produced the result and why the others failed.
+* **Graceful degradation.**  A stage marked ``degradable`` whose every
+  path failed is skipped: the context is restored, the outcome says so,
+  and the run continues to a partial result instead of losing the
+  completed stages.
+* **Resource guards.**  Each attempt runs under a
+  :class:`~repro.resilience.guard.ResourceGuard` watch; a deadline or
+  RSS breach soft-aborts the attempt (a breach on an attempt that
+  completed anyway is recorded on the outcome without discarding it).
+* **Checkpoints.**  With a ``checkpoint_dir``, the context is snapshotted
+  after every completed stage (atomic replace, see
+  :mod:`repro.resilience.checkpoint`); a later run with the same key
+  resumes after the last completed stage, emitting ``"resumed"``
+  outcomes for the skipped prefix.
+
+Error policy (``on_error``): ``"raise"`` (default) propagates the first
+stage failure unchanged — bit-for-bit the historical behavior, with no
+snapshotting cost; ``"fallback"`` walks the fallback ladder and raises
+only when every path failed; ``"degrade"`` additionally skips degradable
+stages so the run always produces its best partial result.
+
+Context snapshots are single-dump pickles, so shared references inside
+the state survive restore and a resumed or fallback run stays
+bit-identical to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time as _time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.resilience.checkpoint import load_checkpoint, save_checkpoint
+from repro.resilience.guard import ResourceGuard, StageBreachError
+from repro.resilience.report import (
+    STATUS_FALLBACK,
+    STATUS_OK,
+    STATUS_RESUMED,
+    STATUS_SKIPPED,
+    DegradationReport,
+    StageOutcome,
+)
+
+ON_ERROR_MODES = ("raise", "fallback", "degrade")
+
+StageFn = Callable[[dict], None]
+
+
+@dataclass
+class StageSpec:
+    """One stage of the pipeline graph.
+
+    ``run`` mutates the context dict in place; ``inputs``/``outputs``
+    document (and ``requires`` enforces) the context keys the stage
+    consumes and produces.  ``fallbacks`` is an ordered ladder of
+    ``(name, fn)`` alternatives tried when an earlier path raises.
+    """
+
+    name: str
+    run: StageFn
+    inputs: Tuple[str, ...] = ()
+    outputs: Tuple[str, ...] = ()
+    fallbacks: Sequence[Tuple[str, StageFn]] = ()
+    #: May the run continue (with a partial result) if every path fails?
+    degradable: bool = False
+    #: Optional predicate deciding whether the stage runs at all for
+    #: these options (a disabled stage produces no outcome).
+    enabled: Optional[Callable[[dict], bool]] = None
+    #: Context keys that must exist before the stage can run; a missing
+    #: key (an upstream stage was skipped) skips this stage too.
+    requires: Tuple[str, ...] = ()
+
+
+class StageError(RuntimeError):
+    """Raised when a non-degradable stage failed on every declared path."""
+
+    def __init__(self, stage: str, errors: List[str]):
+        self.stage = stage
+        self.errors = errors
+        super().__init__(
+            f"stage {stage!r} failed on every path: " + "; ".join(errors)
+        )
+
+
+class ResilientExecutor:
+    """Run a stage list over a context dict with the declared policies."""
+
+    def __init__(
+        self,
+        stages: Sequence[StageSpec],
+        *,
+        on_error: str = "raise",
+        guard: Optional[ResourceGuard] = None,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_key: str = "",
+        observer: Optional[Callable[[str, float, dict], None]] = None,
+    ):
+        if on_error not in ON_ERROR_MODES:
+            raise ValueError(f"unknown on_error mode {on_error!r}")
+        self.stages = list(stages)
+        self.on_error = on_error
+        self.guard = guard if guard is not None else ResourceGuard()
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_key = checkpoint_key
+        self.observer = observer
+
+    # ------------------------------------------------------------------
+    def _need_snapshot(self) -> bool:
+        return self.on_error != "raise" or self.checkpoint_dir is not None
+
+    def _attempts(self, spec: StageSpec) -> List[Tuple[str, StageFn]]:
+        attempts: List[Tuple[str, StageFn]] = [("primary", spec.run)]
+        if self.on_error != "raise":
+            attempts.extend(spec.fallbacks)
+        return attempts
+
+    def _run_stage(self, spec: StageSpec, ctx: dict,
+                   snapshot: Optional[bytes]) -> StageOutcome:
+        errors: List[str] = []
+        last_exc: Optional[BaseException] = None
+        for index, (path, fn) in enumerate(self._attempts(spec)):
+            if index > 0 and snapshot is not None:
+                # The failed path may have half-mutated the state; start
+                # the fallback from the pre-stage snapshot.
+                ctx.clear()
+                ctx.update(pickle.loads(snapshot))
+            self.guard.breach = None
+            t0 = _time.perf_counter()
+            try:
+                with self.guard.watch(spec.name):
+                    fn(ctx)
+                seconds = _time.perf_counter() - t0
+                if self.observer is not None:
+                    # Hooks and strict verification run per attempt: a
+                    # fallback result is re-checked, not waved through.
+                    self.observer(spec.name, seconds, ctx)
+            except Exception as exc:
+                last_exc = exc
+                errors.append(f"{path}: {type(exc).__name__}: {exc}")
+                if self.on_error == "raise":
+                    raise
+                continue
+            breach = self.guard.breach
+            return StageOutcome(
+                spec.name,
+                status=STATUS_OK if index == 0 else STATUS_FALLBACK,
+                path=path,
+                reason="; ".join(errors),
+                seconds=seconds,
+                breach=breach[1] if breach is not None else "",
+            )
+        if spec.degradable and self.on_error == "degrade":
+            if snapshot is not None:
+                ctx.clear()
+                ctx.update(pickle.loads(snapshot))
+            return StageOutcome(spec.name, status=STATUS_SKIPPED, path="",
+                                reason="; ".join(errors))
+        if isinstance(last_exc, StageBreachError) or len(errors) > 1:
+            raise StageError(spec.name, errors) from last_exc
+        raise last_exc  # single ordinary failure: propagate it unchanged
+
+    # ------------------------------------------------------------------
+    def run(self, ctx: dict) -> DegradationReport:
+        """Execute the stages over ``ctx``; returns the outcome report."""
+        report = DegradationReport()
+        completed: List[str] = []
+        resumed: List[str] = []
+        if self.checkpoint_dir is not None:
+            loaded = load_checkpoint(self.checkpoint_dir, self.checkpoint_key)
+            if loaded is not None:
+                resumed, outcome_dicts, saved_ctx = loaded
+                ctx.clear()
+                ctx.update(saved_ctx)
+                for data in outcome_dicts:
+                    outcome = StageOutcome.from_dict(data)
+                    outcome.status = STATUS_RESUMED
+                    report.outcomes.append(outcome)
+                completed = list(resumed)
+
+        snapshot: Optional[bytes] = None
+        if self._need_snapshot():
+            snapshot = pickle.dumps(ctx, protocol=pickle.HIGHEST_PROTOCOL)
+
+        consume = 0  # how many restored stage names we have matched
+        for spec in self.stages:
+            if spec.enabled is not None and not spec.enabled(ctx):
+                continue
+            if consume < len(resumed):
+                if resumed[consume] == spec.name:
+                    consume += 1
+                    continue
+                # The saved stage list diverged from this run's stages
+                # (should not happen for a well-formed key): run the
+                # remainder fresh rather than trusting the mismatch.
+                resumed = resumed[:consume]
+            missing = [k for k in spec.requires if k not in ctx]
+            if missing:
+                report.outcomes.append(StageOutcome(
+                    spec.name, status=STATUS_SKIPPED, path="",
+                    reason="missing upstream result(s): "
+                           + ", ".join(missing),
+                ))
+                completed.append(spec.name)
+                continue
+            outcome = self._run_stage(spec, ctx, snapshot)
+            report.outcomes.append(outcome)
+            completed.append(spec.name)
+            if self._need_snapshot():
+                snapshot = pickle.dumps(ctx, protocol=pickle.HIGHEST_PROTOCOL)
+            if self.checkpoint_dir is not None:
+                save_checkpoint(
+                    self.checkpoint_dir, self.checkpoint_key, completed,
+                    [o.to_dict() for o in report.outcomes], snapshot,
+                )
+        return report

@@ -1,0 +1,135 @@
+"""Per-stage resource guards: wall-clock deadlines and RSS ceilings.
+
+A pipeline stage that hangs or balloons memory takes the whole process
+with it — under a batch scheduler that means a killed worker and a lost
+run.  :class:`ResourceGuard` turns both failure modes into an ordinary
+Python exception the resilient executor can handle: a daemon watchdog
+thread samples elapsed wall clock and current RSS while a stage runs,
+and on breach soft-aborts the stage by injecting
+:class:`StageBreachError` into the executing thread
+(``PyThreadState_SetAsyncExc``).
+
+The injection lands at the next Python bytecode boundary, so a stage
+stuck inside one long C call (a NumPy kernel) cannot be interrupted
+mid-call; the breach is still recorded and surfaces on the stage's
+outcome when the call returns.  Pure-Python stages — exactly the ones
+that hang on pathological inputs — abort promptly.
+
+RSS is read from ``/proc/self/status`` (VmRSS).  On platforms without
+procfs the RSS ceiling is silently inactive; the deadline always works.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import threading
+import time as _time
+from contextlib import contextmanager
+from typing import Optional
+
+
+class StageBreachError(RuntimeError):
+    """A stage exceeded its wall-clock deadline or RSS ceiling."""
+
+
+def current_rss_mb() -> Optional[float]:
+    """Current resident set size in MiB, or None when unavailable."""
+    try:
+        with open("/proc/self/status", "r") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return float(line.split()[1]) / 1024.0
+    except (OSError, ValueError, IndexError):
+        pass
+    return None
+
+
+def _inject(thread_id: int, exc: Optional[type]) -> bool:
+    """Raise ``exc`` asynchronously in ``thread_id`` (None cancels)."""
+    target = ctypes.py_object(exc) if exc is not None else None
+    n = ctypes.pythonapi.PyThreadState_SetAsyncExc(
+        ctypes.c_ulong(thread_id), target
+    )
+    return n == 1
+
+
+class ResourceGuard:
+    """Watchdog for pipeline stages.
+
+    ``deadline`` is the wall-clock budget in seconds per guarded block;
+    ``max_rss_mb`` the process RSS ceiling in MiB.  With both None the
+    guard is inert and :meth:`watch` costs nothing.  One guard instance
+    serves a whole pipeline run; :attr:`breach` holds the last breach as
+    ``(stage, kind, detail)``.
+    """
+
+    def __init__(self, deadline: Optional[float] = None,
+                 max_rss_mb: Optional[float] = None,
+                 interval: float = 0.02):
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be positive (or None)")
+        if max_rss_mb is not None and max_rss_mb <= 0:
+            raise ValueError("max_rss_mb must be positive (or None)")
+        self.deadline = deadline
+        self.max_rss_mb = max_rss_mb
+        self.interval = interval
+        self.breach: Optional[tuple] = None
+
+    @property
+    def active(self) -> bool:
+        return self.deadline is not None or self.max_rss_mb is not None
+
+    def _watchdog(self, stage: str, target_id: int, started: float,
+                  stop: threading.Event, injected: threading.Event) -> None:
+        while not stop.wait(self.interval):
+            if self.deadline is not None:
+                elapsed = _time.monotonic() - started
+                if elapsed > self.deadline:
+                    self.breach = (
+                        stage, "deadline",
+                        f"stage {stage!r} exceeded {self.deadline:g}s "
+                        f"wall clock ({elapsed:.2f}s elapsed)",
+                    )
+                    injected.set()
+                    _inject(target_id, StageBreachError)
+                    return
+            if self.max_rss_mb is not None:
+                rss = current_rss_mb()
+                if rss is not None and rss > self.max_rss_mb:
+                    self.breach = (
+                        stage, "rss",
+                        f"stage {stage!r} RSS {rss:.0f} MiB exceeded the "
+                        f"{self.max_rss_mb:g} MiB ceiling",
+                    )
+                    injected.set()
+                    _inject(target_id, StageBreachError)
+                    return
+
+    @contextmanager
+    def watch(self, stage: str):
+        """Guard the enclosed block; breach injects StageBreachError."""
+        if not self.active:
+            yield
+            return
+        target_id = threading.get_ident()
+        stop = threading.Event()
+        injected = threading.Event()
+        thread = threading.Thread(
+            target=self._watchdog,
+            args=(stage, target_id, _time.monotonic(), stop, injected),
+            name=f"repro-watchdog-{stage}",
+            daemon=True,
+        )
+        thread.start()
+        try:
+            yield
+        except StageBreachError:
+            raise
+        finally:
+            stop.set()
+            thread.join()
+            # The stage finished between the injection request and the
+            # exception landing: cancel the pending async raise so it
+            # cannot fire in unrelated later code.
+            if injected.is_set():
+                _inject(target_id, None)

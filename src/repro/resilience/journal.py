@@ -1,0 +1,157 @@
+"""Crash-safe batch run journal: append-only, fsync'd, torn-tail tolerant.
+
+``repro batch`` over a large corpus can die at any moment — a host
+reboot, an OOM kill, a ``kill -9`` of the scheduler itself.  The journal
+makes that survivable: every finished trace appends one JSON line
+(flushed and fsync'd before the scheduler moves on), so on restart
+``repro batch --resume <journal>`` knows exactly which traces completed
+and re-runs only the pending or failed ones.
+
+File format — one JSON object per line:
+
+* ``{"kind": "meta", "version": 1, "options": <options token>}`` —
+  written when the journal is opened for a run; repeated meta lines
+  (one per resumed run) are fine, but their options token must match.
+* ``{"kind": "done", "source", "digest", "summary", "seconds",
+  "attempts", "timed_out"}`` — a trace extracted successfully.
+* ``{"kind": "fail", "source", "digest", "error", "attempts",
+  "timed_out"}`` — a trace that exhausted its retries.
+
+A process killed mid-append leaves at most one torn final line; the
+loader ignores an undecodable tail (and counts, but tolerates, any
+undecodable interior line).  Because a "done" line is only written
+*after* its trace's summary is complete, and resume skips exactly the
+digests with "done" lines, a trace is never extracted twice and never
+lost, no matter where the kill landed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+JOURNAL_VERSION = 1
+
+
+@dataclass
+class JournalState:
+    """Parsed contents of a journal file."""
+
+    #: digest -> the latest "done" entry for that trace.
+    done: Dict[str, dict] = field(default_factory=dict)
+    #: digest -> the latest "fail" entry (superseded by a later "done").
+    failed: Dict[str, dict] = field(default_factory=dict)
+    #: Options token from the meta line(s), None when no meta survived.
+    options: Optional[str] = None
+    #: Total well-formed entry lines read.
+    entries: int = 0
+    #: Undecodable lines skipped (1 for a torn tail is normal).
+    corrupt_lines: int = 0
+
+    def is_done(self, digest: str) -> bool:
+        return digest in self.done
+
+
+def read_journal(path: Union[str, Path]) -> JournalState:
+    """Parse a journal, tolerating a torn final line (kill -9 mid-write).
+
+    A missing file reads as an empty journal: resuming from a journal
+    that was never created simply runs everything.
+    """
+    state = JournalState()
+    try:
+        raw = Path(path).read_bytes()
+    except OSError:
+        return state
+    for line in raw.split(b"\n"):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            state.corrupt_lines += 1
+            continue
+        if not isinstance(entry, dict):
+            state.corrupt_lines += 1
+            continue
+        state.entries += 1
+        kind = entry.get("kind")
+        digest = entry.get("digest", "")
+        if kind == "meta":
+            state.options = entry.get("options")
+        elif kind == "done" and digest:
+            state.done[digest] = entry
+            state.failed.pop(digest, None)
+        elif kind == "fail" and digest:
+            state.failed[digest] = entry
+    return state
+
+
+class RunJournal:
+    """Append-only writer for one batch run's journal.
+
+    Opening with ``resume=True`` keeps the existing file and returns its
+    parsed state (raising ``ValueError`` if it was written under a
+    different options token — resuming under different extraction
+    options would silently mix incompatible results).  Without
+    ``resume``, an existing file is truncated and the run starts a fresh
+    journal.
+    """
+
+    def __init__(self, path: Union[str, Path], options_token: str = "",
+                 resume: bool = False):
+        self.path = Path(path)
+        self.options_token = options_token
+        self.state = read_journal(self.path) if resume else JournalState()
+        if (resume and self.state.options is not None and options_token
+                and self.state.options != options_token):
+            raise ValueError(
+                f"journal {self.path} was written under different pipeline "
+                f"options; resuming it with these options would mix "
+                f"incompatible results (use a fresh journal, or rerun with "
+                f"the original options)"
+            )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "ab" if resume else "wb")
+        self.record("meta", version=JOURNAL_VERSION, options=options_token)
+
+    # ------------------------------------------------------------------
+    def record(self, kind: str, **fields) -> None:
+        """Append one entry; durable (flushed + fsync'd) before returning."""
+        entry = {"kind": kind, **fields}
+        data = json.dumps(entry, sort_keys=True).encode("utf-8") + b"\n"
+        self._fh.write(data)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def record_done(self, source: str, digest: str, summary: dict,
+                    seconds: float = 0.0, attempts: int = 1,
+                    timed_out: bool = False) -> None:
+        self.record("done", source=source, digest=digest, summary=summary,
+                    seconds=seconds, attempts=attempts, timed_out=timed_out)
+
+    def record_fail(self, source: str, digest: str, error: str,
+                    attempts: int = 1, timed_out: bool = False) -> None:
+        self.record("fail", source=source, digest=digest, error=error,
+                    attempts=attempts, timed_out=timed_out)
+
+    def is_done(self, digest: str) -> bool:
+        return self.state.is_done(digest)
+
+    def done_entry(self, digest: str) -> Optional[dict]:
+        return self.state.done.get(digest)
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

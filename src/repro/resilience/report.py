@@ -1,0 +1,140 @@
+"""Degradation reporting: what the resilient executor did to finish.
+
+Every stage the executor runs produces a :class:`StageOutcome`; the
+:class:`DegradationReport` collects them and answers the questions a
+campaign operator asks about a run that did not go perfectly: which
+stages fell back to a safe path, which were skipped entirely, which
+resource guard tripped, and whether any of the result is therefore
+partial.  The report is threaded through
+:class:`~repro.core.pipeline.PipelineStats`, ``repro analyze --json``,
+and ``repro batch`` result rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Outcome statuses, in increasing order of degradation.
+STATUS_OK = "ok"
+STATUS_FALLBACK = "fallback"
+STATUS_SKIPPED = "skipped"
+STATUS_RESUMED = "resumed"
+
+
+@dataclass
+class StageOutcome:
+    """How one stage of the pipeline actually completed.
+
+    ``status`` is one of:
+
+    * ``"ok"`` — the primary path succeeded;
+    * ``"resumed"`` — restored from a checkpoint, not re-run;
+    * ``"fallback"`` — the primary path failed and a declared fallback
+      produced the stage's result (``path`` names which one);
+    * ``"skipped"`` — every path failed (or a prerequisite stage was
+      skipped) and the stage was omitted, leaving the result partial.
+    """
+
+    stage: str
+    status: str = STATUS_OK
+    #: Which implementation produced the result ("primary" or the
+    #: fallback's name); empty when the stage was skipped.
+    path: str = "primary"
+    #: Why the primary (and any earlier fallbacks) failed; empty when ok.
+    reason: str = ""
+    seconds: float = 0.0
+    #: Resource-guard breach observed during the stage ("" | "deadline"
+    #: | "rss").  A breach that soft-aborted the stage also shows up in
+    #: ``reason``; a breach on a stage that completed anyway is recorded
+    #: here without affecting the result.
+    breach: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "stage": self.stage,
+            "status": self.status,
+            "path": self.path,
+            "reason": self.reason,
+            "seconds": self.seconds,
+            "breach": self.breach,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StageOutcome":
+        return cls(
+            stage=data["stage"],
+            status=data.get("status", STATUS_OK),
+            path=data.get("path", "primary"),
+            reason=data.get("reason", ""),
+            seconds=data.get("seconds", 0.0),
+            breach=data.get("breach", ""),
+        )
+
+
+@dataclass
+class DegradationReport:
+    """All stage outcomes of one resilient pipeline run."""
+
+    outcomes: List[StageOutcome] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any stage fell back, was skipped, or breached a guard."""
+        return any(
+            o.status in (STATUS_FALLBACK, STATUS_SKIPPED) or o.breach
+            for o in self.outcomes
+        )
+
+    @property
+    def resumed(self) -> bool:
+        """True when any stage was restored from a checkpoint."""
+        return any(o.status == STATUS_RESUMED for o in self.outcomes)
+
+    @property
+    def complete(self) -> bool:
+        """True when no stage was skipped (the result is not partial)."""
+        return all(o.status != STATUS_SKIPPED for o in self.outcomes)
+
+    @property
+    def fallbacks(self) -> List[StageOutcome]:
+        return [o for o in self.outcomes if o.status == STATUS_FALLBACK]
+
+    @property
+    def skipped(self) -> List[StageOutcome]:
+        return [o for o in self.outcomes if o.status == STATUS_SKIPPED]
+
+    def by_stage(self) -> Dict[str, StageOutcome]:
+        """Latest outcome per stage name."""
+        return {o.stage: o for o in self.outcomes}
+
+    def outcome(self, stage: str) -> Optional[StageOutcome]:
+        return self.by_stage().get(stage)
+
+    def summary(self) -> str:
+        """One-line human description for CLI table output."""
+        if not self.degraded:
+            return "clean"
+        parts = []
+        for o in self.outcomes:
+            if o.status == STATUS_FALLBACK:
+                parts.append(f"{o.stage}->{o.path}")
+            elif o.status == STATUS_SKIPPED:
+                parts.append(f"{o.stage}:skipped")
+            elif o.breach:
+                parts.append(f"{o.stage}:{o.breach}-breach")
+        return ", ".join(parts)
+
+    def to_dict(self) -> dict:
+        return {
+            "degraded": self.degraded,
+            "complete": self.complete,
+            "resumed": self.resumed,
+            "stages": [o.to_dict() for o in self.outcomes],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DegradationReport":
+        return cls(outcomes=[
+            StageOutcome.from_dict(o) for o in data.get("stages", [])
+        ])

@@ -1,0 +1,724 @@
+"""The resilient stage executor: checkpoints, fallbacks, degradation,
+resource guards, hook error policy, and crash-safe batch journaling.
+
+Acceptance anchors (ISSUE 4):
+
+* a checkpoint-resumed extraction and a fallback-path extraction are
+  bit-identical to an uninterrupted python-reference run;
+* ``repro batch --resume`` after a SIGKILL mid-batch completes the
+  corpus without re-extracting finished traces;
+* a watchdog deadline/RSS breach soft-aborts the stage instead of
+  hanging or OOM-killing the process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import time
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.api import (
+    BatchExtractor,
+    DegradationReport,
+    PipelineOptions,
+    PipelineStats,
+    RunJournal,
+    StructureCache,
+    extract,
+    extract_logical_structure,
+    fault_corpus,
+    read_journal,
+    repair_trace,
+    trace_digest,
+    write_trace,
+)
+from repro.apps import jacobi2d
+from repro.batch import options_token
+from repro.cli import main
+from repro.resilience import (
+    ResilientExecutor,
+    ResourceGuard,
+    StageBreachError,
+    StageError,
+    StageOutcome,
+    StageSpec,
+    checkpoint_key,
+    checkpoint_path,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.verify.invariants import InvariantViolationError
+
+from .helpers import structures_equal
+
+pytestmark = pytest.mark.resilience
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return jacobi2d.run(chares=(4, 4), pes=4, iterations=3, seed=11)
+
+
+@pytest.fixture(scope="module")
+def reference(trace):
+    """Uninterrupted pure-python reference extraction."""
+    return extract(trace, backend="python")
+
+
+# ---------------------------------------------------------------------------
+# Executor unit behavior
+# ---------------------------------------------------------------------------
+def _spec(name, fn, **kw):
+    return StageSpec(name, fn, **kw)
+
+
+def test_executor_runs_stages_in_order():
+    seen = []
+    ex = ResilientExecutor([
+        _spec("a", lambda c: seen.append("a")),
+        _spec("b", lambda c: seen.append("b")),
+    ])
+    report = ex.run({})
+    assert seen == ["a", "b"]
+    assert [o.stage for o in report.outcomes] == ["a", "b"]
+    assert not report.degraded and report.complete
+
+
+def test_executor_raise_mode_propagates_first_error():
+    def boom(ctx):
+        raise KeyError("nope")
+
+    ex = ResilientExecutor([
+        _spec("a", boom, fallbacks=[("alt", lambda c: None)]),
+    ], on_error="raise")
+    with pytest.raises(KeyError):
+        ex.run({})
+
+
+def test_executor_fallback_restores_context_before_alternate():
+    def primary(ctx):
+        ctx["x"] = "halfway"  # mutation that must not leak into the fallback
+        raise RuntimeError("primary died")
+
+    def alternate(ctx):
+        assert "x" not in ctx
+        ctx["x"] = "fallback"
+
+    ex = ResilientExecutor(
+        [_spec("s", primary, fallbacks=[("alt", alternate)])],
+        on_error="fallback",
+    )
+    ctx = {}
+    report = ex.run(ctx)
+    assert ctx["x"] == "fallback"
+    out = report.outcome("s")
+    assert out.status == "fallback" and out.path == "alt"
+    assert "primary died" in out.reason
+    assert report.degraded and report.complete
+
+
+def test_executor_all_paths_fail_raises_stage_error():
+    def boom(ctx):
+        raise RuntimeError("dead")
+
+    ex = ResilientExecutor(
+        [_spec("s", boom, fallbacks=[("alt", boom)])], on_error="fallback",
+    )
+    with pytest.raises(StageError) as err:
+        ex.run({})
+    assert err.value.stage == "s" and len(err.value.errors) == 2
+
+
+def test_executor_degrade_skips_degradable_stage():
+    def boom(ctx):
+        ctx["junk"] = 1
+        raise RuntimeError("dead")
+
+    ex = ResilientExecutor([
+        _spec("good", lambda c: c.__setitem__("ok", True)),
+        _spec("bad", boom, degradable=True),
+        _spec("after", lambda c: c.__setitem__("ran", True)),
+    ], on_error="degrade")
+    ctx = {}
+    report = ex.run(ctx)
+    assert ctx.get("ok") and ctx.get("ran") and "junk" not in ctx
+    assert report.outcome("bad").status == "skipped"
+    assert report.degraded and not report.complete
+    assert [o.stage for o in report.skipped] == ["bad"]
+
+
+def test_executor_requires_cascades_skips():
+    def boom(ctx):
+        raise RuntimeError("dead")
+
+    ex = ResilientExecutor([
+        _spec("a", boom, degradable=True),
+        _spec("b", lambda c: c.__setitem__("b", 1), degradable=True,
+              requires=("a_done",)),
+    ], on_error="degrade")
+    ctx = {}
+    report = ex.run(ctx)
+    assert "b" not in ctx
+    assert report.outcome("b").status == "skipped"
+    assert "missing upstream" in report.outcome("b").reason
+
+
+def test_executor_disabled_stage_produces_no_outcome():
+    ex = ResilientExecutor([
+        _spec("off", lambda c: c.__setitem__("off", 1),
+              enabled=lambda c: False),
+        _spec("on", lambda c: c.__setitem__("on", 1)),
+    ])
+    ctx = {}
+    report = ex.run(ctx)
+    assert "off" not in ctx and ctx["on"] == 1
+    assert [o.stage for o in report.outcomes] == ["on"]
+
+
+def test_degradation_report_round_trip():
+    report = DegradationReport(outcomes=[
+        StageOutcome("a"),
+        StageOutcome("b", status="fallback", path="alt", reason="x"),
+        StageOutcome("c", status="skipped"),
+    ])
+    clone = DegradationReport.from_dict(report.to_dict())
+    assert [o.stage for o in clone.outcomes] == ["a", "b", "c"]
+    assert clone.degraded and not clone.complete
+    assert "b->alt" in report.summary() and "c:skipped" in report.summary()
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint files
+# ---------------------------------------------------------------------------
+def test_checkpoint_save_load_round_trip(tmp_path):
+    ctx = {"x": [1, 2, 3], "y": {"nested": (4, 5)}}
+    blob = pickle.dumps(ctx)
+    key = checkpoint_key("digest", "options")
+    save_checkpoint(tmp_path, key, ["a", "b"], [{"stage": "a"}], blob)
+    loaded = load_checkpoint(tmp_path, key)
+    assert loaded is not None
+    completed, outcomes, restored = loaded
+    assert completed == ["a", "b"]
+    assert outcomes == [{"stage": "a"}]
+    assert restored == ctx
+
+
+def test_checkpoint_corrupt_and_mismatched_files_read_as_absent(tmp_path):
+    key = checkpoint_key("digest", "options")
+    assert load_checkpoint(tmp_path, key) is None  # missing
+    path = checkpoint_path(tmp_path, key)
+    path.write_bytes(b"not a pickle at all")
+    assert load_checkpoint(tmp_path, key) is None  # corrupt
+    save_checkpoint(tmp_path, key, [], [], pickle.dumps({}))
+    truncated = path.read_bytes()[:-10]
+    path.write_bytes(truncated)
+    assert load_checkpoint(tmp_path, key) is None  # torn
+    other = checkpoint_key("other-digest", "options")
+    save_checkpoint(tmp_path, key, [], [], pickle.dumps({}))
+    os.replace(checkpoint_path(tmp_path, key), checkpoint_path(tmp_path, other))
+    assert load_checkpoint(tmp_path, other) is None  # key mismatch
+
+
+def test_checkpoint_key_separates_traces_and_options(trace):
+    digest = trace_digest(trace)
+    base = options_token(PipelineOptions())
+    assert checkpoint_key(digest, base) != checkpoint_key("x", base)
+    assert checkpoint_key(digest, base) != checkpoint_key(
+        digest, options_token(PipelineOptions(order="physical")))
+    # supervision knobs don't change the key: a resumed run may tighten
+    # deadlines or flip on_error without orphaning its checkpoint
+    assert options_token(PipelineOptions()) == options_token(
+        PipelineOptions(on_error="degrade", stage_deadline=1.0,
+                        max_rss_mb=512.0, hook_errors="raise",
+                        checkpoint_dir="/tmp/x"))
+
+
+# ---------------------------------------------------------------------------
+# Pipeline: checkpoint resume and fallback bit-identity
+# ---------------------------------------------------------------------------
+def test_checkpoint_resume_is_bit_identical(trace, reference, tmp_path):
+    opts = PipelineOptions(backend="python", checkpoint_dir=str(tmp_path))
+    first = extract_logical_structure(trace, opts)
+    assert structures_equal(first, reference)
+    stats = PipelineStats()
+    resumed = extract_logical_structure(trace, opts, stats)
+    assert structures_equal(resumed, reference)
+    assert resumed.degradation.resumed
+    assert stats.checkpoint["resumed_stages"] > 0
+    # resumed stage timings are still reported (from the original run)
+    assert "dependency_merge" in stats.stage_seconds
+
+
+def test_partial_checkpoint_resumes_midway(trace, reference, tmp_path):
+    """Kill the run after an early stage; the retry picks up from there."""
+    opts = PipelineOptions(backend="python", checkpoint_dir=str(tmp_path))
+
+    class DieAfter:
+        def on_stage(self, stage, *, state=None, structure=None, seconds=0.0):
+            if stage == "repair_merge":
+                raise KeyboardInterrupt  # not an Exception: no fallback path
+
+    with pytest.raises(KeyboardInterrupt):
+        extract_logical_structure(
+            trace, opts.with_overrides(hooks=DieAfter(), hook_errors="raise"))
+    key = checkpoint_key(trace_digest(trace), options_token(opts))
+    loaded = load_checkpoint(tmp_path, key)
+    assert loaded is not None and loaded[0][-1] == "dependency_merge"
+
+    stats = PipelineStats()
+    resumed = extract_logical_structure(trace, opts, stats)
+    assert structures_equal(resumed, reference)
+    assert stats.checkpoint["resumed_stages"] == 2  # initial, dependency_merge
+    fresh = [o.stage for o in resumed.degradation.outcomes
+             if o.status != "resumed"]
+    assert fresh[0] == "repair_merge"
+
+
+def test_fallback_paths_match_python_reference(trace, reference, monkeypatch):
+    """Break every columnar kernel: the run lands on the python path and
+    the structure stays bit-identical."""
+    from repro.core import columnar
+
+    def boom(*a, **k):
+        raise RuntimeError("columnar kernel fault injection")
+
+    monkeypatch.setattr(columnar, "build_initial_columnar", boom)
+    stats = PipelineStats()
+    structure = extract_logical_structure(
+        trace, PipelineOptions(on_error="fallback"), stats)
+    assert structures_equal(structure, reference)
+    out = structure.degradation.outcome("initial")
+    assert out.status == "fallback" and out.path == "python_reference"
+    assert stats.degradation["degraded"]
+    # raise mode still propagates the same failure
+    with pytest.raises(RuntimeError, match="columnar kernel"):
+        extract_logical_structure(trace, PipelineOptions(on_error="raise",
+                                                         backend="columnar"))
+
+
+def test_reorder_failure_degrades_to_physical_order(trace, monkeypatch):
+    """Reorder failure → physical-time ordering, per the degradation
+    matrix; the result matches a straight physical-order run."""
+    from repro.core import pipeline as pl
+
+    def boom(*a, **k):
+        raise RuntimeError("reorder fault injection")
+
+    monkeypatch.setattr(pl, "reordered_order_task", boom)
+    physical = extract(trace, backend="python", order="physical")
+    structure = extract_logical_structure(
+        trace, PipelineOptions(backend="python", on_error="fallback"))
+    out = structure.degradation.outcome("local_steps")
+    assert out.status == "fallback" and out.path == "physical_order"
+    assert structure.step_of_event == physical.step_of_event
+
+
+def test_degrade_mode_returns_partial_result(trace, monkeypatch):
+    """Every ordering path dead: the run still returns phases, with the
+    step assignment skipped and reported."""
+    from repro.core import pipeline as pl
+
+    def boom(*a, **k):
+        raise RuntimeError("ordering fault injection")
+
+    monkeypatch.setattr(pl, "reordered_order_task", boom)
+    monkeypatch.setattr(pl, "physical_order", boom)
+    stats = PipelineStats()
+    structure = extract_logical_structure(
+        trace, PipelineOptions(backend="python", on_error="degrade"), stats)
+    assert len(structure.phases) > 0
+    assert structure.degradation.degraded
+    assert not structure.degradation.complete
+    assert {"local_steps", "global_steps"} <= {
+        o.stage for o in structure.degradation.skipped}
+    # partial result: phases are known, steps are not
+    assert set(structure.phase_of_event) != {-1}
+    assert all(s == -1 for s in structure.step_of_event)
+    assert stats.degradation["degraded"]
+
+
+def test_fallback_equivalence_on_fault_corpus():
+    """Repaired fault-corpus traces extract identically on the primary
+    and forced-fallback paths."""
+    base = jacobi2d.run(chares=(3, 3), pes=2, iterations=2, seed=5)
+    corpus = fault_corpus(base, ["drop_messages", "clock_skew"], seed=3,
+                          severity=0.3)
+    for kind, bad in corpus.items():
+        fixed, _ = repair_trace(bad, mode="fix")
+        ref = extract(fixed, backend="python")
+        resilient = extract_logical_structure(
+            fixed, PipelineOptions(backend="python", on_error="degrade"))
+        assert structures_equal(ref, resilient), kind
+        assert not resilient.degradation.degraded
+
+
+def test_strict_verify_failure_falls_back_and_rechecks(trace, monkeypatch):
+    """An invariant violation on the primary path participates in the
+    fallback machinery: the safe path re-runs and is re-verified."""
+    from repro.core import columnar
+
+    calls = {"n": 0}
+
+    def poisoned(*a, **k):
+        calls["n"] += 1
+        raise RuntimeError("poisoned kernel")
+
+    monkeypatch.setattr(columnar, "build_initial_columnar", poisoned)
+    structure = extract_logical_structure(
+        trace, PipelineOptions(verify=True, on_error="fallback"))
+    assert calls["n"] == 1
+    assert structure.degradation.outcome("initial").path == "python_reference"
+
+
+# ---------------------------------------------------------------------------
+# Resource guards
+# ---------------------------------------------------------------------------
+def test_guard_deadline_breach_aborts_stage():
+    guard = ResourceGuard(deadline=0.1, interval=0.01)
+    with pytest.raises(StageBreachError):
+        with guard.watch("slow"):
+            time.sleep(5.0)
+    assert guard.breach[0] == "slow" and guard.breach[1] == "deadline"
+
+
+def test_guard_inert_without_limits():
+    guard = ResourceGuard()
+    assert not guard.active
+    with guard.watch("s"):
+        pass
+    assert guard.breach is None
+
+
+def test_guard_validates_limits():
+    with pytest.raises(ValueError):
+        ResourceGuard(deadline=0.0)
+    with pytest.raises(ValueError):
+        ResourceGuard(max_rss_mb=-1)
+
+
+@pytest.mark.skipif(not os.path.exists("/proc/self/status"),
+                    reason="needs procfs for RSS sampling")
+def test_guard_rss_breach_aborts_stage():
+    from repro.resilience.guard import current_rss_mb
+
+    rss = current_rss_mb()
+    assert rss is not None and rss > 0
+    guard = ResourceGuard(max_rss_mb=1.0, interval=0.01)  # already over
+    with pytest.raises(StageBreachError):
+        with guard.watch("fat"):
+            time.sleep(5.0)
+    assert guard.breach[1] == "rss"
+
+
+def test_pipeline_deadline_breach_fails_cleanly(trace, monkeypatch):
+    """A stage hung past its deadline is soft-aborted: raise mode gets
+    the breach error, fallback mode gets a StageError naming it."""
+    from repro.core import pipeline as pl
+
+    real = pl.dependency_merge
+
+    def slow(state):
+        time.sleep(5.0)
+        real(state)
+
+    monkeypatch.setattr(pl, "dependency_merge", slow)
+    with pytest.raises(StageBreachError):
+        extract_logical_structure(
+            trace, PipelineOptions(stage_deadline=0.15, on_error="raise",
+                                   backend="python"))
+    with pytest.raises(StageError, match="dependency_merge"):
+        extract_logical_structure(
+            trace, PipelineOptions(stage_deadline=0.15, on_error="fallback",
+                                   backend="python"))
+
+
+def test_pipeline_generous_deadline_is_harmless(trace, reference):
+    structure = extract_logical_structure(
+        trace, PipelineOptions(stage_deadline=300.0, max_rss_mb=65536.0,
+                               backend="python", on_error="fallback"))
+    assert structures_equal(structure, reference)
+    assert not structure.degradation.degraded
+
+
+# ---------------------------------------------------------------------------
+# Hook error policy
+# ---------------------------------------------------------------------------
+class _BrokenHook:
+    def __init__(self):
+        self.calls = 0
+
+    def on_stage(self, stage, *, state=None, structure=None, seconds=0.0):
+        self.calls += 1
+        raise RuntimeError("hook bug")
+
+
+def test_hook_errors_warn_continues(trace, reference):
+    hook = _BrokenHook()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        structure = extract_logical_structure(
+            trace, PipelineOptions(backend="python", hooks=hook))
+    assert structures_equal(structure, reference)
+    assert hook.calls > 1  # kept being called, stage after stage
+    runtime = [w for w in caught if issubclass(w.category, RuntimeWarning)
+               and "hook" in str(w.message)]
+    assert runtime and "_BrokenHook" in str(runtime[0].message)
+
+
+def test_hook_errors_raise_aborts(trace):
+    with pytest.raises(RuntimeError, match="hook bug"):
+        extract_logical_structure(
+            trace, PipelineOptions(backend="python", hooks=_BrokenHook(),
+                                   hook_errors="raise"))
+
+
+def test_invariant_violation_propagates_despite_warn(trace):
+    class FakeStrict:
+        def on_stage(self, stage, *, state=None, structure=None, seconds=0.0):
+            raise InvariantViolationError("strict says no", [])
+
+    with pytest.raises(InvariantViolationError):
+        extract_logical_structure(
+            trace, PipelineOptions(backend="python", hooks=FakeStrict(),
+                                   hook_errors="warn"))
+
+
+# ---------------------------------------------------------------------------
+# Batch journal: crash-safe resume
+# ---------------------------------------------------------------------------
+def test_journal_round_trip(tmp_path):
+    path = tmp_path / "j.jsonl"
+    with RunJournal(path, "tok") as journal:
+        journal.record_done("a", "d1", {"phases": 3}, 0.5, 1, False)
+        journal.record_fail("b", "d2", "boom", 2, True)
+        journal.record_done("b", "d2", {"phases": 9})  # retry succeeded
+    state = read_journal(path)
+    assert state.options == "tok"
+    assert set(state.done) == {"d1", "d2"}
+    assert not state.failed  # the later done superseded the fail
+    assert state.done["d2"]["summary"] == {"phases": 9}
+
+
+def test_journal_tolerates_torn_tail(tmp_path):
+    path = tmp_path / "j.jsonl"
+    with RunJournal(path, "tok") as journal:
+        journal.record_done("a", "d1", {})
+    with open(path, "ab") as fh:
+        fh.write(b'{"kind": "done", "digest": "d2", "summ')  # kill -9 here
+    state = read_journal(path)
+    assert state.is_done("d1") and not state.is_done("d2")
+    assert state.corrupt_lines == 1
+    # and the journal can keep appending after the torn tail
+    with RunJournal(path, "tok", resume=True) as journal:
+        assert journal.is_done("d1")
+        journal.record_done("c", "d3", {})
+    assert read_journal(path).is_done("d3")
+
+
+def test_journal_missing_file_reads_empty(tmp_path):
+    state = read_journal(tmp_path / "absent.jsonl")
+    assert state.entries == 0 and not state.done
+
+
+def test_journal_options_mismatch_refuses_resume(tmp_path):
+    path = tmp_path / "j.jsonl"
+    RunJournal(path, "tok-a").close()
+    with pytest.raises(ValueError, match="different pipeline options"):
+        RunJournal(path, "tok-b", resume=True)
+
+
+def test_batch_resume_skips_done_traces(tmp_path):
+    traces = [jacobi2d.run(chares=(3, 3), pes=2, iterations=1, seed=s)
+              for s in range(3)]
+    path = tmp_path / "j.jsonl"
+    first = BatchExtractor(journal=path).run(traces[:2])
+    assert first.ok and not first.resumed
+    second = BatchExtractor(journal=path, resume=True).run(traces)
+    assert second.ok
+    assert [r.resumed for r in second.results] == [True, True, False]
+    assert len(read_journal(path).done) == 3
+    doc = second.to_dict()
+    assert doc["resumed"] == 2
+    assert doc["results"][0]["resumed"] is True
+
+
+def test_batch_resume_requires_journal():
+    with pytest.raises(ValueError, match="journal"):
+        BatchExtractor(resume=True)
+
+
+def test_batch_sigkill_mid_run_resumes_without_rework(tmp_path):
+    """SIGKILL the batch while it grinds through a corpus; the resumed
+    run completes it and re-extracts only unfinished traces."""
+    corpus_dir = tmp_path / "corpus"
+    corpus_dir.mkdir()
+    paths = []
+    for s in range(4):
+        p = corpus_dir / f"t{s}.jsonl"
+        write_trace(jacobi2d.run(chares=(4, 4), pes=4, iterations=3, seed=s),
+                    p)
+        paths.append(str(p))
+    journal = tmp_path / "run.jsonl"
+    script = (
+        "import sys; sys.path.insert(0, {src!r})\n"
+        "from repro.batch import BatchExtractor\n"
+        "BatchExtractor(journal={journal!r}).run({paths!r})\n"
+    ).format(src=str(Path(__file__).resolve().parents[1] / "src"),
+             journal=str(journal), paths=paths)
+    proc = subprocess.Popen([sys.executable, "-c", script])
+    # kill -9 once at least one trace has been journaled as done
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            break  # finished everything before we got the kill in
+        if len(read_journal(journal).done) >= 1:
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait()
+            break
+        time.sleep(0.005)
+    else:
+        proc.kill()
+        pytest.fail("worker never journaled a completed trace")
+    done_before = set(read_journal(journal).done)
+    assert done_before  # the journal survived the kill
+
+    report = BatchExtractor(journal=journal, resume=True).run(paths)
+    assert report.ok and len(report.results) == len(paths)
+    resumed = {trace_digest(p) for p, r in zip(paths, report.results)
+               if r.resumed}
+    # exactly the traces journaled before the kill were skipped
+    assert resumed == done_before
+    assert len(read_journal(journal).done) == len(paths)
+
+
+def test_degraded_summaries_are_not_cached(tmp_path, monkeypatch):
+    from repro.core import pipeline as pl
+
+    def boom(*a, **k):
+        raise RuntimeError("ordering fault injection")
+
+    monkeypatch.setattr(pl, "reordered_order_task", boom)
+    monkeypatch.setattr(pl, "physical_order", boom)
+    cache = StructureCache(tmp_path / "cache")
+    trace = jacobi2d.run(chares=(3, 3), pes=2, iterations=1, seed=9)
+    report = BatchExtractor(
+        PipelineOptions(backend="python", on_error="degrade"),
+        cache=cache).run([trace])
+    assert report.ok
+    assert report.results[0].summary["degradation"]["degraded"]
+    assert cache.stats()["disk_entries"] == 0  # degraded: never cached
+
+
+# ---------------------------------------------------------------------------
+# Structure cache caps
+# ---------------------------------------------------------------------------
+def test_cache_entry_cap_evicts_lru(tmp_path):
+    cache = StructureCache(tmp_path, max_entries=2)
+    cache.put("k1", {"v": 1})
+    time.sleep(0.01)
+    cache.put("k2", {"v": 2})
+    time.sleep(0.01)
+    assert cache.get("k1") is not None  # touch k1: k2 becomes LRU
+    time.sleep(0.01)
+    cache.put("k3", {"v": 3})
+    stats = cache.stats()
+    assert stats["disk_entries"] == 2 and stats["evictions"] == 1
+    fresh = StructureCache(tmp_path)
+    assert fresh.get("k2") is None  # the untouched entry was evicted
+    assert fresh.get("k1") is not None and fresh.get("k3") is not None
+
+
+def test_cache_byte_cap_and_prune(tmp_path):
+    cache = StructureCache(tmp_path)
+    for i in range(6):
+        cache.put(f"k{i}", {"payload": "x" * 100, "i": i})
+        time.sleep(0.01)
+    total = cache.stats()["disk_bytes"]
+    removed = cache.prune(max_bytes=total // 2)
+    assert removed >= 3
+    assert cache.stats()["disk_bytes"] <= total // 2
+    with pytest.raises(ValueError):
+        cache.prune(max_entries=0)
+    with pytest.raises(ValueError):
+        StructureCache(tmp_path, max_entries=0)
+
+
+def test_cache_cli_stats_and_prune(tmp_path, capsys):
+    cache = StructureCache(tmp_path)
+    for i in range(3):
+        cache.put(f"k{i}", {"i": i})
+        time.sleep(0.01)
+    assert main(["cache", str(tmp_path), "--stats", "--json"]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["disk_entries"] == 3
+    assert main(["cache", str(tmp_path), "--prune", "--max-entries", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "pruned 2" in out
+    assert main(["cache", str(tmp_path), "--prune"]) == 2  # caps required
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def trace_file(tmp_path_factory, trace):
+    path = tmp_path_factory.mktemp("cli") / "t.jsonl"
+    write_trace(trace, path)
+    return str(path)
+
+
+def test_cli_batch_journal_resume(trace_file, tmp_path, capsys):
+    journal = tmp_path / "j.jsonl"
+    assert main(["batch", trace_file, "--journal", str(journal)]) == 0
+    capsys.readouterr()
+    assert main(["batch", trace_file, "--resume", str(journal)]) == 0
+    out = capsys.readouterr().out
+    assert "resumed" in out
+    assert main(["batch", trace_file, "--journal", str(journal),
+                 "--resume", str(journal)]) == 2  # mutually exclusive
+
+
+def test_cli_batch_resume_rejects_other_options(trace_file, tmp_path, capsys):
+    journal = tmp_path / "j.jsonl"
+    assert main(["batch", trace_file, "--journal", str(journal)]) == 0
+    capsys.readouterr()
+    assert main(["batch", trace_file, "--resume", str(journal),
+                 "--order", "physical"]) == 2
+    assert "different pipeline options" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("argv", [
+    ["batch", "t.jsonl", "--timeout", "0"],
+    ["batch", "t.jsonl", "--timeout", "-3"],
+    ["batch", "t.jsonl", "--timeout", "nan"],
+    ["batch", "t.jsonl", "--timeout", "abc"],
+    ["batch", "t.jsonl", "--retries", "-1"],
+    ["batch", "t.jsonl", "--retries", "1.5"],
+    ["batch", "t.jsonl", "--backoff", "-0.5"],
+])
+def test_cli_batch_rejects_bad_numbers(argv, capsys):
+    with pytest.raises(SystemExit) as err:
+        main(argv)
+    assert err.value.code == 2
+    assert "expected a" in capsys.readouterr().err
+
+
+def test_cli_analyze_reports_degradation(trace_file, tmp_path, capsys):
+    assert main(["analyze", trace_file, "--json", "--on-error", "degrade",
+                 "--checkpoint-dir", str(tmp_path)]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["degradation"]["complete"] is True
+    assert not doc["degradation"]["degraded"]
+    # second run resumes from the checkpoint
+    assert main(["analyze", trace_file, "--json", "--on-error", "degrade",
+                 "--checkpoint-dir", str(tmp_path)]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["degradation"]["resumed"] is True
