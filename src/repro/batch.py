@@ -244,6 +244,8 @@ class StructureCache:
                 self._memory.popitem(last=False)
         if self.directory is None:
             return
+        if self.max_entries is None and self.max_bytes is None:
+            return  # uncapped: skip the per-put disk scan entirely
         removed = self.prune(self.max_entries, self.max_bytes)
         self.evictions += removed
 

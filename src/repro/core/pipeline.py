@@ -646,7 +646,7 @@ def extract_logical_structure(
     stats.final_phases = ctx.get("final_phases", 0)
     stats.repair = ctx.get("repair")
     for outcome in report.outcomes:
-        if outcome.status == "resumed":
+        if outcome.resumed:
             stats.stage_seconds.setdefault(outcome.stage, outcome.seconds)
     stats.degradation = report.to_dict()
     if checkpoint_dir is not None:
@@ -654,7 +654,7 @@ def extract_logical_structure(
             "dir": str(checkpoint_dir),
             "key": key,
             "resumed_stages": sum(
-                1 for o in report.outcomes if o.status == "resumed"
+                1 for o in report.outcomes if o.resumed
             ),
         }
     stats.total_seconds = _time.perf_counter() - t0

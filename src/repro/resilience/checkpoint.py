@@ -10,12 +10,19 @@ treated as "no checkpoint" and the run starts from scratch.
 File format (``<key>.ckpt``): a pickle of::
 
     {
-        "version": 1,
+        "version": 2,
         "key": <sha256 of trace digest + result-affecting options>,
         "completed": [stage names, in execution order],
         "outcomes": [StageOutcome dicts for the completed stages],
         "ctx": {pipeline context: partition state, phases, arrays, ...},
     }
+
+Version 2 guarantees ``completed``/``outcomes`` list only successfully
+completed (ok or fallback) stages — the executor never checkpoints a
+skipped stage — and outcome dicts carry their original status plus a
+``resumed`` flag.  Version-1 files (whose outcomes could be rewritten
+to ``"resumed"`` and whose ``completed`` could include skipped stages)
+are discarded like any other version skew.
 
 The context snapshot is pickled in a single dump, so object identity
 within it (the trace shared by the partition state and the block table)
@@ -32,7 +39,7 @@ import uuid
 from pathlib import Path
 from typing import List, Optional, Tuple, Union
 
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
 CHECKPOINT_SUFFIX = ".ckpt"
 
 

@@ -19,10 +19,17 @@ about:
   RSS breach soft-aborts the attempt (a breach on an attempt that
   completed anyway is recorded on the outcome without discarding it).
 * **Checkpoints.**  With a ``checkpoint_dir``, the context is snapshotted
-  after every completed stage (atomic replace, see
+  after every *successfully* completed stage (atomic replace, see
   :mod:`repro.resilience.checkpoint`); a later run with the same key
-  resumes after the last completed stage, emitting ``"resumed"``
-  outcomes for the skipped prefix.
+  resumes after the last completed stage, re-emitting the checkpointed
+  outcomes (original status, path, and timing preserved) with their
+  ``resumed`` flag set.  A skipped stage is never checkpointed — once a
+  stage degrades to skipped, checkpointing stops for the rest of the
+  run, so a resume always re-attempts the skipped work instead of
+  presenting a partial result as complete.  A checkpoint whose outcomes
+  the current ``on_error`` mode could not have produced (e.g. a
+  fallback-path result resumed under ``"raise"``) is refused and the
+  run starts fresh.
 
 Error policy (``on_error``): ``"raise"`` (default) propagates the first
 stage failure unchanged — bit-for-bit the historical behavior, with no
@@ -47,11 +54,19 @@ from repro.resilience.guard import ResourceGuard, StageBreachError
 from repro.resilience.report import (
     STATUS_FALLBACK,
     STATUS_OK,
-    STATUS_RESUMED,
     STATUS_SKIPPED,
     DegradationReport,
     StageOutcome,
 )
+
+#: Outcome statuses each on_error mode is able to produce.  A checkpoint
+#: containing a status outside the current mode's set was written under
+#: a laxer policy and must not be resumed into the stricter run.
+_MODE_STATUSES = {
+    "raise": frozenset({STATUS_OK}),
+    "fallback": frozenset({STATUS_OK, STATUS_FALLBACK}),
+    "degrade": frozenset({STATUS_OK, STATUS_FALLBACK}),
+}
 
 ON_ERROR_MODES = ("raise", "fallback", "degrade")
 
@@ -177,15 +192,19 @@ class ResilientExecutor:
         report = DegradationReport()
         completed: List[str] = []
         resumed: List[str] = []
+        checkpointing = self.checkpoint_dir is not None
         if self.checkpoint_dir is not None:
             loaded = load_checkpoint(self.checkpoint_dir, self.checkpoint_key)
-            if loaded is not None:
+            if loaded is not None and all(
+                d.get("status") in _MODE_STATUSES[self.on_error]
+                for d in loaded[1]
+            ):
                 resumed, outcome_dicts, saved_ctx = loaded
                 ctx.clear()
                 ctx.update(saved_ctx)
                 for data in outcome_dicts:
                     outcome = StageOutcome.from_dict(data)
-                    outcome.status = STATUS_RESUMED
+                    outcome.resumed = True
                     report.outcomes.append(outcome)
                 completed = list(resumed)
 
@@ -212,14 +231,20 @@ class ResilientExecutor:
                     reason="missing upstream result(s): "
                            + ", ".join(missing),
                 ))
-                completed.append(spec.name)
+                # A skipped stage is not completed work: freeze the
+                # checkpoint at the last clean prefix so a resume
+                # re-attempts it rather than resuming past the hole.
+                checkpointing = False
                 continue
             outcome = self._run_stage(spec, ctx, snapshot)
             report.outcomes.append(outcome)
-            completed.append(spec.name)
             if self._need_snapshot():
                 snapshot = pickle.dumps(ctx, protocol=pickle.HIGHEST_PROTOCOL)
-            if self.checkpoint_dir is not None:
+            if outcome.status == STATUS_SKIPPED:
+                checkpointing = False
+                continue
+            completed.append(spec.name)
+            if checkpointing:
                 save_checkpoint(
                     self.checkpoint_dir, self.checkpoint_key, completed,
                     [o.to_dict() for o in report.outcomes], snapshot,

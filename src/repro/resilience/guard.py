@@ -80,30 +80,41 @@ class ResourceGuard:
         return self.deadline is not None or self.max_rss_mb is not None
 
     def _watchdog(self, stage: str, target_id: int, started: float,
-                  stop: threading.Event, injected: threading.Event) -> None:
+                  stop: threading.Event, injected: threading.Event,
+                  completed: threading.Event) -> None:
         while not stop.wait(self.interval):
             if self.deadline is not None:
                 elapsed = _time.monotonic() - started
                 if elapsed > self.deadline:
-                    self.breach = (
+                    self._breached(
                         stage, "deadline",
                         f"stage {stage!r} exceeded {self.deadline:g}s "
                         f"wall clock ({elapsed:.2f}s elapsed)",
+                        target_id, injected, completed,
                     )
-                    injected.set()
-                    _inject(target_id, StageBreachError)
                     return
             if self.max_rss_mb is not None:
                 rss = current_rss_mb()
                 if rss is not None and rss > self.max_rss_mb:
-                    self.breach = (
+                    self._breached(
                         stage, "rss",
                         f"stage {stage!r} RSS {rss:.0f} MiB exceeded the "
                         f"{self.max_rss_mb:g} MiB ceiling",
+                        target_id, injected, completed,
                     )
-                    injected.set()
-                    _inject(target_id, StageBreachError)
                     return
+
+    def _breached(self, stage: str, kind: str, detail: str, target_id: int,
+                  injected: threading.Event,
+                  completed: threading.Event) -> None:
+        self.breach = (stage, kind, detail)
+        # The body may have finished while we were sampling: the breach
+        # is recorded on the outcome, but a completed stage is never
+        # shot down after the fact.
+        if completed.is_set():
+            return
+        injected.set()
+        _inject(target_id, StageBreachError)
 
     @contextmanager
     def watch(self, stage: str):
@@ -114,22 +125,37 @@ class ResourceGuard:
         target_id = threading.get_ident()
         stop = threading.Event()
         injected = threading.Event()
+        completed = threading.Event()
         thread = threading.Thread(
             target=self._watchdog,
-            args=(stage, target_id, _time.monotonic(), stop, injected),
+            args=(stage, target_id, _time.monotonic(), stop, injected,
+                  completed),
             name=f"repro-watchdog-{stage}",
             daemon=True,
         )
         thread.start()
         try:
             yield
-        except StageBreachError:
-            raise
+            completed.set()
         finally:
-            stop.set()
-            thread.join()
-            # The stage finished between the injection request and the
-            # exception landing: cancel the pending async raise so it
-            # cannot fire in unrelated later code.
-            if injected.is_set():
-                _inject(target_id, None)
+            # A pending injection can land at any bytecode boundary in
+            # this block (even inside stop.set()), skipping the rest of
+            # the cleanup: retry until the cancel/join actually ran, and
+            # swallow a breach that landed only after the body had
+            # already completed.
+            late: Optional[StageBreachError] = None
+            while True:
+                try:
+                    stop.set()
+                    thread.join()
+                    # The stage finished between the injection request
+                    # and the exception landing: cancel the pending
+                    # async raise so it cannot fire in unrelated later
+                    # code.
+                    if injected.is_set():
+                        _inject(target_id, None)
+                    break
+                except StageBreachError as exc:
+                    late = exc
+            if late is not None and not completed.is_set():
+                raise late

@@ -19,7 +19,8 @@ File format — one JSON object per line:
 
 A process killed mid-append leaves at most one torn final line; the
 loader ignores an undecodable tail (and counts, but tolerates, any
-undecodable interior line).  Because a "done" line is only written
+undecodable interior line), and a resumed run terminates the torn
+fragment before appending so its own entries stay parseable.  Because a "done" line is only written
 *after* its trace's summary is complete, and resume skips exactly the
 digests with "done" lines, a trace is never extracted twice and never
 lost, no matter where the kill landed.
@@ -115,7 +116,24 @@ class RunJournal:
                 f"the original options)"
             )
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        torn_tail = False
+        if resume:
+            try:
+                with open(self.path, "rb") as fh:
+                    fh.seek(0, os.SEEK_END)
+                    if fh.tell() > 0:
+                        fh.seek(-1, os.SEEK_END)
+                        torn_tail = fh.read(1) != b"\n"
+            except OSError:
+                pass  # no existing file: nothing to terminate
         self._fh = open(self.path, "ab" if resume else "wb")
+        if torn_tail:
+            # A kill -9 mid-append left an unterminated final line;
+            # terminate it so the meta line below starts on its own line
+            # instead of concatenating into one unparseable fragment
+            # (which would hide the meta from the next resume's
+            # options-mismatch guard).
+            self._fh.write(b"\n")
         self.record("meta", version=JOURNAL_VERSION, options=options_token)
 
     # ------------------------------------------------------------------

@@ -19,7 +19,6 @@ from typing import Dict, List, Optional
 STATUS_OK = "ok"
 STATUS_FALLBACK = "fallback"
 STATUS_SKIPPED = "skipped"
-STATUS_RESUMED = "resumed"
 
 
 @dataclass
@@ -29,11 +28,15 @@ class StageOutcome:
     ``status`` is one of:
 
     * ``"ok"`` — the primary path succeeded;
-    * ``"resumed"`` — restored from a checkpoint, not re-run;
     * ``"fallback"`` — the primary path failed and a declared fallback
       produced the stage's result (``path`` names which one);
     * ``"skipped"`` — every path failed (or a prerequisite stage was
       skipped) and the stage was omitted, leaving the result partial.
+
+    ``resumed`` is orthogonal to ``status``: a stage restored from a
+    checkpoint rather than re-run keeps the status, path, and timing of
+    the run that produced it, so a resumed report is identical to the
+    uninterrupted one apart from this flag.
     """
 
     stage: str
@@ -49,6 +52,8 @@ class StageOutcome:
     #: ``reason``; a breach on a stage that completed anyway is recorded
     #: here without affecting the result.
     breach: str = ""
+    #: Restored from a checkpoint instead of re-run (status preserved).
+    resumed: bool = False
 
     def to_dict(self) -> dict:
         return {
@@ -58,6 +63,7 @@ class StageOutcome:
             "reason": self.reason,
             "seconds": self.seconds,
             "breach": self.breach,
+            "resumed": self.resumed,
         }
 
     @classmethod
@@ -69,6 +75,7 @@ class StageOutcome:
             reason=data.get("reason", ""),
             seconds=data.get("seconds", 0.0),
             breach=data.get("breach", ""),
+            resumed=data.get("resumed", False),
         )
 
 
@@ -89,7 +96,7 @@ class DegradationReport:
     @property
     def resumed(self) -> bool:
         """True when any stage was restored from a checkpoint."""
-        return any(o.status == STATUS_RESUMED for o in self.outcomes)
+        return any(o.resumed for o in self.outcomes)
 
     @property
     def complete(self) -> bool:

@@ -19,6 +19,7 @@ import pickle
 import signal
 import subprocess
 import sys
+import threading
 import time
 import warnings
 from pathlib import Path
@@ -278,8 +279,84 @@ def test_partial_checkpoint_resumes_midway(trace, reference, tmp_path):
     assert structures_equal(resumed, reference)
     assert stats.checkpoint["resumed_stages"] == 2  # initial, dependency_merge
     fresh = [o.stage for o in resumed.degradation.outcomes
-             if o.status != "resumed"]
+             if not o.resumed]
     assert fresh[0] == "repair_merge"
+
+
+def test_degraded_checkpoint_is_not_resumed_as_clean(trace, reference,
+                                                     tmp_path, monkeypatch):
+    """A degrade-mode run that skipped stages must not poison the
+    checkpoint: the skip is never recorded as completed work, so a later
+    run — even under on_error='raise' — re-attempts it and returns the
+    genuinely complete structure instead of a partial one flying a
+    complete=True flag."""
+    from repro.core import pipeline as pl
+
+    def boom(*a, **k):
+        raise RuntimeError("ordering fault injection")
+
+    monkeypatch.setattr(pl, "reordered_order_task", boom)
+    monkeypatch.setattr(pl, "physical_order", boom)
+    opts = PipelineOptions(backend="python", checkpoint_dir=str(tmp_path))
+    partial = extract_logical_structure(
+        trace, opts.with_overrides(on_error="degrade"))
+    assert not partial.degradation.complete
+    monkeypatch.undo()
+
+    stats = PipelineStats()
+    healed = extract_logical_structure(trace, opts, stats)  # on_error="raise"
+    assert healed.degradation.resumed  # the clean prefix was reused
+    assert healed.degradation.complete and not healed.degradation.degraded
+    # the skipped stages were actually re-run, not resumed
+    by_stage = healed.degradation.by_stage()
+    assert not by_stage["local_steps"].resumed
+    assert by_stage["local_steps"].status == "ok"
+    assert structures_equal(healed, reference)
+
+
+def test_resume_preserves_fallback_status(trace, tmp_path, monkeypatch):
+    """Resuming re-emits the checkpointed outcomes verbatim: a fallback
+    stays a fallback (and keeps the report degraded) instead of being
+    rewritten to a clean-looking resumed status."""
+    from repro.core import columnar
+
+    def boom(*a, **k):
+        raise RuntimeError("columnar kernel fault injection")
+
+    monkeypatch.setattr(columnar, "build_initial_columnar", boom)
+    opts = PipelineOptions(checkpoint_dir=str(tmp_path), on_error="fallback")
+    first = extract_logical_structure(trace, opts)
+    assert first.degradation.outcome("initial").status == "fallback"
+
+    second = extract_logical_structure(trace, opts)
+    out = second.degradation.outcome("initial")
+    assert out.resumed and out.status == "fallback"
+    assert out.path == "python_reference"
+    assert second.degradation.degraded  # the result is still a fallback's
+
+
+def test_fallback_checkpoint_refused_under_raise(trace, reference, tmp_path,
+                                                 monkeypatch):
+    """A checkpoint containing fallback-path results was written under a
+    laxer on_error policy; resuming it under 'raise' would present those
+    results as the strict run's own, so the run starts fresh instead."""
+    from repro.core import columnar
+
+    def boom(*a, **k):
+        raise RuntimeError("columnar kernel fault injection")
+
+    monkeypatch.setattr(columnar, "build_initial_columnar", boom)
+    opts = PipelineOptions(checkpoint_dir=str(tmp_path), on_error="fallback")
+    extract_logical_structure(trace, opts)
+    monkeypatch.undo()
+
+    stats = PipelineStats()
+    clean = extract_logical_structure(
+        trace, opts.with_overrides(on_error="raise"), stats)
+    assert not clean.degradation.resumed
+    assert stats.checkpoint["resumed_stages"] == 0
+    assert not clean.degradation.degraded
+    assert structures_equal(clean, reference)
 
 
 def test_fallback_paths_match_python_reference(trace, reference, monkeypatch):
@@ -418,6 +495,24 @@ def test_guard_rss_breach_aborts_stage():
     assert guard.breach[1] == "rss"
 
 
+def test_watchdog_does_not_inject_after_body_completed():
+    """A breach noticed only after the stage body finished is recorded
+    on the outcome but never injected: a completed stage must not be
+    retroactively failed by a late async exception."""
+    import time as _time
+
+    guard = ResourceGuard(deadline=0.01, interval=0.005)
+    stop = threading.Event()
+    injected = threading.Event()
+    completed = threading.Event()
+    completed.set()  # the body already finished
+    guard._watchdog("late", threading.get_ident(),
+                    _time.monotonic() - 1.0,  # deadline long blown
+                    stop, injected, completed)
+    assert guard.breach is not None and guard.breach[1] == "deadline"
+    assert not injected.is_set()  # nothing was shot down
+
+
 def test_pipeline_deadline_breach_fails_cleanly(trace, monkeypatch):
     """A stage hung past its deadline is soft-aborted: raise mode gets
     the breach error, fallback mode gets a StageError naming it."""
@@ -521,6 +616,26 @@ def test_journal_tolerates_torn_tail(tmp_path):
         assert journal.is_done("d1")
         journal.record_done("c", "d3", {})
     assert read_journal(path).is_done("d3")
+
+
+def test_journal_resume_terminates_torn_tail(tmp_path):
+    """Resume after a kill -9 mid-append must terminate the torn final
+    line before writing its meta line; otherwise the two concatenate
+    into one unparseable line, the meta is lost, and the next resume's
+    options-mismatch guard is silently skipped."""
+    path = tmp_path / "j.jsonl"
+    # the run died while appending its very first line (the meta): the
+    # torn fragment is the journal's only meta candidate
+    path.write_bytes(b'{"kind": "meta", "version": 1, "opt')
+    with RunJournal(path, "tok", resume=True) as journal:
+        journal.record_done("a", "d1", {})
+    state = read_journal(path)
+    assert state.options == "tok"  # the resumed run's meta survived
+    assert state.is_done("d1")
+    assert state.corrupt_lines == 1  # only the torn fragment itself
+    # the guard therefore still refuses a mismatched later resume
+    with pytest.raises(ValueError, match="different pipeline options"):
+        RunJournal(path, "tok-other", resume=True)
 
 
 def test_journal_missing_file_reads_empty(tmp_path):
@@ -649,6 +764,24 @@ def test_cache_byte_cap_and_prune(tmp_path):
         cache.prune(max_entries=0)
     with pytest.raises(ValueError):
         StructureCache(tmp_path, max_entries=0)
+
+
+def test_uncapped_cache_put_skips_disk_scan(tmp_path, monkeypatch):
+    """With neither cap set there is nothing to evict: put() must not
+    glob/stat the whole cache directory on every insert."""
+    cache = StructureCache(tmp_path)
+    calls = []
+    monkeypatch.setattr(cache, "prune",
+                        lambda *a, **k: calls.append(a) or 0)
+    cache.put("k", {"v": 1})
+    assert not calls
+    assert cache.get("k") == {"v": 1}
+    # a capped cache still prunes on put
+    capped = StructureCache(tmp_path, max_entries=1)
+    monkeypatch.setattr(capped, "prune",
+                        lambda *a, **k: calls.append(a) or 0)
+    capped.put("k2", {"v": 2})
+    assert calls
 
 
 def test_cache_cli_stats_and_prune(tmp_path, capsys):
