@@ -5,7 +5,6 @@ migrates them apart and the per-phase imbalance metric collapses.  The
 refinement strategy achieves a similar effect with far fewer migrations.
 """
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.apps import jacobi2d

@@ -9,7 +9,6 @@ slows again as per-task overhead dominates.  Not a paper figure; a
 quantified check of its motivation on the Jacobi workload.
 """
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.apps import jacobi2d

@@ -10,7 +10,7 @@ import pytest
 
 from benchmarks.conftest import report
 from repro.apps import lassen
-from repro.core import PipelineOptions, extract_logical_structure
+from repro.core import extract_logical_structure
 from repro.core.patterns import detect_period, kind_sequence, signature_sequence
 
 

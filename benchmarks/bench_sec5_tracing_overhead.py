@@ -7,7 +7,6 @@ contribution is added.  This bench measures both the record-count increase
 and the simulated time dilation with a non-zero per-event tracing cost.
 """
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.apps import jacobi2d

@@ -13,7 +13,7 @@ and OS jitter (Figure 12, idle experienced).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 from repro.sim.charm import Chare, CharmRuntime, EntrySpec, TracingOptions, WhenCounter
 from repro.sim.network import LatencyModel, UniformLatency

@@ -11,7 +11,7 @@ to exhibit the staircase logical structure of the paper's Figure 1.
 from __future__ import annotations
 
 import math
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, Optional
 
 from repro.sim.mpi import MpiSimulation, RankApi
 from repro.sim.network import LatencyModel, UniformLatency

@@ -15,7 +15,7 @@ ordering correctly — the paper's argument for richer TBR tracing
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.sim.charm import Chare, CharmRuntime, EntrySpec, TracingOptions
 from repro.sim.network import LatencyModel, UniformLatency

@@ -16,7 +16,7 @@ connected); the test suite checks the converged distances against
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import networkx as nx
 

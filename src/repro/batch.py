@@ -55,7 +55,6 @@ from repro.core.pipeline import (
     extract_logical_structure,
 )
 from repro.core.structure import LogicalStructure
-from repro.trace.events import NO_ID
 from repro.trace.model import Trace
 from repro.trace.reader import read_trace
 
@@ -216,7 +215,13 @@ class StructureCache:
             # half-written file into place.
             tmp = self.directory / f".{key}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
             try:
-                tmp.write_text(json.dumps(summary, sort_keys=True))
+                # Flush + fsync before the rename: os.replace is atomic
+                # for readers but not durable, and a crash right after
+                # it can otherwise surface an empty cache entry.
+                with open(tmp, "w") as handle:
+                    handle.write(json.dumps(summary, sort_keys=True))
+                    handle.flush()
+                    os.fsync(handle.fileno())
                 os.replace(tmp, path)
             finally:
                 if tmp.exists():  # replace failed midway: don't litter
@@ -352,7 +357,7 @@ def _extract_one(source: TraceSource, option_fields: dict):
     Returns ``(ok, summary, error, seconds)``; runs in the pool workers
     (hence module-level and picklable-argument-only) and serially.
     """
-    t0 = _time.perf_counter()
+    t0 = _time.perf_counter()  # repro-lint: disable=DET001 reason=worker timing telemetry, never keyed or cached
     try:
         opts = PipelineOptions(**option_fields)
         trace = (read_trace(source)
@@ -360,10 +365,10 @@ def _extract_one(source: TraceSource, option_fields: dict):
         stats = PipelineStats()
         structure = extract_logical_structure(trace, opts, stats=stats)
         summary = structure_summary(structure, stats)
-        return True, summary, "", _time.perf_counter() - t0
+        return True, summary, "", _time.perf_counter() - t0  # repro-lint: disable=DET001 reason=worker timing telemetry, never keyed or cached
     except Exception as exc:  # worker isolation: report, don't propagate
         error = f"{type(exc).__name__}: {exc}"
-        return False, {}, error, _time.perf_counter() - t0
+        return False, {}, error, _time.perf_counter() - t0  # repro-lint: disable=DET001 reason=worker timing telemetry, never keyed or cached
 
 
 def _pipe_worker(conn, source: TraceSource, option_fields: dict) -> None:
@@ -520,7 +525,7 @@ class BatchExtractor:
         def retry_or_fail(i: int, attempt: int, error: str,
                           seconds: float, timed_out: bool) -> None:
             if attempt < self.retries:
-                not_before = _time.monotonic() + self.backoff * (2 ** attempt)
+                not_before = _time.monotonic() + self.backoff * (2 ** attempt)  # repro-lint: disable=DET001 reason=retry backoff scheduling, not result data
                 delayed.append((not_before, i, attempt + 1))
             else:
                 finish(i, attempt, False, {}, error, seconds, timed_out)
@@ -531,7 +536,7 @@ class BatchExtractor:
             del active[proc]
 
         while waiting or delayed or active:
-            now = _time.monotonic()
+            now = _time.monotonic()  # repro-lint: disable=DET001 reason=retry/timeout scheduling, not result data
             for item in [d for d in delayed if d[0] <= now]:
                 delayed.remove(item)
                 waiting.append((item[1], item[2]))
@@ -553,14 +558,14 @@ class BatchExtractor:
                            f"{type(exc).__name__}: {exc}", 0.0, False)
                     continue
                 child.close()
-                started = _time.monotonic()
+                started = _time.monotonic()  # repro-lint: disable=DET001 reason=worker deadline bookkeeping, not result data
                 deadline = (None if self.timeout is None
                             else started + self.timeout)
                 active[proc] = (i, attempt, deadline, parent, started)
 
             if not active:
                 if delayed:  # backing off: sleep until the nearest retry
-                    pause = min(d[0] for d in delayed) - _time.monotonic()
+                    pause = min(d[0] for d in delayed) - _time.monotonic()  # repro-lint: disable=DET001 reason=backoff sleep sizing, not result data
                     if pause > 0:
                         _time.sleep(min(pause, 0.05))
                 continue
@@ -569,7 +574,7 @@ class BatchExtractor:
                                 timeout=0.05)
             for proc in list(active):
                 i, attempt, deadline, parent, started = active[proc]
-                elapsed = _time.monotonic() - started
+                elapsed = _time.monotonic() - started  # repro-lint: disable=DET001 reason=worker timeout accounting, not result data
                 alive = proc.is_alive()
                 outcome = None
                 if parent.poll():  # result arrived (maybe just before death)
@@ -588,7 +593,7 @@ class BatchExtractor:
                         i, attempt,
                         f"WorkerCrash: worker exited with code {code} "
                         f"before returning a result", elapsed, False)
-                elif deadline is not None and _time.monotonic() > deadline:
+                elif deadline is not None and _time.monotonic() > deadline:  # repro-lint: disable=DET001 reason=worker timeout accounting, not result data
                     proc.terminate()
                     proc.join(1.0)
                     if proc.is_alive():
@@ -605,7 +610,7 @@ class BatchExtractor:
     def run(self, sources: Sequence[TraceSource]) -> BatchReport:
         from repro.resilience.journal import RunJournal
 
-        t0 = _time.perf_counter()
+        t0 = _time.perf_counter()  # repro-lint: disable=DET001 reason=batch wall-clock telemetry, never keyed or cached
         sources = list(sources)
         labels = [
             (str(s) if isinstance(s, (str, Path))
@@ -698,7 +703,7 @@ class BatchExtractor:
 
         report = BatchReport(
             results=[r for r in results if r is not None],
-            total_seconds=_time.perf_counter() - t0,
+            total_seconds=_time.perf_counter() - t0,  # repro-lint: disable=DET001 reason=batch wall-clock telemetry, never keyed or cached
             jobs=self.jobs,
             cache_hits=self.cache.hits if self.cache is not None else 0,
             cache_misses=self.cache.misses if self.cache is not None else 0,

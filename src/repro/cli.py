@@ -554,6 +554,36 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.lint import LintEngine, all_rules
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.severity:7s}  {rule.title}")
+        return 0
+    try:
+        engine = LintEngine(rule_ids=args.rules)
+    except ValueError as exc:  # unknown rule id
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    paths = args.paths
+    if not paths:
+        # Default target: the installed repro package itself.
+        paths = [str(Path(__file__).resolve().parent)]
+    try:
+        report = engine.lint_paths(paths)
+    except OSError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=1))
+    else:
+        print(report.human())
+    return report.exit_code(args.fail_on)
+
+
 def cmd_sync(args: argparse.Namespace) -> int:
     trace = _load(args.trace)
     fixed, stats = synchronize_trace(trace, min_latency=args.min_latency)
@@ -726,6 +756,29 @@ def build_parser() -> argparse.ArgumentParser:
     ver.add_argument("--json", action="store_true",
                      help="emit the machine-readable report")
     ver.set_defaults(func=cmd_verify)
+
+    lnt = sub.add_parser(
+        "lint",
+        help="static determinism/dataflow/concurrency analysis of the "
+             "pipeline source",
+    )
+    lnt.add_argument("paths", nargs="*",
+                     help="files or directories to lint (default: the "
+                          "installed repro package)")
+    lnt.add_argument("--rules", action="append", default=None,
+                     metavar="RULE",
+                     help="run only this rule id (repeatable); unknown "
+                          "ids are an error")
+    lnt.add_argument("--fail-on", choices=["warning", "error"],
+                     default="error",
+                     help="exit nonzero on findings at or above this "
+                          "severity (default: error)")
+    lnt.add_argument("--json", action="store_true",
+                     help="emit the machine-readable report "
+                          "(docs/STATIC_ANALYSIS.md documents the schema)")
+    lnt.add_argument("--list-rules", action="store_true",
+                     help="print the rule catalog and exit")
+    lnt.set_defaults(func=cmd_lint)
 
     syn = sub.add_parser("sync", help="repair cross-PE clock skew")
     syn.add_argument("trace")

@@ -15,15 +15,21 @@ The result is a :class:`repro.core.structure.LogicalStructure`, consumed by
 """
 
 from repro.core.pipeline import (
+    SEED_KEYS,
+    STAGE_GRAPH,
     PipelineOptions,
     PipelineStats,
+    StageSignature,
     extract_logical_structure,
 )
 from repro.core.structure import LogicalStructure, Phase
 
 __all__ = [
+    "SEED_KEYS",
+    "STAGE_GRAPH",
     "PipelineOptions",
     "PipelineStats",
+    "StageSignature",
     "extract_logical_structure",
     "LogicalStructure",
     "Phase",

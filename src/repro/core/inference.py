@@ -18,7 +18,7 @@ This module implements the paper's compensation heuristics:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.core.leaps import compute_leaps, leaps_to_levels
 from repro.core.merges import cycle_merge

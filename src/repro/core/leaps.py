@@ -9,7 +9,7 @@ are stated over them.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Set
+from typing import Dict, List
 
 from repro.core.partition import PartitionState
 

@@ -17,7 +17,7 @@ complexity discussion (Section 3.3).
 from __future__ import annotations
 
 from enum import IntEnum
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 
 class EdgeKind(IntEnum):
@@ -192,7 +192,9 @@ class PartitionState:
         are deduplicated.
         """
         roots = self.dsu.roots_array()
-        succs: Dict[int, Set[int]] = {r: set() for r in set(roots)}
+        # Dedupe via the dict itself (first occurrence wins) rather than
+        # set(roots): keeps the adjacency key order deterministic.
+        succs: Dict[int, Set[int]] = {r: set() for r in roots}
         preds: Dict[int, Set[int]] = {r: set() for r in succs}
         for a, b, _kind in self.edges:
             ra, rb = roots[a], roots[b]

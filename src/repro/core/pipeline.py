@@ -37,26 +37,36 @@ import dataclasses
 import time as _time
 import warnings
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 if TYPE_CHECKING:  # repro.verify builds on this module; avoid the cycle.
     from repro.verify.stagehooks import StageHook
 
-from repro.core.initial import build_initial
 from repro.core.inference import (
     enforce_chare_paths,
     infer_source_dependencies,
     leap_merge,
     order_overlapping,
 )
+from repro.core.initial import build_initial
 from repro.core.leaps import compute_leaps
-from repro.core.merges import cycle_merge, dependency_merge, repair_merge
+from repro.core.merges import dependency_merge, repair_merge
 from repro.core.reorder import physical_order, reordered_order_mp, reordered_order_task
 from repro.core.stepping import assign_global_offsets, assign_local_steps
 from repro.core.structure import LogicalStructure, Phase
 from repro.resilience.executor import (
     ON_ERROR_MODES,
     ResilientExecutor,
+    StageFn,
     StageSpec,
 )
 from repro.resilience.guard import ResourceGuard
@@ -75,6 +85,185 @@ NON_RESULT_FIELDS = frozenset({
     "stage_deadline",
     "max_rss_mb",
 })
+
+#: Context keys present before any stage runs (seeded by
+#: :func:`extract_logical_structure`); the stage graph's dataflow roots.
+SEED_KEYS = frozenset({"trace", "use_columnar"})
+
+#: Condition tokens a :class:`StageSignature` may name.  The concrete
+#: predicates close over the run's options, so the declarative graph
+#: carries only these symbolic names:
+#:
+#: * ``"repair"`` — runs when ``options.repair != "off"``;
+#: * ``"infer"`` — runs when properties are enforced and ``options.infer``;
+#: * ``"enforce"`` — runs when DAG properties are enforced (Section 3.4).
+CONDITION_TOKENS = ("", "repair", "infer", "enforce")
+
+#: Fallback-gate tokens: ``"columnar"`` keeps the ladder only when the
+#: run actually selected the columnar backend (falling back from the
+#: python reference to itself would double-report one failure).
+FALLBACK_GATE_TOKENS = ("", "columnar")
+
+
+@dataclass(frozen=True)
+class StageSignature:
+    """Declared dataflow signature of one pipeline stage.
+
+    The signature is pure data — importable without building a pipeline —
+    so tooling (``repro lint``'s dataflow rules, docs generators) can
+    reason about the stage graph statically.  ``body`` and the second
+    element of each ``fallbacks`` entry name the stage-body functions
+    defined inside :func:`extract_logical_structure`; the builder
+    resolves them by name and fails loudly on a dangling reference.
+
+    ``inputs`` lists every context key the stage (or any of its
+    fallbacks) reads; ``outputs`` every key the stage *or any fallback*
+    produces or mutates in place (an output that is also an input is an
+    in-place update).  The declarations are exhaustive — telemetry keys
+    included — because ``repro lint``'s dataflow rules check the stage
+    bodies against them: an undeclared read breaks checkpoint resume,
+    an undeclared write hides dataflow from downstream reasoning.
+    ``requires`` keys are *enforced* by the executor: when one is
+    missing — an upstream degradable stage was skipped — the stage is
+    skipped too instead of computing on stale defaults.
+    """
+
+    name: str
+    body: str
+    inputs: Tuple[str, ...] = ()
+    outputs: Tuple[str, ...] = ()
+    fallbacks: Tuple[Tuple[str, str], ...] = ()
+    degradable: bool = False
+    condition: str = ""
+    fallback_gate: str = ""
+    requires: Tuple[str, ...] = ()
+
+
+#: The extraction pipeline as declarative data, in execution order.
+#: This is the single source of truth for stage order, dataflow, and
+#: degradation policy; :func:`extract_logical_structure` materializes it
+#: into :class:`~repro.resilience.executor.StageSpec` objects, and
+#: ``repro lint`` statically checks it against the stage bodies.
+STAGE_GRAPH: Tuple[StageSignature, ...] = (
+    StageSignature(
+        "repair", "st_repair",
+        inputs=("trace",), outputs=("trace", "repair"),
+        condition="repair",
+    ),
+    StageSignature(
+        # The python_reference fallback flips "use_columnar" off so the
+        # rest of the run stays on one backend — hence it is an output.
+        "initial", "st_initial",
+        inputs=("trace", "use_columnar"),
+        outputs=("initial", "state", "initial_partitions", "use_columnar"),
+        fallbacks=(("python_reference", "st_initial_python"),),
+        fallback_gate="columnar",
+    ),
+    StageSignature(
+        "dependency_merge", "st_dependency_merge",
+        inputs=("state",), outputs=("state",),
+    ),
+    StageSignature(
+        "repair_merge", "st_repair_merge",
+        inputs=("initial", "state"), outputs=("state",),
+    ),
+    StageSignature(
+        "infer_sources", "st_infer_sources",
+        inputs=("state",), outputs=("state",),
+        condition="infer",
+    ),
+    StageSignature(
+        "leap_merge", "st_leap_merge",
+        inputs=("state",), outputs=("state",),
+        condition="infer",
+    ),
+    StageSignature(
+        "order_overlapping", "st_order_overlapping",
+        inputs=("state",), outputs=("state",),
+        condition="enforce",
+    ),
+    StageSignature(
+        "chare_paths", "st_chare_paths",
+        inputs=("state",), outputs=("state",),
+        condition="enforce",
+    ),
+    StageSignature(
+        # Besides the phases, this stage seeds safe defaults for every
+        # step-assignment key so a degraded run that skips the two
+        # degradable stages below still finalizes a partial structure.
+        "build_phases", "st_build_phases",
+        inputs=("trace", "state", "use_columnar"),
+        outputs=("phases", "phase_of_event", "final_phases",
+                 "local_step", "step_of_event", "chare_orders"),
+        fallbacks=(("python_reference", "st_build_phases_python"),),
+    ),
+    StageSignature(
+        "local_steps", "st_local_steps",
+        inputs=("trace", "initial", "state", "phases", "use_columnar"),
+        outputs=("local_step", "chare_orders", "local_arr",
+                 "local_steps_done"),
+        fallbacks=(("python_reference", "st_local_steps_python"),
+                   ("physical_order", "st_local_steps_physical")),
+        degradable=True,
+    ),
+    StageSignature(
+        "global_steps", "st_global_steps",
+        inputs=("trace", "phases", "phase_of_event", "local_step",
+                "use_columnar"),
+        outputs=("step_of_event",),
+        fallbacks=(("python_reference", "st_global_steps_python"),),
+        degradable=True,
+        requires=("local_steps_done",),
+    ),
+    StageSignature(
+        "finalize", "st_finalize",
+        inputs=("trace", "initial", "phases", "phase_of_event",
+                "step_of_event", "local_step", "chare_orders"),
+        outputs=("structure",),
+    ),
+)
+
+
+def build_stage_specs(
+    bodies: Dict[str, "StageFn"],
+    *,
+    enabled: Dict[str, Callable[[dict], bool]],
+    fallback_gates: Dict[str, bool],
+) -> List[StageSpec]:
+    """Materialize :data:`STAGE_GRAPH` into executable :class:`StageSpec`s.
+
+    ``bodies`` maps body-function names to the callables defined for
+    this run; ``enabled`` maps condition tokens to predicates; and
+    ``fallback_gates`` maps fallback-gate tokens to whether the ladder
+    applies.  A signature referencing an unknown body or token is a
+    programming error and raises ``LookupError`` immediately.
+    """
+    specs: List[StageSpec] = []
+    for sig in STAGE_GRAPH:
+        for _, body_name in ((("", sig.body),) + sig.fallbacks):
+            if body_name not in bodies:
+                raise LookupError(
+                    f"stage {sig.name!r} references unknown body "
+                    f"{body_name!r}"
+                )
+        condition = None
+        if sig.condition:
+            if sig.condition not in enabled:
+                raise LookupError(
+                    f"stage {sig.name!r} names unknown condition "
+                    f"{sig.condition!r}"
+                )
+            condition = enabled[sig.condition]
+        fallbacks: List[Tuple[str, StageFn]] = []
+        if not sig.fallback_gate or fallback_gates.get(sig.fallback_gate):
+            fallbacks = [(name, bodies[fn]) for name, fn in sig.fallbacks]
+        specs.append(StageSpec(
+            sig.name, bodies[sig.body],
+            inputs=sig.inputs, outputs=sig.outputs,
+            fallbacks=fallbacks, degradable=sig.degradable,
+            enabled=condition, requires=sig.requires,
+        ))
+    return specs
 
 
 @dataclass
@@ -263,7 +452,7 @@ def extract_logical_structure(
     backend = opts.resolve_backend()
     stats = stats if stats is not None else PipelineStats()
     stats.backend = backend
-    t0 = _time.perf_counter()
+    t0 = _time.perf_counter()  # repro-lint: disable=DET001 reason=PipelineStats timing telemetry, excluded from result keys
 
     hook_list = opts.hook_list()
     if opts.verify:
@@ -537,65 +726,31 @@ def extract_logical_structure(
         )
 
     # ------------------------------------------------------------------
-    # The stage graph.  Fallback ladders implement the degradation
-    # matrix in docs/ROBUSTNESS.md; only the step-assignment stages are
-    # degradable (a failure before phases exist has nothing to salvage).
+    # Materialize the declarative graph.  Fallback ladders implement the
+    # degradation matrix in docs/ROBUSTNESS.md; only the step-assignment
+    # stages are degradable (a failure before phases exist has nothing
+    # to salvage).
     # ------------------------------------------------------------------
-    columnar_fallback = (
-        [("python_reference", st_initial_python)] if backend == "columnar"
-        else []
+    bodies: Dict[str, StageFn] = {
+        fn.__name__: fn
+        for fn in (
+            st_repair, st_initial, st_initial_python, st_dependency_merge,
+            st_repair_merge, st_infer_sources, st_leap_merge,
+            st_order_overlapping, st_chare_paths, st_build_phases,
+            st_build_phases_python, st_local_steps, st_local_steps_python,
+            st_local_steps_physical, st_global_steps, st_global_steps_python,
+            st_finalize,
+        )
+    }
+    stages = build_stage_specs(
+        bodies,
+        enabled={
+            "repair": lambda ctx: opts.repair != "off",
+            "infer": lambda ctx: enforce and opts.infer,
+            "enforce": lambda ctx: enforce,
+        },
+        fallback_gates={"columnar": backend == "columnar"},
     )
-    stages = [
-        StageSpec(
-            "repair", st_repair,
-            inputs=("trace",), outputs=("trace", "repair"),
-            enabled=lambda ctx: opts.repair != "off",
-        ),
-        StageSpec(
-            "initial", st_initial,
-            inputs=("trace",), outputs=("initial", "state"),
-            fallbacks=columnar_fallback,
-        ),
-        StageSpec("dependency_merge", st_dependency_merge,
-                  inputs=("state",), outputs=("state",)),
-        StageSpec("repair_merge", st_repair_merge,
-                  inputs=("initial",), outputs=("state",)),
-        StageSpec("infer_sources", st_infer_sources,
-                  inputs=("state",), outputs=("state",),
-                  enabled=lambda ctx: enforce and opts.infer),
-        StageSpec("leap_merge", st_leap_merge,
-                  inputs=("state",), outputs=("state",),
-                  enabled=lambda ctx: enforce and opts.infer),
-        StageSpec("order_overlapping", st_order_overlapping,
-                  inputs=("state",), outputs=("state",),
-                  enabled=lambda ctx: enforce),
-        StageSpec("chare_paths", st_chare_paths,
-                  inputs=("state",), outputs=("state",),
-                  enabled=lambda ctx: enforce),
-        StageSpec(
-            "build_phases", st_build_phases,
-            inputs=("state",), outputs=("phases", "phase_of_event"),
-            fallbacks=[("python_reference", st_build_phases_python)],
-        ),
-        StageSpec(
-            "local_steps", st_local_steps,
-            inputs=("phases",), outputs=("local_step", "chare_orders"),
-            fallbacks=[
-                ("python_reference", st_local_steps_python),
-                ("physical_order", st_local_steps_physical),
-            ],
-            degradable=True,
-        ),
-        StageSpec(
-            "global_steps", st_global_steps,
-            inputs=("phases", "local_step"), outputs=("step_of_event",),
-            fallbacks=[("python_reference", st_global_steps_python)],
-            degradable=True,
-            requires=("local_steps_done",),
-        ),
-        StageSpec("finalize", st_finalize,
-                  inputs=("phases",), outputs=("structure",)),
-    ]
 
     def observer(stage: str, seconds: float, ctx: dict) -> None:
         stats.stage_seconds[stage] = (
@@ -657,5 +812,5 @@ def extract_logical_structure(
                 1 for o in report.outcomes if o.resumed
             ),
         }
-    stats.total_seconds = _time.perf_counter() - t0
+    stats.total_seconds = _time.perf_counter() - t0  # repro-lint: disable=DET001 reason=PipelineStats timing telemetry, excluded from result keys
     return structure

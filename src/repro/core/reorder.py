@@ -24,7 +24,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.initial import Block
 from repro.trace.events import NO_ID, EventKind
 from repro.trace.model import Trace
 

@@ -11,7 +11,7 @@ yielding *global* steps.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.trace.events import NO_ID, EventKind
 from repro.trace.model import Trace

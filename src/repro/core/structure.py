@@ -9,7 +9,7 @@ this object.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.core.initial import Block
 from repro.trace.model import Trace

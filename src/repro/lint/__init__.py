@@ -1,0 +1,64 @@
+"""``repro.lint``: a determinism, dataflow, and concurrency analyzer.
+
+AST-based static analysis specialized to this pipeline's contracts:
+
+* determinism rules (DET001-DET005) flag run-to-run variation sources in
+  modules reachable from the pipeline stage bodies;
+* dataflow rules (DF001-DF005) check the declarative stage graph
+  (:data:`repro.core.pipeline.STAGE_GRAPH`) against the stage bodies;
+* concurrency rules (CONC001-CONC003) pin the crash-safety and
+  fork-boundary idioms of the batch/persistence layer.
+
+Run it as ``repro lint`` (see :mod:`repro.cli`) or programmatically::
+
+    from repro.lint import LintEngine
+    report = LintEngine().lint_paths(["src/repro"])
+    print(report.human())
+
+Findings are suppressed per site with a mandatory reason::
+
+    t0 = time.perf_counter()  # repro-lint: disable=DET001 reason=telemetry
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalog and policy.
+"""
+
+from repro.lint.engine import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    FileContext,
+    Finding,
+    LintEngine,
+    LintReport,
+    ProjectContext,
+    Rule,
+    Suppression,
+    parse_suppressions,
+)
+from repro.lint.rules import all_rules
+from repro.lint.rules.dataflow import (
+    CtxEffects,
+    GraphFinding,
+    check_stage_graph,
+    collect_ctx_effects,
+)
+from repro.lint.schema import LINT_REPORT_SCHEMA, validate_report
+
+__all__ = [
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "FileContext",
+    "Finding",
+    "LintEngine",
+    "LintReport",
+    "ProjectContext",
+    "Rule",
+    "Suppression",
+    "parse_suppressions",
+    "all_rules",
+    "CtxEffects",
+    "GraphFinding",
+    "check_stage_graph",
+    "collect_ctx_effects",
+    "LINT_REPORT_SCHEMA",
+    "validate_report",
+]

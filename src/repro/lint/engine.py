@@ -1,0 +1,477 @@
+"""The ``repro.lint`` rule engine.
+
+One AST walk per file, shared by every rule: the engine parses each
+target file once, builds the cross-references rules need (parent links,
+import-alias resolution, the determinism reachability set), then
+dispatches each node to every rule that declares a ``visit_<NodeType>``
+method.  Rules that need whole-module context implement
+``finish_module``; rules that reason across files (the stage-graph
+dataflow family) implement ``check_project``.
+
+Suppression is per finding site and *requires a reason*::
+
+    x = time.time()  # repro-lint: disable=DET001 reason=telemetry only
+
+    # repro-lint: disable=DET003 reason=int keys; order normalized below
+    order = list(pending)
+
+A directive on its own line suppresses the next code line; one trailing
+code suppresses that line; ``disable-file=`` anywhere in the file
+suppresses the rule file-wide.  A directive without a reason is itself
+a finding (``LNT001``) and suppresses nothing, so a clean run proves
+every silenced rule has a recorded justification.  A directive whose
+rule never fired is reported as ``LNT002`` (only when the full rule set
+ran — under ``--rules`` filtering, absence of a finding proves nothing).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.lint.reachability import (
+    DET_SEED_MODULES,
+    module_imports,
+    module_name_for,
+    reachable_modules,
+)
+
+SEVERITY_WARNING = "warning"
+SEVERITY_ERROR = "error"
+SEVERITIES = (SEVERITY_WARNING, SEVERITY_ERROR)
+
+REPORT_VERSION = 1
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic: a rule firing at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: str
+    message: str
+
+    def format(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: {self.rule} "
+                f"{self.severity}: {self.message}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# repro-lint: disable=...`` directive."""
+
+    path: str
+    #: Line the directive appears on.
+    line: int
+    #: Line the directive applies to (the same line, or the next code
+    #: line for an own-line directive); ignored for file-level ones.
+    target_line: int
+    rules: Tuple[str, ...]
+    reason: str
+    file_level: bool
+
+    def matches(self, finding: Finding) -> bool:
+        if finding.path != self.path or finding.rule not in self.rules:
+            return False
+        return self.file_level or finding.line == self.target_line
+
+
+_DIRECTIVE_RE = re.compile(
+    r"#\s*repro-lint:\s*(disable|disable-file)\s*=\s*"
+    r"([A-Za-z0-9_,-]+)\s*(?:reason=(.*))?$"
+)
+_RULE_ID_RE = re.compile(r"^[A-Z]{2,6}\d{3}$")
+
+
+def _comment_tokens(source: str) -> List[Tuple[int, int, str]]:
+    """(line, col, text) of every comment, via the tokenizer.
+
+    Tokenizing (rather than scanning lines) keeps directive examples in
+    docstrings and string literals inert.  On tokenizer failure —
+    already reported as LNT000 by the parse step — fall back to a plain
+    line scan so directives in almost-valid files still register.
+    """
+    comments: List[Tuple[int, int, str]] = []
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                comments.append((tok.start[0], tok.start[1], tok.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        comments = []
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            col = text.find("#")
+            if col >= 0:
+                comments.append((lineno, col, text[col:]))
+    return comments
+
+
+def parse_suppressions(
+    source: str, path: str
+) -> Tuple[List[Suppression], List[Finding]]:
+    """Extract directives from ``source``; malformed ones become LNT001."""
+    suppressions: List[Suppression] = []
+    problems: List[Finding] = []
+    lines = source.splitlines()
+    for lineno, col, text in _comment_tokens(source):
+        match = _DIRECTIVE_RE.search(text)
+        if match is None:
+            if "repro-lint:" in text:
+                problems.append(Finding(
+                    path, lineno, col + text.index("repro-lint:"), "LNT001",
+                    SEVERITY_ERROR,
+                    "malformed repro-lint directive; expected "
+                    "'# repro-lint: disable=RULE[,RULE] reason=...'",
+                ))
+            continue
+        kind, rule_text, reason = match.groups()
+        rules = tuple(r for r in rule_text.split(",") if r)
+        reason = (reason or "").strip()
+        bad_ids = [r for r in rules if not _RULE_ID_RE.match(r)]
+        if bad_ids:
+            problems.append(Finding(
+                path, lineno, col, "LNT001", SEVERITY_ERROR,
+                f"suppression names malformed rule id(s) "
+                f"{', '.join(bad_ids)}; directive ignored",
+            ))
+            continue
+        if not reason:
+            problems.append(Finding(
+                path, lineno, col, "LNT001", SEVERITY_ERROR,
+                f"suppression of {', '.join(rules)} has no reason=...; "
+                f"a justification is required, directive ignored",
+            ))
+            continue
+        line_text = lines[lineno - 1] if lineno <= len(lines) else ""
+        own_line = line_text[:col].strip() == ""
+        target = lineno
+        if own_line and kind == "disable":
+            target = _next_code_line(lines, lineno)
+        suppressions.append(Suppression(
+            path, lineno, target, rules, reason,
+            file_level=kind == "disable-file",
+        ))
+    return suppressions, problems
+
+
+def _next_code_line(lines: Sequence[str], after: int) -> int:
+    """First 1-based line after ``after`` that holds code (not comment)."""
+    for offset, text in enumerate(lines[after:], start=after + 1):
+        stripped = text.strip()
+        if stripped and not stripped.startswith("#"):
+            return offset
+    return after
+
+
+class FileContext:
+    """Everything rules may consult while visiting one file's AST."""
+
+    def __init__(self, path: str, module: str, source: str,
+                 tree: ast.Module, det_scope: bool) -> None:
+        self.path = path
+        self.module = module
+        self.source = source
+        self.tree = tree
+        #: Determinism rules only apply to modules reachable from the
+        #: pipeline stage bodies; elsewhere a wall-clock read cannot
+        #: affect an extracted structure.
+        self.det_scope = det_scope
+        self.findings: List[Finding] = []
+        self.parents: Dict[ast.AST, ast.AST] = {}
+        self.aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                self.parents[child] = node
+        self._collect_aliases(tree)
+
+    def _collect_aliases(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.aliases[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self.aliases[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    def qualname(self, node: ast.AST) -> Optional[str]:
+        """Dotted origin of a Name/Attribute chain, through import aliases.
+
+        ``_time.perf_counter`` with ``import time as _time`` resolves to
+        ``"time.perf_counter"``; ``datetime.now`` with ``from datetime
+        import datetime`` resolves to ``"datetime.datetime.now"``.
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.aliases.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self.parents.get(node)
+
+    def report(self, rule: "Rule", node: ast.AST, message: str,
+               severity: Optional[str] = None) -> None:
+        self.findings.append(Finding(
+            self.path, getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0), rule.id,
+            severity or rule.severity, message,
+        ))
+
+
+class ProjectContext:
+    """All parsed files of one lint run, keyed by dotted module name."""
+
+    def __init__(self, files: List[FileContext]) -> None:
+        self.files = files
+        self.modules: Dict[str, FileContext] = {
+            f.module: f for f in files if f.module
+        }
+        self.findings: List[Finding] = []
+        #: Scratch space for analyses shared between project rules.
+        self.cache: Dict[str, object] = {}
+
+    def report_at(self, rule: "Rule", path: str, line: int,
+                  message: str) -> None:
+        self.findings.append(Finding(
+            path, line, 0, rule.id, rule.severity, message,
+        ))
+
+
+class Rule:
+    """Base class: one named, documented check.
+
+    Subclasses set ``id`` (e.g. ``"DET001"``), ``severity``, ``title``
+    and ``rationale`` (the catalog entry), and implement any of:
+
+    * ``visit_<NodeType>(node, ctx)`` — called for every matching AST
+      node during the engine's single walk;
+    * ``finish_module(ctx)`` — called once per file after the walk;
+    * ``check_project(project)`` — called once per run, after all files.
+    """
+
+    id: str = ""
+    severity: str = SEVERITY_ERROR
+    title: str = ""
+    rationale: str = ""
+
+    def finish_module(self, ctx: FileContext) -> None:
+        """Per-file hook after the AST walk (default: nothing)."""
+
+    def check_project(self, project: ProjectContext) -> None:
+        """Cross-file hook after every file is parsed (default: nothing)."""
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run: visible findings plus suppression audit."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    suppressions: List[Suppression] = field(default_factory=list)
+    files: int = 0
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for f in self.findings if f.severity == SEVERITY_ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return sum(1 for f in self.findings if f.severity == SEVERITY_WARNING)
+
+    def exit_code(self, fail_on: str = SEVERITY_ERROR) -> int:
+        if fail_on not in SEVERITIES:
+            raise ValueError(f"unknown fail-on level {fail_on!r}")
+        if fail_on == SEVERITY_WARNING:
+            return 1 if self.findings else 0
+        return 1 if self.errors else 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": REPORT_VERSION,
+            "tool": "repro-lint",
+            "findings": [f.to_dict() for f in self.findings],
+            "summary": {
+                "files": self.files,
+                "errors": self.errors,
+                "warnings": self.warnings,
+                "suppressed": len(self.suppressed),
+            },
+        }
+
+    def human(self) -> str:
+        lines = [f.format() for f in self.findings]
+        lines.append(
+            f"{len(self.findings)} finding(s) ({self.errors} error(s), "
+            f"{self.warnings} warning(s)) in {self.files} file(s); "
+            f"{len(self.suppressed)} suppressed"
+        )
+        return "\n".join(lines)
+
+
+class LintEngine:
+    """Run a set of rules over files, sources, or directory trees."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None,
+                 rule_ids: Optional[Sequence[str]] = None) -> None:
+        if rules is None:
+            from repro.lint.rules import all_rules
+
+            rules = all_rules()
+        if rule_ids is not None:
+            wanted = set(rule_ids)
+            known = {r.id for r in rules}
+            unknown = wanted - known
+            if unknown:
+                raise ValueError(
+                    f"unknown rule id(s): {', '.join(sorted(unknown))}"
+                )
+            rules = [r for r in rules if r.id in wanted]
+            self._filtered = True
+        else:
+            self._filtered = False
+        self.rules = list(rules)
+        self._dispatch: Dict[str, List[Tuple[Rule, str]]] = {}
+        for rule in self.rules:
+            for attr in dir(rule):
+                if attr.startswith("visit_"):
+                    self._dispatch.setdefault(attr[len("visit_"):], []).append(
+                        (rule, attr)
+                    )
+
+    # ------------------------------------------------------------------
+    def lint_paths(self, paths: Sequence[Union[str, Path]]) -> LintReport:
+        """Lint files and/or directory trees (``.py`` files, recursively)."""
+        named: List[Tuple[str, str]] = []
+        for raw in paths:
+            path = Path(raw)
+            if path.is_dir():
+                for sub in sorted(path.rglob("*.py")):
+                    named.append((str(sub), sub.read_text()))
+            else:
+                named.append((str(path), path.read_text()))
+        return self.lint_sources(named)
+
+    def lint_sources(self, named: Sequence[Tuple[str, str]]) -> LintReport:
+        """Lint ``(path, source)`` pairs (the path is only a label)."""
+        report = LintReport(files=len(named))
+        trees: List[Tuple[str, str, str, ast.Module]] = []
+        for path, source in named:
+            module = module_name_for(Path(path))
+            try:
+                tree = ast.parse(source, filename=path)
+            except SyntaxError as exc:
+                report.findings.append(Finding(
+                    path, exc.lineno or 1, exc.offset or 0, "LNT000",
+                    SEVERITY_ERROR, f"syntax error: {exc.msg}",
+                ))
+                continue
+            trees.append((path, module, source, tree))
+
+        det_scope = self._determinism_scope(trees)
+        contexts: List[FileContext] = []
+        all_suppressions: List[Suppression] = []
+        for path, module, source, tree in trees:
+            in_scope = det_scope is None or module in det_scope
+            ctx = FileContext(path, module, source, tree, in_scope)
+            contexts.append(ctx)
+            suppressions, problems = parse_suppressions(source, path)
+            all_suppressions.extend(suppressions)
+            report.findings.extend(problems)
+            self._walk(ctx)
+            for rule in self.rules:
+                rule.finish_module(ctx)
+            report.findings.extend(ctx.findings)
+
+        project = ProjectContext(contexts)
+        for rule in self.rules:
+            rule.check_project(project)
+        report.findings.extend(project.findings)
+
+        self._apply_suppressions(report, all_suppressions)
+        report.findings.sort()
+        report.suppressed.sort()
+        return report
+
+    # ------------------------------------------------------------------
+    def _determinism_scope(
+        self, trees: Sequence[Tuple[str, str, str, ast.Module]]
+    ) -> Optional[Set[str]]:
+        """Modules the determinism rules apply to, or None for "all".
+
+        When the lint targets include the pipeline module, the scope is
+        its transitive import closure; when they do not (a fixture dir,
+        a single file), every file is conservatively in scope.
+        """
+        imports = {module: module_imports(tree, module)
+                   for _, module, _, tree in trees if module}
+        seeds = [m for m in imports if m in DET_SEED_MODULES]
+        if not seeds:
+            return None
+        return reachable_modules(imports, seeds)
+
+    def _walk(self, ctx: FileContext) -> None:
+        for node in ast.walk(ctx.tree):
+            handlers = self._dispatch.get(type(node).__name__)
+            if not handlers:
+                continue
+            for rule, attr in handlers:
+                getattr(rule, attr)(node, ctx)
+
+    def _apply_suppressions(self, report: LintReport,
+                            suppressions: List[Suppression]) -> None:
+        report.suppressions = suppressions
+        used: Set[int] = set()
+        visible: List[Finding] = []
+        for finding in report.findings:
+            silenced = False
+            for index, suppression in enumerate(suppressions):
+                if finding.rule.startswith("LNT"):
+                    break  # suppression hygiene cannot be suppressed
+                if suppression.matches(finding):
+                    used.add(index)
+                    silenced = True
+                    break
+            if silenced:
+                report.suppressed.append(finding)
+            else:
+                visible.append(finding)
+        report.findings = visible
+        if self._filtered:
+            return  # a partial rule set cannot prove a directive unused
+        active = {r.id for r in self.rules}
+        for index, suppression in enumerate(suppressions):
+            if index in used or not set(suppression.rules) & active:
+                continue
+            report.findings.append(Finding(
+                suppression.path, suppression.line, 0, "LNT002",
+                SEVERITY_WARNING,
+                f"suppression of {', '.join(suppression.rules)} matched "
+                f"no finding; remove the stale directive",
+            ))

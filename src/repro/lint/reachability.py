@@ -1,0 +1,97 @@
+"""Import-graph reachability: which modules can affect pipeline results.
+
+The determinism rules (:mod:`repro.lint.rules.determinism`) only make
+sense on code that can run inside a pipeline stage: a wall-clock read in
+a CLI table printer is harmless, the same read inside a merge kernel
+silently breaks bit-identical resume.  "Can run inside a stage" is
+approximated soundly by the transitive import closure of the stage-graph
+module — every function a stage body can call lives in a module the
+pipeline module imports, directly or transitively (function-level lazy
+imports included, since the scan walks the whole AST).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, Set
+
+#: Roots of the result-affecting closure: the stage bodies live in the
+#: pipeline module, and the executor supervises everything they do.
+DET_SEED_MODULES = ("repro.core.pipeline", "repro.resilience.executor")
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name of ``path``, or "" when it is not in a package.
+
+    Walks parents while ``__init__.py`` exists, so the name is derived
+    from the filesystem alone — no import machinery, no sys.path games.
+    """
+    try:
+        if path.suffix != ".py":
+            return ""
+        parts: List[str] = []
+        if path.stem != "__init__":
+            parts.append(path.stem)
+        current = path.resolve().parent
+        while (current / "__init__.py").exists():
+            parts.append(current.name)
+            current = current.parent
+        return ".".join(reversed(parts))
+    except OSError:
+        return ""
+
+
+def module_imports(tree: ast.Module, module: str) -> Set[str]:
+    """Absolute dotted names this module imports (relative ones resolved).
+
+    ``from pkg import name`` contributes both ``pkg`` and ``pkg.name``
+    (the latter matters when ``name`` is itself a module); unknown names
+    are harmless — reachability only follows names that exist in the
+    scanned file set.
+    """
+    imports: Set[str] = set()
+    package_parts = module.split(".")[:-1] if module else []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                imports.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                anchor = package_parts[: len(package_parts) - (node.level - 1)]
+                base = ".".join(anchor + ([base] if base else []))
+            if base:
+                imports.add(base)
+                for alias in node.names:
+                    if alias.name != "*":
+                        imports.add(f"{base}.{alias.name}")
+    return imports
+
+
+def reachable_modules(imports: Dict[str, Set[str]],
+                      seeds: Iterable[str]) -> Set[str]:
+    """Transitive closure of ``seeds`` over the ``imports`` graph.
+
+    ``imports`` maps each known module to the dotted names it imports;
+    edges to unknown names are dropped.  Importing ``pkg.sub`` also
+    reaches ``pkg`` (its ``__init__`` runs), so package inits join the
+    closure of any of their members.
+    """
+    known = set(imports)
+    reached: Set[str] = set()
+    frontier = [s for s in seeds if s in known]
+    while frontier:
+        module = frontier.pop()
+        if module in reached:
+            continue
+        reached.add(module)
+        candidates = set(imports.get(module, ()))
+        # Importing a submodule executes its ancestor packages too.
+        for name in list(candidates):
+            parts = name.split(".")
+            for i in range(1, len(parts)):
+                candidates.add(".".join(parts[:i]))
+        frontier.extend(c for c in candidates if c in known and
+                        c not in reached)
+    return reached

@@ -1,0 +1,17 @@
+"""The shipped rule families of ``repro lint``."""
+
+from typing import List
+
+from repro.lint.engine import Rule
+from repro.lint.rules.concurrency import concurrency_rules
+from repro.lint.rules.dataflow import dataflow_rules
+from repro.lint.rules.determinism import determinism_rules
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every shipped rule, in catalog order."""
+    return [
+        *determinism_rules(),
+        *dataflow_rules(),
+        *concurrency_rules(),
+    ]

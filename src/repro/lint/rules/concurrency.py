@@ -1,0 +1,187 @@
+"""Concurrency and IO-ordering rules for the persistence/batch layer.
+
+The batch scheduler, structure cache, run journal, and checkpoint writer
+all promise crash safety built on two idioms: *fsync before rename* (an
+``os.replace`` of un-synced data can surface as a zero-length file after
+power loss on common filesystems) and *no shared mutable module state*
+across the fork boundary (a fork-inherited dict silently diverges
+between scheduler and workers).  These rules pin both idioms, plus the
+lock-release discipline that keeps watchdog threads from deadlocking a
+failed stage.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List, Optional, Tuple
+
+from repro.lint.engine import FileContext, Rule
+
+_LOCKISH_RE = re.compile(r"(lock|mutex|sem(aphore)?|cond(ition)?)s?$",
+                         re.IGNORECASE)
+
+#: Module-level calls producing mutable containers.
+MUTABLE_FACTORY_CALLS = frozenset({
+    "list", "dict", "set", "bytearray",
+    "collections.defaultdict", "collections.OrderedDict",
+    "collections.deque", "collections.Counter",
+})
+
+PROCESS_POOL_MODULES = ("multiprocessing", "concurrent.futures")
+
+
+class FsyncBeforeReplaceRule(Rule):
+    id = "CONC001"
+    title = "os.replace without a preceding fsync"
+    rationale = (
+        "os.replace is atomic for readers but not durable: renaming a "
+        "file whose data was never fsync'd can leave an empty or torn "
+        "target after a crash. Flush and fsync the temp file before "
+        "moving it into place."
+    )
+
+    def _check_scope(self, body: List[ast.stmt], ctx: FileContext) -> None:
+        fsync_lines: List[int] = []
+        replaces: List[ast.Call] = []
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.FunctionDef) and node is not stmt:
+                    break  # nested defs are visited as their own scope
+                if not isinstance(node, ast.Call):
+                    continue
+                qual = ctx.qualname(node.func)
+                if qual == "os.fsync" or (qual or "").endswith(".fsync"):
+                    fsync_lines.append(node.lineno)
+                elif qual == "os.replace":
+                    replaces.append(node)
+        for call in replaces:
+            if not any(line < call.lineno for line in fsync_lines):
+                ctx.report(self, call,
+                           "os.replace() without an os.fsync() of the "
+                           "source file earlier in this function; the "
+                           "rename is atomic but not durable")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef,
+                          ctx: FileContext) -> None:
+        self._check_scope(node.body, ctx)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef,
+                               ctx: FileContext) -> None:
+        self._check_scope(node.body, ctx)
+
+
+class ModuleMutableStateRule(Rule):
+    id = "CONC002"
+    title = "module-level mutable state in a process-pool module"
+    rationale = (
+        "A module that fans work across processes must not keep mutable "
+        "module-level containers: each fork inherits a snapshot that "
+        "then diverges silently from the parent. Use immutable "
+        "constants, or keep state on instances passed explicitly."
+    )
+
+    def _uses_process_pools(self, ctx: FileContext) -> bool:
+        return any(origin.split(".")[0] in
+                   (m.split(".")[0] for m in PROCESS_POOL_MODULES)
+                   or origin.startswith(PROCESS_POOL_MODULES)
+                   for origin in ctx.aliases.values())
+
+    def _is_mutable_value(self, node: ast.AST, ctx: FileContext) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            return ctx.qualname(node.func) in MUTABLE_FACTORY_CALLS
+        return False
+
+    def finish_module(self, ctx: FileContext) -> None:
+        if not self._uses_process_pools(ctx):
+            return
+        for stmt in ctx.tree.body:
+            targets: List[ast.expr]
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            else:
+                continue
+            if not self._is_mutable_value(value, ctx):
+                continue
+            names = ", ".join(t.id for t in targets
+                              if isinstance(t, ast.Name))
+            if not names:
+                continue
+            ctx.report(self, stmt,
+                       f"module-level mutable container {names!r} in a "
+                       f"module that spawns worker processes; forked "
+                       f"copies diverge silently — use an immutable "
+                       f"value or instance state")
+
+
+class LockDisciplineRule(Rule):
+    id = "CONC003"
+    title = "lock acquired without try/finally or context manager"
+    rationale = (
+        "An exception between acquire() and release() leaks the lock "
+        "and deadlocks every later acquirer — exactly the code paths "
+        "the resilience layer exists to survive. Use `with lock:` (or "
+        "try/finally) so release is unconditional."
+    )
+
+    def _base_name(self, node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        if isinstance(node, ast.Name):
+            return node.id
+        return None
+
+    def _releases(self, node: ast.AST, name: str) -> bool:
+        for sub in ast.walk(node):
+            if (isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == "release"
+                    and self._base_name(sub.func.value) == name):
+                return True
+        return False
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        if not (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "acquire"):
+            return
+        name = self._base_name(node.func.value)
+        if name is None or not _LOCKISH_RE.search(name):
+            return
+        # Acceptable shapes: the acquire is inside (or immediately
+        # before) a try whose finally releases the same lock.
+        seen: ast.AST = node
+        parent = ctx.parent(node)
+        while parent is not None:
+            if isinstance(parent, ast.Try) and parent.finalbody:
+                if any(self._releases(stmt, name)
+                       for stmt in parent.finalbody):
+                    return
+            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                   ast.Module)):
+                # Last chance: acquire statement directly followed by a
+                # try/finally that releases.
+                body = getattr(parent, "body", [])
+                for i, stmt in enumerate(body[:-1]):
+                    if seen in ast.walk(stmt):
+                        nxt = body[i + 1]
+                        if (isinstance(nxt, ast.Try) and nxt.finalbody
+                                and any(self._releases(s, name)
+                                        for s in nxt.finalbody)):
+                            return
+                break
+            seen = parent
+            parent = ctx.parent(parent)
+        ctx.report(self, node,
+                   f"{name}.acquire() without a guaranteed release; use "
+                   f"'with {name}:' or try/finally so an exception "
+                   f"cannot leak the lock")
+
+
+def concurrency_rules() -> Tuple[Rule, ...]:
+    return (FsyncBeforeReplaceRule(), ModuleMutableStateRule(),
+            LockDisciplineRule())

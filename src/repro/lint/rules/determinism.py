@@ -1,0 +1,259 @@
+"""Determinism rules: sources of run-to-run variation on result paths.
+
+Every guarantee the pipeline advertises — bit-identical checkpoint
+resume, columnar/python backend equivalence, content-keyed caching —
+assumes stages are pure functions of their declared inputs.  These rules
+flag the classic ways that assumption silently breaks: wall-clock reads,
+ambient RNG, iteration order of unordered containers, environment reads,
+and float accumulation whose order an unordered container decides.
+
+All five rules are scoped to modules reachable from the pipeline stage
+bodies (see :mod:`repro.lint.reachability`); outside that closure a
+clock read cannot perturb an extracted structure and is not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional, Sequence, Tuple
+
+from repro.lint.engine import FileContext, Rule
+
+#: Clock reads: any of these inside a stage-reachable module makes the
+#: result (or a cached/checkpointed artifact keyed on it) time-dependent.
+WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.clock_gettime", "time.clock_gettime_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: Module-level ``random`` functions: all draw from the ambient global
+#: RNG, whose state depends on everything that ran before.
+GLOBAL_RNG_CALLS = frozenset({
+    f"random.{name}" for name in (
+        "random", "randint", "randrange", "uniform", "choice", "choices",
+        "sample", "shuffle", "gauss", "normalvariate", "betavariate",
+        "expovariate", "triangular", "getrandbits", "randbytes",
+    )
+})
+
+ENV_READ_CALLS = frozenset({"os.getenv", "os.environ.get"})
+
+#: Wrappers that make iteration order irrelevant: the consumer either
+#: normalizes order (sorted) or is order-insensitive by construction.
+ORDER_NEUTRAL_CALLS = frozenset({
+    "sorted", "len", "any", "all", "min", "max", "set", "frozenset", "sum",
+})
+
+#: Order-sensitive consumers of an iterable: the produced order becomes
+#: observable output.
+ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "enumerate"})
+
+
+def is_set_expr(node: ast.AST, ctx: FileContext) -> bool:
+    """Is ``node`` syntactically an unordered set value?
+
+    Recognizes set/frozenset literals, comprehensions, calls, and the
+    set-algebra binary operators applied to such values.  Variables are
+    not type-tracked — the rule trades recall for zero false positives
+    on non-set values.
+    """
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        qual = ctx.qualname(node.func)
+        return qual in ("set", "frozenset", "builtins.set",
+                        "builtins.frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+        return (is_set_expr(node.left, ctx) or
+                is_set_expr(node.right, ctx))
+    return False
+
+
+def _enclosing_call(node: ast.AST, ctx: FileContext) -> Optional[str]:
+    """Qualname of the call this expression is a direct argument of."""
+    parent = ctx.parent(node)
+    if isinstance(parent, ast.Call) and node in parent.args:
+        return ctx.qualname(parent.func)
+    return None
+
+
+class WallClockRule(Rule):
+    id = "DET001"
+    title = "wall-clock read on a result-affecting path"
+    rationale = (
+        "A stage that reads the clock produces different bytes on every "
+        "run, breaking bit-identical resume and backend equivalence. "
+        "Telemetry-only timing must be suppressed with a reason."
+    )
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        if not ctx.det_scope:
+            return
+        qual = ctx.qualname(node.func)
+        if qual in WALL_CLOCK_CALLS:
+            ctx.report(self, node,
+                       f"call to {qual}() reads the wall clock inside a "
+                       f"module reachable from pipeline stage bodies")
+
+
+class UnseededRandomRule(Rule):
+    id = "DET002"
+    title = "ambient or unseeded random number generator"
+    rationale = (
+        "The global random module and unseeded generators make results "
+        "depend on interpreter history; stages must thread an explicitly "
+        "seeded Random/Generator instance."
+    )
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        if not ctx.det_scope:
+            return
+        qual = ctx.qualname(node.func)
+        if qual in GLOBAL_RNG_CALLS:
+            ctx.report(self, node,
+                       f"{qual}() draws from the ambient global RNG; pass "
+                       f"an explicitly seeded random.Random instead")
+        elif qual in ("random.Random", "numpy.random.default_rng",
+                      "numpy.random.Generator") and not node.args:
+            ctx.report(self, node,
+                       f"{qual}() without a seed argument is "
+                       f"nondeterministic; pass an explicit seed")
+        elif qual == "random.seed":
+            ctx.report(self, node,
+                       "random.seed() mutates global interpreter state; "
+                       "use a local seeded random.Random")
+
+
+class UnorderedIterationRule(Rule):
+    id = "DET003"
+    title = "iteration over an unordered set feeds ordered output"
+    rationale = (
+        "Set iteration order is an implementation detail (and hash-seed "
+        "dependent for str keys); any ordered structure built from it — "
+        "a list, a dict's insertion order, loop side effects — varies "
+        "between runs. Wrap in sorted(...) or iterate the original "
+        "ordered source."
+    )
+
+    def _flag(self, node: ast.AST, ctx: FileContext, how: str) -> None:
+        ctx.report(self, node,
+                   f"{how} iterates an unordered set; wrap it in "
+                   f"sorted(...) or iterate a deterministically ordered "
+                   f"source")
+
+    def visit_For(self, node: ast.For, ctx: FileContext) -> None:
+        if ctx.det_scope and is_set_expr(node.iter, ctx):
+            self._flag(node.iter, ctx, "for-loop")
+
+    def _check_comprehension(self, node: ast.AST,
+                             generators: Sequence[ast.comprehension],
+                             ctx: FileContext, kind: str) -> None:
+        if not ctx.det_scope:
+            return
+        for gen in generators:
+            if not is_set_expr(gen.iter, ctx):
+                continue
+            if kind in ("set", "generator"):
+                # A set built from a set stays unordered (fine); a
+                # generator's hazard materializes at its order-sensitive
+                # consumer, which the Call checks flag.
+                continue
+            if _enclosing_call(node, ctx) in ORDER_NEUTRAL_CALLS:
+                continue
+            self._flag(gen.iter, ctx, f"{kind} comprehension")
+
+    def visit_ListComp(self, node: ast.ListComp, ctx: FileContext) -> None:
+        self._check_comprehension(node, node.generators, ctx, "list")
+
+    def visit_DictComp(self, node: ast.DictComp, ctx: FileContext) -> None:
+        self._check_comprehension(node, node.generators, ctx, "dict")
+
+    def visit_SetComp(self, node: ast.SetComp, ctx: FileContext) -> None:
+        self._check_comprehension(node, node.generators, ctx, "set")
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        if not ctx.det_scope or not node.args:
+            return
+        qual = ctx.qualname(node.func)
+        sensitive = qual in ORDER_SENSITIVE_CALLS or (
+            qual is not None and qual.endswith(".join")
+        )
+        if not sensitive:
+            return
+        arg = node.args[0]
+        if is_set_expr(arg, ctx):
+            self._flag(arg, ctx, f"{qual}()")
+        elif isinstance(arg, ast.GeneratorExp) and any(
+                is_set_expr(g.iter, ctx) for g in arg.generators):
+            self._flag(arg, ctx, f"generator inside {qual}()")
+
+
+class EnvironmentReadRule(Rule):
+    id = "DET004"
+    title = "environment variable read on a result-affecting path"
+    rationale = (
+        "os.environ makes the result depend on ambient process state "
+        "that cache keys and checkpoints cannot see; configuration must "
+        "arrive through PipelineOptions."
+    )
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        if not ctx.det_scope:
+            return
+        qual = ctx.qualname(node.func)
+        if qual in ENV_READ_CALLS:
+            ctx.report(self, node,
+                       f"{qual}() reads the process environment inside a "
+                       f"result-affecting module; route configuration "
+                       f"through PipelineOptions")
+
+    def visit_Subscript(self, node: ast.Subscript, ctx: FileContext) -> None:
+        if not ctx.det_scope:
+            return
+        if (isinstance(node.ctx, ast.Load)
+                and ctx.qualname(node.value) == "os.environ"):
+            ctx.report(self, node,
+                       "os.environ[...] read inside a result-affecting "
+                       "module; route configuration through "
+                       "PipelineOptions")
+
+
+class FloatAccumulationRule(Rule):
+    id = "DET005"
+    title = "accumulation over an unordered set (float-order hazard)"
+    rationale = (
+        "Float addition is not associative: summing a set visits "
+        "elements in hash order, so the rounded total can differ between "
+        "runs. Sum a sorted sequence, or use math.fsum (order-exact)."
+    )
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        if not ctx.det_scope or not node.args:
+            return
+        qual = ctx.qualname(node.func)
+        if qual not in ("sum", "functools.reduce"):
+            return  # math.fsum is exempt: exact regardless of order
+        arg = node.args[0] if qual == "sum" else (
+            node.args[1] if len(node.args) > 1 else None
+        )
+        if arg is None:
+            return
+        hazard = is_set_expr(arg, ctx) or (
+            isinstance(arg, ast.GeneratorExp)
+            and any(is_set_expr(g.iter, ctx) for g in arg.generators)
+        )
+        if hazard:
+            ctx.report(self, node,
+                       f"{qual}() over an unordered set accumulates in "
+                       f"hash order; sort the operands or use math.fsum")
+
+
+def determinism_rules() -> Tuple[Rule, ...]:
+    return (WallClockRule(), UnseededRandomRule(), UnorderedIterationRule(),
+            EnvironmentReadRule(), FloatAccumulationRule())

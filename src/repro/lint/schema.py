@@ -1,0 +1,111 @@
+"""JSON Schema for ``repro lint --json`` output, plus a tiny validator.
+
+The schema is the machine contract for CI consumers; the validator is a
+self-contained subset of JSON Schema (type/required/properties/enum/
+items/additionalProperties/minimum) so validation needs no third-party
+dependency — the same approach the bench schema uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+LINT_REPORT_SCHEMA: Dict[str, object] = {
+    "type": "object",
+    "required": ["version", "tool", "findings", "summary"],
+    "additionalProperties": False,
+    "properties": {
+        "version": {"type": "integer", "minimum": 1},
+        "tool": {"type": "string", "enum": ["repro-lint"]},
+        "findings": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["rule", "severity", "path", "line", "col",
+                             "message"],
+                "additionalProperties": False,
+                "properties": {
+                    "rule": {"type": "string"},
+                    "severity": {"type": "string",
+                                 "enum": ["warning", "error"]},
+                    "path": {"type": "string"},
+                    "line": {"type": "integer", "minimum": 1},
+                    "col": {"type": "integer", "minimum": 0},
+                    "message": {"type": "string"},
+                },
+            },
+        },
+        "summary": {
+            "type": "object",
+            "required": ["files", "errors", "warnings", "suppressed"],
+            "additionalProperties": False,
+            "properties": {
+                "files": {"type": "integer", "minimum": 0},
+                "errors": {"type": "integer", "minimum": 0},
+                "warnings": {"type": "integer", "minimum": 0},
+                "suppressed": {"type": "integer", "minimum": 0},
+            },
+        },
+    },
+}
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+}
+
+
+def validate_report(data: object,
+                    schema: Optional[Dict[str, object]] = None,
+                    path: str = "$") -> List[str]:
+    """Validation problems of ``data`` against the report schema.
+
+    Returns a list of human-readable problem strings — empty means
+    valid.  Covers exactly the keywords the schema above uses.
+    """
+    schema = LINT_REPORT_SCHEMA if schema is None else schema
+    problems: List[str] = []
+    expected = schema.get("type")
+    if expected is not None:
+        py_type = _TYPES[str(expected)]
+        if isinstance(data, bool) and expected in ("integer", "number"):
+            problems.append(f"{path}: expected {expected}, got boolean")
+            return problems
+        if not isinstance(data, py_type):
+            problems.append(
+                f"{path}: expected {expected}, got {type(data).__name__}"
+            )
+            return problems
+    enum = schema.get("enum")
+    if enum is not None and data not in enum:
+        problems.append(f"{path}: {data!r} not one of {enum!r}")
+    minimum = schema.get("minimum")
+    if minimum is not None and isinstance(data, (int, float)) \
+            and data < minimum:
+        problems.append(f"{path}: {data!r} below minimum {minimum}")
+    if isinstance(data, dict):
+        for key in schema.get("required", ()):
+            if key not in data:
+                problems.append(f"{path}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        if schema.get("additionalProperties") is False:
+            for key in data:
+                if key not in properties:
+                    problems.append(f"{path}: unexpected key {key!r}")
+        for key, sub in properties.items():
+            if key in data:
+                problems.extend(
+                    validate_report(data[key], sub, f"{path}.{key}")
+                )
+    if isinstance(data, list):
+        items = schema.get("items")
+        if items is not None:
+            for index, element in enumerate(data):
+                problems.extend(
+                    validate_report(element, items, f"{path}[{index}]")
+                )
+    return problems

@@ -12,7 +12,7 @@ duration says "this task is slower than peers", the critical path says
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.core.structure import LogicalStructure
 from repro.metrics.duration import sub_block_durations

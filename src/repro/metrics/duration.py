@@ -16,7 +16,6 @@ from typing import Dict, List, Tuple
 
 from repro.core.structure import LogicalStructure
 from repro.trace.events import NO_ID
-from repro.trace.model import Trace
 
 
 def sub_block_durations(structure: LogicalStructure) -> Dict[int, float]:

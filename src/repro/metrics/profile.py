@@ -9,7 +9,7 @@ and invocation counts, and per-PE utilization (busy / idle / overhead).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.trace.model import Trace
 

@@ -51,6 +51,7 @@ def checkpoint_key(trace_digest: str, options_token: str) -> str:
 
 
 def checkpoint_path(directory: Union[str, Path], key: str) -> Path:
+    """Path of the checkpoint file for ``key`` under ``directory``."""
     return Path(directory) / f"{key}{CHECKPOINT_SUFFIX}"
 
 

@@ -25,7 +25,7 @@ import ctypes
 import threading
 import time as _time
 from contextlib import contextmanager
-from typing import Optional
+from typing import Iterator, Optional, Tuple
 
 
 class StageBreachError(RuntimeError):
@@ -65,7 +65,7 @@ class ResourceGuard:
 
     def __init__(self, deadline: Optional[float] = None,
                  max_rss_mb: Optional[float] = None,
-                 interval: float = 0.02):
+                 interval: float = 0.02) -> None:
         if deadline is not None and deadline <= 0:
             raise ValueError("deadline must be positive (or None)")
         if max_rss_mb is not None and max_rss_mb <= 0:
@@ -73,7 +73,8 @@ class ResourceGuard:
         self.deadline = deadline
         self.max_rss_mb = max_rss_mb
         self.interval = interval
-        self.breach: Optional[tuple] = None
+        #: Last breach observed by the watchdog: (stage, kind, detail).
+        self.breach: Optional[Tuple[str, str, str]] = None
 
     @property
     def active(self) -> bool:
@@ -84,7 +85,7 @@ class ResourceGuard:
                   completed: threading.Event) -> None:
         while not stop.wait(self.interval):
             if self.deadline is not None:
-                elapsed = _time.monotonic() - started
+                elapsed = _time.monotonic() - started  # repro-lint: disable=DET001 reason=watchdog deadline sampling, not result data
                 if elapsed > self.deadline:
                     self._breached(
                         stage, "deadline",
@@ -117,7 +118,7 @@ class ResourceGuard:
         _inject(target_id, StageBreachError)
 
     @contextmanager
-    def watch(self, stage: str):
+    def watch(self, stage: str) -> Iterator[None]:
         """Guard the enclosed block; breach injects StageBreachError."""
         if not self.active:
             yield
@@ -128,7 +129,7 @@ class ResourceGuard:
         completed = threading.Event()
         thread = threading.Thread(
             target=self._watchdog,
-            args=(stage, target_id, _time.monotonic(), stop, injected,
+            args=(stage, target_id, _time.monotonic(), stop, injected,  # repro-lint: disable=DET001 reason=watchdog start timestamp, not result data
                   completed),
             name=f"repro-watchdog-{stage}",
             daemon=True,

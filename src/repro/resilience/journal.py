@@ -32,7 +32,7 @@ import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, Optional, Union
 
 JOURNAL_VERSION = 1
 
@@ -103,7 +103,7 @@ class RunJournal:
     """
 
     def __init__(self, path: Union[str, Path], options_token: str = "",
-                 resume: bool = False):
+                 resume: bool = False) -> None:
         self.path = Path(path)
         self.options_token = options_token
         self.state = read_journal(self.path) if resume else JournalState()
@@ -137,7 +137,7 @@ class RunJournal:
         self.record("meta", version=JOURNAL_VERSION, options=options_token)
 
     # ------------------------------------------------------------------
-    def record(self, kind: str, **fields) -> None:
+    def record(self, kind: str, **fields: object) -> None:
         """Append one entry; durable (flushed + fsync'd) before returning."""
         entry = {"kind": kind, **fields}
         data = json.dumps(entry, sort_keys=True).encode("utf-8") + b"\n"
@@ -171,5 +171,5 @@ class RunJournal:
     def __enter__(self) -> "RunJournal":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()

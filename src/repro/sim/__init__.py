@@ -29,8 +29,8 @@ from repro.sim.noise import (
     ChareSlowdown,
     ComposedNoise,
     GaussianNoise,
-    NoNoise,
     NoiseModel,
+    NoNoise,
     PeriodicJitter,
     SlowProcessor,
 )

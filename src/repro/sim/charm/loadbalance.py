@@ -16,7 +16,7 @@ Charm++'s message forwarding would arrange.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Protocol, Sequence, Tuple
+from typing import Any, Dict, List, Protocol, Tuple
 
 from repro.sim.charm.chare import Chare
 

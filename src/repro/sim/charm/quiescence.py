@@ -15,7 +15,7 @@ a good stress case for the app/runtime phase separation.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.sim.charm.chare import Chare
 

@@ -16,7 +16,7 @@ inter-PE tree messages are traced regardless, matching stock Charm++.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 from repro.sim.charm.chare import Chare, EntrySpec
 

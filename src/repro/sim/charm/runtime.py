@@ -13,10 +13,10 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Type
 
-from repro.sim.charm.chare import Chare, EntrySpec
+from repro.sim.charm.chare import Chare
 from repro.sim.charm.tracing import CharmTracer, TracingOptions
 from repro.sim.engine import Simulator
 from repro.sim.network import ConstantLatency, LatencyModel

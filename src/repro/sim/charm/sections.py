@@ -13,10 +13,9 @@ ReductionManager` machinery with a section-scoped participant count.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.sim.charm.chare import Chare
-from repro.sim.charm.reduction import ReduceMsg, combine
 
 
 class SectionHandle:

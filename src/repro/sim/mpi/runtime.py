@@ -24,14 +24,14 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
+from repro.sim.charm.reduction import combine
 from repro.sim.network import ConstantLatency, LatencyModel
 from repro.sim.noise import NoiseModel, NoNoise
-from repro.trace.events import EventKind, NO_ID
+from repro.trace.events import EventKind
 from repro.trace.model import Trace, TraceBuilder
-from repro.sim.charm.reduction import combine
 
 
 # --------------------------------------------------------------------------

@@ -10,6 +10,7 @@ Structured Dagger (SDAG) serial methods.
 """
 
 from repro.trace.events import (
+    NO_ID,
     Chare,
     ChareArray,
     DepEvent,
@@ -18,7 +19,6 @@ from repro.trace.events import (
     Execution,
     IdleInterval,
     Message,
-    NO_ID,
 )
 from repro.trace.faults import (
     FAULT_KINDS,

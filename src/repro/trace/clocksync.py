@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.trace.events import IdleInterval, NO_ID
+from repro.trace.events import NO_ID
 from repro.trace.model import Trace, TraceBuilder
 
 

@@ -26,9 +26,9 @@ store and iterate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import IntEnum
-from typing import Optional, Tuple
+from typing import Tuple
 
 #: Sentinel id meaning "not recorded in the trace".
 NO_ID = -1

@@ -42,9 +42,9 @@ Fault kinds (:data:`FAULT_KINDS`):
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple
 
-from repro.trace.events import NO_ID, EventKind
+from repro.trace.events import NO_ID
 from repro.trace.model import Trace, TraceBuilder
 
 

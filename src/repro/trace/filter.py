@@ -13,7 +13,7 @@ consistent sub-trace:
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Set
+from typing import Iterable
 
 from repro.trace.events import NO_ID
 from repro.trace.model import Trace, TraceBuilder

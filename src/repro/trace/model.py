@@ -9,7 +9,7 @@ time, so algorithm code never sorts or scans the raw lists.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.trace.events import (
     NO_ID,

@@ -26,9 +26,9 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
-from repro.trace.events import NO_ID, EventKind
+from repro.trace.events import NO_ID
 from repro.trace.model import Trace, TraceBuilder
 from repro.trace.validate import Violation, collect_trace_problems
 

@@ -15,7 +15,7 @@ tooling (``repro verify``, CI reports).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from repro.trace.events import NO_ID, EventKind

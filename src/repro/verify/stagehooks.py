@@ -22,7 +22,7 @@ Three ready-made hooks:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Protocol, runtime_checkable
 
 from repro.core.leaps import compute_leaps

@@ -9,7 +9,7 @@ by phase id — or a metric intensity from ``.`` (zero) to ``9`` (maximum).
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 from repro.core.structure import LogicalStructure
 from repro.trace.model import Trace

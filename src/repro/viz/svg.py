@@ -10,10 +10,9 @@ matched send/receive pairs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional
 
 from repro.core.structure import LogicalStructure
-from repro.trace.events import NO_ID
 
 #: Categorical phase palette (cycled); chosen for adjacent contrast.
 _PALETTE = [

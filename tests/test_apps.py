@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.apps import jacobi2d, lassen, lulesh, mergetree, nasbt, pdes
+from repro.apps import lassen, lulesh, mergetree, nasbt, pdes
 from repro.core import extract_logical_structure
 from repro.core.patterns import detect_period, kind_sequence, signature_sequence
 from repro.sim.charm import TracingOptions

@@ -5,9 +5,8 @@ import json
 import pytest
 
 from repro.cli import main
-from repro.trace import read_trace
+from repro.trace import read_trace, write_trace
 from repro.trace.clocksync import apply_clock_skew
-from repro.trace import write_trace
 
 
 @pytest.fixture()

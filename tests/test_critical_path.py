@@ -2,12 +2,12 @@
 
 import pytest
 
+from repro.apps import jacobi2d
 from repro.core import extract_logical_structure
 from repro.metrics import critical_path, sub_block_durations
 from repro.metrics.critical_path import CriticalPath
-from repro.apps import jacobi2d
 from repro.sim.noise import ChareSlowdown
-from repro.trace.events import EventKind, NO_ID
+from repro.trace.events import NO_ID, EventKind
 from tests.helpers import SyntheticTrace
 
 

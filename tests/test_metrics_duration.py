@@ -2,10 +2,10 @@
 
 import pytest
 
+from repro.apps import jacobi2d
 from repro.core import extract_logical_structure
 from repro.metrics import differential_duration, sub_block_durations
 from repro.sim.noise import ChareSlowdown
-from repro.apps import jacobi2d
 from tests.helpers import SyntheticTrace
 
 

@@ -2,9 +2,9 @@
 
 import pytest
 
+from repro.apps import jacobi2d
 from repro.core import extract_logical_structure
 from repro.metrics import imbalance
-from repro.apps import jacobi2d
 from repro.sim.noise import SlowProcessor
 
 

@@ -1,8 +1,7 @@
 """Message forwarding across migration, exercised directly."""
 
-import pytest
 
-from repro.sim.charm import Chare, CharmRuntime, GreedyBalancer
+from repro.sim.charm import Chare, CharmRuntime
 from repro.sim.network import ConstantLatency
 from repro.trace import validate_trace
 

@@ -1,6 +1,5 @@
 """Phase-pattern detection utilities."""
 
-from repro.core import extract_logical_structure
 from repro.core.patterns import (
     detect_period,
     kind_sequence,

@@ -11,7 +11,7 @@ from repro.core.partition import DisjointSets
 from repro.core.patterns import detect_period
 from repro.core.stepping import assign_global_offsets
 from repro.sim.charm import WhenCounter
-from repro.trace.events import EventKind, NO_ID
+from repro.trace.events import NO_ID, EventKind
 from repro.trace.model import TraceBuilder
 from repro.trace.validate import validate_trace
 

@@ -1,6 +1,5 @@
 """Property-based tests for the extension subsystems."""
 
-import random
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

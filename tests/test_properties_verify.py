@@ -10,10 +10,10 @@ fanouts, and both execution models.
 
 import pytest
 
-from tests.helpers import random_trace
 from repro.core.pipeline import extract_logical_structure
 from repro.trace.validate import collect_trace_problems, validate_trace
 from repro.verify import check_structure
+from tests.helpers import random_trace
 
 pytestmark = pytest.mark.verify
 

@@ -1,6 +1,5 @@
 """Performance report rendering and the report/diff CLI commands."""
 
-import pytest
 
 from repro.cli import main
 from repro.report import performance_report

@@ -6,7 +6,6 @@ import pytest
 
 from repro.trace import read_trace, write_trace
 from repro.trace.reader import TraceFormatError
-from repro.apps import jacobi2d
 
 
 def _roundtrip(trace):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.trace.events import NO_ID, EventKind
+from repro.trace.events import EventKind
 from repro.trace.model import TraceBuilder
 from tests.helpers import SyntheticTrace
 

@@ -12,7 +12,6 @@ import json
 
 import pytest
 
-from tests.helpers import SyntheticTrace, random_trace
 from repro.apps import (
     btsweep,
     jacobi2d,
@@ -27,6 +26,7 @@ from repro.apps import (
 from repro.cli import main
 from repro.trace import write_trace
 from repro.verify import default_variants, run_differential
+from tests.helpers import SyntheticTrace, random_trace
 
 pytestmark = pytest.mark.verify
 

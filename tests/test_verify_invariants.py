@@ -10,7 +10,6 @@ import copy
 
 import pytest
 
-from tests.helpers import random_trace
 from repro.core.pipeline import extract_logical_structure
 from repro.core.reorder import _assign_w
 from repro.verify import (
@@ -28,6 +27,7 @@ from repro.verify import (
     check_structure,
     verify_structure,
 )
+from tests.helpers import random_trace
 
 pytestmark = pytest.mark.verify
 
