@@ -10,12 +10,19 @@ two backends produce bit-identical step assignments.
 
 Standalone on purpose — no pytest import — so it runs anywhere::
 
-    python benchmarks/bench_json.py            # full sweep (~1 min)
+    python benchmarks/bench_json.py            # full sweep (~5 min)
     python benchmarks/bench_json.py --quick    # seconds; smoke/tests
 
 The output conforms to ``benchmarks/bench_schema.json``; the script
 validates it before writing (see :func:`validate_schema`, a minimal
 JSON-Schema checker covering type/properties/required/items).
+
+With ``--enforce-budget`` the run also gates on
+``benchmarks/bench_budgets.json``: the hot stages (initial +
+dependency_merge — the merge kernels this repo keeps optimizing) must
+stay under their checked-in fraction of the batched backend's wall
+time, so a regression that quietly reintroduces per-candidate overhead
+fails CI instead of surfacing as a slow chart later.
 """
 
 from __future__ import annotations
@@ -40,12 +47,17 @@ from repro.core.pipeline import (  # noqa: E402
 )
 
 SCHEMA_PATH = Path(__file__).parent / "bench_schema.json"
+BUDGETS_PATH = Path(__file__).parent / "bench_budgets.json"
 DEFAULT_OUTPUT = Path(__file__).parent / "BENCH_pipeline.json"
 
 ITERATIONS_FULL = [8, 16, 32, 64]
 ITERATIONS_QUICK = [2, 4]
 CHARES_FULL = [64, 216, 512]
 CHARES_QUICK = [8, 27]
+#: The million-event scaling row (full mode only): 17^3 chares on 64
+#: PEs pushes the same lulesh workload past 10^6 events.
+MILLION_CHARES = 4913
+MILLION_PES = 64
 
 _TYPES = {
     "object": dict,
@@ -135,36 +147,71 @@ def run_benchmarks(quick: bool = False, verbose: bool = True) -> dict:
         say(f"fig19 {chares:4d} chares: {seconds:6.2f}s "
             f"({len(traces[chares].events)} events)")
 
-    # A/B at the largest chare count: best-of-N wall time per backend and
+    if not quick:
+        # Million-event scaling row (single run — trace generation alone
+        # takes ~1 min; the A/B below stays at the largest sweep size).
+        mtrace = lulesh.run_charm(chares=MILLION_CHARES, pes=MILLION_PES,
+                                  iterations=8, seed=3)
+        structure, stats, seconds = _timed_extract(mtrace, opts)
+        fig19.append({"chares": MILLION_CHARES,
+                      **_row(stats, structure, seconds)})
+        say(f"fig19 {MILLION_CHARES:4d} chares: {seconds:6.2f}s "
+            f"({len(mtrace.events)} events)")
+        del mtrace, structure, stats
+
+    # A/B at the largest sweep size: best-of-N wall time per backend and
     # a bit-identity check on the assignments the backends must agree on.
     largest = chare_counts[-1]
     ab_trace = traces[largest]
     timings = {}
     structures = {}
-    backends = ["python"] + (["columnar"] if HAVE_NUMPY else [])
+    ab_stats = {}
+    backends = (["python"]
+                + (["columnar", "columnar_batched"] if HAVE_NUMPY else []))
     for backend in backends:
         backend_opts = PipelineOptions(backend=backend)
         best = None
+        best_stats = None
         for _ in range(rounds):
-            structure, _, seconds = _timed_extract(ab_trace, backend_opts)
-            best = seconds if best is None else min(best, seconds)
+            structure, stats, seconds = _timed_extract(ab_trace, backend_opts)
+            if best is None or seconds < best:
+                best, best_stats = seconds, stats
         timings[backend] = best
         structures[backend] = structure
-        say(f"A/B {backend:8s} @ {largest} chares: best of {rounds} = "
+        ab_stats[backend] = best_stats
+        say(f"A/B {backend:16s} @ {largest} chares: best of {rounds} = "
             f"{best:6.2f}s")
 
     if HAVE_NUMPY:
-        identical = (
-            structures["python"].step_of_event
-            == structures["columnar"].step_of_event
-            and structures["python"].phase_of_event
-            == structures["columnar"].phase_of_event
+        py = structures["python"]
+        identical = all(
+            py.step_of_event == structures[b].step_of_event
+            and py.phase_of_event == structures[b].phase_of_event
+            for b in ("columnar", "columnar_batched")
         )
         speedup = timings["python"] / timings["columnar"]
+        speedup_batched = timings["python"] / timings["columnar_batched"]
     else:
         identical = True  # vacuous: only one backend exists to compare
-        speedup = 1.0
-    say(f"A/B speedup: {speedup:.2f}x, identical={identical}")
+        speedup = speedup_batched = 1.0
+    say(f"A/B speedup: columnar {speedup:.2f}x, "
+        f"batched {speedup_batched:.2f}x, identical={identical}")
+
+    # Hot-stage budget: the merge kernels (initial + dependency_merge)
+    # against their checked-in fraction of batched wall time.
+    budgets = json.loads(BUDGETS_PATH.read_text())
+    hot_stages = budgets["hot_stages"]
+    budget_backend = budgets["backend"] if HAVE_NUMPY else "python"
+    budget_stats = ab_stats[budget_backend]
+    hot_seconds = sum(budget_stats.stage_seconds.get(s, 0.0)
+                      for s in hot_stages)
+    budget_total = timings[budget_backend]
+    hot_fraction = hot_seconds / budget_total if budget_total > 0 else 0.0
+    within_budget = hot_fraction <= budgets["max_hot_fraction"]
+    say(f"budget: {'+'.join(hot_stages)} = {hot_seconds:.3f}s of "
+        f"{budget_total:.3f}s ({hot_fraction:.1%}, "
+        f"limit {budgets['max_hot_fraction']:.0%}) -> "
+        f"{'ok' if within_budget else 'EXCEEDED'}")
 
     # Repair overhead: the warn-mode defect scan is the per-trace cost a
     # campaign pays for ingestion hardening on clean inputs (fix mode on
@@ -234,8 +281,20 @@ def run_benchmarks(quick: bool = False, verbose: bool = True) -> dict:
             "python_seconds": round(timings["python"], 6),
             "columnar_seconds": round(
                 timings.get("columnar", timings["python"]), 6),
+            "columnar_batched_seconds": round(
+                timings.get("columnar_batched", timings["python"]), 6),
             "speedup": round(speedup, 4),
+            "speedup_batched": round(speedup_batched, 4),
             "identical": identical,
+        },
+        "budget": {
+            "backend": budget_backend,
+            "hot_stages": list(hot_stages),
+            "hot_seconds": round(hot_seconds, 6),
+            "total_seconds": round(budget_total, 6),
+            "hot_fraction": round(hot_fraction, 4),
+            "max_hot_fraction": budgets["max_hot_fraction"],
+            "within_budget": within_budget,
         },
         "repair_overhead": {
             "chares": largest,
@@ -265,6 +324,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="tiny workloads for smoke tests")
     parser.add_argument("--output", default=str(DEFAULT_OUTPUT),
                         help="where to write the JSON record")
+    parser.add_argument("--enforce-budget", action="store_true",
+                        help="fail if the hot stages exceed the checked-in "
+                             "fraction of batched wall time "
+                             "(benchmarks/bench_budgets.json)")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
 
@@ -274,6 +337,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not record["backend_ab"]["identical"]:
         print("ERROR: backends disagree on step/phase assignments",
               file=sys.stderr)
+        return 1
+    if args.enforce_budget and not record["budget"]["within_budget"]:
+        b = record["budget"]
+        print(f"ERROR: hot stages {'+'.join(b['hot_stages'])} took "
+              f"{b['hot_fraction']:.1%} of {b['backend']} wall time "
+              f"(budget {b['max_hot_fraction']:.0%})", file=sys.stderr)
         return 1
 
     out = Path(args.output)

@@ -100,10 +100,19 @@ def add_pipeline_options(parser: argparse.ArgumentParser) -> None:
                              "Figure 17 mode)")
     parser.add_argument("--tie-break", choices=["chare_id", "index"],
                         default="chare_id")
-    parser.add_argument("--backend", choices=["auto", "python", "columnar"],
+    parser.add_argument("--backend",
+                        choices=["auto", "python", "columnar",
+                                 "columnar_batched"],
                         default="auto",
-                        help="pipeline kernels: columnar (NumPy) or pure "
-                             "python; auto picks columnar when available")
+                        help="pipeline kernels: columnar_batched (NumPy + "
+                             "batched union-find merges), columnar (NumPy, "
+                             "per-candidate merges), or pure python; auto "
+                             "picks columnar_batched when NumPy is available")
+    parser.add_argument("--shard-workers", type=_positive_int, default=None,
+                        metavar="N",
+                        help="worker processes for the PE-sharded serial-"
+                             "block scan (columnar_batched backend only); "
+                             "result-neutral, default in-process")
     parser.add_argument("--repair", choices=["off", "warn", "fix"],
                         default="off",
                         help="pre-extraction trace repair: warn reports "
@@ -136,6 +145,7 @@ def pipeline_options_from_args(args: argparse.Namespace) -> PipelineOptions:
     return PipelineOptions(
         mode=args.mode, order=args.order, infer=args.infer,
         tie_break=args.tie_break, backend=args.backend,
+        shard_workers=args.shard_workers,
         repair=args.repair,
         on_error=args.on_error, checkpoint_dir=args.checkpoint_dir,
         stage_deadline=args.stage_deadline, max_rss_mb=args.max_rss_mb,
@@ -214,6 +224,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
         payload = {} if metric_map is None else {args.metric: metric_map}
         doc = json.loads(structure_to_json(structure, payload or None))
+        doc["backend"] = stats.backend
+        doc["stage_backends"] = dict(stats.stage_backends)
         if stats.repair is not None:
             doc["repair"] = stats.repair
         if stats.degradation is not None:

@@ -56,14 +56,19 @@ from repro.trace.model import Trace
 MAX_STEP_ROUNDS = 80
 
 
+#: Backends built on the NumPy kernels in this module; ``"auto"`` picks
+#: the batched one (the fastest member) when NumPy is importable.
+COLUMNAR_BACKENDS = ("columnar", "columnar_batched")
+
+
 def resolve_backend(name: str) -> str:
     """Map a ``PipelineOptions.backend`` value to a concrete backend."""
     if name == "auto":
-        return "columnar" if HAVE_NUMPY else "python"
-    if name == "columnar":
+        return "columnar_batched" if HAVE_NUMPY else "python"
+    if name in COLUMNAR_BACKENDS:
         if not HAVE_NUMPY:
-            raise RuntimeError("backend='columnar' requires numpy")
-        return "columnar"
+            raise RuntimeError(f"backend={name!r} requires numpy")
+        return name
     if name == "python":
         return "python"
     raise ValueError(f"unknown backend {name!r}")
@@ -199,6 +204,7 @@ class ColumnarPartitionState(PartitionState):
         self._edge_dst = np.empty(0, np.int64)
         self._edge_kind = np.empty(0, np.int64)
         self._edge_count = 0
+        self._adj_cache = None
 
     # -- array primitives ----------------------------------------------
     def roots_np(self):
@@ -321,38 +327,60 @@ class ColumnarPartitionState(PartitionState):
         return out
 
     def adjacency(self) -> Tuple[Dict[int, Set[int]], Dict[int, Set[int]]]:
+        # The result is a pure function of (roots, edges).  ``dsu.count``
+        # strictly decreases on every union and ``edges`` only grows, so
+        # an unchanged (count, edge-count) stamp proves nothing relevant
+        # changed since the last call.  All callers treat the returned
+        # dicts as read-only (they iterate; cycle_merge unions through
+        # the DSU, which bumps the stamp).
+        stamp = (self.dsu.count, len(self.edges))
+        if self._adj_cache is not None and self._adj_cache[0] == stamp:
+            return self._adj_cache[1]
         roots = self.roots_np()
         roots_list = roots.tolist()
         uniq = set(roots_list)
         succs: Dict[int, Set[int]] = {r: set() for r in uniq}
         preds: Dict[int, Set[int]] = {r: set() for r in succs}
         src, dst, _kind = self.edge_arrays()
-        if len(src):
-            ra = roots[src]
-            rb = roots[dst]
-            keep = ra != rb
-            ra = ra[keep]
-            rb = rb[keep]
+        ra = roots[src]
+        rb = roots[dst]
+        keep = ra != rb
+        ra = ra[keep]
+        rb = rb[keep]
+        if len(ra):
             n = max(len(self.init_events), 1)
             pair = ra * n + rb
             _, first = np.unique(pair, return_index=True)
             first.sort()  # first occurrence in edge order = insertion order
-            for a, b in zip(ra[first].tolist(), rb[first].tolist()):
-                succs[a].add(b)
-                preds[b].add(a)
+            ra = ra[first]
+            rb = rb[first]
+            # Grouped set construction instead of a per-pair python loop.
+            # The stable sort keeps each group's members in edge order, so
+            # every set sees the exact insertion sequence the pair loop
+            # would produce (int-set iteration order depends on it).
+            for keys, vals, out in ((ra, rb, succs), (rb, ra, preds)):
+                order = np.argsort(keys, kind="stable")
+                ks = keys[order]
+                vs = vals[order].tolist()
+                starts = np.flatnonzero(np.r_[True, ks[1:] != ks[:-1]])
+                bounds = np.r_[starts, len(ks)].tolist()
+                key_list = ks[starts].tolist()
+                for i, key in enumerate(key_list):
+                    out[key].update(vs[bounds[i]:bounds[i + 1]])
+        self._adj_cache = (stamp, (succs, preds))
         return succs, preds
 
     # -- merge-stage fast paths ----------------------------------------
-    def message_merge_candidates(self) -> List[Tuple[int, int]]:
-        """MESSAGE edges whose endpoints dependency_merge would union.
-
-        Valid because Algorithm 1 only performs same-class unions, so
-        partition classes are constant for the duration of the stage.
-        """
+    def _message_merge_pairs(self):
+        """(src, dst) arrays of the MESSAGE endpoints Algorithm 1 would
+        union, in edge order.  Prefiltering against a root snapshot is
+        valid because Algorithm 1 only performs same-class unions, so
+        partition classes are constant for the duration of the stage."""
         src, dst, kind = self.edge_arrays()
         sel = kind == int(EdgeKind.MESSAGE)
+        empty = np.empty(0, np.int64)
         if not sel.any():
-            return []
+            return empty, empty
         a = src[sel]
         b = dst[sel]
         roots = self.roots_np()
@@ -360,15 +388,17 @@ class ColumnarPartitionState(PartitionState):
         rb = roots[b]
         cls = np.asarray(self._root_runtime, np.bool_)
         keep = (ra != rb) & (cls[ra] == cls[rb])
-        return list(zip(a[keep].tolist(), b[keep].tolist()))
+        return a[keep], b[keep]
 
-    def block_repair_candidates(self) -> List[Tuple[int, int]]:
-        """BLOCK edges within one serial block whose classes re-agree
-        (repair rule 1); same static-class argument as above."""
+    def _block_repair_pairs(self):
+        """(src, dst) arrays for repair rule 1 — BLOCK edges within one
+        serial block whose classes re-agree; same static-class argument
+        as :meth:`_message_merge_pairs`."""
         src, dst, kind = self.edge_arrays()
         sel = kind == int(EdgeKind.BLOCK)
+        empty = np.empty(0, np.int64)
         if not sel.any():
-            return []
+            return empty, empty
         a = src[sel]
         b = dst[sel]
         same_block = self._init_block_arr[a] == self._init_block_arr[b]
@@ -379,7 +409,17 @@ class ColumnarPartitionState(PartitionState):
         rb = roots[b]
         cls = np.asarray(self._root_runtime, np.bool_)
         keep = (ra != rb) & (cls[ra] == cls[rb])
-        return list(zip(a[keep].tolist(), b[keep].tolist()))
+        return a[keep], b[keep]
+
+    def message_merge_candidates(self) -> List[Tuple[int, int]]:
+        """MESSAGE edges whose endpoints dependency_merge would union."""
+        a, b = self._message_merge_pairs()
+        return list(zip(a.tolist(), b.tolist()))
+
+    def block_repair_candidates(self) -> List[Tuple[int, int]]:
+        """BLOCK edges dependency repair rule 1 would union."""
+        a, b = self._block_repair_pairs()
+        return list(zip(a.tolist(), b.tolist()))
 
     def structural_succ_columns(self, blocks: Sequence[Block]):
         """(root(a), entry-of-b's-block, class(root(b)), root(b)) columns
@@ -404,16 +444,162 @@ class ColumnarPartitionState(PartitionState):
         return ra.tolist(), entry.tolist(), cls.tolist(), rb.tolist()
 
 
+class ColumnarBatchedPartitionState(ColumnarPartitionState):
+    """Columnar state whose merge rounds run as batched union passes.
+
+    The presence of :meth:`batch_union_pairs` (and the ``*_arrays``
+    candidate forms) is what switches :mod:`repro.core.merges` onto the
+    batched kernel — the stage bodies stay backend-agnostic and
+    duck-type the state, exactly like the per-candidate columnar fast
+    paths before it.  :func:`repro.core.unionfind.batch_union` replays
+    the sequential union-by-size decisions bit-identically, so
+    everything downstream (representative ids, dict insertion orders,
+    phase tie-breaks) is unchanged.
+    """
+
+    def batch_union_pairs(self, a_ids, b_ids, *,
+                          same_class_only: bool = False) -> int:
+        """One merge round: union candidate pairs in order, return count."""
+        from repro.core.unionfind import batch_union
+
+        dsu = self.dsu
+        merged = batch_union(dsu.parent, dsu.size, self._root_runtime,
+                             a_ids, b_ids, same_class_only=same_class_only)
+        dsu.count -= merged
+        return merged
+
+    def message_merge_arrays(self):
+        """Algorithm 1 candidate columns for :meth:`batch_union_pairs`."""
+        return self._message_merge_pairs()
+
+    def block_repair_arrays(self):
+        """Repair rule 1 candidate columns for :meth:`batch_union_pairs`."""
+        return self._block_repair_pairs()
+
+
 # ----------------------------------------------------------------------
 # Stage 1: initial partitions
 # ----------------------------------------------------------------------
+def _absorb_flags(serial, pe, start, end, first_positions, absorb_tolerance):
+    """Pairwise absorption predicate over one contiguous execution span.
+
+    ``first_positions`` marks each chare's first execution in the span;
+    those can never absorb, which also voids the (meaningless) pairwise
+    predicate computed across a chare boundary.
+    """
+    total = len(serial)
+    absorb = np.zeros(total, np.bool_)
+    if total > 1:
+        absorb[1:] = (
+            (~serial[:-1]) & serial[1:] & (pe[1:] == pe[:-1])
+            & (np.abs(start[1:] - end[:-1]) <= absorb_tolerance)
+        )
+    if total:
+        absorb[first_positions] = False
+    return absorb
+
+
+def _shard_absorb_worker(payload):
+    """Process-pool entry: absorb flags for one shard's column slices.
+
+    Top-level (picklable by reference) and fed nothing but NumPy column
+    slices — workers never deserialize a trace.
+    """
+    serial, pe, start, end, first_positions, absorb_tolerance = payload
+    return _absorb_flags(serial, pe, start, end, first_positions,
+                         absorb_tolerance)
+
+
+def _concat_ranges(starts, lens):
+    """Concatenated ``[s, s + l)`` index ranges, fully vectorized."""
+    total = int(lens.sum())
+    if total == 0:
+        return np.empty(0, np.int64)
+    keep = lens > 0
+    s = starts[keep]
+    l = lens[keep]
+    offsets = np.r_[0, np.cumsum(l)[:-1]]
+    return np.repeat(s - offsets, l) + np.arange(total, dtype=np.int64)
+
+
+def pe_shard_plan(trace: Trace, xt: Optional[ExecTable] = None) -> List[List[int]]:
+    """Chare slots grouped by the PE of each chare's first execution.
+
+    A *slot* is a chare's position in ``trace.executions_by_chare``
+    iteration order.  Serial-block absorption depends only on adjacent
+    executions of one chare, so any grouping of whole chares is a valid
+    shard plan; grouping by home PE mirrors how the runtime laid the
+    work out and gives the multi-core path shards with balanced event
+    counts.  Chares without executions ride along in a ``-1`` shard.
+    """
+    if xt is None:
+        xt = ExecTable.of(trace)
+    plan: Dict[int, List[int]] = {}
+    for slot, exec_ids in enumerate(trace.executions_by_chare.values()):
+        pe = int(xt.pe[exec_ids[0]]) if exec_ids else -1
+        plan.setdefault(pe, []).append(slot)
+    return [shard for shard in plan.values() if shard]
+
+
+def _absorb_sharded(serial, pe, start, end, chare_starts, lens, shard_plan,
+                    absorb_tolerance, shard_workers):
+    """Stitch per-shard absorb flags into the global absorb array.
+
+    Each shard is a list of whole-chare slots; the predicate never
+    crosses a chare boundary (boundary positions are forced False both
+    globally and shard-locally), so the stitched result is equal to the
+    unsharded scan *by construction*, for every valid plan.  The plan
+    must cover every chare exactly once — validated here so a buggy
+    plan fails loudly instead of silently mis-partitioning.
+    """
+    total = len(serial)
+    absorb = np.zeros(total, np.bool_)
+    seen = np.zeros(len(lens), np.bool_)
+    shards = []
+    for shard in shard_plan:
+        slots = np.asarray(shard, np.int64)
+        if not len(slots):
+            continue
+        if seen[slots].any():
+            raise ValueError("shard plan assigns a chare to multiple shards")
+        seen[slots] = True
+        s = chare_starts[slots]
+        l = lens[slots]
+        pos = _concat_ranges(s, l)
+        if not len(pos):
+            continue
+        local_first = np.r_[0, np.cumsum(l)[:-1]]
+        local_first = local_first[local_first < len(pos)]
+        shards.append((pos, (serial[pos], pe[pos], start[pos], end[pos],
+                             local_first, absorb_tolerance)))
+    if not seen.all():
+        raise ValueError("shard plan must cover every chare exactly once")
+    if shard_workers is not None and shard_workers > 1 and len(shards) > 1:
+        # Imported lazily: repro.batch builds on the pipeline, which
+        # builds on this module.
+        from repro.batch import map_in_processes
+
+        results = map_in_processes(_shard_absorb_worker,
+                                   [payload for _, payload in shards],
+                                   workers=shard_workers)
+    else:
+        results = [_shard_absorb_worker(payload) for _, payload in shards]
+    for (pos, _payload), sub in zip(shards, results):
+        absorb[pos] = sub
+    return absorb
+
+
 def _scan_serial_blocks_columnar(trace: Trace, absorb_tolerance: float,
-                                 xt: ExecTable):
+                                 xt: ExecTable, shard_plan=None,
+                                 shard_workers: Optional[int] = None):
     """Vectorized :func:`repro.core.initial.scan_serial_blocks`.
 
     The absorption decision depends only on the (previous, current)
     execution pair — never on accumulated group state — so the per-chare
-    scan reduces to pairwise boundary predicates.  Returns
+    scan reduces to pairwise boundary predicates, and with a
+    ``shard_plan`` (lists of whole-chare slots, see
+    :func:`pe_shard_plan`) the predicate evaluation shards cleanly —
+    optionally across processes via ``shard_workers``.  Returns
     ``(groups, block_of_exec_arr, xid_arr, group_starts, serial_seq)``;
     the differential harness cross-checks the grouping against the
     python scan.
@@ -427,18 +613,18 @@ def _scan_serial_blocks_columnar(trace: Trace, absorb_tolerance: float,
     xid_arr = np.asarray(xids, np.int64)
     lens = np.fromiter((len(lst) for lst in by_chare.values()), np.int64,
                        len(by_chare))
-    chare_first = np.r_[0, np.cumsum(lens)[:-1]]
-    chare_first = chare_first[chare_first < total]
+    chare_starts = np.r_[0, np.cumsum(lens)[:-1]]
     serial = xt.entry_serial[xt.entry[xid_arr]]
     pe = xt.pe[xid_arr]
     start = xt.start[xid_arr]
     end = xt.end[xid_arr]
-    absorb = np.zeros(total, np.bool_)
-    absorb[1:] = (
-        (~serial[:-1]) & serial[1:] & (pe[1:] == pe[:-1])
-        & (np.abs(start[1:] - end[:-1]) <= absorb_tolerance)
-    )
-    absorb[chare_first] = False
+    if shard_plan is None:
+        chare_first = chare_starts[chare_starts < total]
+        absorb = _absorb_flags(serial, pe, start, end, chare_first,
+                               absorb_tolerance)
+    else:
+        absorb = _absorb_sharded(serial, pe, start, end, chare_starts, lens,
+                                 shard_plan, absorb_tolerance, shard_workers)
     starts = np.flatnonzero(~absorb)
     ends = np.r_[starts[1:], total]
     groups = [xids[s:e] for s, e in zip(starts.tolist(), ends.tolist())]
@@ -576,22 +762,30 @@ def _message_edges_columnar(table: EventTable, event_init_arr, edges) -> None:
 
 def build_initial_columnar(trace: Trace, mode: str = "charm",
                            absorb_tolerance: float = 1e-9,
-                           relaxed_chain: bool = False) -> InitialStructure:
+                           relaxed_chain: bool = False, *,
+                           state_cls=None, shard_plan=None,
+                           shard_workers: Optional[int] = None) -> InitialStructure:
     """Columnar :func:`repro.core.initial.build_initial`.
 
     The absorption scan, block metadata, per-block event grouping,
     runtime-flag computation and run splitting are vectorized; the
     cross-block SDAG/CHAIN heuristics and message edges run the shared
-    python helpers.
+    python helpers.  ``state_cls``/``shard_plan``/``shard_workers`` are
+    the :func:`build_initial_batched` extension points; the defaults
+    reproduce the plain columnar backend.
     """
     if mode not in ("charm", "mpi"):
         raise ValueError(f"unknown mode {mode!r}")
+    if state_cls is None:
+        state_cls = ColumnarPartitionState
     table = EventTable.of(trace)
     xt = ExecTable.of(trace)
     n = table.n
 
     groups, block_of_exec_arr, xid_arr, gstarts, serial_seq = (
-        _scan_serial_blocks_columnar(trace, absorb_tolerance, xt)
+        _scan_serial_blocks_columnar(trace, absorb_tolerance, xt,
+                                     shard_plan=shard_plan,
+                                     shard_workers=shard_workers)
     )
 
     boe = np.full(n, -1, np.int64)
@@ -666,13 +860,37 @@ def build_initial_columnar(trace: Trace, mode: str = "charm",
         chare_chain_edges(trace, blocks, event_init, mode, relaxed_chain, edges)
     _message_edges_columnar(table, event_init_arr, edges)
 
-    state = ColumnarPartitionState(
+    state = state_cls(
         trace, init_events, init_runtime, init_block, event_init, edges,
         table=table, event_init_arr=event_init_arr,
     )
     state.block_table = BlockTable(boe, len(blocks))
     return InitialStructure(blocks, boe.tolist(), block_of_exec_arr.tolist(),
                             state)
+
+
+def build_initial_batched(trace: Trace, mode: str = "charm",
+                          absorb_tolerance: float = 1e-9,
+                          relaxed_chain: bool = False,
+                          shard_workers: Optional[int] = None,
+                          shard_plan=None) -> InitialStructure:
+    """Initial partitions for the ``columnar_batched`` backend.
+
+    Same columnar builder, two differences: the absorption scan is
+    sharded by PE (:func:`pe_shard_plan`; pass ``shard_plan`` to
+    override) with optional multi-process evaluation via
+    ``shard_workers``, and the resulting state is a
+    :class:`ColumnarBatchedPartitionState`, which switches the merge
+    stages onto the batched union-find kernel.  Output is bit-identical
+    to both other backends.
+    """
+    if shard_plan is None:
+        shard_plan = pe_shard_plan(trace, ExecTable.of(trace))
+    return build_initial_columnar(
+        trace, mode, absorb_tolerance, relaxed_chain,
+        state_cls=ColumnarBatchedPartitionState,
+        shard_plan=shard_plan, shard_workers=shard_workers,
+    )
 
 
 # ----------------------------------------------------------------------

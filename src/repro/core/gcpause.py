@@ -1,0 +1,48 @@
+"""Scoped cyclic-GC pause for allocation-heavy extraction kernels.
+
+The "accidental quadratic" in the serial-block split (ROADMAP item 2,
+``initial`` 0.031s → 0.138s for 2x events) was not algorithmic: the
+block builders allocate bursts of tiny short-lived objects (per-block
+event lists, :class:`~repro.core.initial.Block` records, run slices),
+and every ~70k allocations CPython's generational collector runs a
+collection whose older generations scan *the entire live heap* —
+dominated by the trace's event/execution records.  Collections per
+extraction grow linearly with trace size and each collection's cost
+grows linearly too, so the stage cost grows quadratically even though
+the builder itself is linear.  Nothing the builders allocate is cyclic
+garbage — reference counting reclaims all of it promptly — so the
+collector does pure wasted work here.
+
+:func:`pause_gc` disables the cyclic collector for the duration of a
+``with`` block and restores it afterwards.  It is deliberately scoped
+(not ``gc.freeze`` and not a global disable): the pause covers one
+extraction, nesting is a no-op (the inner pause sees the collector
+already off), and the ``finally`` re-enable holds under exceptions.
+Anything cyclic created while paused is collected at the next ordinary
+collection after re-enable.
+"""
+
+from __future__ import annotations
+
+import gc
+from contextlib import contextmanager
+from typing import Iterator
+
+
+@contextmanager
+def pause_gc(active: bool = True) -> Iterator[None]:
+    """Disable cyclic GC inside the ``with`` block when ``active``.
+
+    No-op when ``active`` is false or the collector is already disabled
+    (an enclosing pause, or a process that runs without GC) — in that
+    case the context never touches collector state, so nested pauses
+    compose and an outer policy is never overridden.
+    """
+    if not active or not gc.isenabled():
+        yield
+        return
+    gc.disable()
+    try:
+        yield
+    finally:
+        gc.enable()

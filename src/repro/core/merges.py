@@ -5,6 +5,23 @@ component *cycle merge* both rely on: a cycle in the partition graph means
 no order over those partitions exists, so they must belong to one phase.
 Cycle merges are the only place application and runtime partitions may
 merge with each other (Section 3.1).
+
+Each stage supports three kernels, selected by duck-typing the state
+(so the stage bodies stay backend-agnostic) and by two knobs the
+pipeline's fallback ladder drives explicitly:
+
+* *batched* — the state exposes ``batch_union_pairs`` (the
+  ``columnar_batched`` backend): a whole merge round becomes one
+  :func:`repro.core.unionfind.batch_union` pass over candidate columns;
+* *columnar* — the state exposes vectorized candidate prefilters
+  (``message_merge_candidates`` et al.) but unions run per candidate;
+* *python reference* — plain loops over ``state.edges``.
+
+``use_fast_path=False`` forces the reference loops regardless of the
+state's capabilities; ``use_batched=False`` allows the columnar
+prefilters but not the batched union kernel.  All three produce
+bit-identical results — the batched kernel replays the sequential
+union-by-size decisions exactly (see :mod:`repro.core.unionfind`).
 """
 
 from __future__ import annotations
@@ -15,7 +32,16 @@ from repro.core.initial import InitialStructure
 from repro.core.partition import EdgeKind, PartitionState
 
 
-def cycle_merge(state: PartitionState) -> int:
+def _batch_kernel(state: PartitionState, use_fast_path: bool,
+                  use_batched: bool):
+    """The state's batched-union entry point, or None if not in play."""
+    if not (use_fast_path and use_batched):
+        return None
+    return getattr(state, "batch_union_pairs", None)
+
+
+def cycle_merge(state: PartitionState, *, use_fast_path: bool = True,
+                use_batched: bool = True) -> int:
     """Merge every strongly connected component of the partition graph.
 
     Returns the number of partitions eliminated.  Implemented with an
@@ -70,6 +96,18 @@ def cycle_merge(state: PartitionState) -> int:
                 if len(comp) > 1:
                     components.append(comp)
 
+    batch = _batch_kernel(state, use_fast_path, use_batched)
+    if batch is not None:
+        if not components:
+            return 0
+        heads: List[int] = []
+        others: List[int] = []
+        for comp in components:
+            head = comp[0]
+            for other in comp[1:]:
+                heads.append(head)
+                others.append(other)
+        return batch(heads, others)
     eliminated = 0
     for comp in components:
         head = comp[0]
@@ -79,7 +117,8 @@ def cycle_merge(state: PartitionState) -> int:
     return eliminated
 
 
-def dependency_merge(state: PartitionState) -> int:
+def dependency_merge(state: PartitionState, *, use_fast_path: bool = True,
+                     use_batched: bool = True) -> int:
     """Algorithm 1: merge partitions holding matched message endpoints.
 
     Only same-class (application/application or runtime/runtime) endpoints
@@ -88,8 +127,16 @@ def dependency_merge(state: PartitionState) -> int:
     restores the DAG afterwards.
     """
     merged = 0
-    candidates = getattr(state, "message_merge_candidates", None)
-    if candidates is not None:
+    batch = _batch_kernel(state, use_fast_path, use_batched)
+    arrays = (getattr(state, "message_merge_arrays", None)
+              if batch is not None else None)
+    candidates = (getattr(state, "message_merge_candidates", None)
+                  if use_fast_path else None)
+    if arrays is not None:
+        # Batched kernel: the same prefiltered candidate stream, unioned
+        # in one batch pass instead of per-candidate method calls.
+        merged += batch(*arrays())
+    elif candidates is not None:
         # Columnar fast path: the same edges in the same order, with the
         # root/class filter evaluated vectorized (classes are constant
         # during this stage — only same-class unions happen here).
@@ -107,11 +154,13 @@ def dependency_merge(state: PartitionState) -> int:
             if state.is_runtime(ra) == state.is_runtime(rb):
                 if state.union(ra, rb):
                     merged += 1
-    merged += cycle_merge(state)
+    merged += cycle_merge(state, use_fast_path=use_fast_path,
+                          use_batched=use_batched)
     return merged
 
 
-def repair_merge(initial: InitialStructure) -> int:
+def repair_merge(initial: InitialStructure, *, use_fast_path: bool = True,
+                 use_batched: bool = True) -> int:
     """Algorithm 2: restore merges lost to application/runtime splitting.
 
     Two complementary rules, followed by a cycle merge:
@@ -132,11 +181,17 @@ def repair_merge(initial: InitialStructure) -> int:
     state = initial.state
     find = state.dsu.find
     merged = 0
+    batch = _batch_kernel(state, use_fast_path, use_batched)
 
     # Rule 1: adjacent pieces of each block (the BLOCK edges record the
     # within-serial-block happened-before relationships).
-    rule1 = getattr(state, "block_repair_candidates", None)
-    if rule1 is not None:
+    rule1_arrays = (getattr(state, "block_repair_arrays", None)
+                    if batch is not None else None)
+    rule1 = (getattr(state, "block_repair_candidates", None)
+             if use_fast_path else None)
+    if rule1_arrays is not None:
+        merged += batch(*rule1_arrays())
+    elif rule1 is not None:
         for a, b in rule1():
             if state.union(a, b):
                 merged += 1
@@ -155,7 +210,8 @@ def repair_merge(initial: InitialStructure) -> int:
     # method of the serial block the successor piece came from.
     succ_groups: Dict[Tuple[int, int, bool], List[int]] = {}
     blocks = initial.blocks
-    columns = getattr(state, "structural_succ_columns", None)
+    columns = (getattr(state, "structural_succ_columns", None)
+               if use_fast_path else None)
     if columns is not None:
         # Same keys in the same scan order; the root snapshot is taken
         # after rule 1 and no unions happen during the scan.
@@ -171,15 +227,32 @@ def repair_merge(initial: InitialStructure) -> int:
             entry = blocks[state.init_block[b]].entry
             key = (ra, entry, state.is_runtime(rb))
             succ_groups.setdefault(key, []).append(rb)
-    for group in succ_groups.values():
-        if len(group) < 2:
-            continue
-        head = group[0]
-        for other in group[1:]:
-            ra, rb = find(head), find(other)
-            if ra != rb and state.is_runtime(ra) == state.is_runtime(rb):
-                if state.union(ra, rb):
-                    merged += 1
+    if batch is not None:
+        # Batched rule 2: one (head, other) pair per group member, then
+        # a single same-class-gated batch pass.  The kernel re-roots and
+        # re-checks classes live, so unions from earlier groups are
+        # observed by later ones exactly as in the per-candidate loop.
+        heads: List[int] = []
+        others: List[int] = []
+        for group in succ_groups.values():
+            if len(group) < 2:
+                continue
+            head = group[0]
+            for other in group[1:]:
+                heads.append(head)
+                others.append(other)
+        merged += batch(heads, others, same_class_only=True)
+    else:
+        for group in succ_groups.values():
+            if len(group) < 2:
+                continue
+            head = group[0]
+            for other in group[1:]:
+                ra, rb = find(head), find(other)
+                if ra != rb and state.is_runtime(ra) == state.is_runtime(rb):
+                    if state.union(ra, rb):
+                        merged += 1
 
-    merged += cycle_merge(state)
+    merged += cycle_merge(state, use_fast_path=use_fast_path,
+                          use_batched=use_batched)
     return merged

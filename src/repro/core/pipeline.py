@@ -57,6 +57,7 @@ from repro.core.inference import (
     leap_merge,
     order_overlapping,
 )
+from repro.core.gcpause import pause_gc
 from repro.core.initial import build_initial
 from repro.core.leaps import compute_leaps
 from repro.core.merges import dependency_merge, repair_merge
@@ -84,11 +85,14 @@ NON_RESULT_FIELDS = frozenset({
     "on_error",
     "stage_deadline",
     "max_rss_mb",
+    # Shard fan-out parallelism is result-neutral by construction (the
+    # stitched absorb flags equal the serial scan's bit for bit).
+    "shard_workers",
 })
 
 #: Context keys present before any stage runs (seeded by
 #: :func:`extract_logical_structure`); the stage graph's dataflow roots.
-SEED_KEYS = frozenset({"trace", "use_columnar"})
+SEED_KEYS = frozenset({"trace", "use_columnar", "use_batched"})
 
 #: Condition tokens a :class:`StageSignature` may name.  The concrete
 #: predicates close over the run's options, so the declarative graph
@@ -100,9 +104,13 @@ SEED_KEYS = frozenset({"trace", "use_columnar"})
 CONDITION_TOKENS = ("", "repair", "infer", "enforce")
 
 #: Fallback-gate tokens: ``"columnar"`` keeps the ladder only when the
-#: run actually selected the columnar backend (falling back from the
-#: python reference to itself would double-report one failure).
-FALLBACK_GATE_TOKENS = ("", "columnar")
+#: run actually selected a columnar-family backend (falling back from
+#: the python reference to itself would double-report one failure);
+#: ``"batched"`` keeps a ladder *rung* only when the run selected the
+#: batched backend (per-rung gating via ``StageSignature.ladder_gates``
+#: — a plain-columnar run falling back to plain columnar would likewise
+#: retry the failing kernel verbatim).
+FALLBACK_GATE_TOKENS = ("", "columnar", "batched")
 
 
 @dataclass(frozen=True)
@@ -126,6 +134,13 @@ class StageSignature:
     ``requires`` keys are *enforced* by the executor: when one is
     missing — an upstream degradable stage was skipped — the stage is
     skipped too instead of computing on stale defaults.
+
+    ``ladder_gates`` optionally gates individual rungs of ``fallbacks``
+    positionally: rung *i* is kept only when its token (empty = always)
+    is satisfied, on top of the stage-wide ``fallback_gate``.  This lets
+    one declared ladder serve several backends — e.g. the
+    ``columnar_batched`` ladder ``batched → columnar → python`` shrinks
+    to ``columnar → python`` for a plain-columnar run.
     """
 
     name: str
@@ -137,6 +152,7 @@ class StageSignature:
     condition: str = ""
     fallback_gate: str = ""
     requires: Tuple[str, ...] = ()
+    ladder_gates: Tuple[str, ...] = ()
 
 
 #: The extraction pipeline as declarative data, in execution order.
@@ -151,21 +167,37 @@ STAGE_GRAPH: Tuple[StageSignature, ...] = (
         condition="repair",
     ),
     StageSignature(
-        # The python_reference fallback flips "use_columnar" off so the
-        # rest of the run stays on one backend — hence it is an output.
+        # The fallback rungs flip "use_batched" / "use_columnar" off so
+        # the rest of the run stays on one backend — hence both are
+        # outputs.  Downstream merge stages then pick their kernel by
+        # duck-typing the state the surviving rung built.
         "initial", "st_initial",
-        inputs=("trace", "use_columnar"),
-        outputs=("initial", "state", "initial_partitions", "use_columnar"),
-        fallbacks=(("python_reference", "st_initial_python"),),
+        inputs=("trace", "use_columnar", "use_batched"),
+        outputs=("initial", "state", "initial_partitions", "use_columnar",
+                 "use_batched"),
+        fallbacks=(("columnar", "st_initial_columnar"),
+                   ("python_reference", "st_initial_python")),
         fallback_gate="columnar",
+        ladder_gates=("batched", ""),
     ),
     StageSignature(
+        # The rungs force progressively plainer merge kernels on the
+        # *same* state: batched union pass → per-candidate columnar
+        # loop → pure-python reference scan.
         "dependency_merge", "st_dependency_merge",
         inputs=("state",), outputs=("state",),
+        fallbacks=(("columnar", "st_dependency_merge_columnar"),
+                   ("python_reference", "st_dependency_merge_python")),
+        fallback_gate="columnar",
+        ladder_gates=("batched", ""),
     ),
     StageSignature(
         "repair_merge", "st_repair_merge",
         inputs=("initial", "state"), outputs=("state",),
+        fallbacks=(("columnar", "st_repair_merge_columnar"),
+                   ("python_reference", "st_repair_merge_python")),
+        fallback_gate="columnar",
+        ladder_gates=("batched", ""),
     ),
     StageSignature(
         "infer_sources", "st_infer_sources",
@@ -256,7 +288,12 @@ def build_stage_specs(
             condition = enabled[sig.condition]
         fallbacks: List[Tuple[str, StageFn]] = []
         if not sig.fallback_gate or fallback_gates.get(sig.fallback_gate):
-            fallbacks = [(name, bodies[fn]) for name, fn in sig.fallbacks]
+            for idx, (name, fn) in enumerate(sig.fallbacks):
+                gate = (sig.ladder_gates[idx]
+                        if idx < len(sig.ladder_gates) else "")
+                if gate and not fallback_gates.get(gate):
+                    continue
+                fallbacks.append((name, bodies[fn]))
         specs.append(StageSpec(
             sig.name, bodies[sig.body],
             inputs=sig.inputs, outputs=sig.outputs,
@@ -284,11 +321,19 @@ class PipelineOptions:
     tie_break: str = "chare_id"
     #: Gap tolerance for absorbing an entry method into a following serial.
     absorb_tolerance: float = 1e-9
-    #: Kernel backend: "columnar" (NumPy array kernels), "python" (pure
-    #: reference implementation), or "auto" — columnar when NumPy is
-    #: available.  Both backends produce bit-identical structures; the
-    #: differential harness cross-checks them.
+    #: Kernel backend: "columnar_batched" (NumPy array kernels plus the
+    #: batched union-find merge kernel and PE-sharded initial scan),
+    #: "columnar" (NumPy array kernels, per-candidate merges), "python"
+    #: (pure reference implementation), or "auto" — columnar_batched
+    #: when NumPy is available.  All backends produce bit-identical
+    #: structures; the differential harness cross-checks them.
     backend: str = "auto"
+    #: Worker processes for the PE-sharded serial-block scan of the
+    #: "columnar_batched" backend; None / 0 / 1 keeps the scan
+    #: in-process.  Result-neutral by construction — the stitched
+    #: per-shard flags equal the serial scan's bit for bit — so it is
+    #: excluded from cache and checkpoint keys.
+    shard_workers: Optional[int] = None
     #: Stage instrumentation: one :class:`repro.verify.stagehooks.StageHook`
     #: (an object with an ``on_stage(stage, *, state, structure, seconds)``
     #: method) or a sequence of them, called after every stage with the
@@ -332,7 +377,8 @@ class PipelineOptions:
         return "mpi" if trace.metadata.get("model") == "mpi" else "charm"
 
     def resolve_backend(self) -> str:
-        """Concrete backend for this run ("columnar" or "python")."""
+        """Concrete backend for this run ("columnar_batched",
+        "columnar", or "python")."""
         from repro.core.columnar import resolve_backend
 
         return resolve_backend(self.backend)
@@ -385,8 +431,14 @@ class PipelineStats:
     final_phases: int = 0
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     total_seconds: float = 0.0
-    #: Concrete backend the run used ("columnar" or "python").
+    #: Concrete backend the run selected ("columnar_batched",
+    #: "columnar", or "python").
     backend: str = ""
+    #: Kernel family each executed stage actually ran under, by stage
+    #: name — "columnar_batched", "columnar", or "python".  Differs from
+    #: ``backend`` after a mid-run downgrade by the fallback ladder;
+    #: which *rung* of which ladder ran is in ``degradation``.
+    stage_backends: Dict[str, str] = field(default_factory=dict)
     #: :meth:`repro.trace.repair.RepairReport.to_dict` of the ingestion
     #: repair pass, or None when ``options.repair == "off"``.
     repair: Optional[Dict[str, object]] = None
@@ -492,7 +544,14 @@ def extract_logical_structure(
         ctx["initial_partitions"] = len(initial.state.init_events)
 
     def st_initial(ctx: dict) -> None:
-        if ctx["use_columnar"]:
+        if ctx["use_batched"]:
+            initial = _columnar().build_initial_batched(
+                ctx["trace"], mode=mode,
+                absorb_tolerance=opts.absorb_tolerance,
+                relaxed_chain=relaxed,
+                shard_workers=opts.shard_workers,
+            )
+        elif ctx["use_columnar"]:
             initial = _columnar().build_initial_columnar(
                 ctx["trace"], mode=mode,
                 absorb_tolerance=opts.absorb_tolerance,
@@ -506,9 +565,20 @@ def extract_logical_structure(
             )
         _set_initial(ctx, initial)
 
+    def st_initial_columnar(ctx: dict) -> None:
+        # Batched kernel unusable for this trace: the whole run
+        # continues on the plain columnar backend (downstream merge
+        # stages duck-type their kernel off the state built here).
+        ctx["use_batched"] = False
+        _set_initial(ctx, _columnar().build_initial_columnar(
+            ctx["trace"], mode=mode, absorb_tolerance=opts.absorb_tolerance,
+            relaxed_chain=relaxed,
+        ))
+
     def st_initial_python(ctx: dict) -> None:
         # Columnar kernels unusable for this trace: the whole run
         # continues on the python reference implementation.
+        ctx["use_batched"] = False
         ctx["use_columnar"] = False
         _set_initial(ctx, build_initial(
             ctx["trace"], mode=mode, absorb_tolerance=opts.absorb_tolerance,
@@ -518,8 +588,23 @@ def extract_logical_structure(
     def st_dependency_merge(ctx: dict) -> None:
         dependency_merge(ctx["state"])
 
+    def st_dependency_merge_columnar(ctx: dict) -> None:
+        # Batched union kernel failed mid-stage: the executor restored
+        # the pre-stage state snapshot, so rerun with per-candidate
+        # columnar unions on the same state.
+        dependency_merge(ctx["state"], use_batched=False)
+
+    def st_dependency_merge_python(ctx: dict) -> None:
+        dependency_merge(ctx["state"], use_fast_path=False)
+
     def st_repair_merge(ctx: dict) -> None:
         repair_merge(ctx["initial"])
+
+    def st_repair_merge_columnar(ctx: dict) -> None:
+        repair_merge(ctx["initial"], use_batched=False)
+
+    def st_repair_merge_python(ctx: dict) -> None:
+        repair_merge(ctx["initial"], use_fast_path=False)
 
     def st_infer_sources(ctx: dict) -> None:
         infer_source_dependencies(ctx["state"])
@@ -734,14 +819,19 @@ def extract_logical_structure(
     bodies: Dict[str, StageFn] = {
         fn.__name__: fn
         for fn in (
-            st_repair, st_initial, st_initial_python, st_dependency_merge,
-            st_repair_merge, st_infer_sources, st_leap_merge,
+            st_repair, st_initial, st_initial_columnar, st_initial_python,
+            st_dependency_merge, st_dependency_merge_columnar,
+            st_dependency_merge_python, st_repair_merge,
+            st_repair_merge_columnar, st_repair_merge_python,
+            st_infer_sources, st_leap_merge,
             st_order_overlapping, st_chare_paths, st_build_phases,
             st_build_phases_python, st_local_steps, st_local_steps_python,
             st_local_steps_physical, st_global_steps, st_global_steps_python,
             st_finalize,
         )
     }
+    use_columnar = backend != "python"
+    use_batched = backend == "columnar_batched"
     stages = build_stage_specs(
         bodies,
         enabled={
@@ -749,12 +839,16 @@ def extract_logical_structure(
             "infer": lambda ctx: enforce and opts.infer,
             "enforce": lambda ctx: enforce,
         },
-        fallback_gates={"columnar": backend == "columnar"},
+        fallback_gates={"columnar": use_columnar, "batched": use_batched},
     )
 
     def observer(stage: str, seconds: float, ctx: dict) -> None:
         stats.stage_seconds[stage] = (
             stats.stage_seconds.get(stage, 0.0) + seconds
+        )
+        stats.stage_backends[stage] = (
+            "columnar_batched" if ctx.get("use_batched")
+            else "columnar" if ctx.get("use_columnar") else "python"
         )
         structure = ctx.get("structure") if stage == "finalize" else None
         state = None if structure is not None else ctx.get("state")
@@ -791,9 +885,16 @@ def extract_logical_structure(
     )
     ctx: Dict[str, object] = {
         "trace": trace,
-        "use_columnar": backend == "columnar",
+        "use_columnar": use_columnar,
+        "use_batched": use_batched,
     }
-    report = executor.run(ctx)
+    # The cyclic collector does pure wasted work during extraction (the
+    # kernels allocate bursts of acyclic short-lived objects while the
+    # whole trace heap sits in the old generations — see
+    # :mod:`repro.core.gcpause` for the quadratic this caused).  The
+    # python reference backend keeps the historical collector behavior.
+    with pause_gc(backend != "python"):
+        report = executor.run(ctx)
 
     structure: LogicalStructure = ctx["structure"]
     structure.degradation = report

@@ -6,8 +6,9 @@ AST-based static analysis specialized to this pipeline's contracts:
   modules reachable from the pipeline stage bodies;
 * dataflow rules (DF001-DF005) check the declarative stage graph
   (:data:`repro.core.pipeline.STAGE_GRAPH`) against the stage bodies;
-* concurrency rules (CONC001-CONC003) pin the crash-safety and
-  fork-boundary idioms of the batch/persistence layer.
+* concurrency rules (CONC001-CONC004) pin the crash-safety and
+  fork-boundary idioms of the batch/persistence layer, and keep
+  per-candidate python loops out of the batched merge-kernel modules.
 
 Run it as ``repro lint`` (see :mod:`repro.cli`) or programmatically::
 

@@ -1,17 +1,20 @@
-"""The columnar backend is a pure implementation detail.
+"""The columnar backends are pure implementation details.
 
-For every bundled proxy app, extracting with ``backend="python"`` and
-``backend="columnar"`` must assign bit-identical steps and phases — not
-merely equivalent partitions.  The columnar kernels go out of their way
-to replay the python implementation's insertion and tie-break orders;
-this is the test that holds them to it.
+For every bundled proxy app, extracting with ``backend="python"``,
+``backend="columnar"``, and ``backend="columnar_batched"`` must assign
+bit-identical steps and phases — not merely equivalent partitions.  The
+columnar kernels go out of their way to replay the python
+implementation's insertion and tie-break orders, and the batched
+union-find kernel replays the sequential union-by-size decision stream;
+this is the test that holds them to it, including on the fault corpus
+under ingestion repair and under PE-sharded multi-core partition builds.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.api import PipelineOptions, extract
+from repro.api import PipelineOptions, PipelineStats, extract
 from repro.apps import (
     btsweep,
     jacobi2d,
@@ -24,8 +27,12 @@ from repro.apps import (
     sssp,
 )
 from repro.core.columnar import HAVE_NUMPY
+from repro.trace.faults import FAULT_KINDS, inject_fault
 
 pytestmark = pytest.mark.skipif(not HAVE_NUMPY, reason="NumPy not available")
+
+#: The non-reference backends; each must be bit-identical to "python".
+COLUMNAR_FAMILY = ("columnar", "columnar_batched")
 
 APPS = {
     "jacobi2d": lambda: jacobi2d.run(chares=(4, 4), pes=4, iterations=2, seed=7),
@@ -40,39 +47,96 @@ APPS = {
 }
 
 
+@pytest.mark.parametrize("backend", COLUMNAR_FAMILY)
 @pytest.mark.parametrize("app", sorted(APPS))
-def test_backends_bit_identical(app):
+def test_backends_bit_identical(app, backend):
     trace = APPS[app]()
     py = extract(trace, PipelineOptions(backend="python"))
-    col = extract(trace, PipelineOptions(backend="columnar"))
+    col = extract(trace, PipelineOptions(backend=backend))
     assert py.step_of_event == col.step_of_event
     assert py.phase_of_event == col.phase_of_event
     assert py.local_step_of_event == col.local_step_of_event
 
 
+@pytest.mark.parametrize("backend", COLUMNAR_FAMILY)
 @pytest.mark.parametrize("app", ["lulesh", "lassen"])
-def test_backends_bit_identical_mpi(app):
+def test_backends_bit_identical_mpi(app, backend):
     run = lulesh.run_mpi if app == "lulesh" else lassen.run_mpi
     trace = run(ranks=8, iterations=2, seed=3)
     py = extract(trace, PipelineOptions(backend="python"))
-    col = extract(trace, PipelineOptions(backend="columnar"))
+    col = extract(trace, PipelineOptions(backend=backend))
     assert py.step_of_event == col.step_of_event
     assert py.phase_of_event == col.phase_of_event
 
 
+@pytest.mark.parametrize("backend", COLUMNAR_FAMILY)
 @pytest.mark.parametrize("overrides", [
     {"order": "physical"},
     {"infer": False},
     {"tie_break": "index"},
 ])
-def test_backends_bit_identical_under_options(overrides):
+def test_backends_bit_identical_under_options(overrides, backend):
     trace = APPS["jacobi2d"]()
     py = extract(trace, PipelineOptions(backend="python"), **overrides)
-    col = extract(trace, PipelineOptions(backend="columnar"), **overrides)
+    col = extract(trace, PipelineOptions(backend=backend), **overrides)
     assert py.step_of_event == col.step_of_event
     assert py.phase_of_event == col.phase_of_event
 
 
+# ---------------------------------------------------------------------------
+# Fault corpus: bit-identity must survive damaged inputs under repair.
+# The repaired trace feeds repair_merge's rule paths, which the batched
+# kernel accelerates — exactly where a divergence would hide.
+# ---------------------------------------------------------------------------
+@pytest.mark.faults
+@pytest.mark.parametrize("kind", FAULT_KINDS)
+def test_backends_bit_identical_on_fault_corpus(kind):
+    trace = inject_fault(APPS["jacobi2d"](), kind, seed=11)
+    results = {
+        backend: extract(trace, PipelineOptions(backend=backend, repair="fix"))
+        for backend in ("python",) + COLUMNAR_FAMILY
+    }
+    py = results["python"]
+    for backend in COLUMNAR_FAMILY:
+        other = results[backend]
+        assert py.step_of_event == other.step_of_event, (kind, backend)
+        assert py.phase_of_event == other.phase_of_event, (kind, backend)
+        assert py.local_step_of_event == other.local_step_of_event, (
+            kind, backend)
+
+
+# ---------------------------------------------------------------------------
+# Multi-core partition build: sharding is result-neutral by construction.
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("workers", [1, 2])
+def test_shard_workers_bit_identical(workers):
+    trace = APPS["lulesh"]()
+    base = extract(trace, PipelineOptions(backend="columnar_batched"))
+    sharded = extract(trace, PipelineOptions(
+        backend="columnar_batched", shard_workers=workers))
+    assert base.step_of_event == sharded.step_of_event
+    assert base.phase_of_event == sharded.phase_of_event
+    assert base.local_step_of_event == sharded.local_step_of_event
+
+
+# ---------------------------------------------------------------------------
+# Stage reporting: stats must name the backend that actually ran per stage.
+# ---------------------------------------------------------------------------
+def test_stage_backend_stats_shape(jacobi_trace):
+    stats = PipelineStats()
+    extract(jacobi_trace, PipelineOptions(backend="columnar_batched"),
+            stats=stats)
+    assert stats.backend == "columnar_batched"
+    assert set(stats.stage_backends) == set(stats.stage_seconds)
+    assert set(stats.stage_backends.values()) == {"columnar_batched"}
+
+
+def test_stage_backend_stats_python(jacobi_trace):
+    stats = PipelineStats()
+    extract(jacobi_trace, PipelineOptions(backend="python"), stats=stats)
+    assert set(stats.stage_backends.values()) == {"python"}
+
+
 def test_auto_backend_selects_columnar(jacobi_trace):
     structure = extract(jacobi_trace, PipelineOptions(backend="auto"))
-    assert structure.options.resolve_backend() == "columnar"
+    assert structure.options.resolve_backend() == "columnar_batched"

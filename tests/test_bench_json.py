@@ -29,7 +29,8 @@ pytestmark = pytest.mark.bench
 @pytest.fixture(scope="module")
 def bench_record(tmp_path_factory):
     out = tmp_path_factory.mktemp("bench") / "BENCH_pipeline.json"
-    assert main(["--quick", "--quiet", "--output", str(out)]) == 0
+    assert main(["--quick", "--quiet", "--enforce-budget",
+                 "--output", str(out)]) == 0
     return json.loads(out.read_text())
 
 
@@ -51,6 +52,20 @@ def test_quick_record_contents(bench_record):
     ro = bench_record["repair_overhead"]
     assert ro["off_seconds"] > 0 and ro["warn_seconds"] > 0
     assert ro["overhead"] > 0
+
+
+def test_quick_record_backend_ab_batched(bench_record):
+    ab = bench_record["backend_ab"]
+    assert ab["columnar_batched_seconds"] > 0
+    assert ab["speedup_batched"] > 0
+
+
+def test_quick_record_budget(bench_record):
+    budget = bench_record["budget"]
+    assert budget["hot_stages"] == ["initial", "dependency_merge"]
+    assert 0 <= budget["hot_fraction"] <= 1
+    assert budget["within_budget"] is True
+    assert budget["hot_seconds"] <= budget["total_seconds"]
 
 
 def test_validator_catches_shape_errors():
