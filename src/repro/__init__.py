@@ -32,6 +32,7 @@ from repro.api import (
     TraceBuilder,
     extract,
     extract_logical_structure,
+    open_trace,
     read_trace,
     run_differential,
     validate_trace,
@@ -51,6 +52,7 @@ __all__ = [
     "Phase",
     "Trace",
     "TraceBuilder",
+    "open_trace",
     "read_trace",
     "run_differential",
     "verify_structure",

@@ -14,11 +14,15 @@ for I/O, ``repro.verify`` for checking, ``repro.batch`` for campaigns).
 Internals may move between submodules across versions; the names listed
 in ``__all__`` here are the compatibility surface.
 
-:func:`extract` is the preferred entry point — it accepts a path or an
-in-memory :class:`~repro.trace.model.Trace`, an optional
-:class:`PipelineOptions`, and keyword overrides applied on top of it,
-so callers never juggle the options-vs-kwargs duality that
-:func:`extract_logical_structure` keeps for backward compatibility.
+:func:`extract` is the preferred entry point — it accepts a path, an
+open stream, an in-memory :class:`~repro.trace.model.Trace`, or a
+:class:`~repro.trace.source.TraceSource`, an optional
+:class:`PipelineOptions`, and keyword overrides applied on top of it.
+Path and stream inputs are materialized per ``options.ingest``
+("chunked" streams the file into columnar buffers; "eager" builds the
+object-backed trace; "auto" picks chunked when NumPy is available) —
+bit-identical either way.  The historical ``read_trace`` → ``extract``
+idiom keeps working: a Trace input is used as-is.
 """
 
 from __future__ import annotations
@@ -52,8 +56,20 @@ from repro.trace.faults import (
     inject_faults,
 )
 from repro.trace.model import Trace, TraceBuilder
-from repro.trace.reader import read_trace
+from repro.trace.reader import (
+    ReaderStats,
+    TraceFormatError,
+    read_trace,
+    read_trace_chunked,
+)
 from repro.trace.repair import RepairReport, detect_defects, repair_trace
+from repro.trace.source import (
+    FileTraceSource,
+    MemoryTraceSource,
+    StreamTraceSource,
+    TraceSource,
+    open_trace,
+)
 from repro.trace.validate import validate_trace
 from repro.trace.writer import write_trace
 from repro.verify import (
@@ -71,19 +87,25 @@ __all__ = [
     "BatchResult",
     "DegradationReport",
     "FAULT_KINDS",
+    "FileTraceSource",
     "LogicalStructure",
     "Phase",
+    "MemoryTraceSource",
     "PipelineOptions",
     "PipelineStats",
+    "ReaderStats",
     "RepairReport",
     "RunJournal",
     "StageHook",
     "StageOutcome",
     "StageRecorder",
+    "StreamTraceSource",
     "StrictVerifier",
     "StructureCache",
     "Trace",
     "TraceBuilder",
+    "TraceFormatError",
+    "TraceSource",
     "check_structure",
     "detect_defects",
     "extract",
@@ -91,8 +113,10 @@ __all__ = [
     "fault_corpus",
     "inject_fault",
     "inject_faults",
+    "open_trace",
     "read_journal",
     "read_trace",
+    "read_trace_chunked",
     "repair_trace",
     "run_differential",
     "trace_digest",
@@ -103,22 +127,27 @@ __all__ = [
 
 
 def extract(
-    source: Union[str, Path, Trace],
+    source: Union[str, Path, Trace, TraceSource],
     options: Optional[PipelineOptions] = None,
     *,
     stats: Optional[PipelineStats] = None,
     **overrides,
 ) -> LogicalStructure:
-    """Extract logical structure from a trace path or Trace object.
+    """Extract logical structure from a trace path, stream, Trace, or
+    :class:`TraceSource`.
 
     ``options`` supplies the baseline (defaults if omitted) and
     ``overrides`` are field overrides applied on top via
     :meth:`PipelineOptions.with_overrides`, so both styles — a shared
     options object, quick one-off keywords, or a mix — go through one
     unambiguous path.  Unknown override names raise :class:`TypeError`.
+    Path and stream sources are materialized per ``opts.ingest``
+    (chunked columnar by default when NumPy is available); an in-memory
+    Trace or a pre-built TraceSource is used as-is.
     """
     opts = (options if options is not None else PipelineOptions())
     if overrides:
         opts = opts.with_overrides(**overrides)
-    trace = read_trace(source) if isinstance(source, (str, Path)) else source
+    trace = source if isinstance(source, Trace) else (
+        open_trace(source, ingest=opts.ingest).trace())
     return extract_logical_structure(trace, options=opts, stats=stats)

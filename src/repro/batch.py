@@ -56,9 +56,12 @@ from repro.core.pipeline import (
 )
 from repro.core.structure import LogicalStructure
 from repro.trace.model import Trace
-from repro.trace.reader import read_trace
+from repro.trace.reader import read_trace  # noqa: F401 - public re-export
+from repro.trace.source import TraceSource, open_trace
 
-TraceSource = Union[str, Path, Trace]
+#: Anything the batch driver accepts as one campaign entry: a path, an
+#: in-memory trace, or a :class:`~repro.trace.source.TraceSource`.
+BatchSource = Union[str, Path, Trace, TraceSource]
 
 
 def _int(value) -> int:
@@ -73,7 +76,7 @@ def _update_str(h, text: Optional[str]) -> None:
     h.update(data)
 
 
-def trace_digest(source: TraceSource) -> str:
+def trace_digest(source: BatchSource) -> str:
     """Content key of a trace source (sha256 hex digest).
 
     Path sources hash the raw file bytes; in-memory traces hash every
@@ -82,7 +85,18 @@ def trace_digest(source: TraceSource) -> str:
     (including names, ``home_pe``, shapes), ``num_pes``, and metadata.
     Two traces differing in any field the pipeline or its metrics can
     observe must never collide on one key.
+
+    A :class:`~repro.trace.source.TraceSource` keys like what it wraps:
+    file-backed sources hash the file bytes (without reading records at
+    all); others hash their materialized trace.  Chunk-ingested
+    columnar traces take a vectorized path — the packed little-endian
+    column dtypes are byte-identical to the per-record ``struct.pack``
+    stream, so the digests agree with the eager reader's.
     """
+    if not isinstance(source, (str, Path, Trace)) and callable(
+            getattr(source, "trace", None)):
+        path = getattr(source, "path", None)
+        source = path if path is not None else source.trace()
     h = hashlib.sha256()
     if isinstance(source, (str, Path)):
         with open(source, "rb") as fh:
@@ -95,14 +109,20 @@ def trace_digest(source: TraceSource) -> str:
         len(trace.executions), len(trace.chares), len(trace.entries),
         len(trace.arrays), len(trace.idles), _int(trace.num_pes),
     ))
-    for e in trace.events:
-        h.update(struct.pack("<4qd", _int(e.kind), _int(e.chare),
-                             _int(e.pe), _int(e.execution), e.time))
-    for m in trace.messages:
-        h.update(struct.pack("<2q", _int(m.send_event), _int(m.recv_event)))
-    for x in trace.executions:
-        h.update(struct.pack("<4q2d", _int(x.chare), _int(x.entry),
-                             _int(x.pe), _int(x.recv_event), x.start, x.end))
+    columns = getattr(trace, "columns", None)
+    if columns is not None:
+        _digest_columns(h, columns)
+    else:
+        for e in trace.events:
+            h.update(struct.pack("<4qd", _int(e.kind), _int(e.chare),
+                                 _int(e.pe), _int(e.execution), e.time))
+        for m in trace.messages:
+            h.update(struct.pack("<2q", _int(m.send_event),
+                                 _int(m.recv_event)))
+        for x in trace.executions:
+            h.update(struct.pack("<4q2d", _int(x.chare), _int(x.entry),
+                                 _int(x.pe), _int(x.recv_event),
+                                 x.start, x.end))
     for c in trace.chares:
         h.update(struct.pack("<3q?", _int(c.id), _int(c.array_id),
                              _int(c.home_pe), bool(c.is_runtime)))
@@ -117,10 +137,38 @@ def trace_digest(source: TraceSource) -> str:
         h.update(struct.pack(f"<2q{len(arr.shape)}q", _int(arr.id),
                              len(arr.shape), *arr.shape))
         _update_str(h, arr.name)
-    for idle in trace.idles:
-        h.update(struct.pack("<q2d", _int(idle.pe), idle.start, idle.end))
+    if columns is not None:
+        h.update(_packed_bytes(columns.idle_pe,
+                               columns.idle_start, columns.idle_end))
+    else:
+        for idle in trace.idles:
+            h.update(struct.pack("<q2d", _int(idle.pe), idle.start, idle.end))
     h.update(repr(sorted(trace.metadata.items())).encode())
     return h.hexdigest()
+
+
+def _packed_bytes(*cols) -> bytes:
+    """Row-major bytes of parallel columns, as contiguous ``<i8``/``<f8``
+    fields — byte-identical to per-record ``struct.pack`` of the rows
+    (every field is 8 bytes, so the struct layout has no padding)."""
+    import numpy as np
+
+    dtype = np.dtype([(f"f{i}", c.dtype.newbyteorder("<"))
+                      for i, c in enumerate(cols)])
+    packed = np.empty(len(cols[0]), dtype)
+    for i, c in enumerate(cols):
+        packed[f"f{i}"] = c
+    return packed.tobytes()
+
+
+def _digest_columns(h, columns) -> None:
+    """Vectorized twin of the per-record event/message/execution hashing
+    loops, fed straight from a chunk-ingested trace's columns."""
+    h.update(_packed_bytes(columns.ev_kind.astype("int64"), columns.ev_chare,
+                           columns.ev_pe, columns.ev_exec, columns.ev_time))
+    h.update(_packed_bytes(columns.msg_send, columns.msg_recv))
+    h.update(_packed_bytes(columns.ex_chare, columns.ex_entry, columns.ex_pe,
+                           columns.ex_recv, columns.ex_start, columns.ex_end))
 
 
 def options_token(options: PipelineOptions) -> str:
@@ -351,7 +399,7 @@ def _worker_options(options: PipelineOptions) -> dict:
     return fields
 
 
-def _extract_one(source: TraceSource, option_fields: dict):
+def _extract_one(source: BatchSource, option_fields: dict):
     """Top-level worker: extract one trace, never raise.
 
     Returns ``(ok, summary, error, seconds)``; runs in the pool workers
@@ -360,8 +408,8 @@ def _extract_one(source: TraceSource, option_fields: dict):
     t0 = _time.perf_counter()  # repro-lint: disable=DET001 reason=worker timing telemetry, never keyed or cached
     try:
         opts = PipelineOptions(**option_fields)
-        trace = (read_trace(source)
-                 if isinstance(source, (str, Path)) else source)
+        trace = (source if isinstance(source, Trace)
+                 else open_trace(source, ingest=opts.ingest).trace())
         stats = PipelineStats()
         structure = extract_logical_structure(trace, opts, stats=stats)
         summary = structure_summary(structure, stats)
@@ -371,7 +419,7 @@ def _extract_one(source: TraceSource, option_fields: dict):
         return False, {}, error, _time.perf_counter() - t0  # repro-lint: disable=DET001 reason=worker timing telemetry, never keyed or cached
 
 
-def _pipe_worker(conn, source: TraceSource, option_fields: dict) -> None:
+def _pipe_worker(conn, source: BatchSource, option_fields: dict) -> None:
     """Child-process entry: run :func:`_extract_one`, ship the outcome."""
     try:
         conn.send(_extract_one(source, option_fields))
@@ -577,7 +625,7 @@ class BatchExtractor:
     # ------------------------------------------------------------------
     # Process scheduler: timeouts, retries, crash containment
     # ------------------------------------------------------------------
-    def _run_processes(self, sources: List[TraceSource],
+    def _run_processes(self, sources: List[BatchSource],
                        pending: List[int], option_fields: dict,
                        on_outcome=None) -> Dict[int, tuple]:
         """Run pending extractions in worker processes.
@@ -685,7 +733,7 @@ class BatchExtractor:
                         f"{self.timeout:g}s wall clock", elapsed, True)
         return outcomes
 
-    def run(self, sources: Sequence[TraceSource]) -> BatchReport:
+    def run(self, sources: Sequence[BatchSource]) -> BatchReport:
         from repro.resilience.journal import RunJournal
 
         t0 = _time.perf_counter()  # repro-lint: disable=DET001 reason=batch wall-clock telemetry, never keyed or cached

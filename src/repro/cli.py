@@ -138,6 +138,12 @@ def add_pipeline_options(parser: argparse.ArgumentParser) -> None:
                         default="warn",
                         help="user stage-hook exceptions: warn and continue "
                              "(default) or abort extraction")
+    parser.add_argument("--ingest", choices=["auto", "eager", "chunked"],
+                        default="auto",
+                        help="trace ingestion: chunked streams the file into "
+                             "columnar buffers (bounded memory), eager builds "
+                             "per-record objects; auto picks chunked when "
+                             "NumPy is available (bit-identical results)")
 
 
 def pipeline_options_from_args(args: argparse.Namespace) -> PipelineOptions:
@@ -149,7 +155,7 @@ def pipeline_options_from_args(args: argparse.Namespace) -> PipelineOptions:
         repair=args.repair,
         on_error=args.on_error, checkpoint_dir=args.checkpoint_dir,
         stage_deadline=args.stage_deadline, max_rss_mb=args.max_rss_mb,
-        hook_errors=args.hook_errors,
+        hook_errors=args.hook_errors, ingest=args.ingest,
     )
 
 
@@ -193,12 +199,14 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load(path: str):
-    return read_trace(path)
+def _load(path: str, ingest: str = "auto"):
+    from repro.trace import open_trace
+
+    return open_trace(path, ingest=ingest).trace()
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
-    trace = _load(args.trace)
+    trace = _load(args.trace, args.ingest)
     options = pipeline_options_from_args(args)
     stats = PipelineStats()
     structure = extract_logical_structure(trace, options=options, stats=stats)
@@ -310,7 +318,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.report import performance_report
 
-    trace = _load(args.trace)
+    trace = _load(args.trace, args.ingest)
     structure = extract_logical_structure(
         trace, options=pipeline_options_from_args(args)
     )
@@ -322,8 +330,10 @@ def cmd_diff(args: argparse.Namespace) -> int:
     from repro.core.diff import diff_structures
 
     options = pipeline_options_from_args(args)
-    left = extract_logical_structure(_load(args.left), options=options)
-    right = extract_logical_structure(_load(args.right), options=options)
+    left = extract_logical_structure(_load(args.left, args.ingest),
+                                     options=options)
+    right = extract_logical_structure(_load(args.right, args.ingest),
+                                      options=options)
     diff = diff_structures(left, right)
     print(f"similarity: {diff.similarity():.2f} "
           f"({len(diff.matched)} matched, {len(diff.only_left)} only-left, "
@@ -371,7 +381,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
     from repro.trace.validate import collect_trace_problems
     from repro.verify import StageRecorder, check_structure, run_differential
 
-    trace = _load(args.trace)
+    trace = _load(args.trace, args.ingest)
     violations = collect_trace_problems(trace)
 
     structure = None

@@ -102,6 +102,31 @@ class EventTable:
         self.partner_send = partner
 
     @classmethod
+    def from_columns(cls, *, kind, chare, pe, time, execution,
+                     msg_send, msg_recv) -> "EventTable":
+        """Build straight from ingestion columns (no record objects).
+
+        The chunked reader's :class:`~repro.trace.columns.ColumnarTrace`
+        seeds the per-trace table cache through this, skipping the
+        ``np.fromiter``-over-objects scans of ``__init__`` entirely.
+        ``partner_send`` is derived with the same overwrite semantics.
+        """
+        t = cls.__new__(cls)
+        t.n = n = len(kind)
+        t.kind = np.asarray(kind, np.int8)
+        t.chare = np.asarray(chare, np.int64)
+        t.pe = np.asarray(pe, np.int64)
+        t.time = np.asarray(time, np.float64)
+        t.execution = np.asarray(execution, np.int64)
+        t.msg_send = np.asarray(msg_send, np.int64)
+        t.msg_recv = np.asarray(msg_recv, np.int64)
+        partner = np.full(n, -1, np.int64)
+        has_recv = t.msg_recv >= 0
+        partner[t.msg_recv[has_recv]] = t.msg_send[has_recv]
+        t.partner_send = partner
+        return t
+
+    @classmethod
     def of(cls, trace: Trace) -> "EventTable":
         table = getattr(trace, "_columnar_table", None)
         if table is None:
@@ -136,6 +161,27 @@ class ExecTable:
         )
 
     @classmethod
+    def from_columns(cls, *, start, end, pe, entry, chare, recv_event,
+                     entries) -> "ExecTable":
+        """Build straight from ingestion columns plus the entry registry."""
+        t = cls.__new__(cls)
+        t.n = len(start)
+        t.start = np.asarray(start, np.float64)
+        t.end = np.asarray(end, np.float64)
+        t.pe = np.asarray(pe, np.int64)
+        t.entry = np.asarray(entry, np.int64)
+        t.chare = np.asarray(chare, np.int64)
+        t.recv_event = np.asarray(recv_event, np.int64)
+        k = len(entries)
+        t.entry_serial = np.fromiter(
+            (e.is_sdag_serial for e in entries), np.bool_, k
+        )
+        t.entry_ordinal = np.fromiter(
+            (e.sdag_ordinal for e in entries), np.int64, k
+        )
+        return t
+
+    @classmethod
     def of(cls, trace: Trace) -> "ExecTable":
         table = getattr(trace, "_columnar_execs", None)
         if table is None:
@@ -152,6 +198,285 @@ class BlockTable:
     def __init__(self, block_of_event, n_blocks: int):
         self.block_of_event = block_of_event
         self.n_blocks = n_blocks
+
+
+class LazyIntList:
+    """Immutable ``List[int]`` facade over one int64 array.
+
+    Million-event traces keep several per-event id maps alive for the
+    lifetime of the result object (``event_init``, ``block_of_event``,
+    ...); as python lists those cost ~30 bytes per element.  This view
+    keeps the 8-byte column and materializes python ints only at the
+    accessed positions.  Compares elementwise against real lists so
+    differential tests see equal structures across backends.
+    """
+
+    __slots__ = ("_arr",)
+
+    def __init__(self, arr):
+        self._arr = arr
+
+    def __len__(self) -> int:
+        return len(self._arr)
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return self._arr[i].tolist()
+        return int(self._arr[i])
+
+    def __iter__(self):
+        return iter(self._arr.tolist())
+
+    def __eq__(self, other):
+        if isinstance(other, LazyIntList):
+            return np.array_equal(self._arr, other._arr)
+        if isinstance(other, (list, tuple)):
+            return (len(other) == len(self._arr)
+                    and self._arr.tolist() == list(other))
+        return NotImplemented
+
+    __hash__ = None  # mutable-sequence semantics, like list
+
+    def __array__(self, dtype=None):
+        return self._arr if dtype is None else self._arr.astype(dtype)
+
+    def __repr__(self) -> str:
+        return f"LazyIntList({self._arr.tolist()!r})"
+
+    def __getstate__(self):
+        return self._arr
+
+    def __setstate__(self, arr):
+        self._arr = arr
+
+
+class LazyIntListOfLists:
+    """Immutable ``List[List[int]]`` facade over flat + offset arrays.
+
+    Backs ``init_events`` (event ids per initial partition): one shared
+    flat id array plus per-partition ``[start, end)`` bounds, instead of
+    hundreds of thousands of small python lists.
+    """
+
+    __slots__ = ("_flat", "_starts", "_ends")
+
+    def __init__(self, flat, starts, ends):
+        self._flat = flat
+        self._starts = starts
+        self._ends = ends
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return [self[j] for j in range(*i.indices(len(self)))]
+        s, e = self._starts[i], self._ends[i]
+        return self._flat[s:e].tolist()
+
+    def __iter__(self):
+        flat = self._flat.tolist()
+        for s, e in zip(self._starts.tolist(), self._ends.tolist()):
+            yield flat[s:e]
+
+    def __eq__(self, other):
+        if isinstance(other, (LazyIntListOfLists, list, tuple)):
+            return (len(other) == len(self)
+                    and all(a == b for a, b in zip(self, other)))
+        return NotImplemented
+
+    __hash__ = None
+
+    def __getstate__(self):
+        return self._flat, self._starts, self._ends
+
+    def __setstate__(self, state):
+        self._flat, self._starts, self._ends = state
+
+
+class EdgeList:
+    """Append-only ``(src, dst, kind)`` edge log stored as int64 columns.
+
+    List-compatible for the shared stage code (append / extend / len /
+    indexing / iteration yield the same tuples, with ``kind`` revived as
+    :class:`EdgeKind`), but 24 bytes per edge instead of ~120 for a
+    tuple, and the columnar fast paths read the backing arrays without
+    the list→array resync the previous implementation needed.
+    """
+
+    __slots__ = ("_src", "_dst", "_kind", "n")
+
+    def __init__(self):
+        self._src = np.empty(1024, np.int64)
+        self._dst = np.empty(1024, np.int64)
+        self._kind = np.empty(1024, np.int64)
+        self.n = 0
+
+    @classmethod
+    def from_triples(cls, triples) -> "EdgeList":
+        out = cls()
+        out.extend(triples)
+        return out
+
+    def _reserve(self, need: int) -> None:
+        cap = len(self._src)
+        if need <= cap:
+            return
+        cap = max(cap * 2, need)
+        for name in ("_src", "_dst", "_kind"):
+            old = getattr(self, name)
+            grown = np.empty(cap, np.int64)
+            grown[:self.n] = old[:self.n]
+            setattr(self, name, grown)
+
+    def append(self, edge) -> None:
+        a, b, k = edge
+        n = self.n
+        self._reserve(n + 1)
+        self._src[n] = a
+        self._dst[n] = b
+        self._kind[n] = int(k)
+        self.n = n + 1
+
+    def extend(self, triples) -> None:
+        for edge in triples:
+            self.append(edge)
+
+    def extend_columns(self, src, dst, kind: int) -> None:
+        """Bulk append of parallel endpoint arrays with one edge kind."""
+        k = len(src)
+        if not k:
+            return
+        n = self.n
+        self._reserve(n + k)
+        self._src[n:n + k] = src
+        self._dst[n:n + k] = dst
+        self._kind[n:n + k] = int(kind)
+        self.n = n + k
+
+    def arrays(self):
+        """(src, dst, kind) as trimmed array views — always in sync."""
+        n = self.n
+        return self._src[:n], self._dst[:n], self._kind[:n]
+
+    def __len__(self) -> int:
+        return self.n
+
+    def _tuple(self, i: int):
+        return (int(self._src[i]), int(self._dst[i]),
+                EdgeKind(int(self._kind[i])))
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return [self._tuple(j) for j in range(*i.indices(self.n))]
+        if i < 0:
+            i += self.n
+        if not 0 <= i < self.n:
+            raise IndexError(i)
+        return self._tuple(i)
+
+    def __iter__(self):
+        n = self.n
+        kinds = [EdgeKind(k) for k in self._kind[:n].tolist()]
+        return iter(list(zip(self._src[:n].tolist(),
+                             self._dst[:n].tolist(), kinds)))
+
+    def __eq__(self, other):
+        if isinstance(other, (EdgeList, list, tuple)):
+            return (len(other) == self.n
+                    and all(a == b for a, b in zip(self, other)))
+        return NotImplemented
+
+    __hash__ = None
+
+    def __getstate__(self):
+        src, dst, kind = self.arrays()
+        return src.copy(), dst.copy(), kind.copy()
+
+    def __setstate__(self, state):
+        self._src, self._dst, self._kind = [np.ascontiguousarray(a)
+                                            for a in state]
+        self.n = len(self._src)
+
+
+class LazyBlockList:
+    """Immutable ``List[Block]`` facade over per-block columns.
+
+    Serial-block metadata lives in seven scalar arrays plus shared flat
+    event/execution id arrays with per-block bounds; :class:`Block`
+    objects (with real list fields, equal to the python backend's) are
+    materialized only for the indices actually touched.  For a
+    million-event trace this replaces ~450 MB of Block objects and
+    per-block lists with ~50 MB of columns.
+    """
+
+    __slots__ = ("chare", "pe", "start", "end", "entry", "recv_event",
+                 "sdag_ordinal", "_ev_flat", "_ev_lo", "_ev_hi",
+                 "_x_flat", "_x_lo", "_x_hi")
+
+    def __init__(self, *, chare, pe, start, end, entry, recv_event,
+                 sdag_ordinal, ev_flat, ev_lo, ev_hi, x_flat, x_lo, x_hi):
+        self.chare = chare
+        self.pe = pe
+        self.start = start
+        self.end = end
+        self.entry = entry
+        self.recv_event = recv_event
+        self.sdag_ordinal = sdag_ordinal
+        self._ev_flat = ev_flat
+        self._ev_lo = ev_lo
+        self._ev_hi = ev_hi
+        self._x_flat = x_flat
+        self._x_lo = x_lo
+        self._x_hi = x_hi
+
+    def __len__(self) -> int:
+        return len(self.chare)
+
+    def _make(self, i: int) -> Block:
+        b = Block.__new__(Block)
+        b.__dict__ = {
+            "id": i,
+            "chare": int(self.chare[i]),
+            "pe": int(self.pe[i]),
+            "executions": self._x_flat[self._x_lo[i]:self._x_hi[i]].tolist(),
+            "events": self._ev_flat[self._ev_lo[i]:self._ev_hi[i]].tolist(),
+            "start": float(self.start[i]),
+            "end": float(self.end[i]),
+            "sdag_ordinal": int(self.sdag_ordinal[i]),
+            "entry": int(self.entry[i]),
+            "recv_event": int(self.recv_event[i]),
+        }
+        return b
+
+    def __getitem__(self, i):
+        n = len(self.chare)
+        if isinstance(i, slice):
+            return [self._make(j) for j in range(*i.indices(n))]
+        if i < 0:
+            i += n
+        if not 0 <= i < n:
+            raise IndexError(i)
+        return self._make(i)
+
+    def __iter__(self):
+        for i in range(len(self.chare)):
+            yield self._make(i)
+
+    def __eq__(self, other):
+        if isinstance(other, (LazyBlockList, list, tuple)):
+            return (len(other) == len(self)
+                    and all(a == b for a, b in zip(self, other)))
+        return NotImplemented
+
+    __hash__ = None
+
+    def __getstate__(self):
+        return tuple(getattr(self, name) for name in self.__slots__)
+
+    def __setstate__(self, state):
+        for name, value in zip(self.__slots__, state):
+            setattr(self, name, value)
 
 
 def runtime_related_array(trace: Trace, table: EventTable):
@@ -180,11 +505,13 @@ class ColumnarPartitionState(PartitionState):
                  edges, table: Optional[EventTable] = None, event_init_arr=None):
         super().__init__(trace, init_events, init_runtime, init_block,
                          event_init, edges)
+        if not isinstance(self.edges, EdgeList):
+            self.edges = EdgeList.from_triples(self.edges)
         self.table = table if table is not None else EventTable.of(trace)
         if event_init_arr is None:
             event_init_arr = (
                 np.asarray(event_init, np.int64)
-                if event_init else np.empty(0, np.int64)
+                if len(event_init) else np.empty(0, np.int64)
             )
         self.event_init_arr = event_init_arr
         # Partitioned events flattened in (initial partition, time, id)
@@ -197,13 +524,10 @@ class ColumnarPartitionState(PartitionState):
         self._flat_time = self.table.time[self._flat_events]
         self._flat_chare = self.table.chare[self._flat_events]
         self._init_block_arr = (
-            np.asarray(init_block, np.int64) if init_block else np.empty(0, np.int64)
+            np.asarray(init_block, np.int64) if len(init_block)
+            else np.empty(0, np.int64)
         )
         self.block_table: Optional[BlockTable] = None
-        self._edge_src = np.empty(0, np.int64)
-        self._edge_dst = np.empty(0, np.int64)
-        self._edge_kind = np.empty(0, np.int64)
-        self._edge_count = 0
         self._adj_cache = None
 
     # -- array primitives ----------------------------------------------
@@ -217,22 +541,8 @@ class ColumnarPartitionState(PartitionState):
             parent = grand
 
     def edge_arrays(self):
-        """(src, dst, kind) columns of ``self.edges``, extended on demand."""
-        m = len(self.edges)
-        if m != self._edge_count:
-            new = self.edges[self._edge_count:]
-            k = len(new)
-            self._edge_src = np.concatenate(
-                [self._edge_src, np.fromiter((e[0] for e in new), np.int64, k)]
-            )
-            self._edge_dst = np.concatenate(
-                [self._edge_dst, np.fromiter((e[1] for e in new), np.int64, k)]
-            )
-            self._edge_kind = np.concatenate(
-                [self._edge_kind, np.fromiter((int(e[2]) for e in new), np.int64, k)]
-            )
-            self._edge_count = m
-        return self._edge_src, self._edge_dst, self._edge_kind
+        """(src, dst, kind) columns of ``self.edges`` (live views)."""
+        return self.edges.arrays()
 
     def _group_perm(self, roots):
         """Unique roots + the permutation putting them in first-occurrence
@@ -437,8 +747,11 @@ class ColumnarPartitionState(PartitionState):
         ra = ra[keep]
         rb = rb[keep]
         b = b[keep]
-        entry_of_block = np.fromiter((blk.entry for blk in blocks), np.int64,
-                                     len(blocks))
+        entry_of_block = (
+            blocks.entry if isinstance(blocks, LazyBlockList)
+            else np.fromiter((blk.entry for blk in blocks), np.int64,
+                             len(blocks))
+        )
         entry = entry_of_block[self._init_block_arr[b]]
         cls = np.asarray(self._root_runtime, np.bool_)[rb]
         return ra.tolist(), entry.tolist(), cls.tolist(), rb.tolist()
@@ -503,9 +816,16 @@ def _shard_absorb_worker(payload):
     """Process-pool entry: absorb flags for one shard's column slices.
 
     Top-level (picklable by reference) and fed nothing but NumPy column
-    slices — workers never deserialize a trace.
+    slices — workers never deserialize a trace.  A trailing ``window``
+    switches the shard onto the incremental fold (streamed traces);
+    both kernels produce the same flags bit for bit.
     """
-    serial, pe, start, end, first_positions, absorb_tolerance = payload
+    serial, pe, start, end, first_positions, absorb_tolerance, window = payload
+    if window is not None:
+        from repro.core.streaming import absorb_flags_windowed
+
+        return absorb_flags_windowed(serial, pe, start, end, first_positions,
+                                     absorb_tolerance, window)
     return _absorb_flags(serial, pe, start, end, first_positions,
                          absorb_tolerance)
 
@@ -542,7 +862,7 @@ def pe_shard_plan(trace: Trace, xt: Optional[ExecTable] = None) -> List[List[int
 
 
 def _absorb_sharded(serial, pe, start, end, chare_starts, lens, shard_plan,
-                    absorb_tolerance, shard_workers):
+                    absorb_tolerance, shard_workers, window=None):
     """Stitch per-shard absorb flags into the global absorb array.
 
     Each shard is a list of whole-chare slots; the predicate never
@@ -571,7 +891,7 @@ def _absorb_sharded(serial, pe, start, end, chare_starts, lens, shard_plan,
         local_first = np.r_[0, np.cumsum(l)[:-1]]
         local_first = local_first[local_first < len(pos)]
         shards.append((pos, (serial[pos], pe[pos], start[pos], end[pos],
-                             local_first, absorb_tolerance)))
+                             local_first, absorb_tolerance, window)))
     if not seen.all():
         raise ValueError("shard plan must cover every chare exactly once")
     if shard_workers is not None and shard_workers > 1 and len(shards) > 1:
@@ -591,7 +911,8 @@ def _absorb_sharded(serial, pe, start, end, chare_starts, lens, shard_plan,
 
 def _scan_serial_blocks_columnar(trace: Trace, absorb_tolerance: float,
                                  xt: ExecTable, shard_plan=None,
-                                 shard_workers: Optional[int] = None):
+                                 shard_workers: Optional[int] = None,
+                                 window: Optional[int] = None):
     """Vectorized :func:`repro.core.initial.scan_serial_blocks`.
 
     The absorption decision depends only on the (previous, current)
@@ -599,17 +920,20 @@ def _scan_serial_blocks_columnar(trace: Trace, absorb_tolerance: float,
     scan reduces to pairwise boundary predicates, and with a
     ``shard_plan`` (lists of whole-chare slots, see
     :func:`pe_shard_plan`) the predicate evaluation shards cleanly —
-    optionally across processes via ``shard_workers``.  Returns
-    ``(groups, block_of_exec_arr, xid_arr, group_starts, serial_seq)``;
-    the differential harness cross-checks the grouping against the
-    python scan.
+    optionally across processes via ``shard_workers``.  A ``window``
+    (set for chunk-ingested traces) folds the predicate incrementally
+    (:func:`repro.core.streaming.absorb_flags_windowed`) — same flags,
+    bounded scan state.  Returns ``(block_of_exec_arr, xid_arr,
+    group_starts, serial_seq)`` — group ``i`` owns the execution ids
+    ``xid_arr[group_starts[i]:group_starts[i+1]]``; the differential
+    harness cross-checks the grouping against the python scan.
     """
     by_chare = trace.executions_by_chare
     xids = [xid for lst in by_chare.values() for xid in lst]
     total = len(xids)
     if total == 0:
         empty = np.empty(0, np.int64)
-        return [], np.full(xt.n, -1, np.int64), empty, empty, np.empty(0, np.bool_)
+        return np.full(xt.n, -1, np.int64), empty, empty, np.empty(0, np.bool_)
     xid_arr = np.asarray(xids, np.int64)
     lens = np.fromiter((len(lst) for lst in by_chare.values()), np.int64,
                        len(by_chare))
@@ -620,31 +944,44 @@ def _scan_serial_blocks_columnar(trace: Trace, absorb_tolerance: float,
     end = xt.end[xid_arr]
     if shard_plan is None:
         chare_first = chare_starts[chare_starts < total]
-        absorb = _absorb_flags(serial, pe, start, end, chare_first,
-                               absorb_tolerance)
+        if window is not None:
+            from repro.core.streaming import absorb_flags_windowed
+
+            absorb = absorb_flags_windowed(serial, pe, start, end,
+                                           chare_first, absorb_tolerance,
+                                           window)
+        else:
+            absorb = _absorb_flags(serial, pe, start, end, chare_first,
+                                   absorb_tolerance)
     else:
         absorb = _absorb_sharded(serial, pe, start, end, chare_starts, lens,
-                                 shard_plan, absorb_tolerance, shard_workers)
+                                 shard_plan, absorb_tolerance, shard_workers,
+                                 window=window)
     starts = np.flatnonzero(~absorb)
-    ends = np.r_[starts[1:], total]
-    groups = [xids[s:e] for s, e in zip(starts.tolist(), ends.tolist())]
     block_of_exec = np.full(xt.n, -1, np.int64)
     block_of_exec[xid_arr] = np.cumsum(~absorb) - 1
-    return groups, block_of_exec, xid_arr, starts, serial
+    return block_of_exec, xid_arr, starts, serial
 
 
-def _make_blocks_columnar(trace: Trace, xt: ExecTable, groups, xid_arr,
-                          starts, serial_seq,
-                          events_of_block: Dict[int, List[int]]):
+def _make_blocks_columnar(xt: ExecTable, xid_arr, starts, serial_seq,
+                          ev_flat, ev_lo, ev_hi):
     """Vectorized :func:`repro.core.initial._make_block` over all groups.
 
-    Returns ``(blocks, chare_arr, start_arr, ordinal_arr)`` — the per-block
-    metadata arrays feed :func:`_chain_edges_columnar`.
+    Returns a :class:`LazyBlockList` — every per-block attribute is a
+    dense column; :class:`~repro.core.initial.Block` objects materialize
+    only on access.  ``ev_flat``/``ev_lo``/``ev_hi`` carry each block's
+    event ids ((time, id)-sorted); execution ids come from ``xid_arr``
+    bounded by ``starts``.
     """
-    nb = len(groups)
+    nb = len(starts)
     empty = np.empty(0, np.int64)
     if nb == 0:
-        return [], empty, np.empty(0, np.float64), empty
+        return LazyBlockList(
+            chare=empty, pe=empty, start=np.empty(0, np.float64),
+            end=np.empty(0, np.float64), entry=empty, recv_event=empty,
+            sdag_ordinal=empty, ev_flat=ev_flat, ev_lo=ev_lo, ev_hi=ev_hi,
+            x_flat=xid_arr, x_lo=empty, x_hi=empty,
+        )
     total = len(xid_arr)
     ends = np.r_[starts[1:], total]
     first_x = xid_arr[starts]
@@ -657,37 +994,14 @@ def _make_blocks_columnar(trace: Trace, xt: ExecTable, groups, xid_arr,
         xt.entry_ordinal[xt.entry[xid_arr[np.clip(last_ser, 0, None)]]],
         -1,
     )
-    chare_arr = xt.chare[first_x]
-    start_arr = xt.start[first_x]
-    chare_l = chare_arr.tolist()
-    pe_l = xt.pe[first_x].tolist()
-    start_l = start_arr.tolist()
-    end_l = xt.end[last_x].tolist()
-    entry_l = xt.entry[last_x].tolist()
-    recv_l = xt.recv_event[first_x].tolist()
-    ord_l = ordinal.tolist()
-    get = events_of_block.get
-    blocks: List[Block] = []
-    append = blocks.append
-    new = Block.__new__
-    for bid in range(nb):
-        # Bypassing the dataclass __init__ halves construction time for
-        # the tens of thousands of tiny blocks of a large trace.
-        b = new(Block)
-        b.__dict__ = {
-            "id": bid,
-            "chare": chare_l[bid],
-            "pe": pe_l[bid],
-            "executions": groups[bid],
-            "events": get(bid, []),
-            "start": start_l[bid],
-            "end": end_l[bid],
-            "sdag_ordinal": ord_l[bid],
-            "entry": entry_l[bid],
-            "recv_event": recv_l[bid],
-        }
-        append(b)
-    return blocks, chare_arr, start_arr, ordinal
+    return LazyBlockList(
+        chare=xt.chare[first_x], pe=xt.pe[first_x],
+        start=xt.start[first_x], end=xt.end[last_x],
+        entry=xt.entry[last_x], recv_event=xt.recv_event[first_x],
+        sdag_ordinal=ordinal,
+        ev_flat=ev_flat, ev_lo=ev_lo, ev_hi=ev_hi,
+        x_flat=xid_arr, x_lo=starts, x_hi=ends,
+    )
 
 
 def _chain_edges_columnar(table: EventTable, mode: str, relaxed_chain: bool,
@@ -746,7 +1060,8 @@ def _chain_edges_columnar(table: EventTable, mode: str, relaxed_chain: bool,
     return True
 
 
-def _message_edges_columnar(table: EventTable, event_init_arr, edges) -> None:
+def _message_edges_columnar(table: EventTable, event_init_arr,
+                            edges: "EdgeList") -> None:
     """Vectorized :func:`repro.core.initial.message_edges` (same order)."""
     complete = (table.msg_send >= 0) & (table.msg_recv >= 0)
     if not complete.any():
@@ -754,17 +1069,15 @@ def _message_edges_columnar(table: EventTable, event_init_arr, edges) -> None:
     a = event_init_arr[table.msg_send[complete]]
     b = event_init_arr[table.msg_recv[complete]]
     keep = (a != -1) & (b != -1)
-    kind = EdgeKind.MESSAGE
-    edges.extend(
-        (x, y, kind) for x, y in zip(a[keep].tolist(), b[keep].tolist())
-    )
+    edges.extend_columns(a[keep], b[keep], int(EdgeKind.MESSAGE))
 
 
 def build_initial_columnar(trace: Trace, mode: str = "charm",
                            absorb_tolerance: float = 1e-9,
                            relaxed_chain: bool = False, *,
                            state_cls=None, shard_plan=None,
-                           shard_workers: Optional[int] = None) -> InitialStructure:
+                           shard_workers: Optional[int] = None,
+                           window: Optional[int] = None) -> InitialStructure:
     """Columnar :func:`repro.core.initial.build_initial`.
 
     The absorption scan, block metadata, per-block event grouping,
@@ -772,7 +1085,11 @@ def build_initial_columnar(trace: Trace, mode: str = "charm",
     cross-block SDAG/CHAIN heuristics and message edges run the shared
     python helpers.  ``state_cls``/``shard_plan``/``shard_workers`` are
     the :func:`build_initial_batched` extension points; the defaults
-    reproduce the plain columnar backend.
+    reproduce the plain columnar backend.  ``window`` (the ingest chunk
+    window of a streamed trace) switches the absorption scan and the
+    partition-run split onto the incremental folds of
+    :mod:`repro.core.streaming` — partial partitions close window by
+    window, with identical output.
     """
     if mode not in ("charm", "mpi"):
         raise ValueError(f"unknown mode {mode!r}")
@@ -782,11 +1099,13 @@ def build_initial_columnar(trace: Trace, mode: str = "charm",
     xt = ExecTable.of(trace)
     n = table.n
 
-    groups, block_of_exec_arr, xid_arr, gstarts, serial_seq = (
+    block_of_exec_arr, xid_arr, gstarts, serial_seq = (
         _scan_serial_blocks_columnar(trace, absorb_tolerance, xt,
                                      shard_plan=shard_plan,
-                                     shard_workers=shard_workers)
+                                     shard_workers=shard_workers,
+                                     window=window)
     )
+    nb = len(gstarts)
 
     boe = np.full(n, -1, np.int64)
     if trace.executions and n:
@@ -797,27 +1116,34 @@ def build_initial_columnar(trace: Trace, mode: str = "charm",
     seq = np.lexsort((np.arange(n), table.time, boe))
     seq = seq[boe[seq] >= 0]
     block_seq = boe[seq]
-    seq_list = seq.tolist()
     if len(seq):
         bstarts = np.flatnonzero(np.r_[True, block_seq[1:] != block_seq[:-1]])
         bends = np.r_[bstarts[1:], len(seq)]
     else:
         bstarts = bends = np.empty(0, np.int64)
-    events_of_block: Dict[int, List[int]] = {}
-    for s, e in zip(bstarts.tolist(), bends.tolist()):
-        events_of_block[int(block_seq[s])] = seq_list[s:e]
-    blocks, b_chare, b_start, b_ordinal = _make_blocks_columnar(
-        trace, xt, groups, xid_arr, gstarts, serial_seq, events_of_block
-    )
+    # Per-block [lo, hi) bounds into ``seq`` (blocks without events get
+    # the empty [0, 0) range).
+    ev_lo = np.zeros(nb, np.int64)
+    ev_hi = np.zeros(nb, np.int64)
+    present = block_seq[bstarts]
+    ev_lo[present] = bstarts
+    ev_hi[present] = bends
+    blocks = _make_blocks_columnar(xt, xid_arr, gstarts, serial_seq,
+                                   seq, ev_lo, ev_hi)
 
     runtime_related = runtime_related_array(trace, table)
     rt_seq = runtime_related[seq]
-    edges: List[Tuple[int, int, EdgeKind]] = []
+    edges = EdgeList()
     if mode == "charm":
         # Runs of constant runtime-relatedness within each block, in the
         # same traversal order as the python loop (ascending block id,
         # events in (time, id) order).
-        if len(seq):
+        if len(seq) and window is not None:
+            from repro.core.streaming import fold_partition_runs
+
+            boundary, newblock = fold_partition_runs(block_seq, rt_seq,
+                                                     window)
+        elif len(seq):
             newblock = np.r_[True, block_seq[1:] != block_seq[:-1]]
             boundary = newblock.copy()
             boundary[1:] |= rt_seq[1:] != rt_seq[:-1]
@@ -826,34 +1152,33 @@ def build_initial_columnar(trace: Trace, mode: str = "charm",
         pid_seq = np.cumsum(boundary) - 1
         rstarts = np.flatnonzero(boundary)
         rends = np.r_[rstarts[1:], len(seq)]
-        init_events = [seq_list[s:e]
-                       for s, e in zip(rstarts.tolist(), rends.tolist())]
+        init_events = LazyIntListOfLists(seq, rstarts, rends)
         init_runtime = rt_seq[rstarts].tolist()
-        init_block = block_seq[rstarts].tolist()
-        inner = np.flatnonzero(boundary & ~newblock)
-        for pid in pid_seq[inner].tolist():
-            edges.append((pid - 1, pid, EdgeKind.BLOCK))
+        init_block = LazyIntList(block_seq[rstarts])
+        inner_pids = pid_seq[np.flatnonzero(boundary & ~newblock)]
+        edges.extend_columns(inner_pids - 1, inner_pids,
+                             int(EdgeKind.BLOCK))
     else:
         # MPI: every event is its own partition, chained within blocks.
         pid_seq = np.arange(len(seq), dtype=np.int64)
-        init_events = [[e] for e in seq_list]
+        positions = np.arange(len(seq), dtype=np.int64)
+        init_events = LazyIntListOfLists(seq, positions, positions + 1)
         init_runtime = rt_seq.tolist()
-        init_block = block_seq.tolist()
+        init_block = LazyIntList(block_seq)
         if len(seq):
             same = np.flatnonzero(np.r_[False, block_seq[1:] == block_seq[:-1]])
         else:
             same = np.empty(0, np.int64)
-        for pid in same.tolist():
-            edges.append((pid - 1, pid, EdgeKind.CHAIN))
+        edges.extend_columns(same - 1, same, int(EdgeKind.CHAIN))
 
     event_init_arr = np.full(n, -1, np.int64)
     event_init_arr[seq] = pid_seq
-    event_init = event_init_arr.tolist()
+    event_init = LazyIntList(event_init_arr)
 
     chained = _chain_edges_columnar(
         table, mode, relaxed_chain, edges, event_init_arr,
-        b_chare, b_start, b_ordinal,
-        present_ids=block_seq[bstarts], first_ev=seq[bstarts],
+        blocks.chare, blocks.start, blocks.sdag_ordinal,
+        present_ids=present, first_ev=seq[bstarts],
         last_ev=seq[bends - 1],
     )
     if not chained:  # ordering assumptions violated: shared python helper
@@ -865,15 +1190,16 @@ def build_initial_columnar(trace: Trace, mode: str = "charm",
         table=table, event_init_arr=event_init_arr,
     )
     state.block_table = BlockTable(boe, len(blocks))
-    return InitialStructure(blocks, boe.tolist(), block_of_exec_arr.tolist(),
-                            state)
+    return InitialStructure(blocks, LazyIntList(boe),
+                            LazyIntList(block_of_exec_arr), state)
 
 
 def build_initial_batched(trace: Trace, mode: str = "charm",
                           absorb_tolerance: float = 1e-9,
                           relaxed_chain: bool = False,
                           shard_workers: Optional[int] = None,
-                          shard_plan=None) -> InitialStructure:
+                          shard_plan=None,
+                          window: Optional[int] = None) -> InitialStructure:
     """Initial partitions for the ``columnar_batched`` backend.
 
     Same columnar builder, two differences: the absorption scan is
@@ -890,6 +1216,7 @@ def build_initial_batched(trace: Trace, mode: str = "charm",
         trace, mode, absorb_tolerance, relaxed_chain,
         state_cls=ColumnarBatchedPartitionState,
         shard_plan=shard_plan, shard_workers=shard_workers,
+        window=window,
     )
 
 

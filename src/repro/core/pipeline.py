@@ -88,6 +88,11 @@ NON_RESULT_FIELDS = frozenset({
     # Shard fan-out parallelism is result-neutral by construction (the
     # stitched absorb flags equal the serial scan's bit for bit).
     "shard_workers",
+    # Ingestion mode only governs how a trace is materialized (eager
+    # objects vs streamed columns); the streaming kernels are pinned
+    # bit-identical, so the same file yields the same structure — and
+    # the same cache/checkpoint key — either way.
+    "ingest",
 })
 
 #: Context keys present before any stage runs (seeded by
@@ -334,6 +339,14 @@ class PipelineOptions:
     #: per-shard flags equal the serial scan's bit for bit — so it is
     #: excluded from cache and checkpoint keys.
     shard_workers: Optional[int] = None
+    #: How :func:`repro.api.extract` materializes a path/stream source:
+    #: "chunked" parses fixed-size windows straight into columnar
+    #: buffers (streaming, bounded staging memory), "eager" builds the
+    #: object-backed trace, "auto" picks chunked when NumPy is
+    #: available.  Bit-identical either way (the streaming kernels are
+    #: pinned by differential twins), so it is excluded from cache and
+    #: checkpoint keys.  Ignored for already-materialized Trace inputs.
+    ingest: str = "auto"
     #: Stage instrumentation: one :class:`repro.verify.stagehooks.StageHook`
     #: (an object with an ``on_stage(stage, *, state, structure, seconds)``
     #: method) or a sequence of them, called after every stage with the
@@ -473,22 +486,19 @@ def extract_logical_structure(
     """Recover the logical structure of ``trace``.
 
     Keyword arguments are a shorthand for :class:`PipelineOptions` fields,
-    e.g. ``extract_logical_structure(trace, order="physical")``.  When an
-    ``options`` object is also given, the keywords override its fields via
-    :meth:`PipelineOptions.with_overrides` (deprecated — call it
-    yourself).  Pass a :class:`PipelineStats` to collect per-stage
-    timings.
+    e.g. ``extract_logical_structure(trace, order="physical")``.
+    Combining an ``options`` object with keyword overrides was
+    deprecated and now raises ``TypeError`` — call
+    ``options.with_overrides(**kwargs)`` yourself.  Pass a
+    :class:`PipelineStats` to collect per-stage timings.
     """
     if options is not None and kwargs:
-        warnings.warn(
-            "passing both options and keyword overrides to "
-            "extract_logical_structure is deprecated; use "
-            "options.with_overrides(**kwargs)",
-            DeprecationWarning,
-            stacklevel=2,
+        raise TypeError(
+            "extract_logical_structure() takes either an options object "
+            "or keyword overrides, not both; use "
+            "options.with_overrides(**kwargs)"
         )
-        opts = options.with_overrides(**kwargs)
-    elif options is not None:
+    if options is not None:
         opts = options
     else:
         opts = PipelineOptions(**kwargs)
@@ -500,6 +510,8 @@ def extract_logical_structure(
         raise ValueError(f"unknown on_error mode {opts.on_error!r}")
     if opts.hook_errors not in ("raise", "warn"):
         raise ValueError(f"unknown hook_errors mode {opts.hook_errors!r}")
+    if opts.ingest not in ("eager", "chunked", "auto"):
+        raise ValueError(f"unknown ingest mode {opts.ingest!r}")
     mode = opts.resolve_mode(trace)
     backend = opts.resolve_backend()
     stats = stats if stats is not None else PipelineStats()
@@ -544,18 +556,24 @@ def extract_logical_structure(
         ctx["initial_partitions"] = len(initial.state.init_events)
 
     def st_initial(ctx: dict) -> None:
+        # A chunk-ingested trace advertises its ingest window; the
+        # columnar kernels then fold the scan window by window
+        # (bit-identical to the whole-array pass by construction).
+        window = getattr(ctx["trace"], "ingest_window", None)
         if ctx["use_batched"]:
             initial = _columnar().build_initial_batched(
                 ctx["trace"], mode=mode,
                 absorb_tolerance=opts.absorb_tolerance,
                 relaxed_chain=relaxed,
                 shard_workers=opts.shard_workers,
+                window=window,
             )
         elif ctx["use_columnar"]:
             initial = _columnar().build_initial_columnar(
                 ctx["trace"], mode=mode,
                 absorb_tolerance=opts.absorb_tolerance,
                 relaxed_chain=relaxed,
+                window=window,
             )
         else:
             initial = build_initial(
@@ -573,6 +591,7 @@ def extract_logical_structure(
         _set_initial(ctx, _columnar().build_initial_columnar(
             ctx["trace"], mode=mode, absorb_tolerance=opts.absorb_tolerance,
             relaxed_chain=relaxed,
+            window=getattr(ctx["trace"], "ingest_window", None),
         ))
 
     def st_initial_python(ctx: dict) -> None:

@@ -1,0 +1,140 @@
+"""Incremental (windowed) operators for the initial-partition stage.
+
+The serial-block absorption predicate and the partition-run split are
+both *local*: each decision depends only on the (previous, current)
+record pair (``repro.core.initial.scan_serial_blocks`` carries no other
+state between iterations).  That makes them foldable — a window of the
+input plus a one-record carry from the previous window produces exactly
+the flags the whole-array kernel produces, so a streamed trace can be
+partitioned as its windows close without ever holding more than one
+window of scan state.
+
+:func:`absorb_flags_windowed` and :class:`StreamingRunFolder` are those
+folds; ``build_initial_columnar(..., window=...)`` drives them when the
+trace carries an ingest window (set by the chunked reader), and the
+differential twins in ``tests/test_streaming_ingest.py`` pin the
+bit-identity against the batch kernels.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+try:  # Same soft dependency policy as repro.core.columnar.
+    import numpy as np
+
+    HAVE_NUMPY = True
+except Exception:  # pragma: no cover - exercised only in numpy-less installs
+    np = None
+    HAVE_NUMPY = False
+
+
+def absorb_flags_windowed(serial, pe, start, end, first_positions,
+                          absorb_tolerance: float, window: int):
+    """Windowed twin of :func:`repro.core.columnar._absorb_flags`.
+
+    Processes the execution span in ``window``-sized slices with a
+    one-element lookback carry; the pairwise predicate never sees more
+    than ``window + 1`` rows at once.  Equal to the whole-array kernel
+    by construction (the predicate is pairwise and both force
+    chare-first positions to False afterwards).
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    total = len(serial)
+    absorb = np.zeros(total, np.bool_)
+    # Position 0 has no predecessor, exactly like the batch kernel.
+    for w0 in range(1, total, window):
+        w1 = min(w0 + window, total)
+        lo = w0 - 1
+        absorb[w0:w1] = (
+            (~serial[lo:w1 - 1]) & serial[w0:w1]
+            & (pe[w0:w1] == pe[lo:w1 - 1])
+            & (np.abs(start[w0:w1] - end[lo:w1 - 1]) <= absorb_tolerance)
+        )
+    if total:
+        absorb[first_positions] = False
+    return absorb
+
+
+class StreamingRunFolder:
+    """Folds windows of the (block, time)-sorted event sequence into
+    partition-run flags.
+
+    Feed the per-event serial-block ids and runtime-relatedness flags
+    window by window (:meth:`feed`); the folder carries the last record
+    of each window into the next, counts the runs that close as windows
+    complete, and :meth:`finalize` returns the concatenated
+    ``(boundary, newblock)`` flag arrays — bit-identical to the
+    whole-array computation in :func:`repro.core.columnar.
+    build_initial_columnar`:
+
+    * ``newblock[i]`` — event *i* opens a new serial block;
+    * ``boundary[i]`` — event *i* opens a new partition run (a block
+      change or a runtime-relatedness flip).
+    """
+
+    def __init__(self) -> None:
+        self._boundary_chunks: List = []
+        self._newblock_chunks: List = []
+        self._prev_block: Optional[int] = None
+        self._prev_rt: Optional[bool] = None
+        #: Partition runs completed so far (a run closes when the next
+        #: boundary opens); the final open run closes at finalize.
+        self.closed_runs = 0
+        self.windows = 0
+
+    def feed(self, block_chunk, rt_chunk) -> int:
+        """Fold one window; returns the number of runs it closed."""
+        k = len(block_chunk)
+        if k != len(rt_chunk):
+            raise ValueError("block and runtime windows differ in length")
+        if k == 0:
+            return 0
+        newblock = np.empty(k, np.bool_)
+        boundary = np.empty(k, np.bool_)
+        if self._prev_block is None:
+            newblock[0] = True
+            boundary[0] = True
+        else:
+            newblock[0] = bool(block_chunk[0] != self._prev_block)
+            boundary[0] = bool(newblock[0]
+                               or rt_chunk[0] != self._prev_rt)
+        newblock[1:] = block_chunk[1:] != block_chunk[:-1]
+        boundary[1:] = newblock[1:] | (rt_chunk[1:] != rt_chunk[:-1])
+        opened = int(boundary.sum())
+        # Every boundary except the very first run's opener closes the
+        # run before it.
+        closed = opened if self._prev_block is not None else max(opened - 1, 0)
+        self.closed_runs += closed
+        self._prev_block = int(block_chunk[-1])
+        self._prev_rt = bool(rt_chunk[-1])
+        self._boundary_chunks.append(boundary)
+        self._newblock_chunks.append(newblock)
+        self.windows += 1
+        return closed
+
+    def finalize(self) -> Tuple:
+        """Concatenated ``(boundary, newblock)`` over every fed window."""
+        if not self._boundary_chunks:
+            empty = np.empty(0, np.bool_)
+            return empty, empty
+        if self._prev_block is not None:
+            self.closed_runs += 1  # the still-open final run
+            self._prev_block = None
+        return (np.concatenate(self._boundary_chunks),
+                np.concatenate(self._newblock_chunks))
+
+
+def fold_partition_runs(block_seq, rt_seq, window: int):
+    """Run :class:`StreamingRunFolder` over a full sequence in windows.
+
+    The convenience driver ``build_initial_columnar`` calls when the
+    trace was ingested in chunks; ``window`` is the ingest window.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    folder = StreamingRunFolder()
+    for w0 in range(0, len(block_seq), window):
+        folder.feed(block_seq[w0:w0 + window], rt_seq[w0:w0 + window])
+    return folder.finalize()

@@ -27,12 +27,24 @@ from repro.trace.faults import (
     inject_faults,
 )
 from repro.trace.model import Trace, TraceBuilder
-from repro.trace.reader import read_trace
+from repro.trace.reader import (
+    ReaderStats,
+    TraceFormatError,
+    read_trace,
+    read_trace_chunked,
+)
 from repro.trace.repair import (
     RepairReport,
     TraceRepairError,
     detect_defects,
     repair_trace,
+)
+from repro.trace.source import (
+    FileTraceSource,
+    MemoryTraceSource,
+    StreamTraceSource,
+    TraceSource,
+    open_trace,
 )
 from repro.trace.validate import TraceValidationError, validate_trace
 from repro.trace.writer import write_trace
@@ -45,19 +57,27 @@ __all__ = [
     "EventKind",
     "Execution",
     "FAULT_KINDS",
+    "FileTraceSource",
     "IdleInterval",
+    "MemoryTraceSource",
     "Message",
     "NO_ID",
+    "ReaderStats",
     "RepairReport",
+    "StreamTraceSource",
     "Trace",
     "TraceBuilder",
+    "TraceFormatError",
     "TraceRepairError",
+    "TraceSource",
     "TraceValidationError",
     "detect_defects",
     "fault_corpus",
     "inject_fault",
     "inject_faults",
+    "open_trace",
     "read_trace",
+    "read_trace_chunked",
     "repair_trace",
     "validate_trace",
     "write_trace",

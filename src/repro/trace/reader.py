@@ -2,13 +2,43 @@
 
 Records may appear in any order after the header; ids are authoritative and
 must be dense (0..n-1 per record type), which is what the writer emits.
+
+Two readers share the format:
+
+* :func:`read_trace` — the eager reader: every record becomes a dataclass
+  object and the result is a fully indexed object-backed
+  :class:`~repro.trace.model.Trace`.
+* :func:`read_trace_chunked` — the streaming reader: the file is parsed
+  in fixed-size chunks straight into growable columnar buffers
+  (:class:`~repro.trace.columns.TraceColumns`) with **no per-record
+  dataclass on the hot path**, and the result is a lazy
+  :class:`~repro.trace.columns.ColumnarTrace`.  Peak transient memory is
+  one chunk of staged rows regardless of trace length; the output
+  columns are ~50 bytes/record instead of several hundred per dataclass.
+  Results are bit-identical to the eager reader (differential twins in
+  ``tests/test_streaming_ingest.py``).
+
+Each chunk first tries a batched fast path.  Because the writer emits
+records in sections (all execs, then all events, ...), most chunks hold
+lines of a single kind: those are validated wholesale by one capture-free
+anchored regular expression matching the writer's exact line layout, then
+parsed numerically at C speed (token stripping + one ``np.fromstring``
+pass).  Mixed chunks at section boundaries fall back to per-kind capture
+regexes.  Any line neither path can account for — foreign field order,
+malformed JSON, a torn final chunk — sends the whole chunk through the
+per-line ``json.loads`` slow path, which also produces precise errors: a
+:class:`TraceFormatError` from the chunked reader carries the record
+``kind``, the 1-based ``line``, and the absolute byte ``offset`` of the
+offending line.
 """
 
 from __future__ import annotations
 
 import json
+import re
+from dataclasses import dataclass
 from pathlib import Path
-from typing import IO, Dict, List, Union
+from typing import IO, Dict, List, Optional, Union
 
 from repro.trace.events import (
     Chare,
@@ -22,9 +52,33 @@ from repro.trace.events import (
 )
 from repro.trace.model import Trace
 
+try:  # Same soft dependency policy as repro.core.columnar.
+    import numpy as np
+
+    HAVE_NUMPY = True
+except Exception:  # pragma: no cover - exercised only in numpy-less installs
+    np = None
+    HAVE_NUMPY = False
+
+#: Bytes of trace text buffered per chunk by :func:`read_trace_chunked`.
+DEFAULT_CHUNK_BYTES = 4 << 20
+
 
 class TraceFormatError(ValueError):
-    """Raised when a trace file is malformed."""
+    """Raised when a trace file is malformed.
+
+    The chunked reader populates the structured fields: ``kind`` is the
+    record type being parsed (None when it could not be determined),
+    ``line`` the 1-based line number, and ``offset`` the absolute byte
+    offset of the start of the offending line.
+    """
+
+    def __init__(self, message: str, *, kind: Optional[str] = None,
+                 line: Optional[int] = None, offset: Optional[int] = None):
+        super().__init__(message)
+        self.kind = kind
+        self.line = line
+        self.offset = offset
 
 
 def read_trace(path: Union[str, Path, IO[str]]) -> Trace:
@@ -52,7 +106,8 @@ def _read_stream(fh: IO[str]) -> Trace:
         try:
             rec = json.loads(line)
         except json.JSONDecodeError as exc:
-            raise TraceFormatError(f"line {lineno}: invalid JSON: {exc}") from exc
+            raise TraceFormatError(f"line {lineno}: invalid JSON: {exc}",
+                                   line=lineno) from exc
         kind = rec.get("t")
         if kind == "header":
             header = rec
@@ -84,7 +139,9 @@ def _read_stream(fh: IO[str]) -> Trace:
         elif kind == "idle":
             idles.append(IdleInterval(rec["pe"], rec["s"], rec["x"]))
         else:
-            raise TraceFormatError(f"line {lineno}: unknown record type {kind!r}")
+            raise TraceFormatError(f"line {lineno}: unknown record type {kind!r}",
+                                   kind=None if kind is None else str(kind),
+                                   line=lineno)
 
     if header is None:
         raise TraceFormatError("missing header record")
@@ -106,6 +163,478 @@ def _densify(records: Dict[int, object], label: str) -> list:
     out = []
     for i in range(len(records)):
         if i not in records:
-            raise TraceFormatError(f"{label} ids are not dense: missing id {i}")
+            raise TraceFormatError(
+                f"{label} ids are not dense: missing id {i}", kind=label
+            )
         out.append(records[i])
     return out
+
+
+# ----------------------------------------------------------------------
+# Chunked columnar reader
+# ----------------------------------------------------------------------
+@dataclass
+class ReaderStats:
+    """Telemetry of one :func:`read_trace_chunked` run.
+
+    ``peak_chunk_bytes`` / ``peak_chunk_records`` bound the transient
+    staging memory: for a fixed ``chunk_bytes`` they are independent of
+    total trace length (the bounded-memory property test pins this).
+    """
+
+    chunks: int = 0
+    lines: int = 0
+    records: int = 0
+    #: Chunks that fell back to the per-line json.loads slow path.
+    slow_chunks: int = 0
+    peak_chunk_bytes: int = 0
+    peak_chunk_records: int = 0
+
+
+# JSON number per the grammar json.dumps emits (plus the non-standard
+# Infinity/NaN the stdlib allows); anything else falls back to the
+# per-line slow path, never to a laxer parse.
+_NUM = r"(-?(?:0|[1-9]\d*)(?:\.\d+)?(?:[eE][-+]?\d+)?|-?Infinity|NaN)"
+_INT = r"(-?\d+)"
+
+_EVENT_RE = re.compile(
+    r'^\{"t": "event", "id": %s, "k": %s, "c": %s, "pe": %s, "tm": %s, '
+    r'"ex": %s\}$' % (_INT, _INT, _INT, _INT, _NUM, _INT), re.M)
+_EXEC_RE = re.compile(
+    r'^\{"t": "exec", "id": %s, "c": %s, "e": %s, "pe": %s, "s": %s, '
+    r'"x": %s, "rv": %s\}$' % (_INT, _INT, _INT, _INT, _NUM, _NUM, _INT), re.M)
+_MSG_RE = re.compile(
+    r'^\{"t": "msg", "id": %s, "s": %s, "r": %s\}$' % (_INT, _INT, _INT),
+    re.M)
+_IDLE_RE = re.compile(
+    r'^\{"t": "idle", "pe": %s, "s": %s, "x": %s\}$' % (_INT, _NUM, _NUM),
+    re.M)
+#: Registry/header lines are few; they are matched wholesale here and
+#: handed to json.loads individually.
+_OTHER_RE = re.compile(r'^\{"t": "(?:header|entry|array|chare)", .*\}$', re.M)
+_BLANK_RE = re.compile(r"^[ \t\r]*$", re.M)
+
+#: Largest integer magnitude that survives a float64 round-trip exactly.
+#: The single-kind numeric parse goes through float64; int columns above
+#: this bound are re-parsed by a slower exact path instead.
+_INT_EXACT = 1 << 53
+
+
+class _TurboKind:
+    """Single-kind chunk recipe: validation regex + token strip plan."""
+
+    __slots__ = ("prefix", "tokens", "casts", "validate")
+
+    def __init__(self, tag: str, keys, casts: str):
+        num_nc = r"(?:-?(?:0|[1-9]\d*)(?:\.\d+)?(?:[eE][-+]?\d+)?|-?Infinity|NaN)"
+        int_nc = r"(?:-?\d+)"
+        self.prefix = '{"t": "%s", "%s": ' % (tag, keys[0])
+        self.tokens = tuple(', "%s": ' % k for k in keys[1:])
+        self.casts = casts
+        line = r'\{"t": "%s"' % tag + "".join(
+            r', "%s": %s' % (k, int_nc if c == "i" else num_nc)
+            for k, c in zip(keys, casts)
+        ) + r"\}"
+        self.validate = re.compile(r"(?:%s\n)*(?:%s\n?)?" % (line, line))
+
+
+#: Per-kind turbo recipes, keyed like the builder's column families.
+_TURBO = {
+    "event": _TurboKind("event", ("id", "k", "c", "pe", "tm", "ex"), "iiiifi"),
+    "exec": _TurboKind("exec", ("id", "c", "e", "pe", "s", "x", "rv"),
+                       "iiiiffi"),
+    "msg": _TurboKind("msg", ("id", "s", "r"), "iii"),
+    "idle": _TurboKind("idle", ("pe", "s", "x"), "iff"),
+}
+_REGISTRY_PREFIXES = ('{"t": "header"', '{"t": "entry"', '{"t": "array"',
+                      '{"t": "chare"')
+
+
+class _GrowColumn:
+    """Append-only NumPy column with doubling capacity."""
+
+    __slots__ = ("_arr", "n")
+
+    def __init__(self, dtype):
+        self._arr = np.empty(0, dtype)
+        self.n = 0
+
+    def extend(self, values) -> None:
+        k = len(values)
+        if not k:
+            return
+        need = self.n + k
+        cap = len(self._arr)
+        if need > cap:
+            cap = max(cap * 2, need, 1024)
+            grown = np.empty(cap, self._arr.dtype)
+            grown[:self.n] = self._arr[:self.n]
+            self._arr = grown
+        self._arr[self.n:need] = values
+        self.n = need
+
+    def array(self):
+        return self._arr[:self.n].copy()
+
+
+class _ChunkedBuilder:
+    """Accumulates parsed chunks into columnar buffers, then finalizes."""
+
+    def __init__(self, stats: ReaderStats):
+        self.stats = stats
+        self.header: Optional[dict] = None
+        self.entries: Dict[int, EntryMethod] = {}
+        self.arrays: Dict[int, ChareArray] = {}
+        self.chares: Dict[int, Chare] = {}
+        i8, f8 = np.int64, np.float64
+        self.ev = tuple(_GrowColumn(t) for t in (i8, i8, i8, i8, f8, i8))
+        self.ex = tuple(_GrowColumn(t) for t in (i8, i8, i8, i8, f8, f8, i8))
+        self.msg = tuple(_GrowColumn(i8) for _ in range(3))
+        self.idle = tuple(_GrowColumn(t) for t in (i8, f8, f8))
+        self._lineno = 0  # lines consumed before the current chunk
+        self._offset = 0  # bytes consumed before the current chunk
+
+    # -- chunk ingestion ------------------------------------------------
+    def feed_chunk(self, lines: List) -> None:
+        """Parse one chunk (a list of raw lines, bytes or str)."""
+        if not lines:
+            return
+        # One C-level join serves both the byte accounting and the
+        # whole-chunk text the fast paths scan.
+        if isinstance(lines[0], bytes):
+            joined = b"".join(lines)
+            nbytes = len(joined)
+            try:
+                text = joined.decode("utf-8")
+            except UnicodeDecodeError:
+                text = None
+        else:
+            text = "".join(lines)
+            nbytes = len(text.encode("utf-8"))
+        self.stats.chunks += 1
+        self.stats.lines += len(lines)
+        self.stats.peak_chunk_bytes = max(self.stats.peak_chunk_bytes, nbytes)
+        if text is None or not self._feed_fast(text, len(lines)):
+            self.stats.slow_chunks += 1
+            self._feed_slow(lines)
+        self._lineno += len(lines)
+        self._offset += nbytes
+
+    def _cols_of(self, kind: str):
+        return {"event": self.ev, "exec": self.ex, "msg": self.msg,
+                "idle": self.idle}[kind]
+
+    def _feed_fast(self, text: str, nlines: int) -> bool:
+        """Batched parse of a whole chunk; False to request the slow path
+        (nothing is committed in that case)."""
+        counts = {kind: text.count(tk.prefix) for kind, tk in _TURBO.items()}
+        registry_lines = any(text.count(p) for p in _REGISTRY_PREFIXES)
+        active = [kind for kind, n in counts.items() if n]
+        # The writer emits records in per-kind sections, so almost every
+        # chunk is pure: one bulk kind, no registry lines, no blanks.
+        # Those parse without per-line (or even per-record) python work.
+        if len(active) == 1 and not registry_lines \
+                and counts[active[0]] == nlines:
+            arrays = self._parse_single_kind(text, nlines, active[0])
+            if arrays is not None:
+                for col, arr in zip(self._cols_of(active[0]), arrays):
+                    col.extend(arr)
+                self.stats.records += nlines
+                self.stats.peak_chunk_records = max(
+                    self.stats.peak_chunk_records, nlines)
+                return True
+        return self._feed_mixed(text, nlines)
+
+    def _parse_single_kind(self, text: str, n: int, kind: str):
+        """Validate + numerically parse a pure single-kind chunk.
+
+        Returns the per-column arrays, or None when the chunk is not
+        exactly ``n`` writer-layout lines of ``kind`` (or holds numbers a
+        float64 pass cannot carry exactly).
+        """
+        tk = _TURBO[kind]
+        if tk.validate.fullmatch(text) is None:
+            return None
+        stripped = text.replace(tk.prefix, "")
+        for token in tk.tokens:
+            stripped = stripped.replace(token, " ")
+        stripped = stripped.replace("}\n", "\n")
+        if stripped.endswith("}"):
+            stripped = stripped[:-1]
+        ncols = len(tk.casts)
+        flat = np.fromstring(stripped, dtype=np.float64, sep=" ")
+        if flat.size != n * ncols:
+            return None  # Infinity/NaN literal the C parser rejected
+        table = flat.reshape(n, ncols)
+        arrays = []
+        for j, cast in enumerate(tk.casts):
+            col = table[:, j]
+            if cast == "i":
+                if not (np.abs(col) < _INT_EXACT).all():
+                    return None  # needs exact integer re-parse
+                as_int = col.astype(np.int64)
+                arrays.append(as_int)
+            else:
+                arrays.append(col.copy())
+        return arrays
+
+    def _feed_mixed(self, text: str, nlines: int) -> bool:
+        """Per-kind capture-regex parse for section-boundary chunks."""
+        events = _EVENT_RE.findall(text)
+        execs = _EXEC_RE.findall(text)
+        msgs = _MSG_RE.findall(text)
+        idles = _IDLE_RE.findall(text)
+        others = _OTHER_RE.findall(text)
+        blanks = len(_BLANK_RE.findall(text))
+        if text.endswith("\n"):
+            blanks -= 1  # the phantom empty line after the final newline
+        matched = (len(events) + len(execs) + len(msgs) + len(idles)
+                   + len(others) + blanks)
+        if matched != nlines:
+            return False  # some line the writer layout doesn't explain
+        # Stage everything before committing so a failed registry line
+        # cannot leave half a chunk behind for the slow path to repeat.
+        staged = []
+        registry = []
+        try:
+            for matches, cols, casts in (
+                (events, self.ev, "iiiifi"),
+                (execs, self.ex, "iiiiffi"),
+                (msgs, self.msg, "iii"),
+                (idles, self.idle, "iff"),
+            ):
+                if not matches:
+                    continue
+                k = len(matches)
+                raw_cols = zip(*matches)
+                for col, cast, raw in zip(cols, casts, raw_cols):
+                    if cast == "i":
+                        staged.append((col, np.fromiter(
+                            map(int, raw), np.int64, count=k)))
+                    else:
+                        staged.append((col, np.fromiter(
+                            map(float, raw), np.float64, count=k)))
+            for line in others:
+                registry.append(self._registry_entry(json.loads(line)))
+        except (ValueError, KeyError, TypeError):
+            return False  # odd literal or registry field: reparse slowly
+        for col, arr in staged:
+            col.extend(arr)
+        for target, key, value in registry:
+            if target is None:
+                self.header = value
+            else:
+                target[key] = value
+        recs = matched - blanks
+        self.stats.records += recs
+        self.stats.peak_chunk_records = max(self.stats.peak_chunk_records,
+                                            recs)
+        return True
+
+    def _feed_slow(self, lines: List) -> None:
+        """Per-line json.loads parse with precise error reporting.
+
+        Only reached for chunks the fast path could not fully account
+        for: foreign producers, torn/truncated lines, malformed JSON.
+        Rows are staged per kind and committed in one flush, so the
+        columns see the same per-kind append order as the fast path.
+        """
+        ev_stage = tuple([] for _ in range(6))
+        ex_stage = tuple([] for _ in range(7))
+        msg_stage = tuple([] for _ in range(3))
+        idle_stage = tuple([] for _ in range(3))
+        lineno = self._lineno
+        offset = self._offset
+        recs = 0
+        for raw in lines:
+            lineno += 1
+            stripped = raw.strip()
+            if not stripped:
+                offset += _byte_len(raw)
+                continue
+            try:
+                rec = json.loads(stripped)
+            except json.JSONDecodeError as exc:
+                raise TraceFormatError(
+                    f"line {lineno} (byte {offset}): invalid JSON: {exc}",
+                    line=lineno, offset=offset,
+                ) from exc
+            kind = rec.get("t")
+            try:
+                if kind == "event":
+                    for stage, value in zip(ev_stage, (
+                            rec["id"], rec["k"], rec["c"], rec["pe"],
+                            rec["tm"], rec.get("ex", -1))):
+                        stage.append(value)
+                elif kind == "exec":
+                    for stage, value in zip(ex_stage, (
+                            rec["id"], rec["c"], rec["e"], rec["pe"],
+                            rec["s"], rec["x"], rec.get("rv", -1))):
+                        stage.append(value)
+                elif kind == "msg":
+                    for stage, value in zip(msg_stage, (
+                            rec["id"], rec.get("s", -1), rec.get("r", -1))):
+                        stage.append(value)
+                elif kind == "idle":
+                    for stage, value in zip(idle_stage, (
+                            rec["pe"], rec["s"], rec["x"])):
+                        stage.append(value)
+                elif kind in ("header", "entry", "array", "chare"):
+                    self._registry(rec)
+                else:
+                    raise TraceFormatError(
+                        f"line {lineno} (byte {offset}): unknown record "
+                        f"type {kind!r}",
+                        kind=None if kind is None else str(kind),
+                        line=lineno, offset=offset,
+                    )
+            except KeyError as exc:
+                raise TraceFormatError(
+                    f"line {lineno} (byte {offset}): {kind} record missing "
+                    f"field {exc}",
+                    kind=kind, line=lineno, offset=offset,
+                ) from exc
+            recs += 1
+            offset += _byte_len(raw)
+        for cols, stages in ((self.ev, ev_stage), (self.ex, ex_stage),
+                             (self.msg, msg_stage), (self.idle, idle_stage)):
+            for col, stage in zip(cols, stages):
+                col.extend(stage)
+        self.stats.records += recs
+        self.stats.peak_chunk_records = max(self.stats.peak_chunk_records,
+                                            recs)
+
+    def _registry_entry(self, rec: dict):
+        """Parse a registry record into a pending ``(dict, key, value)``
+        assignment (dict None for the header) without committing it."""
+        kind = rec["t"]
+        if kind == "header":
+            return None, None, rec
+        if kind == "entry":
+            return self.entries, rec["id"], EntryMethod(
+                rec["id"], rec["name"], rec.get("ct", ""),
+                rec.get("sdag", False), rec.get("ord", -1))
+        if kind == "array":
+            return self.arrays, rec["id"], ChareArray(
+                rec["id"], rec["name"], tuple(rec.get("shape", ())))
+        return self.chares, rec["id"], Chare(
+            rec["id"], rec["name"], rec.get("arr", -1),
+            tuple(rec.get("idx", ())), rec.get("rt", False),
+            rec.get("pe", 0))
+
+    def _registry(self, rec: dict) -> None:
+        target, key, value = self._registry_entry(rec)
+        if target is None:
+            self.header = value
+        else:
+            target[key] = value
+
+    # -- finalization ---------------------------------------------------
+    def build(self, ingest_window: Optional[int]) -> Trace:
+        from repro.trace.columns import ColumnarTrace, TraceColumns
+
+        if self.header is None:
+            raise TraceFormatError("missing header record")
+        ev = _reorder_by_id("event", self.ev)
+        ex = _reorder_by_id("exec", self.ex)
+        msg = _reorder_by_id("msg", self.msg)
+        columns = TraceColumns(
+            ex_chare=ex[1], ex_entry=ex[2], ex_pe=ex[3],
+            ex_start=ex[4], ex_end=ex[5], ex_recv=ex[6],
+            ev_kind=ev[1].astype(np.int8), ev_chare=ev[2], ev_pe=ev[3],
+            ev_time=ev[4], ev_exec=ev[5],
+            msg_send=msg[1], msg_recv=msg[2],
+            idle_pe=self.idle[0].array(), idle_start=self.idle[1].array(),
+            idle_end=self.idle[2].array(),
+        )
+        return ColumnarTrace(
+            columns,
+            chares=_densify(self.chares, "chare"),
+            entries=_densify(self.entries, "entry"),
+            arrays=_densify(self.arrays, "array"),
+            num_pes=self.header["num_pes"],
+            metadata=self.header.get("metadata", {}),
+            ingest_window=ingest_window,
+        )
+
+
+def _reorder_by_id(label: str, cols) -> list:
+    """Arrange a record family's columns in dense-id order.
+
+    Replays the eager reader's dict semantics: a duplicate id keeps the
+    last record seen, and the distinct ids must be dense (0..d-1) — the
+    density failure message matches :func:`_densify` exactly.
+    """
+    ids = cols[0].array()
+    n = len(ids)
+    out = [col.array() for col in cols]
+    if not n:
+        return out
+    # Writer-emitted files carry ids 0..n-1 in order: nothing to do.
+    if (int(ids[0]) == 0 and int(ids[-1]) == n - 1
+            and bool((ids[1:] > ids[:-1]).all())):
+        return out
+    uniq = np.unique(ids)
+    d = len(uniq)
+    present = np.isin(np.arange(d, dtype=np.int64), uniq)
+    if not bool(present.all()):
+        missing = int(np.flatnonzero(~present)[0])
+        raise TraceFormatError(
+            f"{label} ids are not dense: missing id {missing}", kind=label
+        )
+    if int(uniq[0]) != 0 or int(uniq[-1]) != d - 1:
+        # Distinct ids outside 0..d-1 (negative or oversized): the first
+        # id of 0..d-1 the records skip is the one _densify would name.
+        in_range = np.zeros(d, np.bool_)
+        mask = (ids >= 0) & (ids < d)
+        in_range[ids[mask]] = True
+        missing = int(np.flatnonzero(~in_range)[0])
+        raise TraceFormatError(
+            f"{label} ids are not dense: missing id {missing}", kind=label
+        )
+    last_row = np.empty(d, np.int64)
+    last_row[ids] = np.arange(n, dtype=np.int64)  # later rows overwrite
+    return [out[0][last_row]] + [col[last_row] for col in out[1:]]
+
+
+def _byte_len(line) -> int:
+    return len(line) if isinstance(line, bytes) else len(line.encode("utf-8"))
+
+
+def read_trace_chunked(
+    source: Union[str, Path, IO],
+    *,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    stats: Optional[ReaderStats] = None,
+) -> Trace:
+    """Read a trace in fixed-size chunks into a columnar trace.
+
+    ``source`` is a filesystem path or an open stream (text or binary).
+    Parsing stages at most one ``chunk_bytes``-sized window of rows at a
+    time; the returned :class:`~repro.trace.columns.ColumnarTrace` is
+    bit-identical (as a Trace) to :func:`read_trace` on the same input.
+    Requires NumPy; pass a :class:`ReaderStats` to collect telemetry.
+    """
+    if not HAVE_NUMPY:
+        raise RuntimeError("chunked ingestion requires numpy; "
+                           "use read_trace() instead")
+    if chunk_bytes < 1:
+        raise ValueError(f"chunk_bytes must be >= 1, got {chunk_bytes}")
+    stats = stats if stats is not None else ReaderStats()
+    builder = _ChunkedBuilder(stats)
+    if hasattr(source, "read"):
+        _feed_stream(builder, source, chunk_bytes)
+    else:
+        with open(source, "rb") as fh:
+            _feed_stream(builder, fh, chunk_bytes)
+    from repro.trace.columns import DEFAULT_INGEST_WINDOW
+
+    return builder.build(DEFAULT_INGEST_WINDOW)
+
+
+def _feed_stream(builder: _ChunkedBuilder, fh: IO, chunk_bytes: int) -> None:
+    while True:
+        lines = fh.readlines(chunk_bytes)
+        if not lines:
+            return
+        builder.feed_chunk(lines)

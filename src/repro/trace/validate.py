@@ -87,7 +87,14 @@ def collect_trace_problems(
 
     :func:`validate_trace` wraps this; callers that want a report rather
     than an exception (``repro verify --json``) use it directly.
+
+    ``trace`` may also be a :class:`~repro.trace.source.TraceSource`:
+    the source is resolved here, so a chunk-ingested file is checked
+    through its lazy columnar view (records are built one at a time;
+    the full object-backed trace is never materialized).
     """
+    if not isinstance(trace, Trace) and callable(getattr(trace, "trace", None)):
+        trace = trace.trace()
     problems: List[Violation] = []
 
     def problem(invariant: str, message: str, *subjects: int) -> None:
@@ -233,7 +240,8 @@ def validate_trace(trace: Trace, check_pe_overlap: bool = True) -> None:
     Parameters
     ----------
     trace:
-        The trace to check.  Empty and single-event traces are valid.
+        The trace to check, or a :class:`~repro.trace.source.TraceSource`
+        to resolve and check.  Empty and single-event traces are valid.
     check_pe_overlap:
         When True (default), assert that no two executions overlap on the
         same PE.  Synthetic unit-test traces sometimes skip this.

@@ -52,12 +52,13 @@ def test_extract_emits_no_warnings(jacobi_trace):
         api.extract(jacobi_trace, api.PipelineOptions(), order="physical")
 
 
-def test_legacy_options_plus_kwargs_warns(jacobi_trace):
-    with pytest.warns(DeprecationWarning):
-        structure = extract_logical_structure(
+def test_options_plus_kwargs_rejected(jacobi_trace):
+    # The deprecated dual path is gone: combining an options object with
+    # keyword overrides is a hard error (use with_overrides, or extract).
+    with pytest.raises(TypeError, match="with_overrides"):
+        extract_logical_structure(
             jacobi_trace, options=api.PipelineOptions(), order="physical"
         )
-    assert structure.options.order == "physical"
 
 
 def test_hooks_accept_single_and_list(jacobi_trace):

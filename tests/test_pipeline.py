@@ -101,12 +101,13 @@ def test_bad_order_rejected(jacobi_trace):
         extract_logical_structure(jacobi_trace, order="alphabetical")
 
 
-def test_options_plus_kwargs_deprecated_but_applied(jacobi_trace):
-    with pytest.warns(DeprecationWarning):
-        structure = extract_logical_structure(
+def test_options_plus_kwargs_rejected(jacobi_trace):
+    # Promoted from DeprecationWarning to a hard error: either pass an
+    # options object or keywords, never both.
+    with pytest.raises(TypeError, match="with_overrides"):
+        extract_logical_structure(
             jacobi_trace, options=PipelineOptions(), order="physical"
         )
-    assert structure.options.order == "physical"
 
 
 def test_unknown_kwarg_rejected(jacobi_trace):
