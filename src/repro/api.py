@@ -70,6 +70,7 @@ from repro.trace.source import (
     TraceSource,
     open_trace,
 )
+from repro.serve import ArtifactStore, JobService
 from repro.trace.validate import validate_trace
 from repro.trace.writer import write_trace
 from repro.verify import (
@@ -82,12 +83,14 @@ from repro.verify import (
 )
 
 __all__ = [
+    "ArtifactStore",
     "BatchExtractor",
     "BatchReport",
     "BatchResult",
     "DegradationReport",
     "FAULT_KINDS",
     "FileTraceSource",
+    "JobService",
     "LogicalStructure",
     "Phase",
     "MemoryTraceSource",

@@ -15,6 +15,13 @@ table.  This module adds the batch driver behind ``repro batch``:
   so a killed or concurrent run can never leave a torn entry behind.
   Optional ``max_entries``/``max_bytes`` caps bound the cache with LRU
   eviction (``repro cache --stats/--prune`` inspects and trims it).
+  With ``shard_prefix > 0`` entries are sharded into subdirectories by
+  key prefix (``ab/abcd....json``) and an optional ``max_shard_bytes``
+  quota bounds each shard independently — the layout
+  :class:`repro.serve.ArtifactStore` builds its artifact store on.
+  All operations are thread-safe (one re-entrant lock per instance) and
+  multi-process-safe (atomic writes; concurrent deletion mid-scan is
+  tolerated, never raised).
 * :class:`~repro.resilience.journal.RunJournal` integration — with a
   ``journal`` path the extractor appends one fsync'd JSON line per
   finished trace, so ``repro batch --resume <journal>`` after a crash
@@ -41,6 +48,7 @@ import json
 import multiprocessing as _mp
 import os
 import struct
+import threading
 import time as _time
 import uuid
 from collections import OrderedDict, deque
@@ -201,11 +209,26 @@ class StructureCache:
     least-recently-used entries are evicted on :meth:`put` (memory order
     tracks gets and puts; on disk, file mtimes approximate recency — a
     re-hit entry is touched so campaign-hot traces survive pruning).
+
+    ``shard_prefix`` (0 = flat, historical layout) stores each entry in
+    a subdirectory named by the first ``shard_prefix`` hex characters of
+    its key, bounding per-directory fan-in for large stores; reads fall
+    back to the flat location so an existing cache keeps hitting after
+    sharding is turned on.  ``max_shard_bytes`` additionally caps every
+    shard directory independently (LRU within the shard), so one hot
+    key prefix cannot crowd out the rest of the store.  Scans
+    (:meth:`stats`, :meth:`prune`) always cover both layouts.
     """
+
+    #: Serialize entries with sorted keys (stable diffing).  Subclasses
+    #: that must preserve payload key order byte-for-byte set it False.
+    _sort_keys = True
 
     def __init__(self, directory: Optional[Union[str, Path]] = None,
                  max_entries: Optional[int] = None,
-                 max_bytes: Optional[int] = None):
+                 max_bytes: Optional[int] = None,
+                 shard_prefix: int = 0,
+                 max_shard_bytes: Optional[int] = None):
         self.directory = Path(directory) if directory is not None else None
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
@@ -213,9 +236,16 @@ class StructureCache:
             raise ValueError("max_entries must be >= 1 (or None)")
         if max_bytes is not None and max_bytes < 1:
             raise ValueError("max_bytes must be >= 1 (or None)")
+        if max_shard_bytes is not None and max_shard_bytes < 1:
+            raise ValueError("max_shard_bytes must be >= 1 (or None)")
+        if shard_prefix < 0 or shard_prefix > 8:
+            raise ValueError("shard_prefix must be in 0..8")
         self.max_entries = max_entries
         self.max_bytes = max_bytes
+        self.shard_prefix = int(shard_prefix)
+        self.max_shard_bytes = max_shard_bytes
         self._memory: "OrderedDict[str, dict]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -225,70 +255,112 @@ class StructureCache:
             (digest + "\n" + options_token(options)).encode()
         ).hexdigest()
 
-    def get(self, key: str) -> Optional[dict]:
-        summary = self._memory.get(key)
-        if summary is not None:
-            self._memory.move_to_end(key)
-            if self.directory is not None:
-                try:  # keep disk recency in step with memory recency
-                    os.utime(self.directory / f"{key}.json")
+    def _entry_path(self, key: str) -> Path:
+        """Where ``key``'s entry file lives (shard-aware)."""
+        assert self.directory is not None
+        if self.shard_prefix:
+            return self.directory / key[:self.shard_prefix] / f"{key}.json"
+        return self.directory / f"{key}.json"
+
+    def _read_entry(self, key: str) -> Optional[dict]:
+        """Load ``key`` from disk, or None (missing/corrupt/racing)."""
+        assert self.directory is not None
+        candidates = [self._entry_path(key)]
+        if self.shard_prefix:  # flat entry written before sharding
+            candidates.append(self.directory / f"{key}.json")
+        for path in candidates:
+            try:
+                summary = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            if isinstance(summary, dict):
+                try:  # mark recency so pruning spares hot entries
+                    os.utime(path)
                 except OSError:
                     pass
-        if summary is None and self.directory is not None:
-            path = self.directory / f"{key}.json"
-            if path.exists():
-                try:
-                    summary = json.loads(path.read_text())
-                except (OSError, ValueError):
-                    summary = None
+                return summary
+        return None
+
+    def get(self, key: str) -> Optional[dict]:
+        with self._lock:
+            summary = self._memory.get(key)
+            if summary is not None:
+                self._memory.move_to_end(key)
+                if self.directory is not None:
+                    try:  # keep disk recency in step with memory recency
+                        os.utime(self._entry_path(key))
+                    except OSError:
+                        pass
+            if summary is None and self.directory is not None:
+                summary = self._read_entry(key)
                 if summary is not None:
                     self._memory[key] = summary
-                    try:  # mark recency so pruning spares hot entries
-                        os.utime(path)
-                    except OSError:
-                        pass
-        if summary is None:
-            self.misses += 1
-        else:
-            self.hits += 1
-        return summary
+            if summary is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return summary
 
     def put(self, key: str, summary: dict) -> None:
-        self._memory[key] = summary
-        self._memory.move_to_end(key)
-        if self.directory is not None:
-            path = self.directory / f"{key}.json"
-            # Unique temp name per write: concurrent writers (threads or
-            # processes) must never share one, or a replace can race a
-            # half-written file into place.
-            tmp = self.directory / f".{key}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
-            try:
-                # Flush + fsync before the rename: os.replace is atomic
-                # for readers but not durable, and a crash right after
-                # it can otherwise surface an empty cache entry.
-                with open(tmp, "w") as handle:
-                    handle.write(json.dumps(summary, sort_keys=True))
-                    handle.flush()
-                    os.fsync(handle.fileno())
-                os.replace(tmp, path)
-            finally:
-                if tmp.exists():  # replace failed midway: don't litter
-                    try:
-                        tmp.unlink()
-                    except OSError:
-                        pass
-        self._evict()
+        with self._lock:
+            self._memory[key] = summary
+            self._memory.move_to_end(key)
+            if self.directory is not None:
+                path = self._entry_path(key)
+                if self.shard_prefix:
+                    path.parent.mkdir(parents=True, exist_ok=True)
+                # Unique temp name per write: concurrent writers (threads
+                # or processes) must never share one, or a replace can
+                # race a half-written file into place.
+                tmp = path.parent / (
+                    f".{key}.{os.getpid()}.{uuid.uuid4().hex}.tmp")
+                try:
+                    # Flush + fsync before the rename: os.replace is
+                    # atomic for readers but not durable, and a crash
+                    # right after it can otherwise surface an empty
+                    # cache entry.
+                    with open(tmp, "w") as handle:
+                        handle.write(json.dumps(summary,
+                                                sort_keys=self._sort_keys))
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                    os.replace(tmp, path)
+                finally:
+                    if tmp.exists():  # replace failed midway: don't litter
+                        try:
+                            tmp.unlink()
+                        except OSError:
+                            pass
+            self._evict()
 
     # ------------------------------------------------------------------
     # Capacity management
     # ------------------------------------------------------------------
+    @staticmethod
+    def _mtime_or_oldest(path: Path) -> float:
+        """mtime for LRU ordering; a file deleted by a concurrent
+        prune/evict between listing and stat counts as LRU-oldest
+        instead of raising mid-sort."""
+        try:
+            return path.stat().st_mtime
+        except OSError:
+            return 0.0
+
+    def _iter_entry_files(self):
+        """Every persistent entry file, flat and sharded layouts alike."""
+        if self.directory is None:
+            return
+        for path in self.directory.glob("*.json"):
+            yield path
+        for path in self.directory.glob("*/*.json"):
+            yield path
+
     def _entry_files(self) -> List[Path]:
         """Persistent entry files, least recently used first."""
         if self.directory is None:
             return []
-        files = [p for p in self.directory.glob("*.json")]
-        files.sort(key=lambda p: (p.stat().st_mtime if p.exists() else 0.0,
-                                  p.name))
+        files = list(self._iter_entry_files())
+        files.sort(key=lambda p: (self._mtime_or_oldest(p), p.name))
         return files
 
     def _evict(self) -> None:
@@ -297,73 +369,117 @@ class StructureCache:
                 self._memory.popitem(last=False)
         if self.directory is None:
             return
-        if self.max_entries is None and self.max_bytes is None:
+        if (self.max_entries is None and self.max_bytes is None
+                and self.max_shard_bytes is None):
             return  # uncapped: skip the per-put disk scan entirely
-        removed = self.prune(self.max_entries, self.max_bytes)
+        removed = self.prune(self.max_entries, self.max_bytes,
+                             self.max_shard_bytes)
         self.evictions += removed
 
     def stats(self) -> dict:
         """Occupancy and hit-rate counters (``repro cache --stats``)."""
         disk_entries = 0
         disk_bytes = 0
-        if self.directory is not None:
-            for path in self.directory.glob("*.json"):
+        shards: Dict[str, dict] = {}
+        with self._lock:
+            for path in self._iter_entry_files():
                 try:
-                    disk_bytes += path.stat().st_size
+                    size = path.stat().st_size
                 except OSError:
                     continue
+                disk_bytes += size
                 disk_entries += 1
-        return {
-            "directory": (str(self.directory)
-                          if self.directory is not None else None),
-            "memory_entries": len(self._memory),
-            "disk_entries": disk_entries,
-            "disk_bytes": disk_bytes,
-            "max_entries": self.max_entries,
-            "max_bytes": self.max_bytes,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+                if path.parent != self.directory:
+                    row = shards.setdefault(path.parent.name,
+                                            {"entries": 0, "bytes": 0})
+                    row["entries"] += 1
+                    row["bytes"] += size
+            return {
+                "directory": (str(self.directory)
+                              if self.directory is not None else None),
+                "memory_entries": len(self._memory),
+                "disk_entries": disk_entries,
+                "disk_bytes": disk_bytes,
+                "shards": {name: shards[name] for name in sorted(shards)},
+                "max_entries": self.max_entries,
+                "max_bytes": self.max_bytes,
+                "shard_prefix": self.shard_prefix,
+                "max_shard_bytes": self.max_shard_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
     def prune(self, max_entries: Optional[int] = None,
-              max_bytes: Optional[int] = None) -> int:
+              max_bytes: Optional[int] = None,
+              max_shard_bytes: Optional[int] = None) -> int:
         """Trim the persistent cache to the given caps (LRU by mtime).
 
         Returns the number of entries removed.  ``None`` leaves that
         axis uncapped; ``0`` is rejected (delete the directory to drop
-        everything).  :meth:`put` calls this with the cache's own caps.
+        everything).  ``max_shard_bytes`` caps each shard subdirectory
+        (and the flat top level) independently, LRU within the shard.
+        :meth:`put` calls this with the cache's own caps.  Every stat
+        and unlink tolerates a concurrent prune/evict racing the same
+        files: a vanished entry counts as already removed, never an
+        error.
         """
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be >= 1 (or None)")
         if max_bytes is not None and max_bytes < 1:
             raise ValueError("max_bytes must be >= 1 (or None)")
+        if max_shard_bytes is not None and max_shard_bytes < 1:
+            raise ValueError("max_shard_bytes must be >= 1 (or None)")
         if self.directory is None:
             return 0
-        files = self._entry_files()
-        sizes = {}
-        for path in files:
-            try:
-                sizes[path] = path.stat().st_size
-            except OSError:
-                sizes[path] = 0
-        total = sum(sizes.values())
-        count = len(files)
-        removed = 0
-        for path in files:  # oldest first
-            over_entries = max_entries is not None and count > max_entries
-            over_bytes = max_bytes is not None and total > max_bytes
-            if not over_entries and not over_bytes:
-                break
-            try:
-                path.unlink()
-            except OSError:
-                continue
-            self._memory.pop(path.stem, None)
-            count -= 1
-            total -= sizes[path]
-            removed += 1
-        return removed
+        with self._lock:
+            files = self._entry_files()
+            sizes = {}
+            for path in files:
+                try:
+                    sizes[path] = path.stat().st_size
+                except OSError:
+                    sizes[path] = 0
+            total = sum(sizes.values())
+            count = len(files)
+            removed = 0
+
+            def unlink(path: Path) -> bool:
+                nonlocal removed
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    pass  # a racing prune got there first: same outcome
+                except OSError:
+                    return False
+                self._memory.pop(path.stem, None)
+                removed += 1
+                return True
+
+            survivors = []
+            for path in files:  # oldest first
+                over_entries = max_entries is not None and count > max_entries
+                over_bytes = max_bytes is not None and total > max_bytes
+                if not over_entries and not over_bytes:
+                    survivors = files[files.index(path):]
+                    break
+                if not unlink(path):
+                    survivors.append(path)
+                    continue
+                count -= 1
+                total -= sizes[path]
+            if max_shard_bytes is not None:
+                per_shard: Dict[Path, List[Path]] = {}
+                for path in survivors:  # still LRU-ordered
+                    per_shard.setdefault(path.parent, []).append(path)
+                for members in per_shard.values():
+                    shard_total = sum(sizes.get(p, 0) for p in members)
+                    for path in members:
+                        if shard_total <= max_shard_bytes:
+                            break
+                        if unlink(path):
+                            shard_total -= sizes.get(path, 0)
+            return removed
 
 
 def structure_summary(structure: LogicalStructure,
@@ -419,10 +535,11 @@ def _extract_one(source: BatchSource, option_fields: dict):
         return False, {}, error, _time.perf_counter() - t0  # repro-lint: disable=DET001 reason=worker timing telemetry, never keyed or cached
 
 
-def _pipe_worker(conn, source: BatchSource, option_fields: dict) -> None:
-    """Child-process entry: run :func:`_extract_one`, ship the outcome."""
+def _pipe_worker(conn, worker, source: BatchSource,
+                 option_fields: dict) -> None:
+    """Child-process entry: run the job ``worker``, ship the outcome."""
     try:
-        conn.send(_extract_one(source, option_fields))
+        conn.send(worker(source, option_fields))
     except Exception:
         # The parent treats a silent exit as a crash; nothing else to do.
         pass
@@ -601,6 +718,14 @@ class BatchExtractor:
     any point — including ``kill -9`` of the scheduler — can be resumed
     with ``resume=True``: traces with a "done" line are replayed as
     ``resumed`` rows without re-extraction, everything else runs.
+
+    ``worker`` is the per-trace job body: a module-level callable
+    ``(source, option_fields) -> (ok, payload, error, seconds)`` that
+    must never raise (the default, :func:`_extract_one`, returns the
+    cacheable summary).  Other payloads ride the same scheduler —
+    ``repro serve`` passes :func:`repro.serve.worker.analyze_one` so
+    service jobs get the identical timeout/retry/crash-containment
+    machinery while producing full analysis documents.
     """
 
     def __init__(self, options: Optional[PipelineOptions] = None,
@@ -608,10 +733,12 @@ class BatchExtractor:
                  timeout: Optional[float] = None, retries: int = 0,
                  backoff: float = 0.5,
                  journal: Optional[Union[str, Path]] = None,
-                 resume: bool = False):
+                 resume: bool = False,
+                 worker=None):
         self.options = options if options is not None else PipelineOptions()
         self.jobs = max(1, int(jobs))
         self.cache = cache
+        self.worker = worker if worker is not None else _extract_one
         if timeout is not None and timeout <= 0:
             raise ValueError("timeout must be positive (or None)")
         self.timeout = timeout
@@ -672,7 +799,7 @@ class BatchExtractor:
                 parent, child = ctx.Pipe(duplex=False)
                 proc = ctx.Process(
                     target=_pipe_worker,
-                    args=(child, sources[i], option_fields),
+                    args=(child, self.worker, sources[i], option_fields),
                     daemon=True,
                 )
                 try:
@@ -812,7 +939,7 @@ class BatchExtractor:
             else:
                 outcomes = {}
                 for i in pending:
-                    outcome = _extract_one(sources[i], option_fields) + (False, 1)
+                    outcome = self.worker(sources[i], option_fields) + (False, 1)
                     outcomes[i] = outcome
                     journal_outcome(i, outcome)
         finally:

@@ -8,6 +8,7 @@ Usage (also available as ``python -m repro``)::
     repro validate t.jsonl
     repro verify t.jsonl --differential --json
     repro sync skewed.jsonl -o fixed.jsonl --min-latency 0.5
+    repro serve --data-dir /var/lib/repro --workers 2
 """
 
 from __future__ import annotations
@@ -228,16 +229,10 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             return 2
 
     if args.json:
-        from repro.viz import structure_to_json
+        from repro.report import analysis_document
 
         payload = {} if metric_map is None else {args.metric: metric_map}
-        doc = json.loads(structure_to_json(structure, payload or None))
-        doc["backend"] = stats.backend
-        doc["stage_backends"] = dict(stats.stage_backends)
-        if stats.repair is not None:
-            doc["repair"] = stats.repair
-        if stats.degradation is not None:
-            doc["degradation"] = stats.degradation
+        doc = analysis_document(structure, stats, payload or None)
         print(json.dumps(doc, indent=1))
         return 0
 
@@ -501,20 +496,42 @@ def cmd_cache(args: argparse.Namespace) -> int:
 
     cache = StructureCache(args.dir)
     if args.prune:
-        if args.max_entries is None and args.max_bytes is None:
-            print("cache: --prune needs --max-entries and/or --max-bytes",
-                  file=sys.stderr)
+        if (args.max_entries is None and args.max_bytes is None
+                and args.shard_bytes is None):
+            print("cache: --prune needs --max-entries, --max-bytes, "
+                  "and/or --shard-bytes", file=sys.stderr)
             return 2
-        removed = cache.prune(args.max_entries, args.max_bytes)
+        removed = cache.prune(args.max_entries, args.max_bytes,
+                              args.shard_bytes)
         print(f"pruned {removed} entr{'y' if removed == 1 else 'ies'} "
               f"from {args.dir}")
     stats = cache.stats()
     if args.json:
         print(json.dumps(stats, indent=1))
     else:
-        print(f"cache {stats['directory']}: {stats['disk_entries']} "
-              f"entr{'y' if stats['disk_entries'] == 1 else 'ies'}, "
-              f"{stats['disk_bytes']} bytes")
+        line = (f"cache {stats['directory']}: {stats['disk_entries']} "
+                f"entr{'y' if stats['disk_entries'] == 1 else 'ies'}, "
+                f"{stats['disk_bytes']} bytes")
+        if stats["shards"]:
+            line += f" across {len(stats['shards'])} shard(s)"
+        print(line)
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import JobService, run_server
+
+    service = JobService(
+        args.data_dir,
+        workers=args.workers,
+        timeout=args.timeout,
+        retries=args.retries,
+        max_entries=args.max_entries,
+        max_bytes=args.max_bytes,
+        shard_prefix=args.shard_prefix,
+        max_shard_bytes=args.shard_bytes,
+    )
+    run_server(service, host=args.host, port=args.port)
     return 0
 
 
@@ -727,9 +744,43 @@ def build_parser() -> argparse.ArgumentParser:
                      help="entry-count cap for --prune")
     cch.add_argument("--max-bytes", type=_positive_int, default=None,
                      help="total-size cap (bytes) for --prune")
+    cch.add_argument("--shard-bytes", type=_positive_int, default=None,
+                     help="per-shard byte quota for --prune (sharded "
+                          "artifact stores)")
     cch.add_argument("--json", action="store_true",
                      help="emit machine-readable stats")
     cch.set_defaults(func=cmd_cache)
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the extraction service: HTTP job queue + artifact store",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=_non_negative_int, default=8177,
+                     help="TCP port (0 = ephemeral; the ready line prints "
+                          "the bound port)")
+    srv.add_argument("--data-dir", required=True, metavar="DIR",
+                     help="durable service root (uploads/, artifacts/, "
+                          "jobs.jsonl); restarts resume its job backlog")
+    srv.add_argument("--workers", type=_non_negative_int, default=1,
+                     help="job worker threads (0 = accept and journal jobs "
+                          "without processing; the backlog drains on the "
+                          "next start with workers > 0)")
+    srv.add_argument("--timeout", type=_positive_float, default=None,
+                     help="per-job wall-clock seconds; a job exceeding it "
+                          "is killed (forces process isolation per job)")
+    srv.add_argument("--retries", type=_non_negative_int, default=0,
+                     help="re-run a timed-out/crashed job up to N times")
+    srv.add_argument("--max-entries", type=_positive_int, default=None,
+                     help="artifact-store entry cap (LRU eviction)")
+    srv.add_argument("--max-bytes", type=_positive_int, default=None,
+                     help="artifact-store total byte cap (LRU eviction)")
+    srv.add_argument("--shard-prefix", type=_non_negative_int, default=2,
+                     help="hex chars of artifact key per shard directory "
+                          "(0 = flat layout)")
+    srv.add_argument("--shard-bytes", type=_positive_int, default=None,
+                     help="byte quota per artifact shard")
+    srv.set_defaults(func=cmd_serve)
 
     flt = sub.add_parser(
         "faults",

@@ -32,6 +32,43 @@ def _fmt_entry(name: str) -> str:
     return name.split("::")[-1]
 
 
+def analysis_document(structure: LogicalStructure, stats,
+                      metrics: Optional[Dict[str, dict]] = None) -> dict:
+    """The full machine-readable analysis of one extraction.
+
+    The one place the ``repro analyze --json`` document is assembled, so
+    every producer — the CLI, ``repro serve`` job workers — emits the
+    identical structure for identical inputs (the service's artifacts
+    are byte-for-byte what the CLI would have printed).  ``metrics``
+    optionally attaches named per-event metric maps; ``stats`` is the
+    :class:`~repro.core.pipeline.PipelineStats` of the run.
+
+    The document is **bit-identical across runs** for the same trace
+    and options: per-stage wall-clock ``seconds`` are stripped from the
+    embedded degradation report (they are run telemetry, not result
+    data — still available on :class:`PipelineStats` and in batch
+    rows), because the document is what the service caches and serves
+    by content key.
+    """
+    import json as _json
+
+    from repro.viz import structure_to_json
+
+    doc = _json.loads(structure_to_json(structure, metrics or None))
+    doc["backend"] = stats.backend
+    doc["stage_backends"] = dict(stats.stage_backends)
+    if stats.repair is not None:
+        doc["repair"] = stats.repair
+    if stats.degradation is not None:
+        degradation = dict(stats.degradation)
+        degradation["stages"] = [
+            {k: v for k, v in outcome.items() if k != "seconds"}
+            for outcome in degradation.get("stages", [])
+        ]
+        doc["degradation"] = degradation
+    return doc
+
+
 def performance_report(structure: LogicalStructure, top: int = 5) -> str:
     """Render a plain-text performance report for a structure."""
     trace = structure.trace

@@ -38,13 +38,19 @@ from repro.resilience.guard import (
     StageBreachError,
     current_rss_mb,
 )
-from repro.resilience.journal import JournalState, RunJournal, read_journal
+from repro.resilience.journal import (
+    JournalState,
+    JournalWriter,
+    RunJournal,
+    read_journal,
+)
 from repro.resilience.report import DegradationReport, StageOutcome
 
 __all__ = [
     "ON_ERROR_MODES",
     "DegradationReport",
     "JournalState",
+    "JournalWriter",
     "ResilientExecutor",
     "ResourceGuard",
     "RunJournal",

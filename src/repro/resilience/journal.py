@@ -91,6 +91,60 @@ def read_journal(path: Union[str, Path]) -> JournalState:
     return state
 
 
+class JournalWriter:
+    """Append-only fsync'd JSONL writer with torn-tail repair.
+
+    The durability core shared by :class:`RunJournal` (batch runs) and
+    the ``repro serve`` job ledger (:class:`repro.serve.jobs.JobLedger`):
+    every :meth:`record` call appends exactly one JSON line and is
+    flushed + fsync'd before returning, so a reader after ``kill -9``
+    sees every completed append and at most one torn final line.
+    Opening with ``append=True`` keeps the existing file and terminates
+    a torn tail (so the next line starts cleanly); otherwise the file is
+    truncated.
+    """
+
+    def __init__(self, path: Union[str, Path], append: bool = False) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        torn_tail = False
+        if append:
+            try:
+                with open(self.path, "rb") as fh:
+                    fh.seek(0, os.SEEK_END)
+                    if fh.tell() > 0:
+                        fh.seek(-1, os.SEEK_END)
+                        torn_tail = fh.read(1) != b"\n"
+            except OSError:
+                pass  # no existing file: nothing to terminate
+        self._fh = open(self.path, "ab" if append else "wb")
+        if torn_tail:
+            # A kill -9 mid-append left an unterminated final line;
+            # terminate it so the next entry starts on its own line
+            # instead of concatenating into one unparseable fragment.
+            self._fh.write(b"\n")
+
+    def record(self, kind: str, **fields: object) -> None:
+        """Append one entry; durable (flushed + fsync'd) before returning."""
+        entry = {"kind": kind, **fields}
+        data = json.dumps(entry, sort_keys=True).encode("utf-8") + b"\n"
+        self._fh.write(data)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
 class RunJournal:
     """Append-only writer for one batch run's journal.
 
@@ -115,35 +169,13 @@ class RunJournal:
                 f"incompatible results (use a fresh journal, or rerun with "
                 f"the original options)"
             )
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        torn_tail = False
-        if resume:
-            try:
-                with open(self.path, "rb") as fh:
-                    fh.seek(0, os.SEEK_END)
-                    if fh.tell() > 0:
-                        fh.seek(-1, os.SEEK_END)
-                        torn_tail = fh.read(1) != b"\n"
-            except OSError:
-                pass  # no existing file: nothing to terminate
-        self._fh = open(self.path, "ab" if resume else "wb")
-        if torn_tail:
-            # A kill -9 mid-append left an unterminated final line;
-            # terminate it so the meta line below starts on its own line
-            # instead of concatenating into one unparseable fragment
-            # (which would hide the meta from the next resume's
-            # options-mismatch guard).
-            self._fh.write(b"\n")
+        self._writer = JournalWriter(self.path, append=resume)
         self.record("meta", version=JOURNAL_VERSION, options=options_token)
 
     # ------------------------------------------------------------------
     def record(self, kind: str, **fields: object) -> None:
         """Append one entry; durable (flushed + fsync'd) before returning."""
-        entry = {"kind": kind, **fields}
-        data = json.dumps(entry, sort_keys=True).encode("utf-8") + b"\n"
-        self._fh.write(data)
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
+        self._writer.record(kind, **fields)
 
     def record_done(self, source: str, digest: str, summary: dict,
                     seconds: float = 0.0, attempts: int = 1,
@@ -163,10 +195,7 @@ class RunJournal:
         return self.state.done.get(digest)
 
     def close(self) -> None:
-        try:
-            self._fh.close()
-        except OSError:
-            pass
+        self._writer.close()
 
     def __enter__(self) -> "RunJournal":
         return self

@@ -1,0 +1,50 @@
+"""Extraction-as-a-service: the ``repro serve`` HTTP front end.
+
+Everything downstream of extraction — visualization, diffing, batch
+campaigns — can run against one standing endpoint instead of shelling
+into the CLI per trace (ROADMAP item 3, the "millions of users" gap).
+The package is stdlib-only (``asyncio`` + hand-rolled HTTP/1.1, no
+framework) and splits into:
+
+* :mod:`repro.serve.schemas` — request parsing/validation and response
+  shaping for every endpoint;
+* :mod:`repro.serve.store` — :class:`ArtifactStore`, the content-keyed
+  :class:`~repro.batch.StructureCache` promoted to a sharded,
+  quota-aware artifact store holding full analysis documents;
+* :mod:`repro.serve.worker` — :func:`analyze_one`, the job body run
+  inside :class:`~repro.batch.BatchExtractor` worker processes;
+* :mod:`repro.serve.jobs` — the crash-safe job ledger (on
+  :class:`~repro.resilience.journal.JournalWriter`) and
+  :class:`JobService`, the queue + worker threads + artifact store
+  behind the endpoints;
+* :mod:`repro.serve.app` — the asyncio HTTP server itself.
+
+Job results are byte-identical to ``repro analyze --json`` for the same
+trace and options (both render :func:`repro.report.analysis_document`),
+and identical trace+options submissions are served from the artifact
+store without re-extraction.  The ledger makes the queue SIGKILL-safe:
+a restarted server re-runs exactly the journaled jobs that had not
+completed.  See ``docs/API.md`` ("The extraction service") for the
+endpoint table, job lifecycle, and store layout.
+"""
+
+from repro.serve.app import ExtractionApp, run_server, start_server_thread
+from repro.serve.jobs import JobLedger, JobRecord, JobService, read_job_ledger
+from repro.serve.schemas import JOB_STATES, SchemaError, parse_options
+from repro.serve.store import ArtifactStore
+from repro.serve.worker import analyze_one
+
+__all__ = [
+    "ArtifactStore",
+    "ExtractionApp",
+    "JOB_STATES",
+    "JobLedger",
+    "JobRecord",
+    "JobService",
+    "SchemaError",
+    "analyze_one",
+    "parse_options",
+    "read_job_ledger",
+    "run_server",
+    "start_server_thread",
+]

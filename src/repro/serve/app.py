@@ -1,0 +1,291 @@
+"""The asyncio HTTP front end of ``repro serve``.
+
+Stdlib only: one ``asyncio.start_server`` acceptor, a minimal
+HTTP/1.1 request parser (request line + headers + Content-Length body,
+``Connection: close`` responses), and a flat router over the service
+endpoints.  No framework — the parser is ~40 lines and every byte it
+accepts is bounded, which keeps the attack/bug surface inspectable.
+
+Endpoints (see docs/API.md for the full table)::
+
+    GET  /healthz                 liveness + job counts
+    GET  /v1/stats                queue + artifact-store occupancy
+    POST /v1/traces               upload a trace body -> upload:<digest>
+    POST /v1/traces/register      {"path": ...} -> registered reference
+    POST /v1/jobs                 {"trace", "options"} -> job record
+    GET  /v1/jobs                 all job records
+    GET  /v1/jobs/<id>            one job record (poll this)
+    GET  /v1/jobs/<id>/result     the analysis document (byte-identical
+                                  to `repro analyze --json`)
+
+Blocking service calls (trace digesting, upload persistence) run in the
+default executor so one large submission cannot stall the accept loop;
+extraction itself never runs on the event loop — it lives in
+:class:`~repro.serve.jobs.JobService` worker threads and their
+``BatchExtractor`` child processes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Optional, Tuple
+
+from repro.serve.jobs import JobService
+from repro.serve.schemas import (
+    SchemaError,
+    parse_job_request,
+    parse_register_request,
+)
+
+#: Largest accepted request body (uploads): 1 GiB.
+MAX_BODY_BYTES = 1 << 30
+#: Largest accepted request line + header block.
+MAX_HEAD_BYTES = 1 << 16
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 409: "Conflict", 410: "Gone",
+            413: "Payload Too Large", 500: "Internal Server Error"}
+
+
+class HttpError(Exception):
+    """Terminate request handling with this status + message body."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class ExtractionApp:
+    """Routes HTTP requests onto a :class:`JobService`."""
+
+    def __init__(self, service: JobService):
+        self.service = service
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _read_request(self, reader) -> Tuple[str, str, dict, bytes]:
+        line = await reader.readline()
+        if not line:
+            raise ConnectionError("client closed before sending a request")
+        parts = line.decode("latin-1").split()
+        if len(parts) < 2:
+            raise HttpError(400, "malformed request line")
+        method, target = parts[0].upper(), parts[1]
+        headers = {}
+        head_bytes = len(line)
+        while True:
+            header = await reader.readline()
+            head_bytes += len(header)
+            if head_bytes > MAX_HEAD_BYTES:
+                raise HttpError(400, "header block too large")
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            raise HttpError(400, "malformed Content-Length") from None
+        if length < 0:
+            raise HttpError(400, "malformed Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length) if length else b""
+        return method, target, headers, body
+
+    @staticmethod
+    def _response(status: int, body: bytes,
+                  content_type: str = "application/json") -> bytes:
+        reason = _REASONS.get(status, "Unknown")
+        head = (f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n")
+        return head.encode("latin-1") + body
+
+    @staticmethod
+    def _json(payload: dict) -> bytes:
+        return (json.dumps(payload, indent=1) + "\n").encode("utf-8")
+
+    async def handle(self, reader, writer) -> None:
+        """One connection: read a request, route it, respond, close."""
+        try:
+            try:
+                method, target, _headers, body = (
+                    await self._read_request(reader))
+                status, payload = await self._route(method, target, body)
+            except HttpError as exc:
+                status = exc.status
+                payload = self._json({"error": str(exc)})
+            except (ConnectionError, asyncio.IncompleteReadError):
+                return  # client went away: nothing to answer
+            except Exception as exc:  # never let a handler kill the server
+                status = 500
+                payload = self._json(
+                    {"error": f"{type(exc).__name__}: {exc}"})
+            writer.write(self._response(status, payload))
+            await writer.drain()
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _parse_json_body(self, body: bytes):
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            raise HttpError(400, "request body is not valid JSON") from None
+
+    async def _route(self, method: str, target: str,
+                     body: bytes) -> Tuple[int, bytes]:
+        loop = asyncio.get_running_loop()
+        path = target.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            if path == "/healthz" and method == "GET":
+                stats = self.service.stats()
+                return 200, self._json({"ok": True, "jobs": stats["jobs"]})
+            if path == "/v1/stats" and method == "GET":
+                return 200, self._json(self.service.stats())
+            if path == "/v1/traces" and method == "POST":
+                info = await loop.run_in_executor(
+                    None, self.service.upload, body)
+                return 200, self._json(info)
+            if path == "/v1/traces/register" and method == "POST":
+                reg_path = parse_register_request(self._parse_json_body(body))
+                info = await loop.run_in_executor(
+                    None, self.service.register, reg_path)
+                return 200, self._json(info)
+            if path == "/v1/jobs" and method == "POST":
+                trace, options = parse_job_request(self._parse_json_body(body))
+                job = await loop.run_in_executor(
+                    None, self.service.submit, trace, options)
+                return (200 if job.status == "done" else 202,
+                        self._json(job.to_dict()))
+            if path == "/v1/jobs" and method == "GET":
+                return 200, self._json(
+                    {"jobs": [j.to_dict() for j in self.service.jobs()]})
+            if path.startswith("/v1/jobs/"):
+                return await self._route_job(method, path, loop)
+        except SchemaError as exc:
+            raise HttpError(400, str(exc)) from None
+        known = {"/healthz", "/v1/stats", "/v1/traces", "/v1/traces/register",
+                 "/v1/jobs"}
+        if path in known or path.startswith("/v1/jobs/"):
+            raise HttpError(405, f"{method} not supported on {path}")
+        raise HttpError(404, f"no such endpoint: {path}")
+
+    async def _route_job(self, method: str, path: str,
+                         loop) -> Tuple[int, bytes]:
+        rest = path[len("/v1/jobs/"):]
+        job_id, _, tail = rest.partition("/")
+        if method != "GET" or tail not in ("", "result"):
+            raise HttpError(405 if tail in ("", "result") else 404,
+                            f"{method} not supported on {path}")
+        job = self.service.job(job_id)
+        if job is None:
+            raise HttpError(404, f"no such job: {job_id}")
+        if tail == "":
+            return 200, self._json(job.to_dict())
+        if job.status in ("queued", "running"):
+            raise HttpError(409, f"job {job_id} is {job.status}; "
+                                 f"poll /v1/jobs/{job_id} until done")
+        if job.status == "failed":
+            raise HttpError(409, f"job {job_id} failed: {job.error}")
+        text = await loop.run_in_executor(None, self.service.result, job_id)
+        if text is None:
+            raise HttpError(410, f"artifact for job {job_id} was evicted "
+                                 f"by store quotas; resubmit the job")
+        return 200, text.encode("utf-8")
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+async def _serve_async(app: ExtractionApp, host: str, port: int,
+                       ready=None) -> None:
+    server = await asyncio.start_server(app.handle, host, port)
+    bound = server.sockets[0].getsockname()[1]
+    if ready is not None:
+        ready(bound)
+    async with server:
+        await server.serve_forever()
+
+
+def _announce_stdout(line: str) -> None:
+    print(line, flush=True)  # flushed: clients wait for the ready line
+
+
+def run_server(service: JobService, host: str = "127.0.0.1",
+               port: int = 8177, announce=_announce_stdout) -> None:
+    """Run the service until interrupted (the ``repro serve`` body).
+
+    ``announce(line)`` is called once with the ready line (carrying the
+    actually-bound port — pass ``port=0`` for an ephemeral one), which
+    clients and tests can wait for.
+    """
+    app = ExtractionApp(service)
+    service.start()
+
+    def ready(bound: int) -> None:
+        announce(f"repro serve: listening on http://{host}:{bound} "
+                 f"(data: {service.data_dir}, workers: {service.workers})")
+
+    try:
+        asyncio.run(_serve_async(app, host, port, ready))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.stop()
+
+
+def start_server_thread(service: JobService, host: str = "127.0.0.1",
+                        port: int = 0):
+    """Start the app in a daemon thread; returns ``(bound_port, stop)``.
+
+    The embedding entry point (tests, notebooks): the caller keeps the
+    thread alive, talks HTTP to ``bound_port``, and calls ``stop()`` to
+    shut the loop and the service workers down.
+    """
+    app = ExtractionApp(service)
+    service.start()
+    started = threading.Event()
+    state: dict = {}
+
+    async def main() -> None:
+        server = await asyncio.start_server(app.handle, host, port)
+        state["port"] = server.sockets[0].getsockname()[1]
+        state["loop"] = asyncio.get_running_loop()
+        state["stop"] = asyncio.Event()
+        started.set()
+        async with server:
+            await state["stop"].wait()
+
+    def runner() -> None:
+        try:
+            asyncio.run(main())
+        except Exception:  # surface startup failures via the event
+            started.set()
+            raise
+
+    thread = threading.Thread(target=runner, name="repro-serve-http",
+                              daemon=True)
+    thread.start()
+    started.wait(10.0)
+    if "port" not in state:
+        raise RuntimeError(f"server failed to start on {host}:{port}")
+
+    def stop() -> None:
+        loop: Optional[asyncio.AbstractEventLoop] = state.get("loop")
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(state["stop"].set)
+        thread.join(10.0)
+        service.stop()
+
+    return state["port"], stop

@@ -1,0 +1,438 @@
+"""Job ledger, queue, and worker pool behind ``repro serve``.
+
+The service core is framework-free: :class:`JobService` owns the trace
+uploads, the :class:`~repro.serve.store.ArtifactStore`, a FIFO job
+queue drained by worker threads, and the **job ledger** — the batch
+journal pattern (:class:`~repro.resilience.journal.JournalWriter`)
+promoted to service duty.  Every state change appends one fsync'd JSON
+line *before* the change takes effect for clients:
+
+* ``{"kind": "meta", "version": 1}`` — once per server start;
+* ``{"kind": "submit", "job", "seq", "trace", "source", "digest",
+  "key", "options"}`` — a job was accepted (queued);
+* ``{"kind": "done", "job", "cached", "seconds", "attempts",
+  "timed_out"}`` — its artifact is complete (written to the store
+  first, so a "done" line always has a fetchable artifact behind it);
+* ``{"kind": "fail", "job", "error", "attempts", "timed_out"}`` — it
+  exhausted its retries.
+
+Because "submit" is durable before the client sees the job id and
+"done"/"fail" are durable only after the outcome exists, a ``kill -9``
+of the server at any instant loses nothing: on restart,
+:func:`read_job_ledger` reconstructs every job, and those without a
+terminal line are re-queued and complete exactly once.  (A job killed
+*mid-extraction* re-runs from scratch — extraction is deterministic and
+the artifact write is atomic, so the replay is invisible to clients.)
+
+Jobs execute through the existing :class:`~repro.batch.BatchExtractor`
+scheduler with :func:`repro.serve.worker.analyze_one` as the job body,
+inheriting its per-job wall-clock timeout, retries with backoff, and
+crash containment (a segfaulting or OOM-killed extraction fails its job,
+never the server).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import queue
+import threading
+import uuid
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.batch import BatchExtractor, trace_digest
+from repro.resilience.journal import JournalWriter
+from repro.serve.schemas import SchemaError, parse_options
+from repro.serve.store import ArtifactStore
+from repro.serve.worker import analyze_one, render_document
+
+LEDGER_VERSION = 1
+
+_UPLOAD_PREFIX = "upload:"
+
+
+@dataclass
+class JobRecord:
+    """One extraction job's full state (mirrors the ledger)."""
+
+    id: str
+    seq: int
+    trace: str    #: the trace reference as submitted
+    source: str   #: the resolved on-disk path extraction reads
+    digest: str   #: trace content digest (sha256)
+    key: str      #: artifact-store key (digest + resolved options)
+    options: dict = field(default_factory=dict)
+    status: str = "queued"
+    cached: bool = False
+    error: str = ""
+    seconds: float = 0.0
+    attempts: int = 0
+    timed_out: bool = False
+
+    def to_dict(self) -> dict:
+        """The ``GET /v1/jobs/<id>`` response body."""
+        return {
+            "job": self.id,
+            "status": self.status,
+            "trace": self.trace,
+            "digest": self.digest,
+            "key": self.key,
+            "options": dict(self.options),
+            "cached": self.cached,
+            "error": self.error,
+            "seconds": self.seconds,
+            "attempts": self.attempts,
+            "timed_out": self.timed_out,
+        }
+
+
+def read_job_ledger(path: Union[str, Path]) -> "OrderedDict[str, JobRecord]":
+    """Reconstruct job state from a ledger file, in submission order.
+
+    Tolerates a missing file (no jobs yet), a torn final line (``kill
+    -9`` mid-append), and unknown entry kinds (forward compatibility).
+    Jobs whose latest state is non-terminal come back as ``queued`` —
+    whatever they were doing when the server died must be redone.
+    """
+    import json
+
+    jobs: "OrderedDict[str, JobRecord]" = OrderedDict()
+    try:
+        raw = Path(path).read_bytes()
+    except OSError:
+        return jobs
+    for line in raw.split(b"\n"):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            continue  # torn tail or interior corruption: skip the line
+        if not isinstance(entry, dict):
+            continue
+        kind = entry.get("kind")
+        if kind == "submit":
+            job_id = entry.get("job")
+            if not isinstance(job_id, str) or not job_id:
+                continue
+            jobs[job_id] = JobRecord(
+                id=job_id,
+                seq=int(entry.get("seq", 0)),
+                trace=str(entry.get("trace", "")),
+                source=str(entry.get("source", "")),
+                digest=str(entry.get("digest", "")),
+                key=str(entry.get("key", "")),
+                options=dict(entry.get("options") or {}),
+            )
+        elif kind in ("done", "fail"):
+            job = jobs.get(entry.get("job", ""))
+            if job is None:
+                continue
+            job.status = "done" if kind == "done" else "failed"
+            job.cached = bool(entry.get("cached", False))
+            job.error = str(entry.get("error", ""))
+            job.seconds = float(entry.get("seconds", 0.0))
+            job.attempts = int(entry.get("attempts", 0))
+            job.timed_out = bool(entry.get("timed_out", False))
+    return jobs
+
+
+class JobLedger:
+    """Append-only writer for the service job ledger."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._writer = JournalWriter(self.path, append=True)
+        self._writer.record("meta", version=LEDGER_VERSION)
+
+    def submit(self, job: JobRecord) -> None:
+        self._writer.record("submit", job=job.id, seq=job.seq,
+                            trace=job.trace, source=job.source,
+                            digest=job.digest, key=job.key,
+                            options=job.options)
+
+    def done(self, job: JobRecord) -> None:
+        self._writer.record("done", job=job.id, cached=job.cached,
+                            seconds=job.seconds, attempts=job.attempts,
+                            timed_out=job.timed_out)
+
+    def fail(self, job: JobRecord) -> None:
+        self._writer.record("fail", job=job.id, error=job.error,
+                            attempts=job.attempts, timed_out=job.timed_out,
+                            seconds=job.seconds)
+
+    def close(self) -> None:
+        self._writer.close()
+
+
+class JobService:
+    """Upload store + artifact store + crash-safe job queue.
+
+    ``data_dir`` is the service's one durable root::
+
+        <data_dir>/uploads/<digest>.jsonl   uploaded trace bodies
+        <data_dir>/artifacts/<kk>/<key>.json  sharded artifact store
+        <data_dir>/jobs.jsonl               the job ledger
+
+    ``workers`` threads drain the queue (0 = accept jobs but do not
+    process them — a queued-only server whose backlog drains on the
+    next start; useful for staging and for exercising restart
+    recovery).  Each job runs through ``BatchExtractor`` with the given
+    ``timeout``/``retries``/``backoff``.  All public methods are
+    thread-safe; construction replays the ledger and re-queues every
+    job that had not reached a terminal state.
+    """
+
+    def __init__(self, data_dir: Union[str, Path], *,
+                 workers: int = 1,
+                 timeout: Optional[float] = None,
+                 retries: int = 0,
+                 backoff: float = 0.5,
+                 max_entries: Optional[int] = None,
+                 max_bytes: Optional[int] = None,
+                 shard_prefix: int = 2,
+                 max_shard_bytes: Optional[int] = None):
+        self.data_dir = Path(data_dir)
+        self.uploads_dir = self.data_dir / "uploads"
+        self.uploads_dir.mkdir(parents=True, exist_ok=True)
+        self.store = ArtifactStore(
+            self.data_dir / "artifacts",
+            max_entries=max_entries, max_bytes=max_bytes,
+            shard_prefix=shard_prefix, max_shard_bytes=max_shard_bytes,
+        )
+        self.workers = max(0, int(workers))
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = max(0.0, float(backoff))
+        self.ledger_path = self.data_dir / "jobs.jsonl"
+        self._lock = threading.RLock()
+        self._jobs = read_job_ledger(self.ledger_path)
+        self._seq = max((j.seq for j in self._jobs.values()), default=0)
+        self.ledger = JobLedger(self.ledger_path)
+        self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
+        self._docs: Dict[str, dict] = {}  # degraded results: never cached
+        self._threads: List[threading.Thread] = []
+        self.recovered = 0
+        for job in self._jobs.values():
+            if job.status not in ("done", "failed"):
+                job.status = "queued"
+                self._queue.put(job.id)
+                self.recovered += 1
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the worker threads (idempotent)."""
+        with self._lock:
+            while len(self._threads) < self.workers:
+                thread = threading.Thread(
+                    target=self._work,
+                    name=f"repro-serve-worker-{len(self._threads)}",
+                    daemon=True,
+                )
+                thread.start()
+                self._threads.append(thread)
+
+    def stop(self, wait: bool = True) -> None:
+        """Stop the workers after their current job and close the ledger."""
+        with self._lock:
+            threads, self._threads = self._threads, []
+        for _ in threads:
+            self._queue.put(None)
+        if wait:
+            for thread in threads:
+                thread.join()
+        self.ledger.close()
+
+    # ------------------------------------------------------------------
+    # Traces
+    # ------------------------------------------------------------------
+    def upload(self, data: bytes) -> dict:
+        """Persist an uploaded trace body; returns its reference.
+
+        Content-addressed: the same bytes always land at (and return)
+        the same ``upload:<sha256>`` reference, written atomically so a
+        concurrent identical upload or a crash mid-write can never leave
+        a torn file behind.
+        """
+        if not data:
+            raise SchemaError("empty trace upload")
+        digest = hashlib.sha256(data).hexdigest()
+        path = self.uploads_dir / f"{digest}.jsonl"
+        if not path.exists():
+            tmp = self.uploads_dir / (
+                f".{digest}.{os.getpid()}.{uuid.uuid4().hex}.tmp")
+            try:
+                with open(tmp, "wb") as handle:
+                    handle.write(data)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp, path)
+            finally:
+                if tmp.exists():
+                    try:
+                        tmp.unlink()
+                    except OSError:
+                        pass
+        return {"trace": f"{_UPLOAD_PREFIX}{digest}", "digest": digest,
+                "bytes": len(data)}
+
+    def register(self, path_text: str) -> dict:
+        """Register an on-disk trace path; returns its reference."""
+        path = Path(path_text).expanduser()
+        if not path.is_file():
+            raise SchemaError(f"no such trace file: {path_text}")
+        return {"trace": str(path.resolve())}
+
+    def _resolve(self, trace_ref: str) -> str:
+        """A trace reference → the path extraction will read."""
+        if trace_ref.startswith(_UPLOAD_PREFIX):
+            digest = trace_ref[len(_UPLOAD_PREFIX):]
+            if not digest or any(c not in "0123456789abcdef" for c in digest):
+                raise SchemaError(f"malformed upload reference: {trace_ref}")
+            path = self.uploads_dir / f"{digest}.jsonl"
+            if not path.is_file():
+                raise SchemaError(f"unknown upload: {trace_ref}")
+            return str(path)
+        path = Path(trace_ref)
+        if not path.is_file():
+            raise SchemaError(
+                f"unknown trace: {trace_ref} (upload it or register a path "
+                f"first)")
+        return str(path)
+
+    # ------------------------------------------------------------------
+    # Jobs
+    # ------------------------------------------------------------------
+    def submit(self, trace_ref: str,
+               option_fields: Optional[dict] = None) -> JobRecord:
+        """Accept an extraction job; returns its (journaled) record.
+
+        If the artifact store already holds a result for this exact
+        trace content + resolved options, the job is born ``done`` with
+        ``cached: true`` — no extraction runs, and the result endpoint
+        serves the stored artifact.
+        """
+        option_fields = dict(option_fields or {})
+        opts = parse_options(option_fields)
+        source = self._resolve(trace_ref)
+        try:
+            digest = trace_digest(source)
+        except OSError as exc:
+            raise SchemaError(f"unreadable trace {trace_ref}: {exc}") from None
+        key = self.store.key(digest, opts)
+        with self._lock:
+            self._seq += 1
+            job = JobRecord(id=f"job-{self._seq:06d}", seq=self._seq,
+                            trace=trace_ref, source=source, digest=digest,
+                            key=key, options=option_fields)
+            self._jobs[job.id] = job
+            self.ledger.submit(job)
+            if self.store.get(key) is not None:
+                job.status = "done"
+                job.cached = True
+                self.ledger.done(job)
+            else:
+                self._queue.put(job.id)
+        return job
+
+    def job(self, job_id: str) -> Optional[JobRecord]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[JobRecord]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def result(self, job_id: str) -> Optional[str]:
+        """The rendered analysis document of a ``done`` job, or None.
+
+        None means "no artifact": the job is not done, or its artifact
+        was evicted by store quotas (resubmit the job to regenerate) —
+        the HTTP layer distinguishes the two from the job status.
+        Degraded (partial) results are served from memory and never
+        cached, so a healthier rerun can do better.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.status != "done":
+                return None
+            doc = self._docs.get(job_id)
+        if doc is None:
+            doc = self.store.get(job.key)
+        if doc is None:
+            return None
+        return render_document(doc)
+
+    def stats(self) -> dict:
+        """Service occupancy (``GET /v1/stats``)."""
+        with self._lock:
+            counts = {state: 0 for state in
+                      ("queued", "running", "done", "failed")}
+            for job in self._jobs.values():
+                counts[job.status] = counts.get(job.status, 0) + 1
+            return {
+                "workers": len(self._threads),
+                "queue_depth": self._queue.qsize(),
+                "jobs": counts,
+                "recovered": self.recovered,
+                "store": self.store.stats(),
+            }
+
+    # ------------------------------------------------------------------
+    # Worker loop
+    # ------------------------------------------------------------------
+    def _work(self) -> None:
+        while True:
+            job_id = self._queue.get()
+            if job_id is None:
+                return
+            with self._lock:
+                job = self._jobs.get(job_id)
+                if job is None or job.status != "queued":
+                    continue  # raced by a duplicate wakeup: nothing to do
+                job.status = "running"
+                option_fields = dict(job.options)
+            error = ""
+            result = None
+            try:
+                opts = parse_options(option_fields)
+                extractor = BatchExtractor(
+                    options=opts, jobs=1, timeout=self.timeout,
+                    retries=self.retries, backoff=self.backoff,
+                    worker=analyze_one,
+                )
+                result = extractor.run([job.source]).results[0]
+            except Exception as exc:  # scheduler-level failure
+                error = f"{type(exc).__name__}: {exc}"
+            if result is not None and result.ok:
+                doc = result.summary
+                # Artifact first, then the durable "done" line: a crash
+                # between the two re-runs the job (idempotent), while
+                # the reverse order could journal a result that was
+                # never stored.
+                if doc.get("degradation", {}).get("degraded"):
+                    with self._lock:
+                        self._docs[job.id] = doc
+                else:
+                    self.store.put(job.key, doc)
+            with self._lock:
+                if result is not None:
+                    job.seconds = result.seconds
+                    job.attempts = result.attempts
+                    job.timed_out = result.timed_out
+                    if result.ok:
+                        job.status = "done"
+                        self.ledger.done(job)
+                    else:
+                        job.status = "failed"
+                        job.error = result.error
+                        self.ledger.fail(job)
+                else:
+                    job.status = "failed"
+                    job.error = error
+                    self.ledger.fail(job)

@@ -1,0 +1,88 @@
+"""Request parsing/validation and response shaping for ``repro serve``.
+
+Every endpoint's wire contract lives here, away from socket handling
+(:mod:`repro.serve.app`) and job execution (:mod:`repro.serve.jobs`):
+the HTTP layer decodes bytes, hands dicts to these validators, and
+serializes whatever they (or the service) return.  Validation failures
+raise :class:`SchemaError`, which the app maps to a 400 response with
+the message as the body — clients always learn *which* field was wrong.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.core.pipeline import PipelineOptions
+
+#: Job lifecycle states (docs/API.md documents the transitions):
+#: ``queued`` → ``running`` → ``done`` | ``failed``.  A submission whose
+#: artifact already exists is born ``done`` with ``cached: true``.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+#: PipelineOptions fields a job may set.  ``hooks`` is process-local
+#: (not expressible in JSON); everything else round-trips.
+OPTION_FIELDS = tuple(sorted(
+    f.name for f in dataclasses.fields(PipelineOptions)
+    if f.name != "hooks"
+))
+
+
+class SchemaError(ValueError):
+    """A request failed validation; ``str(exc)`` is client-safe."""
+
+
+def require_dict(payload, what: str) -> dict:
+    if not isinstance(payload, dict):
+        raise SchemaError(f"{what} must be a JSON object")
+    return payload
+
+
+def parse_options(fields: Optional[dict]) -> PipelineOptions:
+    """Validate a job's ``options`` object into :class:`PipelineOptions`.
+
+    Unknown fields and ``hooks`` are rejected by name; value validation
+    beyond field existence is deferred to extraction (an invalid value
+    fails the job with the pipeline's own error message).
+    """
+    if fields is None:
+        return PipelineOptions()
+    fields = require_dict(fields, "options")
+    if "hooks" in fields:
+        raise SchemaError("options.hooks is process-local and cannot be "
+                          "set through the service")
+    try:
+        return PipelineOptions().with_overrides(**fields)
+    except TypeError as exc:
+        raise SchemaError(
+            f"{exc}; settable fields: {', '.join(OPTION_FIELDS)}"
+        ) from None
+
+
+def parse_job_request(payload) -> tuple:
+    """``POST /v1/jobs`` body → ``(trace reference, option fields)``."""
+    payload = require_dict(payload, "job request")
+    trace = payload.get("trace")
+    if not isinstance(trace, str) or not trace:
+        raise SchemaError('job request needs a non-empty "trace" '
+                          '(an upload reference or a registered path)')
+    unknown = set(payload) - {"trace", "options"}
+    if unknown:
+        raise SchemaError(
+            f"unknown job request field(s): {', '.join(sorted(unknown))}")
+    options = payload.get("options")
+    parse_options(options)  # fail fast, before the job is journaled
+    return trace, dict(options or {})
+
+
+def parse_register_request(payload) -> str:
+    """``POST /v1/traces/register`` body → the trace path."""
+    payload = require_dict(payload, "register request")
+    path = payload.get("path")
+    if not isinstance(path, str) or not path:
+        raise SchemaError('register request needs a non-empty "path"')
+    unknown = set(payload) - {"path"}
+    if unknown:
+        raise SchemaError(
+            f"unknown register request field(s): {', '.join(sorted(unknown))}")
+    return path

@@ -1,0 +1,46 @@
+"""The service artifact store: a sharded, quota-aware structure cache.
+
+:class:`ArtifactStore` is the content-keyed
+:class:`~repro.batch.StructureCache` promoted for service duty.  The
+key stays ``sha256(trace digest + resolved result options)``, but:
+
+* entries hold **full analysis documents** (what ``repro analyze
+  --json`` prints), not compact batch summaries, and are serialized
+  with their original key order so a fetched artifact is byte-identical
+  to the CLI output for the same trace and options;
+* entries are **sharded** into subdirectories by the first
+  ``shard_prefix`` hex characters of the key (default 2 → up to 256
+  shards), bounding directory fan-in under service traffic;
+* each shard can carry its own byte quota (``max_shard_bytes``) on top
+  of the global ``max_entries``/``max_bytes`` caps, so one hot key
+  prefix cannot crowd out the rest of the store.
+
+Everything else — atomic fsync'd writes, LRU-by-mtime pruning,
+tolerance of concurrent get/put/prune across threads and processes —
+is inherited.  ``repro cache --stats/--prune`` operates on artifact
+stores unchanged (its scans cover flat and sharded layouts alike).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.batch import StructureCache
+
+
+class ArtifactStore(StructureCache):
+    """Sharded, quota-aware cache of full analysis documents."""
+
+    #: Documents must round-trip byte-identically to the CLI rendering,
+    #: so entries keep their payload key order instead of sorting.
+    _sort_keys = False
+
+    def __init__(self, directory: Union[str, Path],
+                 max_entries: Optional[int] = None,
+                 max_bytes: Optional[int] = None,
+                 shard_prefix: int = 2,
+                 max_shard_bytes: Optional[int] = None):
+        super().__init__(directory, max_entries=max_entries,
+                         max_bytes=max_bytes, shard_prefix=shard_prefix,
+                         max_shard_bytes=max_shard_bytes)

@@ -22,8 +22,8 @@ Each chunk first tries a batched fast path.  Because the writer emits
 records in sections (all execs, then all events, ...), most chunks hold
 lines of a single kind: those are validated wholesale by one capture-free
 anchored regular expression matching the writer's exact line layout, then
-parsed numerically at C speed (token stripping + one ``np.fromstring``
-pass).  Mixed chunks at section boundaries fall back to per-kind capture
+parsed numerically at C speed (token stripping + one vectorized
+str→float64 pass).  Mixed chunks at section boundaries fall back to per-kind capture
 regexes.  Any line neither path can account for — foreign field order,
 malformed JSON, a torn final chunk — sends the whole chunk through the
 per-line ``json.loads`` slow path, which also produces precise errors: a
@@ -362,9 +362,19 @@ class _ChunkedBuilder:
         if stripped.endswith("}"):
             stripped = stripped[:-1]
         ncols = len(tk.casts)
-        flat = np.fromstring(stripped, dtype=np.float64, sep=" ")
+        try:
+            # One vectorized str->float64 pass over the split tokens.
+            # (Replaces the deprecated ``np.fromstring(..., sep=" ")``;
+            # both parse with correctly-rounded strtod semantics, so the
+            # values are bit-identical — pinned by the chunk-size
+            # invariance twins.  fromstring silently stopped at a bad
+            # token and the size check below caught it; np.array raises
+            # instead, which lands on the same slow-path re-parse.)
+            flat = np.array(stripped.split(), dtype=np.float64)
+        except ValueError:
+            return None  # token the vectorized parser rejected
         if flat.size != n * ncols:
-            return None  # Infinity/NaN literal the C parser rejected
+            return None  # record layout the column count doesn't explain
         table = flat.reshape(n, ncols)
         arrays = []
         for j, cast in enumerate(tk.casts):

@@ -105,3 +105,49 @@ def test_in_memory_traces_accepted():
     assert trace_digest(trace) == trace_digest(trace)
     again = BatchExtractor(cache=cache).run([trace])
     assert again.results[0].cached
+
+
+def test_sharded_layout_reads_and_writes(tmp_path):
+    """shard_prefix places entries in key-prefix subdirectories, and a
+    sharded cache still reads entries a flat (legacy) cache wrote."""
+    directory = tmp_path / "cache"
+    flat = StructureCache(directory)  # shard_prefix=0: flat layout
+    flat.put("ab" + "0" * 62, {"phases": 1})
+    assert (directory / ("ab" + "0" * 62 + ".json")).is_file()
+
+    sharded = StructureCache(directory, shard_prefix=2)
+    # Legacy flat entry is still a hit through the sharded instance.
+    assert sharded.get("ab" + "0" * 62) == {"phases": 1}
+    sharded.put("cd" + "1" * 62, {"phases": 2})
+    assert (directory / "cd" / ("cd" + "1" * 62 + ".json")).is_file()
+
+    stats = sharded.stats()
+    assert stats["disk_entries"] == 2
+    assert stats["shard_prefix"] == 2
+    assert stats["shards"]["cd"]["entries"] == 1
+
+
+def test_per_shard_byte_quota_prunes_lru_within_shard(tmp_path):
+    cache = StructureCache(tmp_path / "cache", shard_prefix=2)
+    big = {"fill": ["x" * 64] * 8}
+    # Three entries in shard "aa", one in shard "bb".
+    keys_aa = ["aa" + f"{i}" * 62 for i in (1, 2, 3)]
+    key_bb = "bb" + "4" * 62
+    for key in keys_aa + [key_bb]:
+        cache.put(key, big)
+    # Pin distinct mtimes so LRU order is deterministic even on coarse
+    # filesystem timestamp granularity.
+    import os as _os
+    for age, key in enumerate(keys_aa + [key_bb]):
+        path = tmp_path / "cache" / key[:2] / f"{key}.json"
+        _os.utime(path, (1_000_000 + age, 1_000_000 + age))
+    entry_bytes = cache.stats()["shards"]["bb"]["bytes"]
+
+    # A quota that fits one entry per shard evicts the two oldest from
+    # "aa" and leaves "bb" untouched.
+    cache.prune(max_shard_bytes=entry_bytes)
+    stats = cache.stats()
+    assert stats["shards"]["aa"]["bytes"] <= entry_bytes
+    assert stats["shards"]["bb"]["entries"] == 1
+    assert cache.get(key_bb) is not None
+    assert cache.get(keys_aa[-1]) is not None  # newest in "aa" survives

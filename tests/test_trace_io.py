@@ -90,3 +90,28 @@ def test_blank_lines_tolerated():
     trace = read_trace(io.StringIO(data))
     assert trace.num_pes == 2
     assert trace.events == []
+
+
+def test_chunked_numeric_parse_emits_no_deprecation_warning(
+        tmp_path, jacobi_trace):
+    """The vectorized fast path must not rely on deprecated NumPy text
+    parsing (``np.fromstring``): a chunked read under
+    ``error::DeprecationWarning`` parses cleanly and matches the eager
+    reader record-for-record."""
+    import warnings
+
+    from repro.trace.reader import read_trace_chunked
+
+    path = tmp_path / "t.jsonl"
+    write_trace(jacobi_trace, path)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        chunked = read_trace_chunked(path)
+    eager = read_trace(path)
+    assert len(chunked.executions) == len(eager.executions)
+    assert len(chunked.events) == len(eager.events)
+    # Bit-identical numeric columns, not merely equal counts.
+    assert all(a.start == b.start and a.end == b.end
+               for a, b in zip(chunked.executions, eager.executions))
+    assert all(a.time == b.time
+               for a, b in zip(chunked.events, eager.events))
