@@ -57,6 +57,7 @@ from multiprocessing import connection as _mp_connection
 from pathlib import Path
 from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.chaos.fs import REAL_FS
 from repro.core.pipeline import (
     PipelineOptions,
     PipelineStats,
@@ -228,8 +229,10 @@ class StructureCache:
                  max_entries: Optional[int] = None,
                  max_bytes: Optional[int] = None,
                  shard_prefix: int = 0,
-                 max_shard_bytes: Optional[int] = None):
+                 max_shard_bytes: Optional[int] = None,
+                 fs=None):
         self.directory = Path(directory) if directory is not None else None
+        self.fs = fs if fs is not None else REAL_FS
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
         if max_entries is not None and max_entries < 1:
@@ -318,13 +321,15 @@ class StructureCache:
                     # Flush + fsync before the rename: os.replace is
                     # atomic for readers but not durable, and a crash
                     # right after it can otherwise surface an empty
-                    # cache entry.
-                    with open(tmp, "w") as handle:
+                    # cache entry.  All four ops go through the fs seam
+                    # so injected ENOSPC/EIO/torn writes land exactly
+                    # where a real disk would fail.
+                    with self.fs.open(str(tmp), "w") as handle:
                         handle.write(json.dumps(summary,
                                                 sort_keys=self._sort_keys))
                         handle.flush()
-                        os.fsync(handle.fileno())
-                    os.replace(tmp, path)
+                        self.fs.fsync(handle.fileno())
+                    self.fs.replace(str(tmp), str(path))
                 finally:
                     if tmp.exists():  # replace failed midway: don't litter
                         try:

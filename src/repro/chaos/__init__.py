@@ -1,0 +1,25 @@
+"""repro.chaos — deterministic fault injection for the service stack.
+
+See :mod:`repro.chaos.plan` for the fault model and
+:mod:`repro.chaos.fs` for the filesystem ops seam.
+"""
+
+from repro.chaos.fs import REAL_FS, ChaosFs, FsOps
+from repro.chaos.plan import (
+    FAULT_KINDS,
+    ChaosCrash,
+    FaultEvent,
+    FaultPlan,
+    FaultSpec,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "REAL_FS",
+    "ChaosCrash",
+    "ChaosFs",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSpec",
+    "FsOps",
+]

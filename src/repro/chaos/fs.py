@@ -1,0 +1,123 @@
+"""Filesystem ops seam: real passthrough, or chaos-instrumented.
+
+Durability-critical writers (:class:`repro.resilience.journal.JournalWriter`,
+:class:`repro.batch.StructureCache`, the serve upload path) take an
+``fs=`` object exposing exactly the four operations their crash-safety
+story is built on — ``open``, ``fsync``, ``replace``, ``unlink``.  The
+default :data:`REAL_FS` delegates straight to the stdlib and costs one
+attribute lookup per call; a :class:`ChaosFs` bound to a
+:class:`~repro.chaos.plan.FaultPlan` consults a fault site before each
+operation, so a test can schedule ``ENOSPC`` on the third fsync of the
+ledger, or a torn write in the middle of an artifact-store entry, and
+then prove the recovery path — instead of hoping the disk cooperates.
+
+Site names are ``{scope}.{op}``: a ``ChaosFs(plan, "ledger")`` consults
+``ledger.open``, ``ledger.write``, ``ledger.fsync``, ``ledger.replace``
+and ``ledger.unlink``.  The ``write`` site is consulted per
+``file.write()`` call on handles opened through the seam; a ``torn``
+fault there writes a prefix of the buffer and raises ``EIO`` — the
+half-written bytes stay on disk for the reader's repair path to find.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+from typing import IO, TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.chaos.plan import FaultPlan
+
+
+class FsOps:
+    """Straight-through filesystem operations (the default seam)."""
+
+    def open(self, path: str, mode: str = "rb") -> IO[Any]:
+        return open(path, mode)
+
+    def fsync(self, fd: int) -> None:
+        os.fsync(fd)
+
+    def replace(self, src: str, dst: str) -> None:
+        # The seam exists so callers can order fsync-then-replace through
+        # one object; the ordering lives at the call site, not here.
+        os.replace(src, dst)  # repro-lint: disable=CONC001 reason=passthrough seam; durability ordering is enforced at the call sites that use this ops object
+
+    def unlink(self, path: str) -> None:
+        os.unlink(path)
+
+
+#: Shared passthrough instance — the default for every ``fs=`` parameter.
+REAL_FS = FsOps()
+
+
+class _ChaosFile:
+    """File handle wrapper that injects write faults.
+
+    Consults ``{scope}.write`` before every ``write()``.  A ``torn``
+    fault writes roughly half the buffer (and flushes it, so the torn
+    bytes actually reach the OS) before raising ``EIO``; ``enospc`` and
+    ``eio`` faults raise before any byte is written.  Everything else
+    (flush, fileno, close, context-manager use) delegates untouched.
+    """
+
+    def __init__(self, fh: IO[Any], plan: "FaultPlan", scope: str) -> None:
+        self._fh = fh
+        self._plan = plan
+        self._scope = scope
+
+    def write(self, data: Any) -> int:
+        spec = self._plan.trip(self._scope + ".write")
+        if spec is not None and spec.kind == "torn":
+            prefix = data[: max(1, len(data) // 2)] if len(data) else data
+            self._fh.write(prefix)
+            self._fh.flush()
+            raise OSError(
+                errno.EIO,
+                f"chaos: torn write at {self._scope}.write "
+                f"({len(prefix)}/{len(data)} bytes reached the OS)")
+        return self._fh.write(data)
+
+    def __enter__(self) -> "_ChaosFile":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self._fh.close()
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._fh, name)
+
+
+class ChaosFs(FsOps):
+    """An :class:`FsOps` that consults a fault plan before each op."""
+
+    def __init__(self, plan: "FaultPlan", scope: str) -> None:
+        self.plan = plan
+        self.scope = scope
+
+    def open(self, path: str, mode: str = "rb") -> IO[Any]:
+        self.plan.trip(self.scope + ".open")
+        fh = open(path, mode)
+        if any(flag in mode for flag in ("w", "a", "+", "x")):
+            return _ChaosFile(fh, self.plan, self.scope)  # type: ignore[return-value]
+        return fh
+
+    def fsync(self, fd: int) -> None:
+        spec = self.plan.trip(self.scope + ".fsync")
+        if spec is not None and spec.kind == "torn":
+            # A torn fsync is data that never became durable: surface it
+            # as the IO error the caller's recovery path must absorb.
+            raise OSError(errno.EIO,
+                          f"chaos: fsync lost at {self.scope}.fsync")
+        os.fsync(fd)
+
+    def replace(self, src: str, dst: str) -> None:
+        spec = self.plan.trip(self.scope + ".replace")
+        if spec is not None and spec.kind == "torn":
+            raise OSError(errno.EIO,
+                          f"chaos: replace lost at {self.scope}.replace")
+        super().replace(src, dst)
+
+    def unlink(self, path: str) -> None:
+        self.plan.trip(self.scope + ".unlink")
+        os.unlink(path)

@@ -521,6 +521,17 @@ def cmd_cache(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import JobService, run_server
 
+    chaos = None
+    if args.chaos:
+        from repro.chaos import FaultPlan
+
+        try:
+            chaos = FaultPlan(specs=tuple(args.chaos), seed=args.chaos_seed)
+        except ValueError as exc:
+            print(f"serve: bad --chaos spec: {exc}", file=sys.stderr)
+            return 2
+        print(f"serve: CHAOS MODE — {len(args.chaos)} fault spec(s), "
+              f"seed {args.chaos_seed} (testing only)", file=sys.stderr)
     service = JobService(
         args.data_dir,
         workers=args.workers,
@@ -530,9 +541,87 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_bytes=args.max_bytes,
         shard_prefix=args.shard_prefix,
         max_shard_bytes=args.shard_bytes,
+        max_queue=args.max_queue,
+        max_queue_age=args.max_queue_age,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        chaos=chaos,
     )
-    run_server(service, host=args.host, port=args.port)
+    run_server(service, host=args.host, port=args.port,
+               drain_timeout=args.drain_timeout,
+               read_timeout=args.read_timeout,
+               handler_timeout=args.handler_timeout)
     return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.serve.client import ClientError, ServeClient
+
+    client = ServeClient(args.url, timeout=args.timeout,
+                         retries=args.retries, backoff=args.backoff)
+    try:
+        if args.stats:
+            stats = client.stats()
+            if args.json:
+                print(json.dumps(stats, indent=1))
+            else:
+                jobs = stats.get("jobs", {})
+                job_line = ", ".join(f"{k}: {v}" for k, v in jobs.items())
+                rejected = stats.get("rejected", {})
+                breaker = stats.get("breaker", {})
+                health = stats.get("health", {})
+                print(f"serve {args.url}: {job_line}")
+                print(f" queue depth {stats.get('queue_depth', 0)}"
+                      f"/{stats.get('max_queue') or 'unbounded'}, "
+                      f"workers {stats.get('workers', 0)}, "
+                      f"recovered {stats.get('recovered', 0)}")
+                print(f" rejected: queue_full "
+                      f"{rejected.get('queue_full', 0)}, breaker "
+                      f"{rejected.get('breaker', 0)}; shed: expired "
+                      f"{stats.get('shed', {}).get('expired', 0)}")
+                print(f" breaker {breaker.get('state', '?')} "
+                      f"(opened {breaker.get('opened', 0)}x, threshold "
+                      f"{breaker.get('threshold', '?')})")
+                print(f" ledger {stats.get('ledger', {}).get('mode', '?')}, "
+                      f"health {health.get('status', '?')}"
+                      + ("".join(f"\n  degraded[{k}]: {v}" for k, v in
+                                 (health.get('reasons') or {}).items())))
+            return 0
+        if args.trace is None:
+            print("submit: a trace file is required (or use --stats)",
+                  file=sys.stderr)
+            return 2
+        options = {}
+        if args.options:
+            try:
+                options = json.loads(args.options)
+            except ValueError as exc:
+                print(f"submit: --options is not valid JSON: {exc}",
+                      file=sys.stderr)
+                return 2
+        data = Path(args.trace).read_bytes()
+        ref = client.upload(data)["trace"]
+        record = client.submit(ref, options)
+        if args.no_wait:
+            print(json.dumps(record, indent=1))
+            return 0
+        if record["status"] not in ("done", "failed", "expired"):
+            record = client.wait(record["job"], deadline=args.deadline,
+                                 poll=args.poll)
+        if record["status"] != "done":
+            print(f"submit: job {record['job']} {record['status']}: "
+                  f"{record.get('error', '')}", file=sys.stderr)
+            return 1
+        sys.stdout.write(client.result(record["job"]))
+        return 0
+    except ClientError as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 1
 
 
 def _repair_tag(repair: dict) -> str:
@@ -780,7 +869,70 @@ def build_parser() -> argparse.ArgumentParser:
                           "(0 = flat layout)")
     srv.add_argument("--shard-bytes", type=_positive_int, default=None,
                      help="byte quota per artifact shard")
+    srv.add_argument("--max-queue", type=_positive_int, default=None,
+                     help="admission bound: reject submissions with 429 + "
+                          "Retry-After once this many jobs are waiting")
+    srv.add_argument("--max-queue-age", type=_positive_float, default=None,
+                     help="shed jobs older than this (seconds) at dequeue "
+                          "with status 'expired' instead of running them")
+    srv.add_argument("--breaker-threshold", type=_positive_int, default=5,
+                     help="consecutive distinct-job worker crashes that "
+                          "open the circuit breaker (503 + Retry-After)")
+    srv.add_argument("--breaker-cooldown", type=_positive_float, default=30.0,
+                     help="seconds the breaker stays open before a "
+                          "half-open probe job is admitted")
+    srv.add_argument("--read-timeout", type=_positive_float, default=30.0,
+                     help="per-connection socket read/write deadline "
+                          "(seconds; slow-loris defense)")
+    srv.add_argument("--handler-timeout", type=_positive_float, default=None,
+                     help="per-request handler deadline (seconds; 503 on "
+                          "overrun)")
+    srv.add_argument("--drain-timeout", type=_positive_float, default=None,
+                     help="on SIGTERM/SIGINT, wait up to this many seconds "
+                          "for in-flight jobs before exiting (default: "
+                          "wait until drained)")
+    srv.add_argument("--chaos", action="append", default=None,
+                     metavar="SITE:KIND[:k=v,...]",
+                     help="TESTING ONLY - inject a deterministic fault "
+                          "(repeatable), e.g. store.fsync:enospc:at=2 or "
+                          "worker.run:crash:at=1")
+    srv.add_argument("--chaos-seed", type=int, default=0,
+                     help="seed for rate-based --chaos faults")
     srv.set_defaults(func=cmd_serve)
+
+    sbm = sub.add_parser(
+        "submit",
+        help="submit a trace to a running extraction service and print "
+             "the result (retries through backpressure)",
+    )
+    sbm.add_argument("trace", nargs="?", default=None,
+                     help="trace file to upload and analyze")
+    sbm.add_argument("--url", default="http://127.0.0.1:8177",
+                     help="service base URL")
+    sbm.add_argument("--options", default=None, metavar="JSON",
+                     help='pipeline options object, e.g. '
+                          '\'{"order": "physical"}\'')
+    sbm.add_argument("--timeout", type=_positive_float, default=30.0,
+                     help="per-request socket timeout (seconds)")
+    sbm.add_argument("--retries", type=_non_negative_int, default=5,
+                     help="retry budget for 408/429/503 and transport "
+                          "failures (capped exponential backoff + jitter)")
+    sbm.add_argument("--backoff", type=_positive_float, default=0.25,
+                     help="base backoff delay (seconds)")
+    sbm.add_argument("--deadline", type=_positive_float, default=120.0,
+                     help="seconds to wait for the job to finish")
+    sbm.add_argument("--poll", type=_positive_float, default=0.2,
+                     help="job status poll interval (seconds)")
+    sbm.add_argument("--no-wait", action="store_true",
+                     help="print the job record immediately instead of "
+                          "waiting for the result")
+    sbm.add_argument("--stats", action="store_true",
+                     help="print the service's backpressure counters "
+                          "(queue depth, rejections, breaker state) "
+                          "instead of submitting")
+    sbm.add_argument("--json", action="store_true",
+                     help="with --stats: emit machine-readable output")
+    sbm.set_defaults(func=cmd_submit)
 
     flt = sub.add_parser(
         "faults",

@@ -16,7 +16,7 @@ import ast
 import re
 from typing import List, Optional, Tuple
 
-from repro.lint.engine import FileContext, Rule
+from repro.lint.engine import SEVERITY_WARNING, FileContext, Rule
 
 _LOCKISH_RE = re.compile(r"(lock|mutex|sem(aphore)?|cond(ition)?)s?$",
                          re.IGNORECASE)
@@ -238,6 +238,64 @@ class PerCandidateMergeLoopRule(Rule):
                    f"through repro.core.unionfind.batch_union")
 
 
+#: Path fragment CONC005 scopes to: the HTTP service layer, where an
+#: unbounded socket/stream read hands a slow or malicious peer
+#: unlimited server (or client) time — the slow-loris shape.
+SERVE_PATH_FRAGMENT = "/serve/"
+
+#: asyncio.StreamReader methods that block until the peer sends bytes.
+STREAM_READ_METHODS = frozenset({
+    "read", "readline", "readexactly", "readuntil",
+})
+
+
+class BlockingReadDeadlineRule(Rule):
+    id = "CONC005"
+    severity = SEVERITY_WARNING
+    title = "stream read without a deadline in a serve module"
+    rationale = (
+        "A socket read with no timeout lets one stalled peer pin a "
+        "connection (and its coroutine or thread) forever — the "
+        "slow-loris failure the serve front end must shed. Wrap awaited "
+        "stream reads in asyncio.wait_for(...) under the connection's "
+        "read deadline, and give every urlopen() an explicit timeout=."
+    )
+
+    def _in_scope(self, ctx: FileContext) -> bool:
+        return SERVE_PATH_FRAGMENT in ctx.path.replace("\\", "/")
+
+    def visit_Await(self, node: ast.Await, ctx: FileContext) -> None:
+        if not self._in_scope(ctx):
+            return
+        value = node.value
+        if (isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and value.func.attr in STREAM_READ_METHODS):
+            # In the sanctioned idiom the read call is an *argument* of
+            # asyncio.wait_for(...), so its parent is that Call, not the
+            # Await — a directly-awaited read has no deadline.
+            ctx.report(self, value,
+                       f"awaited {value.func.attr}() with no deadline; a "
+                       f"stalled peer blocks this coroutine forever — "
+                       f"wrap the read in asyncio.wait_for(...) under "
+                       f"the connection's read timeout")
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        if not self._in_scope(ctx):
+            return
+        qual = ctx.qualname(node.func) or ""
+        if qual.rsplit(".", 1)[-1] != "urlopen":
+            return
+        if any(kw.arg == "timeout" for kw in node.keywords):
+            return
+        if len(node.args) >= 3:  # urlopen(url, data, timeout, ...)
+            return
+        ctx.report(self, node,
+                   "urlopen() without timeout= blocks forever on an "
+                   "unresponsive server; pass an explicit timeout")
+
+
 def concurrency_rules() -> Tuple[Rule, ...]:
     return (FsyncBeforeReplaceRule(), ModuleMutableStateRule(),
-            LockDisciplineRule(), PerCandidateMergeLoopRule())
+            LockDisciplineRule(), PerCandidateMergeLoopRule(),
+            BlockingReadDeadlineRule())

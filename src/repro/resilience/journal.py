@@ -34,6 +34,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from repro.chaos.fs import REAL_FS, FsOps
+
 JOURNAL_VERSION = 1
 
 
@@ -102,10 +104,16 @@ class JournalWriter:
     Opening with ``append=True`` keeps the existing file and terminates
     a torn tail (so the next line starts cleanly); otherwise the file is
     truncated.
+
+    ``fs`` is the filesystem ops seam (:class:`repro.chaos.fs.FsOps`);
+    the default delegates straight to the stdlib, a chaos fs injects
+    scheduled faults so the durability story is provable under test.
     """
 
-    def __init__(self, path: Union[str, Path], append: bool = False) -> None:
+    def __init__(self, path: Union[str, Path], append: bool = False,
+                 fs: Optional[FsOps] = None) -> None:
         self.path = Path(path)
+        self.fs = fs if fs is not None else REAL_FS
         self.path.parent.mkdir(parents=True, exist_ok=True)
         torn_tail = False
         if append:
@@ -117,7 +125,7 @@ class JournalWriter:
                         torn_tail = fh.read(1) != b"\n"
             except OSError:
                 pass  # no existing file: nothing to terminate
-        self._fh = open(self.path, "ab" if append else "wb")
+        self._fh = self.fs.open(str(self.path), "ab" if append else "wb")
         if torn_tail:
             # A kill -9 mid-append left an unterminated final line;
             # terminate it so the next entry starts on its own line
@@ -130,7 +138,7 @@ class JournalWriter:
         data = json.dumps(entry, sort_keys=True).encode("utf-8") + b"\n"
         self._fh.write(data)
         self._fh.flush()
-        os.fsync(self._fh.fileno())
+        self.fs.fsync(self._fh.fileno())
 
     def close(self) -> None:
         try:
@@ -157,7 +165,7 @@ class RunJournal:
     """
 
     def __init__(self, path: Union[str, Path], options_token: str = "",
-                 resume: bool = False) -> None:
+                 resume: bool = False, fs: Optional[FsOps] = None) -> None:
         self.path = Path(path)
         self.options_token = options_token
         self.state = read_journal(self.path) if resume else JournalState()
@@ -169,7 +177,7 @@ class RunJournal:
                 f"incompatible results (use a fresh journal, or rerun with "
                 f"the original options)"
             )
-        self._writer = JournalWriter(self.path, append=resume)
+        self._writer = JournalWriter(self.path, append=resume, fs=fs)
         self.record("meta", version=JOURNAL_VERSION, options=options_token)
 
     # ------------------------------------------------------------------

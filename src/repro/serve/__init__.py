@@ -17,7 +17,14 @@ framework) and splits into:
   :class:`~repro.resilience.journal.JournalWriter`) and
   :class:`JobService`, the queue + worker threads + artifact store
   behind the endpoints;
-* :mod:`repro.serve.app` — the asyncio HTTP server itself.
+* :mod:`repro.serve.app` — the asyncio HTTP server itself, with
+  per-connection read/write deadlines, per-request handler deadlines,
+  and graceful SIGTERM/SIGINT drain;
+* :mod:`repro.serve.breaker` — :class:`CircuitBreaker` around the
+  worker pool (repeated worker crashes open it; 503 + Retry-After);
+* :mod:`repro.serve.client` — :class:`ServeClient`, the retrying
+  stdlib HTTP client behind ``repro submit`` (capped exponential
+  backoff with full jitter, honors ``Retry-After``).
 
 Job results are byte-identical to ``repro analyze --json`` for the same
 trace and options (both render :func:`repro.report.analysis_document`),
@@ -29,19 +36,31 @@ endpoint table, job lifecycle, and store layout.
 """
 
 from repro.serve.app import ExtractionApp, run_server, start_server_thread
-from repro.serve.jobs import JobLedger, JobRecord, JobService, read_job_ledger
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.client import ClientError, ServeClient
+from repro.serve.jobs import (
+    JobLedger,
+    JobRecord,
+    JobService,
+    OverloadError,
+    read_job_ledger,
+)
 from repro.serve.schemas import JOB_STATES, SchemaError, parse_options
 from repro.serve.store import ArtifactStore
 from repro.serve.worker import analyze_one
 
 __all__ = [
     "ArtifactStore",
+    "CircuitBreaker",
+    "ClientError",
     "ExtractionApp",
     "JOB_STATES",
     "JobLedger",
     "JobRecord",
     "JobService",
+    "OverloadError",
     "SchemaError",
+    "ServeClient",
     "analyze_one",
     "parse_options",
     "read_job_ledger",

@@ -23,16 +23,30 @@ default executor so one large submission cannot stall the accept loop;
 extraction itself never runs on the event loop — it lives in
 :class:`~repro.serve.jobs.JobService` worker threads and their
 ``BatchExtractor`` child processes.
+
+Overload & failure behavior (the full matrix is in
+``docs/ROBUSTNESS.md``): every socket read and write carries a deadline
+(a stalled client gets ``408`` while a response is still possible, then
+the connection closes — slow-loris defense), handlers run under an
+optional per-request deadline (``503`` on overrun), a full job queue
+answers ``429`` and an open worker-pool circuit breaker ``503`` — both
+with ``Retry-After`` — and ``/healthz`` reports ``degraded`` with
+reasons when the service is running impaired.  ``run_server`` installs
+SIGTERM/SIGINT handlers for graceful drain: stop accepting, let
+in-flight jobs reach a durable ledger line (up to ``drain_timeout``),
+close the ledger, exit 0.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import math
+import signal
 import threading
-from typing import Optional, Tuple
+from typing import Awaitable, Optional, Tuple, TypeVar
 
-from repro.serve.jobs import JobService
+from repro.serve.jobs import JobService, OverloadError
 from repro.serve.schemas import (
     SchemaError,
     parse_job_request,
@@ -44,30 +58,66 @@ MAX_BODY_BYTES = 1 << 30
 #: Largest accepted request line + header block.
 MAX_HEAD_BYTES = 1 << 16
 
+#: Default per-connection socket read/write deadline (seconds).
+DEFAULT_IO_TIMEOUT = 30.0
+
 _REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
-            405: "Method Not Allowed", 409: "Conflict", 410: "Gone",
-            413: "Payload Too Large", 500: "Internal Server Error"}
+            405: "Method Not Allowed", 408: "Request Timeout",
+            409: "Conflict", 410: "Gone", 413: "Payload Too Large",
+            429: "Too Many Requests", 500: "Internal Server Error",
+            503: "Service Unavailable"}
+
+_T = TypeVar("_T")
 
 
 class HttpError(Exception):
-    """Terminate request handling with this status + message body."""
+    """Terminate request handling with this status + message body.
 
-    def __init__(self, status: int, message: str):
+    ``retry_after`` (seconds) adds a ``Retry-After`` header — set for
+    backpressure statuses (429/503) so clients can pace themselves.
+    """
+
+    def __init__(self, status: int, message: str,
+                 retry_after: Optional[float] = None):
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after
 
 
 class ExtractionApp:
-    """Routes HTTP requests onto a :class:`JobService`."""
+    """Routes HTTP requests onto a :class:`JobService`.
 
-    def __init__(self, service: JobService):
+    ``read_timeout``/``write_timeout`` bound every socket operation of a
+    connection (None disables — only for tests that need a stalled
+    server); ``handler_timeout`` bounds request handling after the
+    request is fully read (None = no handler deadline).
+    """
+
+    def __init__(self, service: JobService,
+                 read_timeout: Optional[float] = DEFAULT_IO_TIMEOUT,
+                 write_timeout: Optional[float] = DEFAULT_IO_TIMEOUT,
+                 handler_timeout: Optional[float] = None):
         self.service = service
+        self.read_timeout = read_timeout
+        self.write_timeout = write_timeout
+        self.handler_timeout = handler_timeout
 
     # ------------------------------------------------------------------
     # HTTP plumbing
     # ------------------------------------------------------------------
+    async def _timed_read(self, coro: "Awaitable[_T]", what: str) -> _T:
+        """Await a socket read under the connection's read deadline."""
+        if self.read_timeout is None:
+            return await coro
+        try:
+            return await asyncio.wait_for(coro, self.read_timeout)
+        except asyncio.TimeoutError:
+            raise HttpError(
+                408, f"timed out reading {what} "
+                     f"(limit {self.read_timeout:g}s)") from None
+
     async def _read_request(self, reader) -> Tuple[str, str, dict, bytes]:
-        line = await reader.readline()
+        line = await self._timed_read(reader.readline(), "request line")
         if not line:
             raise ConnectionError("client closed before sending a request")
         parts = line.decode("latin-1").split()
@@ -77,7 +127,7 @@ class ExtractionApp:
         headers = {}
         head_bytes = len(line)
         while True:
-            header = await reader.readline()
+            header = await self._timed_read(reader.readline(), "headers")
             head_bytes += len(header)
             if head_bytes > MAX_HEAD_BYTES:
                 raise HttpError(400, "header block too large")
@@ -93,17 +143,23 @@ class ExtractionApp:
             raise HttpError(400, "malformed Content-Length")
         if length > MAX_BODY_BYTES:
             raise HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
-        body = await reader.readexactly(length) if length else b""
+        body = (await self._timed_read(reader.readexactly(length), "body")
+                if length else b"")
         return method, target, headers, body
 
     @staticmethod
     def _response(status: int, body: bytes,
-                  content_type: str = "application/json") -> bytes:
+                  content_type: str = "application/json",
+                  retry_after: Optional[float] = None) -> bytes:
         reason = _REASONS.get(status, "Unknown")
         head = (f"HTTP/1.1 {status} {reason}\r\n"
                 f"Content-Type: {content_type}\r\n"
-                f"Content-Length: {len(body)}\r\n"
-                f"Connection: close\r\n\r\n")
+                f"Content-Length: {len(body)}\r\n")
+        if retry_after is not None:
+            # Integer seconds per RFC 9110; round up so "0.4s" doesn't
+            # invite an immediate, pointless retry.
+            head += f"Retry-After: {max(1, math.ceil(retry_after))}\r\n"
+        head += "Connection: close\r\n\r\n"
         return head.encode("latin-1") + body
 
     @staticmethod
@@ -112,13 +168,27 @@ class ExtractionApp:
 
     async def handle(self, reader, writer) -> None:
         """One connection: read a request, route it, respond, close."""
+        retry_after: Optional[float] = None
         try:
             try:
                 method, target, _headers, body = (
                     await self._read_request(reader))
-                status, payload = await self._route(method, target, body)
+                if self.handler_timeout is None:
+                    status, payload = await self._route(method, target, body)
+                else:
+                    try:
+                        status, payload = await asyncio.wait_for(
+                            self._route(method, target, body),
+                            self.handler_timeout)
+                    except asyncio.TimeoutError:
+                        raise HttpError(
+                            503,
+                            f"handler deadline exceeded "
+                            f"({self.handler_timeout:g}s)",
+                            retry_after=self.handler_timeout) from None
             except HttpError as exc:
                 status = exc.status
+                retry_after = exc.retry_after
                 payload = self._json({"error": str(exc)})
             except (ConnectionError, asyncio.IncompleteReadError):
                 return  # client went away: nothing to answer
@@ -126,8 +196,18 @@ class ExtractionApp:
                 status = 500
                 payload = self._json(
                     {"error": f"{type(exc).__name__}: {exc}"})
-            writer.write(self._response(status, payload))
-            await writer.drain()
+            writer.write(self._response(status, payload,
+                                        retry_after=retry_after))
+            try:
+                if self.write_timeout is None:
+                    await writer.drain()
+                else:
+                    # A client that stops reading cannot pin the
+                    # connection open forever: drop it at the deadline.
+                    await asyncio.wait_for(writer.drain(),
+                                           self.write_timeout)
+            except (asyncio.TimeoutError, ConnectionError):
+                pass
         finally:
             try:
                 writer.close()
@@ -150,7 +230,13 @@ class ExtractionApp:
         try:
             if path == "/healthz" and method == "GET":
                 stats = self.service.stats()
-                return 200, self._json({"ok": True, "jobs": stats["jobs"]})
+                health = stats.get("health", {"status": "ok", "reasons": {}})
+                return 200, self._json({
+                    "ok": health["status"] == "ok",
+                    "status": health["status"],
+                    "reasons": health["reasons"],
+                    "jobs": stats["jobs"],
+                })
             if path == "/v1/stats" and method == "GET":
                 return 200, self._json(self.service.stats())
             if path == "/v1/traces" and method == "POST":
@@ -173,6 +259,11 @@ class ExtractionApp:
                     {"jobs": [j.to_dict() for j in self.service.jobs()]})
             if path.startswith("/v1/jobs/"):
                 return await self._route_job(method, path, loop)
+        except OverloadError as exc:
+            # Admission control / circuit breaker: 429 or 503 with a
+            # Retry-After hint; nothing was journaled for this request.
+            raise HttpError(exc.status, str(exc),
+                            retry_after=exc.retry_after) from None
         except SchemaError as exc:
             raise HttpError(400, str(exc)) from None
         known = {"/healthz", "/v1/stats", "/v1/traces", "/v1/traces/register",
@@ -209,13 +300,25 @@ class ExtractionApp:
 # Entry points
 # ----------------------------------------------------------------------
 async def _serve_async(app: ExtractionApp, host: str, port: int,
-                       ready=None) -> None:
+                       ready=None, stop_event=None) -> None:
     server = await asyncio.start_server(app.handle, host, port)
     bound = server.sockets[0].getsockname()[1]
     if ready is not None:
         ready(bound)
+    if stop_event is None:
+        async with server:
+            await server.serve_forever()
+        return
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, stop_event.set)
+        except (NotImplementedError, RuntimeError):
+            pass  # platform without signal handlers: Ctrl-C still works
     async with server:
-        await server.serve_forever()
+        # Returning closes the listening sockets (no new connections);
+        # the caller then drains in-flight jobs before process exit.
+        await stop_event.wait()
 
 
 def _announce_stdout(line: str) -> None:
@@ -223,37 +326,59 @@ def _announce_stdout(line: str) -> None:
 
 
 def run_server(service: JobService, host: str = "127.0.0.1",
-               port: int = 8177, announce=_announce_stdout) -> None:
+               port: int = 8177, announce=_announce_stdout,
+               drain_timeout: Optional[float] = None,
+               read_timeout: Optional[float] = DEFAULT_IO_TIMEOUT,
+               handler_timeout: Optional[float] = None) -> None:
     """Run the service until interrupted (the ``repro serve`` body).
 
     ``announce(line)`` is called once with the ready line (carrying the
     actually-bound port — pass ``port=0`` for an ephemeral one), which
     clients and tests can wait for.
+
+    SIGTERM and SIGINT trigger graceful drain: stop accepting, wait up
+    to ``drain_timeout`` seconds (None = forever) for queued and
+    running jobs to reach a durable terminal ledger line, close the
+    ledger, return normally (exit code 0).
     """
-    app = ExtractionApp(service)
+    app = ExtractionApp(service, read_timeout=read_timeout,
+                        handler_timeout=handler_timeout)
     service.start()
 
     def ready(bound: int) -> None:
         announce(f"repro serve: listening on http://{host}:{bound} "
                  f"(data: {service.data_dir}, workers: {service.workers})")
 
+    async def main() -> None:
+        await _serve_async(app, host, port, ready, asyncio.Event())
+
     try:
-        asyncio.run(_serve_async(app, host, port, ready))
+        asyncio.run(main())
+        # Reached via SIGTERM/SIGINT (the stop event): the acceptor is
+        # closed, nothing new can arrive — drain what was accepted.
+        if service.drain(drain_timeout):
+            announce("repro serve: drained; shutting down")
+        else:
+            announce(f"repro serve: drain timed out after "
+                     f"{drain_timeout:g}s; shutting down with work "
+                     f"still queued (it will resume on restart)")
     except KeyboardInterrupt:
-        pass
+        pass  # no handler installed (non-unix): skip the drain
     finally:
         service.stop()
 
 
 def start_server_thread(service: JobService, host: str = "127.0.0.1",
-                        port: int = 0):
+                        port: int = 0, **app_kwargs):
     """Start the app in a daemon thread; returns ``(bound_port, stop)``.
 
     The embedding entry point (tests, notebooks): the caller keeps the
     thread alive, talks HTTP to ``bound_port``, and calls ``stop()`` to
-    shut the loop and the service workers down.
+    shut the loop and the service workers down.  ``app_kwargs`` forward
+    to :class:`ExtractionApp` (``read_timeout``, ``write_timeout``,
+    ``handler_timeout``).
     """
-    app = ExtractionApp(service)
+    app = ExtractionApp(service, **app_kwargs)
     service.start()
     started = threading.Event()
     state: dict = {}

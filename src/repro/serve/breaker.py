@@ -1,0 +1,141 @@
+"""Circuit breaker around the serve worker pool.
+
+A worker crash (the extraction child dying — segfault, OOM kill, or an
+injected :class:`~repro.chaos.plan.ChaosCrash`) is contained per job:
+the job fails, the server survives.  But *repeated* crashes across
+distinct jobs mean the pool itself is sick (a poisoned shared library,
+a full ``/tmp``, a broken accelerator), and blindly accepting more work
+just burns the queue through the same wall.  The breaker watches for
+that pattern and fails fast instead:
+
+``closed``
+    Normal service.  Consecutive crash count rises only when a *new*
+    job crashes (retries of one job count once); any orderly outcome —
+    success or a plain extraction failure — resets it.
+``open``
+    Entered after ``threshold`` consecutive distinct-job crashes.
+    Submissions are rejected immediately (the HTTP layer maps this to
+    ``503`` + ``Retry-After``) until ``cooldown`` seconds pass.
+``half_open``
+    After the cooldown, exactly one probe job is admitted.  If it
+    completes in an orderly way the breaker closes; if it crashes the
+    breaker re-opens for another cooldown.
+
+The probe slot is claimed at *enqueue* time (:meth:`note_enqueued`),
+not at :meth:`admit` — an admit that later fails schema validation must
+not consume the probe.  ``clock`` is injectable so chaos plans can skew
+time through the cooldown.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Crash-pattern breaker; all methods are thread-safe."""
+
+    def __init__(self, threshold: int = 5, cooldown: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if threshold < 1:
+            raise ValueError("breaker threshold must be >= 1")
+        if cooldown <= 0:
+            raise ValueError("breaker cooldown must be > 0")
+        self.threshold = int(threshold)
+        self.cooldown = float(cooldown)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = STATE_CLOSED
+        self._consecutive = 0
+        self._last_crashed_job: Optional[str] = None
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        self.opened = 0    #: total open transitions (incl. re-opens)
+        self.rejected = 0  #: submissions fast-failed by the breaker
+
+    # ------------------------------------------------------------------
+    def _refresh(self) -> None:
+        """Advance open → half_open once the cooldown elapses (lock held)."""
+        if (self._state == STATE_OPEN
+                and self._clock() - self._opened_at >= self.cooldown):
+            self._state = STATE_HALF_OPEN
+            self._probe_inflight = False
+
+    def state(self) -> str:
+        with self._lock:
+            self._refresh()
+            return self._state
+
+    # ------------------------------------------------------------------
+    def admit(self) -> Optional[float]:
+        """None = admitted; a float = rejected, retry after that many s."""
+        with self._lock:
+            self._refresh()
+            if self._state == STATE_CLOSED:
+                return None
+            if self._state == STATE_HALF_OPEN and not self._probe_inflight:
+                return None  # the probe; claimed at note_enqueued()
+            self.rejected += 1
+            if self._state == STATE_OPEN:
+                remaining = self.cooldown - (self._clock() - self._opened_at)
+                return max(0.1, remaining)
+            return self.cooldown  # half-open, probe already in flight
+
+    def note_enqueued(self) -> None:
+        """An admitted job actually entered the queue (claims the probe)."""
+        with self._lock:
+            self._refresh()
+            if self._state == STATE_HALF_OPEN:
+                self._probe_inflight = True
+
+    # ------------------------------------------------------------------
+    def record_success(self, job_id: str) -> None:
+        with self._lock:
+            self._consecutive = 0
+            self._last_crashed_job = None
+            self._state = STATE_CLOSED
+            self._probe_inflight = False
+
+    def record_failure(self, job_id: str, crash: bool) -> None:
+        """An orderly failure heals like a success; a crash counts."""
+        with self._lock:
+            self._refresh()
+            if not crash:
+                # The pool executed the job to an orderly verdict — it
+                # is healthy even though the job itself failed.
+                self._consecutive = 0
+                self._last_crashed_job = None
+                self._state = STATE_CLOSED
+                self._probe_inflight = False
+                return
+            if job_id != self._last_crashed_job:
+                self._consecutive += 1
+                self._last_crashed_job = job_id
+            if (self._state == STATE_HALF_OPEN
+                    or self._consecutive >= self.threshold):
+                self._state = STATE_OPEN
+                self._opened_at = self._clock()
+                self._probe_inflight = False
+                self._consecutive = 0
+                self._last_crashed_job = None
+                self.opened += 1
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Breaker counters for ``/v1/stats``."""
+        with self._lock:
+            self._refresh()
+            return {
+                "state": self._state,
+                "threshold": self.threshold,
+                "cooldown": self.cooldown,
+                "consecutive_crashes": self._consecutive,
+                "opened": self.opened,
+                "rejected": self.rejected,
+            }

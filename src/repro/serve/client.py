@@ -1,0 +1,230 @@
+"""A retrying stdlib HTTP client for the extraction service.
+
+:class:`ServeClient` is the well-behaved counterpart of the server's
+backpressure: it retries exactly the responses the server emits to
+shed load (``429`` queue-full, ``503`` breaker-open, ``408`` read
+deadline) plus transport-level failures (connection refused/reset — a
+server mid-restart), with **capped exponential backoff and full
+jitter**, and it honors ``Retry-After`` when the server provides one.
+Everything else (400/404/409/410, a failed job) raises
+:class:`ClientError` immediately — retrying a validation error only
+adds load.
+
+Full jitter (delay drawn uniformly from ``[0, min(cap, base·2^n)]``)
+rather than raw exponential: when a breaker opens, every blocked client
+sees the same event, and un-jittered backoff would march them back in
+synchronized waves that re-trip it.  ``Retry-After`` acts as a floor on
+the drawn delay, capped at ``max_backoff`` so a long server cooldown
+cannot stall a client loop beyond its own budget.
+
+Used by ``repro submit`` (the CLI verb) and the chaos end-to-end tests;
+stdlib-only (``urllib``), every request carries an explicit socket
+timeout (lint rule CONC005 pins this).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+import urllib.error
+import urllib.request
+from typing import Optional, Tuple
+
+#: Statuses worth retrying: the server's explicit backpressure answers.
+RETRY_STATUSES = (408, 429, 503)
+
+
+class ClientError(RuntimeError):
+    """A request failed for good (non-retryable, or retries exhausted).
+
+    ``status`` is the final HTTP status (0 for transport failures);
+    ``body`` the final response body text, when there was one.
+    """
+
+    def __init__(self, message: str, status: int = 0, body: str = ""):
+        super().__init__(message)
+        self.status = status
+        self.body = body
+
+
+class ServeClient:
+    """Talk to a ``repro serve`` endpoint with retry + backoff.
+
+    ``retries`` bounds the re-attempts per request (0 = single shot);
+    ``backoff`` is the base delay, doubling per attempt and capped at
+    ``max_backoff`` before jitter.  ``seed`` makes the jitter sequence
+    reproducible (tests); the default draws a fresh stream.
+    """
+
+    def __init__(self, base_url: str, *,
+                 timeout: float = 30.0,
+                 retries: int = 5,
+                 backoff: float = 0.25,
+                 max_backoff: float = 8.0,
+                 seed: Optional[int] = None):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+        self.retries = max(0, int(retries))
+        self.backoff = max(0.0, float(backoff))
+        self.max_backoff = max(self.backoff, float(max_backoff))
+        self._rng = random.Random(seed)
+        #: Delays actually slept (seconds), for tests and diagnostics.
+        self.sleeps: list = []
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _once(self, method: str, path: str, data: Optional[bytes],
+              content_type: str) -> Tuple[int, bytes, dict]:
+        req = urllib.request.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": content_type} if data else {})
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.status, resp.read(), dict(resp.headers)
+        except urllib.error.HTTPError as exc:
+            # Non-2xx with a response: the server had its say.
+            body = exc.read()
+            return exc.code, body, dict(exc.headers or {})
+
+    def _delay(self, attempt: int, retry_after: Optional[float]) -> float:
+        cap = min(self.max_backoff, self.backoff * (2 ** attempt))
+        delay = self._rng.uniform(0.0, cap)  # full jitter
+        if retry_after is not None:
+            # Honor the server's pacing as a floor, within our budget.
+            delay = max(delay, min(retry_after, self.max_backoff))
+        return delay
+
+    @staticmethod
+    def _retry_after(headers: dict) -> Optional[float]:
+        for name, value in headers.items():
+            if name.lower() == "retry-after":
+                try:
+                    return max(0.0, float(value))
+                except (TypeError, ValueError):
+                    return None
+        return None
+
+    def request(self, method: str, path: str, data: Optional[bytes] = None,
+                content_type: str = "application/json") -> Tuple[int, bytes]:
+        """One logical request, retried through transient failures."""
+        last_error = ""
+        last_status = 0
+        last_body = b""
+        for attempt in range(self.retries + 1):
+            retry_after: Optional[float] = None
+            try:
+                status, body, headers = self._once(method, path, data,
+                                                   content_type)
+            except (urllib.error.URLError, ConnectionError, OSError) as exc:
+                # Transport failure: server restarting or unreachable.
+                last_error = f"{type(exc).__name__}: {exc}"
+                last_status, last_body = 0, b""
+            else:
+                if status not in RETRY_STATUSES:
+                    return status, body
+                retry_after = self._retry_after(headers)
+                last_error = (f"HTTP {status}: "
+                              f"{body.decode('utf-8', 'replace').strip()}")
+                last_status, last_body = status, body
+            if attempt < self.retries:
+                delay = self._delay(attempt, retry_after)
+                self.sleeps.append(delay)
+                if delay > 0:
+                    time.sleep(delay)
+        raise ClientError(
+            f"{method} {path} failed after {self.retries + 1} attempt(s): "
+            f"{last_error}", status=last_status,
+            body=last_body.decode("utf-8", "replace"))
+
+    def _json(self, method: str, path: str,
+              payload: Optional[dict] = None) -> dict:
+        data = (None if payload is None
+                else json.dumps(payload).encode("utf-8"))
+        status, body = self.request(method, path, data)
+        try:
+            doc = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            raise ClientError(f"{method} {path}: unparseable response body",
+                              status=status,
+                              body=body.decode("utf-8", "replace")) from None
+        if status >= 400:
+            raise ClientError(
+                f"{method} {path} -> HTTP {status}: "
+                f"{doc.get('error', body.decode('utf-8', 'replace'))}",
+                status=status, body=body.decode("utf-8", "replace"))
+        return doc
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._json("GET", "/v1/stats")
+
+    def upload(self, data: bytes) -> dict:
+        status, body = self.request("POST", "/v1/traces", data,
+                                    content_type="application/octet-stream")
+        doc = json.loads(body.decode("utf-8"))
+        if status >= 400:
+            raise ClientError(f"upload -> HTTP {status}: "
+                              f"{doc.get('error', '')}", status=status)
+        return doc
+
+    def register(self, path: str) -> dict:
+        return self._json("POST", "/v1/traces/register", {"path": path})
+
+    def submit(self, trace_ref: str, options: Optional[dict] = None) -> dict:
+        payload: dict = {"trace": trace_ref}
+        if options:
+            payload["options"] = options
+        return self._json("POST", "/v1/jobs", payload)
+
+    def job(self, job_id: str) -> dict:
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def wait(self, job_id: str, deadline: float = 120.0,
+             poll: float = 0.2) -> dict:
+        """Poll until the job reaches a terminal state (or raise)."""
+        end = time.monotonic() + deadline  # repro-lint: disable=DET001 reason=client-side polling deadline; wall time never reaches extraction results
+        while True:
+            record = self.job(job_id)
+            if record["status"] in ("done", "failed", "expired"):
+                return record
+            if time.monotonic() >= end:  # repro-lint: disable=DET001 reason=client-side polling deadline; wall time never reaches extraction results
+                raise ClientError(
+                    f"job {job_id} still {record['status']} after "
+                    f"{deadline:g}s")
+            time.sleep(poll)
+
+    def result(self, job_id: str) -> str:
+        """The analysis document text of a ``done`` job."""
+        status, body = self.request("GET", f"/v1/jobs/{job_id}/result")
+        if status >= 400:
+            try:
+                message = json.loads(body.decode("utf-8")).get("error", "")
+            except (ValueError, UnicodeDecodeError):
+                message = body.decode("utf-8", "replace")
+            raise ClientError(f"result for {job_id} -> HTTP {status}: "
+                              f"{message}", status=status)
+        return body.decode("utf-8")
+
+    def analyze(self, trace_bytes: bytes, options: Optional[dict] = None,
+                deadline: float = 120.0) -> str:
+        """Upload + submit + wait + fetch, end to end.
+
+        Returns the document text (byte-identical to ``repro analyze
+        --json`` for the same trace and options); raises
+        :class:`ClientError` if the job fails or expires.
+        """
+        ref = self.upload(trace_bytes)["trace"]
+        record = self.submit(ref, options)
+        if record["status"] not in ("done", "failed", "expired"):
+            record = self.wait(record["job"], deadline=deadline)
+        if record["status"] != "done":
+            raise ClientError(f"job {record['job']} {record['status']}: "
+                              f"{record.get('error', '')}")
+        return self.result(record["job"])

@@ -37,14 +37,19 @@ import hashlib
 import os
 import queue
 import threading
+import time
 import uuid
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.batch import BatchExtractor, trace_digest
+from repro.chaos import ChaosCrash, FaultPlan
+from repro.chaos.fs import REAL_FS
 from repro.resilience.journal import JournalWriter
+from repro.serve.breaker import CircuitBreaker
 from repro.serve.schemas import SchemaError, parse_options
 from repro.serve.store import ArtifactStore
 from repro.serve.worker import analyze_one, render_document
@@ -52,6 +57,24 @@ from repro.serve.worker import analyze_one, render_document
 LEDGER_VERSION = 1
 
 _UPLOAD_PREFIX = "upload:"
+
+#: Job states that never change again (never re-queued on restart).
+TERMINAL_STATES = ("done", "failed", "expired")
+
+
+class OverloadError(RuntimeError):
+    """The service refused a submission to protect itself.
+
+    ``status`` is the HTTP status the front end should send (``429``
+    for a full queue, ``503`` for an open circuit breaker) and
+    ``retry_after`` the seconds a well-behaved client should wait.
+    """
+
+    def __init__(self, message: str, *, status: int = 429,
+                 retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.status = int(status)
+        self.retry_after = float(retry_after)
 
 
 @dataclass
@@ -71,6 +94,11 @@ class JobRecord:
     seconds: float = 0.0
     attempts: int = 0
     timed_out: bool = False
+    #: Monotonic enqueue instant for queue-age expiry.  Process-local
+    #: (monotonic clocks do not survive restart), deliberately not
+    #: journaled: a restarted server re-queues survivors with a fresh
+    #: age rather than mass-expiring a backlog it just recovered.
+    enqueued_at: float = 0.0
 
     def to_dict(self) -> dict:
         """The ``GET /v1/jobs/<id>`` response body."""
@@ -131,7 +159,12 @@ def read_job_ledger(path: Union[str, Path]) -> "OrderedDict[str, JobRecord]":
             job = jobs.get(entry.get("job", ""))
             if job is None:
                 continue
-            job.status = "done" if kind == "done" else "failed"
+            if kind == "done":
+                job.status = "done"
+            elif entry.get("expired"):
+                job.status = "expired"
+            else:
+                job.status = "failed"
             job.cached = bool(entry.get("cached", False))
             job.error = str(entry.get("error", ""))
             job.seconds = float(entry.get("seconds", 0.0))
@@ -143,9 +176,9 @@ def read_job_ledger(path: Union[str, Path]) -> "OrderedDict[str, JobRecord]":
 class JobLedger:
     """Append-only writer for the service job ledger."""
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    def __init__(self, path: Union[str, Path], fs=None) -> None:
         self.path = Path(path)
-        self._writer = JournalWriter(self.path, append=True)
+        self._writer = JournalWriter(self.path, append=True, fs=fs)
         self._writer.record("meta", version=LEDGER_VERSION)
 
     def submit(self, job: JobRecord) -> None:
@@ -163,6 +196,13 @@ class JobLedger:
         self._writer.record("fail", job=job.id, error=job.error,
                             attempts=job.attempts, timed_out=job.timed_out,
                             seconds=job.seconds)
+
+    def expire(self, job: JobRecord) -> None:
+        # A "fail" line with the expired flag: old readers see a plain
+        # failure (terminal either way), new ones recover the status.
+        self._writer.record("fail", job=job.id, error=job.error,
+                            attempts=job.attempts, timed_out=job.timed_out,
+                            seconds=job.seconds, expired=True)
 
     def close(self) -> None:
         self._writer.close()
@@ -184,6 +224,24 @@ class JobService:
     ``timeout``/``retries``/``backoff``.  All public methods are
     thread-safe; construction replays the ledger and re-queues every
     job that had not reached a terminal state.
+
+    Overload & failure hardening (see ``docs/ROBUSTNESS.md``):
+
+    * ``max_queue`` bounds admissions — :meth:`submit` raises
+      :class:`OverloadError` (429) once that many jobs are waiting;
+    * ``max_queue_age`` sheds stale work — a job older than this when a
+      worker picks it up becomes ``expired`` without running;
+    * a :class:`~repro.serve.breaker.CircuitBreaker`
+      (``breaker_threshold`` consecutive distinct-job worker crashes,
+      ``breaker_cooldown`` seconds) fails submissions fast (503) while
+      the worker pool looks sick;
+    * ledger write failures flip the service to **memory-only mode**
+      (loud ``RuntimeWarning``, ``/healthz`` degraded) instead of dying;
+      artifact-store write failures serve the result inline, uncached,
+      and mark ``/healthz`` degraded until a store write succeeds again;
+    * ``chaos`` (a :class:`~repro.chaos.FaultPlan`) wires every fault
+      seam — ledger/store/upload filesystem ops, the ``worker.run``
+      site, and the expiry/breaker clock — for deterministic drills.
     """
 
     def __init__(self, data_dir: Union[str, Path], *,
@@ -194,32 +252,59 @@ class JobService:
                  max_entries: Optional[int] = None,
                  max_bytes: Optional[int] = None,
                  shard_prefix: int = 2,
-                 max_shard_bytes: Optional[int] = None):
+                 max_shard_bytes: Optional[int] = None,
+                 max_queue: Optional[int] = None,
+                 max_queue_age: Optional[float] = None,
+                 breaker_threshold: int = 5,
+                 breaker_cooldown: float = 30.0,
+                 chaos: Optional[FaultPlan] = None):
         self.data_dir = Path(data_dir)
         self.uploads_dir = self.data_dir / "uploads"
         self.uploads_dir.mkdir(parents=True, exist_ok=True)
+        self.chaos = chaos
+        self._clock = chaos.clock if chaos is not None else time.monotonic
+        self._upload_fs = chaos.fs("upload") if chaos is not None else REAL_FS
         self.store = ArtifactStore(
             self.data_dir / "artifacts",
             max_entries=max_entries, max_bytes=max_bytes,
             shard_prefix=shard_prefix, max_shard_bytes=max_shard_bytes,
+            fs=chaos.fs("store") if chaos is not None else None,
         )
         self.workers = max(0, int(workers))
         self.timeout = timeout
         self.retries = max(0, int(retries))
         self.backoff = max(0.0, float(backoff))
+        self.max_queue = None if max_queue is None else max(1, int(max_queue))
+        self.max_queue_age = max_queue_age
+        self.breaker = CircuitBreaker(threshold=breaker_threshold,
+                                      cooldown=breaker_cooldown,
+                                      clock=self._clock)
         self.ledger_path = self.data_dir / "jobs.jsonl"
         self._lock = threading.RLock()
         self._jobs = read_job_ledger(self.ledger_path)
         self._seq = max((j.seq for j in self._jobs.values()), default=0)
-        self.ledger = JobLedger(self.ledger_path)
+        self._degraded: Dict[str, str] = {}
+        self.ledger_failures = 0
+        self.store_write_failures = 0
+        self.rejected_queue_full = 0
+        self.shed_expired = 0
+        self.ledger: Optional[JobLedger] = None
+        ledger_fs = chaos.fs("ledger") if chaos is not None else None
+        try:
+            self.ledger = JobLedger(self.ledger_path, fs=ledger_fs)
+        except OSError as exc:
+            self._enter_memory_only(exc)
         self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
+        self._queued = 0  # jobs waiting (excludes stop sentinels)
         self._docs: Dict[str, dict] = {}  # degraded results: never cached
         self._threads: List[threading.Thread] = []
         self.recovered = 0
         for job in self._jobs.values():
-            if job.status not in ("done", "failed"):
+            if job.status not in TERMINAL_STATES:
                 job.status = "queued"
+                job.enqueued_at = self._clock()
                 self._queue.put(job.id)
+                self._queued += 1
                 self.recovered += 1
 
     # ------------------------------------------------------------------
@@ -246,7 +331,63 @@ class JobService:
         if wait:
             for thread in threads:
                 thread.join()
-        self.ledger.close()
+        if self.ledger is not None:
+            self.ledger.close()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until no job is queued or running (True) or time is up.
+
+        The graceful-shutdown half of SIGTERM handling: the front end
+        stops accepting, then drains so every accepted job reaches a
+        durable terminal ledger line before the process exits.
+        """
+        deadline = None if timeout is None else self._clock() + timeout
+        while True:
+            with self._lock:
+                busy = self._queued > 0 or any(
+                    job.status == "running" for job in self._jobs.values())
+            if not busy:
+                return True
+            if deadline is not None and self._clock() >= deadline:
+                return False
+            time.sleep(0.02)
+
+    # ------------------------------------------------------------------
+    # Degradation bookkeeping
+    # ------------------------------------------------------------------
+    def _enter_memory_only(self, exc: BaseException) -> None:
+        """Ledger IO failed: keep serving from memory, loudly."""
+        with self._lock:
+            self.ledger_failures += 1
+            ledger, self.ledger = self.ledger, None
+            self._degraded["ledger"] = (
+                f"ledger write failed ({exc}); running memory-only — "
+                f"jobs accepted now will NOT survive a restart")
+        if ledger is not None:
+            ledger.close()
+        warnings.warn(
+            f"repro serve: job ledger write failed ({exc}); falling back "
+            f"to memory-only mode — accepted jobs will not survive a "
+            f"restart until the ledger is writable and the server "
+            f"restarts", RuntimeWarning, stacklevel=2)
+
+    def _journal(self, op: str, job: JobRecord) -> None:
+        """Append one ledger line; IO failure degrades to memory-only."""
+        with self._lock:
+            ledger = self.ledger
+        if ledger is None:
+            return
+        try:
+            getattr(ledger, op)(job)
+        except OSError as exc:
+            self._enter_memory_only(exc)
+
+    def health(self) -> dict:
+        """``/healthz`` body: ok, or degraded with reasons."""
+        with self._lock:
+            reasons = dict(self._degraded)
+        return {"status": "degraded" if reasons else "ok",
+                "reasons": reasons}
 
     # ------------------------------------------------------------------
     # Traces
@@ -264,14 +405,15 @@ class JobService:
         digest = hashlib.sha256(data).hexdigest()
         path = self.uploads_dir / f"{digest}.jsonl"
         if not path.exists():
+            fs = self._upload_fs
             tmp = self.uploads_dir / (
                 f".{digest}.{os.getpid()}.{uuid.uuid4().hex}.tmp")
             try:
-                with open(tmp, "wb") as handle:
+                with fs.open(str(tmp), "wb") as handle:
                     handle.write(data)
                     handle.flush()
-                    os.fsync(handle.fileno())
-                os.replace(tmp, path)
+                    fs.fsync(handle.fileno())
+                fs.replace(str(tmp), str(path))
             finally:
                 if tmp.exists():
                     try:
@@ -308,6 +450,30 @@ class JobService:
     # ------------------------------------------------------------------
     # Jobs
     # ------------------------------------------------------------------
+    def _queue_retry_hint(self) -> float:
+        """Rough seconds until the queue has room (Retry-After)."""
+        per_job = self.timeout if self.timeout else 1.0
+        pool = max(1, self.workers)
+        return min(60.0, max(1.0, per_job * self._queued / pool))
+
+    def _check_admission(self) -> None:
+        """Reject before any expensive work when overloaded (no journal
+        line is written for a rejected submission — accepted jobs are
+        exactly the journaled ones)."""
+        retry = self.breaker.admit()
+        if retry is not None:
+            raise OverloadError(
+                "worker pool circuit breaker is open (repeated worker "
+                "crashes); retry later", status=503, retry_after=retry)
+        if self.max_queue is not None:
+            with self._lock:
+                if self._queued >= self.max_queue:
+                    self.rejected_queue_full += 1
+                    raise OverloadError(
+                        f"job queue full ({self.max_queue} waiting)",
+                        status=429,
+                        retry_after=self._queue_retry_hint())
+
     def submit(self, trace_ref: str,
                option_fields: Optional[dict] = None) -> JobRecord:
         """Accept an extraction job; returns its (journaled) record.
@@ -316,7 +482,12 @@ class JobService:
         trace content + resolved options, the job is born ``done`` with
         ``cached: true`` — no extraction runs, and the result endpoint
         serves the stored artifact.
+
+        Raises :class:`OverloadError` (before any digest work and
+        before anything is journaled) when the queue is at
+        ``max_queue`` or the worker-pool circuit breaker is open.
         """
+        self._check_admission()
         option_fields = dict(option_fields or {})
         opts = parse_options(option_fields)
         source = self._resolve(trace_ref)
@@ -326,18 +497,29 @@ class JobService:
             raise SchemaError(f"unreadable trace {trace_ref}: {exc}") from None
         key = self.store.key(digest, opts)
         with self._lock:
+            if (self.max_queue is not None
+                    and self._queued >= self.max_queue):
+                # The digest work above runs unlocked; re-check so a
+                # racing burst cannot overshoot the bound.
+                self.rejected_queue_full += 1
+                raise OverloadError(
+                    f"job queue full ({self.max_queue} waiting)",
+                    status=429, retry_after=self._queue_retry_hint())
             self._seq += 1
             job = JobRecord(id=f"job-{self._seq:06d}", seq=self._seq,
                             trace=trace_ref, source=source, digest=digest,
                             key=key, options=option_fields)
             self._jobs[job.id] = job
-            self.ledger.submit(job)
+            self._journal("submit", job)
             if self.store.get(key) is not None:
                 job.status = "done"
                 job.cached = True
-                self.ledger.done(job)
+                self._journal("done", job)
             else:
+                job.enqueued_at = self._clock()
+                self._queued += 1
                 self._queue.put(job.id)
+                self.breaker.note_enqueued()
         return job
 
     def job(self, job_id: str) -> Optional[JobRecord]:
@@ -369,19 +551,40 @@ class JobService:
         return render_document(doc)
 
     def stats(self) -> dict:
-        """Service occupancy (``GET /v1/stats``)."""
+        """Service occupancy and backpressure (``GET /v1/stats``)."""
         with self._lock:
+            # Seed the always-present states; rarer ones ("expired")
+            # appear only when jobs actually hold them, keeping the
+            # steady-state wire shape stable for existing clients.
             counts = {state: 0 for state in
                       ("queued", "running", "done", "failed")}
             for job in self._jobs.values():
                 counts[job.status] = counts.get(job.status, 0) + 1
-            return {
+            store = self.store.stats()
+            store["write_failures"] = self.store_write_failures
+            body = {
                 "workers": len(self._threads),
-                "queue_depth": self._queue.qsize(),
+                "queue_depth": self._queued,
+                "max_queue": self.max_queue,
                 "jobs": counts,
                 "recovered": self.recovered,
-                "store": self.store.stats(),
+                "rejected": {
+                    "queue_full": self.rejected_queue_full,
+                    "breaker": self.breaker.snapshot()["rejected"],
+                },
+                "shed": {"expired": self.shed_expired},
+                "breaker": self.breaker.snapshot(),
+                "ledger": {
+                    "mode": ("durable" if self.ledger is not None
+                             else "memory-only"),
+                    "failures": self.ledger_failures,
+                },
+                "health": self.health(),
+                "store": store,
             }
+            if self.chaos is not None:
+                body["chaos"] = self.chaos.summary()
+            return body
 
     # ------------------------------------------------------------------
     # Worker loop
@@ -392,14 +595,30 @@ class JobService:
             if job_id is None:
                 return
             with self._lock:
+                self._queued = max(0, self._queued - 1)
                 job = self._jobs.get(job_id)
                 if job is None or job.status != "queued":
                     continue  # raced by a duplicate wakeup: nothing to do
+                if (self.max_queue_age is not None and job.enqueued_at
+                        and (self._clock() - job.enqueued_at
+                             > self.max_queue_age)):
+                    # Stale enough that the client has given up: shed it
+                    # at dequeue (cheap) instead of extracting a result
+                    # nobody will fetch.
+                    job.status = "expired"
+                    job.error = (f"expired: waited longer than "
+                                 f"{self.max_queue_age:g}s in queue")
+                    self.shed_expired += 1
+                    self._journal("expire", job)
+                    continue
                 job.status = "running"
                 option_fields = dict(job.options)
             error = ""
+            crashed = False
             result = None
             try:
+                if self.chaos is not None:
+                    self.chaos.trip("worker.run")
                 opts = parse_options(option_fields)
                 extractor = BatchExtractor(
                     options=opts, jobs=1, timeout=self.timeout,
@@ -407,8 +626,16 @@ class JobService:
                     worker=analyze_one,
                 )
                 result = extractor.run([job.source]).results[0]
+            except ChaosCrash as exc:  # injected worker-pool crash
+                error = f"WorkerCrash: {exc}"
+                crashed = True
             except Exception as exc:  # scheduler-level failure
                 error = f"{type(exc).__name__}: {exc}"
+            if result is not None and not result.ok:
+                # The scheduler contained a real crash or hang; both
+                # mean the pool (not the input) may be sick.
+                crashed = (result.error.startswith("WorkerCrash")
+                           or result.timed_out)
             if result is not None and result.ok:
                 doc = result.summary
                 # Artifact first, then the durable "done" line: a crash
@@ -419,7 +646,20 @@ class JobService:
                     with self._lock:
                         self._docs[job.id] = doc
                 else:
-                    self.store.put(job.key, doc)
+                    try:
+                        self.store.put(job.key, doc)
+                        with self._lock:
+                            # A good write proves the store recovered.
+                            self._degraded.pop("artifact-store", None)
+                    except OSError as exc:
+                        # Quota/ENOSPC: serve the result inline from
+                        # memory, uncached, and say so in /healthz.
+                        with self._lock:
+                            self.store_write_failures += 1
+                            self._docs[job.id] = doc
+                            self._degraded["artifact-store"] = (
+                                f"artifact write failed ({exc}); serving "
+                                f"results inline without caching")
             with self._lock:
                 if result is not None:
                     job.seconds = result.seconds
@@ -427,12 +667,16 @@ class JobService:
                     job.timed_out = result.timed_out
                     if result.ok:
                         job.status = "done"
-                        self.ledger.done(job)
+                        self._journal("done", job)
                     else:
                         job.status = "failed"
                         job.error = result.error
-                        self.ledger.fail(job)
+                        self._journal("fail", job)
                 else:
                     job.status = "failed"
                     job.error = error
-                    self.ledger.fail(job)
+                    self._journal("fail", job)
+            if result is not None and result.ok:
+                self.breaker.record_success(job.id)
+            else:
+                self.breaker.record_failure(job.id, crash=crashed)

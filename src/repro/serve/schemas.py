@@ -16,9 +16,11 @@ from typing import Optional
 from repro.core.pipeline import PipelineOptions
 
 #: Job lifecycle states (docs/API.md documents the transitions):
-#: ``queued`` → ``running`` → ``done`` | ``failed``.  A submission whose
+#: ``queued`` → ``running`` → ``done`` | ``failed``, or ``queued`` →
+#: ``expired`` when a job outlives ``max_queue_age`` before a worker
+#: picks it up (load shedding — it never runs).  A submission whose
 #: artifact already exists is born ``done`` with ``cached: true``.
-JOB_STATES = ("queued", "running", "done", "failed")
+JOB_STATES = ("queued", "running", "done", "failed", "expired")
 
 #: PipelineOptions fields a job may set.  ``hooks`` is process-local
 #: (not expressible in JSON); everything else round-trips.

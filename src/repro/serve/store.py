@@ -40,7 +40,8 @@ class ArtifactStore(StructureCache):
                  max_entries: Optional[int] = None,
                  max_bytes: Optional[int] = None,
                  shard_prefix: int = 2,
-                 max_shard_bytes: Optional[int] = None):
+                 max_shard_bytes: Optional[int] = None,
+                 fs=None):
         super().__init__(directory, max_entries=max_entries,
                          max_bytes=max_bytes, shard_prefix=shard_prefix,
-                         max_shard_bytes=max_shard_bytes)
+                         max_shard_bytes=max_shard_bytes, fs=fs)

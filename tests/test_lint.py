@@ -334,6 +334,82 @@ def test_conc004_loop_without_union_in_body_is_fine():
     assert report.findings == []
 
 
+_NAKED_AWAITED_READ = (
+    "async def handle(reader):\n"
+    "    line = await reader.readline()\n"
+    "    return line\n"
+)
+
+
+def test_conc005_awaited_read_without_deadline_fires():
+    report = lint_source(
+        _NAKED_AWAITED_READ,
+        rule_ids=["CONC005"],
+        path="src/repro/serve/app.py",
+    )
+    assert fired(report) == ["CONC005"]
+    assert "wait_for" in report.findings[0].message
+    assert report.findings[0].severity == "warning"
+
+
+def test_conc005_wait_for_wrapped_read_is_fine():
+    report = lint_source(
+        "import asyncio\n"
+        "async def handle(reader, deadline):\n"
+        "    line = await asyncio.wait_for(reader.readline(), deadline)\n"
+        "    body = await asyncio.wait_for(reader.readexactly(10), deadline)\n"
+        "    return line + body\n",
+        rule_ids=["CONC005"],
+        path="src/repro/serve/app.py",
+    )
+    assert report.findings == []
+
+
+def test_conc005_scoped_to_serve_modules():
+    # The identical naked read is fine outside the service layer.
+    report = lint_source(
+        _NAKED_AWAITED_READ,
+        rule_ids=["CONC005"],
+        path="src/repro/trace/reader.py",
+    )
+    assert report.findings == []
+
+
+def test_conc005_urlopen_without_timeout_fires():
+    report = lint_source(
+        "import urllib.request\n"
+        "def fetch(url):\n"
+        "    return urllib.request.urlopen(url).read()\n",
+        rule_ids=["CONC005"],
+        path="src/repro/serve/client.py",
+    )
+    assert fired(report) == ["CONC005"]
+    assert "timeout" in report.findings[0].message
+
+
+def test_conc005_urlopen_with_timeout_is_fine():
+    report = lint_source(
+        "import urllib.request\n"
+        "def fetch(url):\n"
+        "    return urllib.request.urlopen(url, timeout=30.0).read()\n",
+        rule_ids=["CONC005"],
+        path="src/repro/serve/client.py",
+    )
+    assert report.findings == []
+
+
+def test_conc005_all_reads_in_shipped_serve_modules_have_deadlines():
+    # Self-check: the real service front end and client must satisfy
+    # their own lint rule.
+    import pathlib
+
+    root = pathlib.Path(__file__).resolve().parents[1] / "src/repro/serve"
+    sources = [(f"src/repro/serve/{p.name}", p.read_text())
+               for p in sorted(root.glob("*.py"))]
+    report = LintEngine(rule_ids=["CONC005"]).lint_sources(sources)
+    assert report.findings == []
+
+
 # ---------------------------------------------------------------------------
 # Suppressions
 # ---------------------------------------------------------------------------

@@ -1,0 +1,420 @@
+"""Overload & failure drills for ``repro serve`` (``-m serve``).
+
+The load-shedding half of the robustness story: floods past the queue
+bound (bounded memory, 429 + ``Retry-After``, zero accepted-job
+losses), slow-loris half-sent requests (408 under the read deadline),
+handler deadlines (503), queue-age expiry, the worker-pool circuit
+breaker's full open → half-open → closed cycle, graceful SIGTERM
+drain with a real signal, and the retrying client that consumes all of
+the above.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.chaos import FaultPlan
+from repro.cli import main as cli_main
+from repro.serve import (ClientError, JobService, ServeClient,
+                         read_job_ledger, start_server_thread)
+
+pytestmark = pytest.mark.serve
+
+POLL_DEADLINE = 120.0
+
+
+@pytest.fixture(scope="module")
+def trace_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("overload") / "trace.jsonl"
+    rc = cli_main(["simulate", "jacobi2d", "--chares", "4x4", "--pes", "4",
+                   "--iterations", "2", "--seed", "1", "-o", str(path)])
+    assert rc == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def expected_json(trace_file):
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf):
+        assert cli_main(["analyze", str(trace_file), "--json"]) == 0
+    return buf.getvalue()
+
+
+def http(port, method, path, data=None, timeout=30):
+    """(status, body, headers) against the thread server."""
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", data=data, method=method)
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, resp.read(), dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read(), dict(exc.headers or {})
+
+
+def wait_status(service, job_id, statuses, deadline=POLL_DEADLINE):
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        if service.job(job_id).status in statuses:
+            return service.job(job_id)
+        time.sleep(0.02)
+    raise AssertionError(
+        f"{job_id} still {service.job(job_id).status} after {deadline}s")
+
+
+# ----------------------------------------------------------------------
+# Admission control: the queue bound is a real wall
+# ----------------------------------------------------------------------
+def test_flood_past_queue_bound_sheds_with_429(tmp_path):
+    bound = 5
+    service = JobService(tmp_path / "d", workers=0, max_queue=bound)
+    port, stop = start_server_thread(service)
+    accepted, rejected = [], 0
+    try:
+        # Distinct payloads -> distinct digests -> no cache fast-path.
+        for n in range(30):
+            _, body, _ = http(port, "POST", "/v1/traces",
+                              f"flood-{n}\n".encode())
+            ref = json.loads(body)["trace"]
+            status, body, headers = http(
+                port, "POST", "/v1/jobs",
+                json.dumps({"trace": ref}).encode())
+            if status == 202:
+                accepted.append(json.loads(body)["job"])
+            else:
+                # Every rejection is a 429 with usable pacing advice.
+                assert status == 429
+                assert "queue full" in json.loads(body)["error"]
+                assert int(headers["Retry-After"]) >= 1
+                rejected += 1
+
+        # Memory stays bounded at the admission wall...
+        assert len(accepted) == bound and rejected == 30 - bound
+        stats = json.loads(http(port, "GET", "/v1/stats")[1])
+        assert stats["queue_depth"] == bound
+        assert stats["max_queue"] == bound
+        assert stats["jobs"]["queued"] == bound
+        assert stats["rejected"]["queue_full"] == rejected
+    finally:
+        stop()
+        service.stop()
+
+    # ...and zero accepted jobs were lost: the ledger holds exactly the
+    # accepted set (rejections were never journaled).
+    ledger = read_job_ledger(tmp_path / "d" / "jobs.jsonl")
+    assert sorted(ledger) == sorted(accepted)
+
+
+# ----------------------------------------------------------------------
+# Deadlines: slow-loris reads and slow handlers
+# ----------------------------------------------------------------------
+def test_half_sent_request_times_out_408(tmp_path):
+    service = JobService(tmp_path / "d", workers=0)
+    port, stop = start_server_thread(service, read_timeout=0.3)
+    try:
+        started = time.monotonic()
+        with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+            sock.sendall(b"GET /healthz HTT")  # ...and then never finish
+            chunks = []
+            while True:
+                data = sock.recv(4096)
+                if not data:
+                    break
+                chunks.append(data)
+        elapsed = time.monotonic() - started
+        response = b"".join(chunks)
+        assert b"408" in response.split(b"\r\n", 1)[0]
+        assert b"timed out reading" in response
+        assert elapsed < 5.0  # freed well inside the poll budget
+
+        # The stalled peer cost one connection, not the server.
+        status, body, _ = http(port, "GET", "/healthz")
+        assert status == 200 and json.loads(body)["ok"] is True
+    finally:
+        stop()
+        service.stop()
+
+
+def test_handler_deadline_returns_503(tmp_path):
+    service = JobService(tmp_path / "d", workers=0)
+
+    def slow_upload(data):
+        time.sleep(5.0)
+        return {"trace": "upload:deadbeef"}
+
+    service.upload = slow_upload
+    port, stop = start_server_thread(service, handler_timeout=0.2)
+    try:
+        started = time.monotonic()
+        status, body, headers = http(port, "POST", "/v1/traces", b"x")
+        assert status == 503
+        assert time.monotonic() - started < 4.0
+        assert "deadline" in json.loads(body)["error"]
+        assert int(headers["Retry-After"]) >= 1
+    finally:
+        stop()
+        service.stop()
+
+
+def test_queue_age_expiry_sheds_stale_jobs(tmp_path, trace_file):
+    service = JobService(tmp_path / "d", workers=1, max_queue_age=0.05)
+    ref = service.upload(trace_file.read_bytes())["trace"]
+    job = service.submit(ref)
+    time.sleep(0.2)  # grow stale before any worker exists
+    service.start()
+    try:
+        record = wait_status(service, job.id, ("expired", "done", "failed"))
+        assert record.status == "expired"
+        assert "waited longer than" in record.error
+        stats = service.stats()
+        assert stats["shed"]["expired"] == 1
+        assert stats["jobs"].get("expired") == 1
+
+        # Fresh jobs still run: expiry sheds the stale backlog only.
+        job2 = service.submit(ref, {"order": "physical"})
+        assert wait_status(service, job2.id,
+                           ("done", "failed")).status == "done"
+    finally:
+        service.stop()
+
+    # "expired" is terminal: a restart must not resurrect the job.
+    service = JobService(tmp_path / "d", workers=0)
+    try:
+        assert service.recovered == 0
+        assert service.job(job.id).status == "expired"
+    finally:
+        service.stop()
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker: open -> half-open -> closed, end to end
+# ----------------------------------------------------------------------
+def wait_breaker(service, state, deadline=10.0):
+    """The worker records breaker outcomes just after job status flips;
+    poll briefly so assertions don't race that window."""
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        if service.breaker.state() == state:
+            return
+        time.sleep(0.01)
+    raise AssertionError(f"breaker stuck {service.breaker.state()!r}, "
+                         f"wanted {state!r}")
+
+
+def test_breaker_opens_rejects_probes_and_recovers(tmp_path, trace_file,
+                                                   expected_json):
+    # Worker.run calls 1 and 2 crash (two distinct jobs); call 3 runs.
+    plan = FaultPlan(specs=["worker.run:crash:at=1", "worker.run:crash:at=2",
+                            "tick:skew:skew=60"])
+    service = JobService(tmp_path / "d", workers=1, chaos=plan,
+                         breaker_threshold=2, breaker_cooldown=30.0)
+    service.start()
+    port, stop = start_server_thread(service)
+    try:
+        ref = service.upload(trace_file.read_bytes())["trace"]
+        job1 = service.submit(ref)
+        assert wait_status(service, job1.id,
+                           ("done", "failed")).status == "failed"
+        assert "WorkerCrash" in service.job(job1.id).error
+        end = time.monotonic() + 10.0
+        while (service.breaker.snapshot()["consecutive_crashes"] != 1
+               and time.monotonic() < end):
+            time.sleep(0.01)
+        # One crash is below threshold: still admitting.
+        assert service.breaker.snapshot() \
+            ["consecutive_crashes"] == 1
+        assert service.breaker.state() == "closed"
+
+        job2 = service.submit(ref, {"order": "physical"})
+        assert wait_status(service, job2.id,
+                           ("done", "failed")).status == "failed"
+        # Second consecutive distinct-job crash: the breaker opens.
+        wait_breaker(service, "open")
+
+        status, body, headers = http(
+            port, "POST", "/v1/jobs", json.dumps({"trace": ref}).encode())
+        assert status == 503
+        assert "circuit breaker" in json.loads(body)["error"]
+        assert int(headers["Retry-After"]) >= 1
+        stats = json.loads(http(port, "GET", "/v1/stats")[1])
+        assert stats["breaker"]["state"] == "open"
+        assert stats["breaker"]["opened"] == 1
+        assert stats["rejected"]["breaker"] >= 1
+
+        # Advance the breaker's (injected) clock past the cooldown: the
+        # skew fault jumps it 60s without the test sleeping 30.
+        plan.trip("tick")
+        assert service.breaker.state() == "half_open"
+
+        # Exactly one probe is admitted while half-open...
+        probe = service.submit(ref)
+        with pytest.raises(Exception) as excinfo:
+            service.submit(ref, {"order": "physical"})
+        assert getattr(excinfo.value, "status", None) == 503
+
+        # ...and its success closes the breaker for good.
+        assert wait_status(service, probe.id,
+                           ("done", "failed")).status == "done"
+        wait_breaker(service, "closed")
+        status, body, _ = http(port, "GET",
+                               f"/v1/jobs/{probe.id}/result")
+        assert status == 200 and body.decode("utf-8") == expected_json
+        assert service.submit(ref).status == "done"  # cached, admitted
+    finally:
+        stop()
+        service.stop()
+
+
+# ----------------------------------------------------------------------
+# Graceful drain on a real signal
+# ----------------------------------------------------------------------
+def _repo_src():
+    import repro
+    return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def test_sigterm_drains_inflight_work_then_exits_zero(tmp_path, trace_file):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in [_repo_src(), env.get("PYTHONPATH", "")] if p)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--data-dir",
+         str(tmp_path / "d"), "--port", "0", "--workers", "1",
+         "--drain-timeout", "60"],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, env=env)
+    try:
+        line = proc.stdout.readline().decode()
+        assert "listening on http://127.0.0.1:" in line, line
+        port = int(line.split("http://127.0.0.1:")[1].split()[0])
+
+        _, body, _ = http(port, "POST", "/v1/traces",
+                          trace_file.read_bytes())
+        ref = json.loads(body)["trace"]
+        status, body, _ = http(port, "POST", "/v1/jobs",
+                               json.dumps({"trace": ref}).encode())
+        assert status == 202
+        job_id = json.loads(body)["job"]
+
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=POLL_DEADLINE)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    assert proc.returncode == 0
+    assert b"drained; shutting down" in out
+
+    # The accepted job reached a durable terminal line before exit.
+    ledger = read_job_ledger(tmp_path / "d" / "jobs.jsonl")
+    assert ledger[job_id].status == "done"
+
+
+# ----------------------------------------------------------------------
+# The retrying client
+# ----------------------------------------------------------------------
+def test_client_retries_429_honoring_retry_after(tmp_path):
+    service = JobService(tmp_path / "d", workers=0, max_queue=1)
+    port, stop = start_server_thread(service)
+    try:
+        client = ServeClient(f"http://127.0.0.1:{port}", retries=2,
+                             backoff=0.001, max_backoff=0.02, seed=7)
+        ref = client.upload(b"payload-a\n")["trace"]
+        client.submit(ref)  # fills the queue
+        ref2 = client.upload(b"payload-b\n")["trace"]
+        with pytest.raises(ClientError) as excinfo:
+            client.submit(ref2)
+        assert excinfo.value.status == 429
+        assert "3 attempt(s)" in str(excinfo.value)
+        # Retry-After (1s) floors each delay, capped by max_backoff.
+        assert client.sleeps == [0.02, 0.02]
+    finally:
+        stop()
+        service.stop()
+
+
+def test_client_does_not_retry_validation_errors(tmp_path):
+    service = JobService(tmp_path / "d", workers=0)
+    port, stop = start_server_thread(service)
+    try:
+        client = ServeClient(f"http://127.0.0.1:{port}", retries=5,
+                             backoff=0.001, seed=7)
+        with pytest.raises(ClientError) as excinfo:
+            client.submit("upload:feedfacefeedface")
+        assert excinfo.value.status == 400
+        assert client.sleeps == []  # immediate failure, zero backoff
+    finally:
+        stop()
+        service.stop()
+
+
+def test_client_retries_transport_failures_with_full_jitter():
+    # Nothing listens here: every attempt is a connection failure.
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+    client = ServeClient(f"http://127.0.0.1:{dead_port}", retries=3,
+                         backoff=0.001, max_backoff=0.004, seed=11)
+    with pytest.raises(ClientError) as excinfo:
+        client.healthz()
+    assert excinfo.value.status == 0
+    assert len(client.sleeps) == 3
+    # Full jitter: every delay drawn from [0, min(cap, base * 2^n)].
+    for attempt, delay in enumerate(client.sleeps):
+        assert 0.0 <= delay <= min(0.004, 0.001 * (2 ** attempt)) + 1e-9
+
+
+def test_client_end_to_end_analyze_matches_cli(tmp_path, trace_file,
+                                               expected_json):
+    service = JobService(tmp_path / "d", workers=1)
+    service.start()
+    port, stop = start_server_thread(service)
+    try:
+        client = ServeClient(f"http://127.0.0.1:{port}", seed=3)
+        document = client.analyze(trace_file.read_bytes(),
+                                  deadline=POLL_DEADLINE)
+        assert document == expected_json
+    finally:
+        stop()
+        service.stop()
+
+
+# ----------------------------------------------------------------------
+# CLI surfacing: `repro submit --stats`
+# ----------------------------------------------------------------------
+def test_submit_stats_cli_reports_backpressure_counters(tmp_path):
+    service = JobService(tmp_path / "d", workers=0, max_queue=8)
+    port, stop = start_server_thread(service)
+    try:
+        buf = io.StringIO()
+        with contextlib.redirect_stdout(buf):
+            rc = cli_main(["submit", "--stats",
+                           "--url", f"http://127.0.0.1:{port}"])
+        assert rc == 0
+        out = buf.getvalue()
+        assert "queue depth 0/8" in out
+        assert "breaker closed" in out
+        assert "ledger durable" in out
+        assert "health ok" in out
+
+        buf = io.StringIO()
+        with contextlib.redirect_stdout(buf):
+            rc = cli_main(["submit", "--stats", "--json",
+                           "--url", f"http://127.0.0.1:{port}"])
+        assert rc == 0
+        doc = json.loads(buf.getvalue())
+        assert doc["max_queue"] == 8
+        assert doc["breaker"]["state"] == "closed"
+    finally:
+        stop()
+        service.stop()
