@@ -545,7 +545,7 @@ def _pipe_worker(conn, worker, source: BatchSource,
     """Child-process entry: run the job ``worker``, ship the outcome."""
     try:
         conn.send(worker(source, option_fields))
-    except Exception:
+    except Exception:  # repro-lint: disable=EXC001 reason=child-process edge: the parent detects the silent exit as a crash and journals it; nothing in this process can record more
         # The parent treats a silent exit as a crash; nothing else to do.
         pass
     finally:
@@ -559,7 +559,7 @@ def _map_worker(conn, fn, payload) -> None:
     except Exception as exc:
         try:
             conn.send(("error", f"{type(exc).__name__}: {exc}"))
-        except Exception:
+        except Exception:  # repro-lint: disable=EXC001 reason=pipe already broken: the error report cannot be delivered and the parent records the silent exit as a crash
             pass  # parent treats the silent exit as a crash
     finally:
         conn.close()

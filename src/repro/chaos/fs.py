@@ -98,9 +98,15 @@ class ChaosFs(FsOps):
     def open(self, path: str, mode: str = "rb") -> IO[Any]:
         self.plan.trip(self.scope + ".open")
         fh = open(path, mode)
-        if any(flag in mode for flag in ("w", "a", "+", "x")):
-            return _ChaosFile(fh, self.plan, self.scope)  # type: ignore[return-value]
-        return fh
+        try:
+            if any(flag in mode for flag in ("w", "a", "+", "x")):
+                return _ChaosFile(fh, self.plan, self.scope)  # type: ignore[return-value]
+            return fh
+        except BaseException:
+            # Ownership only transfers on successful return: anything
+            # raised between open and return must not leak the handle.
+            fh.close()
+            raise
 
     def fsync(self, fd: int) -> None:
         spec = self.plan.trip(self.scope + ".fsync")

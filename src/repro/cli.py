@@ -685,23 +685,22 @@ def cmd_faults(args: argparse.Namespace) -> int:
 def cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from repro.lint import LintEngine, all_rules
+    from repro.lint import all_rules, run_lint
 
     if args.list_rules:
         for rule in all_rules():
             print(f"{rule.id}  {rule.severity:7s}  {rule.title}")
         return 0
-    try:
-        engine = LintEngine(rule_ids=args.rules)
-    except ValueError as exc:  # unknown rule id
-        print(f"lint: {exc}", file=sys.stderr)
-        return 2
     paths = args.paths
     if not paths:
         # Default target: the installed repro package itself.
         paths = [str(Path(__file__).resolve().parent)]
     try:
-        report = engine.lint_paths(paths)
+        report = run_lint(paths, rule_ids=args.rules, jobs=args.jobs,
+                          cache_path=args.cache)
+    except ValueError as exc:  # unknown rule id
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
     except OSError as exc:
         print(f"lint: {exc}", file=sys.stderr)
         return 2
@@ -1003,6 +1002,15 @@ def build_parser() -> argparse.ArgumentParser:
                           "(docs/STATIC_ANALYSIS.md documents the schema)")
     lnt.add_argument("--list-rules", action="store_true",
                      help="print the rule catalog and exit")
+    lnt.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="analyze files with N worker processes "
+                          "(0 = one per CPU; default 1). The JSON "
+                          "report is byte-identical at any worker "
+                          "count, except the timing block")
+    lnt.add_argument("--cache", default=None, metavar="PATH",
+                     help="incremental result cache file; unchanged "
+                          "files reuse their cached findings, keyed by "
+                          "content sha256 and rule-set version")
     lnt.set_defaults(func=cmd_lint)
 
     syn = sub.add_parser("sync", help="repair cross-PE clock skew")

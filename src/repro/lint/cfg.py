@@ -1,0 +1,421 @@
+"""Per-function control-flow graphs for the flow-aware lint rules.
+
+:func:`build_cfg` lowers one ``def``/``async def`` body to a
+statement-granularity CFG.  Each statement becomes one node; compound
+statements contribute a *header* node holding only the expressions the
+header itself evaluates (an ``if`` test, a ``for`` iterable, the
+``with`` items), while their bodies become separate nodes.  Three
+synthetic nodes frame every function: ``entry``, ``exit`` (normal
+returns and fall-through), and ``raise_exit`` (uncaught exceptions).
+
+Edges carry a kind.  ``"exc"`` edges model exception flow — every node
+whose owned expressions may raise (calls, subscripts, awaits, plus
+``raise``/``assert`` statements) gets one, routed to the innermost
+``try`` dispatch node, through ``finally`` blocks, or to ``raise_exit``.
+All other kinds (``"next"``, ``"true"``, ``"false"``, ``"back"``, …)
+are normal flow; analyses that care only about the exception/normal
+split use :meth:`CFG.normal_successors` vs :meth:`CFG.successors`.
+
+``finally`` bodies are lowered once with the union of their incoming
+continuations (normal completion, exception, ``return``, ``break``,
+``continue``); each recorded continuation kind is re-dispatched from the
+``finally`` exit, so a ``return`` inside ``try`` still flows through the
+``finally`` statements before reaching ``exit``.  Await points are not
+separate nodes: a node whose owned expressions contain ``await`` is
+labeled with ``awaits=True``, which is what the async-race rules need
+(does control pass an await between two program points).
+
+Nested ``def``/``lambda`` bodies are opaque single statements — the
+graph is strictly intraprocedural.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Expression node types whose evaluation may raise.  Deliberately
+#: small and predictable: calls (anything), subscripts (KeyError /
+#: IndexError), awaits (whatever the awaited coroutine raises).
+_MAY_RAISE_EXPRS = (ast.Call, ast.Subscript, ast.Await)
+
+#: Handler annotations that stop exception propagation entirely.
+_CATCH_ALL_NAMES = frozenset({
+    "Exception", "BaseException",
+    "builtins.Exception", "builtins.BaseException",
+})
+
+
+@dataclass
+class CFGNode:
+    """One program point: a statement header plus its owned expressions."""
+
+    id: int
+    #: "entry" | "exit" | "raise" | "stmt" | "test" | "loop" | "with" |
+    #: "dispatch" | "except"
+    kind: str
+    ast_node: Optional[ast.AST]
+    line: int
+    #: The expressions *this* node evaluates (an ``if`` header owns its
+    #: test, not its body).  Rules scan these, never the full subtree.
+    exprs: Tuple[ast.AST, ...] = ()
+    #: True when the owned expressions contain an ``await``.
+    awaits: bool = False
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class Edge:
+    src: int
+    dst: int
+    #: "next" | "true" | "false" | "back" | "jump" | "exc"
+    kind: str
+
+
+@dataclass
+class CFG:
+    """The control-flow graph of one function body."""
+
+    function: FunctionNode
+    nodes: Dict[int, CFGNode] = field(default_factory=dict)
+    edges: List[Edge] = field(default_factory=list)
+    entry: int = 0
+    exit: int = 1
+    raise_exit: int = 2
+
+    def __post_init__(self) -> None:
+        self._succ: Optional[Dict[int, List[Edge]]] = None
+        self._pred: Optional[Dict[int, List[Edge]]] = None
+
+    def _index(self) -> Tuple[Dict[int, List[Edge]], Dict[int, List[Edge]]]:
+        if self._succ is None or self._pred is None:
+            succ: Dict[int, List[Edge]] = {n: [] for n in self.nodes}
+            pred: Dict[int, List[Edge]] = {n: [] for n in self.nodes}
+            for edge in self.edges:
+                succ[edge.src].append(edge)
+                pred[edge.dst].append(edge)
+            self._succ, self._pred = succ, pred
+        return self._succ, self._pred
+
+    def out_edges(self, node_id: int) -> List[Edge]:
+        return self._index()[0][node_id]
+
+    def in_edges(self, node_id: int) -> List[Edge]:
+        return self._index()[1][node_id]
+
+    def successors(self, node_id: int) -> Iterator[int]:
+        """All successors, exception edges included."""
+        for edge in self.out_edges(node_id):
+            yield edge.dst
+
+    def normal_successors(self, node_id: int) -> Iterator[int]:
+        """Successors along non-exception flow only."""
+        for edge in self.out_edges(node_id):
+            if edge.kind != "exc":
+                yield edge.dst
+
+    def predecessors(self, node_id: int) -> Iterator[int]:
+        for edge in self.in_edges(node_id):
+            yield edge.src
+
+    def reachable(self) -> List[int]:
+        """Node ids reachable from entry, in deterministic BFS order."""
+        seen = {self.entry}
+        order = [self.entry]
+        queue = [self.entry]
+        while queue:
+            current = queue.pop(0)
+            for succ in sorted(self.successors(current)):
+                if succ not in seen:
+                    seen.add(succ)
+                    order.append(succ)
+                    queue.append(succ)
+        return order
+
+    def nodes_for(self, stmt: ast.AST) -> List[CFGNode]:
+        """The nodes anchored at ``stmt`` (header and dispatch nodes)."""
+        return [n for n in self.nodes.values() if n.ast_node is stmt]
+
+
+# ----------------------------------------------------------------------
+# Construction
+
+
+def _scoped_walk(root: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested function scopes."""
+    stack: List[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda)):
+                continue
+            stack.append(child)
+
+
+def _contains_await(exprs: Sequence[ast.AST]) -> bool:
+    return any(isinstance(sub, ast.Await)
+               for expr in exprs for sub in _scoped_walk(expr))
+
+
+def _may_raise(exprs: Sequence[ast.AST]) -> bool:
+    return any(isinstance(sub, _MAY_RAISE_EXPRS)
+               for expr in exprs for sub in _scoped_walk(expr))
+
+
+#: A pending edge source: (node id, edge kind to use when connected).
+_Frontier = List[Tuple[int, str]]
+
+
+@dataclass
+class _LoopFrame:
+    header: int
+    breaks: _Frontier = field(default_factory=list)
+
+
+@dataclass
+class _TryFrame:
+    dispatch: int
+
+
+@dataclass
+class _FinallyFrame:
+    #: Abnormal continuations captured for re-dispatch after the
+    #: ``finally`` body runs: kind -> frontier that entered this way.
+    entries: Dict[str, _Frontier] = field(default_factory=dict)
+
+
+_Frame = Union[_LoopFrame, _TryFrame, _FinallyFrame]
+
+
+class _Builder:
+    def __init__(self, function: FunctionNode) -> None:
+        self.cfg = CFG(function)
+        self.frames: List[_Frame] = []
+        self._next_id = 0
+        entry = self._node("entry", None, function.lineno, label="entry")
+        exit_ = self._node("exit", None, function.lineno, label="exit")
+        raise_ = self._node("raise", None, function.lineno, label="raise")
+        self.cfg.entry = entry.id
+        self.cfg.exit = exit_.id
+        self.cfg.raise_exit = raise_.id
+
+    # -- plumbing ------------------------------------------------------
+    def _node(self, kind: str, ast_node: Optional[ast.AST], line: int,
+              exprs: Tuple[ast.AST, ...] = (), label: str = "") -> CFGNode:
+        node = CFGNode(self._next_id, kind, ast_node, line, exprs,
+                       awaits=_contains_await(exprs), label=label)
+        self._next_id += 1
+        self.cfg.nodes[node.id] = node
+        return node
+
+    def _link(self, frontier: _Frontier, target: int) -> None:
+        for src, kind in frontier:
+            self.cfg.edges.append(Edge(src, target, kind))
+
+    def _jump(self, frontier: _Frontier, kind: str) -> None:
+        """Route a return/break/continue through finallys to its target."""
+        for frame in reversed(self.frames):
+            if isinstance(frame, _FinallyFrame):
+                frame.entries.setdefault(kind, []).extend(frontier)
+                return
+            if isinstance(frame, _LoopFrame) and kind in ("break",
+                                                          "continue"):
+                if kind == "break":
+                    frame.breaks.extend(frontier)
+                else:
+                    self._link(frontier, frame.header)
+                return
+        if kind == "return":
+            self._link(frontier, self.cfg.exit)
+        # break/continue outside any loop is a syntax error upstream.
+
+    def _raise(self, frontier: _Frontier) -> None:
+        """Route exception flow to the innermost handler/finally/exit."""
+        for frame in reversed(self.frames):
+            if isinstance(frame, _TryFrame):
+                self._link(frontier, frame.dispatch)
+                return
+            if isinstance(frame, _FinallyFrame):
+                frame.entries.setdefault("exc", []).extend(frontier)
+                return
+        self._link(frontier, self.cfg.raise_exit)
+
+    # -- statement lowering --------------------------------------------
+    def build(self) -> CFG:
+        frontier = self._body(self.cfg.function.body,
+                              [(self.cfg.entry, "next")])
+        self._link(frontier, self.cfg.exit)
+        return self.cfg
+
+    def _body(self, stmts: Sequence[ast.stmt],
+              frontier: _Frontier) -> _Frontier:
+        for stmt in stmts:
+            frontier = self._stmt(stmt, frontier)
+        return frontier
+
+    def _simple(self, stmt: ast.stmt, frontier: _Frontier,
+                label: str) -> _Frontier:
+        node = self._node("stmt", stmt, stmt.lineno, (stmt,), label=label)
+        self._link(frontier, node.id)
+        if _may_raise((stmt,)):
+            self._raise([(node.id, "exc")])
+        return [(node.id, "next")]
+
+    def _stmt(self, stmt: ast.stmt, frontier: _Frontier) -> _Frontier:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, frontier)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, frontier)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, frontier)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, frontier)
+        if isinstance(stmt, ast.Return):
+            exprs: Tuple[ast.AST, ...] = (
+                (stmt.value,) if stmt.value is not None else ())
+            node = self._node("stmt", stmt, stmt.lineno, exprs,
+                              label="return")
+            self._link(frontier, node.id)
+            if _may_raise(exprs):
+                self._raise([(node.id, "exc")])
+            self._jump([(node.id, "jump")], "return")
+            return []
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            kind = "break" if isinstance(stmt, ast.Break) else "continue"
+            node = self._node("stmt", stmt, stmt.lineno, (), label=kind)
+            self._link(frontier, node.id)
+            self._jump([(node.id, "jump")], kind)
+            return []
+        if isinstance(stmt, ast.Raise):
+            node = self._node("stmt", stmt, stmt.lineno, (stmt,),
+                              label="raise")
+            self._link(frontier, node.id)
+            self._raise([(node.id, "exc")])
+            return []
+        if isinstance(stmt, ast.Assert):
+            node = self._node("stmt", stmt, stmt.lineno, (stmt,),
+                              label="assert")
+            self._link(frontier, node.id)
+            self._raise([(node.id, "exc")])
+            return [(node.id, "next")]
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            node = self._node("stmt", stmt, stmt.lineno, (), label="def")
+            self._link(frontier, node.id)
+            return [(node.id, "next")]
+        return self._simple(stmt, frontier, type(stmt).__name__.lower())
+
+    def _if(self, stmt: ast.If, frontier: _Frontier) -> _Frontier:
+        test = self._node("test", stmt, stmt.lineno, (stmt.test,),
+                          label="if")
+        self._link(frontier, test.id)
+        if _may_raise((stmt.test,)):
+            self._raise([(test.id, "exc")])
+        then_out = self._body(stmt.body, [(test.id, "true")])
+        else_out = self._body(stmt.orelse, [(test.id, "false")])
+        return then_out + else_out
+
+    def _loop(self, stmt: Union[ast.While, ast.For, ast.AsyncFor],
+              frontier: _Frontier) -> _Frontier:
+        if isinstance(stmt, ast.While):
+            exprs: Tuple[ast.AST, ...] = (stmt.test,)
+            label = "while"
+        else:
+            exprs = (stmt.target, stmt.iter)
+            label = "for"
+        header = self._node("loop", stmt, stmt.lineno, exprs, label=label)
+        if isinstance(stmt, ast.AsyncFor):
+            header.awaits = True  # each iteration awaits __anext__
+        self._link(frontier, header.id)
+        if _may_raise(exprs):
+            self._raise([(header.id, "exc")])
+        frame = _LoopFrame(header.id)
+        self.frames.append(frame)
+        body_out = self._body(stmt.body, [(header.id, "true")])
+        self._link(body_out, header.id)  # back edge
+        self.frames.pop()
+        else_out = self._body(stmt.orelse, [(header.id, "false")])
+        return else_out + frame.breaks
+
+    def _with(self, stmt: Union[ast.With, ast.AsyncWith],
+              frontier: _Frontier) -> _Frontier:
+        exprs: List[ast.AST] = []
+        for item in stmt.items:
+            exprs.append(item.context_expr)
+            if item.optional_vars is not None:
+                exprs.append(item.optional_vars)
+        header = self._node("with", stmt, stmt.lineno, tuple(exprs),
+                            label="with")
+        if isinstance(stmt, ast.AsyncWith):
+            header.awaits = True  # __aenter__ awaits
+        self._link(frontier, header.id)
+        self._raise([(header.id, "exc")])  # __enter__ may raise
+        return self._body(stmt.body, [(header.id, "next")])
+
+    def _try(self, stmt: ast.Try, frontier: _Frontier) -> _Frontier:
+        finally_frame: Optional[_FinallyFrame] = None
+        if stmt.finalbody:
+            finally_frame = _FinallyFrame()
+            self.frames.append(finally_frame)
+        dispatch: Optional[CFGNode] = None
+        if stmt.handlers:
+            dispatch = self._node("dispatch", stmt, stmt.lineno,
+                                  label="except-dispatch")
+            self.frames.append(_TryFrame(dispatch.id))
+        body_out = self._body(stmt.body, frontier)
+        if dispatch is not None:
+            self.frames.pop()  # handlers catch body exceptions only
+        normal_out = self._body(stmt.orelse, body_out)
+        if dispatch is not None:
+            caught_all = False
+            for handler in stmt.handlers:
+                node = self._node("except", handler, handler.lineno,
+                                  (handler.type,) if handler.type else (),
+                                  label="except")
+                self._link([(dispatch.id, "exc")], node.id)
+                normal_out = normal_out + self._body(handler.body,
+                                                     [(node.id, "next")])
+                if self._catches_everything(handler):
+                    caught_all = True
+            if not caught_all:
+                # An exception no handler matches keeps propagating.
+                self._raise([(dispatch.id, "exc")])
+        if finally_frame is None:
+            return normal_out
+        self.frames.pop()
+        recorded = finally_frame.entries
+        fin_in = list(normal_out)
+        for entry_frontier in recorded.values():
+            fin_in.extend(entry_frontier)
+        fin_out = self._body(stmt.finalbody, fin_in)
+        # Re-dispatch each captured continuation from the finally exit —
+        # in the outer frame context, so nested finallys chain.
+        for kind in sorted(recorded):
+            if kind == "exc":
+                self._raise([(src, "exc") for src, _ in fin_out])
+            else:
+                self._jump(list(fin_out), kind)
+        return fin_out if normal_out else []
+
+    def _catches_everything(self, handler: ast.ExceptHandler) -> bool:
+        if handler.type is None:
+            return True
+        names: List[str] = []
+        targets = (handler.type.elts if isinstance(handler.type, ast.Tuple)
+                   else [handler.type])
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.append(target.id)
+            elif isinstance(target, ast.Attribute):
+                names.append(target.attr)
+        return any(name in _CATCH_ALL_NAMES for name in names)
+
+
+def build_cfg(function: FunctionNode) -> CFG:
+    """Lower one function body to its control-flow graph."""
+    return _Builder(function).build()

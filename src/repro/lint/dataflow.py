@@ -1,0 +1,230 @@
+"""Intraprocedural dataflow analyses over :mod:`repro.lint.cfg` graphs.
+
+Four analyses, all iterative-to-fixpoint over the statement-granularity
+CFG, all deterministic (worklists are processed in node-id order):
+
+* :func:`dominators` / :func:`postdominators` — classic set-intersection
+  dominance.  Post-dominance uses a virtual sink that both the normal
+  ``exit`` and ``raise_exit`` feed, so "X post-dominates Y" means every
+  outcome of Y — normal *or* exceptional — passes through X.
+* :func:`reaching_definitions` — which (name, def-site) pairs reach each
+  node; the def sites are supplied by the caller, so rules decide what
+  counts as a definition.
+* :func:`track_obligations` — path-sensitive acquire/release tracking.
+  An *obligation* is generated at a node (a temp file created, a lock
+  acquired) and must be killed (replaced/unlinked, released) before
+  control leaves the function.  Generation propagates only along the
+  generating node's **normal** out-edges: if the generating statement
+  itself raises, the resource was never created, so its exception edge
+  carries the incoming state minus kills, not the new obligation.  The
+  result reports the obligations still live when control reaches
+  ``exit`` (leaked on a normal path) and ``raise_exit`` (leaked on an
+  exception path) separately, because rules phrase the two differently.
+* :func:`path_with_await` — is there any path between two nodes that
+  passes an ``await`` point?  This is the reachability core of the
+  async-race rules: a read and a write of the same shared attribute
+  race exactly when an await can interleave another coroutine between
+  them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
+
+from repro.lint.cfg import CFG
+
+#: One live obligation: (node id that generated it, resource name).
+Obligation = Tuple[int, str]
+
+
+def _reachable_ids(cfg: CFG) -> List[int]:
+    return cfg.reachable()
+
+
+def dominators(cfg: CFG) -> Dict[int, Set[int]]:
+    """Map node id -> the set of its dominators (itself included).
+
+    Every edge counts, exception edges included: "A dominates B" means
+    no execution reaches B without first executing A.  Nodes unreachable
+    from entry are omitted.
+    """
+    reachable = _reachable_ids(cfg)
+    universe = set(reachable)
+    dom: Dict[int, Set[int]] = {n: set(universe) for n in reachable}
+    dom[cfg.entry] = {cfg.entry}
+    changed = True
+    while changed:
+        changed = False
+        for node in reachable:
+            if node == cfg.entry:
+                continue
+            preds = [p for p in cfg.predecessors(node) if p in universe]
+            new: Set[int] = set(universe)
+            for pred in preds:
+                new &= dom[pred]
+            new.add(node)
+            if new != dom[node]:
+                dom[node] = new
+                changed = True
+    return dom
+
+
+def postdominators(cfg: CFG) -> Dict[int, Set[int]]:
+    """Map node id -> the set of its post-dominators (itself included).
+
+    Computed against a virtual sink fed by both ``exit`` and
+    ``raise_exit``: a post-dominator is on every path to *any* function
+    outcome, normal or exceptional.  The virtual sink itself is not
+    reported.
+    """
+    reachable = _reachable_ids(cfg)
+    universe = set(reachable)
+    sink = -1
+    succ: Dict[int, List[int]] = {n: [] for n in reachable}
+    for edge in cfg.edges:
+        if edge.src in universe and edge.dst in universe:
+            succ[edge.src].append(edge.dst)
+    for terminal in (cfg.exit, cfg.raise_exit):
+        if terminal in universe:
+            succ[terminal].append(sink)
+    pdom: Dict[int, Set[int]] = {n: universe | {sink} for n in reachable}
+    pdom[sink] = {sink}
+    changed = True
+    while changed:
+        changed = False
+        for node in reversed(reachable):
+            succs = succ[node]
+            if not succs:
+                continue  # dead end without sink edge; keep universe
+            new = set(pdom[succs[0]])
+            for other in succs[1:]:
+                new &= pdom[other]
+            new.add(node)
+            if new != pdom[node]:
+                pdom[node] = new
+                changed = True
+    return {n: pdom[n] - {sink} for n in reachable}
+
+
+def reaching_definitions(
+    cfg: CFG, defs: Mapping[int, Iterable[str]]
+) -> Dict[int, Set[Tuple[str, int]]]:
+    """Forward may-analysis: (name, def-node) pairs reaching each node.
+
+    ``defs`` maps node id -> names that node (re)defines; a definition
+    of a name kills every other definition of the same name.  Returns
+    the IN set of every reachable node.
+    """
+    reachable = _reachable_ids(cfg)
+    gen: Dict[int, Set[Tuple[str, int]]] = {}
+    kill_names: Dict[int, Set[str]] = {}
+    for node in reachable:
+        names = set(defs.get(node, ()))
+        gen[node] = {(name, node) for name in names}
+        kill_names[node] = names
+    in_sets: Dict[int, Set[Tuple[str, int]]] = {n: set() for n in reachable}
+    universe = set(reachable)
+    work = list(reachable)
+    while work:
+        node = work.pop(0)
+        out = {pair for pair in in_sets[node]
+               if pair[0] not in kill_names[node]} | gen[node]
+        for succ in sorted(cfg.successors(node)):
+            if succ not in universe:
+                continue
+            if not out <= in_sets[succ]:
+                in_sets[succ] |= out
+                if succ not in work:
+                    work.append(succ)
+    return in_sets
+
+
+def track_obligations(
+    cfg: CFG,
+    gens: Mapping[int, Sequence[str]],
+    kills: Mapping[int, Iterable[str]],
+) -> Tuple[Set[Obligation], Set[Obligation]]:
+    """Which obligations can still be live when the function exits?
+
+    ``gens`` maps node id -> resource names that node creates;
+    ``kills`` maps node id -> names it discharges (a kill discharges
+    every live obligation of that name, whichever node created it).
+
+    Returns ``(leaked_normal, leaked_exceptional)``: the obligations
+    live on entry to ``exit`` and to ``raise_exit``.  A node's normal
+    out-edges carry ``(IN - kills) + gens``; its exception out-edges
+    carry only ``(IN - kills)`` — if the creating statement raises, the
+    resource never existed (an ``open()`` that throws returns no
+    handle), so the obligation starts on the normal edge only.
+    """
+    reachable = _reachable_ids(cfg)
+    universe = set(reachable)
+    in_sets: Dict[int, Set[Obligation]] = {n: set() for n in reachable}
+    work = list(reachable)
+    while work:
+        node = work.pop(0)
+        killed = set(kills.get(node, ()))
+        survived = {ob for ob in in_sets[node] if ob[1] not in killed}
+        gen_set = {(node, name) for name in gens.get(node, ())}
+        for edge in cfg.out_edges(node):
+            if edge.dst not in universe:
+                continue
+            out = survived if edge.kind == "exc" else survived | gen_set
+            if not out <= in_sets[edge.dst]:
+                in_sets[edge.dst] |= out
+                if edge.dst not in work:
+                    work.append(edge.dst)
+    return in_sets[cfg.exit], in_sets[cfg.raise_exit]
+
+
+def path_with_await(cfg: CFG, src: int, dst: int) -> bool:
+    """Is there a path from ``src`` to ``dst`` crossing an await point?
+
+    The await may be at ``src`` itself, at ``dst`` itself, or at any
+    node in between; exception edges count (an awaited call that raises
+    still suspended the coroutine first).  ``src == dst`` with no
+    connecting cycle answers via the node's own await flag.
+    """
+    if src == dst and cfg.nodes[src].awaits:
+        return True
+    start_flag = cfg.nodes[src].awaits
+    seen: Set[Tuple[int, bool]] = set()
+    stack: List[Tuple[int, bool]] = [
+        (succ, start_flag) for succ in cfg.successors(src)
+    ]
+    while stack:
+        node, flag = stack.pop()
+        flag = flag or cfg.nodes[node].awaits
+        if node == dst and flag:
+            return True
+        state = (node, flag)
+        if state in seen:
+            continue
+        seen.add(state)
+        stack.extend((succ, flag) for succ in cfg.successors(node))
+    return False
+
+
+def await_before_kill(cfg: CFG, src: int, kill_nodes: Set[int]) -> bool:
+    """Can control pass an await after ``src`` before hitting a kill?
+
+    Used for "lock held across await": starting from ``src`` (the
+    acquire), walk forward; a node in ``kill_nodes`` (the releases)
+    stops the walk along that path.  Returns True when some path
+    reaches an await point first.
+    """
+    if cfg.nodes[src].awaits:
+        return True
+    seen: Set[int] = set()
+    stack = [s for s in cfg.successors(src)]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        if cfg.nodes[node].awaits:
+            return True
+        if node in kill_nodes:
+            continue
+        stack.extend(cfg.successors(node))
+    return False

@@ -29,11 +29,13 @@ from __future__ import annotations
 import ast
 import io
 import re
+import time
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from repro.lint.cfg import CFG, FunctionNode, build_cfg
 from repro.lint.reachability import (
     DET_SEED_MODULES,
     module_imports,
@@ -45,7 +47,7 @@ SEVERITY_WARNING = "warning"
 SEVERITY_ERROR = "error"
 SEVERITIES = (SEVERITY_WARNING, SEVERITY_ERROR)
 
-REPORT_VERSION = 1
+REPORT_VERSION = 2
 
 
 @dataclass(frozen=True, order=True)
@@ -196,10 +198,23 @@ class FileContext:
         self.findings: List[Finding] = []
         self.parents: Dict[ast.AST, ast.AST] = {}
         self.aliases: Dict[str, str] = {}
+        self._cfgs: Dict[ast.AST, CFG] = {}
         for node in ast.walk(tree):
             for child in ast.iter_child_nodes(node):
                 self.parents[child] = node
         self._collect_aliases(tree)
+
+    def cfg(self, function: FunctionNode) -> CFG:
+        """The (memoized) control-flow graph of one function body.
+
+        Several flow-aware rules visit the same ``def``; building the
+        CFG once per function keeps the engine a single walk in spirit.
+        """
+        graph = self._cfgs.get(function)
+        if graph is None:
+            graph = build_cfg(function)
+            self._cfgs[function] = graph
+        return graph
 
     def _collect_aliases(self, tree: ast.Module) -> None:
         for node in ast.walk(tree):
@@ -288,6 +303,15 @@ class Rule:
         """Cross-file hook after every file is parsed (default: nothing)."""
 
 
+@dataclass(frozen=True)
+class FileTiming:
+    """Per-file analysis cost, reported in the v2 JSON ``timing`` block."""
+
+    path: str
+    seconds: float
+    cached: bool
+
+
 @dataclass
 class LintReport:
     """Outcome of one lint run: visible findings plus suppression audit."""
@@ -296,6 +320,12 @@ class LintReport:
     suppressed: List[Finding] = field(default_factory=list)
     suppressions: List[Suppression] = field(default_factory=list)
     files: int = 0
+    #: Per-file timing, path-sorted by the assembler.  The ``seconds``
+    #: values are the only non-deterministic part of the report; they
+    #: are confined to the ``timing`` block so consumers can compare
+    #: everything else byte-for-byte.
+    timings: List[FileTiming] = field(default_factory=list)
+    total_seconds: float = 0.0
 
     @property
     def errors(self) -> int:
@@ -304,6 +334,14 @@ class LintReport:
     @property
     def warnings(self) -> int:
         return sum(1 for f in self.findings if f.severity == SEVERITY_WARNING)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for t in self.timings if t.cached)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(1 for t in self.timings if not t.cached)
 
     def exit_code(self, fail_on: str = SEVERITY_ERROR) -> int:
         if fail_on not in SEVERITIES:
@@ -322,17 +360,52 @@ class LintReport:
                 "errors": self.errors,
                 "warnings": self.warnings,
                 "suppressed": len(self.suppressed),
+                "cache": {
+                    "hits": self.cache_hits,
+                    "misses": self.cache_misses,
+                },
+            },
+            "timing": {
+                "total_seconds": round(self.total_seconds, 6),
+                "files": [
+                    {
+                        "path": t.path,
+                        "seconds": round(t.seconds, 6),
+                        "cached": t.cached,
+                    }
+                    for t in sorted(self.timings, key=lambda t: t.path)
+                ],
             },
         }
 
     def human(self) -> str:
         lines = [f.format() for f in self.findings]
-        lines.append(
+        summary = (
             f"{len(self.findings)} finding(s) ({self.errors} error(s), "
             f"{self.warnings} warning(s)) in {self.files} file(s); "
             f"{len(self.suppressed)} suppressed"
         )
+        if self.cache_hits:
+            summary += f"; cache: {self.cache_hits} hit(s)"
+        lines.append(summary)
         return "\n".join(lines)
+
+
+@dataclass
+class FileAnalysis:
+    """Everything the per-file rules produced for one source file.
+
+    ``context`` is None when the file failed to parse (the LNT000
+    finding is in ``findings``); it is also dropped when an analysis is
+    rehydrated from the incremental cache, because project rules
+    re-parse the one module they need instead.
+    """
+
+    path: str
+    module: str
+    findings: List[Finding]
+    suppressions: List[Suppression]
+    context: Optional[FileContext]
 
 
 class LintEngine:
@@ -380,6 +453,7 @@ class LintEngine:
 
     def lint_sources(self, named: Sequence[Tuple[str, str]]) -> LintReport:
         """Lint ``(path, source)`` pairs (the path is only a label)."""
+        run_start = time.perf_counter()
         report = LintReport(files=len(named))
         trees: List[Tuple[str, str, str, ast.Module]] = []
         for path, source in named:
@@ -391,6 +465,7 @@ class LintEngine:
                     path, exc.lineno or 1, exc.offset or 0, "LNT000",
                     SEVERITY_ERROR, f"syntax error: {exc.msg}",
                 ))
+                report.timings.append(FileTiming(path, 0.0, False))
                 continue
             trees.append((path, module, source, tree))
 
@@ -398,26 +473,69 @@ class LintEngine:
         contexts: List[FileContext] = []
         all_suppressions: List[Suppression] = []
         for path, module, source, tree in trees:
+            file_start = time.perf_counter()
             in_scope = det_scope is None or module in det_scope
-            ctx = FileContext(path, module, source, tree, in_scope)
-            contexts.append(ctx)
-            suppressions, problems = parse_suppressions(source, path)
-            all_suppressions.extend(suppressions)
-            report.findings.extend(problems)
-            self._walk(ctx)
-            for rule in self.rules:
-                rule.finish_module(ctx)
-            report.findings.extend(ctx.findings)
+            analysis = self._analyze_tree(path, module, source, tree,
+                                          in_scope)
+            if analysis.context is not None:
+                contexts.append(analysis.context)
+            all_suppressions.extend(analysis.suppressions)
+            report.findings.extend(analysis.findings)
+            report.timings.append(FileTiming(
+                path, time.perf_counter() - file_start, False))
 
-        project = ProjectContext(contexts)
-        for rule in self.rules:
-            rule.check_project(project)
-        report.findings.extend(project.findings)
-
+        report.findings.extend(self.run_project(contexts))
         self._apply_suppressions(report, all_suppressions)
         report.findings.sort()
         report.suppressed.sort()
+        report.total_seconds = time.perf_counter() - run_start
         return report
+
+    # ------------------------------------------------------------------
+    def analyze_source(self, path: str, source: str,
+                       det_in_scope: bool = True) -> "FileAnalysis":
+        """Run the per-file rules over one source; no suppression pass.
+
+        This is the unit of work the parallel runner farms out and the
+        incremental cache stores: everything about a file that depends
+        only on its own bytes.  Suppressions are returned unapplied —
+        the caller applies them globally so LNT002 staleness is judged
+        against the whole run.
+        """
+        module = module_name_for(Path(path))
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            finding = Finding(
+                path, exc.lineno or 1, exc.offset or 0, "LNT000",
+                SEVERITY_ERROR, f"syntax error: {exc.msg}",
+            )
+            return FileAnalysis(path, module, [finding], [], None)
+        return self._analyze_tree(path, module, source, tree, det_in_scope)
+
+    def _analyze_tree(self, path: str, module: str, source: str,
+                      tree: ast.Module,
+                      det_in_scope: bool) -> "FileAnalysis":
+        ctx = FileContext(path, module, source, tree, det_in_scope)
+        suppressions, problems = parse_suppressions(source, path)
+        findings = list(problems)
+        self._walk(ctx)
+        for rule in self.rules:
+            rule.finish_module(ctx)
+        findings.extend(ctx.findings)
+        return FileAnalysis(path, module, findings, suppressions, ctx)
+
+    def run_project(self, contexts: List[FileContext]) -> List[Finding]:
+        """Run the cross-file rules over already-analyzed contexts."""
+        project = ProjectContext(contexts)
+        for rule in self.rules:
+            rule.check_project(project)
+        return project.findings
+
+    @property
+    def filtered(self) -> bool:
+        """True when ``--rules`` narrowed the rule set (disables LNT002)."""
+        return self._filtered
 
     # ------------------------------------------------------------------
     def _determinism_scope(

@@ -3,9 +3,18 @@
 from typing import List
 
 from repro.lint.engine import Rule
+from repro.lint.rules.asyncrules import async_rules
 from repro.lint.rules.concurrency import concurrency_rules
 from repro.lint.rules.dataflow import dataflow_rules
 from repro.lint.rules.determinism import determinism_rules
+from repro.lint.rules.exceptions import exception_rules
+from repro.lint.rules.resources import resource_rules
+
+#: Version of the shipped rule set, keyed into the incremental result
+#: cache: bump it whenever any rule's behavior changes so stale cached
+#: findings are discarded wholesale.  The major matches the JSON report
+#: version; the minor counts rule-set revisions within it.
+RULESET_VERSION = "2.0"
 
 
 def all_rules() -> List[Rule]:
@@ -13,5 +22,8 @@ def all_rules() -> List[Rule]:
     return [
         *determinism_rules(),
         *dataflow_rules(),
+        *async_rules(),
+        *resource_rules(),
+        *exception_rules(),
         *concurrency_rules(),
     ]

@@ -1,0 +1,308 @@
+"""Async-safety rules (ASYNC) for the coroutine-facing serve layer.
+
+The serve front end multiplexes many connections over one event loop:
+every ``await`` is a point where *any* other coroutine may run.  These
+rules pin the three failure shapes that follow — lost updates to shared
+state across an await, the event loop stalled by a synchronous call,
+and task exceptions that evaporate because nothing ever awaited the
+task — plus the inverse mistake of pinning a *threading* lock across an
+await (which stalls every thread contending for it).
+
+All four rules reason on the function's CFG (:mod:`repro.lint.cfg`):
+"across an await" is a path query, not a line-number comparison, so an
+await inside one branch of an ``if`` is handled correctly.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.cfg import CFG, CFGNode
+from repro.lint.dataflow import await_before_kill, path_with_await
+from repro.lint.engine import FileContext, Rule
+from repro.lint.rules.concurrency import _LOCKISH_RE
+
+#: Calls that block the calling thread — poison inside ``async def``,
+#: where the calling thread is the event loop.
+_BLOCKING_QUALS = frozenset({
+    "time.sleep", "os.fsync", "io.open", "open",
+    "subprocess.run", "subprocess.check_output", "subprocess.check_call",
+    "socket.create_connection",
+})
+
+_TASK_SPAWN_SUFFIXES = ("create_task", "ensure_future")
+
+
+def _base_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_lockish(expr: ast.AST) -> bool:
+    name = _base_name(expr)
+    return name is not None and bool(_LOCKISH_RE.search(name))
+
+
+def _self_attrs(node: CFGNode) -> Iterator[Tuple[str, bool]]:
+    """(attribute name, is_write) for every ``self.X`` access the node owns.
+
+    An ``AugAssign`` target is both: ``self.n += 1`` reads and writes.
+    """
+    for expr in node.exprs:
+        for sub in ast.walk(expr):
+            if not (isinstance(sub, ast.Attribute)
+                    and isinstance(sub.value, ast.Name)
+                    and sub.value.id == "self"):
+                continue
+            if isinstance(sub.ctx, ast.Store):
+                yield sub.attr, True
+                parent_aug = isinstance(node.ast_node, ast.AugAssign) and (
+                    node.ast_node.target is sub)
+                if parent_aug:
+                    yield sub.attr, False
+            elif isinstance(sub.ctx, ast.Load):
+                yield sub.attr, False
+
+
+def _under_lock(ctx: FileContext, node: CFGNode,
+                function: ast.AST) -> bool:
+    """Is this program point inside a lock-holding ``with`` block?
+
+    Walks the AST ancestry (not the CFG): a node whose statement sits
+    in the body of a ``with <lockish>:`` / ``async with <lockish>:``
+    executes with the lock held.  The ``with`` header itself does not.
+    """
+    current = node.ast_node
+    if current is None:
+        return False
+    current = ctx.parent(current)
+    while current is not None and current is not function:
+        if isinstance(current, (ast.With, ast.AsyncWith)):
+            if any(_is_lockish(item.context_expr)
+                   for item in current.items):
+                return True
+        current = ctx.parent(current)
+    return False
+
+
+class AwaitRaceRule(Rule):
+    id = "ASYNC001"
+    title = "read-modify-write of self state across an await without a lock"
+    rationale = (
+        "Every await is a scheduling point: another coroutine can run "
+        "between the read and the write and its update is then lost. "
+        "Make the read-modify-write atomic (no await between them) or "
+        "hold an asyncio.Lock across the whole sequence."
+    )
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef,
+                               ctx: FileContext) -> None:
+        cfg = ctx.cfg(node)
+        reads: Dict[str, List[int]] = {}
+        writes: Dict[str, List[int]] = {}
+        for cfg_node in cfg.nodes.values():
+            for attr, is_write in _self_attrs(cfg_node):
+                bucket = writes if is_write else reads
+                bucket.setdefault(attr, []).append(cfg_node.id)
+        for attr, write_nodes in sorted(writes.items()):
+            read_nodes = reads.get(attr)
+            if not read_nodes:
+                continue
+            for write_id in sorted(set(write_nodes)):
+                write_node = cfg.nodes[write_id]
+                if _under_lock(ctx, write_node, node):
+                    continue
+                if self._races(cfg, ctx, node, read_nodes, write_id):
+                    ctx.report(
+                        self, write_node.ast_node or node,
+                        f"self.{attr} is read before an await and "
+                        f"written after it with no lock held; another "
+                        f"coroutine can interleave at the await and its "
+                        f"update is lost — make the read-modify-write "
+                        f"atomic or guard it with a lock",
+                    )
+                    break
+
+    def _races(self, cfg: CFG, ctx: FileContext, function: ast.AST,
+               read_nodes: List[int], write_id: int) -> bool:
+        for read_id in sorted(set(read_nodes)):
+            if _under_lock(ctx, cfg.nodes[read_id], function):
+                continue
+            if read_id == write_id:
+                if cfg.nodes[write_id].awaits:
+                    return True
+                continue
+            if path_with_await(cfg, read_id, write_id):
+                return True
+        return False
+
+
+class BlockingCallInAsyncRule(Rule):
+    id = "ASYNC002"
+    title = "blocking call inside an async def"
+    rationale = (
+        "A synchronous sleep/open/fsync/urlopen/queue operation inside "
+        "a coroutine blocks the event loop thread: every other "
+        "connection stalls for the duration. Use the async equivalent "
+        "(asyncio.sleep, loop.run_in_executor, asyncio.Queue) instead."
+    )
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef,
+                               ctx: FileContext) -> None:
+        for call in self._own_calls(node):
+            qual = ctx.qualname(call.func)
+            blocking = self._blocking_reason(qual, call)
+            if blocking is not None:
+                ctx.report(
+                    self, call,
+                    f"{blocking} blocks the event loop thread inside "
+                    f"'async def {node.name}'; every other connection "
+                    f"stalls — use the async equivalent or push it to "
+                    f"an executor",
+                )
+
+    def _own_calls(self, function: ast.AsyncFunctionDef
+                   ) -> Iterator[ast.Call]:
+        stack: List[ast.AST] = list(function.body)
+        while stack:
+            current = stack.pop()
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                    ast.Lambda)):
+                continue
+            if isinstance(current, ast.Call):
+                yield current
+            stack.extend(ast.iter_child_nodes(current))
+
+    def _blocking_reason(self, qual: Optional[str],
+                         call: ast.Call) -> Optional[str]:
+        if qual in _BLOCKING_QUALS:
+            return f"{qual}()"
+        if qual is not None and qual.endswith(".fsync"):
+            return f"{qual}()"
+        if qual is not None and (qual == "fs.open"
+                                 or qual.endswith(".fs.open")):
+            return f"{qual}()"
+        if qual is not None and qual.rsplit(".", 1)[-1] == "urlopen":
+            return "urlopen()"
+        func = call.func
+        if (isinstance(func, ast.Attribute) and func.attr in ("get", "put")):
+            base = _base_name(func.value)
+            if base is not None and (
+                    "queue" in base.lower() or base.lower().endswith("_q")):
+                return f"queue.Queue.{func.attr}()"
+        return None
+
+
+class FireAndForgetTaskRule(Rule):
+    id = "ASYNC003"
+    title = "fire-and-forget create_task whose exceptions are lost"
+    rationale = (
+        "A task nobody keeps a reference to (and never awaits) reports "
+        "its exception only as a garbage-collection-time log line — the "
+        "failure is silently dropped and the task may even be "
+        "collected mid-flight. Keep the reference and await/gather it, "
+        "or attach a done callback that surfaces the exception."
+    )
+
+    def visit_Expr(self, node: ast.Expr, ctx: FileContext) -> None:
+        call = node.value
+        if not isinstance(call, ast.Call):
+            return
+        qual = ctx.qualname(call.func) or ""
+        leaf = qual.rsplit(".", 1)[-1]
+        if leaf not in _TASK_SPAWN_SUFFIXES:
+            return
+        ctx.report(
+            self, call,
+            f"{leaf}() result is discarded: the task's exception is "
+            f"never retrieved and the task itself may be garbage "
+            f"collected — keep the reference and await it, or add a "
+            f"done callback that logs",
+        )
+
+
+class LockAcrossAwaitRule(Rule):
+    id = "ASYNC004"
+    title = "threading lock held across an await point"
+    rationale = (
+        "Awaiting while holding a synchronous lock parks the coroutine "
+        "with the lock still held; any thread (or coroutine via "
+        "run_in_executor) contending for it blocks for an unbounded "
+        "scheduling delay. Use asyncio.Lock ('async with') in "
+        "coroutines, or release before awaiting."
+    )
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef,
+                               ctx: FileContext) -> None:
+        self._check_sync_withs(node, ctx)
+        self._check_acquire_paths(node, ctx)
+
+    def _check_sync_withs(self, function: ast.AsyncFunctionDef,
+                          ctx: FileContext) -> None:
+        stack: List[ast.AST] = list(function.body)
+        while stack:
+            current = stack.pop()
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                    ast.Lambda)):
+                continue
+            if (isinstance(current, ast.With)
+                    and any(_is_lockish(item.context_expr)
+                            for item in current.items)
+                    and self._body_awaits(current.body)):
+                ctx.report(
+                    self, current,
+                    "sync 'with <lock>:' body awaits while holding the "
+                    "lock; the coroutine parks with the lock held — use "
+                    "'async with' on an asyncio.Lock, or release before "
+                    "awaiting",
+                )
+            stack.extend(ast.iter_child_nodes(current))
+
+    def _body_awaits(self, body: List[ast.stmt]) -> bool:
+        stack: List[ast.AST] = list(body)
+        while stack:
+            current = stack.pop()
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                    ast.Lambda)):
+                continue
+            if isinstance(current, ast.Await):
+                return True
+            stack.extend(ast.iter_child_nodes(current))
+        return False
+
+    def _check_acquire_paths(self, function: ast.AsyncFunctionDef,
+                             ctx: FileContext) -> None:
+        cfg = ctx.cfg(function)
+        acquires: List[Tuple[int, str, ast.Call]] = []
+        releases: Dict[str, Set[int]] = {}
+        for cfg_node in cfg.nodes.values():
+            for expr in cfg_node.exprs:
+                for sub in ast.walk(expr):
+                    if not (isinstance(sub, ast.Call)
+                            and isinstance(sub.func, ast.Attribute)):
+                        continue
+                    base = _base_name(sub.func.value)
+                    if base is None or not _LOCKISH_RE.search(base):
+                        continue
+                    if sub.func.attr == "acquire":
+                        acquires.append((cfg_node.id, base, sub))
+                    elif sub.func.attr == "release":
+                        releases.setdefault(base, set()).add(cfg_node.id)
+        for node_id, base, call in acquires:
+            if await_before_kill(cfg, node_id, releases.get(base, set())):
+                ctx.report(
+                    self, call,
+                    f"{base}.acquire() is held across an await point; "
+                    f"the parked coroutine keeps the lock and stalls "
+                    f"every contender — release before awaiting or use "
+                    f"asyncio.Lock",
+                )
+
+
+def async_rules() -> Tuple[Rule, ...]:
+    return (AwaitRaceRule(), BlockingCallInAsyncRule(),
+            FireAndForgetTaskRule(), LockAcrossAwaitRule())

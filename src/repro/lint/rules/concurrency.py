@@ -14,8 +14,10 @@ from __future__ import annotations
 
 import ast
 import re
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
+from repro.lint.cfg import FunctionNode
+from repro.lint.dataflow import dominators, postdominators
 from repro.lint.engine import SEVERITY_WARNING, FileContext, Rule
 
 _LOCKISH_RE = re.compile(r"(lock|mutex|sem(aphore)?|cond(ition)?)s?$",
@@ -33,42 +35,54 @@ PROCESS_POOL_MODULES = ("multiprocessing", "concurrent.futures")
 
 class FsyncBeforeReplaceRule(Rule):
     id = "CONC001"
-    title = "os.replace without a preceding fsync"
+    title = "os.replace not dominated by an fsync"
     rationale = (
         "os.replace is atomic for readers but not durable: renaming a "
         "file whose data was never fsync'd can leave an empty or torn "
-        "target after a crash. Flush and fsync the temp file before "
-        "moving it into place."
+        "target after a crash. The fsync must *dominate* the replace — "
+        "happen on every path to it, not just exist earlier in the "
+        "function text — so an fsync inside one branch of an if does "
+        "not cover a replace after the join."
     )
 
-    def _check_scope(self, body: List[ast.stmt], ctx: FileContext) -> None:
-        fsync_lines: List[int] = []
-        replaces: List[ast.Call] = []
-        for stmt in body:
-            for node in ast.walk(stmt):
-                if isinstance(node, ast.FunctionDef) and node is not stmt:
-                    break  # nested defs are visited as their own scope
-                if not isinstance(node, ast.Call):
-                    continue
-                qual = ctx.qualname(node.func)
-                if qual == "os.fsync" or (qual or "").endswith(".fsync"):
-                    fsync_lines.append(node.lineno)
-                elif qual == "os.replace":
-                    replaces.append(node)
-        for call in replaces:
-            if not any(line < call.lineno for line in fsync_lines):
+    def _check_scope(self, function: FunctionNode,
+                     ctx: FileContext) -> None:
+        cfg = ctx.cfg(function)
+        fsync_nodes: List[int] = []
+        replaces: List[Tuple[int, ast.Call]] = []
+        for cfg_node in cfg.nodes.values():
+            for expr in cfg_node.exprs:
+                for sub in ast.walk(expr):
+                    if not isinstance(sub, ast.Call):
+                        continue
+                    qual = ctx.qualname(sub.func) or ""
+                    if qual == "os.fsync" or qual.endswith(".fsync"):
+                        fsync_nodes.append(cfg_node.id)
+                    elif (qual == "os.replace" or qual == "fs.replace"
+                          or qual.endswith(".fs.replace")):
+                        replaces.append((cfg_node.id, sub))
+        if not replaces:
+            return
+        dom = dominators(cfg)
+        for node_id, call in replaces:
+            node_doms = dom.get(node_id, set())
+            covered = any(f == node_id or f in node_doms
+                          for f in fsync_nodes)
+            if not covered:
                 ctx.report(self, call,
-                           "os.replace() without an os.fsync() of the "
-                           "source file earlier in this function; the "
-                           "rename is atomic but not durable")
+                           "os.replace() is not dominated by an "
+                           "os.fsync() of the source file: on some path "
+                           "the rename happens without a preceding "
+                           "fsync, so a crash can surface a torn or "
+                           "empty target")
 
     def visit_FunctionDef(self, node: ast.FunctionDef,
                           ctx: FileContext) -> None:
-        self._check_scope(node.body, ctx)
+        self._check_scope(node, ctx)
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef,
                                ctx: FileContext) -> None:
-        self._check_scope(node.body, ctx)
+        self._check_scope(node, ctx)
 
 
 class ModuleMutableStateRule(Rule):
@@ -121,12 +135,14 @@ class ModuleMutableStateRule(Rule):
 
 class LockDisciplineRule(Rule):
     id = "CONC003"
-    title = "lock acquired without try/finally or context manager"
+    title = "lock release does not post-dominate the acquire"
     rationale = (
         "An exception between acquire() and release() leaks the lock "
         "and deadlocks every later acquirer — exactly the code paths "
-        "the resilience layer exists to survive. Use `with lock:` (or "
-        "try/finally) so release is unconditional."
+        "the resilience layer exists to survive. The release must "
+        "post-dominate the acquire: every outcome after the acquire "
+        "succeeds, normal or exceptional, must pass a release. Use "
+        "`with lock:` (or try/finally)."
     )
 
     def _base_name(self, node: ast.AST) -> Optional[str]:
@@ -136,50 +152,52 @@ class LockDisciplineRule(Rule):
             return node.id
         return None
 
-    def _releases(self, node: ast.AST, name: str) -> bool:
-        for sub in ast.walk(node):
-            if (isinstance(sub, ast.Call)
-                    and isinstance(sub.func, ast.Attribute)
-                    and sub.func.attr == "release"
-                    and self._base_name(sub.func.value) == name):
-                return True
-        return False
+    def _check_scope(self, function: FunctionNode,
+                     ctx: FileContext) -> None:
+        cfg = ctx.cfg(function)
+        acquires: List[Tuple[int, str, ast.Call]] = []
+        releases: Dict[str, Set[int]] = {}
+        for cfg_node in cfg.nodes.values():
+            for expr in cfg_node.exprs:
+                for sub in ast.walk(expr):
+                    if not (isinstance(sub, ast.Call)
+                            and isinstance(sub.func, ast.Attribute)):
+                        continue
+                    base = self._base_name(sub.func.value)
+                    if base is None or not _LOCKISH_RE.search(base):
+                        continue
+                    if sub.func.attr == "acquire":
+                        acquires.append((cfg_node.id, base, sub))
+                    elif sub.func.attr == "release":
+                        releases.setdefault(base, set()).add(cfg_node.id)
+        if not acquires:
+            return
+        pdom = postdominators(cfg)
+        for node_id, base, call in acquires:
+            # The acquire's *own* exception edge means the lock was
+            # never taken — judge only flow after it succeeds: every
+            # normal successor must be post-dominated by a release.
+            release_nodes = releases.get(base, set())
+            successors = list(cfg.normal_successors(node_id))
+            held_paths_released = successors and all(
+                any(r == succ or r in pdom.get(succ, set())
+                    for r in release_nodes)
+                for succ in successors
+            )
+            if not held_paths_released:
+                ctx.report(self, call,
+                           f"{base}.acquire() without a release on every "
+                           f"path (normal and exceptional); use "
+                           f"'with {base}:' or try/finally so an "
+                           f"exception cannot leak the lock")
 
-    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
-        if not (isinstance(node.func, ast.Attribute)
-                and node.func.attr == "acquire"):
-            return
-        name = self._base_name(node.func.value)
-        if name is None or not _LOCKISH_RE.search(name):
-            return
-        # Acceptable shapes: the acquire is inside (or immediately
-        # before) a try whose finally releases the same lock.
-        seen: ast.AST = node
-        parent = ctx.parent(node)
-        while parent is not None:
-            if isinstance(parent, ast.Try) and parent.finalbody:
-                if any(self._releases(stmt, name)
-                       for stmt in parent.finalbody):
-                    return
-            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef,
-                                   ast.Module)):
-                # Last chance: acquire statement directly followed by a
-                # try/finally that releases.
-                body = getattr(parent, "body", [])
-                for i, stmt in enumerate(body[:-1]):
-                    if seen in ast.walk(stmt):
-                        nxt = body[i + 1]
-                        if (isinstance(nxt, ast.Try) and nxt.finalbody
-                                and any(self._releases(s, name)
-                                        for s in nxt.finalbody)):
-                            return
-                break
-            seen = parent
-            parent = ctx.parent(parent)
-        ctx.report(self, node,
-                   f"{name}.acquire() without a guaranteed release; use "
-                   f"'with {name}:' or try/finally so an exception "
-                   f"cannot leak the lock")
+    def visit_FunctionDef(self, node: ast.FunctionDef,
+                          ctx: FileContext) -> None:
+        self._check_scope(node, ctx)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef,
+                               ctx: FileContext) -> None:
+        self._check_scope(node, ctx)
 
 
 #: Modules CONC004 scopes to: the columnar merge-kernel layer, where a

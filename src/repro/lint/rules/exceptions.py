@@ -1,0 +1,144 @@
+"""Exception-safety rules (EXC) for the durability-critical modules.
+
+The pipeline's ledgers and journals exist so that *failures leave
+evidence*.  A ``try/except Exception: pass`` in that code erases the
+evidence: the job looks done, the artifact looks written, and the
+corruption surfaces days later as a cache hit on garbage.  EXC001
+flags broad handlers that swallow silently in the stage/journal/ledger
+modules; EXC002 flags bare ``except:`` / ``except BaseException``
+anywhere, because those also eat ``KeyboardInterrupt`` and
+``SystemExit`` unless they re-raise.
+
+"Swallows silently" is judged structurally: a handler body is a
+swallow when it neither raises, nor calls anything (no logging, no
+journaling, no degradation recording), nor even touches the bound
+exception name.  Handlers that do any of those are assumed to be
+handling, not hiding — the rule trades recall for near-zero false
+positives, and the residue is suppressed with a recorded reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.lint.engine import FileContext, Rule
+
+#: Where EXC001 applies: the modules whose failure evidence the rest of
+#: the system depends on (serve ledger/artifacts, resilience journal
+#: and checkpoints, the pipeline stage bodies, batch extraction).
+EXC_SCOPE_FRAGMENTS = ("/serve/", "/resilience/", "/core/pipeline.py",
+                       "/batch.py")
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+_BARE_NAMES = frozenset({"BaseException"})
+
+
+def _handler_names(handler: ast.ExceptHandler,
+                   ctx: FileContext) -> Iterator[str]:
+    if handler.type is None:
+        return
+    targets = (handler.type.elts if isinstance(handler.type, ast.Tuple)
+               else [handler.type])
+    for target in targets:
+        qual = ctx.qualname(target)
+        if qual is not None:
+            yield qual.rsplit(".", 1)[-1]
+
+
+def _is_broad(handler: ast.ExceptHandler, ctx: FileContext) -> bool:
+    if handler.type is None:
+        return True
+    return any(name in _BROAD_NAMES
+               for name in _handler_names(handler, ctx))
+
+
+def _body_is_silent(handler: ast.ExceptHandler) -> bool:
+    """No raise, no call, no use of the bound exception name."""
+    for stmt in handler.body:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, (ast.Raise, ast.Call)):
+                return False
+            if (handler.name is not None and isinstance(sub, ast.Name)
+                    and sub.id == handler.name):
+                return False
+    return True
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(sub, ast.Raise)
+               for stmt in handler.body for sub in ast.walk(stmt))
+
+
+def _describe(handler: ast.ExceptHandler, ctx: FileContext) -> str:
+    if handler.type is None:
+        return "bare 'except:'"
+    names = list(_handler_names(handler, ctx))
+    return f"'except {', '.join(names) or '...'}'"
+
+
+class SwallowedExceptionRule(Rule):
+    id = "EXC001"
+    title = "broad except swallows silently in durability-critical code"
+    rationale = (
+        "A broad handler that neither re-raises, nor logs, nor records "
+        "a degradation erases the only evidence a failure happened — "
+        "in ledger/journal/stage code that converts crashes into "
+        "silent corruption. Narrow the exception type, or make the "
+        "handler leave a trace."
+    )
+
+    def _in_scope(self, ctx: FileContext) -> bool:
+        path = "/" + ctx.path.replace("\\", "/").lstrip("/")
+        return any(fragment in path for fragment in EXC_SCOPE_FRAGMENTS)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler,
+                            ctx: FileContext) -> None:
+        if not self._in_scope(ctx):
+            return
+        if not _is_broad(node, ctx):
+            return
+        if not _body_is_silent(node):
+            return
+        ctx.report(
+            self, node,
+            f"{_describe(node, ctx)} swallows the exception without "
+            f"re-raising, logging, or recording a degradation; in "
+            f"ledger/journal/stage code this converts a crash into "
+            f"silent corruption — narrow the type or leave a trace",
+        )
+
+
+class BareExceptRule(Rule):
+    id = "EXC002"
+    severity = "warning"
+    title = "bare except / except BaseException without re-raise"
+    rationale = (
+        "A bare except (or except BaseException) also catches "
+        "KeyboardInterrupt and SystemExit: Ctrl-C stops stopping the "
+        "process and clean shutdown paths never run. Catch Exception "
+        "instead, or re-raise unconditionally."
+    )
+
+    def _is_bare(self, node: ast.ExceptHandler, ctx: FileContext) -> bool:
+        if node.type is None:
+            return True
+        return any(name in _BARE_NAMES
+                   for name in _handler_names(node, ctx))
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler,
+                            ctx: FileContext) -> None:
+        if not self._is_bare(node, ctx):
+            return
+        if _reraises(node):
+            return
+        ctx.report(
+            self, node,
+            f"{_describe(node, ctx)} without an unconditional re-raise "
+            f"also swallows KeyboardInterrupt/SystemExit; catch "
+            f"Exception, or re-raise",
+        )
+
+
+def exception_rules() -> Tuple[Rule, ...]:
+    return (SwallowedExceptionRule(), BareExceptRule())

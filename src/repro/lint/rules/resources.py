@@ -1,0 +1,344 @@
+"""Resource-obligation rules (RES): every path must discharge what it opens.
+
+The crash-safety story of the batch/serve layers is "write to a temp
+file, fsync, ``os.replace`` into place, unlink the temp on failure".
+The *shape* of that idiom is an obligation: creating the temp file (or
+opening a handle, or connecting a socket) obliges every subsequent CFG
+path to discharge it.  These rules run
+:func:`repro.lint.dataflow.track_obligations` per function and report
+obligations still live at the function's exits:
+
+* RES001 — a temp file (``tempfile.mkstemp`` result, or a write-mode
+  ``open``/``fs.open`` of a tmp-named variable) must reach ``replace``
+  / ``rename`` / ``unlink`` / ``remove`` on every non-exceptional path,
+  and be cleaned up on exception paths too.  The tree-wide cleanup
+  idiom ``finally: if tmp.exists(): tmp.unlink()`` is recognized: an
+  ``if`` header that tests ``<var>.exists(...)`` counts as a discharge,
+  because the guard plus its body handle both cases.
+* RES002 — a file handle bound by ``h = open(...)`` must be ``close``d
+  on every path (or escape: returned, yielded, stored on an object, or
+  handed to another call, which transfers ownership).  Handles managed
+  by ``with`` never create the obligation.
+* RES003 — sockets, subprocesses, and DB connections
+  (``socket.socket``, ``socket.create_connection``, ``subprocess.Popen``,
+  ``sqlite3.connect``) must reach their finalizer (``close`` /
+  ``terminate`` / ``kill`` / ``wait`` / ``communicate`` / ``shutdown``)
+  on every path, with the same escape rules as RES002.
+
+Locks are deliberately *not* covered here — release-on-every-path for
+locks is CONC003's contract.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.lint.cfg import CFG, CFGNode, FunctionNode
+from repro.lint.dataflow import track_obligations
+from repro.lint.engine import FileContext, Rule
+
+_TMPISH_RE = re.compile(r"(^|_)(tmp|temp)(_|$|\d)|^(tmp|temp)[a-z0-9_]*$",
+                        re.IGNORECASE)
+
+_RES001_DISCHARGES = frozenset({"replace", "rename", "unlink", "remove",
+                                "move"})
+_RES002_FINALIZERS = frozenset({"close"})
+_RES003_FACTORIES = frozenset({
+    "socket.socket", "socket.create_connection",
+    "subprocess.Popen", "sqlite3.connect",
+})
+_RES003_FINALIZERS = frozenset({"close", "terminate", "kill", "wait",
+                               "communicate", "shutdown"})
+
+
+def _names_in(node: ast.AST) -> Set[str]:
+    return {sub.id for sub in ast.walk(node) if isinstance(sub, ast.Name)}
+
+
+def _assigned_name(stmt: ast.AST) -> Optional[str]:
+    """The simple name bound by ``name = ...``, else None."""
+    if (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)):
+        return stmt.targets[0].id
+    if (isinstance(stmt, ast.AnnAssign) and stmt.value is not None
+            and isinstance(stmt.target, ast.Name)):
+        return stmt.target.id
+    return None
+
+
+def _escapes(node: CFGNode, name: str) -> bool:
+    """Does this node transfer ownership of ``name`` out of the function?
+
+    Returning/yielding the resource, storing it on an object or into a
+    container, all hand responsibility to someone who outlives the
+    function body.
+    """
+    for expr in node.exprs:
+        for sub in ast.walk(expr):
+            if isinstance(sub, (ast.Return, ast.Yield, ast.YieldFrom)):
+                value = sub.value
+                if value is not None and name in _names_in(value):
+                    return True
+            elif isinstance(sub, ast.Assign):
+                if name not in _names_in(sub.value):
+                    continue
+                for target in sub.targets:
+                    if isinstance(target, (ast.Attribute, ast.Subscript)):
+                        return True
+    if (isinstance(node.ast_node, ast.Return)
+            and node.ast_node.value is not None
+            and name in _names_in(node.ast_node.value)):
+        return True
+    return False
+
+
+def _passed_to_call(node: CFGNode, name: str) -> bool:
+    """Is ``name`` an *argument* of some call (not the receiver)?"""
+    for expr in node.exprs:
+        for sub in ast.walk(expr):
+            if not isinstance(sub, ast.Call):
+                continue
+            for arg in list(sub.args) + [kw.value for kw in sub.keywords]:
+                if name in _names_in(arg):
+                    return True
+    return False
+
+
+class _ObligationRule(Rule):
+    """Shared CFG-obligation machinery for the RES family."""
+
+    def visit_FunctionDef(self, node: ast.FunctionDef,
+                          ctx: FileContext) -> None:
+        self._check(node, ctx)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef,
+                               ctx: FileContext) -> None:
+        self._check(node, ctx)
+
+    def _check(self, function: FunctionNode, ctx: FileContext) -> None:
+        cfg = ctx.cfg(function)
+        gens: Dict[int, List[str]] = {}
+        for cfg_node in cfg.nodes.values():
+            for name in self._creations(cfg_node, ctx):
+                gens.setdefault(cfg_node.id, []).append(name)
+        if not gens:
+            return
+        tracked = {name for names in gens.values() for name in names}
+        kills: Dict[int, Set[str]] = {}
+        for cfg_node in cfg.nodes.values():
+            killed = {name for name in tracked
+                      if self._discharges(cfg_node, name, ctx)}
+            if killed:
+                kills[cfg_node.id] = killed
+        leaked_normal, leaked_exc = track_obligations(cfg, gens, kills)
+        reported: Set[Tuple[int, str]] = set()
+        for node_id, name in sorted(leaked_normal):
+            reported.add((node_id, name))
+            anchor = cfg.nodes[node_id].ast_node or function
+            ctx.report(self, anchor, self._message(name, exceptional=False))
+        for node_id, name in sorted(leaked_exc):
+            if (node_id, name) in reported:
+                continue
+            anchor = cfg.nodes[node_id].ast_node or function
+            ctx.report(self, anchor, self._message(name, exceptional=True))
+
+    # Subclass surface -------------------------------------------------
+    def _creations(self, node: CFGNode,
+                   ctx: FileContext) -> Iterable[str]:
+        raise NotImplementedError
+
+    def _discharges(self, node: CFGNode, name: str,
+                    ctx: FileContext) -> bool:
+        raise NotImplementedError
+
+    def _message(self, name: str, exceptional: bool) -> str:
+        raise NotImplementedError
+
+
+class TempFileObligationRule(_ObligationRule):
+    id = "RES001"
+    title = "temp file not replaced or unlinked on every path"
+    rationale = (
+        "A temp file that misses its os.replace()/unlink() on some "
+        "path is worse than litter: a later run can mistake it for a "
+        "half-written artifact, and on exception paths it leaks one "
+        "file per failure. Every path must end in replace-or-unlink; "
+        "the 'finally: if tmp.exists(): tmp.unlink()' idiom satisfies "
+        "the exception side."
+    )
+
+    def _creations(self, node: CFGNode, ctx: FileContext) -> Iterable[str]:
+        stmt = node.ast_node
+        if stmt is None:
+            return
+        name = _assigned_name(stmt)
+        value = getattr(stmt, "value", None)
+        if name is not None and isinstance(value, ast.Call):
+            qual = ctx.qualname(value.func) or ""
+            if qual == "tempfile.mkstemp":
+                yield name
+                return
+        # A write-mode open of a tmp-named variable creates the
+        # obligation on the *tmp name*, with or without an assignment:
+        # ``with fs.open(str(tmp), "w") as fh:`` is the common shape.
+        for expr in node.exprs:
+            for sub in ast.walk(expr):
+                if not isinstance(sub, ast.Call):
+                    continue
+                func = sub.func
+                is_open = (isinstance(func, ast.Name) and func.id == "open"
+                           ) or (isinstance(func, ast.Attribute)
+                                 and func.attr == "open")
+                if not is_open or not self._write_mode(sub):
+                    continue
+                for arg_name in (_names_in(sub.args[0])
+                                 if sub.args else set()):
+                    if _TMPISH_RE.search(arg_name):
+                        yield arg_name
+
+    def _write_mode(self, call: ast.Call) -> bool:
+        mode: Optional[ast.AST] = None
+        if len(call.args) >= 2:
+            mode = call.args[1]
+        for kw in call.keywords:
+            if kw.arg == "mode":
+                mode = kw.value
+        if mode is None:
+            return False
+        if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+            return any(flag in mode.value for flag in ("w", "a", "x", "+"))
+        return True  # dynamic mode: assume writing
+
+    def _discharges(self, node: CFGNode, name: str,
+                    ctx: FileContext) -> bool:
+        stmt = node.ast_node
+        # The exists()-guard idiom: the If header that tests
+        # ``tmp.exists()`` discharges — guard plus body cover both the
+        # already-replaced and still-present cases.
+        if node.kind == "test" and isinstance(stmt, ast.If):
+            for sub in ast.walk(stmt.test):
+                if (isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr == "exists"
+                        and name in _names_in(sub.func)):
+                    return True
+        for expr in node.exprs:
+            for sub in ast.walk(expr):
+                if not isinstance(sub, ast.Call):
+                    continue
+                func = sub.func
+                attr = (func.attr if isinstance(func, ast.Attribute)
+                        else func.id if isinstance(func, ast.Name) else "")
+                if attr not in _RES001_DISCHARGES:
+                    continue
+                involved = _names_in(sub)
+                if name in involved:
+                    return True
+        return _escapes(node, name)
+
+    def _message(self, name: str, exceptional: bool) -> str:
+        if exceptional:
+            return (f"temp file {name!r} is not cleaned up on an "
+                    f"exception path; add 'finally: if {name}.exists(): "
+                    f"{name}.unlink()' so failures do not leak "
+                    f"half-written files")
+        return (f"temp file {name!r} can reach the end of this function "
+                f"without os.replace() or unlink(); some path leaves a "
+                f"stray file a later run can mistake for a real artifact")
+
+
+class OpenHandleRule(_ObligationRule):
+    id = "RES002"
+    title = "file handle not closed on every path"
+    rationale = (
+        "A handle left open on some CFG path holds its descriptor (and "
+        "on Windows, its lock on the file) until garbage collection "
+        "gets around to it — under load that is descriptor exhaustion. "
+        "Use 'with open(...)', or close in a finally."
+    )
+
+    def _creations(self, node: CFGNode, ctx: FileContext) -> Iterable[str]:
+        stmt = node.ast_node
+        if stmt is None or isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return  # with-managed handles close themselves
+        name = _assigned_name(stmt)
+        if name is None:
+            return
+        value = getattr(stmt, "value", None)
+        if not isinstance(value, ast.Call):
+            return
+        func = value.func
+        is_open = (isinstance(func, ast.Name)
+                   and ctx.aliases.get(func.id, func.id) == "open"
+                   ) or (isinstance(func, ast.Attribute)
+                         and func.attr == "open")
+        if is_open:
+            yield name
+
+    def _discharges(self, node: CFGNode, name: str,
+                    ctx: FileContext) -> bool:
+        for expr in node.exprs:
+            for sub in ast.walk(expr):
+                if (isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr in _RES002_FINALIZERS
+                        and isinstance(sub.func.value, ast.Name)
+                        and sub.func.value.id == name):
+                    return True
+        return _escapes(node, name) or _passed_to_call(node, name)
+
+    def _message(self, name: str, exceptional: bool) -> str:
+        where = ("an exception path" if exceptional
+                 else "a non-exceptional path")
+        return (f"file handle {name!r} is not closed on {where}; use "
+                f"'with open(...)' or close it in a finally block")
+
+
+class ResourceFinalizerRule(_ObligationRule):
+    id = "RES003"
+    title = "socket/process/connection not finalized on every path"
+    rationale = (
+        "Sockets, subprocesses, and DB connections that skip their "
+        "finalizer on some path leak descriptors, zombie processes, or "
+        "write-ahead locks. Close/terminate in a finally, or use the "
+        "object's context manager."
+    )
+
+    def _creations(self, node: CFGNode, ctx: FileContext) -> Iterable[str]:
+        stmt = node.ast_node
+        if stmt is None or isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return
+        name = _assigned_name(stmt)
+        if name is None:
+            return
+        value = getattr(stmt, "value", None)
+        if not isinstance(value, ast.Call):
+            return
+        if (ctx.qualname(value.func) or "") in _RES003_FACTORIES:
+            yield name
+
+    def _discharges(self, node: CFGNode, name: str,
+                    ctx: FileContext) -> bool:
+        for expr in node.exprs:
+            for sub in ast.walk(expr):
+                if (isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr in _RES003_FINALIZERS
+                        and isinstance(sub.func.value, ast.Name)
+                        and sub.func.value.id == name):
+                    return True
+        return _escapes(node, name) or _passed_to_call(node, name)
+
+    def _message(self, name: str, exceptional: bool) -> str:
+        where = ("an exception path" if exceptional
+                 else "a non-exceptional path")
+        return (f"resource {name!r} is not closed/terminated on {where}; "
+                f"finalize it in a finally block or use its context "
+                f"manager")
+
+
+def resource_rules() -> Tuple[Rule, ...]:
+    return (TempFileObligationRule(), OpenHandleRule(),
+            ResourceFinalizerRule())

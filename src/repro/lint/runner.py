@@ -1,0 +1,325 @@
+"""Parallel + incremental front end for the lint engine.
+
+:func:`run_lint` is what ``repro lint`` actually calls.  It splits a
+run into the per-file work :meth:`LintEngine.analyze_source` does
+(cacheable, parallelizable — it depends only on one file's bytes) and
+the global work that must see the whole run (determinism scope, the
+project rules, suppression application, LNT002 staleness).
+
+**Incremental cache.**  ``cache_path`` names a JSON file keyed by
+(file sha256, rule-set version, rule filter, determinism-scope flag).
+A warm run re-reads sources, hashes them, and reuses the cached
+findings and suppressions of every unchanged file; only the stage-graph
+module is re-parsed, because the cross-file DF rules analyze its tree
+every run.  Any header mismatch — cache format, ``RULESET_VERSION``, or
+the ``--rules`` filter — discards the whole cache: rule behavior is
+global state, so partial reuse would mix verdicts from two analyzers.
+
+**Parallelism.**  ``jobs > 1`` fans the per-file misses over a process
+pool.  Determinism is preserved by construction: files are analyzed
+independently, results are reassembled in path-sorted order, and the
+final report is sorted exactly as the serial path sorts it — the JSON
+report is byte-identical at any worker count except for the ``timing``
+block, which is wall-clock measurement and documented as volatile.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.lint.engine import (
+    FileContext,
+    FileTiming,
+    Finding,
+    LintEngine,
+    LintReport,
+    Suppression,
+)
+from repro.lint.reachability import (
+    DET_SEED_MODULES,
+    module_imports,
+    module_name_for,
+    reachable_modules,
+)
+from repro.lint.rules import RULESET_VERSION
+
+#: On-disk cache layout version (the envelope, not the rule set).
+CACHE_FORMAT = 1
+
+#: Modules whose FileContext the cross-file rules consult; these are
+#: re-parsed every run instead of being served from the cache, so the
+#: project rules always see the checked-out source.
+PROJECT_CONTEXT_MODULES = ("repro.core.pipeline",)
+
+_WORKER_ENGINE: Optional[LintEngine] = None
+
+
+def _init_worker(rule_ids: Optional[Sequence[str]]) -> None:
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = LintEngine(rule_ids=rule_ids)
+
+
+def _analyze_one(
+    engine: LintEngine, task: Tuple[str, str, bool]
+) -> Tuple[str, str, List[Finding], List[Suppression], float]:
+    path, source, det_in_scope = task
+    start = time.perf_counter()
+    analysis = engine.analyze_source(path, source, det_in_scope)
+    seconds = time.perf_counter() - start
+    return (path, analysis.module, analysis.findings,
+            analysis.suppressions, seconds)
+
+
+def _analyze_in_worker(
+    task: Tuple[str, str, bool]
+) -> Tuple[str, str, List[Finding], List[Suppression], float]:
+    assert _WORKER_ENGINE is not None
+    return _analyze_one(_WORKER_ENGINE, task)
+
+
+# ----------------------------------------------------------------------
+# Cache serialization
+
+
+def _finding_to_dict(finding: Finding) -> Dict[str, object]:
+    return {
+        "path": finding.path, "line": finding.line, "col": finding.col,
+        "rule": finding.rule, "severity": finding.severity,
+        "message": finding.message,
+    }
+
+
+def _finding_from_dict(data: Dict[str, object]) -> Finding:
+    return Finding(
+        path=str(data["path"]), line=int(str(data["line"])),
+        col=int(str(data["col"])), rule=str(data["rule"]),
+        severity=str(data["severity"]), message=str(data["message"]),
+    )
+
+
+def _suppression_to_dict(sup: Suppression) -> Dict[str, object]:
+    return {
+        "path": sup.path, "line": sup.line,
+        "target_line": sup.target_line, "rules": list(sup.rules),
+        "reason": sup.reason, "file_level": sup.file_level,
+    }
+
+
+def _suppression_from_dict(data: Dict[str, object]) -> Suppression:
+    rules = data["rules"]
+    return Suppression(
+        path=str(data["path"]), line=int(str(data["line"])),
+        target_line=int(str(data["target_line"])),
+        rules=tuple(str(r) for r in rules) if isinstance(rules, list)
+        else (),
+        reason=str(data["reason"]), file_level=bool(data["file_level"]),
+    )
+
+
+def _rules_token(rule_ids: Optional[Sequence[str]]) -> str:
+    if rule_ids is None:
+        return "*"
+    return ",".join(sorted(set(rule_ids)))
+
+
+def _load_cache(cache_path: Optional[Path],
+                rules_token: str) -> Dict[str, Dict[str, object]]:
+    """Valid per-file entries, or {} when absent/stale/foreign."""
+    if cache_path is None or not cache_path.exists():
+        return {}
+    try:
+        data = json.loads(cache_path.read_text())
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(data, dict):
+        return {}
+    if (data.get("format") != CACHE_FORMAT
+            or data.get("ruleset") != RULESET_VERSION
+            or data.get("rules") != rules_token):
+        return {}
+    entries = data.get("entries")
+    return entries if isinstance(entries, dict) else {}
+
+
+def _save_cache(cache_path: Path, rules_token: str,
+                entries: Dict[str, Dict[str, object]]) -> None:
+    """Atomically persist the cache: write temp, fsync, replace."""
+    payload = json.dumps({
+        "format": CACHE_FORMAT,
+        "ruleset": RULESET_VERSION,
+        "rules": rules_token,
+        "entries": entries,
+    }, sort_keys=True)
+    cache_path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = cache_path.with_name(cache_path.name + f".{os.getpid()}.tmp")
+    try:
+        with open(tmp, "w") as fh:
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(str(tmp), str(cache_path))
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+
+
+# ----------------------------------------------------------------------
+# The run
+
+
+def _collect(paths: Sequence[Union[str, Path]]) -> List[Tuple[str, str]]:
+    named: List[Tuple[str, str]] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                named.append((str(sub), sub.read_text()))
+        else:
+            named.append((str(path), path.read_text()))
+    named.sort(key=lambda pair: pair[0])
+    return named
+
+
+def _imports_of(path: str, source: str) -> Tuple[str, List[str]]:
+    """(module, imports) by parsing; ([], "") when the file is broken."""
+    module = module_name_for(Path(path))
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError:
+        return module, []
+    if not module:
+        return module, []
+    return module, sorted(module_imports(tree, module))
+
+
+def run_lint(paths: Sequence[Union[str, Path]], *,
+             rule_ids: Optional[Sequence[str]] = None,
+             jobs: int = 1,
+             cache_path: Optional[Union[str, Path]] = None) -> LintReport:
+    """Lint files/trees with optional parallelism and result caching."""
+    run_start = time.perf_counter()
+    engine = LintEngine(rule_ids=rule_ids)
+    named = _collect(paths)
+    rules_token = _rules_token(rule_ids)
+    cache_file = Path(cache_path) if cache_path is not None else None
+    cache = _load_cache(cache_file, rules_token)
+
+    shas: Dict[str, str] = {
+        path: hashlib.sha256(source.encode()).hexdigest()
+        for path, source in named
+    }
+
+    # Pass 1 — the import graph, for the determinism scope.  Unchanged
+    # files answer from the cache; everything else parses.
+    modules: Dict[str, str] = {}
+    imports: Dict[str, List[str]] = {}
+    for path, source in named:
+        entry = cache.get(path)
+        if (isinstance(entry, dict) and entry.get("sha") == shas[path]
+                and isinstance(entry.get("imports"), list)):
+            modules[path] = str(entry.get("module", ""))
+            imports[path] = [str(i) for i in entry["imports"]]
+        else:
+            modules[path], imports[path] = _imports_of(path, source)
+
+    import_graph = {modules[path]: list(imports[path])
+                    for path, _ in named if modules[path]}
+    seeds = [m for m in import_graph if m in DET_SEED_MODULES]
+    det_scope = reachable_modules(import_graph, seeds) if seeds else None
+
+    def det_flag(path: str) -> bool:
+        return det_scope is None or modules[path] in det_scope
+
+    # Pass 2 — split hits from misses.
+    hits: Dict[str, Dict[str, object]] = {}
+    misses: List[Tuple[str, str, bool]] = []
+    for path, source in named:
+        entry = cache.get(path)
+        if (isinstance(entry, dict) and entry.get("sha") == shas[path]
+                and entry.get("det") == det_flag(path)
+                and isinstance(entry.get("findings"), list)
+                and isinstance(entry.get("suppressions"), list)
+                and modules[path] not in PROJECT_CONTEXT_MODULES):
+            hits[path] = entry
+        else:
+            misses.append((path, source, det_flag(path)))
+
+    analyses: Dict[str, Tuple[str, List[Finding], List[Suppression],
+                              float, bool]] = {}
+    for path, entry in hits.items():
+        start = time.perf_counter()
+        raw_findings = entry.get("findings")
+        raw_sups = entry.get("suppressions")
+        findings = ([_finding_from_dict(f) for f in raw_findings
+                     if isinstance(f, dict)]
+                    if isinstance(raw_findings, list) else [])
+        sups = ([_suppression_from_dict(s) for s in raw_sups
+                 if isinstance(s, dict)]
+                if isinstance(raw_sups, list) else [])
+        analyses[path] = (str(entry.get("module", "")), findings, sups,
+                          time.perf_counter() - start, True)
+
+    worker_count = jobs if jobs > 0 else (os.cpu_count() or 1)
+    if misses and worker_count > 1:
+        with ProcessPoolExecutor(
+            max_workers=min(worker_count, len(misses)),
+            initializer=_init_worker, initargs=(rule_ids,),
+        ) as pool:
+            for path, module, findings, sups, seconds in pool.map(
+                    _analyze_in_worker, misses):
+                analyses[path] = (module, findings, sups, seconds, False)
+    else:
+        for task in misses:
+            path, module, findings, sups, seconds = _analyze_one(
+                engine, task)
+            analyses[path] = (module, findings, sups, seconds, False)
+
+    # Pass 3 — contexts for the cross-file rules: always freshly parsed
+    # so DF analyses see the checked-out stage graph, cached or not.
+    contexts: List[FileContext] = []
+    for path, source in named:
+        if modules[path] not in PROJECT_CONTEXT_MODULES:
+            continue
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError:
+            continue  # its LNT000 finding came from analyze_source
+        contexts.append(FileContext(path, modules[path], source, tree,
+                                    det_flag(path)))
+
+    # Assembly — path-sorted, exactly like the serial engine.
+    report = LintReport(files=len(named))
+    all_suppressions: List[Suppression] = []
+    for path, _ in named:
+        module, findings, sups, seconds, cached = analyses[path]
+        report.findings.extend(findings)
+        all_suppressions.extend(sups)
+        report.timings.append(FileTiming(path, seconds, cached))
+    report.findings.extend(engine.run_project(contexts))
+    engine._apply_suppressions(report, all_suppressions)
+    report.findings.sort()
+    report.suppressed.sort()
+    report.total_seconds = time.perf_counter() - run_start
+
+    if cache_file is not None:
+        entries: Dict[str, Dict[str, object]] = {}
+        for path, _ in named:
+            module, findings, sups, _seconds, _cached = analyses[path]
+            entries[path] = {
+                "sha": shas[path],
+                "det": det_flag(path),
+                "module": modules[path],
+                "imports": imports[path],
+                "findings": [_finding_to_dict(f) for f in findings],
+                "suppressions": [_suppression_to_dict(s) for s in sups],
+            }
+        _save_cache(cache_file, rules_token, entries)
+
+    return report

@@ -10,31 +10,35 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-LINT_REPORT_SCHEMA: Dict[str, object] = {
+_FINDINGS_SCHEMA: Dict[str, object] = {
+    "type": "array",
+    "items": {
+        "type": "object",
+        "required": ["rule", "severity", "path", "line", "col",
+                     "message"],
+        "additionalProperties": False,
+        "properties": {
+            "rule": {"type": "string"},
+            "severity": {"type": "string",
+                         "enum": ["warning", "error"]},
+            "path": {"type": "string"},
+            "line": {"type": "integer", "minimum": 1},
+            "col": {"type": "integer", "minimum": 0},
+            "message": {"type": "string"},
+        },
+    },
+}
+
+#: The v1 report shape, kept importable (and validatable) so archived
+#: reports from older runs stay readable.
+LINT_REPORT_SCHEMA_V1: Dict[str, object] = {
     "type": "object",
     "required": ["version", "tool", "findings", "summary"],
     "additionalProperties": False,
     "properties": {
-        "version": {"type": "integer", "minimum": 1},
+        "version": {"type": "integer", "enum": [1]},
         "tool": {"type": "string", "enum": ["repro-lint"]},
-        "findings": {
-            "type": "array",
-            "items": {
-                "type": "object",
-                "required": ["rule", "severity", "path", "line", "col",
-                             "message"],
-                "additionalProperties": False,
-                "properties": {
-                    "rule": {"type": "string"},
-                    "severity": {"type": "string",
-                                 "enum": ["warning", "error"]},
-                    "path": {"type": "string"},
-                    "line": {"type": "integer", "minimum": 1},
-                    "col": {"type": "integer", "minimum": 0},
-                    "message": {"type": "string"},
-                },
-            },
-        },
+        "findings": _FINDINGS_SCHEMA,
         "summary": {
             "type": "object",
             "required": ["files", "errors", "warnings", "suppressed"],
@@ -47,6 +51,68 @@ LINT_REPORT_SCHEMA: Dict[str, object] = {
             },
         },
     },
+}
+
+#: The current (v2) report: v1 plus a cache-hit summary and a per-file
+#: timing block.  ``timing`` is the only part of the report that is not
+#: byte-deterministic across runs — consumers that diff reports drop it.
+LINT_REPORT_SCHEMA: Dict[str, object] = {
+    "type": "object",
+    "required": ["version", "tool", "findings", "summary", "timing"],
+    "additionalProperties": False,
+    "properties": {
+        "version": {"type": "integer", "enum": [2]},
+        "tool": {"type": "string", "enum": ["repro-lint"]},
+        "findings": _FINDINGS_SCHEMA,
+        "summary": {
+            "type": "object",
+            "required": ["files", "errors", "warnings", "suppressed",
+                         "cache"],
+            "additionalProperties": False,
+            "properties": {
+                "files": {"type": "integer", "minimum": 0},
+                "errors": {"type": "integer", "minimum": 0},
+                "warnings": {"type": "integer", "minimum": 0},
+                "suppressed": {"type": "integer", "minimum": 0},
+                "cache": {
+                    "type": "object",
+                    "required": ["hits", "misses"],
+                    "additionalProperties": False,
+                    "properties": {
+                        "hits": {"type": "integer", "minimum": 0},
+                        "misses": {"type": "integer", "minimum": 0},
+                    },
+                },
+            },
+        },
+        "timing": {
+            "type": "object",
+            "required": ["total_seconds", "files"],
+            "additionalProperties": False,
+            "properties": {
+                "total_seconds": {"type": "number", "minimum": 0},
+                "files": {
+                    "type": "array",
+                    "items": {
+                        "type": "object",
+                        "required": ["path", "seconds", "cached"],
+                        "additionalProperties": False,
+                        "properties": {
+                            "path": {"type": "string"},
+                            "seconds": {"type": "number", "minimum": 0},
+                            "cached": {"type": "boolean"},
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+#: Version-dispatch table used when the caller does not name a schema.
+LINT_REPORT_SCHEMAS: Dict[int, Dict[str, object]] = {
+    1: LINT_REPORT_SCHEMA_V1,
+    2: LINT_REPORT_SCHEMA,
 }
 
 _TYPES = {
@@ -66,8 +132,15 @@ def validate_report(data: object,
 
     Returns a list of human-readable problem strings — empty means
     valid.  Covers exactly the keywords the schema above uses.
+
+    With no explicit ``schema``, the report's own ``version`` field
+    picks one: v1 reports from older runs validate against the archived
+    v1 schema, everything else against the current one.
     """
-    schema = LINT_REPORT_SCHEMA if schema is None else schema
+    if schema is None:
+        version = data.get("version") if isinstance(data, dict) else None
+        schema = LINT_REPORT_SCHEMAS.get(version, LINT_REPORT_SCHEMA) \
+            if isinstance(version, int) else LINT_REPORT_SCHEMA
     problems: List[str] = []
     expected = schema.get("type")
     if expected is not None:

@@ -211,7 +211,7 @@ class ExtractionApp:
         finally:
             try:
                 writer.close()
-            except Exception:
+            except Exception:  # repro-lint: disable=EXC001 reason=best-effort close of an already-failed transport; the request outcome was journaled before this point
                 pass
 
     # ------------------------------------------------------------------

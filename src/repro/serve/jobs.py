@@ -281,6 +281,9 @@ class JobService:
                                       clock=self._clock)
         self.ledger_path = self.data_dir / "jobs.jsonl"
         self._lock = threading.RLock()
+        # Signals "a job moved toward idle" (dequeued, expired, done or
+        # failed) so drain() can sleep instead of polling.
+        self._cond = threading.Condition(self._lock)
         self._jobs = read_job_ledger(self.ledger_path)
         self._seq = max((j.seq for j in self._jobs.values()), default=0)
         self._degraded: Dict[str, str] = {}
@@ -342,15 +345,23 @@ class JobService:
         durable terminal ledger line before the process exits.
         """
         deadline = None if timeout is None else self._clock() + timeout
-        while True:
-            with self._lock:
+        with self._cond:
+            while True:
                 busy = self._queued > 0 or any(
                     job.status == "running" for job in self._jobs.values())
-            if not busy:
-                return True
-            if deadline is not None and self._clock() >= deadline:
-                return False
-            time.sleep(0.02)
+                if not busy:
+                    return True
+                if deadline is None:
+                    self._cond.wait()
+                    continue
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    return False
+                # An injected chaos clock advances independently of wall
+                # time, so a full-length wall wait could oversleep the
+                # deadline; bounded slices keep the deadline observable.
+                self._cond.wait(remaining if self.chaos is None
+                                else min(remaining, 0.05))
 
     # ------------------------------------------------------------------
     # Degradation bookkeeping
@@ -515,6 +526,7 @@ class JobService:
                 job.status = "done"
                 job.cached = True
                 self._journal("done", job)
+                self._cond.notify_all()
             else:
                 job.enqueued_at = self._clock()
                 self._queued += 1
@@ -598,6 +610,7 @@ class JobService:
                 self._queued = max(0, self._queued - 1)
                 job = self._jobs.get(job_id)
                 if job is None or job.status != "queued":
+                    self._cond.notify_all()
                     continue  # raced by a duplicate wakeup: nothing to do
                 if (self.max_queue_age is not None and job.enqueued_at
                         and (self._clock() - job.enqueued_at
@@ -610,6 +623,7 @@ class JobService:
                                  f"{self.max_queue_age:g}s in queue")
                     self.shed_expired += 1
                     self._journal("expire", job)
+                    self._cond.notify_all()
                     continue
                 job.status = "running"
                 option_fields = dict(job.options)
@@ -676,6 +690,7 @@ class JobService:
                     job.status = "failed"
                     job.error = error
                     self._journal("fail", job)
+                self._cond.notify_all()
             if result is not None and result.ok:
                 self.breaker.record_success(job.id)
             else:

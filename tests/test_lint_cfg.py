@@ -1,0 +1,440 @@
+"""repro.lint.cfg / repro.lint.dataflow: the flow-aware analysis core.
+
+The CFG tests pin the *edge shapes* the rules depend on — branch
+true/false edges, loop back edges, return/break routing through
+``finally``, exception edges into dispatch nodes — because every rule
+bug so far has really been a graph-shape bug.  The dataflow tests pin
+the four analyses (dominance, post-dominance, reaching definitions,
+obligation tracking) against hand-checkable graphs.
+"""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.lint import (
+    build_cfg,
+    dominators,
+    path_with_await,
+    postdominators,
+    reaching_definitions,
+    track_obligations,
+)
+from repro.lint.dataflow import await_before_kill
+
+pytestmark = pytest.mark.lint
+
+
+def cfg_of(source, name=None):
+    tree = ast.parse(textwrap.dedent(source))
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if name is None or node.name == name:
+                return build_cfg(node)
+    raise AssertionError(f"no function {name!r} in fixture")
+
+
+def node_at(cfg, line, kind=None):
+    """The unique CFG node anchored at ``line`` (optionally by kind)."""
+    matches = [n for n in cfg.nodes.values()
+               if n.line == line and (kind is None or n.kind == kind)]
+    assert len(matches) == 1, f"line {line}: {matches}"
+    return matches[0]
+
+
+def edge_kinds(cfg, src, dst):
+    return sorted(e.kind for e in cfg.out_edges(src) if e.dst == dst)
+
+
+# ---------------------------------------------------------------------------
+# Graph shapes
+# ---------------------------------------------------------------------------
+def test_linear_body_chains_next_edges():
+    cfg = cfg_of(
+        """
+        def f():
+            a = 1
+            b = a
+        """
+    )
+    first = node_at(cfg, 3)
+    second = node_at(cfg, 4)
+    assert edge_kinds(cfg, cfg.entry, first.id) == ["next"]
+    assert edge_kinds(cfg, first.id, second.id) == ["next"]
+    assert edge_kinds(cfg, second.id, cfg.exit) == ["next"]
+
+
+def test_if_header_owns_test_and_branches_rejoin():
+    cfg = cfg_of(
+        """
+        def f(cond):
+            if cond:
+                a = 1
+            else:
+                a = 2
+            b = a
+        """
+    )
+    test = node_at(cfg, 3, kind="test")
+    assert [ast.dump(e) for e in test.exprs] == [
+        ast.dump(ast.parse("cond", mode="eval").body)]
+    then = node_at(cfg, 4)
+    other = node_at(cfg, 6)
+    join = node_at(cfg, 7)
+    assert edge_kinds(cfg, test.id, then.id) == ["true"]
+    assert edge_kinds(cfg, test.id, other.id) == ["false"]
+    assert edge_kinds(cfg, then.id, join.id) == ["next"]
+    assert edge_kinds(cfg, other.id, join.id) == ["next"]
+
+
+def test_if_without_else_falls_through_on_false():
+    cfg = cfg_of(
+        """
+        def f(cond):
+            if cond:
+                a = 1
+            b = 2
+        """
+    )
+    test = node_at(cfg, 3, kind="test")
+    after = node_at(cfg, 5)
+    assert edge_kinds(cfg, test.id, after.id) == ["false"]
+
+
+def test_while_loop_back_edge_and_exit():
+    cfg = cfg_of(
+        """
+        def f(n):
+            while n:
+                n = n - 1
+            done = True
+        """
+    )
+    header = node_at(cfg, 3, kind="loop")
+    body = node_at(cfg, 4)
+    after = node_at(cfg, 5)
+    assert edge_kinds(cfg, header.id, body.id) == ["true"]
+    assert header.id in set(cfg.successors(body.id))  # back edge
+    assert edge_kinds(cfg, header.id, after.id) == ["false"]
+
+
+def test_break_skips_loop_continue_returns_to_header():
+    cfg = cfg_of(
+        """
+        def f(items):
+            for item in items:
+                if item:
+                    break
+                continue
+            done = True
+        """
+    )
+    header = node_at(cfg, 3, kind="loop")
+    brk = node_at(cfg, 5)
+    cont = node_at(cfg, 6)
+    after = node_at(cfg, 7)
+    assert set(cfg.successors(brk.id)) == {after.id}
+    assert set(cfg.successors(cont.id)) == {header.id}
+
+
+def test_return_routes_to_exit_and_orphans_dead_code():
+    cfg = cfg_of(
+        """
+        def f():
+            return 1
+            unreachable = True
+        """
+    )
+    ret = node_at(cfg, 3)
+    assert set(cfg.successors(ret.id)) == {cfg.exit}
+    dead = node_at(cfg, 4)
+    assert dead.id not in cfg.reachable()
+
+
+def test_raise_routes_to_raise_exit():
+    cfg = cfg_of(
+        """
+        def f():
+            raise ValueError("no")
+        """
+    )
+    raise_node = node_at(cfg, 3)
+    assert cfg.raise_exit in set(cfg.successors(raise_node.id))
+    # The raise edge is exceptional flow, not normal flow.
+    assert cfg.raise_exit not in set(cfg.normal_successors(raise_node.id))
+
+
+def test_call_gets_exception_edge_into_dispatch():
+    cfg = cfg_of(
+        """
+        def f(work):
+            try:
+                work()
+            except ValueError:
+                handled = True
+        """
+    )
+    call = node_at(cfg, 4)
+    dispatch = node_at(cfg, 3, kind="dispatch")
+    handler = node_at(cfg, 5, kind="except")
+    assert edge_kinds(cfg, call.id, dispatch.id) == ["exc"]
+    assert edge_kinds(cfg, dispatch.id, handler.id) == ["exc"]
+    # A ValueError handler is not a catch-all: unmatched exceptions
+    # keep propagating from the dispatch node.
+    assert cfg.raise_exit in set(cfg.successors(dispatch.id))
+
+
+def test_catch_all_handler_stops_propagation():
+    cfg = cfg_of(
+        """
+        def f(work):
+            try:
+                work()
+            except Exception:
+                handled = True
+        """
+    )
+    dispatch = node_at(cfg, 3, kind="dispatch")
+    assert cfg.raise_exit not in set(cfg.successors(dispatch.id))
+
+
+def test_return_in_try_flows_through_finally():
+    cfg = cfg_of(
+        """
+        def f(work):
+            try:
+                return work()
+            finally:
+                cleanup = True
+        """
+    )
+    ret = node_at(cfg, 4)
+    fin = node_at(cfg, 6)
+    # The return does not shortcut to exit: it enters the finally body,
+    # whose exit then re-dispatches the captured return.
+    assert set(cfg.successors(ret.id)) == {fin.id}
+    assert cfg.exit in set(cfg.successors(fin.id))
+
+
+def test_exception_reaches_raise_exit_via_finally():
+    cfg = cfg_of(
+        """
+        def f(work):
+            try:
+                work()
+            finally:
+                cleanup = True
+        """
+    )
+    call = node_at(cfg, 4)
+    fin = node_at(cfg, 6)
+    assert fin.id in set(cfg.successors(call.id))
+    assert edge_kinds(cfg, fin.id, cfg.raise_exit) == ["exc"]
+
+
+def test_with_header_owns_items_and_may_raise():
+    cfg = cfg_of(
+        """
+        def f(path):
+            with open(path) as fh:
+                data = fh.read()
+        """
+    )
+    header = node_at(cfg, 3, kind="with")
+    assert any(isinstance(e, ast.Call) for e in header.exprs)
+    assert cfg.raise_exit in set(cfg.successors(header.id))
+
+
+def test_await_marks_node_not_a_separate_node():
+    cfg = cfg_of(
+        """
+        async def f(q):
+            before = 1
+            item = await q.get()
+            async with q.lock:
+                pass
+        """
+    )
+    assert not node_at(cfg, 3).awaits
+    assert node_at(cfg, 4).awaits
+    assert node_at(cfg, 5, kind="with").awaits  # __aenter__ awaits
+
+
+def test_nested_functions_are_opaque():
+    cfg = cfg_of(
+        """
+        def outer():
+            def inner():
+                await_free = open("x")
+            return inner
+        """,
+        name="outer",
+    )
+    # The inner body contributes no nodes and no exception edges: the
+    # def statement is one opaque node with a single normal out-edge.
+    assert all(node.line != 4 for node in cfg.nodes.values())
+    inner_def = node_at(cfg, 3)
+    assert [e.kind for e in cfg.out_edges(inner_def.id)] == ["next"]
+
+
+# ---------------------------------------------------------------------------
+# Dataflow analyses
+# ---------------------------------------------------------------------------
+def test_dominators_branch_vs_header():
+    cfg = cfg_of(
+        """
+        def f(cond):
+            if cond:
+                a = 1
+            else:
+                a = 2
+            b = a
+        """
+    )
+    test = node_at(cfg, 3, kind="test")
+    then = node_at(cfg, 4)
+    join = node_at(cfg, 7)
+    dom = dominators(cfg)
+    assert test.id in dom[join.id]
+    assert then.id not in dom[join.id]
+
+
+def test_postdominators_cover_exception_outcomes():
+    cfg = cfg_of(
+        """
+        def f(work):
+            try:
+                work()
+            finally:
+                cleanup = True
+            after = True
+        """
+    )
+    call = node_at(cfg, 4)
+    fin = node_at(cfg, 6)
+    after = node_at(cfg, 7)
+    pdom = postdominators(cfg)
+    # The finally body is on every outcome of the call — normal and
+    # exceptional — so it post-dominates; the statement after the try
+    # is skipped when the call raises, so it does not.
+    assert fin.id in pdom[call.id]
+    assert after.id not in pdom[call.id]
+
+
+def test_reaching_definitions_merge_at_join():
+    cfg = cfg_of(
+        """
+        def f(cond):
+            x = 1
+            if cond:
+                x = 2
+            use = x
+        """
+    )
+    first = node_at(cfg, 3)
+    second = node_at(cfg, 5)
+    use = node_at(cfg, 6)
+    reaching = reaching_definitions(
+        cfg, {first.id: ["x"], second.id: ["x"]})
+    assert ("x", first.id) in reaching[use.id]   # via the false branch
+    assert ("x", second.id) in reaching[use.id]  # via the true branch
+
+
+def test_reaching_definitions_kill_on_straight_line():
+    cfg = cfg_of(
+        """
+        def f():
+            x = 1
+            x = 2
+            use = x
+        """
+    )
+    first = node_at(cfg, 3)
+    second = node_at(cfg, 4)
+    use = node_at(cfg, 5)
+    reaching = reaching_definitions(
+        cfg, {first.id: ["x"], second.id: ["x"]})
+    assert reaching[use.id] == {("x", second.id)}
+
+
+def test_track_obligations_leaks_only_unkilled_paths():
+    cfg = cfg_of(
+        """
+        def f(cond):
+            res = acquire()
+            if cond:
+                release(res)
+        """
+    )
+    gen = node_at(cfg, 3)
+    kill = node_at(cfg, 5)
+    leaked_normal, _ = track_obligations(
+        cfg, {gen.id: ["res"]}, {kill.id: ["res"]})
+    assert (gen.id, "res") in leaked_normal
+
+
+def test_track_obligations_discharged_on_all_paths():
+    cfg = cfg_of(
+        """
+        def f(cond):
+            res = acquire()
+            if cond:
+                release(res)
+            else:
+                release(res)
+        """
+    )
+    gen = node_at(cfg, 3)
+    kills = {node_at(cfg, 5).id: ["res"], node_at(cfg, 7).id: ["res"]}
+    leaked_normal, _ = track_obligations(cfg, {gen.id: ["res"]}, kills)
+    assert leaked_normal == set()
+
+
+def test_obligation_not_generated_on_creators_own_exception_edge():
+    cfg = cfg_of(
+        """
+        def f():
+            res = acquire()
+        """
+    )
+    gen = node_at(cfg, 3)
+    leaked_normal, leaked_exc = track_obligations(
+        cfg, {gen.id: ["res"]}, {})
+    # Never discharged, so the normal path leaks — but acquire()
+    # raising means the resource never existed, so the creator's own
+    # exception edge carries no obligation.
+    assert leaked_normal == {(gen.id, "res")}
+    assert leaked_exc == set()
+
+
+def test_path_with_await_positive_and_negative():
+    cfg = cfg_of(
+        """
+        async def f(q):
+            before = self.n
+            await q.get()
+            self.n = before + 1
+            after = self.n
+        """
+    )
+    read = node_at(cfg, 3)
+    write = node_at(cfg, 5)
+    after = node_at(cfg, 6)
+    assert path_with_await(cfg, read.id, write.id)
+    assert not path_with_await(cfg, write.id, after.id)
+
+
+def test_await_before_kill_release_order():
+    cfg = cfg_of(
+        """
+        async def f(lock, q):
+            lock.acquire()
+            lock.release()
+            await q.get()
+        """
+    )
+    acquire = node_at(cfg, 3)
+    release = node_at(cfg, 4)
+    assert not await_before_kill(cfg, acquire.id, {release.id})
+    assert await_before_kill(cfg, acquire.id, set())

@@ -1,0 +1,652 @@
+"""Flow-aware rule families (ASYNC/RES/EXC, CFG-based CONC) + runner.
+
+Each rule gets a positive fixture (the defect fires) and a negative
+fixture (the idiomatic fix stays silent).  The mutation tests seed one
+bug into a fixture that the *full* rule set scores clean, and assert
+the intended rule — and only that rule — catches it.  The runner tests
+cover the incremental cache (hit/miss accounting, content and
+rule-set-version invalidation) and ``--jobs`` determinism.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+import repro.lint.runner as lint_runner
+from repro.lint import LintEngine, run_lint, validate_report
+
+pytestmark = pytest.mark.lint
+
+
+def lint_source(source, rule_ids=None, path="fixture.py"):
+    return LintEngine(rule_ids=rule_ids).lint_sources(
+        [(path, textwrap.dedent(source))])
+
+
+def fired(report):
+    return sorted({f.rule for f in report.findings})
+
+
+# ---------------------------------------------------------------------------
+# ASYNC: coroutine safety
+# ---------------------------------------------------------------------------
+def test_async001_rmw_across_await_fires():
+    report = lint_source(
+        """
+        import asyncio
+
+        class Counter:
+            async def bump(self):
+                n = self.count
+                await asyncio.sleep(0)
+                self.count = n + 1
+        """,
+        rule_ids=["ASYNC001"],
+    )
+    assert fired(report) == ["ASYNC001"]
+    assert report.findings[0].line == 8  # anchored at the write
+
+
+def test_async001_lock_held_across_rmw_is_clean():
+    report = lint_source(
+        """
+        import asyncio
+
+        class Counter:
+            async def bump(self):
+                async with self._lock:
+                    n = self.count
+                    await asyncio.sleep(0)
+                    self.count = n + 1
+        """,
+        rule_ids=["ASYNC001"],
+    )
+    assert fired(report) == []
+
+
+def test_async001_atomic_rmw_is_clean():
+    report = lint_source(
+        """
+        class Counter:
+            async def bump(self):
+                self.count = self.count + 1
+        """,
+        rule_ids=["ASYNC001"],
+    )
+    assert fired(report) == []
+
+
+def test_async001_await_in_one_branch_still_races():
+    # "Across an await" is a CFG path query, not a line comparison: the
+    # await sits in only one branch, and that branch is enough.
+    report = lint_source(
+        """
+        import asyncio
+
+        class Counter:
+            async def bump(self, slow):
+                n = self.count
+                if slow:
+                    await asyncio.sleep(0)
+                self.count = n + 1
+        """,
+        rule_ids=["ASYNC001"],
+    )
+    assert fired(report) == ["ASYNC001"]
+
+
+def test_async002_blocking_sleep_fires():
+    report = lint_source(
+        """
+        import time
+
+        async def handler():
+            time.sleep(0.1)
+        """,
+        rule_ids=["ASYNC002"],
+    )
+    assert fired(report) == ["ASYNC002"]
+
+
+def test_async002_async_sleep_is_clean():
+    report = lint_source(
+        """
+        import asyncio
+
+        async def handler():
+            await asyncio.sleep(0.1)
+        """,
+        rule_ids=["ASYNC002"],
+    )
+    assert fired(report) == []
+
+
+def test_async003_discarded_create_task_fires():
+    report = lint_source(
+        """
+        import asyncio
+
+        async def go(work):
+            asyncio.create_task(work())
+        """,
+        rule_ids=["ASYNC003"],
+    )
+    assert fired(report) == ["ASYNC003"]
+
+
+def test_async003_kept_and_awaited_task_is_clean():
+    report = lint_source(
+        """
+        import asyncio
+
+        async def go(work):
+            task = asyncio.create_task(work())
+            await task
+        """,
+        rule_ids=["ASYNC003"],
+    )
+    assert fired(report) == []
+
+
+def test_async004_sync_with_lock_around_await_fires():
+    report = lint_source(
+        """
+        import asyncio
+
+        class Svc:
+            async def f(self):
+                with self._lock:
+                    await asyncio.sleep(0)
+        """,
+        rule_ids=["ASYNC004"],
+    )
+    assert fired(report) == ["ASYNC004"]
+
+
+def test_async004_acquire_held_across_await_fires():
+    report = lint_source(
+        """
+        import asyncio
+
+        class Svc:
+            async def f(self):
+                self._lock.acquire()
+                await asyncio.sleep(0)
+                self._lock.release()
+        """,
+        rule_ids=["ASYNC004"],
+    )
+    assert fired(report) == ["ASYNC004"]
+
+
+def test_async004_release_before_await_is_clean():
+    report = lint_source(
+        """
+        import asyncio
+
+        class Svc:
+            async def f(self):
+                self._lock.acquire()
+                self.n += 1
+                self._lock.release()
+                await asyncio.sleep(0)
+        """,
+        rule_ids=["ASYNC004"],
+    )
+    assert fired(report) == []
+
+
+# ---------------------------------------------------------------------------
+# RES: resource obligations
+# ---------------------------------------------------------------------------
+def test_res001_temp_file_replaced_on_one_branch_fires():
+    report = lint_source(
+        """
+        import os
+
+        def publish(out, tmp_path, data, durable):
+            with open(tmp_path, "w") as fh:
+                fh.write(data)
+            if durable:
+                os.replace(tmp_path, out)
+        """,
+        rule_ids=["RES001"],
+    )
+    assert fired(report) == ["RES001"]
+
+
+def test_res001_finally_exists_guard_is_clean():
+    report = lint_source(
+        """
+        import os
+
+        def publish(out, data):
+            tmp = out.with_suffix(".tmp")
+            try:
+                with open(str(tmp), "w") as fh:
+                    fh.write(data)
+                os.replace(str(tmp), str(out))
+            finally:
+                if tmp.exists():
+                    tmp.unlink()
+        """,
+        rule_ids=["RES001"],
+    )
+    assert fired(report) == []
+
+
+def test_res002_unclosed_handle_fires():
+    report = lint_source(
+        """
+        def read(path):
+            fh = open(path)
+            data = fh.read()
+            return data
+        """,
+        rule_ids=["RES002"],
+    )
+    assert fired(report) == ["RES002"]
+
+
+def test_res002_close_in_finally_is_clean():
+    report = lint_source(
+        """
+        def read(path):
+            fh = open(path)
+            try:
+                return fh.read()
+            finally:
+                fh.close()
+        """,
+        rule_ids=["RES002"],
+    )
+    assert fired(report) == []
+
+
+def test_res002_with_managed_handle_is_clean():
+    report = lint_source(
+        """
+        def read(path):
+            with open(path) as fh:
+                return fh.read()
+        """,
+        rule_ids=["RES002"],
+    )
+    assert fired(report) == []
+
+
+def test_res002_ownership_transfer_discharges():
+    report = lint_source(
+        """
+        def read(path, sink):
+            fh = open(path)
+            sink.adopt(fh)
+        """,
+        rule_ids=["RES002"],
+    )
+    assert fired(report) == []
+
+
+def test_res003_unclosed_socket_fires():
+    report = lint_source(
+        """
+        import socket
+
+        def ping(host):
+            conn = socket.create_connection((host, 80))
+            conn.sendall(b"x")
+        """,
+        rule_ids=["RES003"],
+    )
+    assert fired(report) == ["RES003"]
+
+
+def test_res003_finalized_socket_is_clean():
+    report = lint_source(
+        """
+        import socket
+
+        def ping(host):
+            conn = socket.create_connection((host, 80))
+            try:
+                conn.sendall(b"x")
+            finally:
+                conn.close()
+        """,
+        rule_ids=["RES003"],
+    )
+    assert fired(report) == []
+
+
+# ---------------------------------------------------------------------------
+# EXC: exception safety
+# ---------------------------------------------------------------------------
+def test_exc001_silent_broad_except_fires_in_scope():
+    report = lint_source(
+        """
+        def append(ledger, line):
+            try:
+                ledger.write(line)
+            except Exception:
+                pass
+        """,
+        rule_ids=["EXC001"],
+        path="src/repro/serve/fixture.py",
+    )
+    assert fired(report) == ["EXC001"]
+    assert report.findings[0].severity == "error"
+
+
+def test_exc001_out_of_scope_path_is_clean():
+    report = lint_source(
+        """
+        def append(ledger, line):
+            try:
+                ledger.write(line)
+            except Exception:
+                pass
+        """,
+        rule_ids=["EXC001"],
+        path="src/repro/util.py",
+    )
+    assert fired(report) == []
+
+
+def test_exc001_handler_that_leaves_a_trace_is_clean():
+    report = lint_source(
+        """
+        def append(ledger, line, log):
+            try:
+                ledger.write(line)
+            except Exception as exc:
+                log.warning("ledger write failed: %s", exc)
+        """,
+        rule_ids=["EXC001"],
+        path="src/repro/serve/fixture.py",
+    )
+    assert fired(report) == []
+
+
+def test_exc002_bare_except_warns():
+    report = lint_source(
+        """
+        def f(work):
+            try:
+                work()
+            except:
+                failed = True
+        """,
+        rule_ids=["EXC002"],
+    )
+    assert fired(report) == ["EXC002"]
+    assert report.findings[0].severity == "warning"
+
+
+def test_exc002_bare_except_with_reraise_is_clean():
+    report = lint_source(
+        """
+        def f(work, cleanup):
+            try:
+                work()
+            except:
+                cleanup()
+                raise
+        """,
+        rule_ids=["EXC002"],
+    )
+    assert fired(report) == []
+
+
+# ---------------------------------------------------------------------------
+# CONC on the CFG: the regression pair the rewrite exists for
+# ---------------------------------------------------------------------------
+def test_conc001_fsync_on_one_branch_no_longer_satisfies():
+    # The pre-CFG rule only asked "is there an fsync earlier in the
+    # function"; a conditional fsync satisfied it.  Dominance does not:
+    # the false branch reaches os.replace() without ever syncing.
+    report = lint_source(
+        """
+        import os
+
+        def commit(fh, tmp, dst, durable):
+            if durable:
+                os.fsync(fh.fileno())
+            os.replace(tmp, dst)
+        """,
+        rule_ids=["CONC001"],
+    )
+    assert fired(report) == ["CONC001"]
+
+
+def test_conc001_dominating_fsync_is_clean():
+    report = lint_source(
+        """
+        import os
+
+        def commit(fh, tmp, dst):
+            os.fsync(fh.fileno())
+            os.replace(tmp, dst)
+        """,
+        rule_ids=["CONC001"],
+    )
+    assert fired(report) == []
+
+
+def test_conc003_release_only_on_normal_path_fires():
+    report = lint_source(
+        """
+        def f(lock, work):
+            lock.acquire()
+            work()
+            lock.release()
+        """,
+        rule_ids=["CONC003"],
+    )
+    assert fired(report) == ["CONC003"]
+
+
+def test_conc003_release_in_finally_is_clean():
+    report = lint_source(
+        """
+        def f(lock, work):
+            lock.acquire()
+            try:
+                work()
+            finally:
+                lock.release()
+        """,
+        rule_ids=["CONC003"],
+    )
+    assert fired(report) == []
+
+
+# ---------------------------------------------------------------------------
+# Mutation tests: seeded bugs caught by exactly the intended rule
+# ---------------------------------------------------------------------------
+_CLEAN_ASYNC = """
+import asyncio
+
+class Counter:
+    def __init__(self):
+        self.value = 0
+        self._lock = asyncio.Lock()
+
+    async def add(self, delta):
+        async with self._lock:
+            new = self.value + delta
+            await asyncio.sleep(0)
+            self.value = new
+"""
+
+_MUTANT_ASYNC = """
+import asyncio
+
+class Counter:
+    def __init__(self):
+        self.value = 0
+        self._lock = asyncio.Lock()
+
+    async def add(self, delta):
+        new = self.value + delta
+        await asyncio.sleep(0)
+        self.value = new
+"""
+
+_CLEAN_PUBLISH = """
+import os
+
+def publish(out, data):
+    tmp = out.with_suffix(".tmp")
+    try:
+        with open(str(tmp), "w") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(str(tmp), str(out))
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+"""
+
+_MUTANT_LEAKY_PUBLISH = """
+import os
+
+def publish(out, data):
+    tmp = out.with_suffix(".tmp")
+    with open(str(tmp), "w") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(str(tmp), str(out))
+"""
+
+_MUTANT_CONDITIONAL_FSYNC = """
+import os
+
+def publish(out, data, durable):
+    tmp = out.with_suffix(".tmp")
+    try:
+        with open(str(tmp), "w") as fh:
+            fh.write(data)
+            fh.flush()
+            if durable:
+                os.fsync(fh.fileno())
+        os.replace(str(tmp), str(out))
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+"""
+
+
+@pytest.mark.parametrize("clean", [_CLEAN_ASYNC, _CLEAN_PUBLISH])
+def test_mutation_baselines_are_clean(clean):
+    assert fired(lint_source(clean)) == []
+
+
+@pytest.mark.parametrize("mutant,rule", [
+    (_MUTANT_ASYNC, "ASYNC001"),
+    (_MUTANT_LEAKY_PUBLISH, "RES001"),
+    (_MUTANT_CONDITIONAL_FSYNC, "CONC001"),
+])
+def test_seeded_bug_caught_by_exactly_the_intended_rule(mutant, rule):
+    assert fired(lint_source(mutant)) == [rule]
+
+
+# ---------------------------------------------------------------------------
+# Runner: incremental cache + parallel determinism
+# ---------------------------------------------------------------------------
+def _write_tree(tmp_path):
+    pkg = tmp_path / "proj"
+    pkg.mkdir()
+    (pkg / "a.py").write_text("VALUE = 1\n")
+    (pkg / "b.py").write_text(textwrap.dedent(
+        """
+        def read(path):
+            fh = open(path)
+            data = fh.read()
+            return data
+        """
+    ))
+    return pkg
+
+
+def test_cache_cold_miss_then_warm_hit(tmp_path):
+    pkg = _write_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    cold = run_lint([pkg], cache_path=cache)
+    assert (cold.cache_hits, cold.cache_misses) == (0, 2)
+    warm = run_lint([pkg], cache_path=cache)
+    assert (warm.cache_hits, warm.cache_misses) == (2, 0)
+    # Cached findings are the same findings.
+    assert ([f.to_dict() for f in warm.findings]
+            == [f.to_dict() for f in cold.findings])
+    assert fired(warm) == ["RES002"]
+
+
+def test_cache_content_change_reanalyzes_only_that_file(tmp_path):
+    pkg = _write_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    run_lint([pkg], cache_path=cache)
+    (pkg / "a.py").write_text("VALUE = 2\n")
+    report = run_lint([pkg], cache_path=cache)
+    assert (report.cache_hits, report.cache_misses) == (1, 1)
+    missed = [t.path for t in report.timings if not t.cached]
+    assert missed == [str(pkg / "a.py")]
+
+
+def test_cache_discarded_on_ruleset_version_bump(tmp_path, monkeypatch):
+    pkg = _write_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    run_lint([pkg], cache_path=cache)
+    monkeypatch.setattr(lint_runner, "RULESET_VERSION", "999.0")
+    report = run_lint([pkg], cache_path=cache)
+    assert (report.cache_hits, report.cache_misses) == (0, 2)
+
+
+def test_cache_discarded_on_rule_filter_change(tmp_path):
+    pkg = _write_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    run_lint([pkg], cache_path=cache)
+    report = run_lint([pkg], rule_ids=["RES002"], cache_path=cache)
+    assert (report.cache_hits, report.cache_misses) == (0, 2)
+
+
+def _comparable(report):
+    """The report dict minus its documented-volatile timing block."""
+    data = report.to_dict()
+    del data["timing"]
+    return json.dumps(data, sort_keys=True).encode()
+
+
+def test_jobs_report_is_byte_identical(tmp_path):
+    pkg = _write_tree(tmp_path)
+    serial = run_lint([pkg], jobs=1)
+    parallel = run_lint([pkg], jobs=2)
+    assert _comparable(serial) == _comparable(parallel)
+
+
+def test_report_v2_validates_and_carries_timing(tmp_path):
+    pkg = _write_tree(tmp_path)
+    report = run_lint([pkg], cache_path=tmp_path / "cache.json")
+    data = report.to_dict()
+    assert validate_report(data) == []
+    assert data["version"] == 2
+    assert data["summary"]["cache"] == {"hits": 0, "misses": 2}
+    timed = [entry["path"] for entry in data["timing"]["files"]]
+    assert timed == sorted(timed)
+
+
+def test_v1_report_still_validates_by_version_dispatch():
+    archived = {
+        "version": 1,
+        "tool": "repro-lint",
+        "findings": [],
+        "summary": {"files": 3, "errors": 0, "warnings": 1,
+                    "suppressed": 2},
+    }
+    assert validate_report(archived) == []
+    # And a v1 report is *not* forced through the v2 schema: the same
+    # payload with the current version number must fail (no cache key).
+    broken = dict(archived, version=2)
+    assert validate_report(broken) != []
